@@ -1,0 +1,324 @@
+//! Configuration evaluation with lazy index creation (paper §5.1,
+//! Algorithm 3).
+//!
+//! Evaluating a configuration means: apply its knobs, then run the
+//! not-yet-completed queries under a timeout, creating each index *only*
+//! right before the first query that might use it. Index relevance is
+//! decided by column overlap with the query's predicates. All indexes are
+//! dropped when evaluation ends, so the next configuration starts clean.
+
+use crate::scheduler;
+use lt_common::{QueryId, Secs};
+use lt_dbms::{Configuration, IndexSpec, SimDb};
+use lt_workloads::Workload;
+use std::collections::{HashMap, HashSet};
+
+/// Per-configuration bookkeeping (paper Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct ConfigMeta {
+    /// Total execution time of *completed* queries.
+    pub time: Secs,
+    /// True when every workload query has completed under this config.
+    pub is_complete: bool,
+    /// Accumulated index-creation time.
+    pub index_time: Secs,
+    /// Queries that have fully executed under this config.
+    pub completed: HashSet<QueryId>,
+    /// All virtual time attributed to this configuration (reconfiguration,
+    /// index builds, execution, interrupts) — the denominator of the
+    /// selector's throughput ordering.
+    pub spent: Secs,
+}
+
+impl ConfigMeta {
+    /// Queries completed per second of attributed time (0 before any work).
+    pub fn throughput(&self) -> f64 {
+        if self.spent <= Secs::ZERO {
+            0.0
+        } else {
+            self.completed.len() as f64 / self.spent.as_f64()
+        }
+    }
+}
+
+/// The configuration evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator {
+    /// Use the DP query scheduler (§5.3); false = workload order (the
+    /// Figure 6 "no scheduler" ablation).
+    pub use_scheduler: bool,
+    /// Seed for clustering determinism.
+    pub seed: u64,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator { use_scheduler: true, seed: 0 }
+    }
+}
+
+impl Evaluator {
+    /// Maps each query to the configuration indexes that could serve it:
+    /// indexes whose leading column appears among the query's predicate
+    /// columns.
+    pub fn query_index_map(
+        db: &SimDb,
+        workload: &Workload,
+        config: &Configuration,
+    ) -> HashMap<QueryId, Vec<IndexSpec>> {
+        let specs: Vec<IndexSpec> = config.index_specs().into_iter().cloned().collect();
+        let mut map = HashMap::new();
+        for wq in &workload.queries {
+            let preds = lt_dbms::stats::extract(&wq.parsed, db.catalog());
+            let mut pred_columns: HashSet<lt_common::ColumnId> = HashSet::new();
+            for terms in preds.filters.values() {
+                pred_columns.extend(terms.iter().map(|t| t.column));
+            }
+            for edge in &preds.joins {
+                pred_columns.insert(edge.left);
+                pred_columns.insert(edge.right);
+            }
+            let relevant: Vec<IndexSpec> = specs
+                .iter()
+                .filter(|s| pred_columns.contains(&s.columns[0]))
+                .cloned()
+                .collect();
+            map.insert(wq.id, relevant);
+        }
+        map
+    }
+
+    /// Runs Algorithm 3: evaluates `config` on the `remaining` queries of
+    /// `workload` with query-evaluation timeout `timeout`, updating `meta`.
+    ///
+    /// Applies the configuration's knobs, creates indexes lazily in the
+    /// scheduler's order, executes until a query is interrupted, and drops
+    /// all indexes before returning.
+    pub fn evaluate(
+        &self,
+        db: &mut SimDb,
+        workload: &Workload,
+        config: &Configuration,
+        remaining: &[QueryId],
+        timeout: Secs,
+        meta: &mut ConfigMeta,
+    ) {
+        let started = db.now();
+        db.apply_knobs(config);
+        meta.is_complete = true;
+        if remaining.is_empty() {
+            meta.spent += db.now() - started;
+            return;
+        }
+
+        let index_map = Self::query_index_map(db, workload, config);
+
+        // Scheduling: items are the remaining queries; slots are the
+        // distinct index specs of the configuration.
+        let specs: Vec<IndexSpec> = config.index_specs().into_iter().cloned().collect();
+        let slot_of: HashMap<&IndexSpec, usize> =
+            specs.iter().enumerate().map(|(i, s)| (s, i)).collect();
+        let costs: Vec<f64> = specs
+            .iter()
+            .map(|s| db.estimate_index_build(s).as_f64())
+            .collect();
+        let item_indexes: Vec<Vec<usize>> = remaining
+            .iter()
+            .map(|qid| {
+                index_map
+                    .get(qid)
+                    .map(|specs_for_q| {
+                        specs_for_q.iter().filter_map(|s| slot_of.get(s).copied()).collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        let order: Vec<usize> = if self.use_scheduler {
+            scheduler::schedule(&item_indexes, &costs, self.seed)
+        } else {
+            (0..remaining.len()).collect()
+        };
+
+        let mut remaining_time = timeout;
+        let mut created: HashSet<usize> = HashSet::new();
+        let mut built_ids: Vec<lt_common::IndexId> = Vec::new();
+        for &item in &order {
+            let qid = remaining[item];
+            // Create the indexes this query might use (minus existing).
+            for &slot in &item_indexes[item] {
+                if created.insert(slot) {
+                    let spec = &specs[slot];
+                    // Pre-existing indexes (e.g. the scenario's default
+                    // PK/FK indexes) are used but never dropped.
+                    if db.indexes().find(spec.table, &spec.columns).is_some() {
+                        continue;
+                    }
+                    let (id, build_time) = db.create_index(spec);
+                    built_ids.push(id);
+                    meta.index_time += build_time;
+                }
+            }
+            let query = &workload.queries[qid.index()].parsed;
+            let outcome = db.execute(query, remaining_time.clamp_non_negative());
+            if !outcome.completed {
+                meta.is_complete = false;
+                break;
+            }
+            remaining_time -= outcome.time;
+            meta.time += outcome.time;
+            meta.completed.insert(qid);
+        }
+        // Indexes created by this evaluation are implicitly dropped when it
+        // ends (paper §5.1); pre-existing indexes stay.
+        for id in built_ids {
+            db.drop_index(id);
+        }
+        meta.spent += db.now() - started;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_workloads::Benchmark;
+
+    fn setup() -> (SimDb, Workload) {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 5);
+        (db, w)
+    }
+
+    fn tuned_config(db: &SimDb) -> Configuration {
+        Configuration::parse(
+            "ALTER SYSTEM SET shared_buffers = '15GB';\n\
+             ALTER SYSTEM SET work_mem = '1GB';\n\
+             ALTER SYSTEM SET random_page_cost = 1.1;\n\
+             ALTER SYSTEM SET effective_cache_size = '45GB';\n\
+             CREATE INDEX ON lineitem (l_orderkey);\n\
+             CREATE INDEX ON orders (o_orderkey);\n\
+             CREATE INDEX ON customer (c_custkey);",
+            Dbms::Postgres,
+            db.catalog(),
+        )
+    }
+
+    #[test]
+    fn full_evaluation_completes_all_queries() {
+        let (mut db, w) = setup();
+        let config = tuned_config(&db);
+        let all: Vec<QueryId> = w.queries.iter().map(|q| q.id).collect();
+        let mut meta = ConfigMeta::default();
+        Evaluator::default().evaluate(&mut db, &w, &config, &all, Secs::INFINITY, &mut meta);
+        assert!(meta.is_complete);
+        assert_eq!(meta.completed.len(), w.len());
+        assert!(meta.time > Secs::ZERO);
+        assert!(meta.index_time > Secs::ZERO);
+        assert!(meta.spent >= meta.time + meta.index_time);
+        // Clean exit: no indexes left behind.
+        assert!(db.indexes().is_empty());
+    }
+
+    #[test]
+    fn timeout_interrupts_and_preserves_partial_progress() {
+        let (mut db, w) = setup();
+        let config = tuned_config(&db);
+        let all: Vec<QueryId> = w.queries.iter().map(|q| q.id).collect();
+        let mut meta = ConfigMeta::default();
+        Evaluator::default().evaluate(&mut db, &w, &config, &all, lt_common::secs(2.0), &mut meta);
+        assert!(!meta.is_complete);
+        assert!(meta.completed.len() < w.len());
+        // Resume on remaining queries only.
+        let remaining: Vec<QueryId> = w
+            .queries
+            .iter()
+            .map(|q| q.id)
+            .filter(|id| !meta.completed.contains(id))
+            .collect();
+        let before = meta.completed.len();
+        Evaluator::default().evaluate(
+            &mut db,
+            &w,
+            &config,
+            &remaining,
+            Secs::INFINITY,
+            &mut meta,
+        );
+        assert!(meta.is_complete);
+        assert_eq!(meta.completed.len(), w.len());
+        assert!(meta.completed.len() > before);
+    }
+
+    #[test]
+    fn lazy_creation_skips_indexes_of_unreached_queries() {
+        let (mut db, w) = setup();
+        // An index no TPC-H query can use plus one every join uses; with a
+        // tiny timeout only the first query's indexes get built.
+        let config = tuned_config(&db);
+        let all: Vec<QueryId> = w.queries.iter().map(|q| q.id).collect();
+        let mut meta = ConfigMeta::default();
+        Evaluator::default().evaluate(
+            &mut db,
+            &w,
+            &config,
+            &all,
+            lt_common::secs(1e-6),
+            &mut meta,
+        );
+        // At most the first scheduled query's relevant indexes were built;
+        // q1 (lineitem scan, no joins) needs none of the three.
+        let full_build: f64 = config
+            .index_specs()
+            .iter()
+            .map(|s| db.estimate_index_build(s).as_f64())
+            .sum();
+        assert!(
+            meta.index_time.as_f64() < full_build,
+            "lazy creation must not build everything: {} vs {}",
+            meta.index_time,
+            full_build
+        );
+    }
+
+    #[test]
+    fn query_index_map_respects_column_overlap() {
+        let (db, w) = setup();
+        let config = tuned_config(&db);
+        let map = Evaluator::query_index_map(&db, &w, &config);
+        // q1 touches only lineitem with a shipdate filter: no relevant
+        // index among (l_orderkey, o_orderkey, c_custkey).
+        let q1 = w.by_label("q1").unwrap().id;
+        assert!(map[&q1].is_empty(), "{:?}", map[&q1]);
+        // q3 joins customer⋈orders⋈lineitem: all three indexes relevant.
+        let q3 = w.by_label("q3").unwrap().id;
+        assert_eq!(map[&q3].len(), 3);
+    }
+
+    #[test]
+    fn knob_only_config_builds_no_indexes() {
+        let (mut db, w) = setup();
+        let config = Configuration::parse(
+            "ALTER SYSTEM SET work_mem = '1GB';",
+            Dbms::Postgres,
+            db.catalog(),
+        );
+        let all: Vec<QueryId> = w.queries.iter().map(|q| q.id).collect();
+        let mut meta = ConfigMeta::default();
+        Evaluator::default().evaluate(&mut db, &w, &config, &all, Secs::INFINITY, &mut meta);
+        assert!(meta.is_complete);
+        assert_eq!(meta.index_time, Secs::ZERO);
+    }
+
+    #[test]
+    fn throughput_orders_by_progress_per_time() {
+        let mut a = ConfigMeta::default();
+        a.completed.insert(QueryId(0));
+        a.completed.insert(QueryId(1));
+        a.spent = lt_common::secs(10.0);
+        let mut b = ConfigMeta::default();
+        b.completed.insert(QueryId(0));
+        b.spent = lt_common::secs(10.0);
+        assert!(a.throughput() > b.throughput());
+        assert_eq!(ConfigMeta::default().throughput(), 0.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The end-to-end λ-Tune pipeline (paper Algorithm 1).
+
+use crate::compressor::Compressor;
+use crate::evaluator::Evaluator;
+use crate::prompt::PromptBuilder;
+use crate::selector::{ConfigSelector, SelectorOptions, TrajectoryPoint};
+use crate::snippets::extract_snippets;
+use lt_common::{derive_seed, secs, Result, Secs};
+use lt_dbms::{ConfigCommand, Configuration, SimDb};
+use lt_llm::{LanguageModel, LlmClient, LlmUsage};
+use lt_workloads::{Obfuscator, Workload};
+use serde::{Deserialize, Serialize};
+
+/// λ-Tune options. The defaults match the paper's experimental setup
+/// (§6.1): 5 LLM samples, 10 s initial timeout, α = 10.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LambdaTuneOptions {
+    /// Number of configurations sampled from the LLM (k).
+    pub num_configs: usize,
+    /// LLM sampling temperature.
+    pub temperature: f64,
+    /// Token budget for the workload description; `None` fits as much as
+    /// possible within the model's context window.
+    pub token_budget: Option<usize>,
+    /// Restrict tuning to system parameters (Scenario 1: no index DDL).
+    pub params_only: bool,
+    /// Keep only index recommendations, dropping knob changes (the
+    /// index-recommendation comparison of Figure 8).
+    pub indexes_only: bool,
+    /// Use the ILP workload compressor; `false` sends full SQL queries
+    /// (the §6.4.4 ablation).
+    pub use_compressor: bool,
+    /// Obfuscate table/column names in the snippets (§6.4.3 ablation).
+    pub obfuscate: bool,
+    /// Use the DP query scheduler (§6.4.2 ablation toggles this off).
+    pub use_scheduler: bool,
+    /// Selector parameters (timeouts; §6.4.1 ablation lives here).
+    pub selector: SelectorOptions,
+    /// Simulated per-call LLM latency charged to the tuning clock.
+    pub llm_latency: Secs,
+    /// Base seed for LLM sampling and scheduling.
+    pub seed: u64,
+}
+
+impl Default for LambdaTuneOptions {
+    fn default() -> Self {
+        LambdaTuneOptions {
+            num_configs: 5,
+            temperature: 0.7,
+            token_budget: None,
+            params_only: false,
+            indexes_only: false,
+            use_compressor: true,
+            obfuscate: false,
+            use_scheduler: true,
+            selector: SelectorOptions::default(),
+            llm_latency: secs(5.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of one tuning run.
+#[derive(Debug)]
+pub struct TuneResult {
+    /// The winning configuration, if any candidate completed the workload.
+    pub best_config: Option<Configuration>,
+    /// Index of the winner among [`TuneResult::configs`].
+    pub best_index: Option<usize>,
+    /// Workload execution time under the winner.
+    pub best_time: Secs,
+    /// All candidate configurations parsed from LLM samples.
+    pub configs: Vec<Configuration>,
+    /// Improvement events over optimization time (Figures 3/4/6).
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// LLM token usage (monetary-fee accounting).
+    pub llm_usage: LlmUsage,
+    /// Tokens spent on the workload description inside the prompt.
+    pub workload_tokens: usize,
+    /// Selector rounds executed.
+    pub rounds: usize,
+    /// Total virtual tuning time.
+    pub tuning_time: Secs,
+}
+
+/// The λ-Tune tuner.
+#[derive(Debug, Clone, Default)]
+pub struct LambdaTune {
+    /// Options.
+    pub options: LambdaTuneOptions,
+    /// Optional documentation store for retrieval-augmented prompts (the
+    /// paper's §2 extension).
+    pub documents: Option<crate::rag::DocumentStore>,
+}
+
+impl LambdaTune {
+    /// Tuner with the given options.
+    pub fn new(options: LambdaTuneOptions) -> Self {
+        LambdaTune { options, documents: None }
+    }
+
+    /// Enables retrieval-augmented prompting: the most relevant passages
+    /// of `store` (scored against the compressed workload) are appended to
+    /// the prompt.
+    pub fn with_documents(mut self, store: crate::rag::DocumentStore) -> Self {
+        self.documents = Some(store);
+        self
+    }
+
+    /// Runs the full pipeline: prompt generation → k LLM samples →
+    /// configuration selection. Returns the best configuration found.
+    pub fn tune<M: LanguageModel>(
+        &self,
+        db: &mut SimDb,
+        workload: &Workload,
+        llm: &LlmClient<M>,
+    ) -> Result<TuneResult> {
+        let start = db.now();
+        let opts = &self.options;
+
+        // ---- prompt generation (§3) ----
+        let builder =
+            PromptBuilder::new(db.dbms(), db.hardware()).params_only(opts.params_only);
+        let obfuscator = opts.obfuscate.then(|| Obfuscator::new(db.catalog()));
+        let (prompt, workload_tokens) = if opts.use_compressor {
+            let snippets = extract_snippets(db, workload);
+            let budget = opts
+                .token_budget
+                .unwrap_or_else(|| llm.model().context_window() / 16);
+            let compressor = match &obfuscator {
+                Some(ob) => Compressor::obfuscated(db.catalog(), ob),
+                None => Compressor::new(db.catalog()),
+            };
+            let compressed = compressor.compress(&snippets, budget)?;
+            let tokens = compressed.tokens;
+            (builder.build(&compressed), tokens)
+        } else {
+            let budget = opts
+                .token_budget
+                .unwrap_or_else(|| llm.model().context_window() / 16);
+            let (prompt, _included) = builder.build_with_full_sql(workload, budget);
+            let tokens = lt_llm::count_tokens(&prompt);
+            (prompt, tokens)
+        };
+
+        // Retrieval augmentation: append the most relevant documentation
+        // passages to the prompt (bounded to 200 tokens).
+        let prompt = match &self.documents {
+            Some(store) => {
+                let query = format!("{} OLAP tuning {prompt}", db.dbms().name());
+                let block = store.render_block(&query, 4, 200);
+                if block.is_empty() {
+                    prompt
+                } else {
+                    format!("{prompt}\n{block}")
+                }
+            }
+            None => prompt,
+        };
+
+        // ---- k LLM samples ----
+        let mut configs = Vec::with_capacity(opts.num_configs);
+        for i in 0..opts.num_configs {
+            let response =
+                llm.complete(&prompt, opts.temperature, derive_seed(opts.seed, i as u64))?;
+            db.clock_advance(opts.llm_latency);
+            let script = match &obfuscator {
+                Some(ob) => deobfuscate_script(&response, ob),
+                None => response,
+            };
+            let mut config = Configuration::parse(&script, db.dbms(), db.catalog());
+            if opts.params_only {
+                config
+                    .commands
+                    .retain(|c| !matches!(c, ConfigCommand::CreateIndex(_)));
+            }
+            if opts.indexes_only {
+                config
+                    .commands
+                    .retain(|c| matches!(c, ConfigCommand::CreateIndex(_)));
+            }
+            configs.push(config);
+        }
+
+        // ---- configuration selection (§4) ----
+        let evaluator = Evaluator { use_scheduler: opts.use_scheduler, seed: opts.seed };
+        let selector = ConfigSelector::new(opts.selector, evaluator);
+        let selection = selector.select(db, workload, &configs);
+
+        Ok(TuneResult {
+            best_config: selection.best.map(|i| configs[i].clone()),
+            best_index: selection.best,
+            best_time: selection.best_time,
+            configs,
+            trajectory: selection.trajectory,
+            llm_usage: llm.usage(),
+            workload_tokens,
+            rounds: selection.rounds,
+            tuning_time: db.now() - start,
+        })
+    }
+}
+
+/// Replaces obfuscated identifiers (`T<i>`, `C<j>`) in an LLM response with
+/// their real names so the configuration can be applied to the database.
+pub fn deobfuscate_script(script: &str, obfuscator: &Obfuscator) -> String {
+    let mut out = String::with_capacity(script.len());
+    let mut word = String::new();
+    let flush = |word: &mut String, out: &mut String| {
+        if word.is_empty() {
+            return;
+        }
+        if let Some(real) = obfuscator.deobfuscate_table(word) {
+            out.push_str(real);
+        } else if let Some((_, column)) = obfuscator.deobfuscate_column(word) {
+            out.push_str(column);
+        } else {
+            out.push_str(word);
+        }
+        word.clear();
+    };
+    for ch in script.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            word.push(ch);
+        } else {
+            flush(&mut word, &mut out);
+            out.push(ch);
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_llm::SimulatedLlm;
+    use lt_workloads::Benchmark;
+
+    fn setup() -> (SimDb, Workload, LlmClient<SimulatedLlm>) {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 7);
+        (db, w, LlmClient::new(SimulatedLlm::new()))
+    }
+
+    #[test]
+    fn end_to_end_tpch_beats_defaults() {
+        let (mut db, w, llm) = setup();
+        let result = LambdaTune::default().tune(&mut db, &w, &llm).unwrap();
+        let best = result.best_config.expect("a configuration must win");
+        assert!(result.best_time.is_finite());
+        assert_eq!(result.configs.len(), 5);
+        assert_eq!(result.llm_usage.calls, 5);
+
+        // Compare the winner against the default configuration by running
+        // the workload under both.
+        let mut fresh = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 7);
+        let mut default_time = Secs::ZERO;
+        for q in &w.queries {
+            default_time += fresh.execute(&q.parsed, Secs::INFINITY).time;
+        }
+        assert!(
+            result.best_time < default_time,
+            "λ-Tune {} should beat default {default_time}",
+            result.best_time
+        );
+        assert!(!best.is_empty());
+    }
+
+    #[test]
+    fn params_only_configs_have_no_indexes() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions { params_only: true, ..Default::default() };
+        let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
+        for config in &result.configs {
+            assert!(config.index_specs().is_empty());
+        }
+        assert!(result.best_index.is_some());
+    }
+
+    #[test]
+    fn obfuscated_run_still_produces_valid_configs() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions { obfuscate: true, ..Default::default() };
+        let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
+        assert!(result.best_index.is_some());
+        // Index specs must reference real catalog objects (deobfuscation
+        // succeeded): parse guarantees that, so any index command present
+        // proves the round trip.
+        let any_indexes =
+            result.configs.iter().any(|c| !c.index_specs().is_empty());
+        assert!(any_indexes, "obfuscated pipeline should still recommend indexes");
+    }
+
+    #[test]
+    fn tiny_token_budget_degrades_coverage_not_correctness() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions { token_budget: Some(40), ..Default::default() };
+        let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
+        assert!(result.workload_tokens <= 40);
+        assert!(result.best_index.is_some());
+    }
+
+    #[test]
+    fn full_sql_mode_works() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions {
+            use_compressor: false,
+            token_budget: Some(4000),
+            ..Default::default()
+        };
+        let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
+        assert!(result.best_index.is_some());
+    }
+
+    #[test]
+    fn deobfuscate_script_roundtrip() {
+        let w = Benchmark::TpchSf1.load();
+        let ob = Obfuscator::new(&w.catalog);
+        let t = ob.table("lineitem");
+        let c = ob.column("lineitem", "l_orderkey");
+        let script = format!("CREATE INDEX ON {t} ({c});");
+        let real = deobfuscate_script(&script, &ob);
+        assert_eq!(real, "CREATE INDEX ON lineitem (l_orderkey);");
+        // Unknown identifiers pass through.
+        assert_eq!(deobfuscate_script("SET work_mem = '1GB';", &ob), "SET work_mem = '1GB';");
+    }
+
+    #[test]
+    fn rag_documents_influence_the_configuration() {
+        let (mut db, w, llm) = setup();
+        let mut store = crate::rag::DocumentStore::new();
+        store.add_document(
+            "ssd-guide",
+            "For OLAP index tuning on SSD storage, set effective_io_concurrency \
+             to 400 to maximize prefetching of index pages.",
+        );
+        let options = LambdaTuneOptions { temperature: 0.0, ..Default::default() };
+        let result = LambdaTune::new(options)
+            .with_documents(store)
+            .tune(&mut db, &w, &llm)
+            .unwrap();
+        let followed = result.configs.iter().any(|c| {
+            c.knob_changes()
+                .any(|(n, v)| n == "effective_io_concurrency" && v.as_f64() == 400.0)
+        });
+        assert!(followed, "the retrieved documentation should shape the configs");
+    }
+
+    #[test]
+    fn trajectory_and_timing_are_recorded() {
+        let (mut db, w, llm) = setup();
+        let result = LambdaTune::default().tune(&mut db, &w, &llm).unwrap();
+        assert!(!result.trajectory.is_empty());
+        assert!(result.tuning_time > Secs::ZERO);
+        assert!(result.workload_tokens > 0);
+        assert!(result.llm_usage.cost_usd() > 0.0);
+    }
+}

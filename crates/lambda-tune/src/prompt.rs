@@ -1,0 +1,164 @@
+//! Prompt generation (paper §3.1, Listing 1).
+//!
+//! The template starts with generic tuning instructions naming the target
+//! DBMS, explains the compressed-workload line format, embeds the workload
+//! description, and closes with the hardware specification. Two extensions
+//! beyond Listing 1 are flagged explicitly: a parameter-only instruction
+//! (for the paper's Scenario 1, where physical design is out of scope) and
+//! a raw-SQL mode (for the no-compressor ablation, §6.4.4).
+
+use crate::compressor::CompressedWorkload;
+use lt_dbms::{Dbms, Hardware};
+use lt_llm::{count_tokens, truncate_to_tokens};
+use lt_workloads::Workload;
+
+/// Builds prompts for a tuning problem instance.
+#[derive(Debug, Clone)]
+pub struct PromptBuilder {
+    dbms: Dbms,
+    hardware: Hardware,
+    params_only: bool,
+}
+
+impl PromptBuilder {
+    /// New builder for a target system and machine.
+    pub fn new(dbms: Dbms, hardware: Hardware) -> Self {
+        PromptBuilder { dbms, hardware, params_only: false }
+    }
+
+    /// Restricts recommendations to system parameters (no index DDL).
+    pub fn params_only(mut self, yes: bool) -> Self {
+        self.params_only = yes;
+        self
+    }
+
+    fn header(&self) -> String {
+        let mut s = format!(
+            "Recommend some configuration parameters for {} to optimize the \
+             system's performance. Parameters might include system-level \
+             configurations, like memory, query optimizer or physical design \
+             configurations, like index recommendations.\n",
+            self.dbms.name()
+        );
+        if self.params_only {
+            s.push_str(
+                "Do not recommend indexes; recommend only system parameters.\n",
+            );
+        }
+        s
+    }
+
+    fn footer(&self) -> String {
+        format!(
+            "The workload runs on a system with the following specs:\n\
+             memory: {}GB\ncores: {}\n",
+            self.hardware.memory_gib(),
+            self.hardware.cores
+        )
+    }
+
+    /// The paper's prompt: compressed workload description.
+    pub fn build(&self, compressed: &CompressedWorkload) -> String {
+        let mut prompt = self.header();
+        prompt.push_str(
+            "Each row in the following list has the following format:\n\
+             {a join key A}:{all the joins with A in the workload}\n",
+        );
+        prompt.push_str(&compressed.text());
+        prompt.push('\n');
+        prompt.push_str(&self.footer());
+        prompt
+    }
+
+    /// The no-compressor ablation: as many full SQL queries as fit within
+    /// `budget` tokens (paper §6.4.4 fits 26 JOB queries into the intrinsic
+    /// limit). Returns the prompt and the number of queries included.
+    pub fn build_with_full_sql(&self, workload: &Workload, budget: usize) -> (String, usize) {
+        let mut prompt = self.header();
+        prompt.push_str("The workload consists of the following SQL queries:\n");
+        let fixed = count_tokens(&prompt) + count_tokens(&self.footer());
+        let mut used = fixed;
+        let mut included = 0usize;
+        for wq in &workload.queries {
+            let stmt = format!("{};\n", wq.sql.trim().trim_end_matches(';'));
+            let cost = count_tokens(&stmt);
+            if used + cost > budget {
+                break;
+            }
+            prompt.push_str(&stmt);
+            used += cost;
+            included += 1;
+        }
+        prompt.push_str(&self.footer());
+        // Guard against a fixed part already exceeding the budget.
+        let final_prompt = if count_tokens(&prompt) > budget {
+            truncate_to_tokens(&prompt, budget).to_string()
+        } else {
+            prompt
+        };
+        (final_prompt, included)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::Compressor;
+    use crate::snippets::extract_snippets;
+    use lt_dbms::SimDb;
+    use lt_workloads::Benchmark;
+
+    fn compressed(budget: usize) -> (lt_workloads::Workload, CompressedWorkload) {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        let snippets = extract_snippets(&db, &w);
+        let c = Compressor::new(&w.catalog).compress(&snippets, budget).unwrap();
+        (w, c)
+    }
+
+    #[test]
+    fn prompt_contains_all_template_blocks() {
+        let (_, c) = compressed(300);
+        let p = PromptBuilder::new(Dbms::Postgres, Hardware::p3_2xlarge()).build(&c);
+        assert!(p.contains("PostgreSQL"), "{p}");
+        assert!(p.contains("{a join key A}:{all the joins with A in the workload}"));
+        assert!(p.contains("memory: 61GB"));
+        assert!(p.contains("cores: 8"));
+        assert!(p.contains("lineitem."), "{p}");
+    }
+
+    #[test]
+    fn mysql_prompt_names_mysql() {
+        let (_, c) = compressed(300);
+        let p = PromptBuilder::new(Dbms::Mysql, Hardware::p3_2xlarge()).build(&c);
+        assert!(p.contains("MySQL"));
+    }
+
+    #[test]
+    fn params_only_adds_the_restriction() {
+        let (_, c) = compressed(300);
+        let p = PromptBuilder::new(Dbms::Postgres, Hardware::p3_2xlarge())
+            .params_only(true)
+            .build(&c);
+        assert!(p.contains("Do not recommend indexes"));
+    }
+
+    #[test]
+    fn full_sql_mode_fits_queries_to_budget() {
+        let w = Benchmark::Job.load();
+        let builder = PromptBuilder::new(Dbms::Postgres, Hardware::p3_2xlarge());
+        let (p, n) = builder.build_with_full_sql(&w, 4000);
+        assert!(n > 0 && n < w.len(), "included {n} of {}", w.len());
+        assert!(count_tokens(&p) <= 4000);
+        let (p_big, n_big) = builder.build_with_full_sql(&w, 1_000_000);
+        assert_eq!(n_big, w.len());
+        assert!(p_big.contains("select"));
+    }
+
+    #[test]
+    fn prompt_is_deterministic() {
+        let (_, c) = compressed(200);
+        let b = PromptBuilder::new(Dbms::Postgres, Hardware::p3_2xlarge());
+        assert_eq!(b.build(&c), b.build(&c));
+    }
+}

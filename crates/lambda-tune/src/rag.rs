@@ -1,0 +1,213 @@
+//! Retrieval-augmented prompt generation.
+//!
+//! The paper notes (§2) that λ-Tune "could easily be augmented via
+//! retrieval augmented generation, enabling the LLM to parse additional
+//! information from the Web". This module implements that extension: a
+//! [`DocumentStore`] holds tuning documentation split into passages, and
+//! [`DocumentStore::retrieve`] returns the passages most relevant to a
+//! tuning context (scored by weighted term overlap, rare terms counting
+//! more — a compact TF-IDF). The λ-Tune pipeline appends the retrieved
+//! passages to the prompt when [`crate::LambdaTuneOptions::rag`] is set.
+
+use lt_llm::count_tokens;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One retrievable passage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Passage {
+    /// Source document label (e.g. `"postgres-manual"`).
+    pub source: String,
+    /// Passage text (one or a few sentences).
+    pub text: String,
+}
+
+/// A passage store with term-overlap retrieval.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStore {
+    passages: Vec<Passage>,
+    /// Document frequency per term, for inverse-frequency weighting.
+    doc_freq: HashMap<String, u32>,
+}
+
+fn terms(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|t| t.len() > 2)
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+impl DocumentStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document, splitting it into sentence-level passages.
+    pub fn add_document(&mut self, source: &str, text: &str) {
+        for sentence in split_sentences(text) {
+            let trimmed = sentence.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let unique: HashSet<String> = terms(trimmed).into_iter().collect();
+            for t in unique {
+                *self.doc_freq.entry(t).or_insert(0) += 1;
+            }
+            self.passages
+                .push(Passage { source: source.to_string(), text: trimmed.to_string() });
+        }
+    }
+
+    /// Number of stored passages.
+    pub fn len(&self) -> usize {
+        self.passages.len()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.passages.is_empty()
+    }
+
+    /// Retrieves up to `k` passages most relevant to `query`, most relevant
+    /// first. Passages with no term overlap are never returned.
+    pub fn retrieve(&self, query: &str, k: usize) -> Vec<&Passage> {
+        let query_terms: HashSet<String> = terms(query).into_iter().collect();
+        let n = self.passages.len().max(1) as f64;
+        let mut scored: Vec<(f64, usize)> = self
+            .passages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let score: f64 = terms(&p.text)
+                    .into_iter()
+                    .collect::<HashSet<_>>()
+                    .iter()
+                    .filter(|t| query_terms.contains(*t))
+                    .map(|t| {
+                        let df = *self.doc_freq.get(t).unwrap_or(&1) as f64;
+                        (n / df).ln_1p()
+                    })
+                    .sum();
+                (score > 0.0).then_some((score, i))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        scored.into_iter().take(k).map(|(_, i)| &self.passages[i]).collect()
+    }
+
+    /// Renders a retrieval result as a prompt block, bounded by a token
+    /// budget (passages that would exceed it are dropped).
+    pub fn render_block(&self, query: &str, k: usize, token_budget: usize) -> String {
+        let hits = self.retrieve(query, k);
+        if hits.is_empty() {
+            return String::new();
+        }
+        let mut block = String::from("The following documentation may be relevant:\n");
+        let mut used = count_tokens(&block);
+        for p in hits {
+            let line = format!("- {}\n", p.text);
+            let cost = count_tokens(&line);
+            if used + cost > token_budget {
+                break;
+            }
+            block.push_str(&line);
+            used += cost;
+        }
+        block
+    }
+}
+
+fn split_sentences(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '.' {
+            match chars.peek() {
+                Some(n) if n.is_whitespace() => out.push(std::mem::take(&mut cur)),
+                None => {}
+                _ => cur.push(c),
+            }
+        } else {
+            cur.push(c);
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocumentStore {
+        let mut s = DocumentStore::new();
+        s.add_document(
+            "postgres-manual",
+            "On SSD storage, set effective_io_concurrency to 400 for best \
+             prefetching. \
+             For replication, configure wal_level appropriately. \
+             Index-heavy analytical workloads benefit from setting \
+             random_page_cost to 1.1. \
+             Vacuum regularly to avoid bloat.",
+        );
+        s.add_document(
+            "blog",
+            "Joins spill to disk when work_mem is too small; raise work_mem \
+             for analytical queries.",
+        );
+        s
+    }
+
+    #[test]
+    fn retrieval_ranks_by_term_overlap() {
+        let s = store();
+        let hits = s.retrieve("index random_page_cost analytical joins", 2);
+        assert!(!hits.is_empty());
+        assert!(hits[0].text.contains("random_page_cost"), "{}", hits[0].text);
+    }
+
+    #[test]
+    fn irrelevant_passages_are_never_returned() {
+        let s = store();
+        let hits = s.retrieve("completely unrelated zebra talk", 5);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let s = store();
+        let hits = s.retrieve("set workload analytical work_mem io", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn render_block_respects_token_budget() {
+        let s = store();
+        let block = s.render_block("analytical joins work_mem index", 10, 30);
+        assert!(count_tokens(&block) <= 30, "{block}");
+        let unbounded = s.render_block("analytical joins work_mem index", 10, 10_000);
+        assert!(unbounded.len() >= block.len());
+        assert!(unbounded.starts_with("The following documentation"));
+    }
+
+    #[test]
+    fn empty_store_renders_nothing() {
+        let s = DocumentStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.render_block("anything", 3, 100), "");
+    }
+
+    #[test]
+    fn sentences_with_decimals_stay_whole() {
+        let mut s = DocumentStore::new();
+        s.add_document("d", "Set random_page_cost to 1.1 on SSDs.");
+        assert_eq!(s.len(), 1);
+        assert!(s.passages[0].text.contains("1.1"));
+    }
+}

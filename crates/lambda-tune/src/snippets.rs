@@ -1,0 +1,96 @@
+//! Query snippet extraction (paper §3.2).
+//!
+//! λ-Tune decomposes the workload into *query snippets* — binary join
+//! relationships between columns — and values each snippet by the total
+//! estimated cost of the join operators that evaluate it, obtained from
+//! the optimizer via EXPLAIN (`V(p) = Σ_{j ∈ J(p)} EC_j`). Snippets with
+//! higher value convey more potential for cost reduction to the LLM.
+
+use lt_common::ColumnId;
+use lt_dbms::SimDb;
+use lt_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One join snippet: an (unordered) column pair and its accumulated value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snippet {
+    /// One join column (the pair is stored normalized, `left ≤ right`).
+    pub left: ColumnId,
+    /// The other join column.
+    pub right: ColumnId,
+    /// Total estimated cost of join operators evaluating this condition
+    /// across the workload (planner units).
+    pub value: f64,
+}
+
+/// Extracts the valued join snippets of a workload by explaining every
+/// query under the database's current configuration.
+pub fn extract_snippets(db: &SimDb, workload: &Workload) -> Vec<Snippet> {
+    let mut values: HashMap<(ColumnId, ColumnId), f64> = HashMap::new();
+    for wq in &workload.queries {
+        let plan = db.explain(&wq.parsed);
+        for (left, right, cost) in plan.join_costs {
+            let key = if left <= right { (left, right) } else { (right, left) };
+            *values.entry(key).or_insert(0.0) += cost;
+        }
+    }
+    let mut snippets: Vec<Snippet> = values
+        .into_iter()
+        .map(|((left, right), value)| Snippet { left, right, value })
+        .collect();
+    // Deterministic order: by value descending, ties by ids.
+    snippets.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.left, a.right).cmp(&(b.left, b.right)))
+    });
+    snippets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_workloads::Benchmark;
+
+    #[test]
+    fn tpch_snippets_cover_the_famous_joins() {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        let snippets = extract_snippets(&db, &w);
+        assert!(!snippets.is_empty());
+        // The lineitem ⋈ orders join must be among the most valuable.
+        let l = w.catalog.resolve_column(None, "l_orderkey").unwrap();
+        let o = w.catalog.resolve_column(None, "o_orderkey").unwrap();
+        let pos = snippets
+            .iter()
+            .position(|s| {
+                (s.left == l && s.right == o) || (s.left == o && s.right == l)
+            })
+            .expect("lineitem-orders join snippet missing");
+        assert!(pos < 5, "lineitem⋈orders ranked {pos}");
+        // Sorted by value descending.
+        for pair in snippets.windows(2) {
+            assert!(pair[0].value >= pair[1].value);
+        }
+    }
+
+    #[test]
+    fn snippet_values_are_positive_and_finite() {
+        let w = Benchmark::TpcdsSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        for s in extract_snippets(&db, &w) {
+            assert!(s.value.is_finite() && s.value >= 0.0);
+            assert!(s.left <= s.right, "snippets are normalized");
+        }
+    }
+
+    #[test]
+    fn snippets_are_deterministic() {
+        let w = Benchmark::Job.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        assert_eq!(extract_snippets(&db, &w), extract_snippets(&db, &w));
+    }
+}

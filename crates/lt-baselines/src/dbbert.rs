@@ -1,0 +1,187 @@
+//! DB-BERT — "a database tuning tool that reads the manual"
+//! (Trummer, SIGMOD 2022).
+//!
+//! DB-BERT mines tuning hints from text (we mine [`crate::manual`]) and
+//! then searches the *combinatorial space of hint combinations*: each hint
+//! can be applied at several scaling factors (the original multiplies
+//! recommended values by {0.25, 0.5, 1, 2, 4}) or skipped. A multi-armed
+//! bandit over per-hint arms drives the search; every candidate is a full
+//! workload evaluation under a timeout. Parameters only — DB-BERT does not
+//! create indexes.
+
+use crate::common::{config_from_values, measure_config, record_improvement, Tuner, TunerRun};
+use crate::manual::{manual_text, mine_hints, Hint};
+use lt_common::{secs, seeded_rng, Secs};
+use lt_dbms::{KnobValue, SimDb};
+use lt_workloads::Workload;
+use rand::Rng;
+
+const SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// DB-BERT options.
+#[derive(Debug, Clone, Copy)]
+pub struct DbBertOptions {
+    /// Per-evaluation cap on workload time.
+    pub eval_timeout: Secs,
+    /// Bandit exploration probability.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DbBertOptions {
+    fn default() -> Self {
+        DbBertOptions { eval_timeout: secs(300.0), epsilon: 0.2, seed: 0 }
+    }
+}
+
+/// The DB-BERT baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbBert {
+    /// Options.
+    pub options: DbBertOptions,
+}
+
+impl DbBert {
+    /// DB-BERT with options.
+    pub fn new(options: DbBertOptions) -> Self {
+        DbBert { options }
+    }
+
+    fn scaled(hint: &Hint, scale: f64, db: &SimDb) -> Option<(String, KnobValue)> {
+        let grounded = hint.ground(db.dbms(), db.hardware())?;
+        let def = lt_dbms::knobs::knob_def(db.dbms(), &hint.knob)?;
+        let scaled = def.clamp(match grounded {
+            KnobValue::Bytes(b) => KnobValue::Bytes((b as f64 * scale) as u64),
+            KnobValue::Float(f) => KnobValue::Float(f * scale),
+            KnobValue::Int(i) => KnobValue::Int((i as f64 * scale).round() as i64),
+            KnobValue::Bool(b) => KnobValue::Bool(b),
+        });
+        Some((hint.knob.clone(), scaled))
+    }
+}
+
+impl Tuner for DbBert {
+    fn name(&self) -> &'static str {
+        "DB-Bert"
+    }
+
+    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun {
+        let opts = &self.options;
+        let start = db.now();
+        let mut rng = seeded_rng(opts.seed);
+        let hints = mine_hints(manual_text(db.dbms()), db.dbms());
+        if hints.is_empty() {
+            return TunerRun::empty();
+        }
+        // Bandit state per hint: arm index (scale) plus include flag; value
+        // estimates start optimistic at scale 1.0 included.
+        let n = hints.len();
+        // arm = SCALES.len() means "skip this hint".
+        let num_arms = SCALES.len() + 1;
+        let mut reward_sum = vec![vec![0.0f64; num_arms]; n];
+        let mut reward_cnt = vec![vec![0u32; num_arms]; n];
+        let mut run = TunerRun::empty();
+
+        while db.now() - start < budget {
+            // Choose an arm per hint: ε-greedy on mean reward (reward is
+            // negative workload time, so higher is better).
+            let choice: Vec<usize> = (0..n)
+                .map(|h| {
+                    if rng.gen_bool(opts.epsilon) {
+                        rng.gen_range(0..num_arms)
+                    } else {
+                        (0..num_arms)
+                            .max_by(|&a, &b| {
+                                let ma = mean(reward_sum[h][a], reward_cnt[h][a]);
+                                let mb = mean(reward_sum[h][b], reward_cnt[h][b]);
+                                ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .expect("arms exist")
+                    }
+                })
+                .collect();
+            let mut knobs: Vec<(String, KnobValue)> = Vec::new();
+            for (h, &arm) in choice.iter().enumerate() {
+                if arm == SCALES.len() {
+                    continue; // skipped
+                }
+                if let Some(kv) = Self::scaled(&hints[h], SCALES[arm], db) {
+                    knobs.push(kv);
+                }
+            }
+            let borrowed: Vec<(&str, KnobValue)> =
+                knobs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let config = config_from_values(&borrowed, &[]);
+            let (time, done) = measure_config(db, workload, &config, opts.eval_timeout);
+            run.configs_evaluated += 1;
+            let reward = -time.as_f64();
+            for (h, &arm) in choice.iter().enumerate() {
+                reward_sum[h][arm] += reward;
+                reward_cnt[h][arm] += 1;
+            }
+            if done
+                && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
+            {
+                run.best_config = Some(config);
+            }
+        }
+        run
+    }
+}
+
+fn mean(sum: f64, cnt: u32) -> f64 {
+    if cnt == 0 {
+        // Optimistic initialization encourages trying every arm once.
+        0.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_workloads::Benchmark;
+
+    fn setup(dbms: Dbms) -> (SimDb, Workload) {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(dbms, w.catalog.clone(), Hardware::p3_2xlarge(), 13);
+        (db, w)
+    }
+
+    #[test]
+    fn dbbert_finds_a_hint_based_improvement() {
+        let (mut db, w) = setup(Dbms::Postgres);
+        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 13);
+        let (default_time, _) =
+            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let run = DbBert::default().tune(&mut db, &w, secs(2000.0));
+        assert!(run.configs_evaluated >= 3);
+        let best = run.best_config.expect("some configuration completes");
+        assert!(best.index_specs().is_empty(), "DB-BERT is parameters-only");
+        assert!(
+            run.best_time < default_time,
+            "hints should beat defaults: {} vs {default_time}",
+            run.best_time
+        );
+    }
+
+    #[test]
+    fn dbbert_works_on_mysql_too() {
+        let (mut db, w) = setup(Dbms::Mysql);
+        let run = DbBert::default().tune(&mut db, &w, secs(1500.0));
+        assert!(run.best_config.is_some());
+        assert!(run.best_time.is_finite());
+    }
+
+    #[test]
+    fn trajectory_improves_monotonically() {
+        let (mut db, w) = setup(Dbms::Postgres);
+        let run = DbBert::default().tune(&mut db, &w, secs(1200.0));
+        for pair in run.trajectory.windows(2) {
+            assert!(pair[0].best_workload_time >= pair[1].best_workload_time);
+        }
+    }
+}

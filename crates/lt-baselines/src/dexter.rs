@@ -1,0 +1,162 @@
+//! Dexter — automatic indexer via hypothetical what-if indexes
+//! (github.com/ankane/dexter).
+//!
+//! Dexter proposes candidate indexes from workload predicates and accepts
+//! those whose *hypothetical* presence reduces total estimated plan cost
+//! by more than a threshold — no real index is built during search. We
+//! reproduce it as greedy forward selection over single-column candidates
+//! using the simulator's free what-if planning.
+
+use crate::common::{
+    config_from_values, index_candidates, measure_config, record_improvement, Tuner, TunerRun,
+};
+use lt_common::{secs, Secs};
+use lt_dbms::{IndexCatalog, IndexSpec, SimDb};
+use lt_workloads::Workload;
+
+/// Dexter options.
+#[derive(Debug, Clone, Copy)]
+pub struct DexterOptions {
+    /// Minimum relative total-cost improvement to accept an index
+    /// (Dexter's default is 50% per query; workload-level we use 2%).
+    pub min_improvement: f64,
+    /// Maximum number of indexes recommended.
+    pub max_indexes: usize,
+    /// Cap for the final full-workload measurement.
+    pub eval_timeout: Secs,
+}
+
+impl Default for DexterOptions {
+    fn default() -> Self {
+        DexterOptions { min_improvement: 0.02, max_indexes: 12, eval_timeout: secs(1200.0) }
+    }
+}
+
+/// The Dexter baseline (index selection only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dexter {
+    /// Options.
+    pub options: DexterOptions,
+}
+
+impl Dexter {
+    /// Dexter with options.
+    pub fn new(options: DexterOptions) -> Self {
+        Dexter { options }
+    }
+
+    /// Pure index recommendation: greedy what-if selection. Free (uses
+    /// EXPLAIN only), so callers can combine it with other tuners — the
+    /// paper pre-builds Dexter indexes for the parameter-only baselines in
+    /// Scenario 2.
+    pub fn recommend(&self, db: &SimDb, workload: &Workload) -> Vec<IndexSpec> {
+        let candidates = index_candidates(db, workload);
+        let total_cost = |idx: &IndexCatalog| -> f64 {
+            workload
+                .queries
+                .iter()
+                .map(|q| db.explain_with_indexes(&q.parsed, idx).total_cost())
+                .sum()
+        };
+        let mut chosen = IndexCatalog::new();
+        let mut chosen_specs: Vec<IndexSpec> = Vec::new();
+        let mut current = total_cost(&chosen);
+        while chosen_specs.len() < self.options.max_indexes {
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, cand) in candidates.iter().enumerate() {
+                if chosen.find(cand.table, &cand.columns).is_some() {
+                    continue;
+                }
+                let mut trial = chosen.clone();
+                trial.add(cand.table, cand.columns.clone(), None);
+                let cost = total_cost(&trial);
+                if best.map(|(_, b)| cost < b).unwrap_or(true) {
+                    best = Some((ci, cost));
+                }
+            }
+            let Some((ci, cost)) = best else { break };
+            if cost >= current * (1.0 - self.options.min_improvement) {
+                break; // no candidate helps enough
+            }
+            let cand = &candidates[ci];
+            chosen.add(cand.table, cand.columns.clone(), None);
+            chosen_specs.push(cand.clone());
+            current = cost;
+        }
+        chosen_specs
+    }
+}
+
+impl Tuner for Dexter {
+    fn name(&self) -> &'static str {
+        "Dexter"
+    }
+
+    fn tune(&self, db: &mut SimDb, workload: &Workload, _budget: Secs) -> TunerRun {
+        let specs = self.recommend(db, workload);
+        let config = config_from_values(&[], &specs);
+        let mut run = TunerRun::empty();
+        let (time, done) = measure_config(db, workload, &config, self.options.eval_timeout);
+        run.configs_evaluated = 1;
+        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
+        {
+            run.best_config = Some(config);
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_workloads::Benchmark;
+
+    fn setup() -> (SimDb, Workload) {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 29);
+        (db, w)
+    }
+
+    #[test]
+    fn recommends_indexes_that_reduce_estimated_cost() {
+        let (db, w) = setup();
+        let specs = Dexter::default().recommend(&db, &w);
+        assert!(!specs.is_empty(), "TPC-H must benefit from some index");
+        assert!(specs.len() <= DexterOptions::default().max_indexes);
+        // Recommendation is what-if only: nothing materialized.
+        assert!(db.indexes().is_empty());
+        // Verify the cost reduction claim.
+        let mut idx = IndexCatalog::new();
+        for s in &specs {
+            idx.add(s.table, s.columns.clone(), None);
+        }
+        let base: f64 = w.queries.iter().map(|q| db.explain(&q.parsed).total_cost()).sum();
+        let with: f64 = w
+            .queries
+            .iter()
+            .map(|q| db.explain_with_indexes(&q.parsed, &idx).total_cost())
+            .sum();
+        assert!(with < base, "with {with} !< base {base}");
+    }
+
+    #[test]
+    fn dexter_run_improves_real_time_over_defaults() {
+        let (mut db, w) = setup();
+        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 29);
+        let (default_time, _) =
+            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let run = Dexter::default().tune(&mut db, &w, secs(1e9));
+        assert_eq!(run.configs_evaluated, 1);
+        assert!(run.best_time < default_time * 1.2, "{} vs {default_time}", run.best_time);
+        let cfg = run.best_config.expect("completes");
+        assert_eq!(cfg.knob_changes().count(), 0, "Dexter is indexes-only");
+    }
+
+    #[test]
+    fn recommendation_is_deterministic() {
+        let (db, w) = setup();
+        let d = Dexter::default();
+        assert_eq!(d.recommend(&db, &w), d.recommend(&db, &w));
+    }
+}

@@ -1,0 +1,168 @@
+//! GPTuner — manual-reading, GPT-guided Bayesian optimization
+//! (Lao et al., VLDB 2024).
+//!
+//! GPTuner uses an LLM to prune each knob's search range to a region around
+//! the documented recommendation, then runs coarse-to-fine optimization
+//! inside the pruned space. We reproduce both stages: the mined manual
+//! hints (the same knowledge source the LLM distills) define per-knob
+//! centers; the search samples multiplicative offsets around the incumbent
+//! with a shrinking radius, evaluating full workloads under a timeout.
+//! Parameters only.
+
+use crate::common::{config_from_values, measure_config, record_improvement, Tuner, TunerRun};
+use crate::manual::{manual_text, mine_hints};
+use lt_common::{secs, seeded_rng, Secs};
+use lt_dbms::knobs::knob_def;
+use lt_dbms::{KnobValue, SimDb};
+use lt_workloads::Workload;
+use rand::Rng;
+
+/// GPTuner options.
+#[derive(Debug, Clone, Copy)]
+pub struct GpTunerOptions {
+    /// Per-evaluation cap on workload time.
+    pub eval_timeout: Secs,
+    /// Initial multiplicative search radius (log₂ units).
+    pub initial_radius: f64,
+    /// Radius decay per accepted improvement (coarse → fine).
+    pub radius_decay: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GpTunerOptions {
+    fn default() -> Self {
+        GpTunerOptions {
+            eval_timeout: secs(300.0),
+            initial_radius: 2.0,
+            radius_decay: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// The GPTuner baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpTuner {
+    /// Options.
+    pub options: GpTunerOptions,
+}
+
+impl GpTuner {
+    /// GPTuner with options.
+    pub fn new(options: GpTunerOptions) -> Self {
+        GpTuner { options }
+    }
+}
+
+impl Tuner for GpTuner {
+    fn name(&self) -> &'static str {
+        "GPTuner"
+    }
+
+    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun {
+        let opts = &self.options;
+        let start = db.now();
+        let mut rng = seeded_rng(opts.seed);
+        // Stage 1: the LLM/manual prunes the space — per-knob centers.
+        let centers: Vec<(String, KnobValue)> = mine_hints(manual_text(db.dbms()), db.dbms())
+            .iter()
+            .filter_map(|h| {
+                h.ground(db.dbms(), db.hardware()).map(|v| (h.knob.clone(), v))
+            })
+            .collect();
+        if centers.is_empty() {
+            return TunerRun::empty();
+        }
+
+        let mut incumbent: Vec<f64> = vec![0.0; centers.len()]; // log2 offsets
+        let mut incumbent_time = Secs::INFINITY;
+        let mut radius = opts.initial_radius;
+        let mut run = TunerRun::empty();
+
+        while db.now() - start < budget {
+            // Sample a candidate around the incumbent (coarse-to-fine).
+            let candidate: Vec<f64> = incumbent
+                .iter()
+                .map(|o| {
+                    let delta: f64 = rng.gen_range(-radius..=radius);
+                    (o + delta).clamp(-2.0, 2.0)
+                })
+                .collect();
+            let knobs: Vec<(String, KnobValue)> = centers
+                .iter()
+                .zip(&candidate)
+                .filter_map(|((name, center), off)| {
+                    let def = knob_def(db.dbms(), name)?;
+                    let scaled = center.as_f64() * 2f64.powf(*off);
+                    let value = def.clamp(match center {
+                        KnobValue::Bytes(_) => KnobValue::Bytes(scaled as u64),
+                        KnobValue::Float(_) => KnobValue::Float(scaled),
+                        KnobValue::Int(_) => KnobValue::Int(scaled.round() as i64),
+                        KnobValue::Bool(b) => KnobValue::Bool(*b),
+                    });
+                    Some((name.clone(), value))
+                })
+                .collect();
+            let borrowed: Vec<(&str, KnobValue)> =
+                knobs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let config = config_from_values(&borrowed, &[]);
+            let (time, done) = measure_config(db, workload, &config, opts.eval_timeout);
+            run.configs_evaluated += 1;
+            if done && time < incumbent_time {
+                incumbent_time = time;
+                incumbent = candidate;
+                radius = (radius * opts.radius_decay).max(0.5);
+                if record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
+                {
+                    run.best_config = Some(config);
+                }
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_workloads::Benchmark;
+
+    fn setup() -> (SimDb, Workload) {
+        let w = Benchmark::TpchSf1.load();
+        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 17);
+        (db, w)
+    }
+
+    #[test]
+    fn gptuner_beats_defaults() {
+        let (mut db, w) = setup();
+        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 17);
+        let (default_time, _) =
+            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let run = GpTuner::default().tune(&mut db, &w, secs(2000.0));
+        assert!(run.best_config.is_some());
+        assert!(run.best_time < default_time);
+        assert!(run.configs_evaluated >= 3);
+    }
+
+    #[test]
+    fn gptuner_is_parameters_only() {
+        let (mut db, w) = setup();
+        let run = GpTuner::default().tune(&mut db, &w, secs(800.0));
+        if let Some(cfg) = run.best_config {
+            assert!(cfg.index_specs().is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (mut db1, w) = setup();
+        let (mut db2, _) = setup();
+        let a = GpTuner::default().tune(&mut db1, &w, secs(600.0));
+        let b = GpTuner::default().tune(&mut db2, &w, secs(600.0));
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.configs_evaluated, b.configs_evaluated);
+    }
+}

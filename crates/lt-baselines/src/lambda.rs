@@ -1,0 +1,62 @@
+//! λ-Tune wrapped as a [`Tuner`] so the benchmark harness can treat it
+//! uniformly with the baselines.
+
+use crate::common::{Tuner, TunerRun};
+use lambda_tune::{LambdaTune, LambdaTuneOptions};
+use lt_common::Secs;
+use lt_dbms::SimDb;
+use lt_llm::{LlmClient, SimulatedLlm};
+use lt_workloads::Workload;
+
+/// λ-Tune under the baseline harness interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LambdaTuneBaseline {
+    /// Pipeline options (k, temperature, budgets, ablation flags).
+    pub options: LambdaTuneOptions,
+}
+
+impl LambdaTuneBaseline {
+    /// λ-Tune with explicit options.
+    pub fn new(options: LambdaTuneOptions) -> Self {
+        LambdaTuneBaseline { options }
+    }
+}
+
+impl Tuner for LambdaTuneBaseline {
+    fn name(&self) -> &'static str {
+        "λ-Tune"
+    }
+
+    fn tune(&self, db: &mut SimDb, workload: &Workload, _budget: Secs) -> TunerRun {
+        // λ-Tune terminates on its own (its selector bounds tuning time as
+        // a function of the optimum), so the external budget is unused.
+        let llm = LlmClient::new(SimulatedLlm::new());
+        match LambdaTune::new(self.options).tune(db, workload, &llm) {
+            Ok(result) => TunerRun {
+                best_config: result.best_config,
+                best_time: result.best_time,
+                trajectory: result.trajectory,
+                configs_evaluated: result.configs.len() as u64,
+            },
+            Err(_) => TunerRun::empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_common::secs;
+    use lt_dbms::{Dbms, Hardware};
+    use lt_workloads::Benchmark;
+
+    #[test]
+    fn lambda_tune_under_the_tuner_interface() {
+        let w = Benchmark::TpchSf1.load();
+        let mut db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 37);
+        let run = LambdaTuneBaseline::default().tune(&mut db, &w, secs(1e9));
+        assert!(run.best_config.is_some());
+        assert_eq!(run.configs_evaluated, 5, "k = 5 LLM samples");
+        assert!(run.best_time.is_finite());
+    }
+}

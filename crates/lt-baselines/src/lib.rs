@@ -1,0 +1,36 @@
+//! Baseline tuners the paper compares λ-Tune against (§6.1).
+//!
+//! Every baseline implements the same [`Tuner`] trait and runs against the
+//! same simulated DBMS, observing only what its real counterpart observes:
+//! EXPLAIN cost estimates, measured query times and timeout interrupts.
+//!
+//! | Baseline | Paper | Strategy reproduced here |
+//! |---|---|---|
+//! | UDO | Wang et al., VLDB 21 | reinforcement-learning search over knobs *and* indexes, evaluating workload samples |
+//! | DB-BERT | Trummer, SIGMOD 22 | hints mined from a manual, combined by a bandit over hint scalings |
+//! | GPTuner | Lao et al., VLDB 24 | LLM-pruned knob ranges + coarse-to-fine Bayesian-style optimization |
+//! | LlamaTune | Kanellis et al., VLDB 22 | random linear projection to a low-dimensional space + random search |
+//! | ParamTree | Yang et al., SIGMOD 23 | calibrates the five PostgreSQL optimizer cost constants, single trial |
+//! | Dexter | — | greedy what-if index advisor |
+//! | DB2 Advisor | Valentin et al., ICDE 00 | benefit/size knapsack what-if index advisor |
+
+pub mod common;
+pub mod db2advis;
+pub mod dbbert;
+pub mod dexter;
+pub mod gptuner;
+pub mod lambda;
+pub mod llamatune;
+pub mod manual;
+pub mod paramtree;
+pub mod udo;
+
+pub use common::{index_candidates, measure_config, measure_workload, Tuner, TunerRun};
+pub use db2advis::Db2Advisor;
+pub use dbbert::DbBert;
+pub use dexter::Dexter;
+pub use gptuner::GpTuner;
+pub use lambda::LambdaTuneBaseline;
+pub use llamatune::LlamaTune;
+pub use paramtree::ParamTree;
+pub use udo::Udo;

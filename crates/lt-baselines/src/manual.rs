@@ -1,0 +1,237 @@
+//! A simulated DBMS tuning manual, and hint mining over it.
+//!
+//! DB-BERT and GPTuner both extract tuning hints from natural-language
+//! documentation. We ship a condensed manual per system (the sentences are
+//! paraphrases of the real PostgreSQL / MySQL documentation and of common
+//! DBA folklore) and a small information-extraction pass that turns
+//! sentences into `(knob, recommended value)` hints — percentages of RAM,
+//! absolute sizes, multiples of the core count, or plain numbers.
+
+use lt_dbms::knobs::{knob_def, Dbms, KnobValue};
+use lt_dbms::hardware::parse_bytes;
+use lt_dbms::Hardware;
+use serde::{Deserialize, Serialize};
+
+/// A recommendation extracted from the manual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hint {
+    /// Target knob.
+    pub knob: String,
+    /// Recommended value, before grounding against the hardware.
+    pub kind: HintKind,
+}
+
+/// The shape of a mined recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HintKind {
+    /// “… X% of the memory in your system”.
+    PercentOfRam(f64),
+    /// An absolute byte size (“set X to 1GB”).
+    Bytes(u64),
+    /// A multiple of the CPU core count.
+    PerCore(f64),
+    /// A plain number (cost constants, counts).
+    Number(f64),
+}
+
+impl Hint {
+    /// Grounds the hint into a concrete knob value for `hardware`,
+    /// clamped to the knob's legal range.
+    pub fn ground(&self, dbms: Dbms, hardware: Hardware) -> Option<KnobValue> {
+        let def = knob_def(dbms, &self.knob)?;
+        let raw = match self.kind {
+            HintKind::PercentOfRam(p) => {
+                KnobValue::Bytes((hardware.memory_bytes as f64 * p / 100.0) as u64)
+            }
+            HintKind::Bytes(b) => KnobValue::Bytes(b),
+            HintKind::PerCore(f) => KnobValue::Int((hardware.cores as f64 * f).round() as i64),
+            HintKind::Number(v) => KnobValue::Float(v),
+        };
+        Some(def.clamp(raw))
+    }
+}
+
+/// The condensed tuning manual for a system.
+pub fn manual_text(dbms: Dbms) -> &'static str {
+    match dbms {
+        Dbms::Postgres => {
+            "A reasonable starting value for shared_buffers is 25% of the memory in \
+             your system. \
+             For analytical workloads, consider setting work_mem to 1GB so sorts and \
+             hashes stay in memory. \
+             Set effective_cache_size to 75% of the memory in your system to reflect \
+             the OS page cache. \
+             Set maintenance_work_mem to 2GB to speed up index builds. \
+             Storage that is fast at random access justifies setting random_page_cost \
+             to 1.1. \
+             On SSDs, set effective_io_concurrency to 200. \
+             Set checkpoint_completion_target to 0.9 to spread checkpoint writes. \
+             Set wal_buffers to 16MB for write-heavy phases. \
+             Set max_parallel_workers_per_gather to 0.5 per core to parallelize \
+             large scans. \
+             Set max_parallel_workers to 1 per core."
+        }
+        Dbms::Mysql => {
+            "Set innodb_buffer_pool_size to 65% of the memory in your system on a \
+             dedicated server. \
+             For large joins, set join_buffer_size to 256MB. \
+             For large sorts, set sort_buffer_size to 256MB. \
+             Set tmp_table_size to 1GB to keep temporary tables in memory, and set \
+             max_heap_table_size to 1GB to match. \
+             Set innodb_log_file_size to 1GB for sustained write throughput. \
+             Analytical workloads tolerate setting innodb_flush_log_at_trx_commit \
+             to 2. \
+             On SSDs, set innodb_io_capacity to 2000. \
+             Set innodb_read_io_threads to 1 per core. \
+             Set innodb_parallel_read_threads to 1 per core."
+        }
+    }
+}
+
+/// Mines `(knob, value)` hints from manual text: for each sentence that
+/// names a registered knob, extract the recommendation that follows it.
+pub fn mine_hints(text: &str, dbms: Dbms) -> Vec<Hint> {
+    let mut hints = Vec::new();
+    for sentence in split_sentences(text) {
+        let sentence = sentence.as_str();
+        let words: Vec<&str> = sentence.split_whitespace().collect();
+        let Some(pos) = words
+            .iter()
+            .position(|w| knob_def(dbms, w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_')).is_some())
+        else {
+            continue;
+        };
+        let knob = words[pos]
+            .trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .to_ascii_lowercase();
+        // Scan the rest of the sentence for the first value-like token.
+        let rest = &words[pos + 1..];
+        let per_core = sentence.contains("per core");
+        let percent = rest.iter().find_map(|w| {
+            w.strip_suffix('%').and_then(|p| p.parse::<f64>().ok())
+        });
+        let value_token = rest.iter().find_map(|w| {
+            let cleaned = w.trim_matches(|c: char| c == ',' || c == ';');
+            if cleaned.ends_with('%') {
+                return None;
+            }
+            if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                Some(cleaned.to_string())
+            } else {
+                None
+            }
+        });
+        let kind = if let Some(p) = percent {
+            HintKind::PercentOfRam(p)
+        } else if let Some(tok) = value_token {
+            if per_core {
+                match tok.parse::<f64>() {
+                    Ok(f) => HintKind::PerCore(f),
+                    Err(_) => continue,
+                }
+            } else if tok.chars().any(|c| c.is_ascii_alphabetic()) {
+                match parse_bytes(&tok) {
+                    Some(b) => HintKind::Bytes(b),
+                    None => continue,
+                }
+            } else {
+                match tok.parse::<f64>() {
+                    Ok(f) => HintKind::Number(f),
+                    Err(_) => continue,
+                }
+            }
+        } else {
+            continue;
+        };
+        hints.push(Hint { knob, kind });
+    }
+    hints
+}
+
+/// Splits text into sentences on periods followed by whitespace (or end of
+/// text), so decimal numbers like `1.1` survive intact.
+fn split_sentences(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '.' {
+            match chars.peek() {
+                Some(n) if n.is_whitespace() => {
+                    sentences.push(std::mem::take(&mut current));
+                }
+                None => {}
+                _ => current.push(c),
+            }
+        } else {
+            current.push(c);
+        }
+    }
+    if !current.trim().is_empty() {
+        sentences.push(current);
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_dbms::hardware::GIB;
+
+    #[test]
+    fn mines_postgres_hints() {
+        let hints = mine_hints(manual_text(Dbms::Postgres), Dbms::Postgres);
+        let find = |k: &str| hints.iter().find(|h| h.knob == k);
+        assert_eq!(find("shared_buffers").unwrap().kind, HintKind::PercentOfRam(25.0));
+        assert_eq!(find("work_mem").unwrap().kind, HintKind::Bytes(GIB));
+        assert_eq!(find("random_page_cost").unwrap().kind, HintKind::Number(1.1));
+        assert_eq!(
+            find("max_parallel_workers_per_gather").unwrap().kind,
+            HintKind::PerCore(0.5)
+        );
+        assert!(hints.len() >= 8, "{hints:?}");
+    }
+
+    #[test]
+    fn mines_mysql_hints() {
+        let hints = mine_hints(manual_text(Dbms::Mysql), Dbms::Mysql);
+        let find = |k: &str| hints.iter().find(|h| h.knob == k);
+        assert_eq!(
+            find("innodb_buffer_pool_size").unwrap().kind,
+            HintKind::PercentOfRam(65.0)
+        );
+        assert_eq!(
+            find("innodb_flush_log_at_trx_commit").unwrap().kind,
+            HintKind::Number(2.0)
+        );
+    }
+
+    #[test]
+    fn grounding_respects_hardware_and_ranges() {
+        let hw = Hardware::p3_2xlarge();
+        let h = Hint { knob: "shared_buffers".into(), kind: HintKind::PercentOfRam(25.0) };
+        let v = h.ground(Dbms::Postgres, hw).unwrap();
+        // 25% of 61GB ≈ 15.25GB.
+        let bytes = v.as_f64();
+        assert!(bytes > 15.0 * GIB as f64 && bytes < 15.5 * GIB as f64, "{bytes}");
+
+        let h = Hint {
+            knob: "max_parallel_workers_per_gather".into(),
+            kind: HintKind::PerCore(0.5),
+        };
+        assert_eq!(h.ground(Dbms::Postgres, hw).unwrap(), KnobValue::Int(4));
+
+        let h = Hint { knob: "nope".into(), kind: HintKind::Number(1.0) };
+        assert!(h.ground(Dbms::Postgres, hw).is_none());
+    }
+
+    #[test]
+    fn hints_for_unknown_knobs_are_dropped() {
+        let hints = mine_hints(
+            "Set made_up_parameter to 42. Set work_mem to 512MB.",
+            Dbms::Postgres,
+        );
+        assert_eq!(hints.len(), 1);
+        assert_eq!(hints[0].knob, "work_mem");
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks backing the design choices DESIGN.md calls
+//! out: ILP compression solve times, the DP scheduler's exponential growth
+//! (and why §5.4 caps it at 13), k-means clustering, and optimizer
+//! planning throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_tune::{cluster_queries, extract_snippets, find_optimal_order, Compressor};
+use lt_dbms::{Dbms, Hardware, SimDb};
+use lt_workloads::Benchmark;
+use std::hint::black_box;
+
+fn bench_ilp_compression(c: &mut Criterion) {
+    let workload = Benchmark::Job.load();
+    let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+    let snippets = extract_snippets(&db, &workload);
+    let compressor = Compressor::new(&workload.catalog);
+    let mut group = c.benchmark_group("ilp_compression_job");
+    for budget in [100usize, 300, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            b.iter(|| compressor.compress(black_box(&snippets), budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_scheduler");
+    for n in [6usize, 9, 11, 13] {
+        let items: Vec<Vec<usize>> = (0..n).map(|i| vec![i % 5, (i + 2) % 5]).collect();
+        let costs: Vec<f64> = (0..5).map(|i| 1.0 + i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| find_optimal_order(black_box(&items), black_box(&costs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let items: Vec<Vec<usize>> = (0..113).map(|i| vec![i % 14, (i + 5) % 14]).collect();
+    c.bench_function("kmeans_cluster_113_queries", |b| {
+        b.iter(|| cluster_queries(black_box(&items), 14, 13, 7));
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_plan_workload");
+    group.sample_size(10);
+    for benchmark in [Benchmark::TpchSf1, Benchmark::Job] {
+        let workload = benchmark.load();
+        let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    for q in &w.queries {
+                        black_box(db.explain(&q.parsed));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snippet_extraction(c: &mut Criterion) {
+    let workload = Benchmark::TpchSf1.load();
+    let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+    c.bench_function("extract_snippets_tpch", |b| {
+        b.iter(|| extract_snippets(black_box(&db), black_box(&workload)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ilp_compression,
+    bench_dp_scheduler,
+    bench_clustering,
+    bench_optimizer,
+    bench_snippet_extraction
+);
+criterion_main!(benches);

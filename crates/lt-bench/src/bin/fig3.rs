@@ -1,0 +1,15 @@
+//! Figure 3: tuning trajectories, Scenario 1 — pure parameter tuning with
+//! default (PK/FK) indexes pre-built. For each (benchmark, DBMS) panel and
+//! each tuner, prints the best-found execution time over optimization time
+//! with min/max bands over trials.
+//!
+//! Usage: `cargo run --release -p lt-bench --bin fig3`
+
+fn main() {
+    lt_bench::run_trajectory_figure(
+        true,
+        "3",
+        "Scenario 1: Baselines do not Create Indexes (Pure Parameter Tuning), \
+         Default Indexes Available",
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 4: tuning trajectories, Scenario 2 — tuners may create indexes
+//! (λ-Tune and UDO tune physical design; parameter-only baselines run on
+//! Dexter's recommended indexes). No indexes exist initially.
+//!
+//! Usage: `cargo run --release -p lt-bench --bin fig4`
+
+fn main() {
+    lt_bench::run_trajectory_figure(
+        false,
+        "4",
+        "Scenario 2: Baselines Create Indexes, no Indexes are Created by Default",
+    );
+}

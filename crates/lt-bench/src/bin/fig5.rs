@@ -1,0 +1,78 @@
+//! Figure 5: per-query execution times, λ-Tune's configuration vs the
+//! default configuration (TPC-H 1GB, PostgreSQL).
+//!
+//! Usage: `cargo run --release -p lt-bench --bin fig5`
+
+use lambda_tune::{LambdaTune, LambdaTuneOptions};
+use lt_bench::{base_seed, make_db, Scenario};
+use lt_common::Secs;
+use lt_dbms::Dbms;
+use lt_llm::{LlmClient, SimulatedLlm};
+use lt_workloads::Benchmark;
+use serde_json::json;
+
+fn main() {
+    let seed = base_seed();
+    let scenario = Scenario {
+        benchmark: Benchmark::TpchSf1,
+        dbms: Dbms::Postgres,
+        initial_indexes: false,
+    };
+
+    // Tune.
+    let (mut db, workload) = make_db(scenario, seed);
+    let llm = LlmClient::new(SimulatedLlm::new());
+    let options = LambdaTuneOptions { seed, ..Default::default() };
+    let result = LambdaTune::new(options)
+        .tune(&mut db, &workload, &llm)
+        .expect("tuning succeeds");
+    let best = result.best_config.expect("a configuration wins");
+
+    // Measure per-query times under default and tuned configurations on
+    // fresh instances.
+    let (mut db_default, _) = make_db(scenario, seed);
+    let (mut db_tuned, _) = make_db(scenario, seed);
+    db_tuned.apply_knobs(&best);
+    for spec in best.index_specs() {
+        db_tuned.create_index(spec);
+    }
+
+    println!("Figure 5: Query Execution Times (TPC-H 1GB, Postgres)");
+    println!("λ-Tune vs Default Configuration\n");
+    println!("{:<6} {:>12} {:>12} {:>9}", "query", "default(s)", "lambda(s)", "speedup");
+    let mut rows = Vec::new();
+    let mut regressions = 0;
+    let mut total_default = 0.0;
+    let mut total_tuned = 0.0;
+    for wq in &workload.queries {
+        let d = db_default.execute(&wq.parsed, Secs::INFINITY).time.as_f64();
+        let t = db_tuned.execute(&wq.parsed, Secs::INFINITY).time.as_f64();
+        total_default += d;
+        total_tuned += t;
+        // The paper reports gains or ~equal performance per query; flag
+        // anything worse than 10% slower as a regression.
+        if t > d * 1.1 {
+            regressions += 1;
+        }
+        println!("{:<6} {:>12.3} {:>12.3} {:>8.1}x", wq.label, d, t, d / t);
+        rows.push(json!({ "query": wq.label, "default_s": d, "lambda_s": t }));
+    }
+    println!(
+        "\ntotal: default {total_default:.1}s, λ-Tune {total_tuned:.1}s ({:.1}x), \
+         per-query regressions >10%: {regressions}",
+        total_default / total_tuned
+    );
+    println!("Paper shape: gains or equal performance for every single query.");
+
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(
+        "results/fig5.json",
+        serde_json::to_string_pretty(&json!({
+            "figure": "5",
+            "rows": rows,
+            "total_default_s": total_default,
+            "total_lambda_s": total_tuned,
+        }))
+        .unwrap(),
+    );
+}

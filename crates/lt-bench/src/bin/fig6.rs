@@ -1,0 +1,108 @@
+//! Figure 6: ablation study — JOB on PostgreSQL, no initial indexes.
+//!
+//! Variants: Default (all components), Adaptive Timeout off (§6.4.1),
+//! Query Scheduler off (§6.4.2), Obfuscated workload (§6.4.3), Compressor
+//! off / full SQL (§6.4.4).
+//!
+//! Usage: `cargo run --release -p lt-bench --bin fig6`
+
+use lambda_tune::{LambdaTune, LambdaTuneOptions, SelectorOptions};
+use lt_bench::{base_seed, make_db, trajectory_band, trials, Scenario};
+use lt_dbms::Dbms;
+use lt_workloads::Benchmark;
+use serde_json::json;
+
+fn variants() -> Vec<(&'static str, LambdaTuneOptions)> {
+    // The paper's 10 s initial timeout assumes the real testbed's 113-query
+    // JOB (minutes of execution); our 33-query simulated JOB runs ~10x
+    // faster, so the initial timeout is scaled to preserve the paper's
+    // execution-time-to-timeout ratio (the regime where the adaptive
+    // timeout matters). All variants use the same schedule.
+    let default = LambdaTuneOptions {
+        selector: SelectorOptions {
+            initial_timeout: lt_common::secs(1.0),
+            ..SelectorOptions::default()
+        },
+        ..LambdaTuneOptions::default()
+    };
+    vec![
+        ("Default", default),
+        (
+            "No Adaptive Timeout",
+            LambdaTuneOptions {
+                selector: SelectorOptions { adaptive_timeout: false, ..default.selector },
+                ..default
+            },
+        ),
+        ("No Query Scheduler", LambdaTuneOptions { use_scheduler: false, ..default }),
+        ("Obfuscated Workload", LambdaTuneOptions { obfuscate: true, ..default }),
+        (
+            "No Compressor (full SQL)",
+            LambdaTuneOptions {
+                use_compressor: false,
+                token_budget: Some(8000),
+                ..default
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let seed = base_seed();
+    let n_trials = trials();
+    let scenario =
+        Scenario { benchmark: Benchmark::Job, dbms: Dbms::Postgres, initial_indexes: false };
+    println!("Figure 6: Ablation — JOB, Postgres, No Indexes");
+    println!("(x = optimization time [s], y = best execution time found [s]; mean [min, max] over {n_trials} trials)\n");
+
+    let mut series_out = Vec::new();
+    let mut summary = Vec::new();
+    for (label, options) in variants() {
+        let mut runs = Vec::new();
+        let mut final_best = Vec::new();
+        let mut finish_time = Vec::new();
+        for t in 0..n_trials {
+            let (mut db, workload) = make_db(scenario, seed + t as u64);
+            let llm = lt_llm::LlmClient::new(lt_llm::SimulatedLlm::new());
+            let opts = LambdaTuneOptions { seed: seed + t as u64, ..options };
+            let result = LambdaTune::new(opts)
+                .tune(&mut db, &workload, &llm)
+                .expect("tuning succeeds");
+            final_best.push(result.best_time.as_f64());
+            finish_time.push(result.tuning_time.as_f64());
+            runs.push(result.trajectory);
+        }
+        let band = trajectory_band(&runs, 8);
+        let series: Vec<String> = band
+            .iter()
+            .map(|(t, mean, min, max)| format!("({t:.0}s, {mean:.1} [{min:.1},{max:.1}])"))
+            .collect();
+        println!("  {label:<26} {}", series.join(" "));
+        let mean_best = final_best.iter().sum::<f64>() / final_best.len() as f64;
+        let mean_finish = finish_time.iter().sum::<f64>() / finish_time.len() as f64;
+        summary.push((label, mean_finish, mean_best));
+        series_out.push(json!({
+            "variant": label,
+            "points": band.iter().map(|(t, mean, min, max)| json!({
+                "opt_time_s": t, "mean_s": mean, "min_s": min, "max_s": max
+            })).collect::<Vec<_>>(),
+            "mean_tuning_time_s": mean_finish,
+            "mean_best_s": mean_best,
+        }));
+    }
+
+    println!("\n{:<26} {:>16} {:>14}", "Variant", "tuning time (s)", "best found (s)");
+    for (label, finish, best) in &summary {
+        println!("{label:<26} {finish:>16.0} {best:>14.1}");
+    }
+    println!("\nPaper shape: disabling the adaptive timeout or the scheduler slows tuning");
+    println!("(longer time to near-optimal) without degrading final quality; obfuscation");
+    println!("is ~equivalent to Default (no pre-training leak); dropping the compressor");
+    println!("hurts both tuning time and final configuration quality.");
+
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(
+        "results/fig6.json",
+        serde_json::to_string_pretty(&json!({ "figure": "6", "series": series_out })).unwrap(),
+    );
+}

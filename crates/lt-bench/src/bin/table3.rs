@@ -1,0 +1,96 @@
+//! Table 3: cost of the best configuration found by each approach, scaled
+//! to the cost of the best overall configuration per scenario.
+//!
+//! Usage: `cargo run --release -p lt-bench --bin table3`
+
+use lt_bench::{base_seed, row, table3_scenarios, tuner_names, run_tuner};
+use serde_json::json;
+
+fn main() {
+    let seed = base_seed();
+    let tuners = tuner_names();
+    println!(
+        "Table 3: Cost of Best Configuration Found by Each Approach, Scaled to the"
+    );
+    println!("Cost of the Best Overall Configuration\n");
+    println!(
+        "{}",
+        row(&[
+            format!("{:<18}", "Benchmark DBMS"),
+            format!("{:>7}", "InitIdx"),
+            format!("{:>8}", "λ-Tune"),
+            format!("{:>8}", "UDO"),
+            format!("{:>8}", "DB-Bert"),
+            format!("{:>8}", "GPTuner"),
+            format!("{:>9}", "LlamaTune"),
+            format!("{:>9}", "ParamTree"),
+        ])
+    );
+
+    let mut sums = vec![0.0f64; tuners.len()];
+    let mut counts = vec![0usize; tuners.len()];
+    let mut json_rows = Vec::new();
+
+    for scenario in table3_scenarios() {
+        let results: Vec<f64> = tuners
+            .iter()
+            .map(|name| {
+                let run = run_tuner(name, scenario, seed);
+                run.best_time.as_f64()
+            })
+            .collect();
+        let best = results.iter().copied().fold(f64::INFINITY, f64::min);
+        let scaled: Vec<f64> = results.iter().map(|r| r / best).collect();
+        for (i, s) in scaled.iter().enumerate() {
+            if s.is_finite() {
+                sums[i] += s;
+                counts[i] += 1;
+            }
+        }
+        let label = scenario.label();
+        let parts: Vec<&str> = label.rsplitn(2, ' ').collect();
+        println!(
+            "{}",
+            row(&[
+                format!("{:<18}", parts[1]),
+                format!("{:>7}", parts[0]),
+                format!("{:>8.2}", scaled[0]),
+                format!("{:>8.2}", scaled[1]),
+                format!("{:>8.2}", scaled[2]),
+                format!("{:>8.2}", scaled[3]),
+                format!("{:>9.2}", scaled[4]),
+                format!("{:>9.2}", scaled[5]),
+            ])
+        );
+        json_rows.push(json!({
+            "scenario": label,
+            "scaled": tuners.iter().zip(&scaled).map(|(n, s)| (n.to_string(), s)).collect::<std::collections::BTreeMap<_,_>>(),
+            "best_seconds": best,
+        }));
+    }
+
+    let averages: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, c)| if *c > 0 { s / *c as f64 } else { f64::NAN })
+        .collect();
+    println!(
+        "{}",
+        row(&[
+            format!("{:<18}", "Average"),
+            format!("{:>7}", ""),
+            format!("{:>8.2}", averages[0]),
+            format!("{:>8.2}", averages[1]),
+            format!("{:>8.2}", averages[2]),
+            format!("{:>8.2}", averages[3]),
+            format!("{:>9.2}", averages[4]),
+            format!("{:>9.2}", averages[5]),
+        ])
+    );
+    println!("\nPaper reference averages: λ-Tune 1.41, UDO 2.00, DB-Bert 1.82, GPTuner 1.91, LlamaTune 2.27, ParamTree 4.07");
+    println!("Expected shape: λ-Tune lowest average (most robust); ParamTree highest.");
+
+    let out = json!({ "table": "3", "rows": json_rows, "averages": tuners.iter().zip(&averages).map(|(n, a)| (n.to_string(), a)).collect::<std::collections::BTreeMap<_,_>>() });
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/table3.json", serde_json::to_string_pretty(&out).unwrap());
+}

@@ -1,0 +1,89 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, LtError>;
+
+/// Errors surfaced by the λ-Tune reproduction.
+///
+/// The variants mirror the subsystems of the workspace so a caller can tell
+/// *which layer* failed without string-matching messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LtError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A table, column or index referenced by name does not exist.
+    Catalog(String),
+    /// A configuration script contained an invalid command or knob value.
+    Config(String),
+    /// The ILP model was infeasible or malformed.
+    Solver(String),
+    /// The language model returned output that could not be interpreted.
+    Llm(String),
+    /// A tuning pipeline invariant was violated.
+    Tuning(String),
+}
+
+impl LtError {
+    /// Short stable tag for the error category (used in logs and tests).
+    pub fn category(&self) -> &'static str {
+        match self {
+            LtError::Parse(_) => "parse",
+            LtError::Catalog(_) => "catalog",
+            LtError::Config(_) => "config",
+            LtError::Solver(_) => "solver",
+            LtError::Llm(_) => "llm",
+            LtError::Tuning(_) => "tuning",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            LtError::Parse(m)
+            | LtError::Catalog(m)
+            | LtError::Config(m)
+            | LtError::Solver(m)
+            | LtError::Llm(m)
+            | LtError::Tuning(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for LtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for LtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = LtError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse: unexpected token");
+        assert_eq!(e.category(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn categories_are_distinct() {
+        let errs = [
+            LtError::Parse(String::new()),
+            LtError::Catalog(String::new()),
+            LtError::Config(String::new()),
+            LtError::Solver(String::new()),
+            LtError::Llm(String::new()),
+            LtError::Tuning(String::new()),
+        ];
+        let mut cats: Vec<_> = errs.iter().map(|e| e.category()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats.len(), errs.len());
+    }
+}

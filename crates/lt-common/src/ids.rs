@@ -1,0 +1,95 @@
+//! Small copyable identifiers for catalog objects and queries.
+//!
+//! Using `u32` newtypes (instead of interned strings) keeps the hot paths of
+//! the optimizer and the DP scheduler allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index behind this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a table in a [`Catalog`](https://docs.rs/lt-dbms).
+    TableId,
+    "t"
+);
+id_type!(
+    /// Identifies a column, unique across the whole catalog (not per table).
+    ColumnId,
+    "c"
+);
+id_type!(
+    /// Identifies a query within a workload.
+    QueryId,
+    "q"
+);
+id_type!(
+    /// Identifies a (possibly hypothetical) index.
+    IndexId,
+    "i"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(ColumnId(7).to_string(), "c7");
+        assert_eq!(QueryId(0).to_string(), "q0");
+        assert_eq!(IndexId(12).to_string(), "i12");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ColumnId(1));
+        set.insert(ColumnId(1));
+        set.insert(ColumnId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ColumnId(1) < ColumnId(2));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id = QueryId::from(5usize);
+        assert_eq!(id.index(), 5);
+        assert_eq!(QueryId::from(5u32), id);
+    }
+}

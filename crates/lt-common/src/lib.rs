@@ -1,0 +1,17 @@
+//! Shared substrate for the λ-Tune reproduction.
+//!
+//! Everything in this workspace that measures time measures **virtual time**:
+//! the DBMS simulator charges costs to a [`time::VirtualClock`] instead of
+//! sleeping, which makes the full SIGMOD evaluation matrix reproducible in
+//! seconds while preserving every timeout/interrupt interaction the paper's
+//! algorithms rely on.
+
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use error::{LtError, Result};
+pub use ids::{ColumnId, IndexId, QueryId, TableId};
+pub use rng::{derive_seed, seeded_rng};
+pub use time::{secs, Secs, VirtualClock};

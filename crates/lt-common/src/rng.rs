@@ -1,0 +1,65 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component in the workspace (LLM sampling temperature,
+//! baseline tuners' exploration, workload parameter instantiation) takes an
+//! explicit seed so that the whole evaluation matrix is reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// All randomized components accept a seed and derive their generator through
+/// this single function so that a run is reproducible end to end.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label.
+///
+/// Used to hand independent deterministic streams to subcomponents (e.g. the
+/// k-th LLM call in a tuning run) without correlated sampling. This is a
+/// 64-bit mix based on SplitMix64, which is statistically adequate for
+/// seeding purposes.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u32> = seeded_rng(42).sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> = seeded_rng(42).sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u32> = seeded_rng(1).sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> = seeded_rng(2).sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_across_streams() {
+        let parent = 7;
+        let s: Vec<u64> = (0..100).map(|i| derive_seed(parent, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 1));
+    }
+}

@@ -1,0 +1,287 @@
+//! Virtual time.
+//!
+//! The paper evaluates configurations under wall-clock timeouts; here the
+//! DBMS simulator *charges* simulated seconds to a [`VirtualClock`]. All
+//! timeout logic (geometric rounds, configuration-specific budgets) operates
+//! on these values, so the selector's bounded-cost guarantee (Theorem 4.3)
+//! can be asserted exactly in tests.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A span of virtual time in seconds.
+///
+/// `Secs` is a thin `f64` wrapper that is totally ordered (NaN is forbidden
+/// by construction: every constructor asserts) so it can be used as a key in
+/// min/max scans without `partial_cmp().unwrap()` noise at call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Secs(f64);
+
+impl Secs {
+    /// Zero seconds.
+    pub const ZERO: Secs = Secs(0.0);
+    /// Positive infinity; used as the "no timeout yet" sentinel.
+    pub const INFINITY: Secs = Secs(f64::INFINITY);
+
+    /// Wraps a raw second count. Panics on NaN (a NaN duration is always a
+    /// bug upstream, never meaningful data).
+    #[inline]
+    pub fn new(v: f64) -> Secs {
+        assert!(!v.is_nan(), "Secs cannot be NaN");
+        Secs(v)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// True if this span is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Secs) -> Secs {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Secs) -> Secs {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps negative spans to zero (useful for "remaining budget" math).
+    #[inline]
+    pub fn clamp_non_negative(self) -> Secs {
+        if self.0 < 0.0 {
+            Secs::ZERO
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for Secs {}
+
+impl PartialOrd for Secs {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Secs {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is excluded by construction, so total order is well-defined.
+        self.0.partial_cmp(&other.0).expect("Secs is never NaN")
+    }
+}
+
+impl Add for Secs {
+    type Output = Secs;
+    #[inline]
+    fn add(self, rhs: Secs) -> Secs {
+        Secs::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Secs {
+    #[inline]
+    fn add_assign(&mut self, rhs: Secs) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Secs {
+    type Output = Secs;
+    #[inline]
+    fn sub(self, rhs: Secs) -> Secs {
+        Secs::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Secs {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Secs) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Secs {
+    type Output = Secs;
+    #[inline]
+    fn mul(self, rhs: f64) -> Secs {
+        Secs::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Secs {
+    type Output = Secs;
+    #[inline]
+    fn div(self, rhs: f64) -> Secs {
+        Secs::new(self.0 / rhs)
+    }
+}
+
+impl Div<Secs> for Secs {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Secs) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Secs {
+    type Output = Secs;
+    #[inline]
+    fn neg(self) -> Secs {
+        Secs::new(-self.0)
+    }
+}
+
+impl Sum for Secs {
+    fn sum<I: Iterator<Item = Secs>>(iter: I) -> Secs {
+        iter.fold(Secs::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Secs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "inf")
+        } else if let Some(prec) = f.precision() {
+            write!(f, "{:.*}s", prec, self.0)
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+/// Convenience constructor: `secs(1.5)` reads better than `Secs::new(1.5)`.
+#[inline]
+pub fn secs(v: f64) -> Secs {
+    Secs::new(v)
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// The DBMS simulator advances this clock as it "executes" queries and
+/// builds indexes; the tuners read it to produce optimization-time /
+/// best-execution-time trajectories (Figures 3, 4 and 6 of the paper).
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Cell<f64>,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self { now: Cell::new(0.0) }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Secs {
+        Secs::new(self.now.get())
+    }
+
+    /// Advances the clock by `d`. Panics if `d` is negative or non-finite:
+    /// virtual time only moves forward.
+    pub fn advance(&self, d: Secs) {
+        assert!(
+            d.as_f64() >= 0.0 && d.is_finite(),
+            "clock can only advance by a finite, non-negative span (got {d})"
+        );
+        self.now.set(self.now.get() + d.as_f64());
+    }
+
+    /// Resets the clock to t = 0 (used between independent tuning runs).
+    pub fn reset(&self) {
+        self.now.set(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = secs(2.0);
+        let b = secs(3.0);
+        assert_eq!(a + b, secs(5.0));
+        assert_eq!(b - a, secs(1.0));
+        assert_eq!(a * 2.0, secs(4.0));
+        assert_eq!(b / 2.0, secs(1.5));
+        assert!((b / a - 1.5).abs() < 1e-12);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn infinity_sentinel_orders_above_everything_finite() {
+        assert!(Secs::INFINITY > secs(1e18));
+        assert!(!Secs::INFINITY.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Secs::new(f64::NAN);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(secs(-1.0).clamp_non_negative(), Secs::ZERO);
+        assert_eq!(secs(1.0).clamp_non_negative(), secs(1.0));
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: Secs = [secs(1.0), secs(2.0), secs(3.5)].into_iter().sum();
+        assert_eq!(total, secs(6.5));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Secs::ZERO);
+        clock.advance(secs(1.5));
+        clock.advance(secs(0.5));
+        assert_eq!(clock.now(), secs(2.0));
+        clock.reset();
+        assert_eq!(clock.now(), Secs::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance")]
+    fn clock_rejects_negative_advance() {
+        VirtualClock::new().advance(secs(-1.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(secs(1.2345).to_string(), "1.234s");
+        assert_eq!(format!("{:.1}", secs(1.25)), "1.2s");
+        assert_eq!(Secs::INFINITY.to_string(), "inf");
+    }
+}

@@ -1,0 +1,461 @@
+//! Configuration scripts.
+//!
+//! λ-Tune's LLM returns configurations as SQL command scripts — typically a
+//! mix of `ALTER SYSTEM SET param = value;` (PostgreSQL), `SET GLOBAL
+//! param = value;` (MySQL) and `CREATE INDEX … ON table (columns);`. This
+//! module parses such scripts into a structured [`Configuration`], keeping
+//! unparseable or invalid commands as *warnings* rather than hard errors —
+//! a real tuner must tolerate occasional LLM sloppiness, and a real DBMS
+//! would reject exactly those statements while accepting the rest.
+
+use crate::catalog::Catalog;
+use crate::knobs::{knob_def, Dbms, KnobValue};
+use lt_common::{ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `CREATE INDEX` command, name-resolved against the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexSpec {
+    /// Indexed table.
+    pub table: TableId,
+    /// Key columns, leading first.
+    pub columns: Vec<ColumnId>,
+    /// Optional index name from the script.
+    pub name: Option<String>,
+}
+
+/// One structured configuration command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConfigCommand {
+    /// Set a system knob.
+    SetKnob {
+        /// Knob name (validated against the DBMS's registry).
+        name: String,
+        /// Parsed, range-clamped value.
+        value: KnobValue,
+    },
+    /// Create a secondary index.
+    CreateIndex(IndexSpec),
+}
+
+/// A parsed configuration: knob assignments plus index specs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Configuration {
+    /// Commands in script order.
+    pub commands: Vec<ConfigCommand>,
+    /// Human-readable diagnostics for skipped/invalid statements.
+    pub warnings: Vec<String>,
+}
+
+impl Configuration {
+    /// Parses a script for the given DBMS, resolving index targets against
+    /// `catalog`. Invalid statements are recorded in `warnings` and skipped.
+    pub fn parse(script: &str, dbms: Dbms, catalog: &Catalog) -> Configuration {
+        let mut config = Configuration::default();
+        // Strip line comments first so a leading comment does not swallow
+        // the statement that follows it.
+        let without_comments: String = script
+            .lines()
+            .map(|l| l.split("--").next().unwrap_or(""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        for stmt in lt_sql::split_statements(&without_comments) {
+            let trimmed = stmt.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match parse_statement(trimmed, dbms, catalog) {
+                Ok(Some(cmd)) => config.commands.push(cmd),
+                Ok(None) => {}
+                Err(warning) => config.warnings.push(warning),
+            }
+        }
+        config
+    }
+
+    /// Knob assignments in script order (later assignments win on apply).
+    pub fn knob_changes(&self) -> impl Iterator<Item = (&str, KnobValue)> {
+        self.commands.iter().filter_map(|c| match c {
+            ConfigCommand::SetKnob { name, value } => Some((name.as_str(), *value)),
+            _ => None,
+        })
+    }
+
+    /// Index specs in script order, deduplicated.
+    pub fn index_specs(&self) -> Vec<&IndexSpec> {
+        let mut seen = std::collections::HashSet::new();
+        self.commands
+            .iter()
+            .filter_map(|c| match c {
+                ConfigCommand::CreateIndex(spec) => Some(spec),
+                _ => None,
+            })
+            .filter(|s| seen.insert((s.table, s.columns.clone())))
+            .collect()
+    }
+
+    /// True when the configuration has neither knob changes nor indexes.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Stable fingerprint of the configuration (used to seed execution
+    /// noise so that re-running the same config reproduces similar times).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for cmd in &self.commands {
+            match cmd {
+                ConfigCommand::SetKnob { name, value } => {
+                    name.hash(&mut hasher);
+                    value.as_f64().to_bits().hash(&mut hasher);
+                }
+                ConfigCommand::CreateIndex(spec) => {
+                    spec.table.hash(&mut hasher);
+                    spec.columns.hash(&mut hasher);
+                }
+            }
+        }
+        hasher.finish()
+    }
+
+    /// Renders the configuration back to a canonical script.
+    pub fn to_script(&self, dbms: Dbms, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        for cmd in &self.commands {
+            match cmd {
+                ConfigCommand::SetKnob { name, value } => {
+                    let line = match dbms {
+                        Dbms::Postgres => format!("ALTER SYSTEM SET {name} = '{value}';\n"),
+                        Dbms::Mysql => format!("SET GLOBAL {name} = '{value}';\n"),
+                    };
+                    out.push_str(&line);
+                }
+                ConfigCommand::CreateIndex(spec) => {
+                    let table = &catalog.table(spec.table).name;
+                    let cols: Vec<&str> = spec
+                        .columns
+                        .iter()
+                        .map(|c| catalog.column(*c).name.as_str())
+                        .collect();
+                    let name = spec
+                        .name
+                        .clone()
+                        .unwrap_or_else(|| format!("idx_{}_{}", table, cols.join("_")));
+                    out.push_str(&format!(
+                        "CREATE INDEX {name} ON {table} ({});\n",
+                        cols.join(", ")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Configuration({} knobs, {} indexes)",
+            self.knob_changes().count(),
+            self.index_specs().len()
+        )
+    }
+}
+
+fn parse_statement(
+    stmt: &str,
+    dbms: Dbms,
+    catalog: &Catalog,
+) -> Result<Option<ConfigCommand>, String> {
+    let words: Vec<String> = tokenize_words(stmt);
+    if words.is_empty() {
+        return Ok(None);
+    }
+    let kw = |i: usize, w: &str| words.get(i).is_some_and(|s| s.eq_ignore_ascii_case(w));
+
+    // ALTER SYSTEM SET name = value
+    if kw(0, "alter") && kw(1, "system") && kw(2, "set") {
+        return parse_set(&words[3..], stmt, dbms).map(Some);
+    }
+    // SET GLOBAL name = value | SET name = value | SET SESSION name = value
+    if kw(0, "set") {
+        let rest = if kw(1, "global") || kw(1, "session") { &words[2..] } else { &words[1..] };
+        return parse_set(rest, stmt, dbms).map(Some);
+    }
+    // CREATE [UNIQUE] INDEX [CONCURRENTLY] [IF NOT EXISTS] [name] ON table (cols)
+    if kw(0, "create") {
+        let mut i = 1;
+        if kw(i, "unique") {
+            i += 1;
+        }
+        if !kw(i, "index") {
+            return Err(format!("unsupported statement: {stmt}"));
+        }
+        i += 1;
+        if kw(i, "concurrently") {
+            i += 1;
+        }
+        if kw(i, "if") && kw(i + 1, "not") && kw(i + 2, "exists") {
+            i += 3;
+        }
+        let mut name = None;
+        if !kw(i, "on") {
+            name = Some(words.get(i).cloned().ok_or_else(|| {
+                format!("CREATE INDEX missing ON clause: {stmt}")
+            })?);
+            i += 1;
+        }
+        if !kw(i, "on") {
+            return Err(format!("CREATE INDEX missing ON clause: {stmt}"));
+        }
+        i += 1;
+        let table_name = words
+            .get(i)
+            .ok_or_else(|| format!("CREATE INDEX missing table: {stmt}"))?;
+        let table = catalog
+            .table_by_name(table_name)
+            .ok_or_else(|| format!("CREATE INDEX on unknown table {table_name}"))?;
+        i += 1;
+        // Optional USING btree
+        if kw(i, "using") {
+            i += 2;
+        }
+        let mut columns = Vec::new();
+        for w in &words[i..] {
+            if w == "(" || w == ")" || w == "," {
+                continue;
+            }
+            let col = catalog
+                .resolve_column(Some(&catalog.table(table).name), w)
+                .map_err(|e| format!("CREATE INDEX: {e}"))?;
+            columns.push(col);
+        }
+        if columns.is_empty() {
+            return Err(format!("CREATE INDEX without columns: {stmt}"));
+        }
+        return Ok(Some(ConfigCommand::CreateIndex(IndexSpec { table, columns, name })));
+    }
+    // Harmless statements some LLM outputs include.
+    if kw(0, "select") || kw(0, "analyze") || kw(0, "vacuum") {
+        return Ok(None);
+    }
+    Err(format!("unsupported statement: {stmt}"))
+}
+
+fn parse_set(rest: &[String], stmt: &str, dbms: Dbms) -> Result<ConfigCommand, String> {
+    // rest is: name [= | to] value...
+    if rest.is_empty() {
+        return Err(format!("SET without parameter: {stmt}"));
+    }
+    let name = rest[0].to_ascii_lowercase();
+    let mut value_words = &rest[1..];
+    if value_words
+        .first()
+        .is_some_and(|w| w == "=" || w.eq_ignore_ascii_case("to"))
+    {
+        value_words = &value_words[1..];
+    }
+    if value_words.is_empty() {
+        return Err(format!("SET {name} without value: {stmt}"));
+    }
+    let value_text = value_words.join("");
+    let def = knob_def(dbms, &name)
+        .ok_or_else(|| format!("unknown knob {name} for {dbms}"))?;
+    let value = def
+        .parse_value(&value_text)
+        .map_err(|e| format!("bad value for {name}: {e}"))?;
+    Ok(ConfigCommand::SetKnob { name: def.name.to_string(), value })
+}
+
+/// Splits a statement into identifier/number/punctuation words, preserving
+/// quoted values as single words without the quotes.
+fn tokenize_words(stmt: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    let mut chars = stmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' | '"' => {
+                let mut lit = String::new();
+                for c2 in chars.by_ref() {
+                    if c2 == c {
+                        break;
+                    }
+                    lit.push(c2);
+                }
+                if !cur.is_empty() {
+                    words.push(std::mem::take(&mut cur));
+                }
+                words.push(lit);
+            }
+            '(' | ')' | ',' | '=' | ';' => {
+                if !cur.is_empty() {
+                    words.push(std::mem::take(&mut cur));
+                }
+                if c != ';' {
+                    words.push(c.to_string());
+                }
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    words.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::GIB;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("lineitem", 6_000_000)
+            .primary_key("l_orderkey", 8)
+            .foreign_key("l_partkey", 8, 200_000.0)
+            .column("l_shipdate", 4, 2_500.0)
+            .finish();
+        c
+    }
+
+    #[test]
+    fn parses_postgres_style_script() {
+        let c = catalog();
+        let script = "\
+            ALTER SYSTEM SET shared_buffers = '15GB';\n\
+            ALTER SYSTEM SET random_page_cost = 1.1;\n\
+            CREATE INDEX idx_l_orderkey ON lineitem (l_orderkey);\n";
+        let cfg = Configuration::parse(script, Dbms::Postgres, &c);
+        assert!(cfg.warnings.is_empty(), "{:?}", cfg.warnings);
+        assert_eq!(cfg.knob_changes().count(), 2);
+        assert_eq!(cfg.index_specs().len(), 1);
+        let (name, value) = cfg.knob_changes().next().unwrap();
+        assert_eq!(name, "shared_buffers");
+        assert_eq!(value, KnobValue::Bytes(15 * GIB));
+    }
+
+    #[test]
+    fn parses_mysql_style_script() {
+        let c = catalog();
+        let script = "SET GLOBAL innodb_buffer_pool_size = 8589934592;\n\
+                      CREATE INDEX i ON lineitem (l_partkey, l_orderkey);";
+        let cfg = Configuration::parse(script, Dbms::Mysql, &c);
+        assert!(cfg.warnings.is_empty(), "{:?}", cfg.warnings);
+        assert_eq!(cfg.index_specs()[0].columns.len(), 2);
+    }
+
+    #[test]
+    fn set_to_syntax_and_quotes() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "SET work_mem TO '1GB'; ALTER SYSTEM SET jit = \"off\";",
+            Dbms::Postgres,
+            &c,
+        );
+        assert!(cfg.warnings.is_empty(), "{:?}", cfg.warnings);
+        assert_eq!(cfg.knob_changes().count(), 2);
+    }
+
+    #[test]
+    fn unknown_knob_becomes_warning() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "ALTER SYSTEM SET made_up_knob = 3; ALTER SYSTEM SET work_mem = '1GB';",
+            Dbms::Postgres,
+            &c,
+        );
+        assert_eq!(cfg.warnings.len(), 1);
+        assert_eq!(cfg.knob_changes().count(), 1);
+    }
+
+    #[test]
+    fn wrong_dbms_knob_becomes_warning() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "SET GLOBAL shared_buffers = '1GB';",
+            Dbms::Mysql,
+            &c,
+        );
+        assert_eq!(cfg.warnings.len(), 1);
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_or_column_becomes_warning() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "CREATE INDEX i ON nope (x); CREATE INDEX j ON lineitem (nope);",
+            Dbms::Postgres,
+            &c,
+        );
+        assert_eq!(cfg.warnings.len(), 2);
+    }
+
+    #[test]
+    fn if_not_exists_and_unnamed_index() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "CREATE INDEX IF NOT EXISTS ON lineitem (l_shipdate);\n\
+             CREATE UNIQUE INDEX CONCURRENTLY foo ON lineitem USING btree (l_orderkey);",
+            Dbms::Postgres,
+            &c,
+        );
+        assert!(cfg.warnings.is_empty(), "{:?}", cfg.warnings);
+        assert_eq!(cfg.index_specs().len(), 2);
+        assert_eq!(cfg.index_specs()[1].name.as_deref(), Some("foo"));
+    }
+
+    #[test]
+    fn duplicate_indexes_dedupe() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "CREATE INDEX a ON lineitem (l_orderkey); CREATE INDEX b ON lineitem (l_orderkey);",
+            Dbms::Postgres,
+            &c,
+        );
+        assert_eq!(cfg.index_specs().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let c = catalog();
+        let a = Configuration::parse("SET work_mem = '1GB';", Dbms::Postgres, &c);
+        let b = Configuration::parse("SET work_mem = '2GB';", Dbms::Postgres, &c);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let a2 = Configuration::parse("SET work_mem = '1GB';", Dbms::Postgres, &c);
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn roundtrip_to_script() {
+        let c = catalog();
+        let script = "ALTER SYSTEM SET work_mem = '1GB';\nCREATE INDEX i ON lineitem (l_orderkey);";
+        let cfg = Configuration::parse(script, Dbms::Postgres, &c);
+        let rendered = cfg.to_script(Dbms::Postgres, &c);
+        let reparsed = Configuration::parse(&rendered, Dbms::Postgres, &c);
+        assert_eq!(cfg.knob_changes().count(), reparsed.knob_changes().count());
+        assert_eq!(cfg.index_specs().len(), reparsed.index_specs().len());
+    }
+
+    #[test]
+    fn comments_and_noise_are_skipped() {
+        let c = catalog();
+        let cfg = Configuration::parse(
+            "-- tuning for OLAP\nANALYZE;\nSELECT 1;\nALTER SYSTEM SET work_mem='2GB';",
+            Dbms::Postgres,
+            &c,
+        );
+        assert!(cfg.warnings.is_empty(), "{:?}", cfg.warnings);
+        assert_eq!(cfg.knob_changes().count(), 1);
+    }
+}

@@ -1,0 +1,528 @@
+//! Execution-time model: converts a physical plan into simulated seconds.
+//!
+//! The model walks the plan tree bottom-up, recomputing *true* cardinalities
+//! (the planner's estimates perturbed by deterministic misestimation
+//! factors, see [`crate::stats`]) and charging three resources:
+//!
+//! * **I/O** — page reads priced by where the page lives: DBMS buffer pool,
+//!   OS page cache, or disk. The buffer-pool hit fraction grows with
+//!   `shared_buffers` / `innodb_buffer_pool_size`; random disk reads are
+//!   amortized by `effective_io_concurrency`.
+//! * **CPU** — per-tuple work, divided by the parallel speedup when the
+//!   plan has a `Gather`.
+//! * **Spills** — hash joins and sorts whose *true* input exceeds work
+//!   memory pay temp-file write+read passes, which is where default
+//!   configurations (4 MB `work_mem`) lose most of their time on OLAP.
+//!
+//! A small multiplicative noise term (deterministic in the seed, the query,
+//! the configuration fingerprint and an execution counter) reproduces
+//! run-to-run variance without breaking reproducibility.
+
+use crate::catalog::{Catalog, PAGE_SIZE};
+use crate::hardware::Hardware;
+use crate::knobs::KnobSet;
+use crate::physical::{Index, IndexCatalog};
+use crate::plan::{Plan, PlanNode, PlanOp};
+use crate::stats::{Estimator, QueryPredicates};
+use lt_common::{secs, Secs};
+
+/// Seconds to read one 8 KiB page from the DBMS buffer pool.
+const T_PAGE_BUFFER: f64 = 1.0e-6;
+/// Seconds to read one page from the OS page cache.
+const T_PAGE_OS: f64 = 6.0e-6;
+/// Seconds to read one page sequentially from disk.
+const T_PAGE_DISK_SEQ: f64 = 8.0e-5;
+/// Seconds to read one page randomly from disk (before I/O concurrency).
+const T_PAGE_DISK_RAND: f64 = 3.2e-4;
+/// Seconds to write+read one page of spill temp data (sequential, often
+/// partially cached).
+const T_PAGE_SPILL: f64 = 2.5e-5;
+/// Seconds of CPU to process one tuple in a scan.
+const T_TUPLE_SCAN: f64 = 9.0e-8;
+/// Seconds of CPU to hash/probe one tuple.
+const T_TUPLE_HASH: f64 = 1.4e-7;
+/// Seconds of CPU per tuple-comparison in a sort (per log₂ level).
+const T_TUPLE_SORT: f64 = 6.0e-8;
+/// Seconds of CPU to aggregate one tuple.
+const T_TUPLE_AGG: f64 = 7.0e-8;
+/// Seconds per index B-tree descent.
+const T_INDEX_DESCENT: f64 = 1.2e-6;
+/// Parallel startup cost per worker.
+const T_WORKER_STARTUP: f64 = 0.01;
+/// Global calibration factor aligning simulated magnitudes with the
+/// paper's testbed (per-query seconds on TPC-H SF1, minutes-scale index
+/// builds on IMDB-sized tables).
+const TIME_SCALE: f64 = 5.0;
+
+/// Per-operator profile entry produced by
+/// [`ExecutionModel::profile`] (the simulator's `EXPLAIN ANALYZE`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeProfile {
+    /// Depth in the plan tree (root = 0).
+    pub depth: usize,
+    /// Operator name.
+    pub op: &'static str,
+    /// Planner-estimated output rows.
+    pub est_rows: f64,
+    /// "Actual" output rows under the true selectivities.
+    pub actual_rows: f64,
+    /// Simulated seconds attributed to this subtree.
+    pub seconds: f64,
+}
+
+/// The execution-time model. Cheap to construct; holds only seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionModel {
+    /// Seed controlling misestimation factors (shared with the optimizer's
+    /// estimator so both see the same "reality").
+    pub stats_seed: u64,
+    /// Seed controlling run-to-run noise.
+    pub noise_seed: u64,
+}
+
+/// Everything the model needs to price a query execution.
+pub struct ExecutionContext<'a> {
+    /// Schema and statistics.
+    pub catalog: &'a Catalog,
+    /// Active configuration.
+    pub knobs: &'a KnobSet,
+    /// Materialized indexes (for sizing; plan already references them).
+    pub indexes: &'a IndexCatalog,
+    /// Machine.
+    pub hardware: &'a Hardware,
+}
+
+impl ExecutionModel {
+    /// New model with the given seeds.
+    pub fn new(stats_seed: u64, noise_seed: u64) -> Self {
+        ExecutionModel { stats_seed, noise_seed }
+    }
+
+    /// Simulated wall-clock time of running `plan`.
+    ///
+    /// `query_tag` identifies the query (for noise), `exec_counter`
+    /// distinguishes repeated executions, `config_fingerprint` the active
+    /// configuration.
+    pub fn execution_time(
+        &self,
+        plan: &Plan,
+        preds: &QueryPredicates,
+        ctx: &ExecutionContext<'_>,
+        query_tag: u64,
+        config_fingerprint: u64,
+        exec_counter: u64,
+    ) -> Secs {
+        let est = Estimator::new(ctx.catalog, self.stats_seed);
+        let mut walker = Walker { model: self, ctx, est: &est, preds, profile: None };
+        let (_, mut time) = walker.node_time(&plan.root, 0);
+        // Multiplicative noise in ±6%, deterministic.
+        let h = mix(self
+            .noise_seed
+            .wrapping_add(query_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(config_fingerprint.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add(exec_counter.wrapping_mul(0x1656_67B1_9E37_79F9)));
+        let unit = ((h % 10_000) as f64) / 5_000.0 - 1.0;
+        time *= (1.0 + 0.06 * unit) * TIME_SCALE;
+        secs(time.max(1e-4))
+    }
+
+    /// Profiles a plan like `EXPLAIN ANALYZE`: per-operator estimated vs
+    /// "actual" rows and attributed time, in pre-order. Pure — does not
+    /// charge any clock.
+    pub fn profile(
+        &self,
+        plan: &Plan,
+        preds: &QueryPredicates,
+        ctx: &ExecutionContext<'_>,
+    ) -> Vec<NodeProfile> {
+        let est = Estimator::new(ctx.catalog, self.stats_seed);
+        let mut walker =
+            Walker { model: self, ctx, est: &est, preds, profile: Some(Vec::new()) };
+        walker.node_time(&plan.root, 0);
+        walker.profile.take().unwrap_or_default()
+    }
+
+    /// Simulated time to build a B-tree index: heap scan + external sort +
+    /// index write, accelerated by maintenance memory.
+    pub fn index_build_time(&self, index: &Index, ctx: &ExecutionContext<'_>) -> Secs {
+        let table = ctx.catalog.table(index.table);
+        let heap_pages = table.pages(ctx.catalog) as f64;
+        let rows = table.rows as f64;
+        let read = heap_pages * self.page_time_seq(ctx);
+        let maintenance = ctx.knobs.maintenance_mem_bytes() as f64;
+        let boost = (maintenance / (64.0 * 1024.0 * 1024.0)).clamp(1.0, 16.0).sqrt();
+        // External sort dominates builds on large tables (a default-config
+        // B-tree build over tens of millions of rows takes minutes).
+        let sort = rows * rows.max(2.0).log2() * (2.0 * T_TUPLE_SORT) / boost;
+        let write = index.pages(ctx.catalog) as f64 * T_PAGE_OS;
+        secs(((read + sort + write) * TIME_SCALE).max(1e-3))
+    }
+
+    /// Simulated time to drop an index (catalog-only, near-instant).
+    pub fn index_drop_time(&self) -> Secs {
+        secs(0.05)
+    }
+
+    /// Simulated time to apply a knob change and restart/reload the system.
+    pub fn reconfigure_time(&self, changed_knobs: usize) -> Secs {
+        // A restart dominates; marginally longer with more changes.
+        secs(2.0 + 0.1 * changed_knobs as f64)
+    }
+
+    // ---- shared page-read pricing ----
+
+    /// Buffer-pool hit fraction given the configured pool vs the hot set.
+    fn cache_fractions(&self, ctx: &ExecutionContext<'_>) -> (f64, f64) {
+        let data = (ctx.catalog.total_bytes() + ctx.indexes.total_bytes(ctx.catalog)) as f64;
+        let pool = ctx.knobs.buffer_pool_bytes() as f64;
+        let hit_pool = (pool / data).clamp(0.0, 1.0);
+        // The OS caches what the pool doesn't, bounded by free memory.
+        let free = (ctx.hardware.memory_bytes as f64 - pool).max(0.0) * 0.6;
+        let hit_os = ((free / data).clamp(0.0, 1.0)) * (1.0 - hit_pool);
+        (hit_pool, hit_os)
+    }
+
+    fn page_time_seq(&self, ctx: &ExecutionContext<'_>) -> f64 {
+        let (bp, os) = self.cache_fractions(ctx);
+        let disk = (1.0 - bp - os).max(0.0);
+        bp * T_PAGE_BUFFER + os * T_PAGE_OS + disk * T_PAGE_DISK_SEQ
+    }
+
+    fn page_time_rand(&self, ctx: &ExecutionContext<'_>) -> f64 {
+        let (bp, os) = self.cache_fractions(ctx);
+        let disk = (1.0 - bp - os).max(0.0);
+        let ioc = ctx.knobs.io_concurrency().max(1) as f64;
+        let rand_disk = T_PAGE_DISK_RAND / (1.0 + 0.5 * ioc.ln_1p());
+        bp * T_PAGE_BUFFER + os * T_PAGE_OS + disk * rand_disk
+    }
+}
+
+struct Walker<'a, 'b> {
+    model: &'b ExecutionModel,
+    ctx: &'b ExecutionContext<'a>,
+    est: &'b Estimator<'a>,
+    preds: &'b QueryPredicates,
+    /// When set, per-node profiles are collected (EXPLAIN ANALYZE mode).
+    profile: Option<Vec<NodeProfile>>,
+}
+
+impl Walker<'_, '_> {
+    /// Returns (true output rows, simulated seconds) for a subtree.
+    fn node_time(&mut self, node: &PlanNode, depth: usize) -> (f64, f64) {
+        let slot = self.profile.as_ref().map(|p| p.len());
+        if let Some(p) = self.profile.as_mut() {
+            p.push(NodeProfile {
+                depth,
+                op: node.op.name(),
+                est_rows: node.est_rows,
+                actual_rows: 0.0,
+                seconds: 0.0,
+            });
+        }
+        let (rows, time) = self.node_time_inner(node, depth);
+        if let (Some(p), Some(slot)) = (self.profile.as_mut(), slot) {
+            p[slot].actual_rows = rows;
+            p[slot].seconds = time;
+        }
+        (rows, time)
+    }
+
+    fn node_time_inner(&mut self, node: &PlanNode, depth: usize) -> (f64, f64) {
+        match &node.op {
+            PlanOp::SeqScan { table, .. } => {
+                let t = self.ctx.catalog.table(*table);
+                let rows = t.rows as f64;
+                let pages = t.pages(self.ctx.catalog) as f64;
+                let sel = self.true_selectivity(*table);
+                let io = pages * self.model.page_time_seq(self.ctx);
+                let cpu = rows * T_TUPLE_SCAN;
+                ((rows * sel).max(1.0), io + cpu)
+            }
+            PlanOp::IndexScan { table, selectivity, .. } => {
+                let t = self.ctx.catalog.table(*table);
+                let rows = t.rows as f64;
+                let pages = t.pages(self.ctx.catalog) as f64;
+                // The planner chose this path for its estimated selectivity;
+                // reality may fetch more or fewer heap pages.
+                let est_sel = *selectivity;
+                let true_sel = (est_sel * self.true_misfactor(*table)).clamp(1e-12, 1.0);
+                let fetched = (true_sel * rows).max(1.0);
+                let heap_pages = fetched.min(pages);
+                let io = T_INDEX_DESCENT
+                    + heap_pages * self.model.page_time_rand(self.ctx)
+                    + fetched * 2.0e-8;
+                ((rows * true_sel).max(1.0), io)
+            }
+            PlanOp::HashJoin { keys, .. } => {
+                let (probe_rows, probe_t) = self.node_time(&node.children[0], depth + 1);
+                let (build_rows, build_t) = self.node_time(&node.children[1], depth + 1);
+                let sel = self.true_join_sel_all(keys);
+                let out = (probe_rows * build_rows * sel).max(1.0);
+                let mut time = probe_t
+                    + build_t
+                    + build_rows * T_TUPLE_HASH * 2.0
+                    + probe_rows * T_TUPLE_HASH
+                    + out * T_TUPLE_SCAN;
+                let build_bytes = build_rows * node.children[1].width;
+                if build_bytes > self.ctx.knobs.work_mem_bytes() as f64 {
+                    let spill_bytes = build_bytes + probe_rows * node.children[0].width;
+                    time += 2.0 * (spill_bytes / PAGE_SIZE as f64) * T_PAGE_SPILL;
+                }
+                (out, time)
+            }
+            PlanOp::MergeJoin { keys } => {
+                let (l_rows, l_t) = self.node_time(&node.children[0], depth + 1);
+                let (r_rows, r_t) = self.node_time(&node.children[1], depth + 1);
+                let sel = self.true_join_sel_all(keys);
+                let out = (l_rows * r_rows * sel).max(1.0);
+                let sort = |n: f64| n * n.max(2.0).log2() * T_TUPLE_SORT;
+                let time = l_t + r_t + sort(l_rows) + sort(r_rows)
+                    + (l_rows + r_rows) * T_TUPLE_SCAN
+                    + out * T_TUPLE_SCAN;
+                (out, time)
+            }
+            PlanOp::NestLoopJoin { keys, inner_index } => {
+                let (outer_rows, outer_t) = self.node_time(&node.children[0], depth + 1);
+                let inner = &node.children[1];
+                let inner_table = match inner.op {
+                    PlanOp::IndexScan { table, .. } | PlanOp::SeqScan { table, .. } => {
+                        Some(table)
+                    }
+                    _ => None,
+                };
+                let sel = self.true_join_sel_all(keys);
+                let inner_total_rows = inner_table
+                    .map(|t| self.ctx.catalog.table(t).rows as f64)
+                    .unwrap_or(inner.est_rows);
+                let out = (outer_rows * inner_total_rows * sel).max(1.0);
+                let time = if inner_index.is_some() {
+                    let matches = (out / outer_rows.max(1.0)).max(1.0);
+                    outer_t
+                        + outer_rows
+                            * (T_INDEX_DESCENT
+                                + matches * self.model.page_time_rand(self.ctx))
+                } else {
+                    // Naive repeated scan of the inner side.
+                    let (_, inner_t) = self.node_time(inner, depth + 1);
+                    outer_t + outer_rows.max(1.0) * inner_t
+                };
+                (out, time)
+            }
+            PlanOp::CrossJoin => {
+                let (l_rows, l_t) = self.node_time(&node.children[0], depth + 1);
+                let (r_rows, r_t) = self.node_time(&node.children[1], depth + 1);
+                let out = (l_rows * r_rows).max(1.0);
+                (out, l_t + r_t + out * T_TUPLE_SCAN)
+            }
+            PlanOp::Sort { .. } => {
+                let (rows, t) = self.node_time(&node.children[0], depth + 1);
+                let mut time = t + rows * rows.max(2.0).log2() * T_TUPLE_SORT;
+                let bytes = rows * node.children[0].width;
+                if bytes > self.ctx.knobs.work_mem_bytes() as f64 {
+                    time += 2.0 * (bytes / PAGE_SIZE as f64) * T_PAGE_SPILL;
+                }
+                (rows, time)
+            }
+            PlanOp::Aggregate { grouped } => {
+                let (rows, t) = self.node_time(&node.children[0], depth + 1);
+                let out = if *grouped { (rows * 0.1).max(1.0) } else { 1.0 };
+                (out, t + rows * T_TUPLE_AGG)
+            }
+            PlanOp::Gather { workers } => {
+                let (rows, t) = self.node_time(&node.children[0], depth + 1);
+                let usable =
+                    (*workers).min(self.ctx.hardware.cores.saturating_sub(1)) as f64;
+                let speedup = 1.0 + 0.7 * usable;
+                (rows, t / speedup + usable * T_WORKER_STARTUP)
+            }
+            PlanOp::Limit { rows } => {
+                let (in_rows, t) = self.node_time(&node.children[0], depth + 1);
+                ((in_rows).min(*rows as f64), t)
+            }
+        }
+    }
+
+    fn true_selectivity(&self, table: lt_common::TableId) -> f64 {
+        match self.preds.filters.get(&table) {
+            Some(terms) => self.est.true_table_selectivity(terms),
+            None => 1.0,
+        }
+    }
+
+    /// Ratio of true to estimated selectivity for a table's filter set.
+    fn true_misfactor(&self, table: lt_common::TableId) -> f64 {
+        match self.preds.filters.get(&table) {
+            Some(terms) => {
+                let est = self.est.estimated_table_selectivity(terms);
+                let tru = self.est.true_table_selectivity(terms);
+                (tru / est).clamp(1.0 / 27.0, 27.0)
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Combined true selectivity of every equality condition the join
+    /// evaluates (independence assumption, matching the planner's).
+    fn true_join_sel_all(&self, keys: &[(lt_common::ColumnId, lt_common::ColumnId)]) -> f64 {
+        keys.iter()
+            .map(|(l, r)| {
+                self.est.true_join_selectivity(crate::stats::JoinEdge { left: *l, right: *r })
+            })
+            .product::<f64>()
+            .clamp(1e-18, 1.0)
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{Dbms, KnobSet};
+    use crate::optimizer::Optimizer;
+    use crate::stats::extract;
+    use lt_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("lineitem", 6_000_000)
+            .primary_key("l_orderkey", 8)
+            .column("l_shipdate", 4, 2_500.0)
+            .column("l_quantity", 8, 50.0)
+            .column("l_extendedprice", 8, 900_000.0)
+            .column("l_comment", 27, 4_000_000.0)
+            .column("l_pad1", 30, 100.0)
+            .column("l_pad2", 30, 100.0)
+            .finish();
+        c.add_table("orders", 1_500_000)
+            .primary_key("o_orderkey", 8)
+            .column("o_orderdate", 4, 2_400.0)
+            .column("o_pad", 60, 100.0)
+            .finish();
+        c
+    }
+
+    fn time_with(knobs: &KnobSet, sql: &str) -> Secs {
+        let c = catalog();
+        let idx = IndexCatalog::new();
+        let hw = Hardware::p3_2xlarge();
+        let q = parse_query(sql).unwrap();
+        let preds = extract(&q, &c);
+        let plan = Optimizer::new(&c, knobs, &idx, 7).plan(&q);
+        let model = ExecutionModel::new(7, 11);
+        let ctx = ExecutionContext { catalog: &c, knobs, indexes: &idx, hardware: &hw };
+        model.execution_time(&plan, &preds, &ctx, 1, 0, 0)
+    }
+
+    #[test]
+    fn join_time_is_positive_and_finite() {
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let t = time_with(&knobs, "select * from lineitem, orders where l_orderkey = o_orderkey");
+        assert!(t > Secs::ZERO && t.is_finite(), "{t}");
+    }
+
+    #[test]
+    fn bigger_work_mem_speeds_up_hash_joins() {
+        let small = KnobSet::defaults(Dbms::Postgres); // 4MB work_mem
+        let mut big = KnobSet::defaults(Dbms::Postgres);
+        big.set_text("work_mem", "4GB").unwrap();
+        let sql = "select * from lineitem, orders where l_orderkey = o_orderkey";
+        let t_small = time_with(&small, sql);
+        let t_big = time_with(&big, sql);
+        assert!(
+            t_big < t_small,
+            "expected spill avoidance to win: small={t_small} big={t_big}"
+        );
+    }
+
+    #[test]
+    fn bigger_buffer_pool_speeds_up_scans() {
+        let small = KnobSet::defaults(Dbms::Postgres); // 128MB shared_buffers
+        let mut big = KnobSet::defaults(Dbms::Postgres);
+        big.set_text("shared_buffers", "16GB").unwrap();
+        let sql = "select count(*) from lineitem";
+        assert!(time_with(&big, sql) < time_with(&small, sql));
+    }
+
+    #[test]
+    fn parallel_workers_speed_up_large_scans() {
+        let mut none = KnobSet::defaults(Dbms::Postgres);
+        none.set_text("max_parallel_workers_per_gather", "0").unwrap();
+        let mut four = KnobSet::defaults(Dbms::Postgres);
+        four.set_text("max_parallel_workers_per_gather", "4").unwrap();
+        let sql = "select count(*) from lineitem";
+        assert!(time_with(&four, sql) < time_with(&none, sql));
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let hw = Hardware::p3_2xlarge();
+        let q = parse_query("select count(*) from orders").unwrap();
+        let preds = extract(&q, &c);
+        let plan = Optimizer::new(&c, &knobs, &idx, 7).plan(&q);
+        let model = ExecutionModel::new(7, 11);
+        let ctx = ExecutionContext { catalog: &c, knobs: &knobs, indexes: &idx, hardware: &hw };
+        let a = model.execution_time(&plan, &preds, &ctx, 5, 9, 0);
+        let b = model.execution_time(&plan, &preds, &ctx, 5, 9, 0);
+        assert_eq!(a, b);
+        let c2 = model.execution_time(&plan, &preds, &ctx, 5, 9, 1);
+        // Different execution counter → different (but close) time.
+        let ratio = c2 / a;
+        assert!(ratio > 0.85 && ratio < 1.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn index_build_time_grows_with_table_size() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let hw = Hardware::p3_2xlarge();
+        let model = ExecutionModel::new(7, 11);
+        let ctx = ExecutionContext { catalog: &c, knobs: &knobs, indexes: &idx, hardware: &hw };
+        let li = c.table_by_name("lineitem").unwrap();
+        let or = c.table_by_name("orders").unwrap();
+        let big = Index {
+            id: lt_common::IndexId(0),
+            table: li,
+            columns: vec![c.resolve_column(None, "l_orderkey").unwrap()],
+            name: "i1".into(),
+        };
+        let small = Index {
+            id: lt_common::IndexId(1),
+            table: or,
+            columns: vec![c.resolve_column(None, "o_orderkey").unwrap()],
+            name: "i2".into(),
+        };
+        assert!(model.index_build_time(&big, &ctx) > model.index_build_time(&small, &ctx));
+    }
+
+    #[test]
+    fn maintenance_work_mem_speeds_up_index_builds() {
+        let c = catalog();
+        let idx = IndexCatalog::new();
+        let hw = Hardware::p3_2xlarge();
+        let model = ExecutionModel::new(7, 11);
+        let li = c.table_by_name("lineitem").unwrap();
+        let index = Index {
+            id: lt_common::IndexId(0),
+            table: li,
+            columns: vec![c.resolve_column(None, "l_orderkey").unwrap()],
+            name: "i1".into(),
+        };
+        let slow_knobs = KnobSet::defaults(Dbms::Postgres);
+        let mut fast_knobs = KnobSet::defaults(Dbms::Postgres);
+        fast_knobs.set_text("maintenance_work_mem", "4GB").unwrap();
+        let slow_ctx =
+            ExecutionContext { catalog: &c, knobs: &slow_knobs, indexes: &idx, hardware: &hw };
+        let fast_ctx =
+            ExecutionContext { catalog: &c, knobs: &fast_knobs, indexes: &idx, hardware: &hw };
+        assert!(model.index_build_time(&index, &fast_ctx) < model.index_build_time(&index, &slow_ctx));
+    }
+}

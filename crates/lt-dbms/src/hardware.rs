@@ -1,0 +1,121 @@
+//! Hardware specification of the machine hosting the (simulated) DBMS.
+//!
+//! λ-Tune's prompt conveys exactly two hardware facts — main memory and CPU
+//! core count (paper §3.1) — so that is what we model. The default matches
+//! the paper's EC2 `p3.2xlarge` testbed (61 GB RAM, 8 vCPUs).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per gibibyte.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+/// Bytes per mebibyte.
+pub const MIB: u64 = 1024 * 1024;
+/// Bytes per kibibyte.
+pub const KIB: u64 = 1024;
+
+/// Machine description handed to the tuners and the execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hardware {
+    /// Main memory in bytes.
+    pub memory_bytes: u64,
+    /// Number of CPU cores.
+    pub cores: u32,
+}
+
+impl Hardware {
+    /// The paper's testbed: EC2 p3.2xlarge (61 GB RAM, 8 vCPUs).
+    pub fn p3_2xlarge() -> Self {
+        Hardware { memory_bytes: 61 * GIB, cores: 8 }
+    }
+
+    /// A small machine, useful in tests (4 GB, 2 cores).
+    pub fn small() -> Self {
+        Hardware { memory_bytes: 4 * GIB, cores: 2 }
+    }
+
+    /// Memory expressed in whole gibibytes (rounded down).
+    pub fn memory_gib(&self) -> u64 {
+        self.memory_bytes / GIB
+    }
+}
+
+impl Default for Hardware {
+    fn default() -> Self {
+        Self::p3_2xlarge()
+    }
+}
+
+/// Formats a byte count the way DBAs write knob values (`16GB`, `512MB`,
+/// `64kB`); used when rendering configurations and prompts.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GIB && bytes % GIB == 0 {
+        format!("{}GB", bytes / GIB)
+    } else if bytes >= MIB && bytes % MIB == 0 {
+        format!("{}MB", bytes / MIB)
+    } else if bytes >= KIB && bytes % KIB == 0 {
+        format!("{}kB", bytes / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Parses a byte count in DBA notation: `16GB`, `512MB`, `64kB`, `8192`,
+/// case-insensitive units, optional `iB` spelling. A bare number is bytes.
+pub fn parse_bytes(text: &str) -> Option<u64> {
+    let t = text.trim();
+    let split = t
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(t.len());
+    let (num, unit) = t.split_at(split);
+    let value: f64 = num.parse().ok()?;
+    let mult = match unit.trim().to_ascii_lowercase().as_str() {
+        "b" | "" => 1.0,
+        "k" | "kb" | "kib" => KIB as f64,
+        "m" | "mb" | "mib" => MIB as f64,
+        "g" | "gb" | "gib" => GIB as f64,
+        "t" | "tb" | "tib" => (1024 * GIB) as f64,
+        _ => return None,
+    };
+    Some((value * mult) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let h = Hardware::default();
+        assert_eq!(h.memory_gib(), 61);
+        assert_eq!(h.cores, 8);
+    }
+
+    #[test]
+    fn format_picks_largest_exact_unit() {
+        assert_eq!(format_bytes(16 * GIB), "16GB");
+        assert_eq!(format_bytes(512 * MIB), "512MB");
+        assert_eq!(format_bytes(64 * KIB), "64kB");
+        assert_eq!(format_bytes(100), "100B");
+    }
+
+    #[test]
+    fn parse_accepts_dba_notation() {
+        assert_eq!(parse_bytes("16GB"), Some(16 * GIB));
+        assert_eq!(parse_bytes("512mb"), Some(512 * MIB));
+        assert_eq!(parse_bytes("64kB"), Some(64 * KIB));
+        assert_eq!(parse_bytes("1.5GB"), Some((1.5 * GIB as f64) as u64));
+        assert_eq!(parse_bytes("4GiB"), Some(4 * GIB));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_bytes("lots"), None);
+        assert_eq!(parse_bytes("12XB"), None);
+    }
+
+    #[test]
+    fn parse_bare_number_is_bytes() {
+        assert_eq!(parse_bytes("8192B"), Some(8192));
+        assert_eq!(parse_bytes("8192"), Some(8192));
+    }
+}

@@ -1,0 +1,611 @@
+//! Configuration-knob registry for the simulated PostgreSQL and MySQL.
+//!
+//! The registry mirrors the subset of PostgreSQL 12 / MySQL 8 parameters
+//! that matter for OLAP performance (the same parameters the paper's best
+//! configurations touch, Table 5). A [`KnobSet`] holds concrete values,
+//! validates assignments against each knob's definition and exposes
+//! *semantic* accessors (buffer pool size, work memory, parallel workers,
+//! optimizer page costs) that the optimizer and execution model consume —
+//! so those components are DBMS-agnostic.
+
+use crate::hardware::{format_bytes, parse_bytes, GIB, KIB, MIB};
+use lt_common::{LtError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Target database system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dbms {
+    /// PostgreSQL 12-like system.
+    Postgres,
+    /// MySQL 8 (InnoDB)-like system.
+    Mysql,
+}
+
+impl Dbms {
+    /// Human-readable product name, as used in prompts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dbms::Postgres => "PostgreSQL",
+            Dbms::Mysql => "MySQL",
+        }
+    }
+
+    /// Both supported systems.
+    pub fn all() -> [Dbms; 2] {
+        [Dbms::Postgres, Dbms::Mysql]
+    }
+}
+
+impl fmt::Display for Dbms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Broad category of a knob (used in Table 5's "Category" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnobCategory {
+    /// Memory allocation.
+    Memory,
+    /// Query-optimizer cost constants / hints.
+    Optimizer,
+    /// I/O subsystem behaviour.
+    Io,
+    /// Parallel query execution.
+    Parallelism,
+    /// WAL / logging behaviour.
+    Logging,
+}
+
+impl fmt::Display for KnobCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KnobCategory::Memory => "Memory",
+            KnobCategory::Optimizer => "Optimizer",
+            KnobCategory::Io => "IO",
+            KnobCategory::Parallelism => "Parallelism",
+            KnobCategory::Logging => "Logging",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete knob value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KnobValue {
+    /// Byte quantity (`shared_buffers = 16GB`).
+    Bytes(u64),
+    /// Floating-point quantity (`random_page_cost = 1.1`).
+    Float(f64),
+    /// Integer quantity (`max_parallel_workers_per_gather = 4`).
+    Int(i64),
+    /// Boolean (`jit = on`).
+    Bool(bool),
+}
+
+impl KnobValue {
+    /// Numeric view, used for range checks and distance metrics.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            KnobValue::Bytes(b) => b as f64,
+            KnobValue::Float(f) => f,
+            KnobValue::Int(i) => i as f64,
+            KnobValue::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for KnobValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobValue::Bytes(b) => f.write_str(&format_bytes(*b)),
+            KnobValue::Float(v) => write!(f, "{v}"),
+            KnobValue::Int(i) => write!(f, "{i}"),
+            KnobValue::Bool(b) => f.write_str(if *b { "on" } else { "off" }),
+        }
+    }
+}
+
+/// Static definition of one tunable parameter.
+#[derive(Debug, Clone)]
+pub struct KnobDef {
+    /// Parameter name as written in configuration scripts.
+    pub name: &'static str,
+    /// Broad category.
+    pub category: KnobCategory,
+    /// System default value.
+    pub default: KnobValue,
+    /// Smallest accepted numeric value.
+    pub min: f64,
+    /// Largest accepted numeric value.
+    pub max: f64,
+    /// One-line description (shown in docs and hint mining).
+    pub description: &'static str,
+}
+
+impl KnobDef {
+    const fn bytes(
+        name: &'static str,
+        category: KnobCategory,
+        default: u64,
+        min: u64,
+        max: u64,
+        description: &'static str,
+    ) -> Self {
+        KnobDef {
+            name,
+            category,
+            default: KnobValue::Bytes(default),
+            min: min as f64,
+            max: max as f64,
+            description,
+        }
+    }
+
+    const fn float(
+        name: &'static str,
+        category: KnobCategory,
+        default: f64,
+        min: f64,
+        max: f64,
+        description: &'static str,
+    ) -> Self {
+        KnobDef { name, category, default: KnobValue::Float(default), min, max, description }
+    }
+
+    const fn int(
+        name: &'static str,
+        category: KnobCategory,
+        default: i64,
+        min: i64,
+        max: i64,
+        description: &'static str,
+    ) -> Self {
+        KnobDef {
+            name,
+            category,
+            default: KnobValue::Int(default),
+            min: min as f64,
+            max: max as f64,
+            description,
+        }
+    }
+
+    const fn boolean(
+        name: &'static str,
+        category: KnobCategory,
+        default: bool,
+        description: &'static str,
+    ) -> Self {
+        KnobDef {
+            name,
+            category,
+            default: KnobValue::Bool(default),
+            min: 0.0,
+            max: 1.0,
+            description,
+        }
+    }
+
+    /// Parses a textual value (`'16GB'`, `1.1`, `on`) into this knob's type,
+    /// clamping to the legal range like PostgreSQL does for out-of-range
+    /// settings at the edge of validity.
+    pub fn parse_value(&self, text: &str) -> Result<KnobValue> {
+        let t = text.trim().trim_matches('\'').trim_matches('"').trim();
+        let parsed = match self.default {
+            KnobValue::Bytes(_) => parse_bytes(t).map(KnobValue::Bytes),
+            KnobValue::Float(_) => t.parse::<f64>().ok().map(KnobValue::Float),
+            KnobValue::Int(_) => t
+                .parse::<i64>()
+                .ok()
+                .or_else(|| t.parse::<f64>().ok().map(|f| f.round() as i64))
+                .map(KnobValue::Int),
+            KnobValue::Bool(_) => match t.to_ascii_lowercase().as_str() {
+                "on" | "true" | "yes" | "1" => Some(KnobValue::Bool(true)),
+                "off" | "false" | "no" | "0" => Some(KnobValue::Bool(false)),
+                _ => None,
+            },
+        };
+        let value = parsed.ok_or_else(|| {
+            LtError::Config(format!("invalid value {text:?} for knob {}", self.name))
+        })?;
+        Ok(self.clamp(value))
+    }
+
+    /// Clamps a value into the knob's legal range, preserving its type.
+    pub fn clamp(&self, value: KnobValue) -> KnobValue {
+        let v = value.as_f64().clamp(self.min, self.max);
+        match self.default {
+            KnobValue::Bytes(_) => KnobValue::Bytes(v as u64),
+            KnobValue::Float(_) => KnobValue::Float(v),
+            KnobValue::Int(_) => KnobValue::Int(v as i64),
+            KnobValue::Bool(_) => KnobValue::Bool(v >= 0.5),
+        }
+    }
+}
+
+/// PostgreSQL 12 knob definitions (OLAP-relevant subset).
+pub fn postgres_knobs() -> &'static [KnobDef] {
+    use KnobCategory::*;
+    const DEFS: &[KnobDef] = &[
+        KnobDef::bytes("shared_buffers", Memory, 128 * MIB, 128 * KIB, 512 * GIB,
+            "Size of the shared buffer pool caching table and index pages."),
+        KnobDef::bytes("work_mem", Memory, 4 * MIB, 64 * KIB, 64 * GIB,
+            "Memory per sort/hash operation before spilling to disk."),
+        KnobDef::bytes("maintenance_work_mem", Memory, 64 * MIB, 1024 * KIB, 64 * GIB,
+            "Memory for maintenance operations such as CREATE INDEX."),
+        KnobDef::bytes("temp_buffers", Memory, 8 * MIB, 800 * KIB, 16 * GIB,
+            "Per-session buffers for temporary tables."),
+        KnobDef::bytes("effective_cache_size", Optimizer, 4 * GIB, 8 * KIB, 512 * GIB,
+            "Planner's assumption about total cache available to one query."),
+        KnobDef::float("random_page_cost", Optimizer, 4.0, 0.01, 1000.0,
+            "Planner cost of a non-sequential page fetch."),
+        KnobDef::float("seq_page_cost", Optimizer, 1.0, 0.01, 1000.0,
+            "Planner cost of a sequential page fetch."),
+        KnobDef::float("cpu_tuple_cost", Optimizer, 0.01, 0.0001, 100.0,
+            "Planner cost of processing one tuple."),
+        KnobDef::float("cpu_index_tuple_cost", Optimizer, 0.005, 0.0001, 100.0,
+            "Planner cost of processing one index entry."),
+        KnobDef::float("cpu_operator_cost", Optimizer, 0.0025, 0.0001, 100.0,
+            "Planner cost of processing one operator or function call."),
+        KnobDef::int("default_statistics_target", Optimizer, 100, 1, 10000,
+            "Statistics detail level collected by ANALYZE."),
+        KnobDef::boolean("jit", Optimizer, true,
+            "Just-in-time compilation of expressions."),
+        KnobDef::int("effective_io_concurrency", Io, 1, 0, 1000,
+            "Number of concurrent asynchronous I/O requests."),
+        KnobDef::int("max_parallel_workers_per_gather", Parallelism, 2, 0, 64,
+            "Workers a single Gather node may launch."),
+        KnobDef::int("max_parallel_workers", Parallelism, 8, 0, 128,
+            "Total parallel workers available to the system."),
+        KnobDef::int("max_worker_processes", Parallelism, 8, 0, 128,
+            "Background worker process limit."),
+        KnobDef::float("checkpoint_completion_target", Logging, 0.5, 0.0, 1.0,
+            "Fraction of the checkpoint interval used to spread writes."),
+        KnobDef::bytes("wal_buffers", Logging, 16 * MIB, 32 * KIB, 2 * GIB,
+            "Shared memory for WAL not yet written to disk."),
+        KnobDef::bytes("max_wal_size", Logging, GIB, 2 * MIB, 1024 * GIB,
+            "Maximum WAL size between automatic checkpoints."),
+    ];
+    DEFS
+}
+
+/// MySQL 8 (InnoDB) knob definitions (OLAP-relevant subset).
+pub fn mysql_knobs() -> &'static [KnobDef] {
+    use KnobCategory::*;
+    const DEFS: &[KnobDef] = &[
+        KnobDef::bytes("innodb_buffer_pool_size", Memory, 128 * MIB, 5 * MIB, 512 * GIB,
+            "Size of the InnoDB buffer pool caching table and index pages."),
+        KnobDef::bytes("sort_buffer_size", Memory, 256 * KIB, 32 * KIB, 16 * GIB,
+            "Per-session buffer for sorts before spilling."),
+        KnobDef::bytes("join_buffer_size", Memory, 256 * KIB, 128 * KIB, 16 * GIB,
+            "Per-join buffer for block nested-loop and hash joins."),
+        KnobDef::bytes("tmp_table_size", Memory, 16 * MIB, 1024, 64 * GIB,
+            "Maximum size of in-memory temporary tables."),
+        KnobDef::bytes("max_heap_table_size", Memory, 16 * MIB, 16 * KIB, 64 * GIB,
+            "Maximum size of user-created MEMORY tables."),
+        KnobDef::bytes("read_rnd_buffer_size", Memory, 256 * KIB, 1024, 2 * GIB,
+            "Buffer for reading rows in sorted order after a sort."),
+        KnobDef::bytes("innodb_log_file_size", Logging, 48 * MIB, 4 * MIB, 512 * GIB,
+            "Size of each InnoDB redo log file."),
+        KnobDef::int("innodb_flush_log_at_trx_commit", Logging, 1, 0, 2,
+            "Durability/throughput trade-off for redo flushing."),
+        KnobDef::int("innodb_io_capacity", Io, 200, 100, 100_000,
+            "I/O operations per second available to background tasks."),
+        KnobDef::int("innodb_read_io_threads", Io, 4, 1, 64,
+            "Background read I/O threads."),
+        KnobDef::int("innodb_write_io_threads", Io, 4, 1, 64,
+            "Background write I/O threads."),
+        KnobDef::int("innodb_parallel_read_threads", Parallelism, 4, 1, 256,
+            "Threads for parallel clustered-index reads."),
+        KnobDef::int("innodb_thread_concurrency", Parallelism, 0, 0, 1000,
+            "Concurrent thread limit inside InnoDB (0 = unlimited)."),
+        KnobDef::int("table_open_cache", Memory, 4000, 1, 500_000,
+            "Number of table definitions kept open."),
+        KnobDef::int("optimizer_search_depth", Optimizer, 62, 0, 62,
+            "Join-order search depth of the optimizer."),
+        KnobDef::boolean("innodb_adaptive_hash_index", Optimizer, true,
+            "Adaptive hash index on frequently accessed pages."),
+    ];
+    DEFS
+}
+
+/// Returns the knob definitions for a DBMS.
+pub fn knob_defs(dbms: Dbms) -> &'static [KnobDef] {
+    match dbms {
+        Dbms::Postgres => postgres_knobs(),
+        Dbms::Mysql => mysql_knobs(),
+    }
+}
+
+/// Looks up one knob definition by name (case-insensitive).
+pub fn knob_def(dbms: Dbms, name: &str) -> Option<&'static KnobDef> {
+    knob_defs(dbms).iter().find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+/// A full assignment of values to every knob of one DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobSet {
+    dbms: Dbms,
+    values: BTreeMap<&'static str, KnobValue>,
+}
+
+impl KnobSet {
+    /// All-defaults knob set for a DBMS.
+    pub fn defaults(dbms: Dbms) -> Self {
+        let values = knob_defs(dbms).iter().map(|d| (d.name, d.default)).collect();
+        KnobSet { dbms, values }
+    }
+
+    /// The DBMS this knob set belongs to.
+    pub fn dbms(&self) -> Dbms {
+        self.dbms
+    }
+
+    /// Sets a knob from a textual value. Unknown knobs and malformed values
+    /// are errors (the script applier decides whether to skip or abort).
+    pub fn set_text(&mut self, name: &str, value: &str) -> Result<()> {
+        let def = knob_def(self.dbms, name)
+            .ok_or_else(|| LtError::Config(format!("unknown knob {name}")))?;
+        let v = def.parse_value(value)?;
+        self.values.insert(def.name, v);
+        Ok(())
+    }
+
+    /// Sets a knob from a typed value (clamped to the legal range).
+    pub fn set(&mut self, name: &str, value: KnobValue) -> Result<()> {
+        let def = knob_def(self.dbms, name)
+            .ok_or_else(|| LtError::Config(format!("unknown knob {name}")))?;
+        self.values.insert(def.name, def.clamp(value));
+        Ok(())
+    }
+
+    /// Reads a knob value. Panics on unknown names (program error: every
+    /// registered knob always has a value).
+    pub fn get(&self, name: &str) -> KnobValue {
+        let def = knob_def(self.dbms, name)
+            .unwrap_or_else(|| panic!("unknown knob {name} for {}", self.dbms));
+        self.values[def.name]
+    }
+
+    /// Knob value as f64.
+    pub fn get_f64(&self, name: &str) -> f64 {
+        self.get(name).as_f64()
+    }
+
+    /// Names of knobs whose value differs from the default.
+    pub fn non_default(&self) -> Vec<(&'static str, KnobValue)> {
+        knob_defs(self.dbms)
+            .iter()
+            .filter(|d| self.values[d.name] != d.default)
+            .map(|d| (d.name, self.values[d.name]))
+            .collect()
+    }
+
+    // ---- semantic accessors consumed by the optimizer and executor ----
+
+    /// Bytes of DBMS-managed buffer pool.
+    pub fn buffer_pool_bytes(&self) -> u64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("shared_buffers") as u64,
+            Dbms::Mysql => self.get_f64("innodb_buffer_pool_size") as u64,
+        }
+    }
+
+    /// Bytes one sort/hash operation may use before spilling.
+    pub fn work_mem_bytes(&self) -> u64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("work_mem") as u64,
+            Dbms::Mysql => {
+                (self.get_f64("join_buffer_size") + self.get_f64("sort_buffer_size")) as u64
+            }
+        }
+    }
+
+    /// Bytes available to maintenance operations (index builds).
+    pub fn maintenance_mem_bytes(&self) -> u64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("maintenance_work_mem") as u64,
+            Dbms::Mysql => (2.0 * self.get_f64("sort_buffer_size")) as u64,
+        }
+    }
+
+    /// Cache size the *optimizer* assumes (may differ from reality).
+    pub fn planner_cache_bytes(&self) -> u64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("effective_cache_size") as u64,
+            Dbms::Mysql => self.buffer_pool_bytes(),
+        }
+    }
+
+    /// Parallel workers one query may use (in addition to the leader).
+    pub fn parallel_workers(&self) -> u32 {
+        match self.dbms {
+            Dbms::Postgres => {
+                let per_gather = self.get_f64("max_parallel_workers_per_gather") as u32;
+                let total = self.get_f64("max_parallel_workers") as u32;
+                per_gather.min(total)
+            }
+            Dbms::Mysql => (self.get_f64("innodb_parallel_read_threads") as u32).saturating_sub(1),
+        }
+    }
+
+    /// Effective I/O concurrency (prefetch depth).
+    pub fn io_concurrency(&self) -> u32 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("effective_io_concurrency") as u32,
+            Dbms::Mysql => (self.get_f64("innodb_io_capacity") as u32 / 200).max(1),
+        }
+    }
+
+    /// Planner cost of a random page fetch.
+    pub fn random_page_cost(&self) -> f64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("random_page_cost"),
+            // MySQL 8 exposes engine costs elsewhere; we model its planner
+            // with a fixed ratio, which also captures that MySQL's optimizer
+            // is less tunable than PostgreSQL's.
+            Dbms::Mysql => 4.0,
+        }
+    }
+
+    /// Planner cost of a sequential page fetch.
+    pub fn seq_page_cost(&self) -> f64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("seq_page_cost"),
+            Dbms::Mysql => 1.0,
+        }
+    }
+
+    /// Planner cost of processing one tuple.
+    pub fn cpu_tuple_cost(&self) -> f64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("cpu_tuple_cost"),
+            Dbms::Mysql => 0.01,
+        }
+    }
+
+    /// Planner cost of processing one index entry.
+    pub fn cpu_index_tuple_cost(&self) -> f64 {
+        match self.dbms {
+            Dbms::Postgres => self.get_f64("cpu_index_tuple_cost"),
+            Dbms::Mysql => 0.005,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_every_knob() {
+        for dbms in Dbms::all() {
+            let set = KnobSet::defaults(dbms);
+            for def in knob_defs(dbms) {
+                assert_eq!(set.get(def.name), def.default, "{}", def.name);
+            }
+            assert!(set.non_default().is_empty());
+        }
+    }
+
+    #[test]
+    fn set_text_parses_units_and_clamps() {
+        let mut set = KnobSet::defaults(Dbms::Postgres);
+        set.set_text("shared_buffers", "'16GB'").unwrap();
+        assert_eq!(set.get("shared_buffers"), KnobValue::Bytes(16 * GIB));
+        set.set_text("random_page_cost", "1.1").unwrap();
+        assert_eq!(set.get("random_page_cost"), KnobValue::Float(1.1));
+        // Below minimum → clamped up.
+        set.set_text("work_mem", "1kB").unwrap();
+        assert_eq!(set.get("work_mem"), KnobValue::Bytes(64 * KIB));
+    }
+
+    #[test]
+    fn unknown_knob_is_an_error() {
+        let mut set = KnobSet::defaults(Dbms::Postgres);
+        assert!(set.set_text("innodb_buffer_pool_size", "1GB").is_err());
+        let mut set = KnobSet::defaults(Dbms::Mysql);
+        assert!(set.set_text("shared_buffers", "1GB").is_err());
+    }
+
+    #[test]
+    fn invalid_value_is_an_error() {
+        let mut set = KnobSet::defaults(Dbms::Postgres);
+        assert!(set.set_text("work_mem", "lots").is_err());
+        assert!(set.set_text("jit", "maybe").is_err());
+    }
+
+    #[test]
+    fn bool_parsing() {
+        let mut set = KnobSet::defaults(Dbms::Postgres);
+        set.set_text("jit", "off").unwrap();
+        assert_eq!(set.get("jit"), KnobValue::Bool(false));
+        set.set_text("jit", "ON").unwrap();
+        assert_eq!(set.get("jit"), KnobValue::Bool(true));
+    }
+
+    #[test]
+    fn non_default_lists_changes() {
+        let mut set = KnobSet::defaults(Dbms::Postgres);
+        set.set_text("work_mem", "1GB").unwrap();
+        set.set_text("random_page_cost", "1.1").unwrap();
+        let nd = set.non_default();
+        assert_eq!(nd.len(), 2);
+        assert!(nd.iter().any(|(n, _)| *n == "work_mem"));
+    }
+
+    #[test]
+    fn semantic_accessors_follow_dbms() {
+        let mut pg = KnobSet::defaults(Dbms::Postgres);
+        pg.set_text("shared_buffers", "8GB").unwrap();
+        assert_eq!(pg.buffer_pool_bytes(), 8 * GIB);
+
+        let mut my = KnobSet::defaults(Dbms::Mysql);
+        my.set_text("innodb_buffer_pool_size", "8GB").unwrap();
+        assert_eq!(my.buffer_pool_bytes(), 8 * GIB);
+        // MySQL's planner page-cost ratio is fixed.
+        assert_eq!(my.random_page_cost(), 4.0);
+    }
+
+    #[test]
+    fn parallel_workers_respects_global_cap() {
+        let mut pg = KnobSet::defaults(Dbms::Postgres);
+        pg.set_text("max_parallel_workers_per_gather", "16").unwrap();
+        pg.set_text("max_parallel_workers", "4").unwrap();
+        assert_eq!(pg.parallel_workers(), 4);
+    }
+
+    #[test]
+    fn knob_lookup_is_case_insensitive() {
+        assert!(knob_def(Dbms::Postgres, "SHARED_BUFFERS").is_some());
+        assert!(knob_def(Dbms::Postgres, "no_such_knob").is_none());
+    }
+
+    #[test]
+    fn every_knob_definition_is_internally_consistent() {
+        for dbms in Dbms::all() {
+            for def in knob_defs(dbms) {
+                assert!(def.min <= def.max, "{}: min > max", def.name);
+                let d = def.default.as_f64();
+                assert!(
+                    d >= def.min && d <= def.max,
+                    "{}: default {d} outside [{}, {}]",
+                    def.name,
+                    def.min,
+                    def.max
+                );
+                assert!(!def.description.is_empty(), "{}: no description", def.name);
+                assert_eq!(def.name, def.name.to_ascii_lowercase(), "{}", def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn knob_names_are_unique_per_dbms() {
+        for dbms in Dbms::all() {
+            let mut names: Vec<&str> = knob_defs(dbms).iter().map(|d| d.name).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(KnobValue::Bytes(16 * GIB).to_string(), "16GB");
+        assert_eq!(KnobValue::Float(1.1).to_string(), "1.1");
+        assert_eq!(KnobValue::Bool(true).to_string(), "on");
+        assert_eq!(Dbms::Postgres.to_string(), "PostgreSQL");
+        assert_eq!(KnobCategory::Io.to_string(), "IO");
+    }
+}

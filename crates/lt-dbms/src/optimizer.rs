@@ -1,0 +1,833 @@
+//! Cost-based query optimizer.
+//!
+//! A Selinger-style planner: per-table access-path selection (sequential
+//! scan vs B-tree index scan) followed by dynamic-programming join ordering
+//! over left-deep trees, with hash, merge and index-nested-loop join
+//! methods. All cost formulas use the knobs' planner constants
+//! (`seq_page_cost`, `random_page_cost`, `cpu_*_cost`, `effective_cache_size`,
+//! `work_mem`), so configuration changes move plan choices exactly the way
+//! they do in PostgreSQL — the behaviour λ-Tune's generated configurations
+//! exploit (paper §6.3: lowering `random_page_cost` and raising
+//! `effective_cache_size` "motivate the query optimizer to use indexes more
+//! often").
+
+use crate::catalog::{Catalog, PAGE_SIZE};
+use crate::knobs::KnobSet;
+use crate::physical::IndexCatalog;
+use crate::plan::{Plan, PlanNode, PlanOp};
+use crate::stats::{extract, Estimator, FilterKind, QueryPredicates};
+use lt_common::{ColumnId, TableId};
+use lt_sql::ast::Query;
+use std::collections::HashMap;
+
+/// Maximum number of relations planned with exact DP; beyond this the
+/// planner falls back to a greedy heuristic (PostgreSQL's GEQO analogue).
+const DP_RELATION_LIMIT: usize = 13;
+
+/// The query planner.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    knobs: &'a KnobSet,
+    indexes: &'a IndexCatalog,
+    est: Estimator<'a>,
+}
+
+/// One candidate access path / partial join result during planning.
+#[derive(Debug, Clone)]
+struct Candidate {
+    node: PlanNode,
+    /// Tables covered by this candidate.
+    tables: u64,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates a planner over the given catalog, knobs and index set.
+    /// `stats_seed` fixes the misestimation pattern of the underlying
+    /// estimator (shared with the execution model for consistency).
+    pub fn new(
+        catalog: &'a Catalog,
+        knobs: &'a KnobSet,
+        indexes: &'a IndexCatalog,
+        stats_seed: u64,
+    ) -> Self {
+        let quality = match knobs.dbms() {
+            crate::knobs::Dbms::Postgres => Estimator::quality_from_stats_target(
+                knobs.get_f64("default_statistics_target"),
+            ),
+            crate::knobs::Dbms::Mysql => 0.0,
+        };
+        let est = Estimator::new(catalog, stats_seed).with_stats_quality(quality);
+        Optimizer { catalog, knobs, indexes, est }
+    }
+
+    /// Plans a query. Queries referencing no known table produce a trivial
+    /// constant plan.
+    pub fn plan(&self, query: &Query) -> Plan {
+        let preds = extract(query, self.catalog);
+        self.plan_extracted(&preds)
+    }
+
+    /// Plans from already-extracted predicates (used by the facade to avoid
+    /// re-extraction).
+    pub fn plan_extracted(&self, preds: &QueryPredicates) -> Plan {
+        if preds.tables.is_empty() {
+            let root = PlanNode::leaf(PlanOp::Limit { rows: 1 }, 1.0, 0.01, 8.0);
+            return Plan { root, join_costs: Vec::new() };
+        }
+        let mut join_costs = Vec::new();
+        let base: Vec<Candidate> = preds
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Candidate { node: self.best_access_path(*t, preds), tables: 1 << i })
+            .collect();
+        let joined = if preds.tables.len() <= DP_RELATION_LIMIT {
+            self.dp_join(&base, preds, &mut join_costs)
+        } else {
+            self.greedy_join(base, preds, &mut join_costs)
+        };
+        let mut root = joined.node;
+        root = self.maybe_gather(root);
+        root = self.finalize(root, preds);
+        Plan { root, join_costs }
+    }
+
+    // ---- access paths ----
+
+    /// Planner's view of the fraction of random page fetches that miss the
+    /// cache, derived from `effective_cache_size` relative to the database
+    /// size (larger assumed cache → cheaper index scans).
+    fn planner_miss_fraction(&self) -> f64 {
+        let cache = self.knobs.planner_cache_bytes() as f64;
+        let data = self.catalog.total_bytes() as f64;
+        (1.0 - cache / (cache + data)).clamp(0.05, 1.0)
+    }
+
+    /// Effective per-page cost of a random fetch under the cache assumption.
+    fn effective_random_page_cost(&self) -> f64 {
+        let spc = self.knobs.seq_page_cost();
+        let rpc = self.knobs.random_page_cost();
+        spc + (rpc - spc).max(0.0) * self.planner_miss_fraction()
+    }
+
+    fn seq_scan_cost(&self, table: TableId) -> f64 {
+        let t = self.catalog.table(table);
+        let pages = t.pages(self.catalog) as f64;
+        let rows = t.rows as f64;
+        pages * self.knobs.seq_page_cost() + rows * self.knobs.cpu_tuple_cost()
+    }
+
+    fn index_scan_cost(&self, table: TableId, selectivity: f64) -> f64 {
+        let t = self.catalog.table(table);
+        let rows = t.rows as f64;
+        let pages = t.pages(self.catalog) as f64;
+        let fetched_rows = (selectivity * rows).max(1.0);
+        // Heap pages touched: one random fetch per row, capped by the heap.
+        let heap_pages = fetched_rows.min(pages);
+        let descent = (rows.max(2.0)).log2() * self.knobs.cpu_index_tuple_cost() * 10.0;
+        descent
+            + fetched_rows * self.knobs.cpu_index_tuple_cost()
+            + heap_pages * self.effective_random_page_cost()
+            + fetched_rows * self.knobs.cpu_tuple_cost()
+    }
+
+    /// Chooses the cheapest access path for one base table given its filter
+    /// terms and the available indexes.
+    fn best_access_path(&self, table: TableId, preds: &QueryPredicates) -> PlanNode {
+        let t = self.catalog.table(table);
+        let rows = t.rows as f64;
+        let width = t.row_width(self.catalog) as f64;
+        let empty = Vec::new();
+        let terms = preds.filters.get(&table).unwrap_or(&empty);
+        let sel = self.est.estimated_table_selectivity(terms);
+        let out_rows = (rows * sel).max(1.0);
+
+        let seq = PlanNode::leaf(
+            PlanOp::SeqScan { table, selectivity: sel },
+            out_rows,
+            self.seq_scan_cost(table),
+            width,
+        );
+
+        // An index is usable when its leading column carries a sargable
+        // filter; the index lookup covers that term's selectivity and the
+        // remaining terms filter residually.
+        let mut best = seq;
+        for term in terms {
+            if !sargable(term.kind) {
+                continue;
+            }
+            let Some(index) = self.indexes.with_leading_column(term.column) else {
+                continue;
+            };
+            if index.table != table {
+                continue;
+            }
+            let term_sel = self.est.estimated_table_selectivity(&[*term]);
+            let cost = self.index_scan_cost(table, term_sel);
+            if cost < best.est_cost {
+                best = PlanNode::leaf(
+                    PlanOp::IndexScan { table, index: index.id, selectivity: sel },
+                    out_rows,
+                    cost,
+                    width,
+                );
+            }
+        }
+        best
+    }
+
+    // ---- join planning ----
+
+    /// Join edges connecting a covered set to a new base table; returns
+    /// every `(outer key, inner key)` pair plus the combined selectivity of
+    /// all connecting edges.
+    fn connection(
+        &self,
+        covered: u64,
+        next: usize,
+        preds: &QueryPredicates,
+    ) -> Option<(Vec<(ColumnId, ColumnId)>, f64)> {
+        let next_table = preds.tables[next];
+        let mut keys: Vec<(ColumnId, ColumnId)> = Vec::new();
+        let mut sel = 1.0;
+        for edge in &preds.joins {
+            let lt = self.catalog.column(edge.left).table;
+            let rt = self.catalog.column(edge.right).table;
+            let l_idx = preds.tables.iter().position(|t| *t == lt);
+            let r_idx = preds.tables.iter().position(|t| *t == rt);
+            let (Some(li), Some(ri)) = (l_idx, r_idx) else { continue };
+            let l_in = covered & (1 << li) != 0;
+            let r_in = covered & (1 << ri) != 0;
+            if l_in && rt == next_table {
+                keys.push((edge.left, edge.right));
+                sel *= self.est.estimated_join_selectivity(*edge);
+            } else if r_in && lt == next_table {
+                keys.push((edge.right, edge.left));
+                sel *= self.est.estimated_join_selectivity(*edge);
+            }
+        }
+        if keys.is_empty() {
+            None
+        } else {
+            Some((keys, sel))
+        }
+    }
+
+    /// Costs the best join method for `outer ⋈ inner` and builds the node.
+    fn join_node(
+        &self,
+        outer: &PlanNode,
+        inner: &PlanNode,
+        keys: Option<(Vec<(ColumnId, ColumnId)>, f64)>,
+        join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
+    ) -> PlanNode {
+        let out_width = outer.width + inner.width;
+        let Some((keys, sel)) = keys else {
+            // Cartesian product: rows multiply; heavily penalized.
+            let rows = (outer.est_rows * inner.est_rows).max(1.0);
+            let cost = outer.est_cost
+                + inner.est_cost
+                + rows * self.knobs.cpu_tuple_cost() * 4.0;
+            return PlanNode {
+                op: PlanOp::CrossJoin,
+                children: vec![outer.clone(), inner.clone()],
+                est_rows: rows,
+                est_cost: cost,
+                width: out_width,
+            };
+        };
+        let (okey, ikey) = keys[0];
+        let out_rows = (outer.est_rows * inner.est_rows * sel).max(1.0);
+        let cpu_op = self.knobs.cpu_tuple_cost() * 0.25;
+
+        // Hash join: build on the smaller input (we put the build side
+        // second, matching PlanOp's convention).
+        let (probe, build) = if outer.est_rows >= inner.est_rows {
+            (outer, inner)
+        } else {
+            (inner, outer)
+        };
+        let build_bytes = build.est_rows * build.width;
+        let spills = build_bytes > self.knobs.work_mem_bytes() as f64;
+        let mut hash_cost = probe.est_cost
+            + build.est_cost
+            + build.est_rows * cpu_op * 2.0
+            + probe.est_rows * cpu_op
+            + out_rows * self.knobs.cpu_tuple_cost() * 0.5;
+        if spills {
+            let spill_pages =
+                (build_bytes + probe.est_rows * probe.width) / PAGE_SIZE as f64;
+            hash_cost += 2.0 * spill_pages * self.knobs.seq_page_cost();
+        }
+
+        // Index nested loop: inner side must be a bare scan of a table with
+        // an index on the inner join key.
+        let nl = self.index_nestloop(outer, inner, &keys, out_rows, out_width);
+
+        // Merge join: sort both inputs (ignoring interesting orders).
+        let sort_cost = |n: &PlanNode| {
+            let r = n.est_rows.max(2.0);
+            r * r.log2() * cpu_op * 2.0
+        };
+        let merge_cost = outer.est_cost
+            + inner.est_cost
+            + sort_cost(outer)
+            + sort_cost(inner)
+            + (outer.est_rows + inner.est_rows) * cpu_op
+            + out_rows * self.knobs.cpu_tuple_cost() * 0.5;
+
+        let hash_node = PlanNode {
+            op: PlanOp::HashJoin { keys: keys.clone(), spills },
+            children: vec![probe.clone(), build.clone()],
+            est_rows: out_rows,
+            est_cost: hash_cost,
+            width: out_width,
+        };
+        let merge_node = PlanNode {
+            op: PlanOp::MergeJoin { keys: keys.clone() },
+            children: vec![outer.clone(), inner.clone()],
+            est_rows: out_rows,
+            est_cost: merge_cost,
+            width: out_width,
+        };
+
+        let mut best = if hash_cost <= merge_cost { hash_node } else { merge_node };
+        if let Some(nl_node) = nl {
+            if nl_node.est_cost < best.est_cost {
+                best = nl_node;
+            }
+        }
+        let incremental = (best.est_cost - outer.est_cost - inner.est_cost).max(0.0);
+        for (l, r) in &keys {
+            join_costs.push((*l, *r, incremental));
+        }
+        let _ = (okey, ikey);
+        best
+    }
+
+    fn index_nestloop(
+        &self,
+        outer: &PlanNode,
+        inner: &PlanNode,
+        keys: &[(ColumnId, ColumnId)],
+        out_rows: f64,
+        out_width: f64,
+    ) -> Option<PlanNode> {
+        let (_okey, ikey) = keys[0];
+        // Inner must be a base-table scan (not an intermediate join).
+        let inner_table = match inner.op {
+            PlanOp::SeqScan { table, .. } | PlanOp::IndexScan { table, .. } => table,
+            _ => return None,
+        };
+        if self.catalog.column(ikey).table != inner_table {
+            return None;
+        }
+        let index = self.indexes.with_leading_column(ikey)?;
+        let t = self.catalog.table(inner_table);
+        let inner_rows = t.rows as f64;
+        let matches_per_probe = (inner_rows / self.catalog.column(ikey).ndv.max(1.0)).max(1.0);
+        let descent = (inner_rows.max(2.0)).log2() * self.knobs.cpu_index_tuple_cost() * 10.0;
+        let per_probe = descent
+            + matches_per_probe
+                * (self.knobs.cpu_index_tuple_cost()
+                    + self.effective_random_page_cost()
+                    + self.knobs.cpu_tuple_cost());
+        let cost = outer.est_cost + outer.est_rows * per_probe;
+        let lookup_sel = (matches_per_probe / inner_rows).clamp(1e-12, 1.0);
+        let inner_leaf = PlanNode::leaf(
+            PlanOp::IndexScan { table: inner_table, index: index.id, selectivity: lookup_sel },
+            matches_per_probe,
+            per_probe,
+            inner.width,
+        );
+        Some(PlanNode {
+            op: PlanOp::NestLoopJoin { keys: keys.to_vec(), inner_index: Some(index.id) },
+            children: vec![outer.clone(), inner_leaf],
+            est_rows: out_rows,
+            est_cost: cost,
+            width: out_width,
+        })
+    }
+
+    /// Exact DP over connected subsets (left-deep trees).
+    fn dp_join(
+        &self,
+        base: &[Candidate],
+        preds: &QueryPredicates,
+        join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
+    ) -> Candidate {
+        let n = base.len();
+        if n == 1 {
+            return base[0].clone();
+        }
+        let mut best: HashMap<u64, Candidate> = HashMap::new();
+        for c in base {
+            best.insert(c.tables, c.clone());
+        }
+        for size in 2..=n {
+            for mask in 1u64..(1 << n) {
+                if mask.count_ones() as usize != size {
+                    continue;
+                }
+                let mut best_for_mask: Option<Candidate> = None;
+                for next in 0..n {
+                    if mask & (1 << next) == 0 {
+                        continue;
+                    }
+                    let rest = mask & !(1 << next);
+                    let Some(left) = best.get(&rest) else { continue };
+                    let keys = self.connection(rest, next, preds);
+                    // Defer cross joins until no connected option exists.
+                    if keys.is_none() && has_connected_extension(rest, mask, n, preds, self) {
+                        continue;
+                    }
+                    let mut scratch = Vec::new();
+                    let node =
+                        self.join_node(&left.node, &base[next].node, keys, &mut scratch);
+                    if best_for_mask
+                        .as_ref()
+                        .map(|b| node.est_cost < b.node.est_cost)
+                        .unwrap_or(true)
+                    {
+                        best_for_mask = Some(Candidate { node, tables: mask });
+                    }
+                }
+                if let Some(b) = best_for_mask {
+                    best.insert(mask, b);
+                }
+            }
+        }
+        let full = (1u64 << n) - 1;
+        let winner = best.remove(&full).expect("DP always covers the full set");
+        self.collect_join_costs(&winner.node, preds, join_costs);
+        winner
+    }
+
+    /// Greedy fallback for very wide joins: repeatedly merge the pair with
+    /// the smallest result cost.
+    fn greedy_join(
+        &self,
+        mut cands: Vec<Candidate>,
+        preds: &QueryPredicates,
+        join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
+    ) -> Candidate {
+        while cands.len() > 1 {
+            let mut best: Option<(usize, usize, PlanNode)> = None;
+            for i in 0..cands.len() {
+                for j in 0..cands.len() {
+                    if i == j {
+                        continue;
+                    }
+                    // Greedy works over single-table extensions of i by j's
+                    // single table when j is a base candidate; general case:
+                    // use connection between covered sets via any edge.
+                    let keys = self.connection_between(cands[i].tables, cands[j].tables, preds);
+                    if keys.is_none() && best.is_some() {
+                        continue;
+                    }
+                    let mut scratch = Vec::new();
+                    let node =
+                        self.join_node(&cands[i].node, &cands[j].node, keys, &mut scratch);
+                    if best.as_ref().map(|(_, _, b)| node.est_cost < b.est_cost).unwrap_or(true)
+                    {
+                        best = Some((i, j, node));
+                    }
+                }
+            }
+            let (i, j, node) = best.expect("at least one pair exists");
+            let tables = cands[i].tables | cands[j].tables;
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            cands.swap_remove(hi);
+            cands.swap_remove(lo);
+            cands.push(Candidate { node, tables });
+        }
+        let winner = cands.pop().expect("one candidate remains");
+        self.collect_join_costs(&winner.node, preds, join_costs);
+        winner
+    }
+
+    fn connection_between(
+        &self,
+        left_set: u64,
+        right_set: u64,
+        preds: &QueryPredicates,
+    ) -> Option<(Vec<(ColumnId, ColumnId)>, f64)> {
+        let mut keys: Vec<(ColumnId, ColumnId)> = Vec::new();
+        let mut sel = 1.0;
+        for edge in &preds.joins {
+            let lt = self.catalog.column(edge.left).table;
+            let rt = self.catalog.column(edge.right).table;
+            let li = preds.tables.iter().position(|t| *t == lt);
+            let ri = preds.tables.iter().position(|t| *t == rt);
+            let (Some(li), Some(ri)) = (li, ri) else { continue };
+            let l_left = left_set & (1 << li) != 0;
+            let r_right = right_set & (1 << ri) != 0;
+            let l_right = right_set & (1 << li) != 0;
+            let r_left = left_set & (1 << ri) != 0;
+            if l_left && r_right {
+                keys.push((edge.left, edge.right));
+                sel *= self.est.estimated_join_selectivity(*edge);
+            } else if l_right && r_left {
+                keys.push((edge.right, edge.left));
+                sel *= self.est.estimated_join_selectivity(*edge);
+            }
+        }
+        if keys.is_empty() {
+            None
+        } else {
+            Some((keys, sel))
+        }
+    }
+
+    /// Re-derives per-join-condition incremental costs from the final tree
+    /// (the DP explores many candidates; only the winner's joins count).
+    fn collect_join_costs(
+        &self,
+        node: &PlanNode,
+        _preds: &QueryPredicates,
+        out: &mut Vec<(ColumnId, ColumnId, f64)>,
+    ) {
+        node.visit(&mut |n| {
+            let child_cost: f64 = n.children.iter().map(|c| c.est_cost).sum();
+            match &n.op {
+                PlanOp::HashJoin { keys, .. }
+                | PlanOp::MergeJoin { keys }
+                | PlanOp::NestLoopJoin { keys, .. } => {
+                    let incremental = (n.est_cost - child_cost).max(0.0);
+                    for (l, r) in keys {
+                        out.push((*l, *r, incremental));
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+
+    // ---- post-join operators ----
+
+    /// Wraps the plan in a Gather when parallel workers are configured and
+    /// the input is large enough to benefit (PostgreSQL's
+    /// `min_parallel_table_scan_size` analogue).
+    fn maybe_gather(&self, node: PlanNode) -> PlanNode {
+        let workers = self.knobs.parallel_workers();
+        if workers == 0 {
+            return node;
+        }
+        let biggest_pages = node
+            .scanned_tables()
+            .iter()
+            .map(|t| self.catalog.table(*t).pages(self.catalog))
+            .max()
+            .unwrap_or(0);
+        if biggest_pages < 1024 {
+            return node;
+        }
+        let speedup = 1.0 + 0.7 * workers as f64;
+        let est_rows = node.est_rows;
+        let width = node.width;
+        let cost = node.est_cost / speedup + 100.0 * workers as f64 * self.knobs.cpu_tuple_cost();
+        PlanNode {
+            op: PlanOp::Gather { workers },
+            children: vec![node],
+            est_rows,
+            est_cost: cost,
+            width,
+        }
+    }
+
+    fn finalize(&self, mut node: PlanNode, preds: &QueryPredicates) -> PlanNode {
+        let cpu_op = self.knobs.cpu_tuple_cost() * 0.25;
+        if preds.has_aggregates || preds.group_by_columns > 0 {
+            let grouped = preds.group_by_columns > 0;
+            let in_rows = node.est_rows;
+            let out_rows = if grouped { (in_rows * 0.1).max(1.0) } else { 1.0 };
+            let cost = node.est_cost + in_rows * cpu_op * 2.0;
+            let width = node.width.min(64.0);
+            node = PlanNode {
+                op: PlanOp::Aggregate { grouped },
+                children: vec![node],
+                est_rows: out_rows,
+                est_cost: cost,
+                width,
+            };
+        }
+        if preds.order_by_columns > 0 {
+            let rows = node.est_rows.max(2.0);
+            let bytes = rows * node.width;
+            let spills = bytes > self.knobs.work_mem_bytes() as f64;
+            let mut cost = node.est_cost + rows * rows.log2() * cpu_op;
+            if spills {
+                cost += 2.0 * (bytes / PAGE_SIZE as f64) * self.knobs.seq_page_cost();
+            }
+            let est_rows = node.est_rows;
+            let width = node.width;
+            node = PlanNode {
+                op: PlanOp::Sort { spills },
+                children: vec![node],
+                est_rows,
+                est_cost: cost,
+                width,
+            };
+        }
+        if let Some(limit) = preds.limit {
+            let est_rows = node.est_rows.min(limit as f64);
+            let cost = node.est_cost;
+            let width = node.width;
+            node = PlanNode {
+                op: PlanOp::Limit { rows: limit },
+                children: vec![node],
+                est_rows,
+                est_cost: cost,
+                width,
+            };
+        }
+        node
+    }
+}
+
+/// Whether an extension of `rest` to `mask` can be made through a join edge
+/// for *some* choice of last table (used to avoid premature cross joins).
+fn has_connected_extension(
+    rest_base: u64,
+    mask: u64,
+    n: usize,
+    preds: &QueryPredicates,
+    opt: &Optimizer<'_>,
+) -> bool {
+    let _ = rest_base;
+    for next in 0..n {
+        if mask & (1 << next) == 0 {
+            continue;
+        }
+        let rest = mask & !(1 << next);
+        if rest == 0 {
+            continue;
+        }
+        if opt.connection(rest, next, preds).is_some() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Filter kinds an index lookup can serve.
+fn sargable(kind: FilterKind) -> bool {
+    matches!(
+        kind,
+        FilterKind::Equality
+            | FilterKind::Range
+            | FilterKind::Between
+            | FilterKind::InList(_)
+            | FilterKind::LikePrefix
+            | FilterKind::SemiJoin
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{Dbms, KnobSet};
+    use lt_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("lineitem", 6_000_000)
+            .primary_key("l_orderkey", 8)
+            .foreign_key("l_partkey", 8, 200_000.0)
+            .column("l_shipdate", 4, 2_500.0)
+            .column("l_extendedprice", 8, 900_000.0)
+            .finish();
+        c.add_table("orders", 1_500_000)
+            .primary_key("o_orderkey", 8)
+            .foreign_key("o_custkey", 8, 150_000.0)
+            .column("o_orderdate", 4, 2_400.0)
+            .finish();
+        c.add_table("customer", 150_000)
+            .primary_key("c_custkey", 8)
+            .column("c_mktsegment", 10, 5.0)
+            .finish();
+        c
+    }
+
+    fn plan_sql(
+        c: &Catalog,
+        knobs: &KnobSet,
+        idx: &IndexCatalog,
+        sql: &str,
+    ) -> Plan {
+        let q = parse_query(sql).unwrap();
+        Optimizer::new(c, knobs, idx, 42).plan(&q)
+    }
+
+    #[test]
+    fn single_table_seq_scan_by_default() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let p = plan_sql(&c, &knobs, &idx, "select * from customer where c_mktsegment = 'A'");
+        assert!(matches!(p.root.op, PlanOp::SeqScan { .. }), "{}", p.explain());
+    }
+
+    #[test]
+    fn index_scan_when_selective_and_cheap_random_io() {
+        let c = catalog();
+        let mut knobs = KnobSet::defaults(Dbms::Postgres);
+        knobs.set_text("random_page_cost", "1.1").unwrap();
+        knobs.set_text("effective_cache_size", "45GB").unwrap();
+        let mut idx = IndexCatalog::new();
+        let col = c.resolve_column(None, "o_orderkey").unwrap();
+        let t = c.table_by_name("orders").unwrap();
+        idx.add(t, vec![col], None);
+        let p = plan_sql(&c, &knobs, &idx, "select * from orders where o_orderkey = 42");
+        // Highly selective equality + index + cheap random IO ⇒ index scan.
+        let has_index_scan = p.root.used_indexes().len() == 1;
+        assert!(has_index_scan, "{}", p.explain());
+    }
+
+    #[test]
+    fn high_random_page_cost_discourages_index() {
+        let c = catalog();
+        let mut knobs = KnobSet::defaults(Dbms::Postgres);
+        knobs.set_text("random_page_cost", "1000").unwrap();
+        knobs.set_text("effective_cache_size", "8kB").unwrap();
+        let mut idx = IndexCatalog::new();
+        let col = c.resolve_column(None, "l_shipdate").unwrap();
+        let t = c.table_by_name("lineitem").unwrap();
+        idx.add(t, vec![col], None);
+        // A between filter touches ~12% of rows; with absurd random IO cost
+        // the seq scan must win.
+        let p = plan_sql(
+            &c,
+            &knobs,
+            &idx,
+            "select * from lineitem where l_shipdate between date '1994-01-01' and date '1994-03-01'",
+        );
+        assert!(p.root.used_indexes().is_empty(), "{}", p.explain());
+    }
+
+    #[test]
+    fn join_plan_covers_all_tables() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let p = plan_sql(
+            &c,
+            &knobs,
+            &idx,
+            "select * from lineitem l, orders o, customer cu \
+             where l.l_orderkey = o.o_orderkey and o.o_custkey = cu.c_custkey",
+        );
+        let tables = p.root.scanned_tables();
+        assert_eq!(tables.len(), 3, "{}", p.explain());
+        // Two join conditions → two join cost entries.
+        assert_eq!(p.join_costs.len(), 2, "{:?}", p.join_costs);
+    }
+
+    #[test]
+    fn work_mem_affects_spill_flag() {
+        let c = catalog();
+        let mut small = KnobSet::defaults(Dbms::Postgres);
+        small.set_text("work_mem", "64kB").unwrap();
+        let mut big = KnobSet::defaults(Dbms::Postgres);
+        big.set_text("work_mem", "8GB").unwrap();
+        let idx = IndexCatalog::new();
+        let sql = "select * from lineitem, orders where l_orderkey = o_orderkey";
+        let p_small = plan_sql(&c, &small, &idx, sql);
+        let p_big = plan_sql(&c, &big, &idx, sql);
+        let spill_of = |p: &Plan| {
+            let mut spilled = false;
+            p.root.visit(&mut |n| {
+                if let PlanOp::HashJoin { spills, .. } = n.op {
+                    spilled |= spills;
+                }
+            });
+            spilled
+        };
+        // With 8GB of work memory nothing spills; the big plan must also be
+        // cheaper.
+        assert!(!spill_of(&p_big), "{}", p_big.explain());
+        assert!(p_big.total_cost() <= p_small.total_cost());
+    }
+
+    #[test]
+    fn aggregates_sort_and_limit_are_added() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let p = plan_sql(
+            &c,
+            &knobs,
+            &idx,
+            "select o_orderdate, count(*) from orders group by o_orderdate \
+             order by o_orderdate limit 10",
+        );
+        let text = p.explain();
+        assert!(text.contains("Limit"), "{text}");
+        assert!(text.contains("Sort"), "{text}");
+        assert!(text.contains("Aggregate"), "{text}");
+    }
+
+    #[test]
+    fn parallel_workers_add_gather() {
+        let c = catalog();
+        let mut knobs = KnobSet::defaults(Dbms::Postgres);
+        knobs.set_text("max_parallel_workers_per_gather", "4").unwrap();
+        let idx = IndexCatalog::new();
+        let p = plan_sql(&c, &knobs, &idx, "select count(*) from lineitem");
+        assert!(p.explain().contains("Gather"), "{}", p.explain());
+
+        let mut no_par = KnobSet::defaults(Dbms::Postgres);
+        no_par.set_text("max_parallel_workers_per_gather", "0").unwrap();
+        let p2 = plan_sql(&c, &no_par, &idx, "select count(*) from lineitem");
+        assert!(!p2.explain().contains("Gather"), "{}", p2.explain());
+    }
+
+    #[test]
+    fn nestloop_with_index_for_fk_join() {
+        let c = catalog();
+        let mut knobs = KnobSet::defaults(Dbms::Postgres);
+        knobs.set_text("random_page_cost", "1.1").unwrap();
+        knobs.set_text("effective_cache_size", "45GB").unwrap();
+        let mut idx = IndexCatalog::new();
+        let t = c.table_by_name("customer").unwrap();
+        let col = c.resolve_column(None, "c_custkey").unwrap();
+        idx.add(t, vec![col], None);
+        // Small filtered orders side probing customer by PK: NL-index wins.
+        let p = plan_sql(
+            &c,
+            &knobs,
+            &idx,
+            "select * from orders, customer where o_custkey = c_custkey \
+             and o_orderdate = date '1995-01-01'",
+        );
+        let mut has_nl = false;
+        p.root.visit(&mut |n| {
+            if matches!(n.op, PlanOp::NestLoopJoin { inner_index: Some(_), .. }) {
+                has_nl = true;
+            }
+        });
+        assert!(has_nl, "{}", p.explain());
+    }
+
+    #[test]
+    fn query_without_known_tables_yields_trivial_plan() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let p = plan_sql(&c, &knobs, &idx, "select * from unknown_table");
+        assert_eq!(p.root.node_count(), 1);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let sql = "select * from lineitem, orders, customer \
+                   where l_orderkey = o_orderkey and o_custkey = c_custkey";
+        let p1 = plan_sql(&c, &knobs, &idx, sql);
+        let p2 = plan_sql(&c, &knobs, &idx, sql);
+        assert_eq!(p1, p2);
+    }
+}

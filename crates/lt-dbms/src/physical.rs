@@ -1,0 +1,208 @@
+//! Physical design: secondary B-tree indexes.
+//!
+//! Indexes are the physical-design dimension λ-Tune tunes alongside system
+//! parameters. The [`IndexCatalog`] tracks which indexes exist at any point
+//! in time; the evaluator creates them lazily (paper §5.1) and drops them
+//! when switching configurations.
+
+use crate::catalog::{Catalog, PAGE_SIZE};
+use lt_common::{ColumnId, IndexId, TableId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A (materialized or hypothetical) B-tree index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Index {
+    /// Catalog-wide id (assigned by the [`IndexCatalog`]).
+    pub id: IndexId,
+    /// Indexed table.
+    pub table: TableId,
+    /// Key columns, leading column first.
+    pub columns: Vec<ColumnId>,
+    /// Index name (generated when the script does not provide one).
+    pub name: String,
+}
+
+impl Index {
+    /// The leading key column (drives lookup applicability).
+    pub fn leading_column(&self) -> ColumnId {
+        self.columns[0]
+    }
+
+    /// Estimated size of the index in pages (key width + 12-byte overhead
+    /// per entry, PostgreSQL-like fill factor of 90%).
+    pub fn pages(&self, catalog: &Catalog) -> u64 {
+        let rows = catalog.table(self.table).rows;
+        let key_width: u64 =
+            self.columns.iter().map(|c| catalog.column(*c).width as u64).sum();
+        let entry = key_width + 12;
+        let per_page = ((PAGE_SIZE * 9 / 10) / entry.max(1)).max(1);
+        rows.div_ceil(per_page)
+    }
+
+    /// Index size in bytes.
+    pub fn bytes(&self, catalog: &Catalog) -> u64 {
+        self.pages(catalog) * PAGE_SIZE
+    }
+}
+
+/// The set of indexes that currently exist (or are being considered
+/// hypothetically, for what-if optimization à la Dexter/DB2 Advisor).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndexCatalog {
+    indexes: BTreeMap<IndexId, Index>,
+    next_id: u32,
+}
+
+impl IndexCatalog {
+    /// Empty index catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an index over `columns` of `table`. Returns the existing id
+    /// if an identical index (same table, same key columns) already exists —
+    /// creating a duplicate index is a no-op, like `IF NOT EXISTS`.
+    pub fn add(&mut self, table: TableId, columns: Vec<ColumnId>, name: Option<String>) -> IndexId {
+        assert!(!columns.is_empty(), "an index needs at least one column");
+        if let Some(existing) = self.find(table, &columns) {
+            return existing;
+        }
+        let id = IndexId(self.next_id);
+        self.next_id += 1;
+        let name = name.unwrap_or_else(|| format!("idx_{}_{}", table.0, id.0));
+        self.indexes.insert(id, Index { id, table, columns, name });
+        id
+    }
+
+    /// Finds an index with exactly these key columns.
+    pub fn find(&self, table: TableId, columns: &[ColumnId]) -> Option<IndexId> {
+        self.indexes
+            .values()
+            .find(|i| i.table == table && i.columns == columns)
+            .map(|i| i.id)
+    }
+
+    /// Removes an index. Returns whether it existed.
+    pub fn remove(&mut self, id: IndexId) -> bool {
+        self.indexes.remove(&id).is_some()
+    }
+
+    /// Drops every index.
+    pub fn clear(&mut self) {
+        self.indexes.clear();
+    }
+
+    /// Looks up an index by id.
+    pub fn get(&self, id: IndexId) -> Option<&Index> {
+        self.indexes.get(&id)
+    }
+
+    /// All indexes, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Index> {
+        self.indexes.values()
+    }
+
+    /// Number of indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True when no index exists.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Indexes on a given table.
+    pub fn on_table(&self, table: TableId) -> impl Iterator<Item = &Index> {
+        self.indexes.values().filter(move |i| i.table == table)
+    }
+
+    /// The best index whose *leading* column is `column`, if any.
+    pub fn with_leading_column(&self, column: ColumnId) -> Option<&Index> {
+        self.indexes.values().find(|i| i.leading_column() == column)
+    }
+
+    /// Total size of all indexes in bytes.
+    pub fn total_bytes(&self, catalog: &Catalog) -> u64 {
+        self.indexes.values().map(|i| i.bytes(catalog)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("orders", 1_500_000)
+            .primary_key("o_orderkey", 8)
+            .foreign_key("o_custkey", 8, 100_000.0)
+            .finish();
+        c
+    }
+
+    #[test]
+    fn add_and_find() {
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let col = c.resolve_column(None, "o_custkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        let id = idx.add(t, vec![col], None);
+        assert_eq!(idx.find(t, &[col]), Some(id));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(id).unwrap().leading_column(), col);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let col = c.resolve_column(None, "o_custkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        let a = idx.add(t, vec![col], None);
+        let b = idx.add(t, vec![col], Some("other_name".into()));
+        assert_eq!(a, b);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let k = c.resolve_column(None, "o_orderkey").unwrap();
+        let f = c.resolve_column(None, "o_custkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        let a = idx.add(t, vec![k], None);
+        idx.add(t, vec![f], None);
+        assert!(idx.remove(a));
+        assert!(!idx.remove(a));
+        assert_eq!(idx.len(), 1);
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn index_size_scales_with_rows() {
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let k = c.resolve_column(None, "o_orderkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        let id = idx.add(t, vec![k], None);
+        let pages = idx.get(id).unwrap().pages(&c);
+        // 8-byte key + 12 overhead = 20 bytes/entry; ~368 entries/page.
+        assert!(pages > 3_000 && pages < 5_000, "pages={pages}");
+    }
+
+    #[test]
+    fn with_leading_column_matches_first_key_only() {
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let k = c.resolve_column(None, "o_orderkey").unwrap();
+        let f = c.resolve_column(None, "o_custkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        idx.add(t, vec![k, f], None);
+        assert!(idx.with_leading_column(k).is_some());
+        assert!(idx.with_leading_column(f).is_none());
+    }
+}

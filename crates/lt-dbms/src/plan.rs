@@ -1,0 +1,296 @@
+//! Physical query plans.
+//!
+//! The optimizer produces a [`PlanNode`] tree; the execution model walks the
+//! same tree to derive simulated run time. Nodes carry the information both
+//! consumers need: the operator, estimated output cardinality, estimated
+//! *cumulative* planner cost (PostgreSQL-style arbitrary units) and output
+//! width.
+
+use lt_common::{ColumnId, IndexId, TableId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanOp {
+    /// Full scan of a base table with residual filter selectivity.
+    SeqScan {
+        /// Scanned table.
+        table: TableId,
+        /// Estimated fraction of rows surviving the filter.
+        selectivity: f64,
+    },
+    /// B-tree index scan driven by a filter or join key.
+    IndexScan {
+        /// Scanned table.
+        table: TableId,
+        /// Index used.
+        index: IndexId,
+        /// Estimated fraction of rows fetched.
+        selectivity: f64,
+    },
+    /// Hash join; the **second** child is the build side.
+    HashJoin {
+        /// All equality conditions evaluated by this join, as
+        /// `(probe key, build key)` pairs; the first is the hash key.
+        keys: Vec<(ColumnId, ColumnId)>,
+        /// True when the build side exceeds work memory and spills.
+        spills: bool,
+    },
+    /// Sort-merge join.
+    MergeJoin {
+        /// All equality conditions, first pair is the sort key.
+        keys: Vec<(ColumnId, ColumnId)>,
+    },
+    /// Nested-loop join; the second child is the inner side, optionally
+    /// driven by an index lookup per outer row.
+    NestLoopJoin {
+        /// All equality conditions, `(outer key, inner key)`; the first
+        /// pair drives the index lookup.
+        keys: Vec<(ColumnId, ColumnId)>,
+        /// Index on the inner relation's join key, if used.
+        inner_index: Option<IndexId>,
+    },
+    /// Cartesian product (no join predicate connects the inputs).
+    CrossJoin,
+    /// Sort, e.g. for ORDER BY; spills when input exceeds work memory.
+    Sort {
+        /// True when the sort exceeds work memory.
+        spills: bool,
+    },
+    /// Aggregation (hash or sorted; the model does not distinguish).
+    Aggregate {
+        /// True for GROUP BY (vs a single scalar aggregate row).
+        grouped: bool,
+    },
+    /// Parallel gather of worker partial results.
+    Gather {
+        /// Number of parallel workers (excluding the leader).
+        workers: u32,
+    },
+    /// LIMIT.
+    Limit {
+        /// Row budget.
+        rows: u64,
+    },
+}
+
+impl PlanOp {
+    /// Short operator name as shown in EXPLAIN output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::SeqScan { .. } => "Seq Scan",
+            PlanOp::IndexScan { .. } => "Index Scan",
+            PlanOp::HashJoin { .. } => "Hash Join",
+            PlanOp::MergeJoin { .. } => "Merge Join",
+            PlanOp::NestLoopJoin { .. } => "Nested Loop",
+            PlanOp::CrossJoin => "Cross Join",
+            PlanOp::Sort { .. } => "Sort",
+            PlanOp::Aggregate { .. } => "Aggregate",
+            PlanOp::Gather { .. } => "Gather",
+            PlanOp::Limit { .. } => "Limit",
+        }
+    }
+}
+
+/// A node of the physical plan tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// Physical operator.
+    pub op: PlanOp,
+    /// Inputs (0 for scans, 1 for sorts/aggregates, 2 for joins).
+    pub children: Vec<PlanNode>,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cumulative cost in planner units (includes children).
+    pub est_cost: f64,
+    /// Estimated output row width in bytes.
+    pub width: f64,
+}
+
+impl PlanNode {
+    /// Creates a leaf node.
+    pub fn leaf(op: PlanOp, est_rows: f64, est_cost: f64, width: f64) -> Self {
+        PlanNode { op, children: Vec::new(), est_rows, est_cost, width }
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Collects every base table scanned by the plan.
+    pub fn scanned_tables(&self) -> Vec<TableId> {
+        let mut tables = Vec::new();
+        self.visit(&mut |n| match n.op {
+            PlanOp::SeqScan { table, .. } | PlanOp::IndexScan { table, .. } => {
+                tables.push(table)
+            }
+            _ => {}
+        });
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+    }
+
+    /// Collects every index used by the plan.
+    pub fn used_indexes(&self) -> Vec<IndexId> {
+        let mut idx = Vec::new();
+        self.visit(&mut |n| match n.op {
+            PlanOp::IndexScan { index, .. } => idx.push(index),
+            PlanOp::NestLoopJoin { inner_index: Some(i), .. } => idx.push(i),
+            _ => {}
+        });
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            f.write_str("  ")?;
+        }
+        let detail = match &self.op {
+            PlanOp::SeqScan { table, selectivity } => {
+                format!(" on {table} (sel={selectivity:.4})")
+            }
+            PlanOp::IndexScan { table, index, selectivity } => {
+                format!(" on {table} using {index} (sel={selectivity:.4})")
+            }
+            PlanOp::HashJoin { keys, spills } => format!(
+                " ({}){}",
+                fmt_keys(keys),
+                if *spills { " [spills]" } else { "" }
+            ),
+            PlanOp::MergeJoin { keys } | PlanOp::NestLoopJoin { keys, .. } => {
+                format!(" ({})", fmt_keys(keys))
+            }
+            PlanOp::Gather { workers } => format!(" (workers={workers})"),
+            PlanOp::Limit { rows } => format!(" ({rows})"),
+            _ => String::new(),
+        };
+        writeln!(
+            f,
+            "{}{}  (rows={:.0} cost={:.2} width={:.0})",
+            self.op.name(),
+            detail,
+            self.est_rows,
+            self.est_cost,
+            self.width
+        )?;
+        for c in &self.children {
+            c.fmt_indented(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_keys(keys: &[(ColumnId, ColumnId)]) -> String {
+    keys.iter()
+        .map(|(l, r)| format!("{l} = {r}"))
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// A complete plan: the operator tree plus per-join-condition cost
+/// attribution (used by the workload compressor to value join snippets —
+/// paper §3.2's `EC_j` obtained via EXPLAIN).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Root of the operator tree.
+    pub root: PlanNode,
+    /// For each equality join evaluated by the plan: the column pair and the
+    /// estimated cost of the join operator evaluating it (planner units).
+    pub join_costs: Vec<(ColumnId, ColumnId, f64)>,
+}
+
+impl Plan {
+    /// Total estimated plan cost (planner units).
+    pub fn total_cost(&self) -> f64 {
+        self.root.est_cost
+    }
+
+    /// EXPLAIN-style text rendering.
+    pub fn explain(&self) -> String {
+        self.root.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(table: u32, cost: f64) -> PlanNode {
+        PlanNode::leaf(
+            PlanOp::SeqScan { table: TableId(table), selectivity: 0.5 },
+            100.0,
+            cost,
+            32.0,
+        )
+    }
+
+    #[test]
+    fn visit_counts_nodes() {
+        let join = PlanNode {
+            op: PlanOp::HashJoin { keys: vec![(ColumnId(0), ColumnId(1))], spills: false },
+            children: vec![scan(0, 10.0), scan(1, 20.0)],
+            est_rows: 50.0,
+            est_cost: 40.0,
+            width: 64.0,
+        };
+        assert_eq!(join.node_count(), 3);
+        assert_eq!(join.scanned_tables(), vec![TableId(0), TableId(1)]);
+    }
+
+    #[test]
+    fn used_indexes_includes_nestloop_inner() {
+        let nl = PlanNode {
+            op: PlanOp::NestLoopJoin {
+                keys: vec![(ColumnId(0), ColumnId(1))],
+                inner_index: Some(IndexId(7)),
+            },
+            children: vec![
+                scan(0, 10.0),
+                PlanNode::leaf(
+                    PlanOp::IndexScan {
+                        table: TableId(1),
+                        index: IndexId(7),
+                        selectivity: 0.01,
+                    },
+                    1.0,
+                    0.5,
+                    16.0,
+                ),
+            ],
+            est_rows: 10.0,
+            est_cost: 20.0,
+            width: 48.0,
+        };
+        assert_eq!(nl.used_indexes(), vec![IndexId(7)]);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan { root: scan(3, 12.5), join_costs: vec![] };
+        let text = plan.explain();
+        assert!(text.contains("Seq Scan on t3"), "{text}");
+        assert!(text.contains("cost=12.50"), "{text}");
+        assert_eq!(plan.total_cost(), 12.5);
+    }
+}

@@ -1,0 +1,393 @@
+//! Branch-and-bound solver for 0/1 maximization.
+
+use crate::model::{Constraint, Ilp, VarId};
+use lt_common::{LtError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Solver limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Maximum number of branch-and-bound nodes before giving up and
+    /// returning the incumbent (marked non-optimal).
+    pub max_nodes: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_nodes: 2_000_000 }
+    }
+}
+
+/// A solver result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Assignment per variable.
+    pub values: Vec<bool>,
+    /// Objective value of the assignment.
+    pub objective: f64,
+    /// True when the solver proved optimality (node budget not exhausted).
+    pub optimal: bool,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+struct Search<'a> {
+    model: &'a Ilp,
+    /// Branching order: variables sorted by objective density.
+    order: Vec<VarId>,
+    best_values: Vec<bool>,
+    best_objective: f64,
+    nodes: u64,
+    max_nodes: u64,
+    exhausted: bool,
+}
+
+/// Solves the model to optimality (or to the node budget).
+///
+/// The all-false assignment must be feasible (true for the compression
+/// model and for any pure `≤`-with-nonnegative-rhs model); models where it
+/// is not are still handled, but if no feasible solution is found at all an
+/// error is returned.
+pub fn solve(model: &Ilp, options: SolveOptions) -> Result<Solution> {
+    let n = model.num_vars();
+    // Branch on high-density variables first: good incumbents early.
+    let mut order: Vec<VarId> = (0..n).collect();
+    let weight = |v: VarId| -> f64 {
+        model
+            .constraints()
+            .iter()
+            .flat_map(|c| c.coeffs.iter())
+            .filter(|&&(cv, a)| cv == v && a > 0.0)
+            .map(|&(_, a)| a)
+            .sum::<f64>()
+            .max(1e-9)
+    };
+    order.sort_by(|&a, &b| {
+        let da = model.objective()[a] / weight(a);
+        let db = model.objective()[b] / weight(b);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut search = Search {
+        model,
+        order,
+        best_values: vec![false; n],
+        best_objective: f64::NEG_INFINITY,
+        nodes: 0,
+        max_nodes: options.max_nodes,
+        exhausted: false,
+    };
+    // Seed the incumbent with the all-false assignment when feasible, so an
+    // exhausted node budget still returns a valid solution.
+    let all_false = vec![false; n];
+    if model.is_feasible(&all_false) {
+        search.best_objective = model.objective_value(&all_false);
+        search.best_values = all_false;
+    }
+
+    let mut fixed: Vec<Option<bool>> = vec![None; n];
+    search.branch(&mut fixed, 0);
+
+    if search.best_objective == f64::NEG_INFINITY {
+        return Err(LtError::Solver("no feasible solution found".into()));
+    }
+    Ok(Solution {
+        objective: search.best_objective,
+        values: search.best_values,
+        optimal: !search.exhausted,
+        nodes: search.nodes,
+    })
+}
+
+impl Search<'_> {
+    fn branch(&mut self, fixed: &mut Vec<Option<bool>>, depth: usize) {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.exhausted = true;
+            return;
+        }
+        // Feasibility: every constraint must still be satisfiable.
+        for con in self.model.constraints() {
+            if con.min_activity(fixed) > con.rhs + 1e-9 {
+                return;
+            }
+        }
+        // Propagate forced variables to a fixpoint.
+        let mut trail: Vec<VarId> = Vec::new();
+        if !self.propagate(fixed, &mut trail) {
+            for v in trail {
+                fixed[v] = None;
+            }
+            return;
+        }
+        // Bound.
+        if self.upper_bound(fixed) <= self.best_objective + 1e-9 {
+            for v in trail {
+                fixed[v] = None;
+            }
+            return;
+        }
+        // Find the next unfixed variable in branching order.
+        let next = self.order[depth..].iter().copied().find(|&v| fixed[v].is_none());
+        match next {
+            None => {
+                let values: Vec<bool> =
+                    fixed.iter().map(|f| f.unwrap_or(false)).collect();
+                debug_assert!(self.model.is_feasible(&values));
+                let obj = self.model.objective_value(&values);
+                if obj > self.best_objective {
+                    self.best_objective = obj;
+                    self.best_values = values;
+                }
+            }
+            Some(v) => {
+                // The `depth` cursor only ever moves forward; recompute the
+                // position of v in order for the recursive call.
+                let pos = self.order[depth..]
+                    .iter()
+                    .position(|&o| o == v)
+                    .map(|p| depth + p)
+                    .unwrap_or(depth);
+                for value in [true, false] {
+                    fixed[v] = Some(value);
+                    self.branch(fixed, pos + 1);
+                    if self.exhausted {
+                        break;
+                    }
+                }
+                fixed[v] = None;
+            }
+        }
+        for v in trail {
+            fixed[v] = None;
+        }
+    }
+
+    /// Unit-propagation over `≤` constraints: a free variable whose
+    /// inclusion (or exclusion) makes some constraint unsatisfiable is
+    /// forced to the other value. Returns false on contradiction.
+    fn propagate(&self, fixed: &mut [Option<bool>], trail: &mut Vec<VarId>) -> bool {
+        loop {
+            let mut changed = false;
+            for con in self.model.constraints() {
+                let min_act = con.min_activity(fixed);
+                if min_act > con.rhs + 1e-9 {
+                    return false;
+                }
+                for &(v, a) in &con.coeffs {
+                    if fixed[v].is_some() {
+                        continue;
+                    }
+                    if a > 0.0 && min_act - a.min(0.0) + a > con.rhs + 1e-9 {
+                        // Setting v=1 would violate the constraint.
+                        fixed[v] = Some(false);
+                        trail.push(v);
+                        changed = true;
+                    } else if a < 0.0 && min_act - a > con.rhs + 1e-9 {
+                        // Setting v=0 (removing its negative contribution)
+                        // would violate: v must be 1.
+                        fixed[v] = Some(true);
+                        trail.push(v);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Upper bound on the best completion of the current partial
+    /// assignment: fixed value + min over single-constraint fractional
+    /// knapsack relaxations (falling back to the unconstrained sum).
+    fn upper_bound(&self, fixed: &[Option<bool>]) -> f64 {
+        let obj = self.model.objective();
+        let fixed_value: f64 = (0..obj.len())
+            .filter(|&v| fixed[v] == Some(true))
+            .map(|v| obj[v])
+            .sum();
+        let free_positive: Vec<VarId> = (0..obj.len())
+            .filter(|&v| fixed[v].is_none() && obj[v] > 0.0)
+            .collect();
+        let unconstrained: f64 = free_positive.iter().map(|&v| obj[v]).sum();
+        let mut best = fixed_value + unconstrained;
+        for con in self.model.constraints() {
+            if let Some(b) = knapsack_bound(con, fixed, obj, &free_positive) {
+                best = best.min(fixed_value + b);
+            }
+        }
+        best
+    }
+}
+
+/// Fractional-knapsack bound for one constraint, valid when every
+/// coefficient of the constraint is non-negative. Free positive-objective
+/// variables *not* in the constraint contribute fully.
+fn knapsack_bound(
+    con: &Constraint,
+    fixed: &[Option<bool>],
+    obj: &[f64],
+    free_positive: &[VarId],
+) -> Option<f64> {
+    if con.coeffs.iter().any(|&(_, a)| a < 0.0) {
+        return None;
+    }
+    let used: f64 = con
+        .coeffs
+        .iter()
+        .filter(|&&(v, _)| fixed[v] == Some(true))
+        .map(|&(_, a)| a)
+        .sum();
+    let capacity = con.rhs - used;
+    if capacity < -1e-9 {
+        return Some(f64::NEG_INFINITY);
+    }
+    // Weight of each free positive variable in this constraint (0 when the
+    // variable does not appear).
+    let mut items: Vec<(f64, f64)> = Vec::new(); // (value, weight)
+    let mut outside = 0.0;
+    for &v in free_positive {
+        let w: f64 = con
+            .coeffs
+            .iter()
+            .filter(|&&(cv, _)| cv == v)
+            .map(|&(_, a)| a)
+            .sum();
+        if w <= 0.0 {
+            outside += obj[v];
+        } else {
+            items.push((obj[v], w));
+        }
+    }
+    items.sort_by(|a, b| {
+        (b.0 / b.1).partial_cmp(&(a.0 / a.1)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut remaining = capacity.max(0.0);
+    let mut bound = outside;
+    for (value, weight) in items {
+        if weight <= remaining {
+            bound += value;
+            remaining -= weight;
+        } else {
+            bound += value * (remaining / weight);
+            break;
+        }
+    }
+    Some(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(model: &Ilp) -> (Vec<bool>, f64) {
+        let n = model.num_vars();
+        let mut best = (vec![false; n], f64::NEG_INFINITY);
+        for mask in 0u64..(1 << n) {
+            let values: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if model.is_feasible(&values) {
+                let obj = model.objective_value(&values);
+                if obj > best.1 {
+                    best = (values, obj);
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn solves_a_knapsack() {
+        let mut m = Ilp::new(4);
+        let values = [10.0, 6.0, 4.0, 7.0];
+        let weights = [5.0, 4.0, 3.0, 4.0];
+        for (i, v) in values.iter().enumerate() {
+            m.set_objective(i, *v).unwrap();
+        }
+        let coeffs: Vec<(usize, f64)> =
+            weights.iter().enumerate().map(|(i, w)| (i, *w)).collect();
+        m.add_le(&coeffs, 9.0).unwrap();
+        let sol = solve(&m, SolveOptions::default()).unwrap();
+        assert!(sol.optimal);
+        assert_eq!(sol.objective, brute_force(&m).1);
+        assert_eq!(sol.objective, 17.0); // items 0 and 3
+    }
+
+    #[test]
+    fn respects_implications() {
+        // Value on x0 but x0 requires x1 whose weight blows the budget.
+        let mut m = Ilp::new(2);
+        m.set_objective(0, 10.0).unwrap();
+        m.add_implication(0, 1).unwrap();
+        m.add_le(&[(0, 1.0), (1, 5.0)], 4.0).unwrap();
+        let sol = solve(&m, SolveOptions::default()).unwrap();
+        assert_eq!(sol.objective, 0.0);
+        assert_eq!(sol.values, vec![false, false]);
+    }
+
+    #[test]
+    fn respects_conflicts() {
+        let mut m = Ilp::new(2);
+        m.set_objective(0, 5.0).unwrap();
+        m.set_objective(1, 4.0).unwrap();
+        m.add_conflict(0, 1).unwrap();
+        let sol = solve(&m, SolveOptions::default()).unwrap();
+        assert_eq!(sol.objective, 5.0);
+        assert_eq!(sol.values, vec![true, false]);
+    }
+
+    #[test]
+    fn ge_constraints_force_selection() {
+        let mut m = Ilp::new(3);
+        m.set_objective(0, -2.0).unwrap();
+        m.set_objective(1, -1.0).unwrap();
+        m.set_objective(2, -4.0).unwrap();
+        // Pick at least two (maximization of negative costs = min cost).
+        m.add_ge(&[(0, 1.0), (1, 1.0), (2, 1.0)], 2.0).unwrap();
+        let sol = solve(&m, SolveOptions::default()).unwrap();
+        assert_eq!(sol.objective, -3.0);
+        assert_eq!(sol.values, vec![true, true, false]);
+    }
+
+    #[test]
+    fn empty_model_is_trivially_optimal() {
+        let m = Ilp::new(0);
+        let sol = solve(&m, SolveOptions::default()).unwrap();
+        assert!(sol.optimal);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn node_budget_marks_non_optimal_but_returns_incumbent() {
+        let mut m = Ilp::new(12);
+        for i in 0..12 {
+            m.set_objective(i, 1.0 + (i as f64) * 0.1).unwrap();
+            m.add_le(&[(i, 1.0)], 1.0).unwrap();
+        }
+        let sol = solve(&m, SolveOptions { max_nodes: 3 }).unwrap();
+        assert!(!sol.optimal);
+        assert!(sol.objective >= 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_structured_instances() {
+        // Mimics the compression model: R variables with value, L variables
+        // with token cost, implications R→L, one budget, symmetric
+        // conflicts.
+        let mut m = Ilp::new(6); // R0 R1 R2 L0 L1 L2
+        m.set_objective(0, 9.0).unwrap();
+        m.set_objective(1, 7.0).unwrap();
+        m.set_objective(2, 5.0).unwrap();
+        m.add_implication(0, 3).unwrap();
+        m.add_implication(1, 4).unwrap();
+        m.add_implication(2, 5).unwrap();
+        m.add_conflict(0, 1).unwrap();
+        // Budget over both R and L tokens.
+        m.add_le(&[(0, 2.0), (1, 2.0), (2, 2.0), (3, 3.0), (4, 3.0), (5, 3.0)], 10.0)
+            .unwrap();
+        let sol = solve(&m, SolveOptions::default()).unwrap();
+        let (_, expect) = brute_force(&m);
+        assert_eq!(sol.objective, expect);
+        assert!(m.is_feasible(&sol.values));
+    }
+}

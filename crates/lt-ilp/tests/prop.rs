@@ -1,0 +1,119 @@
+//! Property-based tests: the branch-and-bound solver is exact on random
+//! small instances (checked against brute force) and its solutions are
+//! always feasible.
+
+use lt_ilp::{solve, Ilp, SolveOptions};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    objective: Vec<f64>,
+    knapsacks: Vec<(Vec<f64>, f64)>,
+    implications: Vec<(usize, usize)>,
+    conflicts: Vec<(usize, usize)>,
+}
+
+fn instance(max_vars: usize) -> impl Strategy<Value = Instance> {
+    (2..=max_vars).prop_flat_map(|n| {
+        let objective = proptest::collection::vec(-5.0f64..10.0, n);
+        let knapsacks = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..5.0, n), 1.0f64..10.0),
+            0..3,
+        );
+        let pair = (0..n, 0..n);
+        let implications = proptest::collection::vec(pair.clone(), 0..3);
+        let conflicts = proptest::collection::vec(pair, 0..3);
+        (objective, knapsacks, implications, conflicts).prop_map(
+            |(objective, knapsacks, implications, conflicts)| Instance {
+                objective,
+                knapsacks,
+                implications: implications.into_iter().filter(|(a, b)| a != b).collect(),
+                conflicts: conflicts.into_iter().filter(|(a, b)| a != b).collect(),
+            },
+        )
+    })
+}
+
+fn build(inst: &Instance) -> Ilp {
+    let n = inst.objective.len();
+    let mut ilp = Ilp::new(n);
+    for (i, c) in inst.objective.iter().enumerate() {
+        ilp.set_objective(i, *c).unwrap();
+    }
+    for (weights, rhs) in &inst.knapsacks {
+        let coeffs: Vec<(usize, f64)> =
+            weights.iter().enumerate().map(|(i, w)| (i, *w)).collect();
+        ilp.add_le(&coeffs, *rhs).unwrap();
+    }
+    for (a, b) in &inst.implications {
+        ilp.add_implication(*a, *b).unwrap();
+    }
+    for (a, b) in &inst.conflicts {
+        ilp.add_conflict(*a, *b).unwrap();
+    }
+    ilp
+}
+
+fn brute_force(ilp: &Ilp) -> f64 {
+    let n = ilp.num_vars();
+    let mut best = f64::NEG_INFINITY;
+    for mask in 0u64..(1 << n) {
+        let values: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        if ilp.is_feasible(&values) {
+            best = best.max(ilp.objective_value(&values));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver matches exhaustive search on every random instance.
+    #[test]
+    fn solver_is_exact(inst in instance(9)) {
+        let ilp = build(&inst);
+        let solution = solve(&ilp, SolveOptions::default()).expect("all-false is feasible");
+        prop_assert!(solution.optimal);
+        let expected = brute_force(&ilp);
+        prop_assert!(
+            (solution.objective - expected).abs() < 1e-9,
+            "solver {} vs brute force {expected}",
+            solution.objective
+        );
+    }
+
+    /// Returned assignments always satisfy every constraint.
+    #[test]
+    fn solutions_are_feasible(inst in instance(10)) {
+        let ilp = build(&inst);
+        let solution = solve(&ilp, SolveOptions::default()).unwrap();
+        prop_assert!(ilp.is_feasible(&solution.values));
+        prop_assert!(
+            (ilp.objective_value(&solution.values) - solution.objective).abs() < 1e-9
+        );
+    }
+
+    /// Tightening the budget never increases the optimum (monotonicity).
+    #[test]
+    fn knapsack_monotonicity(
+        values in proptest::collection::vec(0.1f64..10.0, 3..8),
+        weights_seed in proptest::collection::vec(0.1f64..5.0, 3..8),
+        budget in 1.0f64..10.0,
+    ) {
+        let n = values.len().min(weights_seed.len());
+        let mut loose = Ilp::new(n);
+        let mut tight = Ilp::new(n);
+        for i in 0..n {
+            loose.set_objective(i, values[i]).unwrap();
+            tight.set_objective(i, values[i]).unwrap();
+        }
+        let coeffs: Vec<(usize, f64)> =
+            (0..n).map(|i| (i, weights_seed[i])).collect();
+        loose.add_le(&coeffs, budget).unwrap();
+        tight.add_le(&coeffs, budget / 2.0).unwrap();
+        let a = solve(&loose, SolveOptions::default()).unwrap().objective;
+        let b = solve(&tight, SolveOptions::default()).unwrap().objective;
+        prop_assert!(b <= a + 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! The language-model interface and usage metering.
+
+use crate::tokenizer::count_tokens;
+use lt_common::Result;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A text-completion model.
+///
+/// Implementations must be deterministic given `(prompt, temperature,
+/// seed)`: λ-Tune samples k configurations by calling `complete` with k
+/// different seeds, and the whole evaluation must be reproducible.
+pub trait LanguageModel {
+    /// Completes `prompt`. Higher `temperature` means more variance across
+    /// seeds; `temperature = 0` should make the output seed-independent.
+    fn complete(&self, prompt: &str, temperature: f64, seed: u64) -> Result<String>;
+
+    /// Model name (for logs and reports).
+    fn name(&self) -> &str;
+
+    /// Maximum prompt size in tokens.
+    fn context_window(&self) -> usize {
+        128_000
+    }
+}
+
+/// Accumulated usage across calls (the paper's "monetary fees" concern).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LlmUsage {
+    /// Number of completion calls.
+    pub calls: u64,
+    /// Total prompt tokens sent.
+    pub prompt_tokens: u64,
+    /// Total completion tokens received.
+    pub completion_tokens: u64,
+}
+
+impl LlmUsage {
+    /// Estimated cost in USD under GPT-4-era pricing ($30 / 1M prompt
+    /// tokens, $60 / 1M completion tokens).
+    pub fn cost_usd(&self) -> f64 {
+        self.prompt_tokens as f64 * 30e-6 + self.completion_tokens as f64 * 60e-6
+    }
+}
+
+/// Wraps a [`LanguageModel`] and meters token usage per call.
+pub struct LlmClient<M> {
+    model: M,
+    usage: Mutex<LlmUsage>,
+}
+
+impl<M: LanguageModel> LlmClient<M> {
+    /// Wraps a model.
+    pub fn new(model: M) -> Self {
+        LlmClient { model, usage: Mutex::new(LlmUsage::default()) }
+    }
+
+    /// Completes a prompt, recording usage.
+    pub fn complete(&self, prompt: &str, temperature: f64, seed: u64) -> Result<String> {
+        let response = self.model.complete(prompt, temperature, seed)?;
+        let mut usage = self.usage.lock();
+        usage.calls += 1;
+        usage.prompt_tokens += count_tokens(prompt) as u64;
+        usage.completion_tokens += count_tokens(&response) as u64;
+        Ok(response)
+    }
+
+    /// Usage so far.
+    pub fn usage(&self) -> LlmUsage {
+        *self.usage.lock()
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl LanguageModel for Echo {
+        fn complete(&self, prompt: &str, _t: f64, _s: u64) -> Result<String> {
+            Ok(prompt.to_string())
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn client_meters_usage() {
+        let client = LlmClient::new(Echo);
+        client.complete("four words in here", 0.0, 1).unwrap();
+        client.complete("two more", 0.0, 2).unwrap();
+        let u = client.usage();
+        assert_eq!(u.calls, 2);
+        // "four words in here" = 1+2+1+1 tokens, "two more" = 2.
+        assert_eq!(u.prompt_tokens, 7);
+        assert_eq!(u.completion_tokens, 7);
+        assert!(u.cost_usd() > 0.0);
+    }
+
+    #[test]
+    fn default_usage_is_zero_cost() {
+        assert_eq!(LlmUsage::default().cost_usd(), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Robust sampling: retry-with-reseed around a [`LanguageModel`].
+//!
+//! Production LLM pipelines must tolerate malformed completions — empty
+//! output, truncated scripts, responses the downstream parser rejects.
+//! [`RobustSampler`] wraps a model and re-samples with derived seeds until
+//! a caller-supplied validator accepts the completion (or the attempt
+//! budget is exhausted), reporting how many attempts were consumed so the
+//! cost accounting stays honest.
+
+use crate::api::LanguageModel;
+use lt_common::{derive_seed, LtError, Result};
+
+/// A completion accepted by the validator, plus sampling metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustCompletion {
+    /// The accepted completion text.
+    pub text: String,
+    /// Number of completions sampled (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RobustOptions {
+    /// Maximum completions to sample before giving up.
+    pub max_attempts: u32,
+    /// Temperature bump per retry (more diversity when stuck).
+    pub temperature_step: f64,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions { max_attempts: 3, temperature_step: 0.15 }
+    }
+}
+
+/// Wraps a model with validation + retry.
+pub struct RobustSampler<M> {
+    model: M,
+    options: RobustOptions,
+}
+
+impl<M: LanguageModel> RobustSampler<M> {
+    /// Wraps `model` with the default retry policy.
+    pub fn new(model: M) -> Self {
+        Self::with_options(model, RobustOptions::default())
+    }
+
+    /// Wraps `model` with an explicit policy.
+    pub fn with_options(model: M, options: RobustOptions) -> Self {
+        RobustSampler { model, options }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Samples until `accept` returns true. Retries derive fresh seeds from
+    /// `seed` and raise the temperature slightly each attempt, so a
+    /// degenerate deterministic completion cannot repeat forever.
+    pub fn complete_validated(
+        &self,
+        prompt: &str,
+        temperature: f64,
+        seed: u64,
+        mut accept: impl FnMut(&str) -> bool,
+    ) -> Result<RobustCompletion> {
+        let mut last_error: Option<LtError> = None;
+        for attempt in 0..self.options.max_attempts {
+            let t = temperature + self.options.temperature_step * attempt as f64;
+            let retry_seed = derive_seed(seed, 0x5eed_0000 + attempt as u64);
+            match self.model.complete(prompt, t, retry_seed) {
+                Ok(text) if accept(&text) => {
+                    return Ok(RobustCompletion { text, attempts: attempt + 1 })
+                }
+                Ok(_) => {}
+                Err(e) => last_error = Some(e),
+            }
+        }
+        Err(last_error.unwrap_or_else(|| {
+            LtError::Llm(format!(
+                "no acceptable completion in {} attempts",
+                self.options.max_attempts
+            ))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A model that emits empty output for the first `bad` calls.
+    struct Flaky {
+        bad: u32,
+        calls: AtomicU32,
+    }
+
+    impl LanguageModel for Flaky {
+        fn complete(&self, _p: &str, _t: f64, seed: u64) -> Result<String> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.bad {
+                Ok(String::new())
+            } else {
+                Ok(format!("ALTER SYSTEM SET work_mem = '1GB'; -- seed {seed}"))
+            }
+        }
+        fn name(&self) -> &str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn first_try_success_counts_one_attempt() {
+        let sampler = RobustSampler::new(Flaky { bad: 0, calls: AtomicU32::new(0) });
+        let out = sampler
+            .complete_validated("p", 0.5, 1, |t| !t.is_empty())
+            .unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.text.contains("work_mem"));
+    }
+
+    #[test]
+    fn retries_until_valid() {
+        let sampler = RobustSampler::new(Flaky { bad: 2, calls: AtomicU32::new(0) });
+        let out = sampler
+            .complete_validated("p", 0.5, 1, |t| !t.is_empty())
+            .unwrap();
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn gives_up_after_budget() {
+        let sampler = RobustSampler::with_options(
+            Flaky { bad: 100, calls: AtomicU32::new(0) },
+            RobustOptions { max_attempts: 4, temperature_step: 0.1 },
+        );
+        let err = sampler
+            .complete_validated("p", 0.5, 1, |t| !t.is_empty())
+            .unwrap_err();
+        assert_eq!(err.category(), "llm");
+        assert!(err.message().contains("4 attempts"));
+    }
+
+    #[test]
+    fn retry_seeds_differ() {
+        // With the simulated LLM, retries must explore different samples.
+        let sampler = RobustSampler::new(crate::SimulatedLlm::new());
+        let prompt = "Recommend some configuration parameters for PostgreSQL.\n\
+                      a.x: b.y\nmemory: 61GB\ncores: 8\n";
+        let mut seen = Vec::new();
+        let _ = sampler.complete_validated(prompt, 1.0, 7, |t| {
+            seen.push(t.to_string());
+            seen.len() >= 3 // force 3 attempts
+        });
+        assert_eq!(seen.len(), 3);
+        assert!(seen[0] != seen[1] || seen[1] != seen[2], "retries never varied");
+    }
+}

@@ -1,0 +1,121 @@
+//! Approximate GPT-style token counting.
+//!
+//! λ-Tune's compression objective is denominated in tokens: provider fees
+//! are proportional to prompt length, and the ILP budget bounds the number
+//! of workload-description tokens. We approximate a byte-pair-encoding
+//! tokenizer with a rule that tracks real tokenizers closely on SQL-ish
+//! text: each run of alphanumeric characters costs `ceil(len / 4)` tokens
+//! (BPE merges average ~4 characters per token on English/identifier
+//! text), each punctuation character costs one token, and whitespace is
+//! absorbed by the following token (free).
+
+/// Counts the approximate number of tokens in `text`.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    let mut run_len = 0usize;
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            run_len += 1;
+        } else {
+            tokens += token_cost(run_len);
+            run_len = 0;
+            if !c.is_whitespace() {
+                tokens += 1;
+            }
+        }
+    }
+    tokens + token_cost(run_len)
+}
+
+fn token_cost(run_len: usize) -> usize {
+    run_len.div_ceil(4)
+}
+
+/// Truncates `text` to at most `budget` tokens, cutting at a whitespace
+/// boundary where possible. Returns the prefix.
+pub fn truncate_to_tokens(text: &str, budget: usize) -> &str {
+    if count_tokens(text) <= budget {
+        return text;
+    }
+    // Binary search over char boundaries for the longest prefix in budget.
+    let indices: Vec<usize> = text
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(text.len()))
+        .collect();
+    let mut lo = 0usize;
+    let mut hi = indices.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if count_tokens(&text[..indices[mid]]) <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    &text[..indices[lo]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_whitespace_are_free() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t "), 0);
+    }
+
+    #[test]
+    fn short_words_cost_one() {
+        assert_eq!(count_tokens("the"), 1);
+        assert_eq!(count_tokens("the cat sat"), 3);
+    }
+
+    #[test]
+    fn long_identifiers_cost_more() {
+        // 22 chars → ceil(22/4) = 6 tokens.
+        assert_eq!(count_tokens("l_extendedprice_detail"), 6);
+    }
+
+    #[test]
+    fn punctuation_costs_one_each() {
+        assert_eq!(count_tokens("a, b"), 3); // a + , + b
+        assert_eq!(count_tokens("t.c1: t.c2"), 7); // t . c1 : t . c2
+    }
+
+    #[test]
+    fn sql_line_token_count_is_reasonable() {
+        let sql = "select l_orderkey from lineitem where l_shipdate <= date '1998-09-02'";
+        let n = count_tokens(sql);
+        // A real BPE tokenizer puts this around 20-25 tokens.
+        assert!((12..=32).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn truncate_respects_budget() {
+        let text = "one two three four five six seven eight nine ten";
+        let cut = truncate_to_tokens(text, 4);
+        assert!(count_tokens(cut) <= 4);
+        assert!(text.starts_with(cut));
+        // And it keeps as much as possible: adding one more char run would
+        // exceed the budget.
+        assert!(count_tokens(cut) >= 3);
+    }
+
+    #[test]
+    fn truncate_noop_within_budget() {
+        assert_eq!(truncate_to_tokens("short", 100), "short");
+    }
+
+    #[test]
+    fn count_is_monotone_in_prefix_length() {
+        let text = "select a, b from t where a = 1 and b like '%x%'";
+        let mut last = 0;
+        for (i, _) in text.char_indices() {
+            let n = count_tokens(&text[..i]);
+            assert!(n + 1 >= last, "non-monotone at {i}");
+            last = n;
+        }
+    }
+}

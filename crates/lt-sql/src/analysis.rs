@@ -1,0 +1,381 @@
+//! Workload analysis passes.
+//!
+//! λ-Tune needs three facts about each query (paper §3.2 and §5.1):
+//!
+//! 1. its **join structure** — pairs of columns equated in join predicates,
+//! 2. its **filter columns** — columns compared against literals (candidates
+//!    for index lookups), and
+//! 3. the **base tables** it touches.
+//!
+//! [`analyze`] extracts all three in one traversal, resolving alias
+//! qualifiers to base-table names and recursing into subqueries.
+
+use crate::ast::{ColumnRef, Expr, Query, SelectItem, TableRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An equality join between two columns, with alias qualifiers resolved to
+/// base-table names where the query defines them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JoinPair {
+    /// One side of the equality.
+    pub left: ColumnRef,
+    /// The other side.
+    pub right: ColumnRef,
+}
+
+impl JoinPair {
+    /// Canonical form: sides ordered lexicographically, so `A=B` and `B=A`
+    /// compare equal after normalization.
+    pub fn normalized(&self) -> JoinPair {
+        if self.left <= self.right {
+            self.clone()
+        } else {
+            JoinPair { left: self.right.clone(), right: self.left.clone() }
+        }
+    }
+}
+
+/// Facts extracted from one query (including all of its subqueries).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryAnalysis {
+    /// Base tables referenced, lower-cased, deduplicated, sorted.
+    pub tables: Vec<String>,
+    /// Equality join conditions between columns.
+    pub join_pairs: Vec<JoinPair>,
+    /// Columns compared against literals (filter predicates).
+    pub filter_columns: Vec<ColumnRef>,
+    /// Every column referenced anywhere in the query.
+    pub all_columns: Vec<ColumnRef>,
+}
+
+impl QueryAnalysis {
+    /// Deduplicated, normalization-aware join pairs.
+    pub fn unique_join_pairs(&self) -> Vec<JoinPair> {
+        let mut v: Vec<JoinPair> = self.join_pairs.iter().map(JoinPair::normalized).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Analyzes a query tree.
+pub fn analyze(query: &Query) -> QueryAnalysis {
+    let mut out = QueryAnalysis::default();
+    walk_query(query, &mut out);
+    out.tables.sort();
+    out.tables.dedup();
+    out
+}
+
+/// Per-query alias → base-table map (lower-cased).
+fn alias_map(query: &Query) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for t in &query.from {
+        if let TableRef::Table { name, alias } = t {
+            let table = name.to_ascii_lowercase();
+            map.insert(t.binding().to_ascii_lowercase(), table.clone());
+            // The table is also addressable by its own name even when
+            // aliased in PostgreSQL only if unaliased; mirror that rule.
+            if alias.is_none() {
+                map.insert(table.clone(), table);
+            }
+        }
+    }
+    map
+}
+
+fn resolve(col: &ColumnRef, aliases: &BTreeMap<String, String>) -> ColumnRef {
+    match &col.qualifier {
+        Some(q) => {
+            let key = q.to_ascii_lowercase();
+            let table = aliases.get(&key).cloned().unwrap_or(key);
+            ColumnRef { qualifier: Some(table), column: col.column.to_ascii_lowercase() }
+        }
+        None => ColumnRef { qualifier: None, column: col.column.to_ascii_lowercase() },
+    }
+}
+
+fn walk_query(query: &Query, out: &mut QueryAnalysis) {
+    let aliases = alias_map(query);
+    for t in &query.from {
+        match t {
+            TableRef::Table { name, .. } => out.tables.push(name.to_ascii_lowercase()),
+            TableRef::Derived { query, .. } => walk_query(query, out),
+        }
+    }
+    for SelectItem { expr, .. } in &query.select {
+        walk_expr(expr, &aliases, out, false);
+    }
+    if let Some(f) = &query.filter {
+        walk_expr(f, &aliases, out, true);
+    }
+    for g in &query.group_by {
+        walk_expr(g, &aliases, out, false);
+    }
+    if let Some(h) = &query.having {
+        walk_expr(h, &aliases, out, false);
+    }
+    for o in &query.order_by {
+        walk_expr(&o.expr, &aliases, out, false);
+    }
+}
+
+/// Walks an expression. `in_predicate` marks positions where a
+/// column-vs-literal comparison counts as a filter predicate.
+fn walk_expr(
+    expr: &Expr,
+    aliases: &BTreeMap<String, String>,
+    out: &mut QueryAnalysis,
+    in_predicate: bool,
+) {
+    match expr {
+        Expr::Column(c) => out.all_columns.push(resolve(c, aliases)),
+        Expr::Literal(_) | Expr::Star => {}
+        Expr::Unary { expr, .. } => walk_expr(expr, aliases, out, in_predicate),
+        Expr::Binary { left, op, right } => {
+            if op.is_comparison() && in_predicate {
+                match (strip_column(left), strip_column(right)) {
+                    (Some(l), Some(r)) if *op == crate::ast::BinOp::Eq => {
+                        let lp = resolve(l, aliases);
+                        let rp = resolve(r, aliases);
+                        out.all_columns.push(lp.clone());
+                        out.all_columns.push(rp.clone());
+                        out.join_pairs.push(JoinPair { left: lp, right: rp });
+                        return;
+                    }
+                    (Some(l), None) if is_constantish(right) => {
+                        let c = resolve(l, aliases);
+                        out.all_columns.push(c.clone());
+                        out.filter_columns.push(c);
+                        walk_expr(right, aliases, out, in_predicate);
+                        return;
+                    }
+                    (None, Some(r)) if is_constantish(left) => {
+                        let c = resolve(r, aliases);
+                        out.all_columns.push(c.clone());
+                        out.filter_columns.push(c);
+                        walk_expr(left, aliases, out, in_predicate);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            walk_expr(left, aliases, out, in_predicate);
+            walk_expr(right, aliases, out, in_predicate);
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                walk_expr(a, aliases, out, false);
+            }
+        }
+        Expr::Extract { from, .. } => walk_expr(from, aliases, out, false),
+        Expr::Case { operand, branches, else_branch } => {
+            if let Some(op) = operand {
+                walk_expr(op, aliases, out, false);
+            }
+            for (w, t) in branches {
+                walk_expr(w, aliases, out, in_predicate);
+                walk_expr(t, aliases, out, false);
+            }
+            if let Some(e) = else_branch {
+                walk_expr(e, aliases, out, false);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            if let Some(c) = strip_column(expr) {
+                let c = resolve(c, aliases);
+                out.all_columns.push(c.clone());
+                if in_predicate {
+                    out.filter_columns.push(c);
+                }
+            } else {
+                walk_expr(expr, aliases, out, in_predicate);
+            }
+            for v in list {
+                walk_expr(v, aliases, out, false);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            if let Some(c) = strip_column(expr) {
+                let c = resolve(c, aliases);
+                out.all_columns.push(c.clone());
+                if in_predicate {
+                    // A semi-join behaves like a join for index purposes.
+                    out.filter_columns.push(c);
+                }
+            } else {
+                walk_expr(expr, aliases, out, in_predicate);
+            }
+            walk_query(query, out);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            if let Some(c) = strip_column(expr) {
+                let c = resolve(c, aliases);
+                out.all_columns.push(c.clone());
+                if in_predicate {
+                    out.filter_columns.push(c);
+                }
+            } else {
+                walk_expr(expr, aliases, out, in_predicate);
+            }
+            walk_expr(low, aliases, out, false);
+            walk_expr(high, aliases, out, false);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            if let Some(c) = strip_column(expr) {
+                let c = resolve(c, aliases);
+                out.all_columns.push(c.clone());
+                if in_predicate {
+                    out.filter_columns.push(c);
+                }
+            } else {
+                walk_expr(expr, aliases, out, in_predicate);
+            }
+            walk_expr(pattern, aliases, out, false);
+        }
+        Expr::IsNull { expr, .. } => {
+            if let Some(c) = strip_column(expr) {
+                let c = resolve(c, aliases);
+                out.all_columns.push(c.clone());
+                if in_predicate {
+                    out.filter_columns.push(c);
+                }
+            } else {
+                walk_expr(expr, aliases, out, in_predicate);
+            }
+        }
+        Expr::Exists { query, .. } => walk_query(query, out),
+        Expr::Subquery(q) => walk_query(q, out),
+    }
+}
+
+fn strip_column(expr: &Expr) -> Option<&ColumnRef> {
+    match expr {
+        Expr::Column(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// True when the expression contains no column references (so a comparison
+/// against it is a filter, not a join).
+fn is_constantish(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Unary { expr, .. } => is_constantish(expr),
+        Expr::Binary { left, right, .. } => is_constantish(left) && is_constantish(right),
+        Expr::Extract { from, .. } => is_constantish(from),
+        Expr::Func { args, .. } => args.iter().all(is_constantish),
+        Expr::Subquery(_) => true, // uncorrelated scalar subquery ≈ constant
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn analyze_sql(sql: &str) -> QueryAnalysis {
+        analyze(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn join_pairs_resolve_aliases() {
+        let a = analyze_sql(
+            "select * from lineitem l, orders o where l.l_orderkey = o.o_orderkey",
+        );
+        assert_eq!(a.join_pairs.len(), 1);
+        let jp = &a.join_pairs[0];
+        assert_eq!(jp.left, ColumnRef::qualified("lineitem", "l_orderkey"));
+        assert_eq!(jp.right, ColumnRef::qualified("orders", "o_orderkey"));
+    }
+
+    #[test]
+    fn filter_columns_detected() {
+        let a = analyze_sql(
+            "select * from part where p_size = 15 and p_type like '%BRASS' \
+             and p_retailprice between 100 and 200 and p_brand in ('A', 'B')",
+        );
+        let names: Vec<&str> = a.filter_columns.iter().map(|c| c.column.as_str()).collect();
+        assert!(names.contains(&"p_size"));
+        assert!(names.contains(&"p_type"));
+        assert!(names.contains(&"p_retailprice"));
+        assert!(names.contains(&"p_brand"));
+    }
+
+    #[test]
+    fn literal_on_left_is_still_a_filter() {
+        let a = analyze_sql("select * from part where 15 = p_size");
+        assert_eq!(a.filter_columns.len(), 1);
+        assert_eq!(a.filter_columns[0].column, "p_size");
+        assert!(a.join_pairs.is_empty());
+    }
+
+    #[test]
+    fn tables_are_deduped_and_include_subqueries() {
+        let a = analyze_sql(
+            "select * from orders where o_custkey in \
+             (select c_custkey from customer) and o_orderkey in \
+             (select l_orderkey from lineitem)",
+        );
+        assert_eq!(a.tables, vec!["customer", "lineitem", "orders"]);
+    }
+
+    #[test]
+    fn correlated_exists_contributes_join_pairs() {
+        let a = analyze_sql(
+            "select * from customer c where exists \
+             (select * from orders o where o.o_custkey = c.c_custkey)",
+        );
+        assert_eq!(a.join_pairs.len(), 1);
+        // The inner query's aliases resolve o; c resolves in the inner
+        // query's scope too because analysis is per-level: the qualifier "c"
+        // is kept when unknown at that level.
+        let jp = a.join_pairs[0].normalized();
+        assert!(jp.left.column == "c_custkey" || jp.right.column == "c_custkey");
+    }
+
+    #[test]
+    fn normalized_pairs_dedupe_symmetric_joins() {
+        let a = analyze_sql(
+            "select * from a, b where a.x = b.y and b.y = a.x",
+        );
+        assert_eq!(a.join_pairs.len(), 2);
+        assert_eq!(a.unique_join_pairs().len(), 1);
+    }
+
+    #[test]
+    fn select_list_columns_are_collected_but_not_filters() {
+        let a = analyze_sql("select l_extendedprice from lineitem");
+        assert!(a.filter_columns.is_empty());
+        assert_eq!(a.all_columns.len(), 1);
+        assert_eq!(a.all_columns[0].column, "l_extendedprice");
+    }
+
+    #[test]
+    fn non_equality_column_comparison_is_not_a_join() {
+        let a = analyze_sql("select * from a, b where a.x < b.y");
+        assert!(a.join_pairs.is_empty());
+    }
+
+    #[test]
+    fn derived_tables_are_analyzed() {
+        let a = analyze_sql(
+            "select avg(cnt) from (select count(*) as cnt from orders \
+             where o_totalprice > 100 group by o_custkey) t",
+        );
+        assert_eq!(a.tables, vec!["orders"]);
+        assert_eq!(a.filter_columns.len(), 1);
+    }
+
+    #[test]
+    fn case_when_predicates_count_as_filters() {
+        let a = analyze_sql(
+            "select sum(case when o_orderpriority = 'URGENT' then 1 else 0 end) from orders \
+             where o_orderstatus = 'F'",
+        );
+        let names: Vec<&str> = a.filter_columns.iter().map(|c| c.column.as_str()).collect();
+        assert!(names.contains(&"o_orderstatus"));
+    }
+}

@@ -1,0 +1,542 @@
+//! Abstract syntax tree for the analytical SQL dialect.
+//!
+//! The AST is deliberately *analysis-oriented*: inner `JOIN … ON` conditions
+//! are folded into the WHERE conjunction at parse time (all three benchmark
+//! workloads use inner joins only), which makes join-structure extraction a
+//! single traversal.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A possibly-qualified column reference, e.g. `l.l_orderkey` or `o_custkey`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Table name or alias, if written.
+    pub qualifier: Option<String>,
+    /// Column name (original case preserved; compared case-insensitively).
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self { qualifier: None, column: column.into() }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
+        Self { qualifier: Some(qualifier.into()), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal; kept as `f64` (benchmark constants fit exactly).
+    Number(f64),
+    /// String literal.
+    String(String),
+    /// `DATE '1995-01-01'`.
+    Date(String),
+    /// `INTERVAL '3' MONTH` — value and unit.
+    Interval(String, String),
+    /// `NULL`.
+    Null,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(d) => write!(f, "date '{d}'"),
+            Literal::Interval(v, u) => write!(f, "interval '{v}' {u}"),
+            Literal::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `||`
+    Concat,
+}
+
+impl BinOp {
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Concat => "||",
+        }
+    }
+
+    /// True for comparison operators (`=`, `<>`, `<`, `<=`, `>`, `>=`).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Scalar / boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Literal),
+    /// Unary negation `-e` or `NOT e`.
+    Unary {
+        /// `"-"` or `"not"`.
+        op: &'static str,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call, e.g. `sum(l_extendedprice * (1 - l_discount))`.
+    Func {
+        /// Function name, lower-cased.
+        name: String,
+        /// Arguments; empty for `count(*)` (see [`Expr::Star`]).
+        args: Vec<Expr>,
+        /// `DISTINCT` qualifier inside the call.
+        distinct: bool,
+    },
+    /// `EXTRACT(field FROM expr)`.
+    Extract {
+        /// Field name (`year`, `month`, …), lower-cased.
+        field: String,
+        /// Source expression.
+        from: Box<Expr>,
+    },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Optional comparand.
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// Optional `ELSE`.
+        else_branch: Option<Box<Expr>>,
+    },
+    /// `expr [NOT] IN (list…)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Inner query.
+        query: Box<Query>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern expression.
+        pattern: Box<Expr>,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists {
+        /// Inner query.
+        query: Box<Query>,
+        /// `NOT EXISTS`.
+        negated: bool,
+    },
+    /// Scalar subquery `(SELECT …)` in expression position.
+    Subquery(Box<Query>),
+    /// `*` inside `count(*)`.
+    Star,
+}
+
+impl Expr {
+    /// Convenience constructor for `left op right`.
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Conjunction of two boolean expressions.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::And, right)
+    }
+
+    /// Binding strength of this expression when rendered (higher binds
+    /// tighter); used to emit the minimal parentheses that make Display
+    /// round-trip through the parser.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => match op {
+                BinOp::Or => 1,
+                BinOp::And => 2,
+                op if op.is_comparison() => 3,
+                BinOp::Add | BinOp::Sub | BinOp::Concat => 4,
+                _ => 5,
+            },
+            _ => 6,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Unary { op, expr } => {
+                if *op == "not" {
+                    write!(f, "not ({expr})")
+                } else {
+                    write!(f, "{op}{expr}")
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let prec = self.precedence();
+                // Left-associative grammar: the left child may share this
+                // precedence, the right child must bind strictly tighter.
+                let wrap_left = left.precedence() < prec;
+                let wrap_right = right.precedence() <= prec;
+                if wrap_left {
+                    write!(f, "({left})")?;
+                } else {
+                    write!(f, "{left}")?;
+                }
+                write!(f, " {} ", op.sql())?;
+                if wrap_right {
+                    write!(f, "({right})")
+                } else {
+                    write!(f, "{right}")
+                }
+            }
+            Expr::Func { name, args, distinct } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "distinct ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Extract { field, from } => write!(f, "extract({field} from {from})"),
+            Expr::Case { operand, branches, else_branch } => {
+                write!(f, "case")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " when {w} then {t}")?;
+                }
+                if let Some(e) = else_branch {
+                    write!(f, " else {e}")?;
+                }
+                write!(f, " end")
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}in (", if *negated { "not " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                write!(f, "{expr} {}in ({query})", if *negated { "not " } else { "" })
+            }
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "{expr} {}between {low} and {high}",
+                if *negated { "not " } else { "" }
+            ),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "{expr} {}like {pattern}", if *negated { "not " } else { "" })
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} is {}null", if *negated { "not " } else { "" })
+            }
+            Expr::Exists { query, negated } => {
+                write!(f, "{}exists ({query})", if *negated { "not " } else { "" })
+            }
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// `SELECT [ALL|DISTINCT]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetQuantifier {
+    /// Default.
+    #[default]
+    All,
+    /// `DISTINCT`.
+    Distinct,
+}
+
+/// An item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// Projected expression (or [`Expr::Star`] for `SELECT *`).
+    pub expr: Expr,
+    /// `AS alias`, if any.
+    pub alias: Option<String>,
+}
+
+/// A relation in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table with optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// `AS alias` / bare alias.
+        alias: Option<String>,
+    },
+    /// Derived table `(SELECT …) alias`.
+    Derived {
+        /// Inner query.
+        query: Box<Query>,
+        /// Mandatory alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name this relation is referred to by in the rest of the query
+    /// (alias if present, table name otherwise).
+    pub fn binding(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => match alias {
+                Some(a) => write!(f, "{name} as {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableRef::Derived { query, alias } => write!(f, "({query}) as {alias}"),
+        }
+    }
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// `DESC`?
+    pub desc: bool,
+}
+
+/// An equality join condition between two columns, as extracted by analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinCondition {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+}
+
+/// A single SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `ALL` / `DISTINCT`.
+    pub quantifier: SetQuantifier,
+    /// Select list.
+    pub select: Vec<SelectItem>,
+    /// FROM relations. Explicit `JOIN … ON` conditions are folded into
+    /// [`Query::filter`] at parse time.
+    pub from: Vec<TableRef>,
+    /// WHERE clause (plus folded join conditions), if any.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING clause.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT, if any.
+    pub limit: Option<u64>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.quantifier == SetQuantifier::Distinct {
+            write!(f, "distinct ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", item.expr)?;
+            if let Some(a) = &item.alias {
+                write!(f, " as {a}")?;
+            }
+        }
+        write!(f, " from ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(w) = &self.filter {
+            write!(f, " where {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " group by ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " having {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " order by ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    write!(f, " desc")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " limit {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+        assert_eq!(ColumnRef::qualified("t", "x").to_string(), "t.x");
+    }
+
+    #[test]
+    fn literal_display_escapes_quotes() {
+        assert_eq!(Literal::String("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Date("1995-01-01".into()).to_string(), "date '1995-01-01'");
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+        assert_eq!(BinOp::NotEq.sql(), "<>");
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef::Table { name: "lineitem".into(), alias: Some("l".into()) };
+        assert_eq!(t.binding(), "l");
+        let t = TableRef::Table { name: "lineitem".into(), alias: None };
+        assert_eq!(t.binding(), "lineitem");
+    }
+}

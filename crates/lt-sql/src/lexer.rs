@@ -1,0 +1,293 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets so the parser can report
+//! precise error positions. Keywords are case-insensitive; identifiers keep
+//! their original case but compare case-insensitively downstream.
+
+use lt_common::{LtError, Result};
+
+use std::fmt;
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier or keyword (`lineitem`, `SELECT`). Stored as
+    /// written; keyword checks are case-insensitive.
+    Ident(String),
+    /// Single-quoted string literal, unescaped content.
+    StringLit(String),
+    /// Numeric literal (integer or decimal), kept as text to avoid precision
+    /// loss; parsed on demand.
+    Number(String),
+    /// Punctuation or operator: `(`, `)`, `,`, `.`, `=`, `<>`, `<=`, …
+    Symbol(&'static str),
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// True when this token is the given symbol.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self, TokenKind::Symbol(s) if *s == sym)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::Number(s) => write!(f, "{s}"),
+            TokenKind::Symbol(s) => write!(f, "{s}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Lexical class and content.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source.
+    pub offset: usize,
+}
+
+const SYMBOLS2: &[&str] = &["<>", "<=", ">=", "!=", "||"];
+const SYMBOLS1: &[&str] = &[
+    "(", ")", ",", ".", "=", "<", ">", "+", "-", "*", "/", ";", "%",
+];
+
+/// Tokenizes SQL text.
+///
+/// Supports `--` line comments and `/* */` block comments, single-quoted
+/// strings with `''` escaping, decimal numbers, and the operator set used by
+/// the OLAP benchmarks.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(LtError::Parse(format!(
+                        "unterminated block comment at byte {start}"
+                    )));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // String literal.
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut content = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LtError::Parse(format!(
+                        "unterminated string literal at byte {start}"
+                    )));
+                }
+                if bytes[i] == b'\'' {
+                    // Escaped quote.
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        content.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                // Safe: benchmark SQL is ASCII, but stay UTF-8 correct by
+                // re-slicing on char boundaries.
+                let ch_len = utf8_len(bytes[i]);
+                content.push_str(&sql[i..i + ch_len]);
+                i += ch_len;
+            }
+            tokens.push(Token { kind: TokenKind::StringLit(content), offset: start });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number(sql[start..i].to_string()),
+                offset: start,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' || c == '"' {
+            let start = i;
+            if c == '"' {
+                // Quoted identifier.
+                i += 1;
+                let id_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LtError::Parse(format!(
+                        "unterminated quoted identifier at byte {start}"
+                    )));
+                }
+                let name = sql[id_start..i].to_string();
+                i += 1;
+                tokens.push(Token { kind: TokenKind::Ident(name), offset: start });
+                continue;
+            }
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(sql[start..i].to_string()),
+                offset: start,
+            });
+            continue;
+        }
+        // Non-ASCII characters are outside the dialect; report them
+        // cleanly instead of slicing across a UTF-8 boundary.
+        if !c.is_ascii() {
+            let ch = sql[i..].chars().next().expect("in-bounds char");
+            return Err(LtError::Parse(format!(
+                "unexpected character {ch:?} at byte {i}"
+            )));
+        }
+        // Two-char symbols first.
+        if i + 1 < bytes.len() && bytes[i + 1].is_ascii() {
+            let pair = &sql[i..i + 2];
+            if let Some(sym) = SYMBOLS2.iter().find(|s| **s == pair) {
+                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                i += 2;
+                continue;
+            }
+        }
+        let single = &sql[i..i + 1];
+        if let Some(sym) = SYMBOLS1.iter().find(|s| **s == single) {
+            tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+            i += 1;
+            continue;
+        }
+        return Err(LtError::Parse(format!(
+            "unexpected character {c:?} at byte {i}"
+        )));
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let ks = kinds("SELECT a, b FROM t WHERE a = 1");
+        assert!(ks[0].is_keyword("select"));
+        assert!(ks[1].is_keyword("a"));
+        assert!(ks[2].is_symbol(","));
+        assert_eq!(ks.last().unwrap(), &TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let ks = kinds("select 'it''s'");
+        assert_eq!(ks[1], TokenKind::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("select a -- comment\n from /* block */ t");
+        assert_eq!(ks.len(), 5); // select a from t <eof>
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let ks = kinds("a <> b <= c >= d != e");
+        assert!(ks[1].is_symbol("<>"));
+        assert!(ks[3].is_symbol("<="));
+        assert!(ks[5].is_symbol(">="));
+        assert!(ks[7].is_symbol("!="));
+    }
+
+    #[test]
+    fn decimal_numbers() {
+        let ks = kinds("select 0.05, 42");
+        assert_eq!(ks[1], TokenKind::Number("0.05".into()));
+        assert_eq!(ks[3], TokenKind::Number("42".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let ks = kinds("select \"Weird Name\" from t");
+        assert_eq!(ks[1], TokenKind::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("select 'oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(tokenize("select 1 /* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("select #").unwrap_err();
+        assert_eq!(err.category(), "parse");
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

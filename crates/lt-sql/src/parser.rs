@@ -1,0 +1,718 @@
+//! Recursive-descent parser for the analytical SQL dialect.
+//!
+//! Covers the constructs used by TPC-H, TPC-DS and JOB: implicit comma joins
+//! and explicit `[INNER] JOIN … ON`, conjunctive/disjunctive predicates,
+//! `IN` (list and subquery), `BETWEEN`, `LIKE`, `EXISTS`, scalar subqueries,
+//! `CASE`, `EXTRACT`, aggregates, `GROUP BY` / `HAVING` / `ORDER BY` /
+//! `LIMIT`, date and interval literals.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use lt_common::{LtError, Result};
+
+/// Parses a single SELECT query from SQL text.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn err(&self, msg: &str) -> LtError {
+        LtError::Parse(format!(
+            "{msg} at byte {} (found {})",
+            self.tokens[self.pos].offset,
+            self.peek()
+        ))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.peek().is_symbol(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        // A trailing semicolon is tolerated.
+        self.eat_symbol(";");
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err("expected end of statement"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(LtError::Parse(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- query ----
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("select")?;
+        let quantifier = if self.eat_keyword("distinct") {
+            SetQuantifier::Distinct
+        } else {
+            self.eat_keyword("all");
+            SetQuantifier::All
+        };
+        let select = self.select_list()?;
+        self.expect_keyword("from")?;
+        let (from, join_conds) = self.from_clause()?;
+        let mut filter = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
+        // Fold explicit JOIN ... ON conditions into the filter conjunction.
+        for cond in join_conds {
+            filter = Some(match filter {
+                Some(f) => Expr::and(f, cond),
+                None => cond,
+            });
+        }
+        let group_by = if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            self.expr_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_keyword("having") { Some(self.expr()?) } else { None };
+        let order_by = if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            self.order_items()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("limit") {
+            match self.bump() {
+                TokenKind::Number(n) => Some(n.parse::<u64>().map_err(|_| {
+                    LtError::Parse(format!("invalid LIMIT value {n}"))
+                })?),
+                other => return Err(LtError::Parse(format!("expected LIMIT count, found {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query { quantifier, select, from, filter, group_by, having, order_by, limit })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            let expr = if self.peek().is_symbol("*") {
+                self.bump();
+                Expr::Star
+            } else {
+                self.expr()?
+            };
+            let alias = if self.eat_keyword("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn from_clause(&mut self) -> Result<(Vec<TableRef>, Vec<Expr>)> {
+        let mut refs = vec![self.table_ref()?];
+        let mut join_conds = Vec::new();
+        loop {
+            if self.eat_symbol(",") {
+                refs.push(self.table_ref()?);
+            } else if self.peek().is_keyword("inner") || self.peek().is_keyword("join") {
+                self.eat_keyword("inner");
+                self.expect_keyword("join")?;
+                refs.push(self.table_ref()?);
+                if self.eat_keyword("on") {
+                    join_conds.push(self.expr()?);
+                }
+            } else {
+                break;
+            }
+        }
+        Ok((refs, join_conds))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.peek().is_symbol("(") {
+            self.bump();
+            let q = self.query()?;
+            self.expect_symbol(")")?;
+            self.eat_keyword("as");
+            let alias = self.ident()?;
+            return Ok(TableRef::Derived { query: Box::new(q), alias });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(s) = self.peek() {
+            // A bare identifier is an alias unless it is a clause keyword.
+            if is_clause_keyword(s) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn order_items(&mut self) -> Result<Vec<OrderItem>> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let desc = if self.eat_keyword("desc") {
+                true
+            } else {
+                self.eat_keyword("asc");
+                false
+            };
+            items.push(OrderItem { expr, desc });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<Expr>> {
+        let mut list = vec![self.expr()?];
+        while self.eat_symbol(",") {
+            list.push(self.expr()?);
+        }
+        Ok(list)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let right = self.not_expr()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.peek().is_keyword("not") && !self.peek2().is_keyword("exists") {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: "not", expr: Box::new(inner) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicates.
+        let negated = if self.peek().is_keyword("not")
+            && (self.peek2().is_keyword("in")
+                || self.peek2().is_keyword("between")
+                || self.peek2().is_keyword("like"))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword("in") {
+            self.expect_symbol("(")?;
+            if self.peek().is_keyword("select") {
+                let q = self.query()?;
+                self.expect_symbol(")")?;
+                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
+            }
+            let list = self.expr_list()?;
+            self.expect_symbol(")")?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("between") {
+            let low = self.additive()?;
+            self.expect_keyword("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("like") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(self.err("expected IN, BETWEEN or LIKE after NOT"));
+        }
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            TokenKind::Symbol("=") => Some(BinOp::Eq),
+            TokenKind::Symbol("<>") | TokenKind::Symbol("!=") => Some(BinOp::NotEq),
+            TokenKind::Symbol("<") => Some(BinOp::Lt),
+            TokenKind::Symbol("<=") => Some(BinOp::LtEq),
+            TokenKind::Symbol(">") => Some(BinOp::Gt),
+            TokenKind::Symbol(">=") => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Symbol("+") => BinOp::Add,
+                TokenKind::Symbol("-") => BinOp::Sub,
+                TokenKind::Symbol("||") => BinOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Symbol("*") => BinOp::Mul,
+                TokenKind::Symbol("/") => BinOp::Div,
+                TokenKind::Symbol("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: "-", expr: Box::new(inner) });
+        }
+        if self.eat_symbol("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                let v = n
+                    .parse::<f64>()
+                    .map_err(|_| LtError::Parse(format!("invalid number {n}")))?;
+                Ok(Expr::Literal(Literal::Number(v)))
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                if self.peek().is_keyword("select") {
+                    let q = self.query()?;
+                    self.expect_symbol(")")?;
+                    Ok(Expr::Subquery(Box::new(q)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_symbol(")")?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Ident(id) => self.ident_led_expr(&id),
+            other => Err(LtError::Parse(format!("unexpected token {other} in expression"))),
+        }
+    }
+
+    /// Expressions that start with an identifier: keyword-led constructs
+    /// (`case`, `extract`, `exists`, `date`, `interval`, `null`), function
+    /// calls, and column references.
+    fn ident_led_expr(&mut self, id: &str) -> Result<Expr> {
+        let lower = id.to_ascii_lowercase();
+        match lower.as_str() {
+            "null" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            "date" if matches!(self.peek2(), TokenKind::StringLit(_)) => {
+                self.bump();
+                if let TokenKind::StringLit(d) = self.bump() {
+                    Ok(Expr::Literal(Literal::Date(d)))
+                } else {
+                    unreachable!("peeked string literal")
+                }
+            }
+            "interval" if matches!(self.peek2(), TokenKind::StringLit(_)) => {
+                self.bump();
+                let value = match self.bump() {
+                    TokenKind::StringLit(v) => v,
+                    _ => unreachable!("peeked string literal"),
+                };
+                let unit = self.ident()?.to_ascii_lowercase();
+                Ok(Expr::Literal(Literal::Interval(value, unit)))
+            }
+            "case" => {
+                self.bump();
+                self.case_expr()
+            }
+            "extract" if self.peek2().is_symbol("(") => {
+                self.bump();
+                self.expect_symbol("(")?;
+                let field = self.ident()?.to_ascii_lowercase();
+                self.expect_keyword("from")?;
+                let from = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(Expr::Extract { field, from: Box::new(from) })
+            }
+            "exists" => {
+                self.bump();
+                self.expect_symbol("(")?;
+                let q = self.query()?;
+                self.expect_symbol(")")?;
+                Ok(Expr::Exists { query: Box::new(q), negated: false })
+            }
+            "not" if self.peek2().is_keyword("exists") => {
+                self.bump();
+                self.bump();
+                self.expect_symbol("(")?;
+                let q = self.query()?;
+                self.expect_symbol(")")?;
+                Ok(Expr::Exists { query: Box::new(q), negated: true })
+            }
+            _ => {
+                self.bump();
+                // Function call?
+                if self.peek().is_symbol("(") {
+                    self.bump();
+                    let distinct = self.eat_keyword("distinct");
+                    let mut args = Vec::new();
+                    if self.peek().is_symbol("*") {
+                        self.bump();
+                        args.push(Expr::Star);
+                    } else if !self.peek().is_symbol(")") {
+                        args = self.expr_list()?;
+                    }
+                    self.expect_symbol(")")?;
+                    return Ok(Expr::Func { name: lower, args, distinct });
+                }
+                // Qualified column `t.c`?
+                if self.peek().is_symbol(".") {
+                    self.bump();
+                    let col = self.ident()?;
+                    return Ok(Expr::Column(ColumnRef::qualified(id, col)));
+                }
+                Ok(Expr::Column(ColumnRef::bare(id)))
+            }
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let operand = if self.peek().is_keyword("when") {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword("when") {
+            let w = self.expr()?;
+            self.expect_keyword("then")?;
+            let t = self.expr()?;
+            branches.push((w, t));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_branch = if self.eat_keyword("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("end")?;
+        Ok(Expr::Case { operand, branches, else_branch })
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    const CLAUSES: &[&str] = &[
+        "where", "group", "having", "order", "limit", "on", "join", "inner", "left", "right",
+        "full", "cross", "union", "select", "from", "as",
+    ];
+    CLAUSES.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("select a, b from t where a = 1").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.filter.is_some());
+    }
+
+    #[test]
+    fn aliases_and_joins() {
+        let q = parse_query(
+            "select l.l_orderkey from lineitem l, orders o where l.l_orderkey = o.o_orderkey",
+        )
+        .unwrap();
+        assert_eq!(q.from[0].binding(), "l");
+        assert_eq!(q.from[1].binding(), "o");
+    }
+
+    #[test]
+    fn explicit_join_folds_on_condition() {
+        let q = parse_query(
+            "select * from a join b on a.x = b.y where a.z > 5",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        // Filter is (a.z > 5) AND (a.x = b.y).
+        let f = q.filter.unwrap();
+        let s = f.to_string();
+        assert!(s.contains("a.x = b.y"), "{s}");
+        assert!(s.contains("a.z > 5"), "{s}");
+    }
+
+    #[test]
+    fn aggregates_group_by_having_order_limit() {
+        let q = parse_query(
+            "select o_custkey, count(*) as cnt, sum(o_totalprice * 0.5) \
+             from orders group by o_custkey having count(*) > 3 \
+             order by cnt desc limit 10",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn date_interval_between() {
+        let q = parse_query(
+            "select * from lineitem where l_shipdate between date '1994-01-01' \
+             and date '1994-01-01' + interval '1' year",
+        )
+        .unwrap();
+        let s = q.filter.unwrap().to_string();
+        assert!(s.contains("date '1994-01-01'"), "{s}");
+        assert!(s.contains("interval '1' year"), "{s}");
+    }
+
+    #[test]
+    fn in_list_and_in_subquery() {
+        let q = parse_query(
+            "select * from part where p_size in (1, 2, 3) and p_partkey in \
+             (select ps_partkey from partsupp)",
+        )
+        .unwrap();
+        let s = q.filter.unwrap().to_string();
+        assert!(s.contains("in (1, 2, 3)"), "{s}");
+        assert!(s.contains("select ps_partkey from partsupp"), "{s}");
+    }
+
+    #[test]
+    fn not_in_and_not_exists() {
+        let q = parse_query(
+            "select * from customer c where c.c_custkey not in (select o_custkey from orders) \
+             and not exists (select * from orders o where o.o_custkey = c.c_custkey)",
+        )
+        .unwrap();
+        let s = q.filter.unwrap().to_string();
+        assert!(s.contains("not in"), "{s}");
+        assert!(s.contains("not exists"), "{s}");
+    }
+
+    #[test]
+    fn case_and_extract() {
+        let q = parse_query(
+            "select sum(case when o_orderpriority = '1-URGENT' then 1 else 0 end), \
+             extract(year from o_orderdate) from orders group by extract(year from o_orderdate)",
+        )
+        .unwrap();
+        let s = q.select[0].expr.to_string();
+        assert!(s.contains("case when"), "{s}");
+        assert!(q.select[1].expr.to_string().contains("extract(year from"));
+    }
+
+    #[test]
+    fn like_and_is_null() {
+        let q = parse_query(
+            "select * from part where p_type like '%BRASS' and p_comment is not null \
+             and p_name not like 'green%'",
+        )
+        .unwrap();
+        let s = q.filter.unwrap().to_string();
+        assert!(s.contains("like '%BRASS'"), "{s}");
+        assert!(s.contains("is not null"), "{s}");
+        assert!(s.contains("not like 'green%'"), "{s}");
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = parse_query(
+            "select avg(cnt) from (select count(*) as cnt from orders group by o_custkey) as t",
+        )
+        .unwrap();
+        assert!(matches!(q.from[0], TableRef::Derived { .. }));
+        assert_eq!(q.from[0].binding(), "t");
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let q = parse_query(
+            "select * from partsupp where ps_supplycost = \
+             (select min(ps_supplycost) from partsupp)",
+        )
+        .unwrap();
+        assert!(q.filter.unwrap().to_string().contains("select min(ps_supplycost)"));
+    }
+
+    #[test]
+    fn distinct_and_count_distinct() {
+        let q = parse_query("select distinct count(distinct l_suppkey) from lineitem").unwrap();
+        assert_eq!(q.quantifier, SetQuantifier::Distinct);
+        match &q.select[0].expr {
+            Expr::Func { distinct, .. } => assert!(distinct),
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_query("select * from t where a = 1 or b = 2 and c = 3").unwrap();
+        // AND binds tighter than OR; Display emits minimal parentheses and
+        // the rendered text reparses to the same structure.
+        let f = q.filter.unwrap();
+        assert_eq!(f.to_string(), "a = 1 or b = 2 and c = 3");
+        match &f {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("expected OR at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("select a + b * c from t").unwrap();
+        assert_eq!(q.select[0].expr.to_string(), "a + b * c");
+        let q = parse_query("select (a + b) * c from t").unwrap();
+        // Parenthesization is not preserved textually but structure is:
+        match &q.select[0].expr {
+            Expr::Binary { op: BinOp::Mul, left, .. } => {
+                assert!(matches!(**left, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("expected Mul at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_query("select 1 from t;").is_ok());
+    }
+
+    #[test]
+    fn garbage_after_query_is_an_error() {
+        assert!(parse_query("select 1 from t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parses_again() {
+        let sql = "select l_returnflag, sum(l_quantity) as s from lineitem \
+                   where l_shipdate <= date '1998-09-02' group by l_returnflag \
+                   order by l_returnflag limit 5";
+        let q1 = parse_query(sql).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the SQL front end.
+
+use lt_sql::ast::{BinOp, ColumnRef, Expr, Literal, Query, SelectItem, SetQuantifier, TableRef};
+use proptest::prelude::*;
+
+/// Identifier strategy: lowercase SQL-safe names that are not keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "having" | "order" | "limit" | "and"
+                | "or" | "not" | "in" | "between" | "like" | "is" | "null" | "as" | "on"
+                | "join" | "inner" | "case" | "when" | "then" | "else" | "end" | "exists"
+                | "date" | "interval" | "distinct" | "all" | "by" | "asc" | "desc" | "to"
+                | "left" | "right" | "full" | "cross" | "union" | "extract"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0.0f64..1e6).prop_map(|n| Expr::Literal(Literal::Number((n * 100.0).round() / 100.0))),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Expr::Literal(Literal::String(s))),
+        Just(Expr::Literal(Literal::Null)),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(ident()), ident()).prop_map(|(q, c)| {
+        Expr::Column(ColumnRef { qualifier: q, column: c })
+    })
+}
+
+/// Arithmetic expressions over columns and literals.
+fn arith() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column()];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinOp::Add, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::binary(a, BinOp::Mul, b)),
+        ]
+    })
+}
+
+/// Predicates: comparisons and postfix tests over arithmetic operands.
+/// Stratified so rendered text is unambiguous (a comparison operand is
+/// never itself a comparison).
+fn predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (arith(), arith()).prop_map(|(a, b)| Expr::binary(a, BinOp::Eq, b)),
+        (arith(), arith()).prop_map(|(a, b)| Expr::binary(a, BinOp::Lt, b)),
+        (arith(), arith(), arith()).prop_map(|(a, lo, hi)| Expr::Between {
+            expr: Box::new(a),
+            low: Box::new(lo),
+            high: Box::new(hi),
+            negated: false,
+        }),
+        (column(), "[a-zA-Z]{1,6}%").prop_map(|(c, p)| Expr::Like {
+            expr: Box::new(c),
+            pattern: Box::new(Expr::Literal(Literal::String(p))),
+            negated: false,
+        }),
+        (column(), any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
+            expr: Box::new(c),
+            negated,
+        }),
+    ]
+}
+
+/// Boolean combinations of predicates (WHERE-clause shaped).
+fn expr() -> impl Strategy<Value = Expr> {
+    predicate().prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::binary(a, BinOp::Or, b)),
+        ]
+    })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(arith(), 1..4),
+        proptest::collection::vec((ident(), proptest::option::of(ident())), 1..4),
+        proptest::option::of(expr()),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(|(select, tables, filter, limit)| Query {
+            quantifier: SetQuantifier::All,
+            select: select
+                .into_iter()
+                .map(|e| SelectItem { expr: e, alias: None })
+                .collect(),
+            from: tables
+                .into_iter()
+                .map(|(name, alias)| TableRef::Table { name, alias })
+                .collect(),
+            filter,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit,
+        })
+}
+
+proptest! {
+    /// The tokenizer never panics, whatever the input.
+    #[test]
+    fn tokenizer_never_panics(input in ".{0,200}") {
+        let _ = lt_sql::tokenize(&input);
+    }
+
+    /// The parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = lt_sql::parse_query(&input);
+    }
+
+    /// Display → parse is the identity on generated query ASTs.
+    #[test]
+    fn display_parse_roundtrip(q in query()) {
+        let sql = q.to_string();
+        let reparsed = lt_sql::parse_query(&sql)
+            .unwrap_or_else(|e| panic!("generated SQL failed to parse: {e}\n{sql}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    /// Analysis is total and produces resolvable facts on generated ASTs.
+    #[test]
+    fn analysis_is_total(q in query()) {
+        let a = lt_sql::analysis::analyze(&q);
+        // Tables come from the FROM clause (lower-cased, deduped).
+        prop_assert!(a.tables.len() <= q.from.len());
+        for pair in &a.join_pairs {
+            let n = pair.normalized();
+            prop_assert!(n.left <= n.right);
+        }
+    }
+
+    /// Statement splitting preserves non-string semicolon counts.
+    #[test]
+    fn split_statements_never_loses_content(
+        parts in proptest::collection::vec("[a-z0-9 ]{0,8}[a-z0-9][a-z0-9 ]{0,8}", 1..5),
+    ) {
+        let sql = parts.join(";");
+        let stmts = lt_sql::split_statements(&sql);
+        prop_assert_eq!(stmts.len(), parts.len());
+        for (s, p) in stmts.iter().zip(&parts) {
+            prop_assert_eq!(s.trim(), p.trim());
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Join Order Benchmark (JOB) over the IMDB schema.
+//!
+//! Row counts match the IMDB snapshot used by the original benchmark
+//! (Leis et al., "How Good Are Query Optimizers, Really?"). The workload
+//! contains 33 queries — one per JOB query family — following the
+//! originals' join graphs and filter shapes. Queries always qualify columns
+//! (IMDB column names such as `id` and `movie_id` repeat across tables) and
+//! avoid self-joins (multiple aliases of one table), which our flattened
+//! join-graph extraction does not distinguish; the affected families use
+//! their single-alias variant.
+
+use crate::workload::Workload;
+use lt_dbms::Catalog;
+
+/// Builds the IMDB catalog.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table("kind_type", 7)
+        .primary_key("id", 4)
+        .column("kind", 15, 7.0)
+        .finish();
+    c.add_table("company_type", 4)
+        .primary_key("id", 4)
+        .column("kind", 32, 4.0)
+        .finish();
+    c.add_table("info_type", 113)
+        .primary_key("id", 4)
+        .column("info", 32, 113.0)
+        .finish();
+    c.add_table("role_type", 12)
+        .primary_key("id", 4)
+        .column("role", 32, 12.0)
+        .finish();
+    c.add_table("link_type", 18)
+        .primary_key("id", 4)
+        .column("link", 32, 18.0)
+        .finish();
+    c.add_table("keyword", 134_170)
+        .primary_key("id", 4)
+        .column("keyword", 24, 134_170.0)
+        .column("phonetic_code", 5, 11_482.0)
+        .finish();
+    c.add_table("company_name", 234_997)
+        .primary_key("id", 4)
+        .column("name", 40, 234_000.0)
+        .column("country_code", 6, 225.0)
+        .column("name_pcode_nf", 5, 25_000.0)
+        .finish();
+    c.add_table("title", 2_528_312)
+        .primary_key("id", 4)
+        .column("title", 50, 2_300_000.0)
+        .column("imdb_index", 5, 33.0)
+        .foreign_key("kind_id", 4, 7.0)
+        .column("production_year", 4, 133.0)
+        .column("phonetic_code", 5, 20_000.0)
+        .column("season_nr", 4, 88.0)
+        .column("episode_nr", 4, 14_000.0)
+        .finish();
+    c.add_table("aka_title", 361_472)
+        .primary_key("aka_title_id", 4)
+        .foreign_key("movie_id", 4, 170_000.0)
+        .column("aka_title_name", 50, 300_000.0)
+        .finish();
+    c.add_table("name", 4_167_491)
+        .primary_key("id", 4)
+        .column("name", 40, 4_000_000.0)
+        .column("gender", 1, 3.0)
+        .column("name_pcode_cf", 5, 100_000.0)
+        .finish();
+    c.add_table("char_name", 3_140_339)
+        .primary_key("id", 4)
+        .column("name", 40, 3_000_000.0)
+        .finish();
+    c.add_table("movie_companies", 2_609_129)
+        .foreign_key("movie_id", 4, 1_087_236.0)
+        .foreign_key("company_id", 4, 234_997.0)
+        .foreign_key("company_type_id", 4, 2.0)
+        .column("note", 60, 133_000.0)
+        .finish();
+    c.add_table("movie_keyword", 4_523_930)
+        .foreign_key("movie_id", 4, 476_794.0)
+        .foreign_key("keyword_id", 4, 134_170.0)
+        .finish();
+    c.add_table("movie_link", 29_997)
+        .foreign_key("movie_id", 4, 6_411.0)
+        .foreign_key("linked_movie_id", 4, 16_000.0)
+        .foreign_key("link_type_id", 4, 16.0)
+        .finish();
+    c.add_table("movie_info", 14_835_720)
+        .foreign_key("movie_id", 4, 2_468_825.0)
+        .foreign_key("info_type_id", 4, 71.0)
+        .column("info", 40, 2_720_930.0)
+        .column("note", 30, 133_616.0)
+        .finish();
+    c.add_table("movie_info_idx", 1_380_035)
+        .foreign_key("movie_id", 4, 459_925.0)
+        .foreign_key("info_type_id", 4, 5.0)
+        .column("info", 10, 10_694.0)
+        .finish();
+    c.add_table("cast_info", 36_244_344)
+        .foreign_key("person_id", 4, 4_061_926.0)
+        .foreign_key("movie_id", 4, 2_331_601.0)
+        .foreign_key("person_role_id", 4, 3_140_339.0)
+        .foreign_key("role_id", 4, 11.0)
+        .column("note", 20, 300_000.0)
+        .column("nr_order", 4, 1_000.0)
+        .finish();
+    c.add_table("person_info", 2_963_664)
+        .foreign_key("person_id", 4, 550_721.0)
+        .foreign_key("pi_info_type_id", 4, 22.0)
+        .column("pi_info", 50, 1_000_000.0)
+        .finish();
+    c
+}
+
+/// The 33 JOB query-family texts, labelled `1a` … `33a`.
+pub fn queries() -> Vec<(&'static str, String)> {
+    let q: Vec<(&'static str, &str)> = vec![
+        ("1a",
+         "select min(mc.note), min(t.title), min(t.production_year) \
+          from company_type ct, info_type it, movie_companies mc, movie_info_idx mi_idx, title t \
+          where ct.kind = 'production companies' and it.info = 'top 250 rank' \
+          and mc.note not like '%(as Metro-Goldwyn-Mayer Pictures)%' \
+          and ct.id = mc.company_type_id and t.id = mc.movie_id \
+          and t.id = mi_idx.movie_id and it.id = mi_idx.info_type_id"),
+        ("2a",
+         "select min(t.title) from company_name cn, keyword k, movie_companies mc, \
+          movie_keyword mk, title t where cn.country_code = '[de]' \
+          and k.keyword = 'character-name-in-title' and cn.id = mc.company_id \
+          and mc.movie_id = t.id and t.id = mk.movie_id and mk.keyword_id = k.id"),
+        ("3a",
+         "select min(t.title) from keyword k, movie_info mi, movie_keyword mk, title t \
+          where k.keyword like '%sequel%' and mi.info in ('Sweden', 'Norway', 'Germany', \
+          'Denmark', 'Swedish', 'Denish', 'Norwegian', 'German') \
+          and t.production_year > 2005 and t.id = mi.movie_id and t.id = mk.movie_id \
+          and mk.keyword_id = k.id"),
+        ("4a",
+         "select min(mi_idx.info), min(t.title) from info_type it, keyword k, \
+          movie_info_idx mi_idx, movie_keyword mk, title t \
+          where it.info = 'rating' and k.keyword like '%sequel%' and mi_idx.info > '5.0' \
+          and t.production_year > 2005 and t.id = mi_idx.movie_id and t.id = mk.movie_id \
+          and mk.keyword_id = k.id and it.id = mi_idx.info_type_id"),
+        ("5a",
+         "select min(t.title) from company_type ct, info_type it, movie_companies mc, \
+          movie_info mi, title t where ct.kind = 'production companies' \
+          and mc.note like '%(theatrical)%' and mc.note like '%(France)%' \
+          and mi.info in ('Sweden', 'Norway', 'Germany', 'Denmark', 'Swedish', 'Denish', \
+          'Norwegian', 'German') and t.production_year > 2005 and t.id = mi.movie_id \
+          and t.id = mc.movie_id and mc.company_type_id = ct.id and it.id = mi.info_type_id"),
+        ("6a",
+         "select min(k.keyword), min(n.name), min(t.title) from cast_info ci, keyword k, \
+          movie_keyword mk, name n, title t where k.keyword = 'marvel-cinematic-universe' \
+          and n.name like '%Downey%Robert%' and t.production_year > 2010 \
+          and k.id = mk.keyword_id and t.id = mk.movie_id and t.id = ci.movie_id \
+          and ci.person_id = n.id"),
+        ("7a",
+         "select min(n.name), min(t.title) from cast_info ci, info_type it, movie_info mi, \
+          name n, person_info pi, title t where it.info = 'mini biography' \
+          and n.name_pcode_cf between 'A' and 'F' and n.gender = 'm' \
+          and pi.pi_info is not null and t.production_year between 1980 and 1995 \
+          and n.id = ci.person_id and ci.movie_id = t.id and t.id = mi.movie_id \
+          and n.id = pi.person_id and pi.pi_info_type_id = it.id"),
+        ("8a",
+         "select min(an.aka_title_name), min(t.title) from aka_title an, cast_info ci, \
+          company_name cn, movie_companies mc, role_type rt, title t \
+          where ci.note = '(voice: English version)' and cn.country_code = '[jp]' \
+          and mc.note like '%(Japan)%' and rt.role = 'actress' \
+          and ci.movie_id = t.id and t.id = mc.movie_id and mc.company_id = cn.id \
+          and ci.role_id = rt.id and an.movie_id = t.id"),
+        ("9a",
+         "select min(an.aka_title_name), min(chn.name), min(t.title) from aka_title an, \
+          char_name chn, cast_info ci, company_name cn, movie_companies mc, \
+          role_type rt, title t where ci.note in ('(voice)', '(voice: Japanese version)', \
+          '(voice) (uncredited)', '(voice: English version)') and cn.country_code = '[us]' \
+          and rt.role = 'actress' and t.production_year between 2005 and 2015 \
+          and ci.movie_id = t.id and t.id = mc.movie_id and mc.company_id = cn.id \
+          and ci.role_id = rt.id and an.movie_id = t.id and chn.id = ci.person_role_id"),
+        ("10a",
+         "select min(chn.name), min(t.title) from char_name chn, cast_info ci, \
+          company_name cn, company_type ct, movie_companies mc, role_type rt, title t \
+          where ci.note like '%(voice)%' and ci.note like '%(uncredited)%' \
+          and cn.country_code = '[ru]' and rt.role = 'actor' and t.production_year > 2005 \
+          and t.id = mc.movie_id and t.id = ci.movie_id and ci.person_role_id = chn.id \
+          and ci.role_id = rt.id and mc.company_id = cn.id and mc.company_type_id = ct.id"),
+        ("11a",
+         "select min(cn.name), min(lt.link), min(t.title) from company_name cn, \
+          company_type ct, keyword k, link_type lt, movie_companies mc, movie_keyword mk, \
+          movie_link ml, title t where cn.country_code <> '[pl]' \
+          and cn.name like '%Film%' and ct.kind = 'production companies' \
+          and k.keyword = 'sequel' and lt.link like '%follow%' and mc.note is null \
+          and t.production_year between 1950 and 2000 and lt.id = ml.link_type_id \
+          and ml.movie_id = t.id and t.id = mk.movie_id and mk.keyword_id = k.id \
+          and t.id = mc.movie_id and mc.company_type_id = ct.id and mc.company_id = cn.id"),
+        ("12a",
+         "select min(cn.name), min(mi_idx.info), min(t.title) from company_name cn, \
+          company_type ct, info_type it2, movie_companies mc, movie_info_idx mi_idx, title t \
+          where cn.country_code = '[us]' and ct.kind = 'production companies' \
+          and it2.info = 'rating' and mi_idx.info > '8.0' and t.production_year \
+          between 2005 and 2008 and t.id = mi_idx.movie_id and t.id = mc.movie_id \
+          and mc.company_type_id = ct.id and mc.company_id = cn.id \
+          and mi_idx.info_type_id = it2.id"),
+        ("13a",
+         "select min(mi.info), min(mi_idx.info), min(t.title) from info_type it, \
+          kind_type kt, movie_info mi, movie_info_idx mi_idx, title t \
+          where it.info = 'rating' and kt.kind = 'movie' and mi.info like 'B%' \
+          and t.id = mi.movie_id and t.id = mi_idx.movie_id and kt.id = t.kind_id \
+          and it.id = mi_idx.info_type_id"),
+        ("14a",
+         "select min(mi_idx.info), min(t.title) from info_type it2, keyword k, kind_type kt, \
+          movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t \
+          where it2.info = 'rating' and k.keyword in ('murder', 'murder-in-title', \
+          'blood', 'violence') and kt.kind = 'movie' and mi.info in ('Sweden', 'Norway', \
+          'Germany', 'Denmark', 'Swedish', 'Denish', 'Norwegian', 'German', 'USA', \
+          'American') and mi_idx.info < '8.5' and t.production_year > 2010 \
+          and kt.id = t.kind_id and t.id = mi.movie_id and t.id = mk.movie_id \
+          and t.id = mi_idx.movie_id and mk.keyword_id = k.id and it2.id = mi_idx.info_type_id"),
+        ("15a",
+         "select min(mi.info), min(t.title) from aka_title at1, company_name cn, \
+          info_type it1, movie_companies mc, movie_info mi, title t \
+          where cn.country_code = '[us]' and it1.info = 'release dates' \
+          and mc.note like '%(200%)%' and mc.note like '%(worldwide)%' \
+          and mi.note like '%internet%' and mi.info like 'USA:% 200%' \
+          and t.production_year > 2000 and t.id = at1.movie_id and t.id = mi.movie_id \
+          and t.id = mc.movie_id and mc.company_id = cn.id and mi.info_type_id = it1.id"),
+        ("16a",
+         "select min(an.aka_title_name), min(t.title) from aka_title an, cast_info ci, \
+          company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t \
+          where cn.country_code = '[us]' and k.keyword = 'character-name-in-title' \
+          and t.episode_nr >= 50 and t.episode_nr < 100 and an.movie_id = t.id \
+          and n.id = ci.person_id and ci.movie_id = t.id and t.id = mk.movie_id \
+          and mk.keyword_id = k.id and t.id = mc.movie_id and mc.company_id = cn.id"),
+        ("17a",
+         "select min(n.name) from cast_info ci, company_name cn, keyword k, \
+          movie_companies mc, movie_keyword mk, name n, title t \
+          where cn.country_code = '[us]' and k.keyword = 'character-name-in-title' \
+          and n.name like 'B%' and n.id = ci.person_id and ci.movie_id = t.id \
+          and t.id = mk.movie_id and mk.keyword_id = k.id and t.id = mc.movie_id \
+          and mc.company_id = cn.id"),
+        ("18a",
+         "select min(mi.info), min(t.title) from cast_info ci, info_type it1, \
+          movie_info mi, name n, title t where ci.note in ('(producer)', \
+          '(executive producer)') and it1.info = 'budget' and n.gender = 'm' \
+          and n.name like '%Tim%' and t.id = mi.movie_id and t.id = ci.movie_id \
+          and ci.person_id = n.id and mi.info_type_id = it1.id"),
+        ("19a",
+         "select min(n.name), min(t.title) from aka_title an, char_name chn, cast_info ci, \
+          company_name cn, info_type it, movie_companies mc, movie_info mi, name n, \
+          role_type rt, title t where ci.note in ('(voice)', '(voice: Japanese version)', \
+          '(voice) (uncredited)', '(voice: English version)') and cn.country_code = '[us]' \
+          and it.info = 'release dates' and mc.note like '%(200%)%' \
+          and mi.info like 'Japan:%200%' and n.gender = 'f' and n.name like '%Ang%' \
+          and rt.role = 'actress' and t.production_year between 2005 and 2009 \
+          and t.id = mi.movie_id and t.id = mc.movie_id and t.id = ci.movie_id \
+          and mc.company_id = cn.id and ci.person_id = n.id and ci.role_id = rt.id \
+          and an.movie_id = t.id and chn.id = ci.person_role_id and it.id = mi.info_type_id"),
+        ("20a",
+         "select min(t.title) from char_name chn, cast_info ci, keyword k, kind_type kt, \
+          movie_keyword mk, title t where chn.name not like '%Sherlock%' \
+          and ci.note in ('(voice)', '(voice: Japanese version)', '(voice) (uncredited)', \
+          '(voice: English version)') and k.keyword in ('superhero', 'sequel', \
+          'second-part', 'marvel-comics', 'based-on-comic', 'tv-special', 'fight', \
+          'violence') and kt.kind = 'movie' and t.production_year > 1950 \
+          and kt.id = t.kind_id and t.id = mk.movie_id and t.id = ci.movie_id \
+          and mk.keyword_id = k.id and chn.id = ci.person_role_id"),
+        ("21a",
+         "select min(cn.name), min(lt.link), min(t.title) from company_name cn, \
+          company_type ct, keyword k, link_type lt, movie_companies mc, movie_info mi, \
+          movie_keyword mk, movie_link ml, title t where cn.country_code <> '[pl]' \
+          and cn.name like '%Film%' and ct.kind = 'production companies' \
+          and k.keyword = 'sequel' and lt.link like '%follow%' and mc.note is null \
+          and mi.info in ('Sweden', 'Norway', 'Germany', 'Denmark', 'Swedish', 'Denish', \
+          'Norwegian', 'German') and t.production_year between 1950 and 2000 \
+          and lt.id = ml.link_type_id and ml.movie_id = t.id and t.id = mk.movie_id \
+          and mk.keyword_id = k.id and t.id = mc.movie_id and mc.company_type_id = ct.id \
+          and mc.company_id = cn.id and t.id = mi.movie_id"),
+        ("22a",
+         "select min(cn.name), min(mi_idx.info), min(t.title) from company_name cn, \
+          company_type ct, info_type it2, keyword k, kind_type kt, movie_companies mc, \
+          movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t \
+          where cn.country_code <> '[us]' and it2.info = 'rating' \
+          and k.keyword in ('murder', 'murder-in-title', 'blood', 'violence') \
+          and kt.kind in ('movie', 'episode') and mc.note not like '%(USA)%' \
+          and mc.note like '%(200%)%' and mi.info in ('Germany', 'German', 'USA', \
+          'American') and mi_idx.info < '7.0' and t.production_year > 2008 \
+          and kt.id = t.kind_id and t.id = mi.movie_id and t.id = mk.movie_id \
+          and t.id = mi_idx.movie_id and t.id = mc.movie_id and mk.keyword_id = k.id \
+          and it2.id = mi_idx.info_type_id and mc.company_type_id = ct.id \
+          and mc.company_id = cn.id"),
+        ("23a",
+         "select min(kt.kind), min(t.title) from company_name cn, company_type ct, \
+          info_type it1, kind_type kt, movie_companies mc, movie_info mi, title t \
+          where cn.country_code = '[us]' and it1.info = 'release dates' \
+          and kt.kind in ('movie') and mi.note like '%internet%' \
+          and mi.info like 'USA:% 199%' and t.production_year > 2000 \
+          and kt.id = t.kind_id and t.id = mi.movie_id and t.id = mc.movie_id \
+          and mc.company_type_id = ct.id and mc.company_id = cn.id \
+          and mi.info_type_id = it1.id"),
+        ("24a",
+         "select min(chn.name), min(t.title) from aka_title an, char_name chn, \
+          cast_info ci, company_name cn, info_type it, keyword k, movie_companies mc, \
+          movie_info mi, movie_keyword mk, name n, role_type rt, title t \
+          where ci.note in ('(voice)', '(voice: Japanese version)', \
+          '(voice) (uncredited)', '(voice: English version)') and cn.country_code = '[us]' \
+          and it.info = 'release dates' and k.keyword in ('hero', 'martial-arts', \
+          'hand-to-hand-combat') and mi.info like 'Japan:%201%' and n.gender = 'f' \
+          and n.name like '%An%' and rt.role = 'actress' and t.production_year > 2010 \
+          and t.id = mi.movie_id and t.id = mc.movie_id and t.id = ci.movie_id \
+          and t.id = mk.movie_id and mc.company_id = cn.id and mi.info_type_id = it.id \
+          and ci.person_id = n.id and ci.role_id = rt.id and an.movie_id = t.id \
+          and chn.id = ci.person_role_id and mk.keyword_id = k.id"),
+        ("25a",
+         "select min(mi.info), min(mi_idx.info), min(n.name), min(t.title) \
+          from cast_info ci, info_type it1, keyword k, movie_info mi, movie_info_idx mi_idx, \
+          movie_keyword mk, name n, title t where ci.note in ('(writer)', \
+          '(head writer)', '(written by)', '(story)', '(story editor)') \
+          and it1.info = 'genres' and k.keyword in ('murder', 'blood', 'gore', \
+          'death', 'female-nudity') and mi.info = 'Horror' and n.gender = 'm' \
+          and t.id = mi.movie_id and t.id = mi_idx.movie_id and t.id = ci.movie_id \
+          and t.id = mk.movie_id and ci.person_id = n.id and mi.info_type_id = it1.id \
+          and mk.keyword_id = k.id"),
+        ("26a",
+         "select min(chn.name), min(mi_idx.info), min(n.name), min(t.title) \
+          from char_name chn, cast_info ci, info_type it2, keyword k, kind_type kt, \
+          movie_info_idx mi_idx, movie_keyword mk, name n, title t \
+          where chn.name is not null and chn.name like '%man%' and it2.info = 'rating' \
+          and k.keyword in ('superhero', 'marvel-comics', 'based-on-comic', 'tv-special', \
+          'fight', 'violence', 'magnet', 'web', 'claw', 'laser') and kt.kind = 'movie' \
+          and mi_idx.info > '7.0' and t.production_year > 2000 and kt.id = t.kind_id \
+          and t.id = mk.movie_id and t.id = ci.movie_id and t.id = mi_idx.movie_id \
+          and mk.keyword_id = k.id and ci.person_role_id = chn.id and ci.person_id = n.id \
+          and mi_idx.info_type_id = it2.id"),
+        ("27a",
+         "select min(cn.name), min(lt.link), min(t.title) from company_name cn, \
+          company_type ct, keyword k, link_type lt, movie_companies mc, movie_info mi, \
+          movie_keyword mk, movie_link ml, title t where cn.country_code <> '[pl]' \
+          and cn.name like '%Film%' and ct.kind = 'production companies' \
+          and k.keyword = 'sequel' and lt.link like '%follow%' and mc.note is null \
+          and mi.info in ('Sweden', 'Germany', 'Swedish', 'German') \
+          and t.production_year between 1950 and 2010 and lt.id = ml.link_type_id \
+          and ml.movie_id = t.id and t.id = mk.movie_id and mk.keyword_id = k.id \
+          and t.id = mc.movie_id and mc.company_type_id = ct.id and mc.company_id = cn.id \
+          and t.id = mi.movie_id"),
+        ("28a",
+         "select min(cn.name), min(mi_idx.info), min(t.title) from company_name cn, \
+          company_type ct, info_type it2, keyword k, kind_type kt, movie_companies mc, \
+          movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t \
+          where cn.country_code <> '[us]' and it2.info = 'rating' \
+          and k.keyword in ('murder', 'murder-in-title', 'blood', 'violence') \
+          and kt.kind in ('movie', 'episode') and mc.note not like '%(USA)%' \
+          and mc.note like '%(200%)%' and mi.info in ('Sweden', 'Germany', 'Swedish', \
+          'German', 'USA', 'American') and mi_idx.info < '8.5' and t.production_year > 2000 \
+          and kt.id = t.kind_id and t.id = mi.movie_id and t.id = mk.movie_id \
+          and t.id = mi_idx.movie_id and t.id = mc.movie_id and mk.keyword_id = k.id \
+          and it2.id = mi_idx.info_type_id and mc.company_type_id = ct.id \
+          and mc.company_id = cn.id"),
+        ("29a",
+         "select min(chn.name), min(n.name), min(t.title) from aka_title an, \
+          char_name chn, cast_info ci, company_name cn, info_type it, keyword k, \
+          movie_companies mc, movie_info mi, movie_keyword mk, name n, role_type rt, \
+          title t where ci.note = '(voice)' and chn.name = 'Queen' \
+          and cn.country_code = '[us]' and it.info = 'release dates' \
+          and k.keyword = 'computer-animation' and mi.info like 'USA:%200%' \
+          and n.gender = 'f' and n.name like '%An%' and rt.role = 'actress' \
+          and t.title = 'Shrek 2' and t.production_year between 2000 and 2010 \
+          and t.id = mi.movie_id and t.id = mc.movie_id and t.id = ci.movie_id \
+          and t.id = mk.movie_id and mc.company_id = cn.id and mi.info_type_id = it.id \
+          and ci.person_id = n.id and ci.role_id = rt.id and an.movie_id = t.id \
+          and chn.id = ci.person_role_id and mk.keyword_id = k.id"),
+        ("30a",
+         "select min(mi.info), min(mi_idx.info), min(n.name), min(t.title) \
+          from cast_info ci, info_type it1, keyword k, movie_info mi, movie_info_idx mi_idx, \
+          movie_keyword mk, name n, title t where ci.note in ('(writer)', '(head writer)', \
+          '(written by)', '(story)', '(story editor)') and it1.info = 'genres' \
+          and k.keyword in ('murder', 'violence', 'blood', 'gore', 'death', \
+          'female-nudity', 'hospital') and mi.info in ('Horror', 'Thriller') \
+          and n.gender = 'm' and t.production_year > 2000 and t.id = mi.movie_id \
+          and t.id = mi_idx.movie_id and t.id = ci.movie_id and t.id = mk.movie_id \
+          and ci.person_id = n.id and mi.info_type_id = it1.id and mk.keyword_id = k.id"),
+        ("31a",
+         "select min(mi.info), min(mi_idx.info), min(n.name), min(t.title) \
+          from cast_info ci, company_name cn, info_type it1, keyword k, movie_companies mc, \
+          movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t \
+          where ci.note in ('(writer)', '(head writer)', '(written by)', '(story)', \
+          '(story editor)') and cn.name like 'Lionsgate%' and it1.info = 'genres' \
+          and k.keyword in ('murder', 'violence', 'blood', 'gore', 'death', \
+          'female-nudity', 'hospital') and mi.info in ('Horror', 'Thriller') \
+          and n.gender = 'm' and t.id = mi.movie_id and t.id = mi_idx.movie_id \
+          and t.id = ci.movie_id and t.id = mk.movie_id and t.id = mc.movie_id \
+          and ci.person_id = n.id and mi.info_type_id = it1.id and mk.keyword_id = k.id \
+          and mc.company_id = cn.id"),
+        ("32a",
+         "select min(lt.link), min(t.title) from keyword k, link_type lt, movie_keyword mk, \
+          movie_link ml, title t where k.keyword = '10,000-mile-club' \
+          and mk.keyword_id = k.id and t.id = mk.movie_id and ml.movie_id = t.id \
+          and lt.id = ml.link_type_id"),
+        ("33a",
+         "select min(cn.name), min(mi_idx.info), min(t.title) from company_name cn, \
+          info_type it2, kind_type kt, link_type lt, movie_companies mc, \
+          movie_info_idx mi_idx, movie_link ml, title t where cn.country_code <> '[us]' \
+          and it2.info = 'rating' and kt.kind in ('tv series') and lt.link in ('sequel', \
+          'follows', 'followed by') and mi_idx.info < '3.5' \
+          and t.production_year between 2005 and 2008 and lt.id = ml.link_type_id \
+          and t.id = ml.movie_id and t.id = mi_idx.movie_id and it2.id = mi_idx.info_type_id \
+          and kt.id = t.kind_id and t.id = mc.movie_id and cn.id = mc.company_id"),
+    ];
+    q.into_iter().map(|(l, s)| (l, s.to_string())).collect()
+}
+
+/// Builds the full JOB workload.
+pub fn workload() -> Workload {
+    Workload::from_sql("JOB", catalog(), &queries())
+        .expect("JOB queries are in-dialect by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_sql::analysis::analyze;
+
+    #[test]
+    fn all_33_families_parse() {
+        for (label, sql) in queries() {
+            assert!(lt_sql::parse_query(&sql).is_ok(), "JOB {label} failed to parse");
+        }
+        assert_eq!(queries().len(), 33);
+    }
+
+    #[test]
+    fn queries_reference_known_tables() {
+        let c = catalog();
+        for (label, sql) in queries() {
+            let q = lt_sql::parse_query(&sql).unwrap();
+            for t in analyze(&q).tables {
+                assert!(c.table_by_name(&t).is_some(), "JOB {label}: unknown table {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_graphs_are_connected() {
+        // Every query's tables must be reachable through its join edges —
+        // otherwise the simulated optimizer is forced into cross joins the
+        // real benchmark does not contain.
+        let c = catalog();
+        for (label, sql) in queries() {
+            let q = lt_sql::parse_query(&sql).unwrap();
+            let preds = lt_dbms::stats::extract(&q, &c);
+            let n = preds.tables.len();
+            assert!(n >= 4, "JOB {label} should join at least 4 tables");
+            // Union-find over tables.
+            let mut parent: Vec<usize> = (0..n).collect();
+            fn find(p: &mut Vec<usize>, i: usize) -> usize {
+                if p[i] != i {
+                    let r = find(p, p[i]);
+                    p[i] = r;
+                }
+                p[i]
+            }
+            for e in &preds.joins {
+                let lt = c.column(e.left).table;
+                let rt = c.column(e.right).table;
+                let li = preds.tables.iter().position(|t| *t == lt);
+                let ri = preds.tables.iter().position(|t| *t == rt);
+                if let (Some(li), Some(ri)) = (li, ri) {
+                    let (a, b) = (find(&mut parent, li), find(&mut parent, ri));
+                    parent[a] = b;
+                }
+            }
+            let root = find(&mut parent, 0);
+            for i in 1..n {
+                assert_eq!(
+                    find(&mut parent, i),
+                    root,
+                    "JOB {label}: join graph is disconnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_row_counts_match_imdb() {
+        let c = catalog();
+        let rows = |name: &str| c.table(c.table_by_name(name).unwrap()).rows;
+        assert_eq!(rows("cast_info"), 36_244_344);
+        assert_eq!(rows("movie_info"), 14_835_720);
+        assert_eq!(rows("title"), 2_528_312);
+    }
+}

@@ -1,0 +1,125 @@
+//! Workload obfuscation (paper §6.4.3).
+//!
+//! To test whether the LLM benefits from recognizing well-known benchmarks
+//! in its pre-training data, the paper replaces all table and column names
+//! in the extracted query snippets with generic identifiers (`Tx` / `Cy`).
+//! The [`Obfuscator`] provides that mapping: deterministic per catalog,
+//! applied *after* snippet extraction (full queries are never sent to the
+//! LLM in compressed mode), and reversible so generated `CREATE INDEX`
+//! commands can be mapped back to real names.
+
+use lt_dbms::Catalog;
+use std::collections::HashMap;
+
+/// Bidirectional real-name ↔ generic-name mapping.
+#[derive(Debug, Clone)]
+pub struct Obfuscator {
+    table_fwd: HashMap<String, String>,
+    table_rev: HashMap<String, String>,
+    column_fwd: HashMap<(String, String), String>,
+    column_rev: HashMap<String, (String, String)>,
+}
+
+impl Obfuscator {
+    /// Builds the mapping for a catalog: table *i* becomes `Ti`, column *j*
+    /// becomes `Cj` (catalog-wide numbering, so obfuscated column names stay
+    /// unique without qualifiers).
+    pub fn new(catalog: &Catalog) -> Self {
+        let mut table_fwd = HashMap::new();
+        let mut table_rev = HashMap::new();
+        for t in catalog.tables() {
+            let generic = format!("T{}", t.id.0);
+            table_fwd.insert(t.name.clone(), generic.clone());
+            table_rev.insert(generic, t.name.clone());
+        }
+        let mut column_fwd = HashMap::new();
+        let mut column_rev = HashMap::new();
+        for col in catalog.columns() {
+            let table = catalog.table(col.table).name.clone();
+            let generic = format!("C{}", col.id.0);
+            column_fwd.insert((table.clone(), col.name.clone()), generic.clone());
+            column_rev.insert(generic, (table, col.name.clone()));
+        }
+        Obfuscator { table_fwd, table_rev, column_fwd, column_rev }
+    }
+
+    /// Obfuscates a table name; unknown names pass through unchanged.
+    pub fn table(&self, name: &str) -> String {
+        self.table_fwd
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_else(|| name.to_string())
+    }
+
+    /// Obfuscates a `table.column` pair.
+    pub fn column(&self, table: &str, column: &str) -> String {
+        self.column_fwd
+            .get(&(table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .cloned()
+            .unwrap_or_else(|| column.to_string())
+    }
+
+    /// Reverses an obfuscated table name.
+    pub fn deobfuscate_table(&self, generic: &str) -> Option<&str> {
+        self.table_rev.get(generic).map(String::as_str)
+    }
+
+    /// Reverses an obfuscated column name to `(table, column)`.
+    pub fn deobfuscate_column(&self, generic: &str) -> Option<(&str, &str)> {
+        self.column_rev.get(generic).map(|(t, c)| (t.as_str(), c.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("orders", 100)
+            .primary_key("o_orderkey", 8)
+            .column("o_totalprice", 8, 90.0)
+            .finish();
+        c.add_table("customer", 10).primary_key("c_custkey", 8).finish();
+        c
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_reversible() {
+        let c = catalog();
+        let ob = Obfuscator::new(&c);
+        assert_eq!(ob.table("orders"), "T0");
+        assert_eq!(ob.table("customer"), "T1");
+        assert_eq!(ob.column("orders", "o_orderkey"), "C0");
+        assert_eq!(ob.deobfuscate_table("T0"), Some("orders"));
+        assert_eq!(ob.deobfuscate_column("C1"), Some(("orders", "o_totalprice")));
+    }
+
+    #[test]
+    fn unknown_names_pass_through() {
+        let c = catalog();
+        let ob = Obfuscator::new(&c);
+        assert_eq!(ob.table("mystery"), "mystery");
+        assert_eq!(ob.column("orders", "mystery"), "mystery");
+        assert_eq!(ob.deobfuscate_table("T99"), None);
+    }
+
+    #[test]
+    fn obfuscated_names_leak_no_benchmark_identity() {
+        let c = crate::tpch::catalog(1.0);
+        let ob = Obfuscator::new(&c);
+        for t in c.tables() {
+            let g = ob.table(&t.name);
+            assert!(g.starts_with('T'), "{g}");
+            assert!(!g.contains(&t.name), "{g} leaks {t:?}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let c = catalog();
+        let ob = Obfuscator::new(&c);
+        assert_eq!(ob.table("ORDERS"), "T0");
+        assert_eq!(ob.column("Orders", "O_ORDERKEY"), "C0");
+    }
+}

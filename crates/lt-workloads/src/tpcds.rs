@@ -1,0 +1,288 @@
+//! TPC-DS (scale factor 1): star-schema subset and 16 representative
+//! queries.
+//!
+//! Row counts match the TPC-DS specification at SF 1. The query set covers
+//! the three fact tables (store, catalog and web sales) joined against the
+//! shared dimensions, following the official templates' join graphs and
+//! filter shapes (ROLLUP and window functions, which our dialect omits,
+//! are replaced by plain GROUP BY with the same footprint).
+
+use crate::workload::Workload;
+use lt_dbms::Catalog;
+
+/// Builds the TPC-DS SF1 catalog (fact tables + shared dimensions).
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table("date_dim", 73_049)
+        .primary_key("d_date_sk", 4)
+        .column("d_date", 4, 73_049.0)
+        .column("d_year", 4, 201.0)
+        .column("d_moy", 4, 12.0)
+        .column("d_dom", 4, 31.0)
+        .column("d_qoy", 4, 4.0)
+        .column("d_day_name", 9, 7.0)
+        .finish();
+    c.add_table("item", 18_000)
+        .primary_key("i_item_sk", 4)
+        .column("i_item_id", 16, 9_000.0)
+        .column("i_category", 20, 10.0)
+        .column("i_class", 20, 99.0)
+        .column("i_brand", 30, 714.0)
+        .column("i_manufact_id", 4, 1_000.0)
+        .column("i_current_price", 8, 9_905.0)
+        .column("i_color", 10, 92.0)
+        .finish();
+    c.add_table("store", 12)
+        .primary_key("s_store_sk", 4)
+        .column("s_store_name", 20, 8.0)
+        .column("s_state", 2, 7.0)
+        .column("s_gmt_offset", 4, 2.0)
+        .finish();
+    c.add_table("customer", 100_000)
+        .primary_key("c_customer_sk", 4)
+        .column("c_customer_id", 16, 100_000.0)
+        .foreign_key("c_current_addr_sk", 4, 50_000.0)
+        .foreign_key("c_current_cdemo_sk", 4, 95_000.0)
+        .column("c_first_name", 20, 5_000.0)
+        .column("c_last_name", 30, 5_000.0)
+        .column("c_birth_year", 4, 69.0)
+        .finish();
+    c.add_table("customer_address", 50_000)
+        .primary_key("ca_address_sk", 4)
+        .column("ca_state", 2, 52.0)
+        .column("ca_city", 20, 704.0)
+        .column("ca_country", 20, 1.0)
+        .column("ca_gmt_offset", 4, 6.0)
+        .finish();
+    c.add_table("customer_demographics", 1_920_800)
+        .primary_key("cd_demo_sk", 4)
+        .column("cd_gender", 1, 2.0)
+        .column("cd_marital_status", 1, 5.0)
+        .column("cd_education_status", 20, 7.0)
+        .finish();
+    c.add_table("household_demographics", 7_200)
+        .primary_key("hd_demo_sk", 4)
+        .column("hd_dep_count", 4, 10.0)
+        .column("hd_buy_potential", 15, 6.0)
+        .finish();
+    c.add_table("promotion", 300)
+        .primary_key("p_promo_sk", 4)
+        .column("p_channel_email", 1, 2.0)
+        .column("p_channel_event", 1, 2.0)
+        .finish();
+    c.add_table("warehouse", 5)
+        .primary_key("w_warehouse_sk", 4)
+        .column("w_warehouse_name", 20, 5.0)
+        .column("w_state", 2, 4.0)
+        .finish();
+    c.add_table("ship_mode", 20)
+        .primary_key("sm_ship_mode_sk", 4)
+        .column("sm_type", 30, 6.0)
+        .finish();
+    c.add_table("store_sales", 2_880_404)
+        .foreign_key("ss_sold_date_sk", 4, 1_823.0)
+        .foreign_key("ss_item_sk", 4, 18_000.0)
+        .foreign_key("ss_customer_sk", 4, 85_000.0)
+        .foreign_key("ss_cdemo_sk", 4, 1_540_000.0)
+        .foreign_key("ss_hdemo_sk", 4, 7_200.0)
+        .foreign_key("ss_store_sk", 4, 6.0)
+        .foreign_key("ss_promo_sk", 4, 300.0)
+        .column("ss_quantity", 4, 100.0)
+        .column("ss_sales_price", 8, 19_000.0)
+        .column("ss_ext_sales_price", 8, 700_000.0)
+        .column("ss_net_profit", 8, 900_000.0)
+        .column("ss_wholesale_cost", 8, 9_000.0)
+        .finish();
+    c.add_table("catalog_sales", 1_441_548)
+        .foreign_key("cs_sold_date_sk", 4, 1_823.0)
+        .foreign_key("cs_item_sk", 4, 18_000.0)
+        .foreign_key("cs_bill_customer_sk", 4, 80_000.0)
+        .foreign_key("cs_ship_mode_sk", 4, 20.0)
+        .foreign_key("cs_warehouse_sk", 4, 5.0)
+        .column("cs_quantity", 4, 100.0)
+        .column("cs_ext_sales_price", 8, 600_000.0)
+        .column("cs_net_profit", 8, 700_000.0)
+        .finish();
+    c.add_table("web_sales", 719_384)
+        .foreign_key("ws_sold_date_sk", 4, 1_823.0)
+        .foreign_key("ws_item_sk", 4, 18_000.0)
+        .foreign_key("ws_bill_customer_sk", 4, 65_000.0)
+        .foreign_key("ws_ship_mode_sk", 4, 20.0)
+        .foreign_key("ws_warehouse_sk", 4, 5.0)
+        .column("ws_quantity", 4, 100.0)
+        .column("ws_ext_sales_price", 8, 480_000.0)
+        .column("ws_net_profit", 8, 560_000.0)
+        .finish();
+    c
+}
+
+/// 16 representative TPC-DS query texts, labelled after the official
+/// templates they follow.
+pub fn queries() -> Vec<(&'static str, String)> {
+    let q: Vec<(&'static str, &str)> = vec![
+        ("q3",
+         "select d.d_year, i.i_brand, sum(ss.ss_ext_sales_price) as sum_agg \
+          from date_dim d, store_sales ss, item i \
+          where d.d_date_sk = ss.ss_sold_date_sk and ss.ss_item_sk = i.i_item_sk \
+          and i.i_manufact_id = 128 and d.d_moy = 11 \
+          group by d.d_year, i.i_brand order by d.d_year, sum_agg desc limit 100"),
+        ("q7",
+         "select i.i_item_id, avg(ss.ss_quantity) as agg1, avg(ss.ss_sales_price) as agg2 \
+          from store_sales ss, customer_demographics cd, date_dim d, item i, promotion p \
+          where ss.ss_sold_date_sk = d.d_date_sk and ss.ss_item_sk = i.i_item_sk \
+          and ss.ss_cdemo_sk = cd.cd_demo_sk and ss.ss_promo_sk = p.p_promo_sk \
+          and cd.cd_gender = 'M' and cd.cd_marital_status = 'S' \
+          and cd.cd_education_status = 'College' and p.p_channel_email = 'N' \
+          and d.d_year = 2000 group by i.i_item_id order by i.i_item_id limit 100"),
+        ("q13",
+         "select avg(ss.ss_quantity), avg(ss.ss_ext_sales_price), avg(ss.ss_wholesale_cost), \
+          sum(ss.ss_wholesale_cost) from store_sales ss, store s, customer_demographics cd, \
+          household_demographics hd, customer_address ca, date_dim d \
+          where s.s_store_sk = ss.ss_store_sk and ss.ss_sold_date_sk = d.d_date_sk \
+          and d.d_year = 2001 and ss.ss_hdemo_sk = hd.hd_demo_sk \
+          and cd.cd_demo_sk = ss.ss_cdemo_sk and ss.ss_customer_sk in \
+          (select c.c_customer_sk from customer c, customer_address ca2 \
+           where c.c_current_addr_sk = ca2.ca_address_sk and ca2.ca_country = 'United States') \
+          and cd.cd_marital_status = 'M' and cd.cd_education_status = 'Advanced Degree' \
+          and ss.ss_customer_sk = ca.ca_address_sk and hd.hd_dep_count = 3"),
+        ("q19",
+         "select i.i_brand, i.i_manufact_id, sum(ss.ss_ext_sales_price) as ext_price \
+          from date_dim d, store_sales ss, item i, customer c, customer_address ca, store s \
+          where d.d_date_sk = ss.ss_sold_date_sk and ss.ss_item_sk = i.i_item_sk \
+          and i.i_manufact_id = 38 and d.d_moy = 11 and d.d_year = 1998 \
+          and ss.ss_customer_sk = c.c_customer_sk and c.c_current_addr_sk = ca.ca_address_sk \
+          and ss.ss_store_sk = s.s_store_sk \
+          group by i.i_brand, i.i_manufact_id order by ext_price desc limit 100"),
+        ("q25",
+         "select i.i_item_id, s.s_store_name, sum(ss.ss_net_profit) as store_sales_profit \
+          from store_sales ss, date_dim d, store s, item i \
+          where d.d_moy = 4 and d.d_year = 2001 and d.d_date_sk = ss.ss_sold_date_sk \
+          and i.i_item_sk = ss.ss_item_sk and s.s_store_sk = ss.ss_store_sk \
+          group by i.i_item_id, s.s_store_name \
+          order by i.i_item_id, s.s_store_name limit 100"),
+        ("q26",
+         "select i.i_item_id, avg(cs.cs_quantity) as agg1 \
+          from catalog_sales cs, customer_demographics cd2, date_dim d, item i, promotion p \
+          where cs.cs_sold_date_sk = d.d_date_sk and cs.cs_item_sk = i.i_item_sk \
+          and cs.cs_bill_customer_sk = cd2.cd_demo_sk and cs.cs_ship_mode_sk in \
+          (select sm.sm_ship_mode_sk from ship_mode sm where sm.sm_type = 'OVERNIGHT') \
+          and cd2.cd_gender = 'F' and cd2.cd_marital_status = 'W' and d.d_year = 2000 \
+          and p.p_channel_event = 'N' and cs.cs_item_sk = p.p_promo_sk \
+          group by i.i_item_id order by i.i_item_id limit 100"),
+        ("q42",
+         "select d.d_year, i.i_category, sum(ss.ss_ext_sales_price) as total_price \
+          from date_dim d, store_sales ss, item i \
+          where d.d_date_sk = ss.ss_sold_date_sk and ss.ss_item_sk = i.i_item_sk \
+          and i.i_category in ('Books', 'Electronics', 'Sports') and d.d_moy = 11 \
+          and d.d_year = 2000 group by d.d_year, i.i_category \
+          order by total_price desc, d.d_year limit 100"),
+        ("q45",
+         "select ca.ca_city, sum(ws.ws_ext_sales_price) as total_sales \
+          from web_sales ws, customer c, customer_address ca, date_dim d, item i \
+          where ws.ws_bill_customer_sk = c.c_customer_sk \
+          and c.c_current_addr_sk = ca.ca_address_sk and ws.ws_item_sk = i.i_item_sk \
+          and ws.ws_sold_date_sk = d.d_date_sk and d.d_qoy = 2 and d.d_year = 2001 \
+          and i.i_item_id in (select i2.i_item_id from item i2 where i2.i_color in \
+          ('firebrick', 'rosy', 'white')) \
+          group by ca.ca_city order by total_sales limit 100"),
+        ("q52",
+         "select d.d_year, i.i_brand, sum(ss.ss_ext_sales_price) as ext_price \
+          from date_dim d, store_sales ss, item i \
+          where d.d_date_sk = ss.ss_sold_date_sk and ss.ss_item_sk = i.i_item_sk \
+          and i.i_manufact_id = 436 and d.d_moy = 12 and d.d_year = 1998 \
+          group by d.d_year, i.i_brand order by d.d_year, ext_price desc limit 100"),
+        ("q55",
+         "select i.i_brand, sum(ss.ss_ext_sales_price) as ext_price \
+          from date_dim d, store_sales ss, item i \
+          where d.d_date_sk = ss.ss_sold_date_sk and ss.ss_item_sk = i.i_item_sk \
+          and i.i_manufact_id = 28 and d.d_moy = 11 and d.d_year = 1999 \
+          group by i.i_brand order by ext_price desc, i.i_brand limit 100"),
+        ("q61",
+         "select sum(ss.ss_ext_sales_price) as promotions \
+          from store_sales ss, store s, promotion p, date_dim d, customer c, \
+          customer_address ca, item i \
+          where ss.ss_sold_date_sk = d.d_date_sk and ss.ss_store_sk = s.s_store_sk \
+          and ss.ss_promo_sk = p.p_promo_sk and ss.ss_customer_sk = c.c_customer_sk \
+          and ca.ca_address_sk = c.c_current_addr_sk and ss.ss_item_sk = i.i_item_sk \
+          and ca.ca_gmt_offset = -5 and i.i_category = 'Jewelry' \
+          and p.p_channel_email = 'Y' and s.s_gmt_offset = -5 \
+          and d.d_year = 1998 and d.d_moy = 11"),
+        ("q68",
+         "select c.c_last_name, c.c_first_name, ca.ca_city, sum(ss.ss_ext_sales_price) \
+          from store_sales ss, date_dim d, store s, household_demographics hd, \
+          customer_address ca, customer c \
+          where ss.ss_sold_date_sk = d.d_date_sk and ss.ss_store_sk = s.s_store_sk \
+          and ss.ss_hdemo_sk = hd.hd_demo_sk and ss.ss_customer_sk = c.c_customer_sk \
+          and c.c_current_addr_sk = ca.ca_address_sk and d.d_dom between 1 and 2 \
+          and hd.hd_dep_count = 4 and d.d_year in (1999, 2000, 2001) \
+          and s.s_store_name = 'ese' \
+          group by c.c_last_name, c.c_first_name, ca.ca_city limit 100"),
+        ("q71",
+         "select i.i_brand, d.d_moy, sum(ws.ws_ext_sales_price) as ext_price \
+          from web_sales ws, date_dim d, item i \
+          where d.d_date_sk = ws.ws_sold_date_sk and ws.ws_item_sk = i.i_item_sk \
+          and i.i_manufact_id = 436 and d.d_year = 1999 \
+          group by i.i_brand, d.d_moy order by ext_price desc limit 100"),
+        ("q96",
+         "select count(*) as cnt from store_sales ss, household_demographics hd, \
+          store s, date_dim d where ss.ss_sold_date_sk = d.d_date_sk \
+          and ss.ss_store_sk = s.s_store_sk and ss.ss_hdemo_sk = hd.hd_demo_sk \
+          and hd.hd_dep_count = 7 and s.s_store_name = 'ese' and d.d_moy = 4"),
+        ("q98",
+         "select i.i_item_id, i.i_category, i.i_class, i.i_current_price, \
+          sum(ss.ss_ext_sales_price) as itemrevenue \
+          from store_sales ss, item i, date_dim d \
+          where ss.ss_item_sk = i.i_item_sk and i.i_category in ('Sports', 'Books', 'Home') \
+          and ss.ss_sold_date_sk = d.d_date_sk and d.d_date between date '1999-02-22' \
+          and date '1999-03-24' group by i.i_item_id, i.i_category, i.i_class, \
+          i.i_current_price order by i.i_category, i.i_class, i.i_item_id limit 100"),
+        ("q99",
+         "select w.w_warehouse_name, sm.sm_type, count(*) as cnt \
+          from catalog_sales cs, warehouse w, ship_mode sm, date_dim d \
+          where cs.cs_ship_mode_sk = sm.sm_ship_mode_sk \
+          and cs.cs_warehouse_sk = w.w_warehouse_sk and cs.cs_sold_date_sk = d.d_date_sk \
+          and d.d_year = 2001 group by w.w_warehouse_name, sm.sm_type \
+          order by w.w_warehouse_name, sm.sm_type limit 100"),
+    ];
+    q.into_iter().map(|(l, s)| (l, s.to_string())).collect()
+}
+
+/// Builds the full TPC-DS workload.
+pub fn workload() -> Workload {
+    Workload::from_sql("TPC-DS", catalog(), &queries())
+        .expect("TPC-DS queries are in-dialect by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_sql::analysis::analyze;
+
+    #[test]
+    fn all_queries_parse() {
+        for (label, sql) in queries() {
+            assert!(lt_sql::parse_query(&sql).is_ok(), "TPC-DS {label} failed to parse");
+        }
+        assert_eq!(queries().len(), 16);
+    }
+
+    #[test]
+    fn queries_reference_known_tables() {
+        let c = catalog();
+        for (label, sql) in queries() {
+            let q = lt_sql::parse_query(&sql).unwrap();
+            for t in analyze(&q).tables {
+                assert!(c.table_by_name(&t).is_some(), "TPC-DS {label}: unknown table {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn fact_tables_match_spec() {
+        let c = catalog();
+        let rows = |n: &str| c.table(c.table_by_name(n).unwrap()).rows;
+        assert_eq!(rows("store_sales"), 2_880_404);
+        assert_eq!(rows("catalog_sales"), 1_441_548);
+        assert_eq!(rows("web_sales"), 719_384);
+    }
+}
