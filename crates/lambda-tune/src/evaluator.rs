@@ -69,7 +69,10 @@ impl Evaluator {
         let specs: Vec<IndexSpec> = config.index_specs().into_iter().cloned().collect();
         let mut map = HashMap::new();
         for wq in &workload.queries {
-            let preds = lt_dbms::stats::extract(&wq.parsed, db.catalog());
+            // Served from the SimDb predicate cache after the first call, so
+            // re-evaluating a configuration across selector rounds does not
+            // re-walk every query AST.
+            let preds = db.predicates(&wq.parsed);
             let mut pred_columns: HashSet<lt_common::ColumnId> = HashSet::new();
             for terms in preds.filters.values() {
                 pred_columns.extend(terms.iter().map(|t| t.column));

@@ -9,11 +9,10 @@ use lt_common::{derive_seed, secs, Result, Secs};
 use lt_dbms::{ConfigCommand, Configuration, SimDb};
 use lt_llm::{LanguageModel, LlmClient, LlmUsage};
 use lt_workloads::{Obfuscator, Workload};
-use serde::{Deserialize, Serialize};
 
 /// λ-Tune options. The defaults match the paper's experimental setup
 /// (§6.1): 5 LLM samples, 10 s initial timeout, α = 10.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LambdaTuneOptions {
     /// Number of configurations sampled from the LLM (k).
     pub num_configs: usize,

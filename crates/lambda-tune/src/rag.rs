@@ -10,11 +10,10 @@
 //! passages to the prompt when [`crate::LambdaTuneOptions::rag`] is set.
 
 use lt_llm::count_tokens;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// One retrievable passage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Passage {
     /// Source document label (e.g. `"postgres-manual"`).
     pub source: String,

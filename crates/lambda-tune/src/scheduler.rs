@@ -20,8 +20,6 @@
 //! index-dependency vectors (§5.4).
 
 use lt_common::seeded_rng;
-use rand::seq::SliceRandom;
-use rand::Rng;
 use std::collections::HashMap;
 
 /// Paper's cap on the DP input size (§5.4).
@@ -255,7 +253,7 @@ pub fn schedule(item_indexes: &[Vec<usize>], costs: &[f64], seed: u64) -> Vec<us
 /// Random order baseline (for ablation comparisons): deterministic shuffle.
 pub fn arbitrary_order(n: usize, seed: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut seeded_rng(seed));
+    seeded_rng(seed).shuffle(&mut order);
     order
 }
 

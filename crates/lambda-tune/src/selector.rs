@@ -19,10 +19,9 @@ use crate::evaluator::{ConfigMeta, Evaluator};
 use lt_common::{secs, QueryId, Secs};
 use lt_dbms::{Configuration, SimDb};
 use lt_workloads::Workload;
-use serde::{Deserialize, Serialize};
 
 /// Selector parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SelectorOptions {
     /// First-round per-configuration timeout (paper §6.1: 10 s).
     pub initial_timeout: Secs,
@@ -50,7 +49,7 @@ impl Default for SelectorOptions {
 /// One point of the tuning trajectory: at optimization time `opt_time`,
 /// the best fully-evaluated configuration ran the workload in
 /// `best_workload_time`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajectoryPoint {
     /// Virtual optimization time when the improvement was found.
     pub opt_time: Secs,

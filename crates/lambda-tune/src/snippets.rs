@@ -9,11 +9,10 @@
 use lt_common::ColumnId;
 use lt_dbms::SimDb;
 use lt_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One join snippet: an (unordered) column pair and its accumulated value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snippet {
     /// One join column (the pair is stored normalized, `left ≤ right`).
     pub left: ColumnId,

@@ -1,18 +1,22 @@
-//! Property-based tests for λ-Tune's scheduler and cost model
-//! (Theorems 5.2–5.3) and the clustering invariants (§5.4).
+//! Randomized property tests for λ-Tune's scheduler and cost model
+//! (Theorems 5.2–5.3) and the clustering invariants (§5.4), driven by a
+//! seeded `lt_common::Rng`.
 
 use lambda_tune::{cluster_queries, expected_index_cost, find_optimal_order};
-use proptest::prelude::*;
+use lt_common::{seeded_rng, Rng};
 
-fn items_and_costs() -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<f64>)> {
-    (1usize..=6, 1usize..=5).prop_flat_map(|(n_items, n_slots)| {
-        let items = proptest::collection::vec(
-            proptest::collection::vec(0..n_slots, 0..=n_slots),
-            n_items,
-        );
-        let costs = proptest::collection::vec(0.1f64..20.0, n_slots);
-        (items, costs)
-    })
+const CASES: usize = 64;
+
+fn items_and_costs(rng: &mut Rng) -> (Vec<Vec<usize>>, Vec<f64>) {
+    let n_items = rng.gen_range(1..=6usize);
+    let n_slots = rng.gen_range(1..=5usize);
+    let items: Vec<Vec<usize>> = (0..n_items)
+        .map(|_| {
+            (0..rng.gen_range(0..=n_slots)).map(|_| rng.gen_range(0..n_slots)).collect()
+        })
+        .collect();
+    let costs: Vec<f64> = (0..n_slots).map(|_| rng.gen_range(0.1..20.0)).collect();
+    (items, costs)
 }
 
 fn permutations(n: usize) -> Vec<Vec<usize>> {
@@ -30,26 +34,30 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem 5.3: the DP order achieves the brute-force optimum of the
-    /// expected-cost model (Eq. 1).
-    #[test]
-    fn dp_matches_brute_force((items, costs) in items_and_costs()) {
+/// Theorem 5.3: the DP order achieves the brute-force optimum of the
+/// expected-cost model (Eq. 1).
+#[test]
+fn dp_matches_brute_force() {
+    let mut rng = seeded_rng(0xA1);
+    for _ in 0..CASES {
+        let (items, costs) = items_and_costs(&mut rng);
         let order = find_optimal_order(&items, &costs);
         let dp = expected_index_cost(&order, &items, &costs);
         let best = permutations(items.len())
             .into_iter()
             .map(|p| expected_index_cost(&p, &items, &costs))
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((dp - best).abs() < 1e-9, "dp {dp} vs brute {best}");
+        assert!((dp - best).abs() < 1e-9, "dp {dp} vs brute {best}");
     }
+}
 
-    /// The expected cost of any order is bounded below by the weighted
-    /// first-item cost and above by the full index cost.
-    #[test]
-    fn expected_cost_bounds((items, costs) in items_and_costs()) {
+/// The expected cost of any order is bounded below by the weighted
+/// first-item cost and above by the full index cost.
+#[test]
+fn expected_cost_bounds() {
+    let mut rng = seeded_rng(0xA2);
+    for _ in 0..CASES {
+        let (items, costs) = items_and_costs(&mut rng);
         let order: Vec<usize> = (0..items.len()).collect();
         let cost = expected_index_cost(&order, &items, &costs);
         // Upper bound: creating every distinct index once.
@@ -57,21 +65,25 @@ proptest! {
         distinct.sort_unstable();
         distinct.dedup();
         let full: f64 = distinct.iter().map(|&s| costs[s]).sum();
-        prop_assert!(cost <= full + 1e-9, "{cost} > {full}");
-        prop_assert!(cost >= 0.0);
+        assert!(cost <= full + 1e-9, "{cost} > {full}");
+        assert!(cost >= 0.0);
     }
+}
 
-    /// Prefix-monotonicity behind Theorem 5.2: improving the order of the
-    /// first k items never worsens the total expected cost when the rest
-    /// of the order is kept.
-    #[test]
-    fn principle_of_optimality_holds((items, costs) in items_and_costs()) {
+/// Prefix-monotonicity behind Theorem 5.2: improving the order of the
+/// first k items never worsens the total expected cost when the rest
+/// of the order is kept.
+#[test]
+fn principle_of_optimality_holds() {
+    let mut rng = seeded_rng(0xA3);
+    for _ in 0..CASES {
+        let (items, costs) = items_and_costs(&mut rng);
         let n = items.len();
         if n < 3 {
-            return Ok(());
+            continue;
         }
         // Compare two orders that differ only in their first two items.
-        let mut a: Vec<usize> = (0..n).collect();
+        let a: Vec<usize> = (0..n).collect();
         let mut b = a.clone();
         b.swap(0, 1);
         let ca = expected_index_cost(&a, &items, &costs);
@@ -82,42 +94,45 @@ proptest! {
         let pa = expected_index_cost(&[0, 1], &sub_items, &costs);
         let pb = expected_index_cost(&[1, 0], &sub_items, &costs);
         if pa < pb - 1e-9 {
-            prop_assert!(ca <= cb + 1e-9, "prefix better but total worse");
+            assert!(ca <= cb + 1e-9, "prefix better but total worse");
         } else if pb < pa - 1e-9 {
-            prop_assert!(cb <= ca + 1e-9, "prefix better but total worse");
+            assert!(cb <= ca + 1e-9, "prefix better but total worse");
         }
-        a.swap(0, 1); // silence unused-mut lint paths
-        let _ = a;
     }
+}
 
-    /// Clustering is a partition: every item in exactly one cluster, at
-    /// most k clusters.
-    #[test]
-    fn clustering_is_a_partition(
-        (items, costs) in items_and_costs(),
-        k in 1usize..=5,
-        seed in 0u64..100,
-    ) {
+/// Clustering is a partition: every item in exactly one cluster, at
+/// most k clusters.
+#[test]
+fn clustering_is_a_partition() {
+    let mut rng = seeded_rng(0xA4);
+    for _ in 0..CASES {
+        let (items, costs) = items_and_costs(&mut rng);
+        let k = rng.gen_range(1..=5usize);
+        let seed = rng.gen_range(0..100u64);
         let clusters = cluster_queries(&items, costs.len(), k, seed);
-        prop_assert!(clusters.len() <= k);
+        assert!(clusters.len() <= k);
         let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
         seen.sort_unstable();
         let expected: Vec<usize> = (0..items.len()).collect();
-        prop_assert_eq!(seen, expected);
+        assert_eq!(seen, expected);
     }
+}
 
-    /// Items with identical dependency sets always share a cluster.
-    #[test]
-    fn identical_items_cluster_together(
-        base in proptest::collection::vec(0usize..4, 0..4),
-        copies in 2usize..5,
-        k in 1usize..=3,
-        seed in 0u64..50,
-    ) {
+/// Items with identical dependency sets always share a cluster.
+#[test]
+fn identical_items_cluster_together() {
+    let mut rng = seeded_rng(0xA5);
+    for _ in 0..CASES {
+        let base: Vec<usize> =
+            (0..rng.gen_range(0..4usize)).map(|_| rng.gen_range(0..4usize)).collect();
+        let copies = rng.gen_range(2..5usize);
+        let k = rng.gen_range(1..=3usize);
+        let seed = rng.gen_range(0..50u64);
         let items: Vec<Vec<usize>> = (0..copies).map(|_| base.clone()).collect();
         let clusters = cluster_queries(&items, 4, k, seed);
         // All copies are identical, so exactly one non-empty cluster.
-        prop_assert_eq!(clusters.len(), 1);
-        prop_assert_eq!(clusters[0].len(), copies);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), copies);
     }
 }

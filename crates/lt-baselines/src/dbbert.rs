@@ -14,7 +14,6 @@ use crate::manual::{manual_text, mine_hints, Hint};
 use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::{KnobValue, SimDb};
 use lt_workloads::Workload;
-use rand::Rng;
 
 const SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 

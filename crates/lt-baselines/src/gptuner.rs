@@ -15,7 +15,6 @@ use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::knobs::knob_def;
 use lt_dbms::{KnobValue, SimDb};
 use lt_workloads::Workload;
-use rand::Rng;
 
 /// GPTuner options.
 #[derive(Debug, Clone, Copy)]

@@ -17,7 +17,6 @@ use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::knobs::knob_def;
 use lt_dbms::{KnobValue, SimDb};
 use lt_workloads::Workload;
-use rand::Rng;
 
 /// LlamaTune options.
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +77,7 @@ impl Tuner for LlamaTune {
         let mut run = TunerRun::empty();
         while db.now() - start < budget {
             // Sample in the latent cube [0, 1]^d.
-            let latent: Vec<f64> = (0..opts.latent_dims).map(|_| rng.gen::<f64>()).collect();
+            let latent: Vec<f64> = (0..opts.latent_dims).map(|_| rng.gen_f64()).collect();
             let knobs: Vec<(&str, KnobValue)> = bounds
                 .iter()
                 .enumerate()

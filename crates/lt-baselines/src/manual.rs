@@ -10,10 +10,9 @@
 use lt_dbms::knobs::{knob_def, Dbms, KnobValue};
 use lt_dbms::hardware::parse_bytes;
 use lt_dbms::Hardware;
-use serde::{Deserialize, Serialize};
 
 /// A recommendation extracted from the manual.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hint {
     /// Target knob.
     pub knob: String,
@@ -22,7 +21,7 @@ pub struct Hint {
 }
 
 /// The shape of a mined recommendation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HintKind {
     /// “… X% of the memory in your system”.
     PercentOfRam(f64),

@@ -17,7 +17,6 @@ use crate::common::{
 use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::{Configuration, IndexSpec, KnobValue, SimDb};
 use lt_workloads::Workload;
-use rand::Rng;
 
 /// UDO options.
 #[derive(Debug, Clone, Copy)]

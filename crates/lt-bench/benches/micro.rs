@@ -1,82 +1,111 @@
-//! Criterion micro-benchmarks backing the design choices DESIGN.md calls
-//! out: ILP compression solve times, the DP scheduler's exponential growth
-//! (and why §5.4 caps it at 13), k-means clustering, and optimizer
-//! planning throughput.
+//! Micro-benchmarks backing the design choices DESIGN.md calls out: ILP
+//! compression solve times, the DP scheduler's exponential growth (and why
+//! §5.4 caps it at 13), k-means clustering, optimizer planning throughput,
+//! and the plan cache's effect on repeated planning.
+//!
+//! Plain `std::time::Instant` timing (the workspace builds with zero
+//! external crates): each case runs a few warmup iterations, then reports
+//! the mean over timed iterations.
+//!
+//! Usage: `cargo bench -p lt-bench` or
+//! `cargo run --release -p lt-bench --bin` is *not* needed — this is the
+//! `micro` bench target (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lambda_tune::{cluster_queries, extract_snippets, find_optimal_order, Compressor};
 use lt_dbms::{Dbms, Hardware, SimDb};
 use lt_workloads::Benchmark;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_ilp_compression(c: &mut Criterion) {
+/// Times `f` over `iters` iterations after `warmup` untimed ones and
+/// prints the mean per-iteration time.
+fn bench(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter * 1e6, "µs")
+    };
+    println!("{name:<44} {value:>10.2} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_ilp_compression() {
     let workload = Benchmark::Job.load();
     let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
     let snippets = extract_snippets(&db, &workload);
     let compressor = Compressor::new(&workload.catalog);
-    let mut group = c.benchmark_group("ilp_compression_job");
     for budget in [100usize, 300, 800] {
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter(|| compressor.compress(black_box(&snippets), budget).unwrap());
+        bench(&format!("ilp_compression_job/{budget}"), 2, 10, || {
+            black_box(compressor.compress(black_box(&snippets), budget).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_dp_scheduler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dp_scheduler");
+fn bench_dp_scheduler() {
     for n in [6usize, 9, 11, 13] {
         let items: Vec<Vec<usize>> = (0..n).map(|i| vec![i % 5, (i + 2) % 5]).collect();
         let costs: Vec<f64> = (0..5).map(|i| 1.0 + i as f64).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| find_optimal_order(black_box(&items), black_box(&costs)));
+        bench(&format!("dp_scheduler/{n}"), 2, 10, || {
+            black_box(find_optimal_order(black_box(&items), black_box(&costs)));
         });
     }
-    group.finish();
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering() {
     let items: Vec<Vec<usize>> = (0..113).map(|i| vec![i % 14, (i + 5) % 14]).collect();
-    c.bench_function("kmeans_cluster_113_queries", |b| {
-        b.iter(|| cluster_queries(black_box(&items), 14, 13, 7));
+    bench("kmeans_cluster_113_queries", 2, 20, || {
+        black_box(cluster_queries(black_box(&items), 14, 13, 7));
     });
 }
 
-fn bench_optimizer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer_plan_workload");
-    group.sample_size(10);
+fn bench_optimizer() {
     for benchmark in [Benchmark::TpchSf1, Benchmark::Job] {
         let workload = benchmark.load();
-        let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(benchmark.name()),
-            &workload,
-            |b, w| {
-                b.iter(|| {
-                    for q in &w.queries {
-                        black_box(db.explain(&q.parsed));
-                    }
-                });
-            },
+        let db =
+            SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        // Cold: every iteration plans against a fresh SimDb (cache empty).
+        bench(&format!("optimizer_plan_workload/{}/cold", benchmark.name()), 1, 5, || {
+            let fresh =
+                SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+            for q in &workload.queries {
+                black_box(fresh.explain(&q.parsed));
+            }
+        });
+        // Warm: repeated planning on one SimDb is served by the plan cache.
+        bench(&format!("optimizer_plan_workload/{}/warm", benchmark.name()), 1, 5, || {
+            for q in &workload.queries {
+                black_box(db.explain(&q.parsed));
+            }
+        });
+        let stats = db.cache_stats();
+        println!(
+            "    plan cache: {} hits / {} misses ({:.1}% hit rate)",
+            stats.plan_hits,
+            stats.plan_misses,
+            stats.plan_hit_rate() * 100.0
         );
     }
-    group.finish();
 }
 
-fn bench_snippet_extraction(c: &mut Criterion) {
+fn bench_snippet_extraction() {
     let workload = Benchmark::TpchSf1.load();
     let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
-    c.bench_function("extract_snippets_tpch", |b| {
-        b.iter(|| extract_snippets(black_box(&db), black_box(&workload)));
+    bench("extract_snippets_tpch", 2, 10, || {
+        black_box(extract_snippets(black_box(&db), black_box(&workload)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_ilp_compression,
-    bench_dp_scheduler,
-    bench_clustering,
-    bench_optimizer,
-    bench_snippet_extraction
-);
-criterion_main!(benches);
+fn main() {
+    bench_ilp_compression();
+    bench_dp_scheduler();
+    bench_clustering();
+    bench_optimizer();
+    bench_snippet_extraction();
+}

@@ -7,10 +7,10 @@
 //! Usage: `cargo run --release -p lt-bench --bin fig6`
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions, SelectorOptions};
-use lt_bench::{base_seed, make_db, trajectory_band, trials, Scenario};
+use lt_bench::{base_seed, make_db, parallel_map, trajectory_band, trials, Scenario};
 use lt_dbms::Dbms;
 use lt_workloads::Benchmark;
-use serde_json::json;
+use lt_common::json;
 
 fn variants() -> Vec<(&'static str, LambdaTuneOptions)> {
     // The paper's 10 s initial timeout assumes the real testbed's 113-query
@@ -55,22 +55,37 @@ fn main() {
     println!("Figure 6: Ablation — JOB, Postgres, No Indexes");
     println!("(x = optimization time [s], y = best execution time found [s]; mean [min, max] over {n_trials} trials)\n");
 
+    // All variant × trial cells run concurrently (per-cell deterministic
+    // seeds); results are consumed in the sequential order below.
+    let vars = variants();
+    let cells: Vec<_> = vars
+        .iter()
+        .flat_map(|(_, options)| {
+            (0..n_trials).map(move |t| (*options, seed + t as u64))
+        })
+        .collect();
+    let outcomes = parallel_map(cells, |(options, cell_seed)| {
+        let (mut db, workload) = make_db(scenario, cell_seed);
+        let llm = lt_llm::LlmClient::new(lt_llm::SimulatedLlm::new());
+        let opts = LambdaTuneOptions { seed: cell_seed, ..options };
+        let result = LambdaTune::new(opts)
+            .tune(&mut db, &workload, &llm)
+            .expect("tuning succeeds");
+        (result.trajectory, result.best_time.as_f64(), result.tuning_time.as_f64())
+    });
+    let mut outcomes = outcomes.into_iter();
+
     let mut series_out = Vec::new();
     let mut summary = Vec::new();
-    for (label, options) in variants() {
+    for (label, _options) in vars {
         let mut runs = Vec::new();
         let mut final_best = Vec::new();
         let mut finish_time = Vec::new();
-        for t in 0..n_trials {
-            let (mut db, workload) = make_db(scenario, seed + t as u64);
-            let llm = lt_llm::LlmClient::new(lt_llm::SimulatedLlm::new());
-            let opts = LambdaTuneOptions { seed: seed + t as u64, ..options };
-            let result = LambdaTune::new(opts)
-                .tune(&mut db, &workload, &llm)
-                .expect("tuning succeeds");
-            final_best.push(result.best_time.as_f64());
-            finish_time.push(result.tuning_time.as_f64());
-            runs.push(result.trajectory);
+        for _ in 0..n_trials {
+            let (trajectory, best, finish) = outcomes.next().expect("one outcome per cell");
+            final_best.push(best);
+            finish_time.push(finish);
+            runs.push(trajectory);
         }
         let band = trajectory_band(&runs, 8);
         let series: Vec<String> = band
@@ -103,6 +118,6 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write(
         "results/fig6.json",
-        serde_json::to_string_pretty(&json!({ "figure": "6", "series": series_out })).unwrap(),
+        json::to_string_pretty(&json!({ "figure": "6", "series": series_out })),
     );
 }

@@ -8,10 +8,10 @@
 //! Usage: `cargo run --release -p lt-bench --bin fig7`
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
-use lt_bench::{base_seed, make_db, Scenario};
+use lt_bench::{base_seed, make_db, parallel_map, Scenario};
 use lt_dbms::Dbms;
 use lt_workloads::Benchmark;
-use serde_json::json;
+use lt_common::json;
 
 fn main() {
     let seed = base_seed();
@@ -23,8 +23,28 @@ fn main() {
         "Prompt mode", "tokens", "first config (s)", "best found (s)"
     );
 
-    let mut rows = Vec::new();
-    let mut run_one = |label: String, options: LambdaTuneOptions| {
+    // Every budget point tunes independently from the same seed, so the
+    // sweep runs concurrently and prints in sweep order afterwards.
+    let mut modes: Vec<(String, LambdaTuneOptions)> = [196usize, 400, 800, 1600, 3200]
+        .into_iter()
+        .map(|budget| {
+            (
+                format!("Compressed (budget {budget})"),
+                LambdaTuneOptions { token_budget: Some(budget), seed, ..Default::default() },
+            )
+        })
+        .collect();
+    modes.push((
+        "Full SQL (8000 tokens)".into(),
+        LambdaTuneOptions {
+            use_compressor: false,
+            token_budget: Some(8000),
+            seed,
+            ..Default::default()
+        },
+    ));
+
+    let rows: Vec<_> = parallel_map(modes, |(label, options)| {
         let (mut db, workload) = make_db(scenario, seed);
         let llm = lt_llm::LlmClient::new(lt_llm::SimulatedLlm::new());
         let result = LambdaTune::new(options)
@@ -35,36 +55,19 @@ fn main() {
             .first()
             .map(|p| p.opt_time.as_f64())
             .unwrap_or(f64::NAN);
-        println!(
-            "{:<28} {:>8} {:>16.0} {:>14.2}",
-            label,
-            result.workload_tokens,
-            first,
-            result.best_time.as_f64()
-        );
-        rows.push(json!({
+        (label, result.workload_tokens, first, result.best_time.as_f64())
+    })
+    .into_iter()
+    .map(|(label, tokens, first, best)| {
+        println!("{label:<28} {tokens:>8} {first:>16.0} {best:>14.2}");
+        json!({
             "mode": label,
-            "workload_tokens": result.workload_tokens,
+            "workload_tokens": tokens,
             "first_config_s": first,
-            "best_s": result.best_time.as_f64(),
-        }));
-    };
-
-    for budget in [196usize, 400, 800, 1600, 3200] {
-        let options = LambdaTuneOptions {
-            token_budget: Some(budget),
-            seed,
-            ..Default::default()
-        };
-        run_one(format!("Compressed (budget {budget})"), options);
-    }
-    let options = LambdaTuneOptions {
-        use_compressor: false,
-        token_budget: Some(8000),
-        seed,
-        ..Default::default()
-    };
-    run_one("Full SQL (8000 tokens)".into(), options);
+            "best_s": best,
+        })
+    })
+    .collect();
 
     println!("\nPaper shape: compressed prompts reach near-optimal configurations even");
     println!("with >10x fewer tokens than full SQL; only extremely low budgets (~196");
@@ -74,6 +77,6 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write(
         "results/fig7.json",
-        serde_json::to_string_pretty(&json!({ "figure": "7", "rows": rows })).unwrap(),
+        json::to_string_pretty(&json!({ "figure": "7", "rows": rows })),
     );
 }

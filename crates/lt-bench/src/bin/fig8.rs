@@ -8,11 +8,11 @@
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
 use lt_baselines::common::measure_workload;
 use lt_baselines::{Db2Advisor, Dexter};
-use lt_bench::{base_seed, make_db, Scenario};
+use lt_bench::{base_seed, make_db, parallel_map, Scenario};
 use lt_common::Secs;
 use lt_dbms::{Dbms, IndexSpec};
 use lt_workloads::Benchmark;
-use serde_json::json;
+use lt_common::json;
 
 /// Measures the workload with the given index set under default knobs.
 fn measure_with_indexes(
@@ -38,8 +38,10 @@ fn main() {
         "Benchmark", "No Indexes", "λ-Tune", "Dexter", "DB2 Advisor"
     );
 
-    let mut rows = Vec::new();
-    for benchmark in [Benchmark::TpchSf1, Benchmark::TpcdsSf1, Benchmark::Job] {
+    // The three benchmark columns are independent; each one tunes and
+    // measures on its own thread, then rows print in benchmark order.
+    let benchmarks = vec![Benchmark::TpchSf1, Benchmark::TpcdsSf1, Benchmark::Job];
+    let measured = parallel_map(benchmarks, |benchmark| {
         let scenario = Scenario { benchmark, dbms: Dbms::Postgres, initial_indexes: false };
 
         // λ-Tune, index recommendations only.
@@ -62,6 +64,11 @@ fn main() {
         let lambda = measure_with_indexes(scenario, seed, &lambda_specs);
         let dexter = measure_with_indexes(scenario, seed, &dexter_specs);
         let db2 = measure_with_indexes(scenario, seed, &db2_specs);
+        (benchmark, none, lambda, dexter, db2, lambda_specs, dexter_specs, db2_specs)
+    });
+
+    let mut rows = Vec::new();
+    for (benchmark, none, lambda, dexter, db2, lambda_specs, dexter_specs, db2_specs) in measured {
         println!(
             "{:<10} {:>12.1} {:>10.1} {:>12.1} {:>12.1}",
             benchmark.name(),
@@ -88,6 +95,6 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write(
         "results/fig8.json",
-        serde_json::to_string_pretty(&json!({ "figure": "8", "rows": rows })).unwrap(),
+        json::to_string_pretty(&json!({ "figure": "8", "rows": rows })),
     );
 }

@@ -3,8 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lt-bench --bin table3`
 
-use lt_bench::{base_seed, row, table3_scenarios, tuner_names, run_tuner};
-use serde_json::json;
+use lt_bench::{base_seed, parallel_map, row, table3_scenarios, tuner_names, run_tuner};
+use lt_common::json;
 
 fn main() {
     let seed = base_seed();
@@ -31,14 +31,20 @@ fn main() {
     let mut counts = vec![0usize; tuners.len()];
     let mut json_rows = Vec::new();
 
-    for scenario in table3_scenarios() {
-        let results: Vec<f64> = tuners
-            .iter()
-            .map(|name| {
-                let run = run_tuner(name, scenario, seed);
-                run.best_time.as_f64()
-            })
-            .collect();
+    // All 14 × 6 cells run concurrently; rows are consumed in table order.
+    let scenarios = table3_scenarios();
+    let cells: Vec<_> = scenarios
+        .iter()
+        .flat_map(|&scenario| tuners.iter().map(move |&name| (name, scenario)))
+        .collect();
+    let cell_times = parallel_map(cells, |(name, scenario)| {
+        run_tuner(name, scenario, seed).best_time.as_f64()
+    });
+    let mut cell_times = cell_times.into_iter();
+
+    for scenario in scenarios {
+        let results: Vec<f64> =
+            tuners.iter().map(|_| cell_times.next().expect("one cell per tuner")).collect();
         let best = results.iter().copied().fold(f64::INFINITY, f64::min);
         let scaled: Vec<f64> = results.iter().map(|r| r / best).collect();
         for (i, s) in scaled.iter().enumerate() {
@@ -64,7 +70,7 @@ fn main() {
         );
         json_rows.push(json!({
             "scenario": label,
-            "scaled": tuners.iter().zip(&scaled).map(|(n, s)| (n.to_string(), s)).collect::<std::collections::BTreeMap<_,_>>(),
+            "scaled": tuners.iter().zip(&scaled).map(|(n, s)| (n.to_string(), *s)).collect::<std::collections::BTreeMap<_,_>>(),
             "best_seconds": best,
         }));
     }
@@ -90,7 +96,7 @@ fn main() {
     println!("\nPaper reference averages: λ-Tune 1.41, UDO 2.00, DB-Bert 1.82, GPTuner 1.91, LlamaTune 2.27, ParamTree 4.07");
     println!("Expected shape: λ-Tune lowest average (most robust); ParamTree highest.");
 
-    let out = json!({ "table": "3", "rows": json_rows, "averages": tuners.iter().zip(&averages).map(|(n, a)| (n.to_string(), a)).collect::<std::collections::BTreeMap<_,_>>() });
+    let out = json!({ "table": "3", "rows": json_rows, "averages": tuners.iter().zip(&averages).map(|(n, a)| (n.to_string(), *a)).collect::<std::collections::BTreeMap<_,_>>() });
     let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/table3.json", serde_json::to_string_pretty(&out).unwrap());
+    let _ = std::fs::write("results/table3.json", json::to_string_pretty(&out));
 }

@@ -2,10 +2,10 @@
 //!
 //! Usage: `cargo run --release -p lt-bench --bin table4`
 
-use lt_bench::{base_seed, run_tuner, tuner_names, Scenario};
+use lt_bench::{base_seed, parallel_map, run_tuner, tuner_names, Scenario};
 use lt_dbms::Dbms;
 use lt_workloads::Benchmark;
-use serde_json::json;
+use lt_common::json;
 
 fn main() {
     let seed = base_seed();
@@ -17,13 +17,26 @@ fn main() {
     );
 
     let mut json_rows = Vec::new();
+    let mut scenarios = Vec::new();
     for benchmark in [Benchmark::TpchSf1, Benchmark::TpchSf10] {
         for initial_indexes in [true, false] {
-            let scenario = Scenario { benchmark, dbms: Dbms::Postgres, initial_indexes };
-            let counts: Vec<u64> = tuners
-                .iter()
-                .map(|name| run_tuner(name, scenario, seed).configs_evaluated)
-                .collect();
+            scenarios.push(Scenario { benchmark, dbms: Dbms::Postgres, initial_indexes });
+        }
+    }
+    // All 4 × 6 cells run concurrently; rows are consumed in table order.
+    let cells: Vec<_> = scenarios
+        .iter()
+        .flat_map(|&scenario| tuners.iter().map(move |&name| (name, scenario)))
+        .collect();
+    let cell_counts =
+        parallel_map(cells, |(name, scenario)| run_tuner(name, scenario, seed).configs_evaluated);
+    let mut cell_counts = cell_counts.into_iter();
+    for scenario in scenarios {
+        {
+            let benchmark = scenario.benchmark;
+            let initial_indexes = scenario.initial_indexes;
+            let counts: Vec<u64> =
+                tuners.iter().map(|_| cell_counts.next().expect("one cell per tuner")).collect();
             println!(
                 "{:<14} {:>7} {:>8} {:>7} {:>8} {:>8} {:>10} {:>10}",
                 benchmark.name(),
@@ -37,7 +50,7 @@ fn main() {
             );
             json_rows.push(json!({
                 "scenario": scenario.label(),
-                "counts": tuners.iter().zip(&counts).map(|(n, c)| (n.to_string(), c)).collect::<std::collections::BTreeMap<_,_>>(),
+                "counts": tuners.iter().zip(&counts).map(|(n, c)| (n.to_string(), *c)).collect::<std::collections::BTreeMap<_,_>>(),
             }));
         }
     }
@@ -48,6 +61,6 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write(
         "results/table4.json",
-        serde_json::to_string_pretty(&json!({ "table": "4", "rows": json_rows })).unwrap(),
+        json::to_string_pretty(&json!({ "table": "4", "rows": json_rows })),
     );
 }

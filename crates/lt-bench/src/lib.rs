@@ -218,6 +218,63 @@ pub fn trials() -> usize {
     std::env::var("LT_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
 }
 
+/// Worker threads for the benchmark matrix. Defaults to the machine's
+/// available parallelism; override with `LT_BENCH_THREADS` (1 = sequential).
+pub fn bench_threads() -> usize {
+    std::env::var("LT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item on a scoped thread pool of [`bench_threads`]
+/// workers and returns the results **in input order**.
+///
+/// Benchmark cells (trial × tuner × scenario) are embarrassingly parallel:
+/// each one builds its own `SimDb` from a per-cell deterministic seed, so
+/// running them concurrently and emitting in index order produces output
+/// byte-identical to a sequential run. Work is handed out through an atomic
+/// cursor so long cells (e.g. TPC-H SF10 under UDO) don't stall a whole
+/// stripe of short ones.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = bench_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> =
+        slots.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
 /// Base seed. Override with `LT_SEED`.
 pub fn base_seed() -> u64 {
     std::env::var("LT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
@@ -266,8 +323,12 @@ pub fn row(cells: &[String]) -> String {
 
 /// Shared runner for Figures 3 and 4: trajectory panels per (benchmark,
 /// DBMS) with mean/min/max bands over trials.
+///
+/// All (scenario, tuner, trial) cells run concurrently on [`parallel_map`];
+/// printing and JSON emission happen afterwards in the sequential order, so
+/// stdout and `results/fig{N}.json` are byte-identical to a 1-thread run.
 pub fn run_trajectory_figure(initial_indexes: bool, figure: &str, title: &str) {
-    use serde_json::json;
+    use lt_common::json;
     let seed = base_seed();
     let n_trials = trials();
     println!("Figure {figure}: {title}");
@@ -276,16 +337,30 @@ pub fn run_trajectory_figure(initial_indexes: bool, figure: &str, title: &str) {
          mean [min, max] over {n_trials} trials)\n"
     );
 
-    let mut panels = Vec::new();
-    for scenario in table3_scenarios()
+    let scenarios: Vec<Scenario> = table3_scenarios()
         .into_iter()
         .filter(|s| s.initial_indexes == initial_indexes)
-    {
+        .collect();
+    let mut cells = Vec::new();
+    for &scenario in &scenarios {
+        for name in tuner_names() {
+            for t in 0..n_trials {
+                cells.push((name, scenario, seed + t as u64));
+            }
+        }
+    }
+    let trajectories = parallel_map(cells, |(name, scenario, cell_seed)| {
+        run_tuner(name, scenario, cell_seed).trajectory
+    });
+    let mut trajectories = trajectories.into_iter();
+
+    let mut panels = Vec::new();
+    for scenario in scenarios {
         println!("== {} ==", scenario.label());
         let mut panel = Vec::new();
         for name in tuner_names() {
             let runs: Vec<_> = (0..n_trials)
-                .map(|t| run_tuner(name, scenario, seed + t as u64).trajectory)
+                .map(|_| trajectories.next().expect("one trajectory per cell"))
                 .collect();
             let band = trajectory_band(&runs, 8);
             if band.is_empty() {
@@ -315,8 +390,7 @@ pub fn run_trajectory_figure(initial_indexes: bool, figure: &str, title: &str) {
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write(
         format!("results/fig{figure}.json"),
-        serde_json::to_string_pretty(&json!({ "figure": figure, "panels": panels }))
-            .unwrap(),
+        json::to_string_pretty(&json!({ "figure": figure, "panels": panels })),
     );
 }
 

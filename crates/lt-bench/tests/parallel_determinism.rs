@@ -1,0 +1,70 @@
+//! The parallel benchmark matrix must be a pure speed-up: running cells
+//! through `parallel_map` yields results — and serialized JSON — that are
+//! byte-identical to a sequential run with the same seeds.
+
+use lt_bench::{parallel_map, run_tuner, trajectory_band, Scenario};
+use lt_common::json;
+use lt_dbms::Dbms;
+use lt_workloads::Benchmark;
+
+#[test]
+fn parallel_matrix_matches_sequential_run() {
+    let scenario = Scenario {
+        benchmark: Benchmark::TpchSf1,
+        dbms: Dbms::Postgres,
+        initial_indexes: true,
+    };
+    let seed = 42u64;
+    let n_trials = 2usize;
+    let tuners = ["λ-Tune", "ParamTree"];
+
+    let cells: Vec<(&str, u64)> = tuners
+        .iter()
+        .flat_map(|&name| (0..n_trials).map(move |t| (name, seed + t as u64)))
+        .collect();
+
+    // Sequential reference: plain iteration over the same cells.
+    let sequential: Vec<_> = cells
+        .iter()
+        .map(|&(name, cell_seed)| run_tuner(name, scenario, cell_seed).trajectory)
+        .collect();
+
+    // Parallel run over however many threads the machine offers.
+    let parallel = parallel_map(cells, |(name, cell_seed)| {
+        run_tuner(name, scenario, cell_seed).trajectory
+    });
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.len(), p.len(), "trajectory lengths diverge");
+        for (a, b) in s.iter().zip(p) {
+            assert_eq!(a.opt_time, b.opt_time);
+            assert_eq!(a.best_workload_time, b.best_workload_time);
+        }
+    }
+
+    // The derived figure data (band + JSON) is byte-identical too.
+    let to_json = |runs: &[Vec<lambda_tune::TrajectoryPoint>]| {
+        let band = trajectory_band(runs, 8);
+        let points: Vec<_> = band
+            .iter()
+            .map(|(t, mean, min, max)| {
+                json!({ "opt_time_s": t, "mean_s": mean, "min_s": min, "max_s": max })
+            })
+            .collect();
+        json::to_string_pretty(&json!({ "points": points }))
+    };
+    assert_eq!(to_json(&sequential), to_json(&parallel));
+}
+
+/// `parallel_map` preserves input order regardless of completion order.
+#[test]
+fn parallel_map_preserves_order() {
+    let items: Vec<usize> = (0..64).collect();
+    let doubled = parallel_map(items, |i| {
+        // Make late items finish first to stress ordering.
+        std::thread::sleep(std::time::Duration::from_micros((64 - i) as u64 * 10));
+        i * 2
+    });
+    assert_eq!(doubled, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+}

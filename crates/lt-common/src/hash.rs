@@ -1,0 +1,155 @@
+//! Fast, deterministic 64-bit hashing for cache keys and fingerprints.
+//!
+//! [`FxHasher`] is an FxHash-style multiply-rotate hasher: not DoS-resistant
+//! (irrelevant here — inputs are our own queries and knob names) but several
+//! times faster than SipHash and, unlike `DefaultHasher`, guaranteed stable
+//! across Rust releases, which matters because fingerprints key the plan
+//! cache and feed deterministic simulation noise.
+
+use std::hash::{Hash, Hasher};
+
+const ROTATE: u32 = 5;
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style 64-bit hasher.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Fresh hasher with zero state.
+    pub fn new() -> Self {
+        FxHasher { hash: 0 }
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Mix in the length so "a" and "a\0" differ.
+            self.add(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Hashes one `Hash` value through [`FxHasher`].
+pub fn hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A 64-bit content fingerprint.
+///
+/// Thin wrapper distinguishing "this u64 identifies content" from arbitrary
+/// integers in cache-key signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Fingerprint of any hashable value.
+    pub fn of<T: Hash + ?Sized>(value: &T) -> Self {
+        Fingerprint(hash_one(value))
+    }
+
+    /// Combines two fingerprints order-dependently.
+    pub fn combine(self, other: Fingerprint) -> Self {
+        Fingerprint((self.0.rotate_left(ROTATE) ^ other.0).wrapping_mul(SEED))
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_one("hello world"), hash_one("hello world"));
+        assert_eq!(hash_one(&(1u64, 2u64)), hash_one(&(1u64, 2u64)));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash_one("a"), hash_one("b"));
+        assert_ne!(hash_one("a"), hash_one("a\0"));
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+    }
+
+    #[test]
+    fn fingerprint_combine_is_order_dependent() {
+        let a = Fingerprint::of("a");
+        let b = Fingerprint::of("b");
+        assert_ne!(a.combine(b), b.combine(a));
+        assert_eq!(a.combine(b), Fingerprint::of("a").combine(Fingerprint::of("b")));
+    }
+
+    #[test]
+    fn string_hash_spreads_across_lengths() {
+        let hashes: Vec<u64> = (0..64).map(|n| hash_one(&"x".repeat(n))).collect();
+        let mut dedup = hashes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hashes.len());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Fingerprint(0xABC)), "0000000000000abc");
+    }
+}

@@ -1,0 +1,276 @@
+//! Minimal JSON value model and writer for benchmark result output.
+//!
+//! The workspace builds with zero external crates, so the `results/*.json`
+//! artifacts are produced by this module instead of `serde_json`. Only what
+//! the benchmark binaries need is implemented: building values (via `From`
+//! impls and the [`crate::json!`] macro) and deterministic pretty-printing.
+//! Object keys keep insertion order; floats print through Rust's shortest
+//! round-trip formatting, so equal inputs always produce byte-equal output.
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also produced by non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A finite double.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serializes with 2-space indentation and a stable layout.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => write_f64(out, *f),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; follow serde_json's `json!` behaviour.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep whole floats recognizably floating-point.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes a value with 2-space indentation (serde_json-style entry point).
+pub fn to_string_pretty(value: &Value) -> String {
+    value.to_string_pretty()
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Float(v)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(v as f64)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(v as i64)
+            }
+        })*
+    };
+}
+from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// Reference conversions, so `json!` call sites can pass borrowed loop
+// variables (e.g. `&f64` from destructured tuple iteration) directly.
+macro_rules! from_ref {
+    ($($t:ty),*) => {
+        $(impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::from(*v)
+            }
+        })*
+    };
+}
+from_ref!(bool, f64, f32, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> From<BTreeMap<K, V>> for Value {
+    fn from(map: BTreeMap<K, V>) -> Self {
+        Value::Object(map.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// Builds a [`Value`] from an object/array literal, mirroring the subset of
+/// `serde_json::json!` the benchmark binaries use: string-literal keys with
+/// expression values, array literals, or a single expression convertible via
+/// `From`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::json::Value::Object(vec![
+            $( ($key.to_string(), $crate::json::Value::from($value)) ),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::json::Value::Array(vec![
+            $( $crate::json::Value::from($elem) ),*
+        ])
+    };
+    ($other:expr) => { $crate::json::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Value::Null.to_string_pretty(), "null");
+        assert_eq!(Value::Bool(true).to_string_pretty(), "true");
+        assert_eq!(Value::Int(-3).to_string_pretty(), "-3");
+        assert_eq!(Value::Float(1.5).to_string_pretty(), "1.5");
+        assert_eq!(Value::Float(2.0).to_string_pretty(), "2.0");
+        assert_eq!(Value::from(f64::NAN).to_string_pretty(), "null");
+        assert_eq!(Value::from("a\"b\n").to_string_pretty(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = json!({ "z": 1, "a": 2.5, "nested": json!({ "k": "v" }) });
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"z\": 1,\n  \"a\": 2.5,\n  \"nested\": {\n    \"k\": \"v\"\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn arrays_and_maps_convert() {
+        let v = json!({ "xs": vec![1u64, 2, 3] });
+        assert!(v.to_string_pretty().contains("\"xs\": [\n    1,\n    2,\n    3\n  ]"));
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2.0f64);
+        m.insert("a".to_string(), 1.0f64);
+        let v = Value::from(m);
+        // BTreeMap iterates sorted, so keys come out sorted.
+        assert_eq!(v.to_string_pretty(), "{\n  \"a\": 1.0,\n  \"b\": 2.0\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::Array(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Value::Object(vec![]).to_string_pretty(), "{}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || json!({ "rows": vec![json!({ "q": "q1", "t": 0.25 })], "n": 1 });
+        assert_eq!(build().to_string_pretty(), build().to_string_pretty());
+    }
+}

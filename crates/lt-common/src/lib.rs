@@ -7,11 +7,14 @@
 //! algorithms rely on.
 
 pub mod error;
+pub mod hash;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod time;
 
 pub use error::{LtError, Result};
+pub use hash::{hash_one, Fingerprint, FxHasher};
 pub use ids::{ColumnId, IndexId, QueryId, TableId};
-pub use rng::{derive_seed, seeded_rng};
+pub use rng::{derive_seed, seeded_rng, Rng};
 pub use time::{secs, Secs, VirtualClock};

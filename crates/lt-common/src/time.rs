@@ -6,7 +6,6 @@
 //! on these values, so the selector's bounded-cost guarantee (Theorem 4.3)
 //! can be asserted exactly in tests.
 
-use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
@@ -18,7 +17,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// `Secs` is a thin `f64` wrapper that is totally ordered (NaN is forbidden
 /// by construction: every constructor asserts) so it can be used as a key in
 /// min/max scans without `partial_cmp().unwrap()` noise at call sites.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Secs(f64);
 
 impl Secs {

@@ -7,14 +7,13 @@
 //! references without scoping rules.
 
 use lt_common::{ColumnId, LtError, Result, TableId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Default page size used by the cost model (PostgreSQL's 8 KiB).
 pub const PAGE_SIZE: u64 = 8192;
 
 /// Metadata for one column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMeta {
     /// Catalog-wide id.
     pub id: ColumnId,
@@ -33,7 +32,7 @@ pub struct ColumnMeta {
 }
 
 /// Metadata for one table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableMeta {
     /// Catalog-wide id.
     pub id: TableId,
@@ -60,13 +59,11 @@ impl TableMeta {
 }
 
 /// The schema + statistics of one simulated database.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     tables: Vec<TableMeta>,
     columns: Vec<ColumnMeta>,
-    #[serde(skip)]
     table_names: HashMap<String, TableId>,
-    #[serde(skip)]
     column_names: HashMap<String, Vec<ColumnId>>,
 }
 
@@ -163,8 +160,8 @@ impl Catalog {
         self.tables.iter().map(|t| t.pages(self) * PAGE_SIZE).sum()
     }
 
-    /// Rebuilds the name lookup maps (needed after deserialization, since
-    /// the maps are redundant and skipped by serde).
+    /// Rebuilds the name lookup maps (they are derived from the table and
+    /// column lists, so any external construction path can restore them).
     pub fn rebuild_lookups(&mut self) {
         self.table_names =
             self.tables.iter().map(|t| (t.name.clone(), t.id)).collect();

@@ -11,11 +11,10 @@
 use crate::catalog::Catalog;
 use crate::knobs::{knob_def, Dbms, KnobValue};
 use lt_common::{ColumnId, TableId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A `CREATE INDEX` command, name-resolved against the catalog.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IndexSpec {
     /// Indexed table.
     pub table: TableId,
@@ -26,7 +25,7 @@ pub struct IndexSpec {
 }
 
 /// One structured configuration command.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigCommand {
     /// Set a system knob.
     SetKnob {
@@ -40,7 +39,7 @@ pub enum ConfigCommand {
 }
 
 /// A parsed configuration: knob assignments plus index specs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Configuration {
     /// Commands in script order.
     pub commands: Vec<ConfigCommand>,

@@ -15,10 +15,12 @@ use crate::knobs::{Dbms, KnobSet};
 use crate::optimizer::Optimizer;
 use crate::physical::IndexCatalog;
 use crate::plan::Plan;
-use crate::stats::extract;
+use crate::plan_cache::{CacheStats, PlanCache, PlanKey};
+use crate::stats::{extract, QueryPredicates};
 use lt_common::{derive_seed, secs, IndexId, Secs, VirtualClock};
 use lt_sql::ast::Query;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Result of executing one query under a timeout.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,17 +45,23 @@ pub struct SimDb {
     knob_fingerprint: u64,
     queries_executed: u64,
     queries_completed: u64,
+    plan_cache: PlanCache,
+    /// `knobs.planner_fingerprint()`, refreshed on knob mutation so the hot
+    /// execute path doesn't rehash the knob set per query.
+    planner_fp: lt_common::Fingerprint,
 }
 
 impl SimDb {
     /// Creates an instance with default knobs and no indexes. `seed` fixes
     /// the misestimation pattern and execution noise.
     pub fn new(dbms: Dbms, catalog: Catalog, hardware: Hardware, seed: u64) -> Self {
+        let knobs = KnobSet::defaults(dbms);
+        let planner_fp = knobs.planner_fingerprint();
         SimDb {
             dbms,
             catalog,
             hardware,
-            knobs: KnobSet::defaults(dbms),
+            knobs,
             indexes: IndexCatalog::new(),
             clock: VirtualClock::new(),
             model: ExecutionModel::new(derive_seed(seed, 1), derive_seed(seed, 2)),
@@ -61,6 +69,8 @@ impl SimDb {
             knob_fingerprint: 0,
             queries_executed: 0,
             queries_completed: 0,
+            plan_cache: PlanCache::new(),
+            planner_fp,
         }
     }
 
@@ -185,21 +195,17 @@ impl SimDb {
     // ---- queries ----
 
     /// Executes a query under `timeout`. Charges `min(true time, timeout)`
-    /// to the clock.
+    /// to the clock. Planning and predicate extraction are memoized (see
+    /// [`cache_stats`](Self::cache_stats)).
     pub fn execute(&mut self, query: &Query, timeout: Secs) -> QueryOutcome {
-        let preds = extract(query, &self.catalog);
-        let optimizer = Optimizer::new(
-            &self.catalog,
-            &self.knobs,
-            &self.indexes,
-            self.model.stats_seed,
-        );
-        let plan = optimizer.plan_extracted(&preds);
+        let tag = query_tag(query);
+        let preds = self.predicates_cached(tag, query);
+        let plan = self.plan_cached(tag, &preds);
         let time = self.model.execution_time(
             &plan,
             &preds,
             &self.ctx(),
-            query_tag(query),
+            tag,
             self.knob_fingerprint,
             self.exec_counter,
         );
@@ -219,14 +225,9 @@ impl SimDb {
     /// clock) and returns the annotated plan text with estimated vs actual
     /// rows and per-operator time.
     pub fn explain_analyze(&mut self, query: &Query) -> (String, QueryOutcome) {
-        let preds = extract(query, &self.catalog);
-        let optimizer = Optimizer::new(
-            &self.catalog,
-            &self.knobs,
-            &self.indexes,
-            self.model.stats_seed,
-        );
-        let plan = optimizer.plan_extracted(&preds);
+        let tag = query_tag(query);
+        let preds = self.predicates_cached(tag, query);
+        let plan = self.plan_cached(tag, &preds);
         let profile = self.model.profile(&plan, &preds, &self.ctx());
         let outcome = self.execute(query, lt_common::Secs::INFINITY);
         let mut text = String::new();
@@ -245,20 +246,72 @@ impl SimDb {
 
     /// Plans a query under the current configuration (free: EXPLAIN).
     pub fn explain(&self, query: &Query) -> Plan {
-        Optimizer::new(&self.catalog, &self.knobs, &self.indexes, self.model.stats_seed)
-            .plan(query)
+        let tag = query_tag(query);
+        let preds = self.predicates_cached(tag, query);
+        (*self.plan_cached(tag, &preds)).clone()
     }
 
     /// Plans a query as if `hypothetical` were the index set (free what-if
     /// optimization, the primitive behind Dexter / DB2 Advisor).
     pub fn explain_with_indexes(&self, query: &Query, hypothetical: &IndexCatalog) -> Plan {
-        Optimizer::new(&self.catalog, &self.knobs, hypothetical, self.model.stats_seed)
-            .plan(query)
+        let tag = query_tag(query);
+        let preds = self.predicates_cached(tag, query);
+        let key = PlanKey {
+            query: tag,
+            knobs: self.planner_fp,
+            indexes: hypothetical.fingerprint(),
+        };
+        let plan = self.plan_cache.plan_or_insert(key, || {
+            Optimizer::new(&self.catalog, &self.knobs, hypothetical, self.model.stats_seed)
+                .plan_extracted(&preds)
+        });
+        (*plan).clone()
     }
 
     /// Plans a query under hypothetical knobs (free what-if).
     pub fn explain_with_knobs(&self, query: &Query, knobs: &KnobSet) -> Plan {
-        Optimizer::new(&self.catalog, knobs, &self.indexes, self.model.stats_seed).plan(query)
+        let tag = query_tag(query);
+        let preds = self.predicates_cached(tag, query);
+        let key = PlanKey {
+            query: tag,
+            knobs: knobs.planner_fingerprint(),
+            indexes: self.indexes.fingerprint(),
+        };
+        let plan = self.plan_cache.plan_or_insert(key, || {
+            Optimizer::new(&self.catalog, knobs, &self.indexes, self.model.stats_seed)
+                .plan_extracted(&preds)
+        });
+        (*plan).clone()
+    }
+
+    /// Extracted predicates of `query`, memoized per query text. The schema
+    /// catalog is immutable for the lifetime of the instance, so the query
+    /// fingerprint alone keys the entry.
+    pub fn predicates(&self, query: &Query) -> Arc<QueryPredicates> {
+        self.predicates_cached(query_tag(query), query)
+    }
+
+    /// Plan-cache hit/miss counters (plans and predicate extractions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    fn predicates_cached(&self, tag: u64, query: &Query) -> Arc<QueryPredicates> {
+        self.plan_cache
+            .predicates_or_insert(tag, || extract(query, &self.catalog))
+    }
+
+    /// Plans under the *current* knobs and indexes through the cache.
+    fn plan_cached(&self, tag: u64, preds: &QueryPredicates) -> Arc<Plan> {
+        let key = PlanKey {
+            query: tag,
+            knobs: self.planner_fp,
+            indexes: self.indexes.fingerprint(),
+        };
+        self.plan_cache.plan_or_insert(key, || {
+            Optimizer::new(&self.catalog, &self.knobs, &self.indexes, self.model.stats_seed)
+                .plan_extracted(preds)
+        })
     }
 
     fn ctx(&self) -> ExecutionContext<'_> {
@@ -281,6 +334,7 @@ impl SimDb {
             idx.columns.hash(&mut h);
         }
         self.knob_fingerprint = h.finish();
+        self.planner_fp = self.knobs.planner_fingerprint();
     }
 }
 

@@ -4,7 +4,6 @@
 //! core count (paper §3.1) — so that is what we model. The default matches
 //! the paper's EC2 `p3.2xlarge` testbed (61 GB RAM, 8 vCPUs).
 
-use serde::{Deserialize, Serialize};
 
 /// Bytes per gibibyte.
 pub const GIB: u64 = 1024 * 1024 * 1024;
@@ -14,7 +13,7 @@ pub const MIB: u64 = 1024 * 1024;
 pub const KIB: u64 = 1024;
 
 /// Machine description handed to the tuners and the execution model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hardware {
     /// Main memory in bytes.
     pub memory_bytes: u64,

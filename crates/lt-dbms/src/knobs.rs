@@ -10,12 +10,11 @@
 
 use crate::hardware::{format_bytes, parse_bytes, GIB, KIB, MIB};
 use lt_common::{LtError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Target database system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dbms {
     /// PostgreSQL 12-like system.
     Postgres,
@@ -45,7 +44,7 @@ impl fmt::Display for Dbms {
 }
 
 /// Broad category of a knob (used in Table 5's "Category" column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnobCategory {
     /// Memory allocation.
     Memory,
@@ -73,7 +72,7 @@ impl fmt::Display for KnobCategory {
 }
 
 /// A concrete knob value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KnobValue {
     /// Byte quantity (`shared_buffers = 16GB`).
     Bytes(u64),
@@ -480,6 +479,27 @@ impl KnobSet {
             Dbms::Mysql => 0.005,
         }
     }
+
+    /// Fingerprint over exactly the knob-derived inputs the optimizer
+    /// consumes, so the plan cache is invalidated by planner-relevant knob
+    /// changes only — executor-side knobs (I/O concurrency, logging, buffer
+    /// pool) can move freely without evicting plans.
+    pub fn planner_fingerprint(&self) -> lt_common::Fingerprint {
+        use std::hash::{Hash, Hasher};
+        let mut h = lt_common::FxHasher::new();
+        (self.dbms as u8).hash(&mut h);
+        self.seq_page_cost().to_bits().hash(&mut h);
+        self.random_page_cost().to_bits().hash(&mut h);
+        self.cpu_tuple_cost().to_bits().hash(&mut h);
+        self.cpu_index_tuple_cost().to_bits().hash(&mut h);
+        self.planner_cache_bytes().hash(&mut h);
+        self.work_mem_bytes().hash(&mut h);
+        self.parallel_workers().hash(&mut h);
+        if self.dbms == Dbms::Postgres {
+            self.get_f64("default_statistics_target").to_bits().hash(&mut h);
+        }
+        lt_common::Fingerprint(h.finish())
+    }
 }
 
 #[cfg(test)]
@@ -562,6 +582,25 @@ mod tests {
         pg.set_text("max_parallel_workers_per_gather", "16").unwrap();
         pg.set_text("max_parallel_workers", "4").unwrap();
         assert_eq!(pg.parallel_workers(), 4);
+    }
+
+    #[test]
+    fn planner_fingerprint_tracks_planner_knobs_only() {
+        let base = KnobSet::defaults(Dbms::Postgres).planner_fingerprint();
+        // A planner knob moves the fingerprint…
+        let mut planner = KnobSet::defaults(Dbms::Postgres);
+        planner.set_text("random_page_cost", "1.1").unwrap();
+        assert_ne!(planner.planner_fingerprint(), base);
+        // …an executor-only knob does not…
+        let mut exec = KnobSet::defaults(Dbms::Postgres);
+        exec.set_text("effective_io_concurrency", "200").unwrap();
+        exec.set_text("wal_buffers", "64MB").unwrap();
+        assert_eq!(exec.planner_fingerprint(), base);
+        // …and the two DBMS flavours never collide.
+        assert_ne!(
+            KnobSet::defaults(Dbms::Mysql).planner_fingerprint(),
+            base
+        );
     }
 
     #[test]

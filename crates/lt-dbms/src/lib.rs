@@ -31,6 +31,7 @@ pub mod knobs;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;
+pub mod plan_cache;
 pub mod stats;
 
 pub use catalog::{Catalog, ColumnMeta, TableBuilder, TableMeta};
@@ -42,3 +43,4 @@ pub use knobs::{Dbms, KnobCategory, KnobDef, KnobSet, KnobValue};
 pub use optimizer::Optimizer;
 pub use physical::{Index, IndexCatalog};
 pub use plan::{PlanNode, PlanOp};
+pub use plan_cache::{CacheStats, PlanCache, PlanKey};

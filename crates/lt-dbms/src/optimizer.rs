@@ -377,14 +377,15 @@ impl<'a> Optimizer<'a> {
                     }
                     let rest = mask & !(1 << next);
                     let Some(left) = best.get(&rest) else { continue };
-                    let keys = self.connection(rest, next, preds);
-                    // Defer cross joins until no connected option exists.
-                    if keys.is_none() && has_connected_extension(rest, mask, n, preds, self) {
-                        continue;
-                    }
+                    // Cross joins are never enumerated here: a subset with no
+                    // connecting edge gets no DP entry, so a connected join
+                    // graph can only produce edge-linked plans. Disconnected
+                    // graphs are handled after the DP by cross-joining the
+                    // per-component winners.
+                    let Some(keys) = self.connection(rest, next, preds) else { continue };
                     let mut scratch = Vec::new();
                     let node =
-                        self.join_node(&left.node, &base[next].node, keys, &mut scratch);
+                        self.join_node(&left.node, &base[next].node, Some(keys), &mut scratch);
                     if best_for_mask
                         .as_ref()
                         .map(|b| node.est_cost < b.node.est_cost)
@@ -399,9 +400,69 @@ impl<'a> Optimizer<'a> {
             }
         }
         let full = (1u64 << n) - 1;
-        let winner = best.remove(&full).expect("DP always covers the full set");
+        let winner = match best.remove(&full) {
+            Some(w) => w,
+            None => {
+                // The join graph is disconnected: every connected component
+                // has a DP winner (single tables are base entries), and the
+                // only way to combine components is a Cartesian product.
+                let mut comps = self.components(n, preds).into_iter();
+                let first = comps.next().expect("at least one component");
+                let mut acc =
+                    best.remove(&first).expect("component winner exists");
+                for comp in comps {
+                    let right =
+                        best.remove(&comp).expect("component winner exists");
+                    let mut scratch = Vec::new();
+                    let node =
+                        self.join_node(&acc.node, &right.node, None, &mut scratch);
+                    acc = Candidate { node, tables: acc.tables | comp };
+                }
+                acc
+            }
+        };
         self.collect_join_costs(&winner.node, preds, join_costs);
         winner
+    }
+
+    /// Connected components of the join graph, as bitmasks over
+    /// `preds.tables` indices, ordered by their lowest table index.
+    fn components(&self, n: usize, preds: &QueryPredicates) -> Vec<u64> {
+        let mut adj = vec![0u64; n];
+        for edge in &preds.joins {
+            let lt = self.catalog.column(edge.left).table;
+            let rt = self.catalog.column(edge.right).table;
+            let li = preds.tables.iter().position(|t| *t == lt);
+            let ri = preds.tables.iter().position(|t| *t == rt);
+            let (Some(li), Some(ri)) = (li, ri) else { continue };
+            if li != ri {
+                adj[li] |= 1 << ri;
+                adj[ri] |= 1 << li;
+            }
+        }
+        let mut seen = 0u64;
+        let mut comps = Vec::new();
+        for start in 0..n {
+            if seen & (1 << start) != 0 {
+                continue;
+            }
+            let mut comp = 1u64 << start;
+            loop {
+                let mut grown = comp;
+                for i in 0..n {
+                    if comp & (1 << i) != 0 {
+                        grown |= adj[i];
+                    }
+                }
+                if grown == comp {
+                    break;
+                }
+                comp = grown;
+            }
+            seen |= comp;
+            comps.push(comp);
+        }
+        comps
     }
 
     /// Greedy fallback for very wide joins: repeatedly merge the pair with
@@ -413,29 +474,36 @@ impl<'a> Optimizer<'a> {
         join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
     ) -> Candidate {
         while cands.len() > 1 {
-            let mut best: Option<(usize, usize, PlanNode)> = None;
+            // A connected pair always beats a cross join, whatever the
+            // costs; cross joins only happen once the remaining candidates
+            // are mutually disconnected (separate join-graph components).
+            let mut best: Option<(usize, usize, PlanNode, bool)> = None;
             for i in 0..cands.len() {
                 for j in 0..cands.len() {
                     if i == j {
                         continue;
                     }
-                    // Greedy works over single-table extensions of i by j's
-                    // single table when j is a base candidate; general case:
-                    // use connection between covered sets via any edge.
                     let keys = self.connection_between(cands[i].tables, cands[j].tables, preds);
-                    if keys.is_none() && best.is_some() {
+                    let connected = keys.is_some();
+                    if !connected && best.as_ref().is_some_and(|(_, _, _, c)| *c) {
                         continue;
                     }
                     let mut scratch = Vec::new();
                     let node =
                         self.join_node(&cands[i].node, &cands[j].node, keys, &mut scratch);
-                    if best.as_ref().map(|(_, _, b)| node.est_cost < b.est_cost).unwrap_or(true)
-                    {
-                        best = Some((i, j, node));
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, b, best_conn)) => {
+                            (connected && !best_conn)
+                                || (connected == *best_conn && node.est_cost < b.est_cost)
+                        }
+                    };
+                    if better {
+                        best = Some((i, j, node, connected));
                     }
                 }
             }
-            let (i, j, node) = best.expect("at least one pair exists");
+            let (i, j, node, _) = best.expect("at least one pair exists");
             let tables = cands[i].tables | cands[j].tables;
             let (lo, hi) = if i < j { (i, j) } else { (j, i) };
             cands.swap_remove(hi);
@@ -584,31 +652,6 @@ impl<'a> Optimizer<'a> {
         }
         node
     }
-}
-
-/// Whether an extension of `rest` to `mask` can be made through a join edge
-/// for *some* choice of last table (used to avoid premature cross joins).
-fn has_connected_extension(
-    rest_base: u64,
-    mask: u64,
-    n: usize,
-    preds: &QueryPredicates,
-    opt: &Optimizer<'_>,
-) -> bool {
-    let _ = rest_base;
-    for next in 0..n {
-        if mask & (1 << next) == 0 {
-            continue;
-        }
-        let rest = mask & !(1 << next);
-        if rest == 0 {
-            continue;
-        }
-        if opt.connection(rest, next, preds).is_some() {
-            return true;
-        }
-    }
-    false
 }
 
 /// Filter kinds an index lookup can serve.

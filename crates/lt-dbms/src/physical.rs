@@ -6,12 +6,12 @@
 //! when switching configurations.
 
 use crate::catalog::{Catalog, PAGE_SIZE};
-use lt_common::{ColumnId, IndexId, TableId};
-use serde::{Deserialize, Serialize};
+use lt_common::{ColumnId, Fingerprint, FxHasher, IndexId, TableId};
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
 /// A (materialized or hypothetical) B-tree index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Index {
     /// Catalog-wide id (assigned by the [`IndexCatalog`]).
     pub id: IndexId,
@@ -48,10 +48,25 @@ impl Index {
 
 /// The set of indexes that currently exist (or are being considered
 /// hypothetically, for what-if optimization à la Dexter/DB2 Advisor).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct IndexCatalog {
     indexes: BTreeMap<IndexId, Index>,
     next_id: u32,
+    /// Bumped on every mutation; invalidates plan-cache entries keyed on the
+    /// previous physical design.
+    epoch: u64,
+    /// Content fingerprint over (table, key columns) of every index, kept in
+    /// sync on mutation. Two catalogs with identical index sets share a
+    /// fingerprint, so what-if planning against a hypothetical catalog that
+    /// matches the materialized one re-hits the same cache entries.
+    fingerprint: Fingerprint,
+}
+
+impl PartialEq for IndexCatalog {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is content equality; the epoch is bookkeeping.
+        self.indexes == other.indexes
+    }
 }
 
 impl IndexCatalog {
@@ -72,7 +87,29 @@ impl IndexCatalog {
         self.next_id += 1;
         let name = name.unwrap_or_else(|| format!("idx_{}_{}", table.0, id.0));
         self.indexes.insert(id, Index { id, table, columns, name });
+        self.touch();
         id
+    }
+
+    /// Monotone mutation counter: any `add`/`remove`/`clear` that changes
+    /// the catalog bumps it, signalling plan-cache invalidation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fingerprint of the current index contents (see field docs).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    fn touch(&mut self) {
+        self.epoch += 1;
+        let mut h = FxHasher::new();
+        for idx in self.indexes.values() {
+            idx.table.hash(&mut h);
+            idx.columns.hash(&mut h);
+        }
+        self.fingerprint = Fingerprint(h.finish());
     }
 
     /// Finds an index with exactly these key columns.
@@ -85,12 +122,19 @@ impl IndexCatalog {
 
     /// Removes an index. Returns whether it existed.
     pub fn remove(&mut self, id: IndexId) -> bool {
-        self.indexes.remove(&id).is_some()
+        let existed = self.indexes.remove(&id).is_some();
+        if existed {
+            self.touch();
+        }
+        existed
     }
 
     /// Drops every index.
     pub fn clear(&mut self) {
-        self.indexes.clear();
+        if !self.indexes.is_empty() {
+            self.indexes.clear();
+            self.touch();
+        }
     }
 
     /// Looks up an index by id.
@@ -192,6 +236,35 @@ mod tests {
         let pages = idx.get(id).unwrap().pages(&c);
         // 8-byte key + 12 overhead = 20 bytes/entry; ~368 entries/page.
         assert!(pages > 3_000 && pages < 5_000, "pages={pages}");
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation_and_fingerprint_tracks_content() {
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let k = c.resolve_column(None, "o_orderkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        let e0 = idx.epoch();
+        let f0 = idx.fingerprint();
+        let id = idx.add(t, vec![k], None);
+        assert!(idx.epoch() > e0);
+        assert_ne!(idx.fingerprint(), f0);
+        let f1 = idx.fingerprint();
+        // Duplicate add is a no-op: neither epoch nor fingerprint moves.
+        let e1 = idx.epoch();
+        idx.add(t, vec![k], None);
+        assert_eq!(idx.epoch(), e1);
+        // Remove then re-add: epoch keeps climbing, but the content
+        // fingerprint returns to its previous value.
+        idx.remove(id);
+        assert!(idx.epoch() > e1);
+        assert_eq!(idx.fingerprint(), f0);
+        idx.add(t, vec![k], None);
+        assert_eq!(idx.fingerprint(), f1);
+        // An independent catalog with the same content fingerprints equal.
+        let mut other = IndexCatalog::new();
+        other.add(t, vec![k], Some("different_name".into()));
+        assert_eq!(other.fingerprint(), idx.fingerprint());
     }
 
     #[test]

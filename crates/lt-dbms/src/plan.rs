@@ -7,11 +7,10 @@
 //! width.
 
 use lt_common::{ColumnId, IndexId, TableId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Physical operator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PlanOp {
     /// Full scan of a base table with residual filter selectivity.
     SeqScan {
@@ -94,7 +93,7 @@ impl PlanOp {
 }
 
 /// A node of the physical plan tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {
     /// Physical operator.
     pub op: PlanOp,
@@ -211,7 +210,7 @@ impl fmt::Display for PlanNode {
 /// A complete plan: the operator tree plus per-join-condition cost
 /// attribution (used by the workload compressor to value join snippets —
 /// paper §3.2's `EC_j` obtained via EXPLAIN).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Root of the operator tree.
     pub root: PlanNode,

@@ -1,0 +1,240 @@
+//! Memoizing plan cache for the simulated DBMS.
+//!
+//! Planning is pure: the chosen plan depends only on (query, planner-relevant
+//! knobs, index set). λ-Tune's selector re-executes the same (configuration,
+//! query) pairs across its geometric-timeout rounds and the benchmark matrix
+//! replays whole workloads per configuration, so the same planning work used
+//! to be redone thousands of times per run. [`PlanCache`] memoizes both the
+//! Selinger planning result and the per-query predicate extraction.
+//!
+//! Entries are keyed by [`PlanKey`] — (query fingerprint, planner-knob
+//! fingerprint, index-catalog fingerprint) — so mutations invalidate by
+//! *changing the key* rather than by flushing: applying knobs or creating /
+//! dropping an index moves the respective fingerprint (see
+//! `KnobSet::planner_fingerprint` and `IndexCatalog::fingerprint`, whose
+//! epoch bumps on every mutation), while returning to a previously seen
+//! configuration re-hits the old entries, which is exactly the selector's
+//! access pattern.
+//!
+//! Interior mutability (`Mutex` + atomics) keeps the read paths usable from
+//! `&self` methods (`explain`, what-if planning); `SimDb` is owned per
+//! benchmark thread, so the locks are uncontended in practice.
+
+use crate::plan::Plan;
+use crate::stats::QueryPredicates;
+use lt_common::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: the complete planning context of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Fingerprint of the query text.
+    pub query: u64,
+    /// `KnobSet::planner_fingerprint()` of the knobs planned under.
+    pub knobs: Fingerprint,
+    /// `IndexCatalog::fingerprint()` of the index set planned against.
+    pub indexes: Fingerprint,
+}
+
+/// Hit/miss counters, snapshot via [`PlanCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans served from the cache.
+    pub plan_hits: u64,
+    /// Plans computed by the optimizer.
+    pub plan_misses: u64,
+    /// Predicate extractions served from the cache.
+    pub extract_hits: u64,
+    /// Predicate extractions computed from the AST.
+    pub extract_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of planning calls answered from the cache (0 when idle).
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizes planning and predicate extraction (see module docs).
+#[derive(Debug)]
+pub struct PlanCache {
+    /// `LT_PLAN_CACHE=0` (or `off`) disables memoization entirely — every
+    /// call plans from scratch and counts as a miss. Used to measure the
+    /// cache-less baseline with an otherwise identical binary.
+    enabled: bool,
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    predicates: Mutex<HashMap<u64, Arc<QueryPredicates>>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    extract_hits: AtomicU64,
+    extract_misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        let enabled = !matches!(
+            std::env::var("LT_PLAN_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        PlanCache {
+            enabled,
+            plans: Mutex::default(),
+            predicates: Mutex::default(),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            extract_hits: AtomicU64::new(0),
+            extract_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PlanCache {
+    /// Empty cache with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the plan for `key`, planning via `plan_fn` on a miss.
+    pub fn plan_or_insert(
+        &self,
+        key: PlanKey,
+        plan_fn: impl FnOnce() -> Plan,
+    ) -> Arc<Plan> {
+        if !self.enabled {
+            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(plan_fn());
+        }
+        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        // Plan outside the lock: planning can be orders of magnitude more
+        // expensive than a map probe, and a poisoned lock on a planner panic
+        // would otherwise wedge every later query.
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(plan_fn());
+        self.plans
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&plan));
+        plan
+    }
+
+    /// Returns the extracted predicates for the query fingerprinted as
+    /// `query`, extracting via `extract_fn` on a miss. Extraction depends
+    /// only on the query and the (immutable) schema catalog, so the query
+    /// fingerprint alone keys it.
+    pub fn predicates_or_insert(
+        &self,
+        query: u64,
+        extract_fn: impl FnOnce() -> QueryPredicates,
+    ) -> Arc<QueryPredicates> {
+        if !self.enabled {
+            self.extract_misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(extract_fn());
+        }
+        if let Some(preds) = self.predicates.lock().unwrap().get(&query) {
+            self.extract_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(preds);
+        }
+        self.extract_misses.fetch_add(1, Ordering::Relaxed);
+        let preds = Arc::new(extract_fn());
+        self.predicates
+            .lock()
+            .unwrap()
+            .entry(query)
+            .or_insert_with(|| Arc::clone(&preds));
+        preds
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            extract_hits: self.extract_hits.load(Ordering::Relaxed),
+            extract_misses: self.extract_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// True when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanNode, PlanOp};
+    use lt_common::TableId;
+
+    fn leaf(cost: f64) -> Plan {
+        Plan {
+            root: PlanNode::leaf(
+                PlanOp::SeqScan { table: TableId(0), selectivity: 1.0 },
+                1.0,
+                cost,
+                8.0,
+            ),
+            join_costs: Vec::new(),
+        }
+    }
+
+    fn key(q: u64, k: u64, i: u64) -> PlanKey {
+        PlanKey { query: q, knobs: Fingerprint(k), indexes: Fingerprint(i) }
+    }
+
+    #[test]
+    fn hit_returns_cached_plan_without_replanning() {
+        let cache = PlanCache::new();
+        let a = cache.plan_or_insert(key(1, 2, 3), || leaf(10.0));
+        let b = cache.plan_or_insert(key(1, 2, 3), || panic!("must not replan"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.plan_hits, s.plan_misses), (1, 1));
+        assert!((s.plan_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_key_component_change_is_a_miss() {
+        let cache = PlanCache::new();
+        cache.plan_or_insert(key(1, 2, 3), || leaf(1.0));
+        cache.plan_or_insert(key(9, 2, 3), || leaf(2.0));
+        cache.plan_or_insert(key(1, 9, 3), || leaf(3.0));
+        cache.plan_or_insert(key(1, 2, 9), || leaf(4.0));
+        assert_eq!(cache.stats().plan_misses, 4);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn predicate_extraction_is_memoized_per_query() {
+        let cache = PlanCache::new();
+        let a = cache.predicates_or_insert(7, QueryPredicates::default);
+        let b = cache.predicates_or_insert(7, || panic!("must not re-extract"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.extract_hits, s.extract_misses), (1, 1));
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = PlanCache::new();
+        assert_eq!(cache.stats().plan_hit_rate(), 0.0);
+        assert!(cache.is_empty());
+    }
+}

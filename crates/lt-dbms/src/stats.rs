@@ -14,11 +14,10 @@
 use crate::catalog::Catalog;
 use lt_common::{ColumnId, TableId};
 use lt_sql::ast::{BinOp, Expr, Query, TableRef};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// Kind of a single-table filter predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FilterKind {
     /// `col = literal`
     Equality,
@@ -45,7 +44,7 @@ pub enum FilterKind {
 }
 
 /// One extracted filter term.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FilterTerm {
     /// Filtered column.
     pub column: ColumnId,
@@ -54,7 +53,7 @@ pub struct FilterTerm {
 }
 
 /// One equality join edge between base-table columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JoinEdge {
     /// One side.
     pub left: ColumnId,
@@ -74,7 +73,7 @@ impl JoinEdge {
 }
 
 /// All predicates extracted from one query.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryPredicates {
     /// Base tables referenced anywhere in the query (deduplicated).
     pub tables: Vec<TableId>,

@@ -1,13 +1,12 @@
 //! ILP model construction.
 
 use lt_common::{LtError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Index of a binary decision variable.
 pub type VarId = usize;
 
 /// A linear `≤` constraint: `Σ coeffs[i].1 · x[coeffs[i].0] ≤ rhs`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     /// Sparse coefficients as `(variable, coefficient)` pairs.
     pub coeffs: Vec<(VarId, f64)>,
@@ -31,7 +30,7 @@ impl Constraint {
 }
 
 /// A 0/1 maximization problem.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ilp {
     objective: Vec<f64>,
     constraints: Vec<Constraint>,

@@ -2,10 +2,9 @@
 
 use crate::model::{Constraint, Ilp, VarId};
 use lt_common::{LtError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Solver limits.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SolveOptions {
     /// Maximum number of branch-and-bound nodes before giving up and
     /// returning the incumbent (marked non-optimal).
@@ -19,7 +18,7 @@ impl Default for SolveOptions {
 }
 
 /// A solver result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// Assignment per variable.
     pub values: Vec<bool>,

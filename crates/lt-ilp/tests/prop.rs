@@ -1,9 +1,11 @@
-//! Property-based tests: the branch-and-bound solver is exact on random
-//! small instances (checked against brute force) and its solutions are
-//! always feasible.
+//! Randomized property tests: the branch-and-bound solver is exact on
+//! random small instances (checked against brute force) and its solutions
+//! are always feasible. Cases come from a seeded `lt_common::Rng`.
 
+use lt_common::{seeded_rng, Rng};
 use lt_ilp::{solve, Ilp, SolveOptions};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 #[derive(Debug, Clone)]
 struct Instance {
@@ -13,25 +15,24 @@ struct Instance {
     conflicts: Vec<(usize, usize)>,
 }
 
-fn instance(max_vars: usize) -> impl Strategy<Value = Instance> {
-    (2..=max_vars).prop_flat_map(|n| {
-        let objective = proptest::collection::vec(-5.0f64..10.0, n);
-        let knapsacks = proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..5.0, n), 1.0f64..10.0),
-            0..3,
-        );
-        let pair = (0..n, 0..n);
-        let implications = proptest::collection::vec(pair.clone(), 0..3);
-        let conflicts = proptest::collection::vec(pair, 0..3);
-        (objective, knapsacks, implications, conflicts).prop_map(
-            |(objective, knapsacks, implications, conflicts)| Instance {
-                objective,
-                knapsacks,
-                implications: implications.into_iter().filter(|(a, b)| a != b).collect(),
-                conflicts: conflicts.into_iter().filter(|(a, b)| a != b).collect(),
-            },
-        )
-    })
+fn instance(rng: &mut Rng, max_vars: usize) -> Instance {
+    let n = rng.gen_range(2..=max_vars);
+    let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..10.0)).collect();
+    let knapsacks: Vec<(Vec<f64>, f64)> = (0..rng.gen_range(0..3usize))
+        .map(|_| {
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            (weights, rng.gen_range(1.0..10.0))
+        })
+        .collect();
+    let pairs = |rng: &mut Rng| -> Vec<(usize, usize)> {
+        (0..rng.gen_range(0..3usize))
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .filter(|(a, b)| a != b)
+            .collect()
+    };
+    let implications = pairs(rng);
+    let conflicts = pairs(rng);
+    Instance { objective, knapsacks, implications, conflicts }
 }
 
 fn build(inst: &Instance) -> Ilp {
@@ -66,54 +67,59 @@ fn brute_force(ilp: &Ilp) -> f64 {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The solver matches exhaustive search on every random instance.
-    #[test]
-    fn solver_is_exact(inst in instance(9)) {
+/// The solver matches exhaustive search on every random instance.
+#[test]
+fn solver_is_exact() {
+    let mut rng = seeded_rng(0x11);
+    for _ in 0..CASES {
+        let inst = instance(&mut rng, 9);
         let ilp = build(&inst);
         let solution = solve(&ilp, SolveOptions::default()).expect("all-false is feasible");
-        prop_assert!(solution.optimal);
+        assert!(solution.optimal);
         let expected = brute_force(&ilp);
-        prop_assert!(
+        assert!(
             (solution.objective - expected).abs() < 1e-9,
             "solver {} vs brute force {expected}",
             solution.objective
         );
     }
+}
 
-    /// Returned assignments always satisfy every constraint.
-    #[test]
-    fn solutions_are_feasible(inst in instance(10)) {
+/// Returned assignments always satisfy every constraint.
+#[test]
+fn solutions_are_feasible() {
+    let mut rng = seeded_rng(0x12);
+    for _ in 0..CASES {
+        let inst = instance(&mut rng, 10);
         let ilp = build(&inst);
         let solution = solve(&ilp, SolveOptions::default()).unwrap();
-        prop_assert!(ilp.is_feasible(&solution.values));
-        prop_assert!(
+        assert!(ilp.is_feasible(&solution.values));
+        assert!(
             (ilp.objective_value(&solution.values) - solution.objective).abs() < 1e-9
         );
     }
+}
 
-    /// Tightening the budget never increases the optimum (monotonicity).
-    #[test]
-    fn knapsack_monotonicity(
-        values in proptest::collection::vec(0.1f64..10.0, 3..8),
-        weights_seed in proptest::collection::vec(0.1f64..5.0, 3..8),
-        budget in 1.0f64..10.0,
-    ) {
-        let n = values.len().min(weights_seed.len());
+/// Tightening the budget never increases the optimum (monotonicity).
+#[test]
+fn knapsack_monotonicity() {
+    let mut rng = seeded_rng(0x13);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..8usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..5.0)).collect();
+        let budget = rng.gen_range(1.0..10.0);
         let mut loose = Ilp::new(n);
         let mut tight = Ilp::new(n);
         for i in 0..n {
             loose.set_objective(i, values[i]).unwrap();
             tight.set_objective(i, values[i]).unwrap();
         }
-        let coeffs: Vec<(usize, f64)> =
-            (0..n).map(|i| (i, weights_seed[i])).collect();
+        let coeffs: Vec<(usize, f64)> = (0..n).map(|i| (i, weights[i])).collect();
         loose.add_le(&coeffs, budget).unwrap();
         tight.add_le(&coeffs, budget / 2.0).unwrap();
         let a = solve(&loose, SolveOptions::default()).unwrap().objective;
         let b = solve(&tight, SolveOptions::default()).unwrap().objective;
-        prop_assert!(b <= a + 1e-9);
+        assert!(b <= a + 1e-9);
     }
 }

@@ -2,8 +2,7 @@
 
 use crate::tokenizer::count_tokens;
 use lt_common::Result;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// A text-completion model.
 ///
@@ -25,7 +24,7 @@ pub trait LanguageModel {
 }
 
 /// Accumulated usage across calls (the paper's "monetary fees" concern).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LlmUsage {
     /// Number of completion calls.
     pub calls: u64,
@@ -58,7 +57,7 @@ impl<M: LanguageModel> LlmClient<M> {
     /// Completes a prompt, recording usage.
     pub fn complete(&self, prompt: &str, temperature: f64, seed: u64) -> Result<String> {
         let response = self.model.complete(prompt, temperature, seed)?;
-        let mut usage = self.usage.lock();
+        let mut usage = self.usage.lock().unwrap();
         usage.calls += 1;
         usage.prompt_tokens += count_tokens(prompt) as u64;
         usage.completion_tokens += count_tokens(&response) as u64;
@@ -67,7 +66,7 @@ impl<M: LanguageModel> LlmClient<M> {
 
     /// Usage so far.
     pub fn usage(&self) -> LlmUsage {
-        *self.usage.lock()
+        *self.usage.lock().unwrap()
     }
 
     /// The wrapped model.

@@ -19,15 +19,12 @@
 //!   up to ~5× slower (tiny work memory, default buffer pool, no indexes).
 
 use crate::api::LanguageModel;
-use lt_common::{derive_seed, Result};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use lt_common::{derive_seed, Result, Rng};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Tuning parameters of the simulated model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimulatedLlmOptions {
     /// Probability (at temperature ≥ 0.7) that a sample is an outlier
     /// configuration. The paper observes outliers in roughly 1 of 7 GPT-4
@@ -276,7 +273,7 @@ fn dedup_preserving_order(v: &mut Vec<String>) {
 fn generate(
     facts: &PromptFacts,
     temperature: f64,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
     options: SimulatedLlmOptions,
 ) -> String {
     let heat = temperature.clamp(0.0, 2.0);
@@ -295,18 +292,18 @@ fn gib(bytes: u64) -> u64 {
     bytes >> 30
 }
 
-fn pick<T: Copy>(rng: &mut impl Rng, heat: f64, default: T, alternatives: &[T]) -> T {
+fn pick<T: Copy>(rng: &mut Rng, heat: f64, default: T, alternatives: &[T]) -> T {
     if heat <= 1e-9 || alternatives.is_empty() || !rng.gen_bool((0.5 * heat).clamp(0.0, 1.0)) {
         default
     } else {
-        *alternatives.choose(rng).expect("non-empty")
+        *rng.choose(alternatives).expect("non-empty")
     }
 }
 
 fn generate_postgres(
     facts: &PromptFacts,
     heat: f64,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
     options: SimulatedLlmOptions,
 ) -> String {
     let mem_gb = gib(facts.memory_bytes).max(1);
@@ -350,7 +347,7 @@ fn generate_postgres(
 fn generate_mysql(
     facts: &PromptFacts,
     heat: f64,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
     options: SimulatedLlmOptions,
 ) -> String {
     let mem_gb = gib(facts.memory_bytes).max(1);
@@ -399,7 +396,7 @@ fn push_indexes(
     out: &mut String,
     facts: &PromptFacts,
     heat: f64,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
     options: SimulatedLlmOptions,
 ) {
     if facts.params_only || facts.join_columns.is_empty() {
@@ -430,7 +427,7 @@ fn push_indexes(
     }
 }
 
-fn generate_outlier(facts: &PromptFacts, rng: &mut impl Rng) -> String {
+fn generate_outlier(facts: &PromptFacts, rng: &mut Rng) -> String {
     // The failure modes real LLM samples exhibit: way too little work
     // memory, default-sized buffer pool, pessimistic planner costs, and no
     // physical-design help.

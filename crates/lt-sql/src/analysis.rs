@@ -11,12 +11,11 @@
 //! qualifiers to base-table names and recursing into subqueries.
 
 use crate::ast::{ColumnRef, Expr, Query, SelectItem, TableRef};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An equality join between two columns, with alias qualifiers resolved to
 /// base-table names where the query defines them.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JoinPair {
     /// One side of the equality.
     pub left: ColumnRef,
@@ -37,7 +36,7 @@ impl JoinPair {
 }
 
 /// Facts extracted from one query (including all of its subqueries).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryAnalysis {
     /// Base tables referenced, lower-cased, deduplicated, sorted.
     pub tables: Vec<String>,

@@ -5,11 +5,10 @@
 //! workloads use inner joins only), which makes join-structure extraction a
 //! single traversal.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A possibly-qualified column reference, e.g. `l.l_orderkey` or `o_custkey`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
     /// Table name or alias, if written.
     pub qualifier: Option<String>,
@@ -423,7 +422,7 @@ pub struct OrderItem {
 }
 
 /// An equality join condition between two columns, as extracted by analysis.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JoinCondition {
     /// Left column.
     pub left: ColumnRef,

@@ -1,151 +1,228 @@
-//! Property-based tests for the SQL front end.
+//! Randomized property tests for the SQL front end, driven by a seeded
+//! `lt_common::Rng` so every run replays the same generated cases.
 
+use lt_common::{seeded_rng, Rng};
 use lt_sql::ast::{BinOp, ColumnRef, Expr, Literal, Query, SelectItem, SetQuantifier, TableRef};
-use proptest::prelude::*;
 
-/// Identifier strategy: lowercase SQL-safe names that are not keywords.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,10}".prop_filter("not a keyword", |s| {
-        !matches!(
-            s.as_str(),
-            "select" | "from" | "where" | "group" | "having" | "order" | "limit" | "and"
-                | "or" | "not" | "in" | "between" | "like" | "is" | "null" | "as" | "on"
-                | "join" | "inner" | "case" | "when" | "then" | "else" | "end" | "exists"
-                | "date" | "interval" | "distinct" | "all" | "by" | "asc" | "desc" | "to"
-                | "left" | "right" | "full" | "cross" | "union" | "extract"
-        )
-    })
+const CASES: usize = 256;
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "select" | "from" | "where" | "group" | "having" | "order" | "limit" | "and"
+            | "or" | "not" | "in" | "between" | "like" | "is" | "null" | "as" | "on"
+            | "join" | "inner" | "case" | "when" | "then" | "else" | "end" | "exists"
+            | "date" | "interval" | "distinct" | "all" | "by" | "asc" | "desc" | "to"
+            | "left" | "right" | "full" | "cross" | "union" | "extract"
+    )
 }
 
-fn literal() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (0.0f64..1e6).prop_map(|n| Expr::Literal(Literal::Number((n * 100.0).round() / 100.0))),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Expr::Literal(Literal::String(s))),
-        Just(Expr::Literal(Literal::Null)),
-    ]
+/// Lowercase SQL-safe identifier that is not a keyword.
+fn ident(rng: &mut Rng) -> String {
+    loop {
+        let first = (b'a' + rng.gen_range(0..26u8)) as char;
+        let rest_len = rng.gen_range(0..=10usize);
+        let pool = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let tail: String =
+            (0..rest_len).map(|_| pool[rng.gen_range(0..pool.len())] as char).collect();
+        let s = format!("{first}{tail}");
+        if !is_keyword(&s) {
+            return s;
+        }
+    }
 }
 
-fn column() -> impl Strategy<Value = Expr> {
-    (proptest::option::of(ident()), ident()).prop_map(|(q, c)| {
-        Expr::Column(ColumnRef { qualifier: q, column: c })
-    })
+fn literal(rng: &mut Rng) -> Expr {
+    match rng.gen_range(0..3u8) {
+        0 => {
+            let n = rng.gen_range(0.0..1e6);
+            Expr::Literal(Literal::Number((n * 100.0).round() / 100.0))
+        }
+        1 => {
+            let pool: Vec<char> =
+                ('a'..='z').chain('A'..='Z').chain('0'..='9').chain([' ']).collect();
+            let len = rng.gen_range(0..=12usize);
+            let s: String = (0..len).map(|_| *rng.choose(&pool).unwrap()).collect();
+            Expr::Literal(Literal::String(s))
+        }
+        _ => Expr::Literal(Literal::Null),
+    }
 }
 
-/// Arithmetic expressions over columns and literals.
-fn arith() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![literal(), column()];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinOp::Add, b)),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::binary(a, BinOp::Mul, b)),
-        ]
-    })
+fn column(rng: &mut Rng) -> Expr {
+    let qualifier = if rng.gen_bool(0.5) { Some(ident(rng)) } else { None };
+    Expr::Column(ColumnRef { qualifier, column: ident(rng) })
+}
+
+/// Arithmetic expressions over columns and literals, depth-bounded.
+fn arith(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.5) {
+        if rng.gen_bool(0.5) {
+            literal(rng)
+        } else {
+            column(rng)
+        }
+    } else {
+        let a = arith(rng, depth - 1);
+        let b = arith(rng, depth - 1);
+        let op = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Mul };
+        Expr::binary(a, op, b)
+    }
 }
 
 /// Predicates: comparisons and postfix tests over arithmetic operands.
 /// Stratified so rendered text is unambiguous (a comparison operand is
 /// never itself a comparison).
-fn predicate() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (arith(), arith()).prop_map(|(a, b)| Expr::binary(a, BinOp::Eq, b)),
-        (arith(), arith()).prop_map(|(a, b)| Expr::binary(a, BinOp::Lt, b)),
-        (arith(), arith(), arith()).prop_map(|(a, lo, hi)| Expr::Between {
-            expr: Box::new(a),
-            low: Box::new(lo),
-            high: Box::new(hi),
+fn predicate(rng: &mut Rng) -> Expr {
+    match rng.gen_range(0..5u8) {
+        0 => Expr::binary(arith(rng, 2), BinOp::Eq, arith(rng, 2)),
+        1 => Expr::binary(arith(rng, 2), BinOp::Lt, arith(rng, 2)),
+        2 => Expr::Between {
+            expr: Box::new(arith(rng, 2)),
+            low: Box::new(arith(rng, 2)),
+            high: Box::new(arith(rng, 2)),
             negated: false,
-        }),
-        (column(), "[a-zA-Z]{1,6}%").prop_map(|(c, p)| Expr::Like {
-            expr: Box::new(c),
-            pattern: Box::new(Expr::Literal(Literal::String(p))),
-            negated: false,
-        }),
-        (column(), any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
-            expr: Box::new(c),
-            negated,
-        }),
-    ]
+        },
+        3 => {
+            let len = rng.gen_range(1..=6usize);
+            let mut p: String =
+                (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect();
+            p.push('%');
+            Expr::Like {
+                expr: Box::new(column(rng)),
+                pattern: Box::new(Expr::Literal(Literal::String(p))),
+                negated: false,
+            }
+        }
+        _ => Expr::IsNull { expr: Box::new(column(rng)), negated: rng.gen_bool(0.5) },
+    }
 }
 
 /// Boolean combinations of predicates (WHERE-clause shaped).
-fn expr() -> impl Strategy<Value = Expr> {
-    predicate().prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::binary(a, BinOp::Or, b)),
-        ]
-    })
+fn expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.5) {
+        predicate(rng)
+    } else {
+        let a = expr(rng, depth - 1);
+        let b = expr(rng, depth - 1);
+        if rng.gen_bool(0.5) {
+            Expr::and(a, b)
+        } else {
+            Expr::binary(a, BinOp::Or, b)
+        }
+    }
 }
 
-fn query() -> impl Strategy<Value = Query> {
-    (
-        proptest::collection::vec(arith(), 1..4),
-        proptest::collection::vec((ident(), proptest::option::of(ident())), 1..4),
-        proptest::option::of(expr()),
-        proptest::option::of(0u64..1000),
-    )
-        .prop_map(|(select, tables, filter, limit)| Query {
-            quantifier: SetQuantifier::All,
-            select: select
-                .into_iter()
-                .map(|e| SelectItem { expr: e, alias: None })
-                .collect(),
-            from: tables
-                .into_iter()
-                .map(|(name, alias)| TableRef::Table { name, alias })
-                .collect(),
-            filter,
-            group_by: Vec::new(),
-            having: None,
-            order_by: Vec::new(),
-            limit,
+fn query(rng: &mut Rng) -> Query {
+    let select: Vec<SelectItem> = (0..rng.gen_range(1..4usize))
+        .map(|_| SelectItem { expr: arith(rng, 2), alias: None })
+        .collect();
+    let from: Vec<TableRef> = (0..rng.gen_range(1..4usize))
+        .map(|_| TableRef::Table {
+            name: ident(rng),
+            alias: if rng.gen_bool(0.5) { Some(ident(rng)) } else { None },
         })
+        .collect();
+    let filter = if rng.gen_bool(0.5) { Some(expr(rng, 2)) } else { None };
+    let limit = if rng.gen_bool(0.5) { Some(rng.gen_range(0..1000u64)) } else { None };
+    Query {
+        quantifier: SetQuantifier::All,
+        select,
+        from,
+        filter,
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit,
+    }
 }
 
-proptest! {
-    /// The tokenizer never panics, whatever the input.
-    #[test]
-    fn tokenizer_never_panics(input in ".{0,200}") {
+/// Arbitrary text: printable ASCII plus whitespace and multi-byte chars.
+fn arbitrary_text(rng: &mut Rng, max_len: usize) -> String {
+    let pool: Vec<char> = (' '..='~').chain(['\n', '\t', 'é', 'λ', '→', '\'']).collect();
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| *rng.choose(&pool).unwrap()).collect()
+}
+
+/// The tokenizer never panics, whatever the input.
+#[test]
+fn tokenizer_never_panics() {
+    let mut rng = seeded_rng(0x51);
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng, 200);
         let _ = lt_sql::tokenize(&input);
     }
+}
 
-    /// The parser never panics on arbitrary input (errors are fine).
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
+/// The parser never panics on arbitrary input (errors are fine).
+#[test]
+fn parser_never_panics() {
+    let mut rng = seeded_rng(0x52);
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng, 200);
         let _ = lt_sql::parse_query(&input);
     }
+}
 
-    /// Display → parse is the identity on generated query ASTs.
-    #[test]
-    fn display_parse_roundtrip(q in query()) {
+/// Display → parse is the identity on generated query ASTs.
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = seeded_rng(0x53);
+    for _ in 0..CASES {
+        let q = query(&mut rng);
         let sql = q.to_string();
         let reparsed = lt_sql::parse_query(&sql)
             .unwrap_or_else(|e| panic!("generated SQL failed to parse: {e}\n{sql}"));
-        prop_assert_eq!(reparsed, q);
+        assert_eq!(reparsed, q);
     }
+}
 
-    /// Analysis is total and produces resolvable facts on generated ASTs.
-    #[test]
-    fn analysis_is_total(q in query()) {
+/// Analysis is total and produces resolvable facts on generated ASTs.
+#[test]
+fn analysis_is_total() {
+    let mut rng = seeded_rng(0x54);
+    for _ in 0..CASES {
+        let q = query(&mut rng);
         let a = lt_sql::analysis::analyze(&q);
         // Tables come from the FROM clause (lower-cased, deduped).
-        prop_assert!(a.tables.len() <= q.from.len());
+        assert!(a.tables.len() <= q.from.len());
         for pair in &a.join_pairs {
             let n = pair.normalized();
-            prop_assert!(n.left <= n.right);
+            assert!(n.left <= n.right);
         }
     }
+}
 
-    /// Statement splitting preserves non-string semicolon counts.
-    #[test]
-    fn split_statements_never_loses_content(
-        parts in proptest::collection::vec("[a-z0-9 ]{0,8}[a-z0-9][a-z0-9 ]{0,8}", 1..5),
-    ) {
+/// Statement splitting preserves non-string semicolon counts.
+#[test]
+fn split_statements_never_loses_content() {
+    let mut rng = seeded_rng(0x55);
+    for _ in 0..CASES {
+        let n_parts = rng.gen_range(1..5usize);
+        let parts: Vec<String> = (0..n_parts)
+            .map(|_| {
+                // Shaped like [a-z0-9 ]{0,8}[a-z0-9][a-z0-9 ]{0,8}: at least
+                // one non-space character so trimming cannot empty a part.
+                let pool = b"abcdefghijklmnopqrstuvwxyz0123456789 ";
+                let solid = b"abcdefghijklmnopqrstuvwxyz0123456789";
+                let pre = rng.gen_range(0..=8usize);
+                let post = rng.gen_range(0..=8usize);
+                let mut s = String::new();
+                for _ in 0..pre {
+                    s.push(pool[rng.gen_range(0..pool.len())] as char);
+                }
+                s.push(solid[rng.gen_range(0..solid.len())] as char);
+                for _ in 0..post {
+                    s.push(pool[rng.gen_range(0..pool.len())] as char);
+                }
+                s
+            })
+            .collect();
         let sql = parts.join(";");
         let stmts = lt_sql::split_statements(&sql);
-        prop_assert_eq!(stmts.len(), parts.len());
+        assert_eq!(stmts.len(), parts.len());
         for (s, p) in stmts.iter().zip(&parts) {
-            prop_assert_eq!(s.trim(), p.trim());
+            assert_eq!(s.trim(), p.trim());
         }
     }
 }

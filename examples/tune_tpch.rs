@@ -10,7 +10,7 @@ use lambda_tune::{Compressor, ConfigSelector, Evaluator, PromptBuilder};
 use lambda_tune::{extract_snippets, SelectorOptions};
 use lt_common::derive_seed;
 use lt_dbms::{Configuration, Dbms, Hardware, SimDb};
-use lt_llm::{LanguageModel, LlmClient, SimulatedLlm};
+use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Benchmark;
 
 fn main() {

@@ -13,7 +13,6 @@ use lambda_tune::{
 use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::{Configuration, Dbms, Hardware, SimDb};
 use lt_workloads::Benchmark;
-use rand::Rng;
 
 fn db_for(benchmark: Benchmark, seed: u64) -> (SimDb, lt_workloads::Workload) {
     let w = benchmark.load();
