@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+# Steps, in the same order the workflow runs them:
+#   1. cargo build --release
+#   2. cargo fmt --check
+#   3. cargo clippy --all-targets -- -D warnings
+#   4. cargo test -q
+#   5. determinism gate: fig6 + table4 twice (sequential vs parallel
+#      eval matrix), results/*.json must match byte-for-byte
+#   6. trace gate: LT_TRACE=1 fig6 must emit a trace whose per-phase
+#      self-times sum to the run wall time (checked by trace_check)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { echo; echo "=== $* ==="; }
+
+step "build (release)"
+cargo build --release
+
+step "rustfmt"
+cargo fmt --check
+
+step "clippy"
+cargo clippy --all-targets -- -D warnings
+
+step "tests"
+cargo test -q
+
+step "determinism gate (sequential vs parallel bench matrix)"
+export LT_TRIALS=1 LT_SEED=42
+rm -rf results/.ci-seq && mkdir -p results/.ci-seq
+LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
+LT_BENCH_THREADS=1 ./target/release/table4 > /dev/null
+cp results/fig6.json results/table4.json results/.ci-seq/
+LT_BENCH_THREADS=4 ./target/release/fig6 > /dev/null
+LT_BENCH_THREADS=4 ./target/release/table4 > /dev/null
+for f in fig6.json table4.json; do
+    if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
+        echo "DETERMINISM FAILURE: results/$f differs between sequential and parallel runs" >&2
+        diff "results/.ci-seq/$f" "results/$f" >&2 || true
+        exit 1
+    fi
+    echo "results/$f identical across thread counts"
+done
+rm -rf results/.ci-seq
+
+step "trace gate (LT_TRACE=1 fig6 + trace_check)"
+LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
+./target/release/trace_check results/fig6.trace.json
+
+echo
+echo "ci.sh: all gates passed"

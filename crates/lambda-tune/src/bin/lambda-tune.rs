@@ -31,15 +31,39 @@ struct Args {
     options: LambdaTuneOptions,
 }
 
+/// `LT_TRACE=1` session: root span for the run; prints the phase-summary
+/// table to stderr on exit (also when tuning fails, via Drop).
+struct TraceSession(Option<lt_common::obs::SpanGuard>);
+
+impl TraceSession {
+    fn start() -> Self {
+        TraceSession(lt_common::obs::enabled().then(|| {
+            lt_common::obs::reset();
+            lt_common::obs::span("run")
+        }))
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if let Some(root) = self.0.take() {
+            drop(root);
+            eprintln!("\n-- trace summary --");
+            eprint!("{}", lt_common::obs::snapshot().summary_table());
+        }
+    }
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut benchmark = Benchmark::TpchSf1;
     let mut dbms = Dbms::Postgres;
-    let mut options = LambdaTuneOptions { seed: 42, ..Default::default() };
+    let mut options = LambdaTuneOptions {
+        seed: 42,
+        ..Default::default()
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next().ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
             "--benchmark" => {
                 benchmark = match value("--benchmark")?.as_str() {
@@ -75,8 +99,9 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--seed" => {
-                options.seed =
-                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--params-only" => options.params_only = true,
             "--indexes-only" => options.indexes_only = true,
@@ -96,7 +121,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other} (try --help)")),
         }
     }
-    Ok(Args { benchmark, dbms, options })
+    Ok(Args {
+        benchmark,
+        dbms,
+        options,
+    })
 }
 
 fn main() -> ExitCode {
@@ -108,6 +137,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let _trace = TraceSession::start();
     let workload = args.benchmark.load();
     println!(
         "λ-Tune: tuning {} for {} ({} queries, seed {})",

@@ -12,7 +12,7 @@
 //! * maximize `Σ V(p)·R_p`.
 
 use crate::snippets::Snippet;
-use lt_common::{ColumnId, FxHasher, Result};
+use lt_common::{obs, ColumnId, FxHasher, Result};
 use lt_dbms::Catalog;
 use lt_ilp::{solve, Ilp, SolveOptions};
 use lt_llm::count_tokens;
@@ -83,12 +83,18 @@ pub struct Compressor<'a> {
 impl<'a> Compressor<'a> {
     /// Compressor rendering real catalog names.
     pub fn new(catalog: &'a Catalog) -> Self {
-        Compressor { catalog, obfuscator: None }
+        Compressor {
+            catalog,
+            obfuscator: None,
+        }
     }
 
     /// Compressor rendering obfuscated names (paper §6.4.3).
     pub fn obfuscated(catalog: &'a Catalog, obfuscator: &'a Obfuscator) -> Self {
-        Compressor { catalog, obfuscator: Some(obfuscator) }
+        Compressor {
+            catalog,
+            obfuscator: Some(obfuscator),
+        }
     }
 
     /// Renders a column as it will appear in the prompt.
@@ -136,9 +142,12 @@ impl<'a> Compressor<'a> {
         let key = self.compress_key(snippets, budget);
         if let Some(memo) = compression_memo() {
             if let Some(hit) = memo.lock().unwrap().get(&key) {
+                obs::counter("compress.memo_hit", 1);
                 return Ok(hit.clone());
             }
         }
+        let _span = obs::span("tune.compress");
+        obs::counter("compress.memo_miss", 1);
         let result = self.compress_uncached(snippets, budget, total_value)?;
         if let Some(memo) = compression_memo() {
             memo.lock().unwrap().insert(key, result.clone());
@@ -152,14 +161,10 @@ impl<'a> Compressor<'a> {
         budget: usize,
         total_value: f64,
     ) -> Result<CompressedWorkload> {
-
         // Collect distinct columns and their token costs. Every rendered
         // element also costs separator punctuation (`:` or `,` plus
         // spacing), folded into H.
-        let mut columns: Vec<ColumnId> = snippets
-            .iter()
-            .flat_map(|s| [s.left, s.right])
-            .collect();
+        let mut columns: Vec<ColumnId> = snippets.iter().flat_map(|s| [s.left, s.right]).collect();
         columns.sort_unstable();
         columns.dedup();
         let col_index: HashMap<ColumnId, usize> =
@@ -181,13 +186,21 @@ impl<'a> Compressor<'a> {
         let mut budget_terms: Vec<(usize, f64)> = Vec::new();
         for (si, s) in snippets.iter().enumerate() {
             for d in 0..2 {
-                let (lhs, rhs) = if d == 0 { (s.left, s.right) } else { (s.right, s.left) };
+                let (lhs, rhs) = if d == 0 {
+                    (s.left, s.right)
+                } else {
+                    (s.right, s.left)
+                };
                 let (lhs_i, rhs_i) = (col_index[&lhs], col_index[&rhs]);
                 let rv = r_var(si, d);
                 // An epsilon preference for the normalized direction makes
                 // the rendering canonical when both directions are optimal
                 // (so renaming columns cannot flip line orientation).
-                let bonus = if d == 0 { s.value.abs() * 1e-9 + 1e-12 } else { 0.0 };
+                let bonus = if d == 0 {
+                    s.value.abs() * 1e-9 + 1e-12
+                } else {
+                    0.0
+                };
                 ilp.set_objective(rv, s.value.max(0.0) + bonus)?;
                 // R ≤ L(lhs)
                 ilp.add_implication(rv, l_var(lhs_i))?;
@@ -237,13 +250,16 @@ impl<'a> Compressor<'a> {
         let mut rendered: Vec<(f64, String)> = groups
             .into_iter()
             .map(|(lhs, mut members)| {
-                members.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 let value: f64 = members.iter().map(|m| m.1).sum();
-                let rhs: Vec<String> =
-                    members.iter().map(|(c, _)| self.render_column(*c)).collect();
-                (value, format!("{}: {}", self.render_column(lhs), rhs.join(", ")))
+                let rhs: Vec<String> = members
+                    .iter()
+                    .map(|(c, _)| self.render_column(*c))
+                    .collect();
+                (
+                    value,
+                    format!("{}: {}", self.render_column(lhs), rhs.join(", ")),
+                )
             })
             .collect();
         rendered.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -264,7 +280,9 @@ impl<'a> Compressor<'a> {
         let total_value: f64 = snippets.iter().map(|s| s.value).sum();
         let mut by_density: Vec<&Snippet> = snippets.iter().collect();
         by_density.sort_by(|a, b| {
-            b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal)
+            b.value
+                .partial_cmp(&a.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut opened: BTreeMap<ColumnId, Vec<(ColumnId, f64)>> = BTreeMap::new();
         let mut used = 0usize;
@@ -286,13 +304,21 @@ impl<'a> Compressor<'a> {
         let lines: Vec<String> = opened
             .into_iter()
             .map(|(lhs, members)| {
-                let rhs: Vec<String> =
-                    members.iter().map(|(c, _)| self.render_column(*c)).collect();
+                let rhs: Vec<String> = members
+                    .iter()
+                    .map(|(c, _)| self.render_column(*c))
+                    .collect();
                 format!("{}: {}", self.render_column(lhs), rhs.join(", "))
             })
             .collect();
         let tokens = count_tokens(&lines.join("\n"));
-        CompressedWorkload { lines, tokens, selected_value, total_value, optimal: false }
+        CompressedWorkload {
+            lines,
+            tokens,
+            selected_value,
+            total_value,
+            optimal: false,
+        }
     }
 }
 
@@ -339,7 +365,11 @@ mod tests {
         let (w, snippets) = tpch_snippets();
         let c = Compressor::new(&w.catalog);
         let out = c.compress(&snippets, 100_000).unwrap();
-        assert!((out.coverage() - 1.0).abs() < 1e-9, "coverage {}", out.coverage());
+        assert!(
+            (out.coverage() - 1.0).abs() < 1e-9,
+            "coverage {}",
+            out.coverage()
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! dropped when evaluation ends, so the next configuration starts clean.
 
 use crate::scheduler;
-use lt_common::{QueryId, Secs};
+use lt_common::{obs, QueryId, Secs};
 use lt_dbms::{Configuration, IndexSpec, SimDb};
 use lt_workloads::Workload;
 use std::collections::{HashMap, HashSet};
@@ -53,7 +53,10 @@ pub struct Evaluator {
 
 impl Default for Evaluator {
     fn default() -> Self {
-        Evaluator { use_scheduler: true, seed: 0 }
+        Evaluator {
+            use_scheduler: true,
+            seed: 0,
+        }
     }
 }
 
@@ -107,10 +110,12 @@ impl Evaluator {
         meta: &mut ConfigMeta,
     ) {
         let started = db.now();
+        let mut eval_span = obs::span_vt("eval.config", started);
         db.apply_knobs(config);
         meta.is_complete = true;
         if remaining.is_empty() {
             meta.spent += db.now() - started;
+            eval_span.vt_end(db.now());
             return;
         }
 
@@ -131,7 +136,10 @@ impl Evaluator {
                 index_map
                     .get(qid)
                     .map(|specs_for_q| {
-                        specs_for_q.iter().filter_map(|s| slot_of.get(s).copied()).collect()
+                        specs_for_q
+                            .iter()
+                            .filter_map(|s| slot_of.get(s).copied())
+                            .collect()
                     })
                     .unwrap_or_default()
             })
@@ -165,6 +173,7 @@ impl Evaluator {
             let outcome = db.execute(query, remaining_time.clamp_non_negative());
             if !outcome.completed {
                 meta.is_complete = false;
+                obs::counter("eval.interrupts", 1);
                 break;
             }
             remaining_time -= outcome.time;
@@ -177,6 +186,7 @@ impl Evaluator {
             db.drop_index(id);
         }
         meta.spent += db.now() - started;
+        eval_span.vt_end(db.now());
     }
 }
 
@@ -239,14 +249,7 @@ mod tests {
             .filter(|id| !meta.completed.contains(id))
             .collect();
         let before = meta.completed.len();
-        Evaluator::default().evaluate(
-            &mut db,
-            &w,
-            &config,
-            &remaining,
-            Secs::INFINITY,
-            &mut meta,
-        );
+        Evaluator::default().evaluate(&mut db, &w, &config, &remaining, Secs::INFINITY, &mut meta);
         assert!(meta.is_complete);
         assert_eq!(meta.completed.len(), w.len());
         assert!(meta.completed.len() > before);
@@ -260,14 +263,7 @@ mod tests {
         let config = tuned_config(&db);
         let all: Vec<QueryId> = w.queries.iter().map(|q| q.id).collect();
         let mut meta = ConfigMeta::default();
-        Evaluator::default().evaluate(
-            &mut db,
-            &w,
-            &config,
-            &all,
-            lt_common::secs(1e-6),
-            &mut meta,
-        );
+        Evaluator::default().evaluate(&mut db, &w, &config, &all, lt_common::secs(1e-6), &mut meta);
         // At most the first scheduled query's relevant indexes were built;
         // q1 (lineitem scan, no joins) needs none of the three.
         let full_build: f64 = config

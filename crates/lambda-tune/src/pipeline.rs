@@ -5,7 +5,7 @@ use crate::evaluator::Evaluator;
 use crate::prompt::PromptBuilder;
 use crate::selector::{ConfigSelector, SelectorOptions, TrajectoryPoint};
 use crate::snippets::extract_snippets;
-use lt_common::{derive_seed, secs, Result, Secs};
+use lt_common::{derive_seed, obs, secs, Result, Secs};
 use lt_dbms::{ConfigCommand, Configuration, SimDb};
 use lt_llm::{LanguageModel, LlmClient, LlmUsage};
 use lt_workloads::{Obfuscator, Workload};
@@ -95,7 +95,10 @@ pub struct LambdaTune {
 impl LambdaTune {
     /// Tuner with the given options.
     pub fn new(options: LambdaTuneOptions) -> Self {
-        LambdaTune { options, documents: None }
+        LambdaTune {
+            options,
+            documents: None,
+        }
     }
 
     /// Enables retrieval-augmented prompting: the most relevant passages
@@ -116,10 +119,11 @@ impl LambdaTune {
     ) -> Result<TuneResult> {
         let start = db.now();
         let opts = &self.options;
+        let mut tune_span = obs::span_vt("tune", start);
 
         // ---- prompt generation (§3) ----
-        let builder =
-            PromptBuilder::new(db.dbms(), db.hardware()).params_only(opts.params_only);
+        let mut prompt_span = obs::span_vt("tune.prompt_build", db.now());
+        let builder = PromptBuilder::new(db.dbms(), db.hardware()).params_only(opts.params_only);
         let obfuscator = opts.obfuscate.then(|| Obfuscator::new(db.catalog()));
         let (prompt, workload_tokens) = if opts.use_compressor {
             let snippets = extract_snippets(db, workload);
@@ -156,13 +160,18 @@ impl LambdaTune {
             }
             None => prompt,
         };
+        prompt_span.vt_end(db.now());
+        drop(prompt_span);
 
         // ---- k LLM samples ----
         let mut configs = Vec::with_capacity(opts.num_configs);
         for i in 0..opts.num_configs {
+            let mut sample_span = obs::span_vt("tune.llm_sample", db.now());
             let response =
                 llm.complete(&prompt, opts.temperature, derive_seed(opts.seed, i as u64))?;
             db.clock_advance(opts.llm_latency);
+            sample_span.vt_end(db.now());
+            drop(sample_span);
             let script = match &obfuscator {
                 Some(ob) => deobfuscate_script(&response, ob),
                 None => response,
@@ -182,9 +191,16 @@ impl LambdaTune {
         }
 
         // ---- configuration selection (§4) ----
-        let evaluator = Evaluator { use_scheduler: opts.use_scheduler, seed: opts.seed };
+        let mut select_span = obs::span_vt("tune.select", db.now());
+        let evaluator = Evaluator {
+            use_scheduler: opts.use_scheduler,
+            seed: opts.seed,
+        };
         let selector = ConfigSelector::new(opts.selector, evaluator);
         let selection = selector.select(db, workload, &configs);
+        select_span.vt_end(db.now());
+        drop(select_span);
+        tune_span.vt_end(db.now());
 
         Ok(TuneResult {
             best_config: selection.best.map(|i| configs[i].clone()),
@@ -270,7 +286,10 @@ mod tests {
     #[test]
     fn params_only_configs_have_no_indexes() {
         let (mut db, w, llm) = setup();
-        let options = LambdaTuneOptions { params_only: true, ..Default::default() };
+        let options = LambdaTuneOptions {
+            params_only: true,
+            ..Default::default()
+        };
         let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
         for config in &result.configs {
             assert!(config.index_specs().is_empty());
@@ -281,21 +300,29 @@ mod tests {
     #[test]
     fn obfuscated_run_still_produces_valid_configs() {
         let (mut db, w, llm) = setup();
-        let options = LambdaTuneOptions { obfuscate: true, ..Default::default() };
+        let options = LambdaTuneOptions {
+            obfuscate: true,
+            ..Default::default()
+        };
         let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
         assert!(result.best_index.is_some());
         // Index specs must reference real catalog objects (deobfuscation
         // succeeded): parse guarantees that, so any index command present
         // proves the round trip.
-        let any_indexes =
-            result.configs.iter().any(|c| !c.index_specs().is_empty());
-        assert!(any_indexes, "obfuscated pipeline should still recommend indexes");
+        let any_indexes = result.configs.iter().any(|c| !c.index_specs().is_empty());
+        assert!(
+            any_indexes,
+            "obfuscated pipeline should still recommend indexes"
+        );
     }
 
     #[test]
     fn tiny_token_budget_degrades_coverage_not_correctness() {
         let (mut db, w, llm) = setup();
-        let options = LambdaTuneOptions { token_budget: Some(40), ..Default::default() };
+        let options = LambdaTuneOptions {
+            token_budget: Some(40),
+            ..Default::default()
+        };
         let result = LambdaTune::new(options).tune(&mut db, &w, &llm).unwrap();
         assert!(result.workload_tokens <= 40);
         assert!(result.best_index.is_some());
@@ -323,7 +350,10 @@ mod tests {
         let real = deobfuscate_script(&script, &ob);
         assert_eq!(real, "CREATE INDEX ON lineitem (l_orderkey);");
         // Unknown identifiers pass through.
-        assert_eq!(deobfuscate_script("SET work_mem = '1GB';", &ob), "SET work_mem = '1GB';");
+        assert_eq!(
+            deobfuscate_script("SET work_mem = '1GB';", &ob),
+            "SET work_mem = '1GB';"
+        );
     }
 
     #[test]
@@ -335,7 +365,10 @@ mod tests {
             "For OLAP index tuning on SSD storage, set effective_io_concurrency \
              to 400 to maximize prefetching of index pages.",
         );
-        let options = LambdaTuneOptions { temperature: 0.0, ..Default::default() };
+        let options = LambdaTuneOptions {
+            temperature: 0.0,
+            ..Default::default()
+        };
         let result = LambdaTune::new(options)
             .with_documents(store)
             .tune(&mut db, &w, &llm)
@@ -344,7 +377,10 @@ mod tests {
             c.knob_changes()
                 .any(|(n, v)| n == "effective_io_concurrency" && v.as_f64() == 400.0)
         });
-        assert!(followed, "the retrieved documentation should shape the configs");
+        assert!(
+            followed,
+            "the retrieved documentation should shape the configs"
+        );
     }
 
     #[test]

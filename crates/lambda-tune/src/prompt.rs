@@ -23,7 +23,11 @@ pub struct PromptBuilder {
 impl PromptBuilder {
     /// New builder for a target system and machine.
     pub fn new(dbms: Dbms, hardware: Hardware) -> Self {
-        PromptBuilder { dbms, hardware, params_only: false }
+        PromptBuilder {
+            dbms,
+            hardware,
+            params_only: false,
+        }
     }
 
     /// Restricts recommendations to system parameters (no index DDL).
@@ -41,9 +45,7 @@ impl PromptBuilder {
             self.dbms.name()
         );
         if self.params_only {
-            s.push_str(
-                "Do not recommend indexes; recommend only system parameters.\n",
-            );
+            s.push_str("Do not recommend indexes; recommend only system parameters.\n");
         }
         s
     }
@@ -112,7 +114,9 @@ mod tests {
         let w = Benchmark::TpchSf1.load();
         let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 1);
         let snippets = extract_snippets(&db, &w);
-        let c = Compressor::new(&w.catalog).compress(&snippets, budget).unwrap();
+        let c = Compressor::new(&w.catalog)
+            .compress(&snippets, budget)
+            .unwrap();
         (w, c)
     }
 

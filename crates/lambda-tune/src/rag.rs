@@ -53,8 +53,10 @@ impl DocumentStore {
             for t in unique {
                 *self.doc_freq.entry(t).or_insert(0) += 1;
             }
-            self.passages
-                .push(Passage { source: source.to_string(), text: trimmed.to_string() });
+            self.passages.push(Passage {
+                source: source.to_string(),
+                text: trimmed.to_string(),
+            });
         }
     }
 
@@ -92,9 +94,15 @@ impl DocumentStore {
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
         });
-        scored.into_iter().take(k).map(|(_, i)| &self.passages[i]).collect()
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(_, i)| &self.passages[i])
+            .collect()
     }
 
     /// Renders a retrieval result as a prompt block, bounded by a token
@@ -168,7 +176,11 @@ mod tests {
         let s = store();
         let hits = s.retrieve("index random_page_cost analytical joins", 2);
         assert!(!hits.is_empty());
-        assert!(hits[0].text.contains("random_page_cost"), "{}", hits[0].text);
+        assert!(
+            hits[0].text.contains("random_page_cost"),
+            "{}",
+            hits[0].text
+        );
     }
 
     #[test]

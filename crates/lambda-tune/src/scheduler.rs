@@ -153,12 +153,13 @@ pub fn cluster_queries(
 
     let dims = num_slots.min(128);
     let vector = |mask: u128| -> Vec<f64> {
-        (0..dims).map(|b| if mask & (1 << b) != 0 { 1.0 } else { 0.0 }).collect()
+        (0..dims)
+            .map(|b| if mask & (1 << b) != 0 { 1.0 } else { 0.0 })
+            .collect()
     };
     let points: Vec<Vec<f64>> = distinct.iter().map(|(m, _)| vector(*m)).collect();
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     let mut rng = seeded_rng(seed);
     // k-means++-style init: first centroid random, then farthest-point.
@@ -168,8 +169,14 @@ pub fn cluster_queries(
         let far = points
             .iter()
             .max_by(|a, b| {
-                let da: f64 = centroids.iter().map(|c| dist2(a, c)).fold(f64::INFINITY, f64::min);
-                let db: f64 = centroids.iter().map(|c| dist2(b, c)).fold(f64::INFINITY, f64::min);
+                let da: f64 = centroids
+                    .iter()
+                    .map(|c| dist2(a, c))
+                    .fold(f64::INFINITY, f64::min);
+                let db: f64 = centroids
+                    .iter()
+                    .map(|c| dist2(b, c))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("points non-empty");
@@ -206,8 +213,7 @@ pub fn cluster_queries(
                 continue;
             }
             for d in 0..dims {
-                centroid[d] =
-                    members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+                centroid[d] = members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
             }
         }
     }
@@ -236,8 +242,10 @@ pub fn schedule(item_indexes: &[Vec<usize>], costs: &[f64], seed: u64) -> Vec<us
     let cluster_indexes: Vec<Vec<usize>> = clusters
         .iter()
         .map(|members| {
-            let mut union: Vec<usize> =
-                members.iter().flat_map(|&m| item_indexes[m].iter().copied()).collect();
+            let mut union: Vec<usize> = members
+                .iter()
+                .flat_map(|&m| item_indexes[m].iter().copied())
+                .collect();
             union.sort_unstable();
             union.dedup();
             union
@@ -246,7 +254,7 @@ pub fn schedule(item_indexes: &[Vec<usize>], costs: &[f64], seed: u64) -> Vec<us
     let cluster_order = find_optimal_order(&cluster_indexes, costs);
     cluster_order
         .into_iter()
-        .flat_map(|ci| clusters[ci].iter().copied().collect::<Vec<_>>())
+        .flat_map(|ci| clusters[ci].to_vec())
         .collect()
 }
 
@@ -344,8 +352,7 @@ mod tests {
         let items = vec![vec![0], vec![0], vec![1], vec![1], vec![2]];
         let clusters = cluster_queries(&items, 3, 3, 7);
         assert!(clusters.len() <= 3);
-        let find_cluster =
-            |i: usize| clusters.iter().position(|c| c.contains(&i)).unwrap();
+        let find_cluster = |i: usize| clusters.iter().position(|c| c.contains(&i)).unwrap();
         assert_eq!(find_cluster(0), find_cluster(1));
         assert_eq!(find_cluster(2), find_cluster(3));
     }

@@ -16,7 +16,7 @@
 //! time observed so far (the "Adaptive Timeout" ablation toggles this).
 
 use crate::evaluator::{ConfigMeta, Evaluator};
-use lt_common::{secs, QueryId, Secs};
+use lt_common::{obs, secs, QueryId, Secs};
 use lt_dbms::{Configuration, SimDb};
 use lt_workloads::Workload;
 
@@ -106,10 +106,19 @@ impl ConfigSelector {
 
         'rounds: while best.is_none() && rounds < self.options.max_rounds {
             rounds += 1;
+            obs::counter("selector.rounds", 1);
             for c in self.throughput_order(&metas) {
                 self.update(
-                    db, workload, configs, c, &all_queries, t, &mut metas, &mut best,
-                    &mut best_time, &mut trajectory,
+                    db,
+                    workload,
+                    configs,
+                    c,
+                    &all_queries,
+                    t,
+                    &mut metas,
+                    &mut best,
+                    &mut best_time,
+                    &mut trajectory,
                 );
                 if metas[c].is_complete && best.is_some() {
                     candidates = (0..configs.len()).filter(|&i| i != c).collect();
@@ -118,8 +127,11 @@ impl ConfigSelector {
             }
             // Consider re-configuration overheads (Algorithm 2, line 14).
             if self.options.adaptive_timeout {
-                let max_index_time =
-                    metas.iter().map(|m| m.index_time).max().unwrap_or(Secs::ZERO);
+                let max_index_time = metas
+                    .iter()
+                    .map(|m| m.index_time)
+                    .max()
+                    .unwrap_or(Secs::ZERO);
                 t = t.max(max_index_time);
             }
             t = t * self.options.alpha;
@@ -130,12 +142,26 @@ impl ConfigSelector {
         let remaining = self.throughput_order_of(&metas, &candidates);
         for c in remaining {
             self.update(
-                db, workload, configs, c, &all_queries, t, &mut metas, &mut best,
-                &mut best_time, &mut trajectory,
+                db,
+                workload,
+                configs,
+                c,
+                &all_queries,
+                t,
+                &mut metas,
+                &mut best,
+                &mut best_time,
+                &mut trajectory,
             );
         }
 
-        SelectionResult { best, best_time, metas, trajectory, rounds }
+        SelectionResult {
+            best,
+            best_time,
+            metas,
+            trajectory,
+            rounds,
+        }
     }
 
     /// Algorithm 2's `Update` procedure.
@@ -168,11 +194,18 @@ impl ConfigSelector {
             .copied()
             .filter(|q| !metas[c].completed.contains(q))
             .collect();
-        self.evaluator
-            .evaluate(db, workload, &configs[c], &remaining, timeout, &mut metas[c]);
+        self.evaluator.evaluate(
+            db,
+            workload,
+            &configs[c],
+            &remaining,
+            timeout,
+            &mut metas[c],
+        );
         if metas[c].is_complete && metas[c].time < *best_time {
             *best_time = metas[c].time;
             *best = Some(c);
+            obs::counter("selector.improvements", 1);
             trajectory.push(TrajectoryPoint {
                 opt_time: db.now(),
                 best_workload_time: *best_time,
@@ -265,7 +298,10 @@ mod tests {
         // k·α·C_best plus reconfiguration overheads.
         let (mut db, w) = db_and_workload();
         let configs = vec![bad(&db), bad(&db), bad(&db), good(&db)];
-        let options = SelectorOptions { alpha: 2.0, ..Default::default() };
+        let options = SelectorOptions {
+            alpha: 2.0,
+            ..Default::default()
+        };
         let start = db.now();
         let result =
             ConfigSelector::new(options, Evaluator::default()).select(&mut db, &w, &configs);
@@ -355,6 +391,9 @@ mod tests {
         let (mut db, w) = db_and_workload();
         let result = ConfigSelector::default().select(&mut db, &w, &[]);
         assert!(result.best.is_none());
-        assert_eq!(result.rounds, SelectorOptions::default().max_rounds.min(result.rounds));
+        assert_eq!(
+            result.rounds,
+            SelectorOptions::default().max_rounds.min(result.rounds)
+        );
     }
 }

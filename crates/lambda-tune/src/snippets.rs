@@ -30,7 +30,11 @@ pub fn extract_snippets(db: &SimDb, workload: &Workload) -> Vec<Snippet> {
     for wq in &workload.queries {
         let plan = db.explain(&wq.parsed);
         for (left, right, cost) in plan.join_costs {
-            let key = if left <= right { (left, right) } else { (right, left) };
+            let key = if left <= right {
+                (left, right)
+            } else {
+                (right, left)
+            };
             *values.entry(key).or_insert(0.0) += cost;
         }
     }
@@ -65,9 +69,7 @@ mod tests {
         let o = w.catalog.resolve_column(None, "o_orderkey").unwrap();
         let pos = snippets
             .iter()
-            .position(|s| {
-                (s.left == l && s.right == o) || (s.left == o && s.right == l)
-            })
+            .position(|s| (s.left == l && s.right == o) || (s.left == o && s.right == l))
             .expect("lineitem-orders join snippet missing");
         assert!(pos < 5, "lineitem⋈orders ranked {pos}");
         // Sorted by value descending.

@@ -12,7 +12,9 @@ fn items_and_costs(rng: &mut Rng) -> (Vec<Vec<usize>>, Vec<f64>) {
     let n_slots = rng.gen_range(1..=5usize);
     let items: Vec<Vec<usize>> = (0..n_items)
         .map(|_| {
-            (0..rng.gen_range(0..=n_slots)).map(|_| rng.gen_range(0..n_slots)).collect()
+            (0..rng.gen_range(0..=n_slots))
+                .map(|_| rng.gen_range(0..n_slots))
+                .collect()
         })
         .collect();
     let costs: Vec<f64> = (0..n_slots).map(|_| rng.gen_range(0.1..20.0)).collect();
@@ -124,8 +126,9 @@ fn clustering_is_a_partition() {
 fn identical_items_cluster_together() {
     let mut rng = seeded_rng(0xA5);
     for _ in 0..CASES {
-        let base: Vec<usize> =
-            (0..rng.gen_range(0..4usize)).map(|_| rng.gen_range(0..4usize)).collect();
+        let base: Vec<usize> = (0..rng.gen_range(0..4usize))
+            .map(|_| rng.gen_range(0..4usize))
+            .collect();
         let copies = rng.gen_range(2..5usize);
         let k = rng.gen_range(1..=3usize);
         let seed = rng.gen_range(0..50u64);

@@ -127,11 +127,109 @@ pub(crate) fn record_improvement(
 ) -> bool {
     if time < *best {
         *best = time;
-        trajectory.push(TrajectoryPoint { opt_time: now, best_workload_time: time });
+        trajectory.push(TrajectoryPoint {
+            opt_time: now,
+            best_workload_time: time,
+        });
         true
     } else {
         false
     }
+}
+
+/// A discrete search grid per tunable knob: the level sets UDO explores and
+/// the other parameter tuners derive their ranges from. Grounded against
+/// the machine's RAM and core count.
+pub fn knob_grid(
+    dbms: lt_dbms::Dbms,
+    hardware: lt_dbms::Hardware,
+) -> Vec<(&'static str, Vec<lt_dbms::KnobValue>)> {
+    use lt_dbms::KnobValue as V;
+    let ram = hardware.memory_bytes;
+    let cores = hardware.cores as i64;
+    let frac = |p: f64| V::Bytes((ram as f64 * p) as u64);
+    let mib = |m: u64| V::Bytes(m << 20);
+    let gib = |g: u64| V::Bytes(g << 30);
+    match dbms {
+        lt_dbms::Dbms::Postgres => vec![
+            (
+                "shared_buffers",
+                vec![mib(128), gib(1), frac(0.125), frac(0.25), frac(0.5)],
+            ),
+            ("work_mem", vec![mib(4), mib(64), mib(256), gib(1), gib(4)]),
+            ("effective_cache_size", vec![gib(4), frac(0.5), frac(0.75)]),
+            ("maintenance_work_mem", vec![mib(64), gib(1), gib(2)]),
+            (
+                "random_page_cost",
+                vec![V::Float(1.1), V::Float(2.0), V::Float(4.0)],
+            ),
+            (
+                "effective_io_concurrency",
+                vec![V::Int(1), V::Int(32), V::Int(200)],
+            ),
+            (
+                "max_parallel_workers_per_gather",
+                vec![V::Int(0), V::Int(2), V::Int(cores / 2), V::Int(cores)],
+            ),
+            (
+                "max_parallel_workers",
+                vec![V::Int(cores), V::Int(2 * cores)],
+            ),
+            (
+                "checkpoint_completion_target",
+                vec![V::Float(0.5), V::Float(0.9)],
+            ),
+            ("wal_buffers", vec![mib(16), mib(64)]),
+        ],
+        lt_dbms::Dbms::Mysql => vec![
+            (
+                "innodb_buffer_pool_size",
+                vec![mib(128), gib(1), frac(0.25), frac(0.5), frac(0.65)],
+            ),
+            (
+                "sort_buffer_size",
+                vec![V::Bytes(256 << 10), mib(64), mib(256)],
+            ),
+            (
+                "join_buffer_size",
+                vec![V::Bytes(256 << 10), mib(64), mib(256)],
+            ),
+            ("tmp_table_size", vec![mib(16), gib(1), gib(2)]),
+            ("max_heap_table_size", vec![mib(16), gib(1), gib(2)]),
+            ("innodb_log_file_size", vec![mib(48), gib(1)]),
+            ("innodb_flush_log_at_trx_commit", vec![V::Int(1), V::Int(2)]),
+            (
+                "innodb_io_capacity",
+                vec![V::Int(200), V::Int(2000), V::Int(10_000)],
+            ),
+            ("innodb_read_io_threads", vec![V::Int(4), V::Int(cores)]),
+            (
+                "innodb_parallel_read_threads",
+                vec![V::Int(4), V::Int(cores), V::Int(2 * cores)],
+            ),
+        ],
+    }
+}
+
+/// Builds a [`Configuration`] from explicit knob assignments (+ optional
+/// index specs) without going through script text.
+pub fn config_from_values(
+    knobs: &[(&str, lt_dbms::KnobValue)],
+    indexes: &[IndexSpec],
+) -> Configuration {
+    let mut config = Configuration::default();
+    for (name, value) in knobs {
+        config.commands.push(lt_dbms::ConfigCommand::SetKnob {
+            name: (*name).to_string(),
+            value: *value,
+        });
+    }
+    for spec in indexes {
+        config
+            .commands
+            .push(lt_dbms::ConfigCommand::CreateIndex(spec.clone()));
+    }
+    config
 }
 
 #[cfg(test)]
@@ -197,75 +295,24 @@ mod tests {
     fn record_improvement_only_on_progress() {
         let mut traj = Vec::new();
         let mut best = Secs::INFINITY;
-        assert!(record_improvement(&mut traj, &mut best, lt_common::secs(1.0), lt_common::secs(10.0)));
-        assert!(!record_improvement(&mut traj, &mut best, lt_common::secs(2.0), lt_common::secs(11.0)));
-        assert!(record_improvement(&mut traj, &mut best, lt_common::secs(3.0), lt_common::secs(9.0)));
+        assert!(record_improvement(
+            &mut traj,
+            &mut best,
+            lt_common::secs(1.0),
+            lt_common::secs(10.0)
+        ));
+        assert!(!record_improvement(
+            &mut traj,
+            &mut best,
+            lt_common::secs(2.0),
+            lt_common::secs(11.0)
+        ));
+        assert!(record_improvement(
+            &mut traj,
+            &mut best,
+            lt_common::secs(3.0),
+            lt_common::secs(9.0)
+        ));
         assert_eq!(traj.len(), 2);
     }
-}
-
-/// A discrete search grid per tunable knob: the level sets UDO explores and
-/// the other parameter tuners derive their ranges from. Grounded against
-/// the machine's RAM and core count.
-pub fn knob_grid(
-    dbms: lt_dbms::Dbms,
-    hardware: lt_dbms::Hardware,
-) -> Vec<(&'static str, Vec<lt_dbms::KnobValue>)> {
-    use lt_dbms::KnobValue as V;
-    let ram = hardware.memory_bytes;
-    let cores = hardware.cores as i64;
-    let frac = |p: f64| V::Bytes((ram as f64 * p) as u64);
-    let mib = |m: u64| V::Bytes(m << 20);
-    let gib = |g: u64| V::Bytes(g << 30);
-    match dbms {
-        lt_dbms::Dbms::Postgres => vec![
-            ("shared_buffers", vec![mib(128), gib(1), frac(0.125), frac(0.25), frac(0.5)]),
-            ("work_mem", vec![mib(4), mib(64), mib(256), gib(1), gib(4)]),
-            ("effective_cache_size", vec![gib(4), frac(0.5), frac(0.75)]),
-            ("maintenance_work_mem", vec![mib(64), gib(1), gib(2)]),
-            ("random_page_cost", vec![V::Float(1.1), V::Float(2.0), V::Float(4.0)]),
-            ("effective_io_concurrency", vec![V::Int(1), V::Int(32), V::Int(200)]),
-            (
-                "max_parallel_workers_per_gather",
-                vec![V::Int(0), V::Int(2), V::Int(cores / 2), V::Int(cores)],
-            ),
-            ("max_parallel_workers", vec![V::Int(cores), V::Int(2 * cores)]),
-            ("checkpoint_completion_target", vec![V::Float(0.5), V::Float(0.9)]),
-            ("wal_buffers", vec![mib(16), mib(64)]),
-        ],
-        lt_dbms::Dbms::Mysql => vec![
-            (
-                "innodb_buffer_pool_size",
-                vec![mib(128), gib(1), frac(0.25), frac(0.5), frac(0.65)],
-            ),
-            ("sort_buffer_size", vec![V::Bytes(256 << 10), mib(64), mib(256)]),
-            ("join_buffer_size", vec![V::Bytes(256 << 10), mib(64), mib(256)]),
-            ("tmp_table_size", vec![mib(16), gib(1), gib(2)]),
-            ("max_heap_table_size", vec![mib(16), gib(1), gib(2)]),
-            ("innodb_log_file_size", vec![mib(48), gib(1)]),
-            ("innodb_flush_log_at_trx_commit", vec![V::Int(1), V::Int(2)]),
-            ("innodb_io_capacity", vec![V::Int(200), V::Int(2000), V::Int(10_000)]),
-            ("innodb_read_io_threads", vec![V::Int(4), V::Int(cores)]),
-            ("innodb_parallel_read_threads", vec![V::Int(4), V::Int(cores), V::Int(2 * cores)]),
-        ],
-    }
-}
-
-/// Builds a [`Configuration`] from explicit knob assignments (+ optional
-/// index specs) without going through script text.
-pub fn config_from_values(
-    knobs: &[(&str, lt_dbms::KnobValue)],
-    indexes: &[IndexSpec],
-) -> Configuration {
-    let mut config = Configuration::default();
-    for (name, value) in knobs {
-        config.commands.push(lt_dbms::ConfigCommand::SetKnob {
-            name: (*name).to_string(),
-            value: *value,
-        });
-    }
-    for spec in indexes {
-        config.commands.push(lt_dbms::ConfigCommand::CreateIndex(spec.clone()));
-    }
-    config
 }

@@ -25,7 +25,10 @@ pub struct Db2AdvisorOptions {
 
 impl Default for Db2AdvisorOptions {
     fn default() -> Self {
-        Db2AdvisorOptions { disk_budget_fraction: 0.25, eval_timeout: secs(1200.0) }
+        Db2AdvisorOptions {
+            disk_budget_fraction: 0.25,
+            eval_timeout: secs(1200.0),
+        }
     }
 }
 
@@ -45,8 +48,7 @@ impl Db2Advisor {
     /// Recommends an index set under the disk budget (what-if only).
     pub fn recommend(&self, db: &SimDb, workload: &Workload) -> Vec<IndexSpec> {
         let candidates = index_candidates(db, workload);
-        let budget =
-            (db.catalog().total_bytes() as f64 * self.options.disk_budget_fraction) as u64;
+        let budget = (db.catalog().total_bytes() as f64 * self.options.disk_budget_fraction) as u64;
         let total_cost = |idx: &IndexCatalog| -> f64 {
             workload
                 .queries
@@ -113,8 +115,7 @@ impl Tuner for Db2Advisor {
         let mut run = TunerRun::empty();
         let (time, done) = measure_config(db, workload, &config, self.options.eval_timeout);
         run.configs_evaluated = 1;
-        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
-        {
+        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time) {
             run.best_config = Some(config);
         }
         run
@@ -129,7 +130,12 @@ mod tests {
 
     fn setup() -> (SimDb, Workload) {
         let w = Benchmark::TpchSf1.load();
-        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 31);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            31,
+        );
         (db, w)
     }
 
@@ -151,8 +157,8 @@ mod tests {
                 .bytes(db.catalog())
             })
             .sum();
-        let budget = (db.catalog().total_bytes() as f64
-            * advisor.options.disk_budget_fraction) as u64;
+        let budget =
+            (db.catalog().total_bytes() as f64 * advisor.options.disk_budget_fraction) as u64;
         assert!(total <= budget, "{total} > {budget}");
     }
 

@@ -30,7 +30,11 @@ pub struct DbBertOptions {
 
 impl Default for DbBertOptions {
     fn default() -> Self {
-        DbBertOptions { eval_timeout: secs(300.0), epsilon: 0.2, seed: 0 }
+        DbBertOptions {
+            eval_timeout: secs(300.0),
+            epsilon: 0.2,
+            seed: 0,
+        }
     }
 }
 
@@ -119,9 +123,7 @@ impl Tuner for DbBert {
                 reward_sum[h][arm] += reward;
                 reward_cnt[h][arm] += 1;
             }
-            if done
-                && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
-            {
+            if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time) {
                 run.best_config = Some(config);
             }
         }
@@ -153,9 +155,13 @@ mod tests {
     #[test]
     fn dbbert_finds_a_hint_based_improvement() {
         let (mut db, w) = setup(Dbms::Postgres);
-        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 13);
-        let (default_time, _) =
-            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let mut probe = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            13,
+        );
+        let (default_time, _) = crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
         let run = DbBert::default().tune(&mut db, &w, secs(2000.0));
         assert!(run.configs_evaluated >= 3);
         let best = run.best_config.expect("some configuration completes");

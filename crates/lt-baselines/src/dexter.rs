@@ -28,7 +28,11 @@ pub struct DexterOptions {
 
 impl Default for DexterOptions {
     fn default() -> Self {
-        DexterOptions { min_improvement: 0.02, max_indexes: 12, eval_timeout: secs(1200.0) }
+        DexterOptions {
+            min_improvement: 0.02,
+            max_indexes: 12,
+            eval_timeout: secs(1200.0),
+        }
     }
 }
 
@@ -98,8 +102,7 @@ impl Tuner for Dexter {
         let mut run = TunerRun::empty();
         let (time, done) = measure_config(db, workload, &config, self.options.eval_timeout);
         run.configs_evaluated = 1;
-        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
-        {
+        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time) {
             run.best_config = Some(config);
         }
         run
@@ -114,7 +117,12 @@ mod tests {
 
     fn setup() -> (SimDb, Workload) {
         let w = Benchmark::TpchSf1.load();
-        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 29);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            29,
+        );
         (db, w)
     }
 
@@ -131,7 +139,11 @@ mod tests {
         for s in &specs {
             idx.add(s.table, s.columns.clone(), None);
         }
-        let base: f64 = w.queries.iter().map(|q| db.explain(&q.parsed).total_cost()).sum();
+        let base: f64 = w
+            .queries
+            .iter()
+            .map(|q| db.explain(&q.parsed).total_cost())
+            .sum();
         let with: f64 = w
             .queries
             .iter()
@@ -143,12 +155,20 @@ mod tests {
     #[test]
     fn dexter_run_improves_real_time_over_defaults() {
         let (mut db, w) = setup();
-        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 29);
-        let (default_time, _) =
-            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let mut probe = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            29,
+        );
+        let (default_time, _) = crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
         let run = Dexter::default().tune(&mut db, &w, secs(1e9));
         assert_eq!(run.configs_evaluated, 1);
-        assert!(run.best_time < default_time * 1.2, "{} vs {default_time}", run.best_time);
+        assert!(
+            run.best_time < default_time * 1.2,
+            "{} vs {default_time}",
+            run.best_time
+        );
         let cfg = run.best_config.expect("completes");
         assert_eq!(cfg.knob_changes().count(), 0, "Dexter is indexes-only");
     }

@@ -67,7 +67,8 @@ impl Tuner for GpTuner {
         let centers: Vec<(String, KnobValue)> = mine_hints(manual_text(db.dbms()), db.dbms())
             .iter()
             .filter_map(|h| {
-                h.ground(db.dbms(), db.hardware()).map(|v| (h.knob.clone(), v))
+                h.ground(db.dbms(), db.hardware())
+                    .map(|v| (h.knob.clone(), v))
             })
             .collect();
         if centers.is_empty() {
@@ -112,8 +113,7 @@ impl Tuner for GpTuner {
                 incumbent_time = time;
                 incumbent = candidate;
                 radius = (radius * opts.radius_decay).max(0.5);
-                if record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
-                {
+                if record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time) {
                     run.best_config = Some(config);
                 }
             }
@@ -130,16 +130,25 @@ mod tests {
 
     fn setup() -> (SimDb, Workload) {
         let w = Benchmark::TpchSf1.load();
-        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 17);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            17,
+        );
         (db, w)
     }
 
     #[test]
     fn gptuner_beats_defaults() {
         let (mut db, w) = setup();
-        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 17);
-        let (default_time, _) =
-            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let mut probe = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            17,
+        );
+        let (default_time, _) = crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
         let run = GpTuner::default().tune(&mut db, &w, secs(2000.0));
         assert!(run.best_config.is_some());
         assert!(run.best_time < default_time);

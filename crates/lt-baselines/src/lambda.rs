@@ -53,7 +53,12 @@ mod tests {
     #[test]
     fn lambda_tune_under_the_tuner_interface() {
         let w = Benchmark::TpchSf1.load();
-        let mut db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 37);
+        let mut db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            37,
+        );
         let run = LambdaTuneBaseline::default().tune(&mut db, &w, secs(1e9));
         assert!(run.best_config.is_some());
         assert_eq!(run.configs_evaluated, 5, "k = 5 LLM samples");

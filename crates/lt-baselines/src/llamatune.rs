@@ -31,7 +31,11 @@ pub struct LlamaTuneOptions {
 
 impl Default for LlamaTuneOptions {
     fn default() -> Self {
-        LlamaTuneOptions { eval_timeout: secs(300.0), latent_dims: 16, seed: 0 }
+        LlamaTuneOptions {
+            eval_timeout: secs(300.0),
+            latent_dims: 16,
+            seed: 0,
+        }
     }
 }
 
@@ -63,16 +67,21 @@ impl Tuner for LlamaTune {
         let bounds: Vec<(&'static str, f64, f64)> = grid
             .iter()
             .map(|(name, levels)| {
-                let lo = levels.iter().map(|v| v.as_f64()).fold(f64::INFINITY, f64::min);
+                let lo = levels
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .fold(f64::INFINITY, f64::min);
                 let hi = levels.iter().map(|v| v.as_f64()).fold(0.0f64, f64::max);
                 (*name, lo.max(1e-6), hi.max(1e-6))
             })
             .collect();
         // HeSBO projection: knob i ← latent[bucket(i)] * sign(i).
-        let buckets: Vec<usize> =
-            (0..bounds.len()).map(|_| rng.gen_range(0..opts.latent_dims)).collect();
-        let signs: Vec<f64> =
-            (0..bounds.len()).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let buckets: Vec<usize> = (0..bounds.len())
+            .map(|_| rng.gen_range(0..opts.latent_dims))
+            .collect();
+        let signs: Vec<f64> = (0..bounds.len())
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
 
         let mut run = TunerRun::empty();
         while db.now() - start < budget {
@@ -101,9 +110,7 @@ impl Tuner for LlamaTune {
             let config = config_from_values(&knobs, &[]);
             let (time, done) = measure_config(db, workload, &config, opts.eval_timeout);
             run.configs_evaluated += 1;
-            if done
-                && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
-            {
+            if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time) {
                 run.best_config = Some(config);
             }
         }
@@ -119,7 +126,12 @@ mod tests {
 
     fn setup() -> (SimDb, Workload) {
         let w = Benchmark::TpchSf1.load();
-        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 19);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            19,
+        );
         (db, w)
     }
 
@@ -139,14 +151,15 @@ mod tests {
         let a = LlamaTune::default().tune(&mut db1, &w, secs(800.0));
         let b = LlamaTune::default().tune(&mut db2, &w, secs(800.0));
         assert_eq!(a.best_time, b.best_time);
-        let c = LlamaTune::new(LlamaTuneOptions { seed: 9, ..Default::default() });
+        let c = LlamaTune::new(LlamaTuneOptions {
+            seed: 9,
+            ..Default::default()
+        });
         let (mut db3, _) = setup();
         let c_run = c.tune(&mut db3, &w, secs(800.0));
         // Different seed explores a different subspace (almost surely a
         // different evaluation count or best time).
-        assert!(
-            c_run.best_time != a.best_time || c_run.configs_evaluated != a.configs_evaluated
-        );
+        assert!(c_run.best_time != a.best_time || c_run.configs_evaluated != a.configs_evaluated);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! sentences into `(knob, recommended value)` hints — percentages of RAM,
 //! absolute sizes, multiples of the core count, or plain numbers.
 
-use lt_dbms::knobs::{knob_def, Dbms, KnobValue};
 use lt_dbms::hardware::parse_bytes;
+use lt_dbms::knobs::{knob_def, Dbms, KnobValue};
 use lt_dbms::Hardware;
 
 /// A recommendation extracted from the manual.
@@ -94,10 +94,13 @@ pub fn mine_hints(text: &str, dbms: Dbms) -> Vec<Hint> {
     for sentence in split_sentences(text) {
         let sentence = sentence.as_str();
         let words: Vec<&str> = sentence.split_whitespace().collect();
-        let Some(pos) = words
-            .iter()
-            .position(|w| knob_def(dbms, w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_')).is_some())
-        else {
+        let Some(pos) = words.iter().position(|w| {
+            knob_def(
+                dbms,
+                w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_'),
+            )
+            .is_some()
+        }) else {
             continue;
         };
         let knob = words[pos]
@@ -106,9 +109,9 @@ pub fn mine_hints(text: &str, dbms: Dbms) -> Vec<Hint> {
         // Scan the rest of the sentence for the first value-like token.
         let rest = &words[pos + 1..];
         let per_core = sentence.contains("per core");
-        let percent = rest.iter().find_map(|w| {
-            w.strip_suffix('%').and_then(|p| p.parse::<f64>().ok())
-        });
+        let percent = rest
+            .iter()
+            .find_map(|w| w.strip_suffix('%').and_then(|p| p.parse::<f64>().ok()));
         let value_token = rest.iter().find_map(|w| {
             let cleaned = w.trim_matches(|c: char| c == ',' || c == ';');
             if cleaned.ends_with('%') {
@@ -181,9 +184,15 @@ mod tests {
     fn mines_postgres_hints() {
         let hints = mine_hints(manual_text(Dbms::Postgres), Dbms::Postgres);
         let find = |k: &str| hints.iter().find(|h| h.knob == k);
-        assert_eq!(find("shared_buffers").unwrap().kind, HintKind::PercentOfRam(25.0));
+        assert_eq!(
+            find("shared_buffers").unwrap().kind,
+            HintKind::PercentOfRam(25.0)
+        );
         assert_eq!(find("work_mem").unwrap().kind, HintKind::Bytes(GIB));
-        assert_eq!(find("random_page_cost").unwrap().kind, HintKind::Number(1.1));
+        assert_eq!(
+            find("random_page_cost").unwrap().kind,
+            HintKind::Number(1.1)
+        );
         assert_eq!(
             find("max_parallel_workers_per_gather").unwrap().kind,
             HintKind::PerCore(0.5)
@@ -208,11 +217,17 @@ mod tests {
     #[test]
     fn grounding_respects_hardware_and_ranges() {
         let hw = Hardware::p3_2xlarge();
-        let h = Hint { knob: "shared_buffers".into(), kind: HintKind::PercentOfRam(25.0) };
+        let h = Hint {
+            knob: "shared_buffers".into(),
+            kind: HintKind::PercentOfRam(25.0),
+        };
         let v = h.ground(Dbms::Postgres, hw).unwrap();
         // 25% of 61GB ≈ 15.25GB.
         let bytes = v.as_f64();
-        assert!(bytes > 15.0 * GIB as f64 && bytes < 15.5 * GIB as f64, "{bytes}");
+        assert!(
+            bytes > 15.0 * GIB as f64 && bytes < 15.5 * GIB as f64,
+            "{bytes}"
+        );
 
         let h = Hint {
             knob: "max_parallel_workers_per_gather".into(),
@@ -220,7 +235,10 @@ mod tests {
         };
         assert_eq!(h.ground(Dbms::Postgres, hw).unwrap(), KnobValue::Int(4));
 
-        let h = Hint { knob: "nope".into(), kind: HintKind::Number(1.0) };
+        let h = Hint {
+            knob: "nope".into(),
+            kind: HintKind::Number(1.0),
+        };
         assert!(h.ground(Dbms::Postgres, hw).is_none());
     }
 

@@ -30,7 +30,10 @@ pub struct ParamTreeOptions {
 
 impl Default for ParamTreeOptions {
     fn default() -> Self {
-        ParamTreeOptions { eval_timeout: secs(600.0), probes: 5 }
+        ParamTreeOptions {
+            eval_timeout: secs(600.0),
+            probes: 5,
+        }
     }
 }
 
@@ -69,8 +72,7 @@ impl Tuner for ParamTree {
         let config = config_from_values(&knobs, &[]);
         let (time, done) = measure_config(db, workload, &config, self.options.eval_timeout);
         run.configs_evaluated = 1;
-        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time)
-        {
+        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), time) {
             run.best_config = Some(config);
         }
         run
@@ -84,11 +86,13 @@ impl ParamTree {
     /// CPU constants to match the observed cost-to-time ratio.
     fn calibrate(&self, db: &mut SimDb, workload: &Workload) -> Vec<(&'static str, KnobValue)> {
         let stride = (workload.len() / self.options.probes.max(1)).max(1);
-        let probes: Vec<usize> = (0..workload.len()).step_by(stride).take(self.options.probes).collect();
+        let probes: Vec<usize> = (0..workload.len())
+            .step_by(stride)
+            .take(self.options.probes)
+            .collect();
         let mut measured: Vec<(usize, f64)> = Vec::new();
         for &qi in &probes {
-            let outcome =
-                db.execute(&workload.queries[qi].parsed, self.options.eval_timeout);
+            let outcome = db.execute(&workload.queries[qi].parsed, self.options.eval_timeout);
             measured.push((qi, outcome.time.as_f64()));
         }
         // Grid over random_page_cost candidates; keep the one minimizing
@@ -96,11 +100,14 @@ impl ParamTree {
         let mut best = (f64::INFINITY, 4.0);
         for rpc in [1.1, 1.5, 2.0, 3.0, 4.0] {
             let mut knobs = lt_dbms::KnobSet::defaults(Dbms::Postgres);
-            knobs.set("random_page_cost", KnobValue::Float(rpc)).expect("known knob");
+            knobs
+                .set("random_page_cost", KnobValue::Float(rpc))
+                .expect("known knob");
             let costs: Vec<f64> = measured
                 .iter()
                 .map(|(qi, _)| {
-                    db.explain_with_knobs(&workload.queries[*qi].parsed, &knobs).total_cost()
+                    db.explain_with_knobs(&workload.queries[*qi].parsed, &knobs)
+                        .total_cost()
                 })
                 .collect();
             let cost_sum: f64 = costs.iter().sum();
@@ -142,7 +149,12 @@ mod tests {
 
     fn setup() -> (SimDb, Workload) {
         let w = Benchmark::TpchSf1.load();
-        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 23);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            23,
+        );
         (db, w)
     }
 
@@ -180,9 +192,13 @@ mod tests {
         // Its tuning scope excludes the knobs that matter for OLAP, so the
         // result stays within ~25% of default performance.
         let (mut db, w) = setup();
-        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 23);
-        let (default_time, _) =
-            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let mut probe = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            23,
+        );
+        let (default_time, _) = crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
         let run = ParamTree::default().tune(&mut db, &w, secs(10_000.0));
         assert!(run.best_time.as_f64() > default_time.as_f64() * 0.5);
     }

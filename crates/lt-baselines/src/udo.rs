@@ -221,17 +221,11 @@ impl Tuner for Udo {
             // Periodically (and on improvements) re-execute the best-known
             // state on the full workload for a comparable measurement (the
             // paper re-executes UDO's configurations the same way).
-            if round % 8 == 0 {
+            if round.is_multiple_of(8) {
                 let best_config = self.materialize(&best_state, &grid, &candidates);
-                let (full, done) =
-                    measure_config(db, workload, &best_config, opts.eval_timeout);
+                let (full, done) = measure_config(db, workload, &best_config, opts.eval_timeout);
                 if done
-                    && record_improvement(
-                        &mut run.trajectory,
-                        &mut run.best_time,
-                        db.now(),
-                        full,
-                    )
+                    && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), full)
                 {
                     run.best_config = Some(best_config);
                 }
@@ -241,9 +235,7 @@ impl Tuner for Udo {
         // generous cap so the run always reports a full-workload number.
         let best_config = self.materialize(&best_state, &grid, &candidates);
         let (full, done) = measure_config(db, workload, &best_config, opts.eval_timeout * 4.0);
-        if done
-            && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), full)
-        {
+        if done && record_improvement(&mut run.trajectory, &mut run.best_time, db.now(), full) {
             run.best_config = Some(best_config);
         }
         run
@@ -258,16 +250,25 @@ mod tests {
 
     fn setup() -> (SimDb, Workload) {
         let w = Benchmark::TpchSf1.load();
-        let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 11);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            11,
+        );
         (db, w)
     }
 
     #[test]
     fn udo_improves_over_defaults_given_budget() {
         let (mut db, w) = setup();
-        let mut probe = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), 11);
-        let (default_time, _) =
-            crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
+        let mut probe = SimDb::new(
+            Dbms::Postgres,
+            w.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            11,
+        );
+        let (default_time, _) = crate::common::measure_workload(&mut probe, &w, Secs::INFINITY);
 
         let run = Udo::default().tune(&mut db, &w, secs(3000.0));
         assert!(run.configs_evaluated > 10, "{}", run.configs_evaluated);
@@ -292,7 +293,10 @@ mod tests {
     #[test]
     fn params_only_mode_produces_no_indexes() {
         let (mut db, w) = setup();
-        let options = UdoOptions { tune_indexes: false, ..Default::default() };
+        let options = UdoOptions {
+            tune_indexes: false,
+            ..Default::default()
+        };
         let run = Udo::new(options).tune(&mut db, &w, secs(800.0));
         if let Some(cfg) = run.best_config {
             assert!(cfg.index_specs().is_empty());

@@ -38,7 +38,12 @@ fn bench(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
 
 fn bench_ilp_compression() {
     let workload = Benchmark::Job.load();
-    let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+    let db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        1,
+    );
     let snippets = extract_snippets(&db, &workload);
     let compressor = Compressor::new(&workload.catalog);
     for budget in [100usize, 300, 800] {
@@ -68,22 +73,40 @@ fn bench_clustering() {
 fn bench_optimizer() {
     for benchmark in [Benchmark::TpchSf1, Benchmark::Job] {
         let workload = benchmark.load();
-        let db =
-            SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            workload.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            1,
+        );
         // Cold: every iteration plans against a fresh SimDb (cache empty).
-        bench(&format!("optimizer_plan_workload/{}/cold", benchmark.name()), 1, 5, || {
-            let fresh =
-                SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
-            for q in &workload.queries {
-                black_box(fresh.explain(&q.parsed));
-            }
-        });
+        bench(
+            &format!("optimizer_plan_workload/{}/cold", benchmark.name()),
+            1,
+            5,
+            || {
+                let fresh = SimDb::new(
+                    Dbms::Postgres,
+                    workload.catalog.clone(),
+                    Hardware::p3_2xlarge(),
+                    1,
+                );
+                for q in &workload.queries {
+                    black_box(fresh.explain(&q.parsed));
+                }
+            },
+        );
         // Warm: repeated planning on one SimDb is served by the plan cache.
-        bench(&format!("optimizer_plan_workload/{}/warm", benchmark.name()), 1, 5, || {
-            for q in &workload.queries {
-                black_box(db.explain(&q.parsed));
-            }
-        });
+        bench(
+            &format!("optimizer_plan_workload/{}/warm", benchmark.name()),
+            1,
+            5,
+            || {
+                for q in &workload.queries {
+                    black_box(db.explain(&q.parsed));
+                }
+            },
+        );
         let stats = db.cache_stats();
         println!(
             "    plan cache: {} hits / {} misses ({:.1}% hit rate)",
@@ -96,10 +119,64 @@ fn bench_optimizer() {
 
 fn bench_snippet_extraction() {
     let workload = Benchmark::TpchSf1.load();
-    let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+    let db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        1,
+    );
     bench("extract_snippets_tpch", 2, 10, || {
         black_box(extract_snippets(black_box(&db), black_box(&workload)));
     });
+}
+
+/// Observability overhead: the disabled path (one relaxed atomic load per
+/// call site) must be free; the enabled path shows the true recording cost
+/// for contrast. A query-execution round-trip with tracing off vs on shows
+/// the end-to-end effect on the instrumented hot path.
+fn bench_obs_overhead() {
+    use lt_common::obs;
+    let workload = Benchmark::TpchSf1.load();
+    let q = &workload.queries[0].parsed;
+
+    obs::set_enabled(false);
+    bench("obs_span_disabled", 1000, 2_000_000, || {
+        black_box(obs::span("bench.noop"));
+    });
+    bench("obs_counter_disabled", 1000, 2_000_000, || {
+        obs::counter("bench.noop", 1);
+    });
+    let mut db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        1,
+    );
+    bench("execute_query_trace_off", 5, 2000, || {
+        black_box(db.execute(black_box(q), lt_common::Secs::INFINITY));
+    });
+
+    obs::set_enabled(true);
+    obs::reset();
+    bench("obs_span_enabled", 1000, 200_000, || {
+        black_box(obs::span("bench.noop"));
+    });
+    obs::reset();
+    bench("obs_counter_enabled", 1000, 200_000, || {
+        obs::counter("bench.noop", 1);
+    });
+    obs::reset();
+    let mut db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        1,
+    );
+    bench("execute_query_trace_on", 5, 2000, || {
+        black_box(db.execute(black_box(q), lt_common::Secs::INFINITY));
+    });
+    obs::reset();
+    obs::set_enabled(false);
 }
 
 fn main() {
@@ -108,4 +185,5 @@ fn main() {
     bench_clustering();
     bench_optimizer();
     bench_snippet_extraction();
+    bench_obs_overhead();
 }

@@ -6,6 +6,7 @@
 //! Usage: `cargo run --release -p lt-bench --bin fig3`
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("fig3");
     lt_bench::run_trajectory_figure(
         true,
         "3",

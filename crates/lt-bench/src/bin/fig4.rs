@@ -5,6 +5,7 @@
 //! Usage: `cargo run --release -p lt-bench --bin fig4`
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("fig4");
     lt_bench::run_trajectory_figure(
         false,
         "4",

@@ -5,13 +5,14 @@
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
 use lt_bench::{base_seed, make_db, trials, Scenario};
+use lt_common::json;
 use lt_common::Secs;
 use lt_dbms::Dbms;
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Benchmark;
-use lt_common::json;
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("fig5");
     let seed = base_seed();
     let scenario = Scenario {
         benchmark: Benchmark::TpchSf1,
@@ -22,7 +23,10 @@ fn main() {
     // Tune.
     let (mut db, workload) = make_db(scenario, seed);
     let llm = LlmClient::new(SimulatedLlm::new());
-    let options = LambdaTuneOptions { seed, ..Default::default() };
+    let options = LambdaTuneOptions {
+        seed,
+        ..Default::default()
+    };
     let result = LambdaTune::new(options)
         .tune(&mut db, &workload, &llm)
         .expect("tuning succeeds");
@@ -39,7 +43,10 @@ fn main() {
 
     println!("Figure 5: Query Execution Times (TPC-H 1GB, Postgres)");
     println!("λ-Tune vs Default Configuration\n");
-    println!("{:<6} {:>12} {:>12} {:>9}", "query", "default(s)", "lambda(s)", "speedup");
+    println!(
+        "{:<6} {:>12} {:>12} {:>9}",
+        "query", "default(s)", "lambda(s)", "speedup"
+    );
     let mut rows = Vec::new();
     let mut regressions = 0;
     let mut total_default = 0.0;
@@ -49,7 +56,9 @@ fn main() {
     // configuration) plans — the repeats are plan-cache hits.
     let n = trials().max(1);
     let measure = |db: &mut lt_dbms::SimDb, wq: &lt_workloads::WorkloadQuery| -> f64 {
-        (0..n).map(|_| db.execute(&wq.parsed, Secs::INFINITY).time.as_f64()).sum::<f64>()
+        (0..n)
+            .map(|_| db.execute(&wq.parsed, Secs::INFINITY).time.as_f64())
+            .sum::<f64>()
             / n as f64
     };
     for wq in &workload.queries {
@@ -92,10 +101,9 @@ fn main() {
         tuning.plan_hits, tuning.plan_misses, tuning.extract_hits,
     );
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        "results/fig5.json",
-        json::to_string_pretty(&json!({
+    lt_bench::write_results(
+        "fig5.json",
+        &json!({
             "figure": "5",
             "rows": rows,
             "total_default_s": total_default,
@@ -108,6 +116,6 @@ fn main() {
                 "tuning_misses": tuning.plan_misses,
                 "extract_hits": tuning.extract_hits,
             }),
-        })),
+        }),
     );
 }

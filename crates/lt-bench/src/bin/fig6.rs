@@ -8,9 +8,9 @@
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions, SelectorOptions};
 use lt_bench::{base_seed, make_db, parallel_map, trajectory_band, trials, Scenario};
+use lt_common::json;
 use lt_dbms::Dbms;
 use lt_workloads::Benchmark;
-use lt_common::json;
 
 fn variants() -> Vec<(&'static str, LambdaTuneOptions)> {
     // The paper's 10 s initial timeout assumes the real testbed's 113-query
@@ -30,12 +30,27 @@ fn variants() -> Vec<(&'static str, LambdaTuneOptions)> {
         (
             "No Adaptive Timeout",
             LambdaTuneOptions {
-                selector: SelectorOptions { adaptive_timeout: false, ..default.selector },
+                selector: SelectorOptions {
+                    adaptive_timeout: false,
+                    ..default.selector
+                },
                 ..default
             },
         ),
-        ("No Query Scheduler", LambdaTuneOptions { use_scheduler: false, ..default }),
-        ("Obfuscated Workload", LambdaTuneOptions { obfuscate: true, ..default }),
+        (
+            "No Query Scheduler",
+            LambdaTuneOptions {
+                use_scheduler: false,
+                ..default
+            },
+        ),
+        (
+            "Obfuscated Workload",
+            LambdaTuneOptions {
+                obfuscate: true,
+                ..default
+            },
+        ),
         (
             "No Compressor (full SQL)",
             LambdaTuneOptions {
@@ -48,10 +63,14 @@ fn variants() -> Vec<(&'static str, LambdaTuneOptions)> {
 }
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("fig6");
     let seed = base_seed();
     let n_trials = trials();
-    let scenario =
-        Scenario { benchmark: Benchmark::Job, dbms: Dbms::Postgres, initial_indexes: false };
+    let scenario = Scenario {
+        benchmark: Benchmark::Job,
+        dbms: Dbms::Postgres,
+        initial_indexes: false,
+    };
     println!("Figure 6: Ablation — JOB, Postgres, No Indexes");
     println!("(x = optimization time [s], y = best execution time found [s]; mean [min, max] over {n_trials} trials)\n");
 
@@ -60,18 +79,23 @@ fn main() {
     let vars = variants();
     let cells: Vec<_> = vars
         .iter()
-        .flat_map(|(_, options)| {
-            (0..n_trials).map(move |t| (*options, seed + t as u64))
-        })
+        .flat_map(|(_, options)| (0..n_trials).map(move |t| (*options, seed + t as u64)))
         .collect();
     let outcomes = parallel_map(cells, |(options, cell_seed)| {
         let (mut db, workload) = make_db(scenario, cell_seed);
         let llm = lt_llm::LlmClient::new(lt_llm::SimulatedLlm::new());
-        let opts = LambdaTuneOptions { seed: cell_seed, ..options };
+        let opts = LambdaTuneOptions {
+            seed: cell_seed,
+            ..options
+        };
         let result = LambdaTune::new(opts)
             .tune(&mut db, &workload, &llm)
             .expect("tuning succeeds");
-        (result.trajectory, result.best_time.as_f64(), result.tuning_time.as_f64())
+        (
+            result.trajectory,
+            result.best_time.as_f64(),
+            result.tuning_time.as_f64(),
+        )
     });
     let mut outcomes = outcomes.into_iter();
 
@@ -106,7 +130,10 @@ fn main() {
         }));
     }
 
-    println!("\n{:<26} {:>16} {:>14}", "Variant", "tuning time (s)", "best found (s)");
+    println!(
+        "\n{:<26} {:>16} {:>14}",
+        "Variant", "tuning time (s)", "best found (s)"
+    );
     for (label, finish, best) in &summary {
         println!("{label:<26} {finish:>16.0} {best:>14.1}");
     }
@@ -115,9 +142,5 @@ fn main() {
     println!("is ~equivalent to Default (no pre-training leak); dropping the compressor");
     println!("hurts both tuning time and final configuration quality.");
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        "results/fig6.json",
-        json::to_string_pretty(&json!({ "figure": "6", "series": series_out })),
-    );
+    lt_bench::write_results("fig6.json", &json!({ "figure": "6", "series": series_out }));
 }

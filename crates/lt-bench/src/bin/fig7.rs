@@ -9,14 +9,18 @@
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
 use lt_bench::{base_seed, make_db, parallel_map, Scenario};
+use lt_common::json;
 use lt_dbms::Dbms;
 use lt_workloads::Benchmark;
-use lt_common::json;
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("fig7");
     let seed = base_seed();
-    let scenario =
-        Scenario { benchmark: Benchmark::Job, dbms: Dbms::Postgres, initial_indexes: false };
+    let scenario = Scenario {
+        benchmark: Benchmark::Job,
+        dbms: Dbms::Postgres,
+        initial_indexes: false,
+    };
     println!("Figure 7: Ablation — Compressor Budget (JOB, Postgres)\n");
     println!(
         "{:<28} {:>8} {:>16} {:>14}",
@@ -30,7 +34,11 @@ fn main() {
         .map(|budget| {
             (
                 format!("Compressed (budget {budget})"),
-                LambdaTuneOptions { token_budget: Some(budget), seed, ..Default::default() },
+                LambdaTuneOptions {
+                    token_budget: Some(budget),
+                    seed,
+                    ..Default::default()
+                },
             )
         })
         .collect();
@@ -55,7 +63,12 @@ fn main() {
             .first()
             .map(|p| p.opt_time.as_f64())
             .unwrap_or(f64::NAN);
-        (label, result.workload_tokens, first, result.best_time.as_f64())
+        (
+            label,
+            result.workload_tokens,
+            first,
+            result.best_time.as_f64(),
+        )
     })
     .into_iter()
     .map(|(label, tokens, first, best)| {
@@ -74,9 +87,5 @@ fn main() {
     println!("tokens) degrade quality significantly; full SQL costs the most tokens and");
     println!("does not yield the best configurations.");
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        "results/fig7.json",
-        json::to_string_pretty(&json!({ "figure": "7", "rows": rows })),
-    );
+    lt_bench::write_results("fig7.json", &json!({ "figure": "7", "rows": rows }));
 }

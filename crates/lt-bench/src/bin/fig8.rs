@@ -9,17 +9,13 @@ use lambda_tune::{LambdaTune, LambdaTuneOptions};
 use lt_baselines::common::measure_workload;
 use lt_baselines::{Db2Advisor, Dexter};
 use lt_bench::{base_seed, make_db, parallel_map, Scenario};
+use lt_common::json;
 use lt_common::Secs;
 use lt_dbms::{Dbms, IndexSpec};
 use lt_workloads::Benchmark;
-use lt_common::json;
 
 /// Measures the workload with the given index set under default knobs.
-fn measure_with_indexes(
-    scenario: Scenario,
-    seed: u64,
-    specs: &[IndexSpec],
-) -> f64 {
+fn measure_with_indexes(scenario: Scenario, seed: u64, specs: &[IndexSpec]) -> f64 {
     let (mut db, workload) = make_db(scenario, seed);
     for spec in specs {
         db.create_index(spec);
@@ -30,6 +26,7 @@ fn measure_with_indexes(
 }
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("fig8");
     let seed = base_seed();
     println!("Figure 8: Comparing Index Recommendation Tools");
     println!("(workload execution time [s] under default parameters; log scale in the paper)\n");
@@ -42,12 +39,20 @@ fn main() {
     // measures on its own thread, then rows print in benchmark order.
     let benchmarks = vec![Benchmark::TpchSf1, Benchmark::TpcdsSf1, Benchmark::Job];
     let measured = parallel_map(benchmarks, |benchmark| {
-        let scenario = Scenario { benchmark, dbms: Dbms::Postgres, initial_indexes: false };
+        let scenario = Scenario {
+            benchmark,
+            dbms: Dbms::Postgres,
+            initial_indexes: false,
+        };
 
         // λ-Tune, index recommendations only.
         let (mut db, workload) = make_db(scenario, seed);
         let llm = lt_llm::LlmClient::new(lt_llm::SimulatedLlm::new());
-        let options = LambdaTuneOptions { indexes_only: true, seed, ..Default::default() };
+        let options = LambdaTuneOptions {
+            indexes_only: true,
+            seed,
+            ..Default::default()
+        };
         let result = LambdaTune::new(options)
             .tune(&mut db, &workload, &llm)
             .expect("tuning succeeds");
@@ -64,7 +69,16 @@ fn main() {
         let lambda = measure_with_indexes(scenario, seed, &lambda_specs);
         let dexter = measure_with_indexes(scenario, seed, &dexter_specs);
         let db2 = measure_with_indexes(scenario, seed, &db2_specs);
-        (benchmark, none, lambda, dexter, db2, lambda_specs, dexter_specs, db2_specs)
+        (
+            benchmark,
+            none,
+            lambda,
+            dexter,
+            db2,
+            lambda_specs,
+            dexter_specs,
+            db2_specs,
+        )
     });
 
     let mut rows = Vec::new();
@@ -92,9 +106,5 @@ fn main() {
     println!("but the specialized advisors (Dexter, DB2) usually match or beat it —");
     println!("except on TPC-DS, where λ-Tune competes (it has a broader scope).");
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        "results/fig8.json",
-        json::to_string_pretty(&json!({ "figure": "8", "rows": rows })),
-    );
+    lt_bench::write_results("fig8.json", &json!({ "figure": "8", "rows": rows }));
 }

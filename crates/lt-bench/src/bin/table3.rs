@@ -3,15 +3,14 @@
 //!
 //! Usage: `cargo run --release -p lt-bench --bin table3`
 
-use lt_bench::{base_seed, parallel_map, row, table3_scenarios, tuner_names, run_tuner};
+use lt_bench::{base_seed, parallel_map, row, run_tuner, table3_scenarios, tuner_names};
 use lt_common::json;
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("table3");
     let seed = base_seed();
     let tuners = tuner_names();
-    println!(
-        "Table 3: Cost of Best Configuration Found by Each Approach, Scaled to the"
-    );
+    println!("Table 3: Cost of Best Configuration Found by Each Approach, Scaled to the");
     println!("Cost of the Best Overall Configuration\n");
     println!(
         "{}",
@@ -43,8 +42,10 @@ fn main() {
     let mut cell_times = cell_times.into_iter();
 
     for scenario in scenarios {
-        let results: Vec<f64> =
-            tuners.iter().map(|_| cell_times.next().expect("one cell per tuner")).collect();
+        let results: Vec<f64> = tuners
+            .iter()
+            .map(|_| cell_times.next().expect("one cell per tuner"))
+            .collect();
         let best = results.iter().copied().fold(f64::INFINITY, f64::min);
         let scaled: Vec<f64> = results.iter().map(|r| r / best).collect();
         for (i, s) in scaled.iter().enumerate() {
@@ -97,6 +98,5 @@ fn main() {
     println!("Expected shape: λ-Tune lowest average (most robust); ParamTree highest.");
 
     let out = json!({ "table": "3", "rows": json_rows, "averages": tuners.iter().zip(&averages).map(|(n, a)| (n.to_string(), *a)).collect::<std::collections::BTreeMap<_,_>>() });
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/table3.json", json::to_string_pretty(&out));
+    lt_bench::write_results("table3.json", &out);
 }

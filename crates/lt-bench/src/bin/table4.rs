@@ -3,11 +3,12 @@
 //! Usage: `cargo run --release -p lt-bench --bin table4`
 
 use lt_bench::{base_seed, parallel_map, run_tuner, tuner_names, Scenario};
+use lt_common::json;
 use lt_dbms::Dbms;
 use lt_workloads::Benchmark;
-use lt_common::json;
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("table4");
     let seed = base_seed();
     let tuners = tuner_names();
     println!("Table 4: Number of Configurations Evaluated per Baseline (Postgres)\n");
@@ -20,7 +21,11 @@ fn main() {
     let mut scenarios = Vec::new();
     for benchmark in [Benchmark::TpchSf1, Benchmark::TpchSf10] {
         for initial_indexes in [true, false] {
-            scenarios.push(Scenario { benchmark, dbms: Dbms::Postgres, initial_indexes });
+            scenarios.push(Scenario {
+                benchmark,
+                dbms: Dbms::Postgres,
+                initial_indexes,
+            });
         }
     }
     // All 4 × 6 cells run concurrently; rows are consumed in table order.
@@ -28,15 +33,18 @@ fn main() {
         .iter()
         .flat_map(|&scenario| tuners.iter().map(move |&name| (name, scenario)))
         .collect();
-    let cell_counts =
-        parallel_map(cells, |(name, scenario)| run_tuner(name, scenario, seed).configs_evaluated);
+    let cell_counts = parallel_map(cells, |(name, scenario)| {
+        run_tuner(name, scenario, seed).configs_evaluated
+    });
     let mut cell_counts = cell_counts.into_iter();
     for scenario in scenarios {
         {
             let benchmark = scenario.benchmark;
             let initial_indexes = scenario.initial_indexes;
-            let counts: Vec<u64> =
-                tuners.iter().map(|_| cell_counts.next().expect("one cell per tuner")).collect();
+            let counts: Vec<u64> = tuners
+                .iter()
+                .map(|_| cell_counts.next().expect("one cell per tuner"))
+                .collect();
             println!(
                 "{:<14} {:>7} {:>8} {:>7} {:>8} {:>8} {:>10} {:>10}",
                 benchmark.name(),
@@ -58,9 +66,5 @@ fn main() {
     println!("UDO the most (sample-based); counts shrink at scale factor 10 for the");
     println!("iterative tuners as each trial takes longer.");
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        "results/table4.json",
-        json::to_string_pretty(&json!({ "table": "4", "rows": json_rows })),
-    );
+    lt_bench::write_results("table4.json", &json!({ "table": "4", "rows": json_rows }));
 }

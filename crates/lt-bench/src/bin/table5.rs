@@ -6,18 +6,25 @@
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
 use lt_bench::{base_seed, make_db, parallel_map, Scenario};
+use lt_common::json;
 use lt_dbms::knobs::knob_def;
 use lt_dbms::{Configuration, Dbms};
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Benchmark;
-use lt_common::json;
 use std::collections::BTreeMap;
 
 fn tune(benchmark: Benchmark, seed: u64) -> (Configuration, lt_workloads::Workload) {
-    let scenario = Scenario { benchmark, dbms: Dbms::Postgres, initial_indexes: false };
+    let scenario = Scenario {
+        benchmark,
+        dbms: Dbms::Postgres,
+        initial_indexes: false,
+    };
     let (mut db, workload) = make_db(scenario, seed);
     let llm = LlmClient::new(SimulatedLlm::new());
-    let options = LambdaTuneOptions { seed, ..Default::default() };
+    let options = LambdaTuneOptions {
+        seed,
+        ..Default::default()
+    };
     let result = LambdaTune::new(options)
         .tune(&mut db, &workload, &llm)
         .expect("tuning succeeds");
@@ -25,15 +32,22 @@ fn tune(benchmark: Benchmark, seed: u64) -> (Configuration, lt_workloads::Worklo
 }
 
 fn main() {
+    let _obs = lt_bench::ObsRun::start("table5");
     let seed = base_seed();
     // One tuning run per benchmark; the TPC-H run feeds both the main table
     // and the §6.3 transfer comparison, so it is not repeated.
     let benches = [Benchmark::TpchSf1, Benchmark::TpcdsSf1, Benchmark::Job];
     let mut tuned = parallel_map(benches.to_vec(), |b| tune(b, seed)).into_iter();
     let (best, workload) = tuned.next().expect("TPC-H run");
-    let transfer_runs: Vec<(Benchmark, Configuration)> = std::iter::once((benches[0], best.clone()))
-        .chain(benches[1..].iter().zip(tuned).map(|(&b, (cfg, _))| (b, cfg)))
-        .collect();
+    let transfer_runs: Vec<(Benchmark, Configuration)> =
+        std::iter::once((benches[0], best.clone()))
+            .chain(
+                benches[1..]
+                    .iter()
+                    .zip(tuned)
+                    .map(|(&b, (cfg, _))| (b, cfg)),
+            )
+            .collect();
 
     println!("Table 5: Best λ-Tune Configuration for TPC-H 1GB (Postgres)\n");
     println!("{:<36} {:<12} {:>10}", "Parameter", "Category", "Value");
@@ -102,14 +116,13 @@ fn main() {
         all_knobs.len()
     );
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        "results/table5.json",
-        json::to_string_pretty(&json!({
+    lt_bench::write_results(
+        "table5.json",
+        &json!({
             "table": "5",
             "parameters": params,
             "indexes": by_table,
             "transfer": per_bench,
-        })),
+        }),
     );
 }

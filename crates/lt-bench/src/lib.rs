@@ -13,7 +13,8 @@
 //!   recommended indexes pre-built (exactly the paper's setup).
 //!
 //! Environment knobs: `LT_TRIALS` overrides the number of trials (default
-//! 3), `LT_SEED` the base seed.
+//! 3), `LT_SEED` the base seed, `LT_TRACE=1` enables the observability
+//! layer (see [`ObsRun`]).
 
 use lambda_tune::{LambdaTuneOptions, TrajectoryPoint};
 use lt_baselines::{
@@ -67,12 +68,20 @@ pub fn table3_scenarios() -> Vec<Scenario> {
     for initial_indexes in [true, false] {
         for benchmark in [Benchmark::TpchSf1, Benchmark::TpchSf10, Benchmark::Job] {
             for dbms in [Dbms::Postgres, Dbms::Mysql] {
-                rows.push(Scenario { benchmark, dbms, initial_indexes });
+                rows.push(Scenario {
+                    benchmark,
+                    dbms,
+                    initial_indexes,
+                });
             }
         }
     }
     for dbms in [Dbms::Postgres, Dbms::Mysql] {
-        rows.push(Scenario { benchmark: Benchmark::TpcdsSf1, dbms, initial_indexes: false });
+        rows.push(Scenario {
+            benchmark: Benchmark::TpcdsSf1,
+            dbms,
+            initial_indexes: false,
+        });
     }
     // Paper order: indexes-yes block first (TPC-H 1/10, JOB), then
     // indexes-no including TPC-DS.
@@ -82,7 +91,12 @@ pub fn table3_scenarios() -> Vec<Scenario> {
 /// Builds the simulated database for a scenario (no initial indexes yet).
 pub fn make_db(scenario: Scenario, seed: u64) -> (SimDb, Workload) {
     let workload = scenario.benchmark.load();
-    let db = SimDb::new(scenario.dbms, workload.catalog.clone(), Hardware::p3_2xlarge(), seed);
+    let db = SimDb::new(
+        scenario.dbms,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        seed,
+    );
     (db, workload)
 }
 
@@ -105,7 +119,11 @@ pub fn key_index_specs(db: &SimDb, workload: &Workload) -> Vec<IndexSpec> {
         .columns()
         .iter()
         .filter(|c| (c.primary_key || c.foreign_key) && referenced.contains(&c.id))
-        .map(|c| IndexSpec { table: c.table, columns: vec![c.id], name: None })
+        .map(|c| IndexSpec {
+            table: c.table,
+            columns: vec![c.id],
+            name: None,
+        })
         .collect()
 }
 
@@ -119,7 +137,14 @@ pub fn build_initial_indexes(db: &mut SimDb, workload: &Workload) {
 
 /// The tuner lineup of Table 3 / Figures 3–4, in column order.
 pub fn tuner_names() -> [&'static str; 6] {
-    ["λ-Tune", "UDO", "DB-Bert", "GPTuner", "LlamaTune", "ParamTree"]
+    [
+        "λ-Tune",
+        "UDO",
+        "DB-Bert",
+        "GPTuner",
+        "LlamaTune",
+        "ParamTree",
+    ]
 }
 
 /// Runs one named tuner on a scenario and returns its run. Handles the
@@ -215,7 +240,10 @@ pub fn probe_default_time(scenario: Scenario, seed: u64) -> (Secs, Secs) {
 
 /// Number of trials (paper: 3). Override with `LT_TRIALS`.
 pub fn trials() -> usize {
-    std::env::var("LT_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+    std::env::var("LT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
 }
 
 /// Worker threads for the benchmark matrix. Defaults to the machine's
@@ -226,7 +254,9 @@ pub fn bench_threads() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         })
 }
 
@@ -252,10 +282,8 @@ where
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> =
-        slots.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -277,7 +305,10 @@ where
 
 /// Base seed. Override with `LT_SEED`.
 pub fn base_seed() -> u64 {
-    std::env::var("LT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+    std::env::var("LT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
 }
 
 /// Averages trajectories across trials onto a common time grid, returning
@@ -298,7 +329,9 @@ pub fn trajectory_band(
         run.iter()
             .filter(|p| p.opt_time.as_f64() <= t)
             .map(|p| p.best_workload_time.as_f64())
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
     };
     (1..=grid_points)
         .filter_map(|i| {
@@ -320,6 +353,69 @@ pub fn row(cells: &[String]) -> String {
     cells.join(" | ")
 }
 
+/// Per-binary observability session: opens the root `run` span and, on
+/// drop, prints the phase-summary table to stderr and writes the event log
+/// to `results/<name>.trace.json` — the cost-breakdown sidecar of the
+/// binary's `results/<name>.json`. Inert unless `LT_TRACE=1`.
+///
+/// The summary goes to **stderr** so `LT_TRACE=1` never perturbs the
+/// byte-identical stdout the determinism gate compares. With
+/// `LT_BENCH_THREADS=1` every span lands on the main thread under the root
+/// span, so the per-phase exclusive times sum exactly to the run's wall
+/// time (see the `trace_check` binary).
+pub struct ObsRun {
+    name: &'static str,
+    root: Option<lt_common::obs::SpanGuard>,
+}
+
+impl ObsRun {
+    /// Starts a session (clears any earlier registry contents so the trace
+    /// covers exactly this run).
+    pub fn start(name: &'static str) -> ObsRun {
+        let root = if lt_common::obs::enabled() {
+            lt_common::obs::reset();
+            Some(lt_common::obs::span("run"))
+        } else {
+            None
+        };
+        ObsRun { name, root }
+    }
+}
+
+impl Drop for ObsRun {
+    fn drop(&mut self) {
+        let Some(root) = self.root.take() else { return };
+        drop(root); // completes the root span so the snapshot includes it
+        let snap = lt_common::obs::snapshot();
+        eprintln!("\n-- trace summary: {} --", self.name);
+        eprint!("{}", snap.summary_table());
+        let path = format!("results/{}.trace.json", self.name);
+        if let Err(e) = std::fs::create_dir_all("results") {
+            eprintln!("error: cannot create results/: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&path, snap.to_json().to_string_pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace written to {path}");
+    }
+}
+
+/// Writes a result artifact to `results/<file>`, exiting nonzero on
+/// failure so CI and scripts notice (a silently missing artifact used to
+/// pass every gate).
+pub fn write_results(file: &str, value: &lt_common::json::Value) {
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("error: cannot create results/: {e}");
+        std::process::exit(1);
+    }
+    let path = format!("results/{file}");
+    if let Err(e) = std::fs::write(&path, lt_common::json::to_string_pretty(value)) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
 
 /// Shared runner for Figures 3 and 4: trajectory panels per (benchmark,
 /// DBMS) with mean/min/max bands over trials.
@@ -369,9 +465,7 @@ pub fn run_trajectory_figure(initial_indexes: bool, figure: &str, title: &str) {
             }
             let series: Vec<String> = band
                 .iter()
-                .map(|(t, mean, min, max)| {
-                    format!("({t:.0}s, {mean:.1} [{min:.1},{max:.1}])")
-                })
+                .map(|(t, mean, min, max)| format!("({t:.0}s, {mean:.1} [{min:.1},{max:.1}])"))
                 .collect();
             println!("  {name:<10} {}", series.join(" "));
             panel.push(json!({
@@ -387,10 +481,9 @@ pub fn run_trajectory_figure(initial_indexes: bool, figure: &str, title: &str) {
     println!("Paper shape: λ-Tune reaches its (near-)final value fastest; hint-based");
     println!("tuners (DB-Bert, GPTuner) follow; UDO and LlamaTune converge slowest.");
 
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write(
-        format!("results/fig{figure}.json"),
-        json::to_string_pretty(&json!({ "figure": figure, "panels": panels })),
+    write_results(
+        &format!("fig{figure}.json"),
+        &json!({ "figure": figure, "panels": panels }),
     );
 }
 
@@ -434,7 +527,10 @@ mod tests {
             dbms: Dbms::Postgres,
             initial_indexes: false,
         };
-        let with = Scenario { initial_indexes: true, ..without };
+        let with = Scenario {
+            initial_indexes: true,
+            ..without
+        };
         let (t_without, _) = probe_default_time(without, 1);
         let (t_with, _) = probe_default_time(with, 1);
         // Key indexes can only help under the default optimizer settings if
@@ -446,15 +542,28 @@ mod tests {
     fn trajectory_band_tracks_running_minimum() {
         let runs = vec![
             vec![
-                TrajectoryPoint { opt_time: secs(10.0), best_workload_time: secs(100.0) },
-                TrajectoryPoint { opt_time: secs(20.0), best_workload_time: secs(50.0) },
+                TrajectoryPoint {
+                    opt_time: secs(10.0),
+                    best_workload_time: secs(100.0),
+                },
+                TrajectoryPoint {
+                    opt_time: secs(20.0),
+                    best_workload_time: secs(50.0),
+                },
             ],
-            vec![TrajectoryPoint { opt_time: secs(15.0), best_workload_time: secs(80.0) }],
+            vec![TrajectoryPoint {
+                opt_time: secs(15.0),
+                best_workload_time: secs(80.0),
+            }],
         ];
         let band = trajectory_band(&runs, 4);
         assert!(!band.is_empty());
         let last = band.last().unwrap();
-        assert!((last.1 - 65.0).abs() < 1e-9, "mean of 50 and 80, got {}", last.1);
+        assert!(
+            (last.1 - 65.0).abs() < 1e-9,
+            "mean of 50 and 80, got {}",
+            last.1
+        );
         assert_eq!(last.2, 50.0);
         assert_eq!(last.3, 80.0);
     }

@@ -136,7 +136,10 @@ mod tests {
         let a = Fingerprint::of("a");
         let b = Fingerprint::of("b");
         assert_ne!(a.combine(b), b.combine(a));
-        assert_eq!(a.combine(b), Fingerprint::of("a").combine(Fingerprint::of("b")));
+        assert_eq!(
+            a.combine(b),
+            Fingerprint::of("a").combine(Fingerprint::of("b"))
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Minimal JSON value model and writer for benchmark result output.
+//! Minimal JSON value model, writer and parser for benchmark artifacts.
 //!
 //! The workspace builds with zero external crates, so the `results/*.json`
 //! artifacts are produced by this module instead of `serde_json`. Only what
 //! the benchmark binaries need is implemented: building values (via `From`
-//! impls and the [`crate::json!`] macro) and deterministic pretty-printing.
+//! impls and the [`crate::json!`] macro), deterministic pretty-printing, and
+//! a recursive-descent [`parse`] used by the trace-validation tooling.
 //! Object keys keep insertion order; floats print through Rust's shortest
 //! round-trip formatting, so equal inputs always produce byte-equal output.
 
@@ -29,6 +30,55 @@ pub enum Value {
 }
 
 impl Value {
+    /// Looks up `key` in an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string content, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64` (ints widen), or `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The integer content, or `None` (floats do not narrow).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, or `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serializes with 2-space indentation and a stable layout.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -226,6 +276,268 @@ macro_rules! json {
     ($other:expr) => { $crate::json::Value::from($other) };
 }
 
+/// Parses a JSON document. Accepts exactly what the writer emits (plus
+/// arbitrary standard JSON): the usual scalars, `\uXXXX` escapes with
+/// surrogate pairs, nested arrays/objects. Trailing garbage is an error.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+/// Error from [`parse`], with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset at which it went wrong.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences are copied as-is: the input
+                    // is a &str, so byte boundaries are already valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ascii in \\u escape"))?;
+        let value = u32::from_str_radix(digits, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid float literal"))
+        } else {
+            // Integers overflowing i64 fall back to f64, like serde_json's
+            // arbitrary-precision-off mode.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.err("invalid integer literal")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,7 +565,9 @@ mod tests {
     #[test]
     fn arrays_and_maps_convert() {
         let v = json!({ "xs": vec![1u64, 2, 3] });
-        assert!(v.to_string_pretty().contains("\"xs\": [\n    1,\n    2,\n    3\n  ]"));
+        assert!(v
+            .to_string_pretty()
+            .contains("\"xs\": [\n    1,\n    2,\n    3\n  ]"));
         let mut m = BTreeMap::new();
         m.insert("b".to_string(), 2.0f64);
         m.insert("a".to_string(), 1.0f64);
@@ -272,5 +586,64 @@ mod tests {
     fn deterministic_output() {
         let build = || json!({ "rows": vec![json!({ "q": "q1", "t": 0.25 })], "n": 1 });
         assert_eq!(build().to_string_pretty(), build().to_string_pretty());
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = json!({
+            "name": "fig6",
+            "n": 3,
+            "t": 1.25,
+            "whole": 2.0,
+            "neg": -17,
+            "flag": true,
+            "none": json!(null),
+            "xs": vec![1u64, 2, 3],
+            "nested": json!({ "s": "a\"b\n\\c" }),
+            "empty_arr": Value::Array(vec![]),
+            "empty_obj": Value::Object(vec![]),
+        });
+        let text = doc.to_string_pretty();
+        let parsed = parse(&text).expect("writer output must parse");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_scalars_and_accessors() {
+        let v = parse("{\"a\": [1, 2.5, \"x\", null, false], \"b\": -3e2}").unwrap();
+        let xs = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(xs[0].as_i64(), Some(1));
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert_eq!(xs[2].as_str(), Some("x"));
+        assert_eq!(xs[3], Value::Null);
+        assert_eq!(xs[4].as_bool(), Some(false));
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(-300.0));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let v = parse("\"\\u00e9 \\ud83d\\ude00 caf\u{e9}\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{e9} \u{1F600} caf\u{e9}"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        let err = parse("[1, !]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parse_int_overflow_widens_to_float() {
+        let v = parse("99999999999999999999").unwrap();
+        assert!(matches!(v, Value::Float(_)));
     }
 }

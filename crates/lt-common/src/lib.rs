@@ -10,6 +10,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod json;
+pub mod obs;
 pub mod rng;
 pub mod time;
 

@@ -193,7 +193,9 @@ pub struct VirtualClock {
 impl VirtualClock {
     /// A clock starting at t = 0.
     pub fn new() -> Self {
-        Self { now: Cell::new(0.0) }
+        Self {
+            now: Cell::new(0.0),
+        }
     }
 
     /// Current virtual time.

@@ -47,7 +47,10 @@ pub struct TableMeta {
 impl TableMeta {
     /// Total row width in bytes (sum of column widths), given the catalog.
     pub fn row_width(&self, catalog: &Catalog) -> u64 {
-        self.columns.iter().map(|c| catalog.column(*c).width as u64).sum()
+        self.columns
+            .iter()
+            .map(|c| catalog.column(*c).width as u64)
+            .sum()
     }
 
     /// Heap size in pages under [`PAGE_SIZE`].
@@ -78,8 +81,16 @@ impl Catalog {
         let id = TableId::from(self.tables.len());
         let lname = name.to_ascii_lowercase();
         self.table_names.insert(lname.clone(), id);
-        self.tables.push(TableMeta { id, name: lname, rows, columns: Vec::new() });
-        TableBuilder { catalog: self, table: id }
+        self.tables.push(TableMeta {
+            id,
+            name: lname,
+            rows,
+            columns: Vec::new(),
+        });
+        TableBuilder {
+            catalog: self,
+            table: id,
+        }
     }
 
     /// All tables.
@@ -124,9 +135,7 @@ impl Catalog {
                     .iter()
                     .copied()
                     .find(|c| self.column(*c).table == tid)
-                    .ok_or_else(|| {
-                        LtError::Catalog(format!("table {q} has no column {column}"))
-                    })
+                    .ok_or_else(|| LtError::Catalog(format!("table {q} has no column {column}")))
             }
             None => {
                 if candidates.len() == 1 {
@@ -163,11 +172,13 @@ impl Catalog {
     /// Rebuilds the name lookup maps (they are derived from the table and
     /// column lists, so any external construction path can restore them).
     pub fn rebuild_lookups(&mut self) {
-        self.table_names =
-            self.tables.iter().map(|t| (t.name.clone(), t.id)).collect();
+        self.table_names = self.tables.iter().map(|t| (t.name.clone(), t.id)).collect();
         self.column_names.clear();
         for c in &self.columns {
-            self.column_names.entry(c.name.clone()).or_default().push(c.id);
+            self.column_names
+                .entry(c.name.clone())
+                .or_default()
+                .push(c.id);
         }
     }
 }

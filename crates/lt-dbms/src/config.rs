@@ -181,7 +181,11 @@ fn parse_statement(
     }
     // SET GLOBAL name = value | SET name = value | SET SESSION name = value
     if kw(0, "set") {
-        let rest = if kw(1, "global") || kw(1, "session") { &words[2..] } else { &words[1..] };
+        let rest = if kw(1, "global") || kw(1, "session") {
+            &words[2..]
+        } else {
+            &words[1..]
+        };
         return parse_set(rest, stmt, dbms).map(Some);
     }
     // CREATE [UNIQUE] INDEX [CONCURRENTLY] [IF NOT EXISTS] [name] ON table (cols)
@@ -202,9 +206,12 @@ fn parse_statement(
         }
         let mut name = None;
         if !kw(i, "on") {
-            name = Some(words.get(i).cloned().ok_or_else(|| {
-                format!("CREATE INDEX missing ON clause: {stmt}")
-            })?);
+            name = Some(
+                words
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("CREATE INDEX missing ON clause: {stmt}"))?,
+            );
             i += 1;
         }
         if !kw(i, "on") {
@@ -235,7 +242,11 @@ fn parse_statement(
         if columns.is_empty() {
             return Err(format!("CREATE INDEX without columns: {stmt}"));
         }
-        return Ok(Some(ConfigCommand::CreateIndex(IndexSpec { table, columns, name })));
+        return Ok(Some(ConfigCommand::CreateIndex(IndexSpec {
+            table,
+            columns,
+            name,
+        })));
     }
     // Harmless statements some LLM outputs include.
     if kw(0, "select") || kw(0, "analyze") || kw(0, "vacuum") {
@@ -261,12 +272,14 @@ fn parse_set(rest: &[String], stmt: &str, dbms: Dbms) -> Result<ConfigCommand, S
         return Err(format!("SET {name} without value: {stmt}"));
     }
     let value_text = value_words.join("");
-    let def = knob_def(dbms, &name)
-        .ok_or_else(|| format!("unknown knob {name} for {dbms}"))?;
+    let def = knob_def(dbms, &name).ok_or_else(|| format!("unknown knob {name} for {dbms}"))?;
     let value = def
         .parse_value(&value_text)
         .map_err(|e| format!("bad value for {name}: {e}"))?;
-    Ok(ConfigCommand::SetKnob { name: def.name.to_string(), value })
+    Ok(ConfigCommand::SetKnob {
+        name: def.name.to_string(),
+        value,
+    })
 }
 
 /// Splits a statement into identifier/number/punctuation words, preserving
@@ -380,11 +393,7 @@ mod tests {
     #[test]
     fn wrong_dbms_knob_becomes_warning() {
         let c = catalog();
-        let cfg = Configuration::parse(
-            "SET GLOBAL shared_buffers = '1GB';",
-            Dbms::Mysql,
-            &c,
-        );
+        let cfg = Configuration::parse("SET GLOBAL shared_buffers = '1GB';", Dbms::Mysql, &c);
         assert_eq!(cfg.warnings.len(), 1);
         assert!(cfg.is_empty());
     }

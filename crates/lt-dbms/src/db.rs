@@ -17,7 +17,7 @@ use crate::physical::IndexCatalog;
 use crate::plan::Plan;
 use crate::plan_cache::{CacheStats, PlanCache, PlanKey};
 use crate::stats::{extract, QueryPredicates};
-use lt_common::{derive_seed, secs, IndexId, Secs, VirtualClock};
+use lt_common::{derive_seed, obs, secs, IndexId, Secs, VirtualClock};
 use lt_sql::ast::Query;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -137,6 +137,7 @@ impl SimDb {
             }
         }
         self.clock.advance(self.model.reconfigure_time(changed));
+        obs::counter("dbms.reconfigure", 1);
         self.refresh_fingerprint();
     }
 
@@ -144,6 +145,7 @@ impl SimDb {
     pub fn reset_knobs(&mut self) {
         self.knobs = KnobSet::defaults(self.dbms);
         self.clock.advance(self.model.reconfigure_time(0));
+        obs::counter("dbms.reconfigure", 1);
         self.refresh_fingerprint();
     }
 
@@ -155,10 +157,15 @@ impl SimDb {
             self.clock.advance(t);
             return (existing, t);
         }
-        let id = self.indexes.add(spec.table, spec.columns.clone(), spec.name.clone());
+        let mut span = obs::span_vt("dbms.index_build", self.clock.now());
+        let id = self
+            .indexes
+            .add(spec.table, spec.columns.clone(), spec.name.clone());
         let index = self.indexes.get(id).expect("just added").clone();
         let t = self.model.index_build_time(&index, &self.ctx());
         self.clock.advance(t);
+        span.vt_end(self.clock.now());
+        obs::counter("dbms.index_builds", 1);
         self.refresh_fingerprint();
         (id, t)
     }
@@ -188,7 +195,8 @@ impl SimDb {
     pub fn drop_all_indexes(&mut self) {
         let n = self.indexes.len() as f64;
         self.indexes.clear();
-        self.clock.advance(secs(n * self.model.index_drop_time().as_f64()));
+        self.clock
+            .advance(secs(n * self.model.index_drop_time().as_f64()));
         self.refresh_fingerprint();
     }
 
@@ -211,13 +219,21 @@ impl SimDb {
         );
         self.exec_counter += 1;
         self.queries_executed += 1;
+        obs::counter("dbms.query_exec", 1);
         if time <= timeout {
             self.clock.advance(time);
             self.queries_completed += 1;
-            QueryOutcome { completed: true, time }
+            QueryOutcome {
+                completed: true,
+                time,
+            }
         } else {
             self.clock.advance(timeout);
-            QueryOutcome { completed: false, time: timeout }
+            obs::counter("dbms.query_timeout", 1);
+            QueryOutcome {
+                completed: false,
+                time: timeout,
+            }
         }
     }
 
@@ -262,8 +278,13 @@ impl SimDb {
             indexes: hypothetical.fingerprint(),
         };
         let plan = self.plan_cache.plan_or_insert(key, || {
-            Optimizer::new(&self.catalog, &self.knobs, hypothetical, self.model.stats_seed)
-                .plan_extracted(&preds)
+            Optimizer::new(
+                &self.catalog,
+                &self.knobs,
+                hypothetical,
+                self.model.stats_seed,
+            )
+            .plan_extracted(&preds)
         });
         (*plan).clone()
     }
@@ -309,8 +330,13 @@ impl SimDb {
             indexes: self.indexes.fingerprint(),
         };
         self.plan_cache.plan_or_insert(key, || {
-            Optimizer::new(&self.catalog, &self.knobs, &self.indexes, self.model.stats_seed)
-                .plan_extracted(preds)
+            Optimizer::new(
+                &self.catalog,
+                &self.knobs,
+                &self.indexes,
+                self.model.stats_seed,
+            )
+            .plan_extracted(preds)
         })
     }
 
@@ -498,7 +524,10 @@ mod tests {
         assert!(text.contains("actual="), "{text}");
         assert!(text.contains("Execution Time"), "{text}");
         // The join node appears with both children indented below it.
-        assert!(text.contains("Hash Join") || text.contains("Merge Join"), "{text}");
+        assert!(
+            text.contains("Hash Join") || text.contains("Merge Join"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub struct ExecutionContext<'a> {
 impl ExecutionModel {
     /// New model with the given seeds.
     pub fn new(stats_seed: u64, noise_seed: u64) -> Self {
-        ExecutionModel { stats_seed, noise_seed }
+        ExecutionModel {
+            stats_seed,
+            noise_seed,
+        }
     }
 
     /// Simulated wall-clock time of running `plan`.
@@ -113,7 +116,13 @@ impl ExecutionModel {
         exec_counter: u64,
     ) -> Secs {
         let est = Estimator::new(ctx.catalog, self.stats_seed);
-        let mut walker = Walker { model: self, ctx, est: &est, preds, profile: None };
+        let mut walker = Walker {
+            model: self,
+            ctx,
+            est: &est,
+            preds,
+            profile: None,
+        };
         let (_, mut time) = walker.node_time(&plan.root, 0);
         // Multiplicative noise in ±6%, deterministic.
         let h = mix(self
@@ -136,8 +145,13 @@ impl ExecutionModel {
         ctx: &ExecutionContext<'_>,
     ) -> Vec<NodeProfile> {
         let est = Estimator::new(ctx.catalog, self.stats_seed);
-        let mut walker =
-            Walker { model: self, ctx, est: &est, preds, profile: Some(Vec::new()) };
+        let mut walker = Walker {
+            model: self,
+            ctx,
+            est: &est,
+            preds,
+            profile: Some(Vec::new()),
+        };
         walker.node_time(&plan.root, 0);
         walker.profile.take().unwrap_or_default()
     }
@@ -150,7 +164,9 @@ impl ExecutionModel {
         let rows = table.rows as f64;
         let read = heap_pages * self.page_time_seq(ctx);
         let maintenance = ctx.knobs.maintenance_mem_bytes() as f64;
-        let boost = (maintenance / (64.0 * 1024.0 * 1024.0)).clamp(1.0, 16.0).sqrt();
+        let boost = (maintenance / (64.0 * 1024.0 * 1024.0))
+            .clamp(1.0, 16.0)
+            .sqrt();
         // External sort dominates builds on large tables (a default-config
         // B-tree build over tens of millions of rows takes minutes).
         let sort = rows * rows.max(2.0).log2() * (2.0 * T_TUPLE_SORT) / boost;
@@ -238,7 +254,9 @@ impl Walker<'_, '_> {
                 let cpu = rows * T_TUPLE_SCAN;
                 ((rows * sel).max(1.0), io + cpu)
             }
-            PlanOp::IndexScan { table, selectivity, .. } => {
+            PlanOp::IndexScan {
+                table, selectivity, ..
+            } => {
                 let t = self.ctx.catalog.table(*table);
                 let rows = t.rows as f64;
                 let pages = t.pages(self.ctx.catalog) as f64;
@@ -276,7 +294,10 @@ impl Walker<'_, '_> {
                 let sel = self.true_join_sel_all(keys);
                 let out = (l_rows * r_rows * sel).max(1.0);
                 let sort = |n: f64| n * n.max(2.0).log2() * T_TUPLE_SORT;
-                let time = l_t + r_t + sort(l_rows) + sort(r_rows)
+                let time = l_t
+                    + r_t
+                    + sort(l_rows)
+                    + sort(r_rows)
                     + (l_rows + r_rows) * T_TUPLE_SCAN
                     + out * T_TUPLE_SCAN;
                 (out, time)
@@ -285,9 +306,7 @@ impl Walker<'_, '_> {
                 let (outer_rows, outer_t) = self.node_time(&node.children[0], depth + 1);
                 let inner = &node.children[1];
                 let inner_table = match inner.op {
-                    PlanOp::IndexScan { table, .. } | PlanOp::SeqScan { table, .. } => {
-                        Some(table)
-                    }
+                    PlanOp::IndexScan { table, .. } | PlanOp::SeqScan { table, .. } => Some(table),
                     _ => None,
                 };
                 let sel = self.true_join_sel_all(keys);
@@ -299,8 +318,7 @@ impl Walker<'_, '_> {
                     let matches = (out / outer_rows.max(1.0)).max(1.0);
                     outer_t
                         + outer_rows
-                            * (T_INDEX_DESCENT
-                                + matches * self.model.page_time_rand(self.ctx))
+                            * (T_INDEX_DESCENT + matches * self.model.page_time_rand(self.ctx))
                 } else {
                     // Naive repeated scan of the inner side.
                     let (_, inner_t) = self.node_time(inner, depth + 1);
@@ -330,8 +348,7 @@ impl Walker<'_, '_> {
             }
             PlanOp::Gather { workers } => {
                 let (rows, t) = self.node_time(&node.children[0], depth + 1);
-                let usable =
-                    (*workers).min(self.ctx.hardware.cores.saturating_sub(1)) as f64;
+                let usable = (*workers).min(self.ctx.hardware.cores.saturating_sub(1)) as f64;
                 let speedup = 1.0 + 0.7 * usable;
                 (rows, t / speedup + usable * T_WORKER_STARTUP)
             }
@@ -366,7 +383,10 @@ impl Walker<'_, '_> {
     fn true_join_sel_all(&self, keys: &[(lt_common::ColumnId, lt_common::ColumnId)]) -> f64 {
         keys.iter()
             .map(|(l, r)| {
-                self.est.true_join_selectivity(crate::stats::JoinEdge { left: *l, right: *r })
+                self.est.true_join_selectivity(crate::stats::JoinEdge {
+                    left: *l,
+                    right: *r,
+                })
             })
             .product::<f64>()
             .clamp(1e-18, 1.0)
@@ -414,14 +434,22 @@ mod tests {
         let preds = extract(&q, &c);
         let plan = Optimizer::new(&c, knobs, &idx, 7).plan(&q);
         let model = ExecutionModel::new(7, 11);
-        let ctx = ExecutionContext { catalog: &c, knobs, indexes: &idx, hardware: &hw };
+        let ctx = ExecutionContext {
+            catalog: &c,
+            knobs,
+            indexes: &idx,
+            hardware: &hw,
+        };
         model.execution_time(&plan, &preds, &ctx, 1, 0, 0)
     }
 
     #[test]
     fn join_time_is_positive_and_finite() {
         let knobs = KnobSet::defaults(Dbms::Postgres);
-        let t = time_with(&knobs, "select * from lineitem, orders where l_orderkey = o_orderkey");
+        let t = time_with(
+            &knobs,
+            "select * from lineitem, orders where l_orderkey = o_orderkey",
+        );
         assert!(t > Secs::ZERO && t.is_finite(), "{t}");
     }
 
@@ -451,9 +479,11 @@ mod tests {
     #[test]
     fn parallel_workers_speed_up_large_scans() {
         let mut none = KnobSet::defaults(Dbms::Postgres);
-        none.set_text("max_parallel_workers_per_gather", "0").unwrap();
+        none.set_text("max_parallel_workers_per_gather", "0")
+            .unwrap();
         let mut four = KnobSet::defaults(Dbms::Postgres);
-        four.set_text("max_parallel_workers_per_gather", "4").unwrap();
+        four.set_text("max_parallel_workers_per_gather", "4")
+            .unwrap();
         let sql = "select count(*) from lineitem";
         assert!(time_with(&four, sql) < time_with(&none, sql));
     }
@@ -468,7 +498,12 @@ mod tests {
         let preds = extract(&q, &c);
         let plan = Optimizer::new(&c, &knobs, &idx, 7).plan(&q);
         let model = ExecutionModel::new(7, 11);
-        let ctx = ExecutionContext { catalog: &c, knobs: &knobs, indexes: &idx, hardware: &hw };
+        let ctx = ExecutionContext {
+            catalog: &c,
+            knobs: &knobs,
+            indexes: &idx,
+            hardware: &hw,
+        };
         let a = model.execution_time(&plan, &preds, &ctx, 5, 9, 0);
         let b = model.execution_time(&plan, &preds, &ctx, 5, 9, 0);
         assert_eq!(a, b);
@@ -485,7 +520,12 @@ mod tests {
         let idx = IndexCatalog::new();
         let hw = Hardware::p3_2xlarge();
         let model = ExecutionModel::new(7, 11);
-        let ctx = ExecutionContext { catalog: &c, knobs: &knobs, indexes: &idx, hardware: &hw };
+        let ctx = ExecutionContext {
+            catalog: &c,
+            knobs: &knobs,
+            indexes: &idx,
+            hardware: &hw,
+        };
         let li = c.table_by_name("lineitem").unwrap();
         let or = c.table_by_name("orders").unwrap();
         let big = Index {
@@ -519,10 +559,20 @@ mod tests {
         let slow_knobs = KnobSet::defaults(Dbms::Postgres);
         let mut fast_knobs = KnobSet::defaults(Dbms::Postgres);
         fast_knobs.set_text("maintenance_work_mem", "4GB").unwrap();
-        let slow_ctx =
-            ExecutionContext { catalog: &c, knobs: &slow_knobs, indexes: &idx, hardware: &hw };
-        let fast_ctx =
-            ExecutionContext { catalog: &c, knobs: &fast_knobs, indexes: &idx, hardware: &hw };
-        assert!(model.index_build_time(&index, &fast_ctx) < model.index_build_time(&index, &slow_ctx));
+        let slow_ctx = ExecutionContext {
+            catalog: &c,
+            knobs: &slow_knobs,
+            indexes: &idx,
+            hardware: &hw,
+        };
+        let fast_ctx = ExecutionContext {
+            catalog: &c,
+            knobs: &fast_knobs,
+            indexes: &idx,
+            hardware: &hw,
+        };
+        assert!(
+            model.index_build_time(&index, &fast_ctx) < model.index_build_time(&index, &slow_ctx)
+        );
     }
 }

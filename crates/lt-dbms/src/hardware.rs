@@ -4,7 +4,6 @@
 //! core count (paper §3.1) — so that is what we model. The default matches
 //! the paper's EC2 `p3.2xlarge` testbed (61 GB RAM, 8 vCPUs).
 
-
 /// Bytes per gibibyte.
 pub const GIB: u64 = 1024 * 1024 * 1024;
 /// Bytes per mebibyte.
@@ -24,12 +23,18 @@ pub struct Hardware {
 impl Hardware {
     /// The paper's testbed: EC2 p3.2xlarge (61 GB RAM, 8 vCPUs).
     pub fn p3_2xlarge() -> Self {
-        Hardware { memory_bytes: 61 * GIB, cores: 8 }
+        Hardware {
+            memory_bytes: 61 * GIB,
+            cores: 8,
+        }
     }
 
     /// A small machine, useful in tests (4 GB, 2 cores).
     pub fn small() -> Self {
-        Hardware { memory_bytes: 4 * GIB, cores: 2 }
+        Hardware {
+            memory_bytes: 4 * GIB,
+            cores: 2,
+        }
     }
 
     /// Memory expressed in whole gibibytes (rounded down).
@@ -47,11 +52,11 @@ impl Default for Hardware {
 /// Formats a byte count the way DBAs write knob values (`16GB`, `512MB`,
 /// `64kB`); used when rendering configurations and prompts.
 pub fn format_bytes(bytes: u64) -> String {
-    if bytes >= GIB && bytes % GIB == 0 {
+    if bytes >= GIB && bytes.is_multiple_of(GIB) {
         format!("{}GB", bytes / GIB)
-    } else if bytes >= MIB && bytes % MIB == 0 {
+    } else if bytes >= MIB && bytes.is_multiple_of(MIB) {
         format!("{}MB", bytes / MIB)
-    } else if bytes >= KIB && bytes % KIB == 0 {
+    } else if bytes >= KIB && bytes.is_multiple_of(KIB) {
         format!("{}kB", bytes / KIB)
     } else {
         format!("{bytes}B")

@@ -157,7 +157,14 @@ impl KnobDef {
         max: f64,
         description: &'static str,
     ) -> Self {
-        KnobDef { name, category, default: KnobValue::Float(default), min, max, description }
+        KnobDef {
+            name,
+            category,
+            default: KnobValue::Float(default),
+            min,
+            max,
+            description,
+        }
     }
 
     const fn int(
@@ -235,44 +242,156 @@ impl KnobDef {
 pub fn postgres_knobs() -> &'static [KnobDef] {
     use KnobCategory::*;
     const DEFS: &[KnobDef] = &[
-        KnobDef::bytes("shared_buffers", Memory, 128 * MIB, 128 * KIB, 512 * GIB,
-            "Size of the shared buffer pool caching table and index pages."),
-        KnobDef::bytes("work_mem", Memory, 4 * MIB, 64 * KIB, 64 * GIB,
-            "Memory per sort/hash operation before spilling to disk."),
-        KnobDef::bytes("maintenance_work_mem", Memory, 64 * MIB, 1024 * KIB, 64 * GIB,
-            "Memory for maintenance operations such as CREATE INDEX."),
-        KnobDef::bytes("temp_buffers", Memory, 8 * MIB, 800 * KIB, 16 * GIB,
-            "Per-session buffers for temporary tables."),
-        KnobDef::bytes("effective_cache_size", Optimizer, 4 * GIB, 8 * KIB, 512 * GIB,
-            "Planner's assumption about total cache available to one query."),
-        KnobDef::float("random_page_cost", Optimizer, 4.0, 0.01, 1000.0,
-            "Planner cost of a non-sequential page fetch."),
-        KnobDef::float("seq_page_cost", Optimizer, 1.0, 0.01, 1000.0,
-            "Planner cost of a sequential page fetch."),
-        KnobDef::float("cpu_tuple_cost", Optimizer, 0.01, 0.0001, 100.0,
-            "Planner cost of processing one tuple."),
-        KnobDef::float("cpu_index_tuple_cost", Optimizer, 0.005, 0.0001, 100.0,
-            "Planner cost of processing one index entry."),
-        KnobDef::float("cpu_operator_cost", Optimizer, 0.0025, 0.0001, 100.0,
-            "Planner cost of processing one operator or function call."),
-        KnobDef::int("default_statistics_target", Optimizer, 100, 1, 10000,
-            "Statistics detail level collected by ANALYZE."),
-        KnobDef::boolean("jit", Optimizer, true,
-            "Just-in-time compilation of expressions."),
-        KnobDef::int("effective_io_concurrency", Io, 1, 0, 1000,
-            "Number of concurrent asynchronous I/O requests."),
-        KnobDef::int("max_parallel_workers_per_gather", Parallelism, 2, 0, 64,
-            "Workers a single Gather node may launch."),
-        KnobDef::int("max_parallel_workers", Parallelism, 8, 0, 128,
-            "Total parallel workers available to the system."),
-        KnobDef::int("max_worker_processes", Parallelism, 8, 0, 128,
-            "Background worker process limit."),
-        KnobDef::float("checkpoint_completion_target", Logging, 0.5, 0.0, 1.0,
-            "Fraction of the checkpoint interval used to spread writes."),
-        KnobDef::bytes("wal_buffers", Logging, 16 * MIB, 32 * KIB, 2 * GIB,
-            "Shared memory for WAL not yet written to disk."),
-        KnobDef::bytes("max_wal_size", Logging, GIB, 2 * MIB, 1024 * GIB,
-            "Maximum WAL size between automatic checkpoints."),
+        KnobDef::bytes(
+            "shared_buffers",
+            Memory,
+            128 * MIB,
+            128 * KIB,
+            512 * GIB,
+            "Size of the shared buffer pool caching table and index pages.",
+        ),
+        KnobDef::bytes(
+            "work_mem",
+            Memory,
+            4 * MIB,
+            64 * KIB,
+            64 * GIB,
+            "Memory per sort/hash operation before spilling to disk.",
+        ),
+        KnobDef::bytes(
+            "maintenance_work_mem",
+            Memory,
+            64 * MIB,
+            1024 * KIB,
+            64 * GIB,
+            "Memory for maintenance operations such as CREATE INDEX.",
+        ),
+        KnobDef::bytes(
+            "temp_buffers",
+            Memory,
+            8 * MIB,
+            800 * KIB,
+            16 * GIB,
+            "Per-session buffers for temporary tables.",
+        ),
+        KnobDef::bytes(
+            "effective_cache_size",
+            Optimizer,
+            4 * GIB,
+            8 * KIB,
+            512 * GIB,
+            "Planner's assumption about total cache available to one query.",
+        ),
+        KnobDef::float(
+            "random_page_cost",
+            Optimizer,
+            4.0,
+            0.01,
+            1000.0,
+            "Planner cost of a non-sequential page fetch.",
+        ),
+        KnobDef::float(
+            "seq_page_cost",
+            Optimizer,
+            1.0,
+            0.01,
+            1000.0,
+            "Planner cost of a sequential page fetch.",
+        ),
+        KnobDef::float(
+            "cpu_tuple_cost",
+            Optimizer,
+            0.01,
+            0.0001,
+            100.0,
+            "Planner cost of processing one tuple.",
+        ),
+        KnobDef::float(
+            "cpu_index_tuple_cost",
+            Optimizer,
+            0.005,
+            0.0001,
+            100.0,
+            "Planner cost of processing one index entry.",
+        ),
+        KnobDef::float(
+            "cpu_operator_cost",
+            Optimizer,
+            0.0025,
+            0.0001,
+            100.0,
+            "Planner cost of processing one operator or function call.",
+        ),
+        KnobDef::int(
+            "default_statistics_target",
+            Optimizer,
+            100,
+            1,
+            10000,
+            "Statistics detail level collected by ANALYZE.",
+        ),
+        KnobDef::boolean(
+            "jit",
+            Optimizer,
+            true,
+            "Just-in-time compilation of expressions.",
+        ),
+        KnobDef::int(
+            "effective_io_concurrency",
+            Io,
+            1,
+            0,
+            1000,
+            "Number of concurrent asynchronous I/O requests.",
+        ),
+        KnobDef::int(
+            "max_parallel_workers_per_gather",
+            Parallelism,
+            2,
+            0,
+            64,
+            "Workers a single Gather node may launch.",
+        ),
+        KnobDef::int(
+            "max_parallel_workers",
+            Parallelism,
+            8,
+            0,
+            128,
+            "Total parallel workers available to the system.",
+        ),
+        KnobDef::int(
+            "max_worker_processes",
+            Parallelism,
+            8,
+            0,
+            128,
+            "Background worker process limit.",
+        ),
+        KnobDef::float(
+            "checkpoint_completion_target",
+            Logging,
+            0.5,
+            0.0,
+            1.0,
+            "Fraction of the checkpoint interval used to spread writes.",
+        ),
+        KnobDef::bytes(
+            "wal_buffers",
+            Logging,
+            16 * MIB,
+            32 * KIB,
+            2 * GIB,
+            "Shared memory for WAL not yet written to disk.",
+        ),
+        KnobDef::bytes(
+            "max_wal_size",
+            Logging,
+            GIB,
+            2 * MIB,
+            1024 * GIB,
+            "Maximum WAL size between automatic checkpoints.",
+        ),
     ];
     DEFS
 }
@@ -281,38 +400,132 @@ pub fn postgres_knobs() -> &'static [KnobDef] {
 pub fn mysql_knobs() -> &'static [KnobDef] {
     use KnobCategory::*;
     const DEFS: &[KnobDef] = &[
-        KnobDef::bytes("innodb_buffer_pool_size", Memory, 128 * MIB, 5 * MIB, 512 * GIB,
-            "Size of the InnoDB buffer pool caching table and index pages."),
-        KnobDef::bytes("sort_buffer_size", Memory, 256 * KIB, 32 * KIB, 16 * GIB,
-            "Per-session buffer for sorts before spilling."),
-        KnobDef::bytes("join_buffer_size", Memory, 256 * KIB, 128 * KIB, 16 * GIB,
-            "Per-join buffer for block nested-loop and hash joins."),
-        KnobDef::bytes("tmp_table_size", Memory, 16 * MIB, 1024, 64 * GIB,
-            "Maximum size of in-memory temporary tables."),
-        KnobDef::bytes("max_heap_table_size", Memory, 16 * MIB, 16 * KIB, 64 * GIB,
-            "Maximum size of user-created MEMORY tables."),
-        KnobDef::bytes("read_rnd_buffer_size", Memory, 256 * KIB, 1024, 2 * GIB,
-            "Buffer for reading rows in sorted order after a sort."),
-        KnobDef::bytes("innodb_log_file_size", Logging, 48 * MIB, 4 * MIB, 512 * GIB,
-            "Size of each InnoDB redo log file."),
-        KnobDef::int("innodb_flush_log_at_trx_commit", Logging, 1, 0, 2,
-            "Durability/throughput trade-off for redo flushing."),
-        KnobDef::int("innodb_io_capacity", Io, 200, 100, 100_000,
-            "I/O operations per second available to background tasks."),
-        KnobDef::int("innodb_read_io_threads", Io, 4, 1, 64,
-            "Background read I/O threads."),
-        KnobDef::int("innodb_write_io_threads", Io, 4, 1, 64,
-            "Background write I/O threads."),
-        KnobDef::int("innodb_parallel_read_threads", Parallelism, 4, 1, 256,
-            "Threads for parallel clustered-index reads."),
-        KnobDef::int("innodb_thread_concurrency", Parallelism, 0, 0, 1000,
-            "Concurrent thread limit inside InnoDB (0 = unlimited)."),
-        KnobDef::int("table_open_cache", Memory, 4000, 1, 500_000,
-            "Number of table definitions kept open."),
-        KnobDef::int("optimizer_search_depth", Optimizer, 62, 0, 62,
-            "Join-order search depth of the optimizer."),
-        KnobDef::boolean("innodb_adaptive_hash_index", Optimizer, true,
-            "Adaptive hash index on frequently accessed pages."),
+        KnobDef::bytes(
+            "innodb_buffer_pool_size",
+            Memory,
+            128 * MIB,
+            5 * MIB,
+            512 * GIB,
+            "Size of the InnoDB buffer pool caching table and index pages.",
+        ),
+        KnobDef::bytes(
+            "sort_buffer_size",
+            Memory,
+            256 * KIB,
+            32 * KIB,
+            16 * GIB,
+            "Per-session buffer for sorts before spilling.",
+        ),
+        KnobDef::bytes(
+            "join_buffer_size",
+            Memory,
+            256 * KIB,
+            128 * KIB,
+            16 * GIB,
+            "Per-join buffer for block nested-loop and hash joins.",
+        ),
+        KnobDef::bytes(
+            "tmp_table_size",
+            Memory,
+            16 * MIB,
+            1024,
+            64 * GIB,
+            "Maximum size of in-memory temporary tables.",
+        ),
+        KnobDef::bytes(
+            "max_heap_table_size",
+            Memory,
+            16 * MIB,
+            16 * KIB,
+            64 * GIB,
+            "Maximum size of user-created MEMORY tables.",
+        ),
+        KnobDef::bytes(
+            "read_rnd_buffer_size",
+            Memory,
+            256 * KIB,
+            1024,
+            2 * GIB,
+            "Buffer for reading rows in sorted order after a sort.",
+        ),
+        KnobDef::bytes(
+            "innodb_log_file_size",
+            Logging,
+            48 * MIB,
+            4 * MIB,
+            512 * GIB,
+            "Size of each InnoDB redo log file.",
+        ),
+        KnobDef::int(
+            "innodb_flush_log_at_trx_commit",
+            Logging,
+            1,
+            0,
+            2,
+            "Durability/throughput trade-off for redo flushing.",
+        ),
+        KnobDef::int(
+            "innodb_io_capacity",
+            Io,
+            200,
+            100,
+            100_000,
+            "I/O operations per second available to background tasks.",
+        ),
+        KnobDef::int(
+            "innodb_read_io_threads",
+            Io,
+            4,
+            1,
+            64,
+            "Background read I/O threads.",
+        ),
+        KnobDef::int(
+            "innodb_write_io_threads",
+            Io,
+            4,
+            1,
+            64,
+            "Background write I/O threads.",
+        ),
+        KnobDef::int(
+            "innodb_parallel_read_threads",
+            Parallelism,
+            4,
+            1,
+            256,
+            "Threads for parallel clustered-index reads.",
+        ),
+        KnobDef::int(
+            "innodb_thread_concurrency",
+            Parallelism,
+            0,
+            0,
+            1000,
+            "Concurrent thread limit inside InnoDB (0 = unlimited).",
+        ),
+        KnobDef::int(
+            "table_open_cache",
+            Memory,
+            4000,
+            1,
+            500_000,
+            "Number of table definitions kept open.",
+        ),
+        KnobDef::int(
+            "optimizer_search_depth",
+            Optimizer,
+            62,
+            0,
+            62,
+            "Join-order search depth of the optimizer.",
+        ),
+        KnobDef::boolean(
+            "innodb_adaptive_hash_index",
+            Optimizer,
+            true,
+            "Adaptive hash index on frequently accessed pages.",
+        ),
     ];
     DEFS
 }
@@ -327,7 +540,9 @@ pub fn knob_defs(dbms: Dbms) -> &'static [KnobDef] {
 
 /// Looks up one knob definition by name (case-insensitive).
 pub fn knob_def(dbms: Dbms, name: &str) -> Option<&'static KnobDef> {
-    knob_defs(dbms).iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    knob_defs(dbms)
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 /// A full assignment of values to every knob of one DBMS.
@@ -340,7 +555,10 @@ pub struct KnobSet {
 impl KnobSet {
     /// All-defaults knob set for a DBMS.
     pub fn defaults(dbms: Dbms) -> Self {
-        let values = knob_defs(dbms).iter().map(|d| (d.name, d.default)).collect();
+        let values = knob_defs(dbms)
+            .iter()
+            .map(|d| (d.name, d.default))
+            .collect();
         KnobSet { dbms, values }
     }
 
@@ -496,7 +714,9 @@ impl KnobSet {
         self.work_mem_bytes().hash(&mut h);
         self.parallel_workers().hash(&mut h);
         if self.dbms == Dbms::Postgres {
-            self.get_f64("default_statistics_target").to_bits().hash(&mut h);
+            self.get_f64("default_statistics_target")
+                .to_bits()
+                .hash(&mut h);
         }
         lt_common::Fingerprint(h.finish())
     }
@@ -579,7 +799,8 @@ mod tests {
     #[test]
     fn parallel_workers_respects_global_cap() {
         let mut pg = KnobSet::defaults(Dbms::Postgres);
-        pg.set_text("max_parallel_workers_per_gather", "16").unwrap();
+        pg.set_text("max_parallel_workers_per_gather", "16")
+            .unwrap();
         pg.set_text("max_parallel_workers", "4").unwrap();
         assert_eq!(pg.parallel_workers(), 4);
     }
@@ -597,10 +818,7 @@ mod tests {
         exec.set_text("wal_buffers", "64MB").unwrap();
         assert_eq!(exec.planner_fingerprint(), base);
         // …and the two DBMS flavours never collide.
-        assert_ne!(
-            KnobSet::defaults(Dbms::Mysql).planner_fingerprint(),
-            base
-        );
+        assert_ne!(KnobSet::defaults(Dbms::Mysql).planner_fingerprint(), base);
     }
 
     #[test]

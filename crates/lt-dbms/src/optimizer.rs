@@ -51,13 +51,18 @@ impl<'a> Optimizer<'a> {
         stats_seed: u64,
     ) -> Self {
         let quality = match knobs.dbms() {
-            crate::knobs::Dbms::Postgres => Estimator::quality_from_stats_target(
-                knobs.get_f64("default_statistics_target"),
-            ),
+            crate::knobs::Dbms::Postgres => {
+                Estimator::quality_from_stats_target(knobs.get_f64("default_statistics_target"))
+            }
             crate::knobs::Dbms::Mysql => 0.0,
         };
         let est = Estimator::new(catalog, stats_seed).with_stats_quality(quality);
-        Optimizer { catalog, knobs, indexes, est }
+        Optimizer {
+            catalog,
+            knobs,
+            indexes,
+            est,
+        }
     }
 
     /// Plans a query. Queries referencing no known table produce a trivial
@@ -72,14 +77,20 @@ impl<'a> Optimizer<'a> {
     pub fn plan_extracted(&self, preds: &QueryPredicates) -> Plan {
         if preds.tables.is_empty() {
             let root = PlanNode::leaf(PlanOp::Limit { rows: 1 }, 1.0, 0.01, 8.0);
-            return Plan { root, join_costs: Vec::new() };
+            return Plan {
+                root,
+                join_costs: Vec::new(),
+            };
         }
         let mut join_costs = Vec::new();
         let base: Vec<Candidate> = preds
             .tables
             .iter()
             .enumerate()
-            .map(|(i, t)| Candidate { node: self.best_access_path(*t, preds), tables: 1 << i })
+            .map(|(i, t)| Candidate {
+                node: self.best_access_path(*t, preds),
+                tables: 1 << i,
+            })
             .collect();
         let joined = if preds.tables.len() <= DP_RELATION_LIMIT {
             self.dp_join(&base, preds, &mut join_costs)
@@ -143,7 +154,10 @@ impl<'a> Optimizer<'a> {
         let out_rows = (rows * sel).max(1.0);
 
         let seq = PlanNode::leaf(
-            PlanOp::SeqScan { table, selectivity: sel },
+            PlanOp::SeqScan {
+                table,
+                selectivity: sel,
+            },
             out_rows,
             self.seq_scan_cost(table),
             width,
@@ -167,7 +181,11 @@ impl<'a> Optimizer<'a> {
             let cost = self.index_scan_cost(table, term_sel);
             if cost < best.est_cost {
                 best = PlanNode::leaf(
-                    PlanOp::IndexScan { table, index: index.id, selectivity: sel },
+                    PlanOp::IndexScan {
+                        table,
+                        index: index.id,
+                        selectivity: sel,
+                    },
                     out_rows,
                     cost,
                     width,
@@ -196,7 +214,9 @@ impl<'a> Optimizer<'a> {
             let rt = self.catalog.column(edge.right).table;
             let l_idx = preds.tables.iter().position(|t| *t == lt);
             let r_idx = preds.tables.iter().position(|t| *t == rt);
-            let (Some(li), Some(ri)) = (l_idx, r_idx) else { continue };
+            let (Some(li), Some(ri)) = (l_idx, r_idx) else {
+                continue;
+            };
             let l_in = covered & (1 << li) != 0;
             let r_in = covered & (1 << ri) != 0;
             if l_in && rt == next_table {
@@ -226,9 +246,7 @@ impl<'a> Optimizer<'a> {
         let Some((keys, sel)) = keys else {
             // Cartesian product: rows multiply; heavily penalized.
             let rows = (outer.est_rows * inner.est_rows).max(1.0);
-            let cost = outer.est_cost
-                + inner.est_cost
-                + rows * self.knobs.cpu_tuple_cost() * 4.0;
+            let cost = outer.est_cost + inner.est_cost + rows * self.knobs.cpu_tuple_cost() * 4.0;
             return PlanNode {
                 op: PlanOp::CrossJoin,
                 children: vec![outer.clone(), inner.clone()],
@@ -256,8 +274,7 @@ impl<'a> Optimizer<'a> {
             + probe.est_rows * cpu_op
             + out_rows * self.knobs.cpu_tuple_cost() * 0.5;
         if spills {
-            let spill_pages =
-                (build_bytes + probe.est_rows * probe.width) / PAGE_SIZE as f64;
+            let spill_pages = (build_bytes + probe.est_rows * probe.width) / PAGE_SIZE as f64;
             hash_cost += 2.0 * spill_pages * self.knobs.seq_page_cost();
         }
 
@@ -278,7 +295,10 @@ impl<'a> Optimizer<'a> {
             + out_rows * self.knobs.cpu_tuple_cost() * 0.5;
 
         let hash_node = PlanNode {
-            op: PlanOp::HashJoin { keys: keys.clone(), spills },
+            op: PlanOp::HashJoin {
+                keys: keys.clone(),
+                spills,
+            },
             children: vec![probe.clone(), build.clone()],
             est_rows: out_rows,
             est_cost: hash_cost,
@@ -292,7 +312,11 @@ impl<'a> Optimizer<'a> {
             width: out_width,
         };
 
-        let mut best = if hash_cost <= merge_cost { hash_node } else { merge_node };
+        let mut best = if hash_cost <= merge_cost {
+            hash_node
+        } else {
+            merge_node
+        };
         if let Some(nl_node) = nl {
             if nl_node.est_cost < best.est_cost {
                 best = nl_node;
@@ -336,13 +360,20 @@ impl<'a> Optimizer<'a> {
         let cost = outer.est_cost + outer.est_rows * per_probe;
         let lookup_sel = (matches_per_probe / inner_rows).clamp(1e-12, 1.0);
         let inner_leaf = PlanNode::leaf(
-            PlanOp::IndexScan { table: inner_table, index: index.id, selectivity: lookup_sel },
+            PlanOp::IndexScan {
+                table: inner_table,
+                index: index.id,
+                selectivity: lookup_sel,
+            },
             matches_per_probe,
             per_probe,
             inner.width,
         );
         Some(PlanNode {
-            op: PlanOp::NestLoopJoin { keys: keys.to_vec(), inner_index: Some(index.id) },
+            op: PlanOp::NestLoopJoin {
+                keys: keys.to_vec(),
+                inner_index: Some(index.id),
+            },
             children: vec![outer.clone(), inner_leaf],
             est_rows: out_rows,
             est_cost: cost,
@@ -371,21 +402,25 @@ impl<'a> Optimizer<'a> {
                     continue;
                 }
                 let mut best_for_mask: Option<Candidate> = None;
-                for next in 0..n {
+                for (next, base_entry) in base.iter().enumerate() {
                     if mask & (1 << next) == 0 {
                         continue;
                     }
                     let rest = mask & !(1 << next);
-                    let Some(left) = best.get(&rest) else { continue };
+                    let Some(left) = best.get(&rest) else {
+                        continue;
+                    };
                     // Cross joins are never enumerated here: a subset with no
                     // connecting edge gets no DP entry, so a connected join
                     // graph can only produce edge-linked plans. Disconnected
                     // graphs are handled after the DP by cross-joining the
                     // per-component winners.
-                    let Some(keys) = self.connection(rest, next, preds) else { continue };
+                    let Some(keys) = self.connection(rest, next, preds) else {
+                        continue;
+                    };
                     let mut scratch = Vec::new();
                     let node =
-                        self.join_node(&left.node, &base[next].node, Some(keys), &mut scratch);
+                        self.join_node(&left.node, &base_entry.node, Some(keys), &mut scratch);
                     if best_for_mask
                         .as_ref()
                         .map(|b| node.est_cost < b.node.est_cost)
@@ -408,15 +443,15 @@ impl<'a> Optimizer<'a> {
                 // only way to combine components is a Cartesian product.
                 let mut comps = self.components(n, preds).into_iter();
                 let first = comps.next().expect("at least one component");
-                let mut acc =
-                    best.remove(&first).expect("component winner exists");
+                let mut acc = best.remove(&first).expect("component winner exists");
                 for comp in comps {
-                    let right =
-                        best.remove(&comp).expect("component winner exists");
+                    let right = best.remove(&comp).expect("component winner exists");
                     let mut scratch = Vec::new();
-                    let node =
-                        self.join_node(&acc.node, &right.node, None, &mut scratch);
-                    acc = Candidate { node, tables: acc.tables | comp };
+                    let node = self.join_node(&acc.node, &right.node, None, &mut scratch);
+                    acc = Candidate {
+                        node,
+                        tables: acc.tables | comp,
+                    };
                 }
                 acc
             }
@@ -434,7 +469,9 @@ impl<'a> Optimizer<'a> {
             let rt = self.catalog.column(edge.right).table;
             let li = preds.tables.iter().position(|t| *t == lt);
             let ri = preds.tables.iter().position(|t| *t == rt);
-            let (Some(li), Some(ri)) = (li, ri) else { continue };
+            let (Some(li), Some(ri)) = (li, ri) else {
+                continue;
+            };
             if li != ri {
                 adj[li] |= 1 << ri;
                 adj[ri] |= 1 << li;
@@ -449,9 +486,9 @@ impl<'a> Optimizer<'a> {
             let mut comp = 1u64 << start;
             loop {
                 let mut grown = comp;
-                for i in 0..n {
+                for (i, a) in adj.iter().enumerate() {
                     if comp & (1 << i) != 0 {
-                        grown |= adj[i];
+                        grown |= a;
                     }
                 }
                 if grown == comp {
@@ -489,8 +526,7 @@ impl<'a> Optimizer<'a> {
                         continue;
                     }
                     let mut scratch = Vec::new();
-                    let node =
-                        self.join_node(&cands[i].node, &cands[j].node, keys, &mut scratch);
+                    let node = self.join_node(&cands[i].node, &cands[j].node, keys, &mut scratch);
                     let better = match &best {
                         None => true,
                         Some((_, _, b, best_conn)) => {
@@ -528,7 +564,9 @@ impl<'a> Optimizer<'a> {
             let rt = self.catalog.column(edge.right).table;
             let li = preds.tables.iter().position(|t| *t == lt);
             let ri = preds.tables.iter().position(|t| *t == rt);
-            let (Some(li), Some(ri)) = (li, ri) else { continue };
+            let (Some(li), Some(ri)) = (li, ri) else {
+                continue;
+            };
             let l_left = left_set & (1 << li) != 0;
             let r_right = right_set & (1 << ri) != 0;
             let l_right = right_set & (1 << li) != 0;
@@ -609,7 +647,11 @@ impl<'a> Optimizer<'a> {
         if preds.has_aggregates || preds.group_by_columns > 0 {
             let grouped = preds.group_by_columns > 0;
             let in_rows = node.est_rows;
-            let out_rows = if grouped { (in_rows * 0.1).max(1.0) } else { 1.0 };
+            let out_rows = if grouped {
+                (in_rows * 0.1).max(1.0)
+            } else {
+                1.0
+            };
             let cost = node.est_cost + in_rows * cpu_op * 2.0;
             let width = node.width.min(64.0);
             node = PlanNode {
@@ -693,12 +735,7 @@ mod tests {
         c
     }
 
-    fn plan_sql(
-        c: &Catalog,
-        knobs: &KnobSet,
-        idx: &IndexCatalog,
-        sql: &str,
-    ) -> Plan {
+    fn plan_sql(c: &Catalog, knobs: &KnobSet, idx: &IndexCatalog, sql: &str) -> Plan {
         let q = parse_query(sql).unwrap();
         Optimizer::new(c, knobs, idx, 42).plan(&q)
     }
@@ -708,8 +745,17 @@ mod tests {
         let c = catalog();
         let knobs = KnobSet::defaults(Dbms::Postgres);
         let idx = IndexCatalog::new();
-        let p = plan_sql(&c, &knobs, &idx, "select * from customer where c_mktsegment = 'A'");
-        assert!(matches!(p.root.op, PlanOp::SeqScan { .. }), "{}", p.explain());
+        let p = plan_sql(
+            &c,
+            &knobs,
+            &idx,
+            "select * from customer where c_mktsegment = 'A'",
+        );
+        assert!(
+            matches!(p.root.op, PlanOp::SeqScan { .. }),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]
@@ -722,7 +768,12 @@ mod tests {
         let col = c.resolve_column(None, "o_orderkey").unwrap();
         let t = c.table_by_name("orders").unwrap();
         idx.add(t, vec![col], None);
-        let p = plan_sql(&c, &knobs, &idx, "select * from orders where o_orderkey = 42");
+        let p = plan_sql(
+            &c,
+            &knobs,
+            &idx,
+            "select * from orders where o_orderkey = 42",
+        );
         // Highly selective equality + index + cheap random IO ⇒ index scan.
         let has_index_scan = p.root.used_indexes().len() == 1;
         assert!(has_index_scan, "{}", p.explain());
@@ -815,13 +866,17 @@ mod tests {
     fn parallel_workers_add_gather() {
         let c = catalog();
         let mut knobs = KnobSet::defaults(Dbms::Postgres);
-        knobs.set_text("max_parallel_workers_per_gather", "4").unwrap();
+        knobs
+            .set_text("max_parallel_workers_per_gather", "4")
+            .unwrap();
         let idx = IndexCatalog::new();
         let p = plan_sql(&c, &knobs, &idx, "select count(*) from lineitem");
         assert!(p.explain().contains("Gather"), "{}", p.explain());
 
         let mut no_par = KnobSet::defaults(Dbms::Postgres);
-        no_par.set_text("max_parallel_workers_per_gather", "0").unwrap();
+        no_par
+            .set_text("max_parallel_workers_per_gather", "0")
+            .unwrap();
         let p2 = plan_sql(&c, &no_par, &idx, "select count(*) from lineitem");
         assert!(!p2.explain().contains("Gather"), "{}", p2.explain());
     }
@@ -846,7 +901,13 @@ mod tests {
         );
         let mut has_nl = false;
         p.root.visit(&mut |n| {
-            if matches!(n.op, PlanOp::NestLoopJoin { inner_index: Some(_), .. }) {
+            if matches!(
+                n.op,
+                PlanOp::NestLoopJoin {
+                    inner_index: Some(_),
+                    ..
+                }
+            ) {
                 has_nl = true;
             }
         });

@@ -33,8 +33,11 @@ impl Index {
     /// per entry, PostgreSQL-like fill factor of 90%).
     pub fn pages(&self, catalog: &Catalog) -> u64 {
         let rows = catalog.table(self.table).rows;
-        let key_width: u64 =
-            self.columns.iter().map(|c| catalog.column(*c).width as u64).sum();
+        let key_width: u64 = self
+            .columns
+            .iter()
+            .map(|c| catalog.column(*c).width as u64)
+            .sum();
         let entry = key_width + 12;
         let per_page = ((PAGE_SIZE * 9 / 10) / entry.max(1)).max(1);
         rows.div_ceil(per_page)
@@ -86,7 +89,15 @@ impl IndexCatalog {
         let id = IndexId(self.next_id);
         self.next_id += 1;
         let name = name.unwrap_or_else(|| format!("idx_{}_{}", table.0, id.0));
-        self.indexes.insert(id, Index { id, table, columns, name });
+        self.indexes.insert(
+            id,
+            Index {
+                id,
+                table,
+                columns,
+                name,
+            },
+        );
         self.touch();
         id
     }

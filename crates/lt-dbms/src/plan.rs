@@ -110,7 +110,13 @@ pub struct PlanNode {
 impl PlanNode {
     /// Creates a leaf node.
     pub fn leaf(op: PlanOp, est_rows: f64, est_cost: f64, width: f64) -> Self {
-        PlanNode { op, children: Vec::new(), est_rows, est_cost, width }
+        PlanNode {
+            op,
+            children: Vec::new(),
+            est_rows,
+            est_cost,
+            width,
+        }
     }
 
     /// Pre-order traversal.
@@ -132,9 +138,7 @@ impl PlanNode {
     pub fn scanned_tables(&self) -> Vec<TableId> {
         let mut tables = Vec::new();
         self.visit(&mut |n| match n.op {
-            PlanOp::SeqScan { table, .. } | PlanOp::IndexScan { table, .. } => {
-                tables.push(table)
-            }
+            PlanOp::SeqScan { table, .. } | PlanOp::IndexScan { table, .. } => tables.push(table),
             _ => {}
         });
         tables.sort_unstable();
@@ -147,7 +151,10 @@ impl PlanNode {
         let mut idx = Vec::new();
         self.visit(&mut |n| match n.op {
             PlanOp::IndexScan { index, .. } => idx.push(index),
-            PlanOp::NestLoopJoin { inner_index: Some(i), .. } => idx.push(i),
+            PlanOp::NestLoopJoin {
+                inner_index: Some(i),
+                ..
+            } => idx.push(i),
             _ => {}
         });
         idx.sort_unstable();
@@ -163,7 +170,11 @@ impl PlanNode {
             PlanOp::SeqScan { table, selectivity } => {
                 format!(" on {table} (sel={selectivity:.4})")
             }
-            PlanOp::IndexScan { table, index, selectivity } => {
+            PlanOp::IndexScan {
+                table,
+                index,
+                selectivity,
+            } => {
                 format!(" on {table} using {index} (sel={selectivity:.4})")
             }
             PlanOp::HashJoin { keys, spills } => format!(
@@ -237,7 +248,10 @@ mod tests {
 
     fn scan(table: u32, cost: f64) -> PlanNode {
         PlanNode::leaf(
-            PlanOp::SeqScan { table: TableId(table), selectivity: 0.5 },
+            PlanOp::SeqScan {
+                table: TableId(table),
+                selectivity: 0.5,
+            },
             100.0,
             cost,
             32.0,
@@ -247,7 +261,10 @@ mod tests {
     #[test]
     fn visit_counts_nodes() {
         let join = PlanNode {
-            op: PlanOp::HashJoin { keys: vec![(ColumnId(0), ColumnId(1))], spills: false },
+            op: PlanOp::HashJoin {
+                keys: vec![(ColumnId(0), ColumnId(1))],
+                spills: false,
+            },
             children: vec![scan(0, 10.0), scan(1, 20.0)],
             est_rows: 50.0,
             est_cost: 40.0,
@@ -286,7 +303,10 @@ mod tests {
 
     #[test]
     fn explain_renders_tree() {
-        let plan = Plan { root: scan(3, 12.5), join_costs: vec![] };
+        let plan = Plan {
+            root: scan(3, 12.5),
+            join_costs: vec![],
+        };
         let text = plan.explain();
         assert!(text.contains("Seq Scan on t3"), "{text}");
         assert!(text.contains("cost=12.50"), "{text}");

@@ -22,7 +22,7 @@
 
 use crate::plan::Plan;
 use crate::stats::QueryPredicates;
-use lt_common::Fingerprint;
+use lt_common::{obs, Fingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -103,23 +103,22 @@ impl PlanCache {
     }
 
     /// Returns the plan for `key`, planning via `plan_fn` on a miss.
-    pub fn plan_or_insert(
-        &self,
-        key: PlanKey,
-        plan_fn: impl FnOnce() -> Plan,
-    ) -> Arc<Plan> {
+    pub fn plan_or_insert(&self, key: PlanKey, plan_fn: impl FnOnce() -> Plan) -> Arc<Plan> {
         if !self.enabled {
             self.plan_misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter("dbms.plan_cache.miss", 1);
             return Arc::new(plan_fn());
         }
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("dbms.plan_cache.hit", 1);
             return Arc::clone(plan);
         }
         // Plan outside the lock: planning can be orders of magnitude more
         // expensive than a map probe, and a poisoned lock on a planner panic
         // would otherwise wedge every later query.
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter("dbms.plan_cache.miss", 1);
         let plan = Arc::new(plan_fn());
         self.plans
             .lock()
@@ -140,13 +139,16 @@ impl PlanCache {
     ) -> Arc<QueryPredicates> {
         if !self.enabled {
             self.extract_misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter("dbms.extract_cache.miss", 1);
             return Arc::new(extract_fn());
         }
         if let Some(preds) = self.predicates.lock().unwrap().get(&query) {
             self.extract_hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("dbms.extract_cache.hit", 1);
             return Arc::clone(preds);
         }
         self.extract_misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter("dbms.extract_cache.miss", 1);
         let preds = Arc::new(extract_fn());
         self.predicates
             .lock()
@@ -186,7 +188,10 @@ mod tests {
     fn leaf(cost: f64) -> Plan {
         Plan {
             root: PlanNode::leaf(
-                PlanOp::SeqScan { table: TableId(0), selectivity: 1.0 },
+                PlanOp::SeqScan {
+                    table: TableId(0),
+                    selectivity: 1.0,
+                },
                 1.0,
                 cost,
                 8.0,
@@ -196,7 +201,11 @@ mod tests {
     }
 
     fn key(q: u64, k: u64, i: u64) -> PlanKey {
-        PlanKey { query: q, knobs: Fingerprint(k), indexes: Fingerprint(i) }
+        PlanKey {
+            query: q,
+            knobs: Fingerprint(k),
+            indexes: Fingerprint(i),
+        }
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl JoinEdge {
         if self.left <= self.right {
             self
         } else {
-            JoinEdge { left: self.right, right: self.left }
+            JoinEdge {
+                left: self.right,
+                right: self.left,
+            }
         }
     }
 }
@@ -117,14 +120,21 @@ fn contains_aggregate(expr: &Expr) -> bool {
             matches!(name.as_str(), "sum" | "count" | "avg" | "min" | "max")
                 || args.iter().any(contains_aggregate)
         }
-        Expr::Binary { left, right, .. } => {
-            contains_aggregate(left) || contains_aggregate(right)
-        }
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
         Expr::Unary { expr, .. } => contains_aggregate(expr),
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             operand.as_deref().map(contains_aggregate).unwrap_or(false)
-                || branches.iter().any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
-                || else_branch.as_deref().map(contains_aggregate).unwrap_or(false)
+                || branches
+                    .iter()
+                    .any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
+                || else_branch
+                    .as_deref()
+                    .map(contains_aggregate)
+                    .unwrap_or(false)
         }
         Expr::Extract { from, .. } => contains_aggregate(from),
         _ => false,
@@ -157,11 +167,14 @@ fn resolve(col: &lt_sql::ast::ColumnRef, scope: &Scope, catalog: &Catalog) -> Op
                 let table_name = &catalog.table(*tid).name;
                 catalog.resolve_column(Some(table_name), &col.column).ok()
             } else {
-                catalog.resolve_column(Some(&key), &col.column).ok().or_else(|| {
-                    // Correlated reference to an outer scope: benchmark
-                    // column names are globally unique, resolve bare.
-                    catalog.resolve_column(None, &col.column).ok()
-                })
+                catalog
+                    .resolve_column(Some(&key), &col.column)
+                    .ok()
+                    .or_else(|| {
+                        // Correlated reference to an outer scope: benchmark
+                        // column names are globally unique, resolve bare.
+                        catalog.resolve_column(None, &col.column).ok()
+                    })
             }
         }
         None => catalog.resolve_column(None, &col.column).ok(),
@@ -190,7 +203,10 @@ fn walk_query(query: &Query, catalog: &Catalog, out: &mut QueryPredicates) {
 
 fn push_filter(out: &mut QueryPredicates, catalog: &Catalog, col: ColumnId, kind: FilterKind) {
     let table = catalog.column(col).table;
-    out.filters.entry(table).or_default().push(FilterTerm { column: col, kind });
+    out.filters
+        .entry(table)
+        .or_default()
+        .push(FilterTerm { column: col, kind });
 }
 
 fn walk_pred(expr: &Expr, scope: &Scope, catalog: &Catalog, out: &mut QueryPredicates) {
@@ -229,7 +245,11 @@ fn walk_pred(expr: &Expr, scope: &Scope, catalog: &Catalog, out: &mut QueryPredi
                 push_filter(out, catalog, c, FilterKind::Between);
             }
         }
-        Expr::Like { expr, pattern, negated: _ } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated: _,
+        } => {
             if let Some(c) = as_column(expr).and_then(|c| resolve(c, scope, catalog)) {
                 let kind = match pattern.as_ref() {
                     Expr::Literal(lt_sql::ast::Literal::String(p)) if !p.starts_with('%') => {
@@ -245,7 +265,11 @@ fn walk_pred(expr: &Expr, scope: &Scope, catalog: &Catalog, out: &mut QueryPredi
                 push_filter(out, catalog, c, FilterKind::InList(list.len() as u32));
             }
         }
-        Expr::InSubquery { expr, query, negated } => {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             // `col IN (SELECT inner_col FROM …)` is a semi-join: when both
             // sides resolve to base columns we record a join edge, exactly
             // how a real optimizer would decorrelate it. Otherwise fall back
@@ -259,8 +283,11 @@ fn walk_pred(expr: &Expr, scope: &Scope, catalog: &Catalog, out: &mut QueryPredi
                     out.joins.push(JoinEdge { left: o, right: i });
                 }
                 (Some(o), None) => {
-                    let kind =
-                        if *negated { FilterKind::AntiJoin } else { FilterKind::SemiJoin };
+                    let kind = if *negated {
+                        FilterKind::AntiJoin
+                    } else {
+                        FilterKind::SemiJoin
+                    };
                     push_filter(out, catalog, o, kind);
                 }
                 _ => {}
@@ -269,7 +296,11 @@ fn walk_pred(expr: &Expr, scope: &Scope, catalog: &Catalog, out: &mut QueryPredi
         }
         Expr::IsNull { expr, negated } => {
             if let Some(c) = as_column(expr).and_then(|c| resolve(c, scope, catalog)) {
-                let kind = if *negated { FilterKind::IsNotNull } else { FilterKind::IsNull };
+                let kind = if *negated {
+                    FilterKind::IsNotNull
+                } else {
+                    FilterKind::IsNull
+                };
                 push_filter(out, catalog, c, kind);
             }
         }
@@ -385,7 +416,11 @@ pub struct Estimator<'a> {
 impl<'a> Estimator<'a> {
     /// New estimator; `seed` fixes the misestimation pattern.
     pub fn new(catalog: &'a Catalog, seed: u64) -> Self {
-        Estimator { catalog, seed, stats_quality: 0.0 }
+        Estimator {
+            catalog,
+            seed,
+            stats_quality: 0.0,
+        }
     }
 
     /// Sets the statistics quality, the simulator's model of
@@ -423,9 +458,7 @@ impl<'a> Estimator<'a> {
     pub fn true_table_selectivity(&self, terms: &[FilterTerm]) -> f64 {
         terms
             .iter()
-            .map(|t| {
-                (base_selectivity(t, self.catalog) * misestimation(t, self.seed)).min(1.0)
-            })
+            .map(|t| (base_selectivity(t, self.catalog) * misestimation(t, self.seed)).min(1.0))
             .product::<f64>()
             .clamp(1e-9, 1.0)
     }
@@ -545,7 +578,10 @@ mod tests {
         let c = catalog();
         let est = Estimator::new(&c, 7);
         let col = c.resolve_column(None, "o_orderpriority").unwrap();
-        let term = FilterTerm { column: col, kind: FilterKind::Equality };
+        let term = FilterTerm {
+            column: col,
+            kind: FilterKind::Equality,
+        };
         let s = est.estimated_table_selectivity(&[term]);
         assert!((s - 0.2).abs() < 1e-9, "1/5 distinct values, got {s}");
         let t = est.true_table_selectivity(&[term]);
@@ -560,7 +596,10 @@ mod tests {
         let est1 = Estimator::new(&c, 7);
         let est2 = Estimator::new(&c, 7);
         let col = c.resolve_column(None, "l_shipdate").unwrap();
-        let term = FilterTerm { column: col, kind: FilterKind::Between };
+        let term = FilterTerm {
+            column: col,
+            kind: FilterKind::Between,
+        };
         assert_eq!(
             est1.true_table_selectivity(&[term]),
             est2.true_table_selectivity(&[term])

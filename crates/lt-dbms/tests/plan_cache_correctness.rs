@@ -66,7 +66,8 @@ fn knob_change_invalidates_cached_plan() {
     let mut fresh = db();
     fresh.apply_knobs(&cfg);
     let expected = fresh.explain(&q);
-    assert_eq!(after, expected,
+    assert_eq!(
+        after, expected,
         "plan under new knobs must match a cache-less database"
     );
 
@@ -75,7 +76,10 @@ fn knob_change_invalidates_cached_plan() {
     let reverted = cached.explain(&q);
     assert_eq!(before, reverted);
     let stats = cached.cache_stats();
-    assert!(stats.plan_hits >= 1, "revert must hit the original entry: {stats:?}");
+    assert!(
+        stats.plan_hits >= 1,
+        "revert must hit the original entry: {stats:?}"
+    );
 }
 
 /// Creating and dropping an index bumps the catalog epoch, so plans are
@@ -89,11 +93,17 @@ fn index_create_and_drop_invalidate_cached_plan() {
 
     let spec = IndexSpec {
         table: cached.catalog().table_by_name("t_big").unwrap(),
-        columns: vec![cached.catalog().resolve_column(Some("t_big"), "bfk").unwrap()],
+        columns: vec![cached
+            .catalog()
+            .resolve_column(Some("t_big"), "bfk")
+            .unwrap()],
         name: None,
     };
     let (id, _) = cached.create_index(&spec);
-    assert!(cached.indexes().epoch() > epoch0, "create must bump the epoch");
+    assert!(
+        cached.indexes().epoch() > epoch0,
+        "create must bump the epoch"
+    );
     let plan_with_index = cached.explain(&q);
 
     // A fresh database with the same index must agree with the cached one.
@@ -135,7 +145,10 @@ fn repeated_execution_hits_cache_with_identical_outcomes() {
     assert_eq!(times_a, times_b, "cache must not change execution outcomes");
 
     let stats = a.cache_stats();
-    assert!(stats.plan_hits >= 6, "re-runs must be cache hits: {stats:?}");
+    assert!(
+        stats.plan_hits >= 6,
+        "re-runs must be cache hits: {stats:?}"
+    );
     assert_eq!(stats.plan_misses, 3, "one miss per distinct query");
     assert!(stats.extract_hits >= 6);
 }

@@ -28,7 +28,9 @@ fn small_catalog() -> Catalog {
 /// Arbitrary text: printable ASCII plus whitespace, quotes and a few
 /// multi-byte characters, to stress the parser with malformed scripts.
 fn arbitrary_text(rng: &mut Rng, max_len: usize) -> String {
-    let pool: Vec<char> = (' '..='~').chain(['\n', '\t', 'é', 'λ', '→', '\'']).collect();
+    let pool: Vec<char> = (' '..='~')
+        .chain(['\n', '\t', 'é', 'λ', '→', '\''])
+        .collect();
     let len = rng.gen_range(0..=max_len);
     (0..len).map(|_| *rng.choose(&pool).unwrap()).collect()
 }
@@ -96,10 +98,8 @@ fn execution_respects_timeouts() {
         let seed = rng.gen_range(0..50u64);
         let catalog = small_catalog();
         let mut db = SimDb::new(Dbms::Postgres, catalog, Hardware::p3_2xlarge(), seed);
-        let q = lt_sql::parse_query(
-            "select * from t_big, t_small where bfk = sk and bv < 10",
-        )
-        .unwrap();
+        let q =
+            lt_sql::parse_query("select * from t_big, t_small where bfk = sk and bv < 10").unwrap();
         let outcome = db.execute(&q, lt_common::secs(timeout_s));
         assert!(outcome.time > Secs::ZERO);
         assert!(outcome.time <= lt_common::secs(timeout_s) + lt_common::secs(1e-9));
@@ -121,8 +121,7 @@ fn work_mem_is_monotone() {
         let catalog = small_catalog();
         let q = lt_sql::parse_query("select * from t_big, t_small where bfk = sk").unwrap();
         let time_with = |mb: u64| {
-            let mut db =
-                SimDb::new(Dbms::Postgres, small_catalog(), Hardware::p3_2xlarge(), 7);
+            let mut db = SimDb::new(Dbms::Postgres, small_catalog(), Hardware::p3_2xlarge(), 7);
             let cfg = Configuration::parse(
                 &format!("ALTER SYSTEM SET work_mem = '{mb}MB';"),
                 Dbms::Postgres,

@@ -39,7 +39,10 @@ pub struct Ilp {
 impl Ilp {
     /// A model with `num_vars` binary variables, all with objective 0.
     pub fn new(num_vars: usize) -> Self {
-        Ilp { objective: vec![0.0; num_vars], constraints: Vec::new() }
+        Ilp {
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -80,7 +83,10 @@ impl Ilp {
         if !rhs.is_finite() {
             return Err(LtError::Solver(format!("non-finite rhs {rhs}")));
         }
-        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), rhs });
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rhs,
+        });
         Ok(())
     }
 
@@ -178,7 +184,10 @@ mod tests {
 
     #[test]
     fn min_activity_accounts_for_fixings() {
-        let c = Constraint { coeffs: vec![(0, 2.0), (1, -1.0), (2, 3.0)], rhs: 0.0 };
+        let c = Constraint {
+            coeffs: vec![(0, 2.0), (1, -1.0), (2, 3.0)],
+            rhs: 0.0,
+        };
         // Free: min activity takes negative coefficients at 1.
         assert_eq!(c.min_activity(&[None, None, None]), -1.0);
         assert_eq!(c.min_activity(&[Some(true), None, None]), 1.0);

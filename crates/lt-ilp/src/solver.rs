@@ -1,7 +1,7 @@
 //! Branch-and-bound solver for 0/1 maximization.
 
 use crate::model::{Constraint, Ilp, VarId};
-use lt_common::{LtError, Result};
+use lt_common::{obs, LtError, Result};
 
 /// Solver limits.
 #[derive(Debug, Clone, Copy)]
@@ -13,7 +13,9 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { max_nodes: 2_000_000 }
+        SolveOptions {
+            max_nodes: 2_000_000,
+        }
     }
 }
 
@@ -39,6 +41,7 @@ struct Search<'a> {
     nodes: u64,
     max_nodes: u64,
     exhausted: bool,
+    bound_prunes: u64,
 }
 
 /// Solves the model to optimality (or to the node budget).
@@ -48,6 +51,7 @@ struct Search<'a> {
 /// is not are still handled, but if no feasible solution is found at all an
 /// error is returned.
 pub fn solve(model: &Ilp, options: SolveOptions) -> Result<Solution> {
+    let _span = obs::span("ilp.solve");
     let n = model.num_vars();
     // Branch on high-density variables first: good incumbents early.
     let mut order: Vec<VarId> = (0..n).collect();
@@ -75,6 +79,7 @@ pub fn solve(model: &Ilp, options: SolveOptions) -> Result<Solution> {
         nodes: 0,
         max_nodes: options.max_nodes,
         exhausted: false,
+        bound_prunes: 0,
     };
     // Seed the incumbent with the all-false assignment when feasible, so an
     // exhausted node budget still returns a valid solution.
@@ -86,6 +91,12 @@ pub fn solve(model: &Ilp, options: SolveOptions) -> Result<Solution> {
 
     let mut fixed: Vec<Option<bool>> = vec![None; n];
     search.branch(&mut fixed, 0);
+
+    // Accumulated locally during the search, recorded once per solve: the
+    // per-node path must not touch the registry lock.
+    obs::counter("ilp.solve.calls", 1);
+    obs::counter("ilp.nodes", search.nodes);
+    obs::counter("ilp.bound_prunes", search.bound_prunes);
 
     if search.best_objective == f64::NEG_INFINITY {
         return Err(LtError::Solver("no feasible solution found".into()));
@@ -121,17 +132,20 @@ impl Search<'_> {
         }
         // Bound.
         if self.upper_bound(fixed) <= self.best_objective + 1e-9 {
+            self.bound_prunes += 1;
             for v in trail {
                 fixed[v] = None;
             }
             return;
         }
         // Find the next unfixed variable in branching order.
-        let next = self.order[depth..].iter().copied().find(|&v| fixed[v].is_none());
+        let next = self.order[depth..]
+            .iter()
+            .copied()
+            .find(|&v| fixed[v].is_none());
         match next {
             None => {
-                let values: Vec<bool> =
-                    fixed.iter().map(|f| f.unwrap_or(false)).collect();
+                let values: Vec<bool> = fixed.iter().map(|f| f.unwrap_or(false)).collect();
                 debug_assert!(self.model.is_feasible(&values));
                 let obj = self.model.objective_value(&values);
                 if obj > self.best_objective {
@@ -260,7 +274,9 @@ fn knapsack_bound(
         }
     }
     items.sort_by(|a, b| {
-        (b.0 / b.1).partial_cmp(&(a.0 / a.1)).unwrap_or(std::cmp::Ordering::Equal)
+        (b.0 / b.1)
+            .partial_cmp(&(a.0 / a.1))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut remaining = capacity.max(0.0);
     let mut bound = outside;
@@ -303,8 +319,7 @@ mod tests {
         for (i, v) in values.iter().enumerate() {
             m.set_objective(i, *v).unwrap();
         }
-        let coeffs: Vec<(usize, f64)> =
-            weights.iter().enumerate().map(|(i, w)| (i, *w)).collect();
+        let coeffs: Vec<(usize, f64)> = weights.iter().enumerate().map(|(i, w)| (i, *w)).collect();
         m.add_le(&coeffs, 9.0).unwrap();
         let sol = solve(&m, SolveOptions::default()).unwrap();
         assert!(sol.optimal);
@@ -382,8 +397,11 @@ mod tests {
         m.add_implication(2, 5).unwrap();
         m.add_conflict(0, 1).unwrap();
         // Budget over both R and L tokens.
-        m.add_le(&[(0, 2.0), (1, 2.0), (2, 2.0), (3, 3.0), (4, 3.0), (5, 3.0)], 10.0)
-            .unwrap();
+        m.add_le(
+            &[(0, 2.0), (1, 2.0), (2, 2.0), (3, 3.0), (4, 3.0), (5, 3.0)],
+            10.0,
+        )
+        .unwrap();
         let sol = solve(&m, SolveOptions::default()).unwrap();
         let (_, expect) = brute_force(&m);
         assert_eq!(sol.objective, expect);

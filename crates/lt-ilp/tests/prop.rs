@@ -32,7 +32,12 @@ fn instance(rng: &mut Rng, max_vars: usize) -> Instance {
     };
     let implications = pairs(rng);
     let conflicts = pairs(rng);
-    Instance { objective, knapsacks, implications, conflicts }
+    Instance {
+        objective,
+        knapsacks,
+        implications,
+        conflicts,
+    }
 }
 
 fn build(inst: &Instance) -> Ilp {
@@ -42,8 +47,7 @@ fn build(inst: &Instance) -> Ilp {
         ilp.set_objective(i, *c).unwrap();
     }
     for (weights, rhs) in &inst.knapsacks {
-        let coeffs: Vec<(usize, f64)> =
-            weights.iter().enumerate().map(|(i, w)| (i, *w)).collect();
+        let coeffs: Vec<(usize, f64)> = weights.iter().enumerate().map(|(i, w)| (i, *w)).collect();
         ilp.add_le(&coeffs, *rhs).unwrap();
     }
     for (a, b) in &inst.implications {
@@ -94,9 +98,7 @@ fn solutions_are_feasible() {
         let ilp = build(&inst);
         let solution = solve(&ilp, SolveOptions::default()).unwrap();
         assert!(ilp.is_feasible(&solution.values));
-        assert!(
-            (ilp.objective_value(&solution.values) - solution.objective).abs() < 1e-9
-        );
+        assert!((ilp.objective_value(&solution.values) - solution.objective).abs() < 1e-9);
     }
 }
 
@@ -111,9 +113,9 @@ fn knapsack_monotonicity() {
         let budget = rng.gen_range(1.0..10.0);
         let mut loose = Ilp::new(n);
         let mut tight = Ilp::new(n);
-        for i in 0..n {
-            loose.set_objective(i, values[i]).unwrap();
-            tight.set_objective(i, values[i]).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            loose.set_objective(i, v).unwrap();
+            tight.set_objective(i, v).unwrap();
         }
         let coeffs: Vec<(usize, f64)> = (0..n).map(|i| (i, weights[i])).collect();
         loose.add_le(&coeffs, budget).unwrap();

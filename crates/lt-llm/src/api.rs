@@ -1,7 +1,7 @@
 //! The language-model interface and usage metering.
 
 use crate::tokenizer::count_tokens;
-use lt_common::Result;
+use lt_common::{obs, Result};
 use std::sync::Mutex;
 
 /// A text-completion model.
@@ -51,16 +51,26 @@ pub struct LlmClient<M> {
 impl<M: LanguageModel> LlmClient<M> {
     /// Wraps a model.
     pub fn new(model: M) -> Self {
-        LlmClient { model, usage: Mutex::new(LlmUsage::default()) }
+        LlmClient {
+            model,
+            usage: Mutex::new(LlmUsage::default()),
+        }
     }
 
     /// Completes a prompt, recording usage.
     pub fn complete(&self, prompt: &str, temperature: f64, seed: u64) -> Result<String> {
+        let _span = obs::span("llm.call");
         let response = self.model.complete(prompt, temperature, seed)?;
+        let prompt_tokens = count_tokens(prompt) as u64;
+        let completion_tokens = count_tokens(&response) as u64;
         let mut usage = self.usage.lock().unwrap();
         usage.calls += 1;
-        usage.prompt_tokens += count_tokens(prompt) as u64;
-        usage.completion_tokens += count_tokens(&response) as u64;
+        usage.prompt_tokens += prompt_tokens;
+        usage.completion_tokens += completion_tokens;
+        drop(usage);
+        obs::counter("llm.calls", 1);
+        obs::counter("llm.prompt_tokens", prompt_tokens);
+        obs::counter("llm.completion_tokens", completion_tokens);
         Ok(response)
     }
 

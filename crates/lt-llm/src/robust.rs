@@ -30,7 +30,10 @@ pub struct RobustOptions {
 
 impl Default for RobustOptions {
     fn default() -> Self {
-        RobustOptions { max_attempts: 3, temperature_step: 0.15 }
+        RobustOptions {
+            max_attempts: 3,
+            temperature_step: 0.15,
+        }
     }
 }
 
@@ -72,7 +75,10 @@ impl<M: LanguageModel> RobustSampler<M> {
             let retry_seed = derive_seed(seed, 0x5eed_0000 + attempt as u64);
             match self.model.complete(prompt, t, retry_seed) {
                 Ok(text) if accept(&text) => {
-                    return Ok(RobustCompletion { text, attempts: attempt + 1 })
+                    return Ok(RobustCompletion {
+                        text,
+                        attempts: attempt + 1,
+                    })
                 }
                 Ok(_) => {}
                 Err(e) => last_error = Some(e),
@@ -114,7 +120,10 @@ mod tests {
 
     #[test]
     fn first_try_success_counts_one_attempt() {
-        let sampler = RobustSampler::new(Flaky { bad: 0, calls: AtomicU32::new(0) });
+        let sampler = RobustSampler::new(Flaky {
+            bad: 0,
+            calls: AtomicU32::new(0),
+        });
         let out = sampler
             .complete_validated("p", 0.5, 1, |t| !t.is_empty())
             .unwrap();
@@ -124,7 +133,10 @@ mod tests {
 
     #[test]
     fn retries_until_valid() {
-        let sampler = RobustSampler::new(Flaky { bad: 2, calls: AtomicU32::new(0) });
+        let sampler = RobustSampler::new(Flaky {
+            bad: 2,
+            calls: AtomicU32::new(0),
+        });
         let out = sampler
             .complete_validated("p", 0.5, 1, |t| !t.is_empty())
             .unwrap();
@@ -134,8 +146,14 @@ mod tests {
     #[test]
     fn gives_up_after_budget() {
         let sampler = RobustSampler::with_options(
-            Flaky { bad: 100, calls: AtomicU32::new(0) },
-            RobustOptions { max_attempts: 4, temperature_step: 0.1 },
+            Flaky {
+                bad: 100,
+                calls: AtomicU32::new(0),
+            },
+            RobustOptions {
+                max_attempts: 4,
+                temperature_step: 0.1,
+            },
         );
         let err = sampler
             .complete_validated("p", 0.5, 1, |t| !t.is_empty())
@@ -156,6 +174,9 @@ mod tests {
             seen.len() >= 3 // force 3 attempts
         });
         assert_eq!(seen.len(), 3);
-        assert!(seen[0] != seen[1] || seen[1] != seen[2], "retries never varied");
+        assert!(
+            seen[0] != seen[1] || seen[1] != seen[2],
+            "retries never varied"
+        );
     }
 }

@@ -36,7 +36,10 @@ pub struct SimulatedLlmOptions {
 
 impl Default for SimulatedLlmOptions {
     fn default() -> Self {
-        SimulatedLlmOptions { outlier_rate: 0.15, max_indexes: 20 }
+        SimulatedLlmOptions {
+            outlier_rate: 0.15,
+            max_indexes: 20,
+        }
     }
 }
 
@@ -144,8 +147,10 @@ impl PromptFacts {
 }
 
 fn parse_mem(text: &str) -> Option<u64> {
-    let digits: String =
-        text.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
     let value: f64 = digits.parse().ok()?;
     let unit = text[digits.len()..].trim().to_ascii_lowercase();
     let mult: f64 = match unit.as_str() {
@@ -184,8 +189,11 @@ fn parse_join_line(line: &str) -> Option<Vec<String>> {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
 }
 
 /// Extracts join columns from raw SQL in the prompt (the no-compressor
@@ -197,8 +205,12 @@ fn is_identifier(s: &str) -> bool {
 fn join_columns_from_sql(prompt: &str) -> Vec<String> {
     let mut columns = Vec::new();
     for stmt in lt_sql::split_statements(prompt) {
-        let Some(pos) = stmt.to_ascii_lowercase().find("select") else { continue };
-        let Ok(query) = lt_sql::parse_query(stmt[pos..].trim()) else { continue };
+        let Some(pos) = stmt.to_ascii_lowercase().find("select") else {
+            continue;
+        };
+        let Ok(query) = lt_sql::parse_query(stmt[pos..].trim()) else {
+            continue;
+        };
         let analysis = lt_sql::analysis::analyze(&query);
         for pair in analysis.unique_join_pairs() {
             for col in [&pair.left, &pair.right] {
@@ -314,12 +326,21 @@ fn generate_postgres(
     let work_mem_gb = pick(rng, heat, 1, &[1, 2]);
     let maintenance_gb = pick(rng, heat, 2, &[1, 2, 4]);
     let rpc = pick(rng, heat, 1.1, &[1.0, 1.2, 2.0]);
-    let workers = pick(rng, heat, (facts.cores / 2).max(1), &[facts.cores.max(1), 2]);
+    let workers = pick(
+        rng,
+        heat,
+        (facts.cores / 2).max(1),
+        &[facts.cores.max(1), 2],
+    );
 
     let mut out = String::from("-- Recommended configuration\n");
-    out.push_str(&format!("ALTER SYSTEM SET shared_buffers = '{shared}GB';\n"));
+    out.push_str(&format!(
+        "ALTER SYSTEM SET shared_buffers = '{shared}GB';\n"
+    ));
     out.push_str(&format!("ALTER SYSTEM SET work_mem = '{work_mem_gb}GB';\n"));
-    out.push_str(&format!("ALTER SYSTEM SET effective_cache_size = '{cache}GB';\n"));
+    out.push_str(&format!(
+        "ALTER SYSTEM SET effective_cache_size = '{cache}GB';\n"
+    ));
     out.push_str(&format!(
         "ALTER SYSTEM SET maintenance_work_mem = '{maintenance_gb}GB';\n"
     ));
@@ -358,7 +379,9 @@ fn generate_mysql(
     let tmp_gb = pick(rng, heat, 1, &[1, 2]);
 
     let mut out = String::from("-- Recommended configuration\n");
-    out.push_str(&format!("SET GLOBAL innodb_buffer_pool_size = '{pool}GB';\n"));
+    out.push_str(&format!(
+        "SET GLOBAL innodb_buffer_pool_size = '{pool}GB';\n"
+    ));
     out.push_str(&format!("SET GLOBAL sort_buffer_size = '{sort_mb}MB';\n"));
     out.push_str(&format!("SET GLOBAL join_buffer_size = '{join_mb}MB';\n"));
     out.push_str(&format!("SET GLOBAL tmp_table_size = '{tmp_gb}GB';\n"));
@@ -408,7 +431,11 @@ fn push_indexes(
     }
     let max = options.max_indexes.min(facts.join_columns.len());
     let min = max.min(8);
-    let count = if max > min { rng.gen_range(min..=max) } else { max };
+    let count = if max > min {
+        rng.gen_range(min..=max)
+    } else {
+        max
+    };
     for col in facts.join_columns.iter().take(count) {
         // Small chance to skip one column (sampling noise).
         if rng.gen_bool((0.05 * heat).clamp(0.0, 1.0)) {
@@ -539,7 +566,10 @@ mod tests {
             "lineitem.l_orderkey: orders.o_orderkey\nlineitem.l_partkey: part.p_partkey",
         );
         let out = llm.complete(&p, 0.0, 0).unwrap();
-        assert!(out.contains("CREATE INDEX ON lineitem (l_orderkey)"), "{out}");
+        assert!(
+            out.contains("CREATE INDEX ON lineitem (l_orderkey)"),
+            "{out}"
+        );
         assert!(out.contains("CREATE INDEX ON part (p_partkey)"), "{out}");
     }
 
@@ -578,7 +608,9 @@ mod tests {
         let p = prompt("PostgreSQL", "lineitem.l_orderkey: orders.o_orderkey");
         let outliers = (0..100)
             .filter(|&s| {
-                llm.complete(&p, 1.0, s).unwrap().contains("work_mem = '256kB'")
+                llm.complete(&p, 1.0, s)
+                    .unwrap()
+                    .contains("work_mem = '256kB'")
             })
             .count();
         assert!((25..=75).contains(&outliers), "outliers={outliers}");
@@ -592,7 +624,10 @@ mod tests {
                  select count(*) from lineitem, orders where l_orderkey = o_orderkey;\n\
                  memory: 61GB\ncores: 8\n";
         let out = llm.complete(p, 0.0, 0).unwrap();
-        assert!(out.contains("CREATE INDEX ON lineitem (l_orderkey)"), "{out}");
+        assert!(
+            out.contains("CREATE INDEX ON lineitem (l_orderkey)"),
+            "{out}"
+        );
         assert!(out.contains("CREATE INDEX ON orders (o_orderkey)"), "{out}");
     }
 
@@ -607,8 +642,7 @@ mod tests {
         // when the configuration is applied in order.
         let last = out
             .lines()
-            .filter(|l| l.contains("effective_io_concurrency"))
-            .last()
+            .rfind(|l| l.contains("effective_io_concurrency"))
             .unwrap();
         assert!(last.contains("400"), "{out}");
     }

@@ -46,7 +46,7 @@ pub fn truncate_to_tokens(text: &str, budget: usize) -> &str {
     let mut lo = 0usize;
     let mut hi = indices.len() - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if count_tokens(&text[..indices[mid]]) <= budget {
             lo = mid;
         } else {

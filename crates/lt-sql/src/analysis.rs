@@ -30,7 +30,10 @@ impl JoinPair {
         if self.left <= self.right {
             self.clone()
         } else {
-            JoinPair { left: self.right.clone(), right: self.left.clone() }
+            JoinPair {
+                left: self.right.clone(),
+                right: self.left.clone(),
+            }
         }
     }
 }
@@ -89,9 +92,15 @@ fn resolve(col: &ColumnRef, aliases: &BTreeMap<String, String>) -> ColumnRef {
         Some(q) => {
             let key = q.to_ascii_lowercase();
             let table = aliases.get(&key).cloned().unwrap_or(key);
-            ColumnRef { qualifier: Some(table), column: col.column.to_ascii_lowercase() }
+            ColumnRef {
+                qualifier: Some(table),
+                column: col.column.to_ascii_lowercase(),
+            }
         }
-        None => ColumnRef { qualifier: None, column: col.column.to_ascii_lowercase() },
+        None => ColumnRef {
+            qualifier: None,
+            column: col.column.to_ascii_lowercase(),
+        },
     }
 }
 
@@ -140,7 +149,10 @@ fn walk_expr(
                         let rp = resolve(r, aliases);
                         out.all_columns.push(lp.clone());
                         out.all_columns.push(rp.clone());
-                        out.join_pairs.push(JoinPair { left: lp, right: rp });
+                        out.join_pairs.push(JoinPair {
+                            left: lp,
+                            right: rp,
+                        });
                         return;
                     }
                     (Some(l), None) if is_constantish(right) => {
@@ -169,7 +181,11 @@ fn walk_expr(
             }
         }
         Expr::Extract { from, .. } => walk_expr(from, aliases, out, false),
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             if let Some(op) = operand {
                 walk_expr(op, aliases, out, false);
             }
@@ -208,7 +224,9 @@ fn walk_expr(
             }
             walk_query(query, out);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             if let Some(c) = strip_column(expr) {
                 let c = resolve(c, aliases);
                 out.all_columns.push(c.clone());
@@ -281,9 +299,7 @@ mod tests {
 
     #[test]
     fn join_pairs_resolve_aliases() {
-        let a = analyze_sql(
-            "select * from lineitem l, orders o where l.l_orderkey = o.o_orderkey",
-        );
+        let a = analyze_sql("select * from lineitem l, orders o where l.l_orderkey = o.o_orderkey");
         assert_eq!(a.join_pairs.len(), 1);
         let jp = &a.join_pairs[0];
         assert_eq!(jp.left, ColumnRef::qualified("lineitem", "l_orderkey"));
@@ -337,9 +353,7 @@ mod tests {
 
     #[test]
     fn normalized_pairs_dedupe_symmetric_joins() {
-        let a = analyze_sql(
-            "select * from a, b where a.x = b.y and b.y = a.x",
-        );
+        let a = analyze_sql("select * from a, b where a.x = b.y and b.y = a.x");
         assert_eq!(a.join_pairs.len(), 2);
         assert_eq!(a.unique_join_pairs().len(), 1);
     }

@@ -19,12 +19,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Unqualified reference.
     pub fn bare(column: impl Into<String>) -> Self {
-        Self { qualifier: None, column: column.into() }
+        Self {
+            qualifier: None,
+            column: column.into(),
+        }
     }
 
     /// Qualified reference.
     pub fn qualified(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
-        Self { qualifier: Some(qualifier.into()), column: column.into() }
+        Self {
+            qualifier: Some(qualifier.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -236,7 +242,11 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for `left op right`.
     pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// Conjunction of two boolean expressions.
@@ -291,7 +301,11 @@ impl fmt::Display for Expr {
                     write!(f, "{right}")
                 }
             }
-            Expr::Func { name, args, distinct } => {
+            Expr::Func {
+                name,
+                args,
+                distinct,
+            } => {
                 write!(f, "{name}(")?;
                 if *distinct {
                     write!(f, "distinct ")?;
@@ -305,7 +319,11 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::Extract { field, from } => write!(f, "extract({field} from {from})"),
-            Expr::Case { operand, branches, else_branch } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 write!(f, "case")?;
                 if let Some(op) = operand {
                     write!(f, " {op}")?;
@@ -318,7 +336,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, " end")
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}in (", if *negated { "not " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
                     if i > 0 {
@@ -328,16 +350,37 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::InSubquery { expr, query, negated } => {
-                write!(f, "{expr} {}in ({query})", if *negated { "not " } else { "" })
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}in ({query})",
+                    if *negated { "not " } else { "" }
+                )
             }
-            Expr::Between { expr, low, high, negated } => write!(
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
                 f,
                 "{expr} {}between {low} and {high}",
                 if *negated { "not " } else { "" }
             ),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}like {pattern}", if *negated { "not " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}like {pattern}",
+                    if *negated { "not " } else { "" }
+                )
             }
             Expr::IsNull { expr, negated } => {
                 write!(f, "{expr} is {}null", if *negated { "not " } else { "" })
@@ -521,7 +564,10 @@ mod tests {
     #[test]
     fn literal_display_escapes_quotes() {
         assert_eq!(Literal::String("it's".into()).to_string(), "'it''s'");
-        assert_eq!(Literal::Date("1995-01-01".into()).to_string(), "date '1995-01-01'");
+        assert_eq!(
+            Literal::Date("1995-01-01".into()).to_string(),
+            "date '1995-01-01'"
+        );
     }
 
     #[test]
@@ -533,9 +579,15 @@ mod tests {
 
     #[test]
     fn table_ref_binding_prefers_alias() {
-        let t = TableRef::Table { name: "lineitem".into(), alias: Some("l".into()) };
+        let t = TableRef::Table {
+            name: "lineitem".into(),
+            alias: Some("l".into()),
+        };
         assert_eq!(t.binding(), "l");
-        let t = TableRef::Table { name: "lineitem".into(), alias: None };
+        let t = TableRef::Table {
+            name: "lineitem".into(),
+            alias: None,
+        };
         assert_eq!(t.binding(), "lineitem");
     }
 }

@@ -131,7 +131,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 content.push_str(&sql[i..i + ch_len]);
                 i += ch_len;
             }
-            tokens.push(Token { kind: TokenKind::StringLit(content), offset: start });
+            tokens.push(Token {
+                kind: TokenKind::StringLit(content),
+                offset: start,
+            });
             continue;
         }
         // Number.
@@ -163,7 +166,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 let name = sql[id_start..i].to_string();
                 i += 1;
-                tokens.push(Token { kind: TokenKind::Ident(name), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    offset: start,
+                });
                 continue;
             }
             while i < bytes.len()
@@ -189,14 +195,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
         if i + 1 < bytes.len() && bytes[i + 1].is_ascii() {
             let pair = &sql[i..i + 2];
             if let Some(sym) = SYMBOLS2.iter().find(|s| **s == pair) {
-                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: i,
+                });
                 i += 2;
                 continue;
             }
         }
         let single = &sql[i..i + 1];
         if let Some(sym) = SYMBOLS1.iter().find(|s| **s == single) {
-            tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+            tokens.push(Token {
+                kind: TokenKind::Symbol(sym),
+                offset: i,
+            });
             i += 1;
             continue;
         }
@@ -204,7 +216,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             "unexpected character {c:?} at byte {i}"
         )));
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+    });
     Ok(tokens)
 }
 

@@ -14,8 +14,7 @@ pub mod parser;
 
 pub use analysis::{JoinPair, QueryAnalysis};
 pub use ast::{
-    ColumnRef, Expr, JoinCondition, Literal, OrderItem, Query, SelectItem, SetQuantifier,
-    TableRef,
+    ColumnRef, Expr, JoinCondition, Literal, OrderItem, Query, SelectItem, SetQuantifier, TableRef,
 };
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse_query;
@@ -40,8 +39,8 @@ pub fn split_statements(sql: &str) -> Vec<String> {
     let mut stmts = Vec::new();
     let mut cur = String::new();
     let mut in_string = false;
-    let mut chars = sql.chars().peekable();
-    while let Some(c) = chars.next() {
+    let chars = sql.chars().peekable();
+    for c in chars {
         match c {
             '\'' => {
                 in_string = !in_string;

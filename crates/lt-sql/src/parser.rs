@@ -96,7 +96,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(LtError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(LtError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -113,7 +115,11 @@ impl Parser {
         let select = self.select_list()?;
         self.expect_keyword("from")?;
         let (from, join_conds) = self.from_clause()?;
-        let mut filter = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
+        let mut filter = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         // Fold explicit JOIN ... ON conditions into the filter conjunction.
         for cond in join_conds {
             filter = Some(match filter {
@@ -127,7 +133,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let having = if self.eat_keyword("having") { Some(self.expr()?) } else { None };
+        let having = if self.eat_keyword("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let order_by = if self.eat_keyword("order") {
             self.expect_keyword("by")?;
             self.order_items()?
@@ -136,15 +146,29 @@ impl Parser {
         };
         let limit = if self.eat_keyword("limit") {
             match self.bump() {
-                TokenKind::Number(n) => Some(n.parse::<u64>().map_err(|_| {
-                    LtError::Parse(format!("invalid LIMIT value {n}"))
-                })?),
-                other => return Err(LtError::Parse(format!("expected LIMIT count, found {other}"))),
+                TokenKind::Number(n) => Some(
+                    n.parse::<u64>()
+                        .map_err(|_| LtError::Parse(format!("invalid LIMIT value {n}")))?,
+                ),
+                other => {
+                    return Err(LtError::Parse(format!(
+                        "expected LIMIT count, found {other}"
+                    )))
+                }
             }
         } else {
             None
         };
-        Ok(Query { quantifier, select, from, filter, group_by, having, order_by, limit })
+        Ok(Query {
+            quantifier,
+            select,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>> {
@@ -169,6 +193,8 @@ impl Parser {
         Ok(items)
     }
 
+    // Named for the grammar rule it parses, not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
     fn from_clause(&mut self) -> Result<(Vec<TableRef>, Vec<Expr>)> {
         let mut refs = vec![self.table_ref()?];
         let mut join_conds = Vec::new();
@@ -196,7 +222,10 @@ impl Parser {
             self.expect_symbol(")")?;
             self.eat_keyword("as");
             let alias = self.ident()?;
-            return Ok(TableRef::Derived { query: Box::new(q), alias });
+            return Ok(TableRef::Derived {
+                query: Box::new(q),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = if self.eat_keyword("as") {
@@ -268,7 +297,10 @@ impl Parser {
         if self.peek().is_keyword("not") && !self.peek2().is_keyword("exists") {
             self.bump();
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: "not", expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: "not",
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -291,11 +323,19 @@ impl Parser {
             if self.peek().is_keyword("select") {
                 let q = self.query()?;
                 self.expect_symbol(")")?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
             }
             let list = self.expr_list()?;
             self.expect_symbol(")")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("between") {
             let low = self.additive()?;
@@ -310,7 +350,11 @@ impl Parser {
         }
         if self.eat_keyword("like") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(self.err("expected IN, BETWEEN or LIKE after NOT"));
@@ -318,7 +362,10 @@ impl Parser {
         if self.eat_keyword("is") {
             let negated = self.eat_keyword("not");
             self.expect_keyword("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let op = match self.peek() {
             TokenKind::Symbol("=") => Some(BinOp::Eq),
@@ -372,7 +419,10 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr> {
         if self.eat_symbol("-") {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: "-", expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: "-",
+                expr: Box::new(inner),
+            });
         }
         if self.eat_symbol("+") {
             return self.unary();
@@ -406,7 +456,9 @@ impl Parser {
                 }
             }
             TokenKind::Ident(id) => self.ident_led_expr(&id),
-            other => Err(LtError::Parse(format!("unexpected token {other} in expression"))),
+            other => Err(LtError::Parse(format!(
+                "unexpected token {other} in expression"
+            ))),
         }
     }
 
@@ -448,14 +500,20 @@ impl Parser {
                 self.expect_keyword("from")?;
                 let from = self.expr()?;
                 self.expect_symbol(")")?;
-                Ok(Expr::Extract { field, from: Box::new(from) })
+                Ok(Expr::Extract {
+                    field,
+                    from: Box::new(from),
+                })
             }
             "exists" => {
                 self.bump();
                 self.expect_symbol("(")?;
                 let q = self.query()?;
                 self.expect_symbol(")")?;
-                Ok(Expr::Exists { query: Box::new(q), negated: false })
+                Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: false,
+                })
             }
             "not" if self.peek2().is_keyword("exists") => {
                 self.bump();
@@ -463,7 +521,10 @@ impl Parser {
                 self.expect_symbol("(")?;
                 let q = self.query()?;
                 self.expect_symbol(")")?;
-                Ok(Expr::Exists { query: Box::new(q), negated: true })
+                Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: true,
+                })
             }
             _ => {
                 self.bump();
@@ -479,7 +540,11 @@ impl Parser {
                         args = self.expr_list()?;
                     }
                     self.expect_symbol(")")?;
-                    return Ok(Expr::Func { name: lower, args, distinct });
+                    return Ok(Expr::Func {
+                        name: lower,
+                        args,
+                        distinct,
+                    });
                 }
                 // Qualified column `t.c`?
                 if self.peek().is_symbol(".") {
@@ -514,7 +579,11 @@ impl Parser {
             None
         };
         self.expect_keyword("end")?;
-        Ok(Expr::Case { operand, branches, else_branch })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        })
     }
 }
 
@@ -550,10 +619,7 @@ mod tests {
 
     #[test]
     fn explicit_join_folds_on_condition() {
-        let q = parse_query(
-            "select * from a join b on a.x = b.y where a.z > 5",
-        )
-        .unwrap();
+        let q = parse_query("select * from a join b on a.x = b.y where a.z > 5").unwrap();
         assert_eq!(q.from.len(), 2);
         // Filter is (a.z > 5) AND (a.x = b.y).
         let f = q.filter.unwrap();
@@ -654,7 +720,11 @@ mod tests {
              (select min(ps_supplycost) from partsupp)",
         )
         .unwrap();
-        assert!(q.filter.unwrap().to_string().contains("select min(ps_supplycost)"));
+        assert!(q
+            .filter
+            .unwrap()
+            .to_string()
+            .contains("select min(ps_supplycost)"));
     }
 
     #[test]
@@ -675,7 +745,11 @@ mod tests {
         let f = q.filter.unwrap();
         assert_eq!(f.to_string(), "a = 1 or b = 2 and c = 3");
         match &f {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("expected OR at the top, got {other:?}"),
@@ -689,7 +763,11 @@ mod tests {
         let q = parse_query("select (a + b) * c from t").unwrap();
         // Parenthesization is not preserved textually but structure is:
         match &q.select[0].expr {
-            Expr::Binary { op: BinOp::Mul, left, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                left,
+                ..
+            } => {
                 assert!(matches!(**left, Expr::Binary { op: BinOp::Add, .. }));
             }
             other => panic!("expected Mul at top, got {other:?}"),

@@ -9,11 +9,45 @@ const CASES: usize = 256;
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "select" | "from" | "where" | "group" | "having" | "order" | "limit" | "and"
-            | "or" | "not" | "in" | "between" | "like" | "is" | "null" | "as" | "on"
-            | "join" | "inner" | "case" | "when" | "then" | "else" | "end" | "exists"
-            | "date" | "interval" | "distinct" | "all" | "by" | "asc" | "desc" | "to"
-            | "left" | "right" | "full" | "cross" | "union" | "extract"
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "between"
+            | "like"
+            | "is"
+            | "null"
+            | "as"
+            | "on"
+            | "join"
+            | "inner"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "exists"
+            | "date"
+            | "interval"
+            | "distinct"
+            | "all"
+            | "by"
+            | "asc"
+            | "desc"
+            | "to"
+            | "left"
+            | "right"
+            | "full"
+            | "cross"
+            | "union"
+            | "extract"
     )
 }
 
@@ -23,8 +57,9 @@ fn ident(rng: &mut Rng) -> String {
         let first = (b'a' + rng.gen_range(0..26u8)) as char;
         let rest_len = rng.gen_range(0..=10usize);
         let pool = b"abcdefghijklmnopqrstuvwxyz0123456789_";
-        let tail: String =
-            (0..rest_len).map(|_| pool[rng.gen_range(0..pool.len())] as char).collect();
+        let tail: String = (0..rest_len)
+            .map(|_| pool[rng.gen_range(0..pool.len())] as char)
+            .collect();
         let s = format!("{first}{tail}");
         if !is_keyword(&s) {
             return s;
@@ -39,8 +74,11 @@ fn literal(rng: &mut Rng) -> Expr {
             Expr::Literal(Literal::Number((n * 100.0).round() / 100.0))
         }
         1 => {
-            let pool: Vec<char> =
-                ('a'..='z').chain('A'..='Z').chain('0'..='9').chain([' ']).collect();
+            let pool: Vec<char> = ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain([' '])
+                .collect();
             let len = rng.gen_range(0..=12usize);
             let s: String = (0..len).map(|_| *rng.choose(&pool).unwrap()).collect();
             Expr::Literal(Literal::String(s))
@@ -50,8 +88,15 @@ fn literal(rng: &mut Rng) -> Expr {
 }
 
 fn column(rng: &mut Rng) -> Expr {
-    let qualifier = if rng.gen_bool(0.5) { Some(ident(rng)) } else { None };
-    Expr::Column(ColumnRef { qualifier, column: ident(rng) })
+    let qualifier = if rng.gen_bool(0.5) {
+        Some(ident(rng))
+    } else {
+        None
+    };
+    Expr::Column(ColumnRef {
+        qualifier,
+        column: ident(rng),
+    })
 }
 
 /// Arithmetic expressions over columns and literals, depth-bounded.
@@ -65,7 +110,11 @@ fn arith(rng: &mut Rng, depth: usize) -> Expr {
     } else {
         let a = arith(rng, depth - 1);
         let b = arith(rng, depth - 1);
-        let op = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Mul };
+        let op = if rng.gen_bool(0.5) {
+            BinOp::Add
+        } else {
+            BinOp::Mul
+        };
         Expr::binary(a, op, b)
     }
 }
@@ -85,8 +134,9 @@ fn predicate(rng: &mut Rng) -> Expr {
         },
         3 => {
             let len = rng.gen_range(1..=6usize);
-            let mut p: String =
-                (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect();
+            let mut p: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect();
             p.push('%');
             Expr::Like {
                 expr: Box::new(column(rng)),
@@ -94,7 +144,10 @@ fn predicate(rng: &mut Rng) -> Expr {
                 negated: false,
             }
         }
-        _ => Expr::IsNull { expr: Box::new(column(rng)), negated: rng.gen_bool(0.5) },
+        _ => Expr::IsNull {
+            expr: Box::new(column(rng)),
+            negated: rng.gen_bool(0.5),
+        },
     }
 }
 
@@ -115,16 +168,31 @@ fn expr(rng: &mut Rng, depth: usize) -> Expr {
 
 fn query(rng: &mut Rng) -> Query {
     let select: Vec<SelectItem> = (0..rng.gen_range(1..4usize))
-        .map(|_| SelectItem { expr: arith(rng, 2), alias: None })
+        .map(|_| SelectItem {
+            expr: arith(rng, 2),
+            alias: None,
+        })
         .collect();
     let from: Vec<TableRef> = (0..rng.gen_range(1..4usize))
         .map(|_| TableRef::Table {
             name: ident(rng),
-            alias: if rng.gen_bool(0.5) { Some(ident(rng)) } else { None },
+            alias: if rng.gen_bool(0.5) {
+                Some(ident(rng))
+            } else {
+                None
+            },
         })
         .collect();
-    let filter = if rng.gen_bool(0.5) { Some(expr(rng, 2)) } else { None };
-    let limit = if rng.gen_bool(0.5) { Some(rng.gen_range(0..1000u64)) } else { None };
+    let filter = if rng.gen_bool(0.5) {
+        Some(expr(rng, 2))
+    } else {
+        None
+    };
+    let limit = if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0..1000u64))
+    } else {
+        None
+    };
     Query {
         quantifier: SetQuantifier::All,
         select,
@@ -139,7 +207,9 @@ fn query(rng: &mut Rng) -> Query {
 
 /// Arbitrary text: printable ASCII plus whitespace and multi-byte chars.
 fn arbitrary_text(rng: &mut Rng, max_len: usize) -> String {
-    let pool: Vec<char> = (' '..='~').chain(['\n', '\t', 'é', 'λ', '→', '\'']).collect();
+    let pool: Vec<char> = (' '..='~')
+        .chain(['\n', '\t', 'é', 'λ', '→', '\''])
+        .collect();
     let len = rng.gen_range(0..=max_len);
     (0..len).map(|_| *rng.choose(&pool).unwrap()).collect()
 }

@@ -115,7 +115,8 @@ pub fn catalog() -> Catalog {
 
 /// The 33 JOB query-family texts, labelled `1a` … `33a`.
 pub fn queries() -> Vec<(&'static str, String)> {
-    let q: Vec<(&'static str, &str)> = vec![
+    let q: Vec<(&'static str, &str)> =
+        vec![
         ("1a",
          "select min(mc.note), min(t.title), min(t.production_year) \
           from company_type ct, info_type it, movie_companies mc, movie_info_idx mi_idx, title t \
@@ -420,7 +421,10 @@ mod tests {
     #[test]
     fn all_33_families_parse() {
         for (label, sql) in queries() {
-            assert!(lt_sql::parse_query(&sql).is_ok(), "JOB {label} failed to parse");
+            assert!(
+                lt_sql::parse_query(&sql).is_ok(),
+                "JOB {label} failed to parse"
+            );
         }
         assert_eq!(queries().len(), 33);
     }
@@ -431,7 +435,10 @@ mod tests {
         for (label, sql) in queries() {
             let q = lt_sql::parse_query(&sql).unwrap();
             for t in analyze(&q).tables {
-                assert!(c.table_by_name(&t).is_some(), "JOB {label}: unknown table {t}");
+                assert!(
+                    c.table_by_name(&t).is_some(),
+                    "JOB {label}: unknown table {t}"
+                );
             }
         }
     }

@@ -40,7 +40,12 @@ impl Obfuscator {
             column_fwd.insert((table.clone(), col.name.clone()), generic.clone());
             column_rev.insert(generic, (table, col.name.clone()));
         }
-        Obfuscator { table_fwd, table_rev, column_fwd, column_rev }
+        Obfuscator {
+            table_fwd,
+            table_rev,
+            column_fwd,
+            column_rev,
+        }
     }
 
     /// Obfuscates a table name; unknown names pass through unchanged.
@@ -66,7 +71,9 @@ impl Obfuscator {
 
     /// Reverses an obfuscated column name to `(table, column)`.
     pub fn deobfuscate_column(&self, generic: &str) -> Option<(&str, &str)> {
-        self.column_rev.get(generic).map(|(t, c)| (t.as_str(), c.as_str()))
+        self.column_rev
+            .get(generic)
+            .map(|(t, c)| (t.as_str(), c.as_str()))
     }
 }
 
@@ -80,7 +87,9 @@ mod tests {
             .primary_key("o_orderkey", 8)
             .column("o_totalprice", 8, 90.0)
             .finish();
-        c.add_table("customer", 10).primary_key("c_custkey", 8).finish();
+        c.add_table("customer", 10)
+            .primary_key("c_custkey", 8)
+            .finish();
         c
     }
 
@@ -92,7 +101,10 @@ mod tests {
         assert_eq!(ob.table("customer"), "T1");
         assert_eq!(ob.column("orders", "o_orderkey"), "C0");
         assert_eq!(ob.deobfuscate_table("T0"), Some("orders"));
-        assert_eq!(ob.deobfuscate_column("C1"), Some(("orders", "o_totalprice")));
+        assert_eq!(
+            ob.deobfuscate_column("C1"),
+            Some(("orders", "o_totalprice"))
+        );
     }
 
     #[test]

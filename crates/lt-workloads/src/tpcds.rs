@@ -119,7 +119,8 @@ pub fn catalog() -> Catalog {
 /// 16 representative TPC-DS query texts, labelled after the official
 /// templates they follow.
 pub fn queries() -> Vec<(&'static str, String)> {
-    let q: Vec<(&'static str, &str)> = vec![
+    let q: Vec<(&'static str, &str)> =
+        vec![
         ("q3",
          "select d.d_year, i.i_brand, sum(ss.ss_ext_sales_price) as sum_agg \
           from date_dim d, store_sales ss, item i \
@@ -261,7 +262,10 @@ mod tests {
     #[test]
     fn all_queries_parse() {
         for (label, sql) in queries() {
-            assert!(lt_sql::parse_query(&sql).is_ok(), "TPC-DS {label} failed to parse");
+            assert!(
+                lt_sql::parse_query(&sql).is_ok(),
+                "TPC-DS {label} failed to parse"
+            );
         }
         assert_eq!(queries().len(), 16);
     }
@@ -272,7 +276,10 @@ mod tests {
         for (label, sql) in queries() {
             let q = lt_sql::parse_query(&sql).unwrap();
             for t in analyze(&q).tables {
-                assert!(c.table_by_name(&t).is_some(), "TPC-DS {label}: unknown table {t}");
+                assert!(
+                    c.table_by_name(&t).is_some(),
+                    "TPC-DS {label}: unknown table {t}"
+                );
             }
         }
     }

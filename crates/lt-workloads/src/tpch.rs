@@ -99,11 +99,28 @@ pub fn catalog(scale: f64) -> Catalog {
 /// docs), labelled `q1` … `q22`.
 pub fn queries() -> Vec<(&'static str, String)> {
     vec![
-        ("q1", q1()), ("q2", q2()), ("q3", q3()), ("q4", q4()), ("q5", q5()),
-        ("q6", q6()), ("q7", q7()), ("q8", q8()), ("q9", q9()), ("q10", q10()),
-        ("q11", q11()), ("q12", q12()), ("q13", q13()), ("q14", q14()), ("q15", q15()),
-        ("q16", q16()), ("q17", q17()), ("q18", q18()), ("q19", q19()), ("q20", q20()),
-        ("q21", q21()), ("q22", q22()),
+        ("q1", q1()),
+        ("q2", q2()),
+        ("q3", q3()),
+        ("q4", q4()),
+        ("q5", q5()),
+        ("q6", q6()),
+        ("q7", q7()),
+        ("q8", q8()),
+        ("q9", q9()),
+        ("q10", q10()),
+        ("q11", q11()),
+        ("q12", q12()),
+        ("q13", q13()),
+        ("q14", q14()),
+        ("q15", q15()),
+        ("q16", q16()),
+        ("q17", q17()),
+        ("q18", q18()),
+        ("q19", q19()),
+        ("q20", q20()),
+        ("q21", q21()),
+        ("q22", q22()),
     ]
 }
 
@@ -421,13 +438,21 @@ mod tests {
         let q = lt_sql::parse_query(&q5()).unwrap();
         let a = analyze(&q);
         assert_eq!(a.tables.len(), 6);
-        assert_eq!(a.unique_join_pairs().len(), 6, "{:?}", a.unique_join_pairs());
+        assert_eq!(
+            a.unique_join_pairs().len(),
+            6,
+            "{:?}",
+            a.unique_join_pairs()
+        );
     }
 
     #[test]
     fn workload_size_is_about_1gb() {
         let w = workload(1.0);
         let gb = w.catalog.total_bytes() as f64 / (1u64 << 30) as f64;
-        assert!(gb > 0.6 && gb < 1.6, "TPC-H SF1 should be ≈1GB, got {gb:.2}GB");
+        assert!(
+            gb > 0.6 && gb < 1.6,
+            "TPC-H SF1 should be ≈1GB, got {gb:.2}GB"
+        );
     }
 }

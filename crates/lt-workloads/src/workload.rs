@@ -38,9 +38,8 @@ impl Workload {
     ) -> Result<Workload> {
         let mut out = Vec::with_capacity(queries.len());
         for (i, (label, sql)) in queries.iter().enumerate() {
-            let parsed = lt_sql::parse_query(sql).map_err(|e| {
-                LtError::Parse(format!("query {label}: {e}"))
-            })?;
+            let parsed = lt_sql::parse_query(sql)
+                .map_err(|e| LtError::Parse(format!("query {label}: {e}")))?;
             out.push(WorkloadQuery {
                 id: QueryId::from(i),
                 label: (*label).to_string(),
@@ -48,7 +47,11 @@ impl Workload {
                 parsed,
             });
         }
-        Ok(Workload { name: name.into(), catalog, queries: out })
+        Ok(Workload {
+            name: name.into(),
+            catalog,
+            queries: out,
+        })
     }
 
     /// Number of queries.
@@ -83,7 +86,12 @@ pub enum Benchmark {
 impl Benchmark {
     /// Every benchmark in the paper's scenario matrix.
     pub fn all() -> [Benchmark; 4] {
-        [Benchmark::TpchSf1, Benchmark::TpchSf10, Benchmark::TpcdsSf1, Benchmark::Job]
+        [
+            Benchmark::TpchSf1,
+            Benchmark::TpchSf10,
+            Benchmark::TpcdsSf1,
+            Benchmark::Job,
+        ]
     }
 
     /// Display name used in tables and figures.
@@ -137,8 +145,14 @@ mod tests {
     fn sf10_has_ten_times_the_rows() {
         let sf1 = Benchmark::TpchSf1.load();
         let sf10 = Benchmark::TpchSf10.load();
-        let li1 = sf1.catalog.table(sf1.catalog.table_by_name("lineitem").unwrap()).rows;
-        let li10 = sf10.catalog.table(sf10.catalog.table_by_name("lineitem").unwrap()).rows;
+        let li1 = sf1
+            .catalog
+            .table(sf1.catalog.table_by_name("lineitem").unwrap())
+            .rows;
+        let li10 = sf10
+            .catalog
+            .table(sf10.catalog.table_by_name("lineitem").unwrap())
+            .rows;
         assert_eq!(li10, li1 * 10);
     }
 }

@@ -11,8 +11,12 @@ use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Benchmark;
 
 fn run(label: &str, workload: &lt_workloads::Workload, options: LambdaTuneOptions) {
-    let mut db =
-        SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 21);
+    let mut db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        21,
+    );
     let llm = LlmClient::new(SimulatedLlm::new());
     let result = LambdaTune::new(options)
         .tune(&mut db, workload, &llm)
@@ -28,30 +32,75 @@ fn run(label: &str, workload: &lt_workloads::Workload, options: LambdaTuneOption
 
 fn main() {
     let workload = Benchmark::TpcdsSf1.load();
-    println!("λ-Tune ablations on {} ({} queries)\n", workload.name, workload.len());
-    let base = LambdaTuneOptions { seed: 21, ..Default::default() };
+    println!(
+        "λ-Tune ablations on {} ({} queries)\n",
+        workload.name,
+        workload.len()
+    );
+    let base = LambdaTuneOptions {
+        seed: 21,
+        ..Default::default()
+    };
 
     run("full pipeline", &workload, base);
     run(
         "no adaptive timeout",
         &workload,
         LambdaTuneOptions {
-            selector: SelectorOptions { adaptive_timeout: false, ..base.selector },
+            selector: SelectorOptions {
+                adaptive_timeout: false,
+                ..base.selector
+            },
             ..base
         },
     );
-    run("no query scheduler", &workload, LambdaTuneOptions { use_scheduler: false, ..base });
-    run("obfuscated workload", &workload, LambdaTuneOptions { obfuscate: true, ..base });
+    run(
+        "no query scheduler",
+        &workload,
+        LambdaTuneOptions {
+            use_scheduler: false,
+            ..base
+        },
+    );
+    run(
+        "obfuscated workload",
+        &workload,
+        LambdaTuneOptions {
+            obfuscate: true,
+            ..base
+        },
+    );
     run(
         "no compressor (full SQL)",
         &workload,
-        LambdaTuneOptions { use_compressor: false, token_budget: Some(6000), ..base },
+        LambdaTuneOptions {
+            use_compressor: false,
+            token_budget: Some(6000),
+            ..base
+        },
     );
     run(
         "tiny token budget (64)",
         &workload,
-        LambdaTuneOptions { token_budget: Some(64), ..base },
+        LambdaTuneOptions {
+            token_budget: Some(64),
+            ..base
+        },
     );
-    run("parameters only", &workload, LambdaTuneOptions { params_only: true, ..base });
-    run("indexes only", &workload, LambdaTuneOptions { indexes_only: true, ..base });
+    run(
+        "parameters only",
+        &workload,
+        LambdaTuneOptions {
+            params_only: true,
+            ..base
+        },
+    );
+    run(
+        "indexes only",
+        &workload,
+        LambdaTuneOptions {
+            indexes_only: true,
+            ..base
+        },
+    );
 }

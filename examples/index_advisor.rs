@@ -14,17 +14,29 @@ use lt_workloads::Benchmark;
 
 fn main() {
     let workload = Benchmark::Job.load();
-    let mut db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 9);
+    let mut db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        9,
+    );
 
     // Run λ-Tune restricted to index recommendations (no knob changes).
     let llm = LlmClient::new(SimulatedLlm::new());
-    let options = LambdaTuneOptions { indexes_only: true, seed: 9, ..Default::default() };
+    let options = LambdaTuneOptions {
+        indexes_only: true,
+        seed: 9,
+        ..Default::default()
+    };
     let result = LambdaTune::new(options)
         .tune(&mut db, &workload, &llm)
         .expect("tuning succeeds");
     let config = result.best_config.expect("a configuration completed");
 
-    println!("λ-Tune recommends {} indexes for JOB:", config.index_specs().len());
+    println!(
+        "λ-Tune recommends {} indexes for JOB:",
+        config.index_specs().len()
+    );
     for spec in config.index_specs() {
         let table = &workload.catalog.table(spec.table).name;
         let cols: Vec<&str> = spec
@@ -37,18 +49,33 @@ fn main() {
 
     // Show a before/after plan for one query.
     let q = &workload.queries[1]; // JOB family 2a
-    let mut before_db =
-        SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 9);
-    println!("\nplan for JOB {} without indexes:\n{}", q.label, before_db.explain(&q.parsed).explain());
+    let mut before_db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        9,
+    );
+    println!(
+        "\nplan for JOB {} without indexes:\n{}",
+        q.label,
+        before_db.explain(&q.parsed).explain()
+    );
     for spec in config.index_specs() {
         before_db.create_index(spec);
     }
-    println!("with λ-Tune's indexes:\n{}", before_db.explain(&q.parsed).explain());
+    println!(
+        "with λ-Tune's indexes:\n{}",
+        before_db.explain(&q.parsed).explain()
+    );
 
     // Measure the whole workload with and without the indexes.
     let measure = |specs: &[&lt_dbms::IndexSpec]| -> Secs {
-        let mut m =
-            SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 9);
+        let mut m = SimDb::new(
+            Dbms::Postgres,
+            workload.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            9,
+        );
         for s in specs {
             m.create_index(s);
         }

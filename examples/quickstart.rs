@@ -52,7 +52,10 @@ fn main() {
     //    configurations from the (simulated) LLM, select the best with
     //    geometric timeouts.
     let llm = LlmClient::new(SimulatedLlm::new());
-    let options = LambdaTuneOptions { seed: 42, ..Default::default() };
+    let options = LambdaTuneOptions {
+        seed: 42,
+        ..Default::default()
+    };
     let result = LambdaTune::new(options)
         .tune(&mut db, &workload, &llm)
         .expect("tuning succeeds");
@@ -64,7 +67,10 @@ fn main() {
         result.llm_usage.calls,
         result.llm_usage.cost_usd(),
     );
-    println!("  best workload time: {:.1}  (default: {default_time:.1})", result.best_time);
+    println!(
+        "  best workload time: {:.1}  (default: {default_time:.1})",
+        result.best_time
+    );
     println!(
         "  speedup: {:.1}x",
         default_time.as_f64() / result.best_time.as_f64()

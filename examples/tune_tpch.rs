@@ -6,8 +6,8 @@
 //! cargo run --release -p lambda-tune --example tune_tpch
 //! ```
 
-use lambda_tune::{Compressor, ConfigSelector, Evaluator, PromptBuilder};
 use lambda_tune::{extract_snippets, SelectorOptions};
+use lambda_tune::{Compressor, ConfigSelector, Evaluator, PromptBuilder};
 use lt_common::derive_seed;
 use lt_dbms::{Configuration, Dbms, Hardware, SimDb};
 use lt_llm::{LlmClient, SimulatedLlm};
@@ -17,8 +17,7 @@ fn main() {
     let workload = Benchmark::TpchSf1.load();
     for dbms in [Dbms::Postgres, Dbms::Mysql] {
         println!("================ {dbms} ================");
-        let mut db =
-            SimDb::new(dbms, workload.catalog.clone(), Hardware::p3_2xlarge(), 7);
+        let mut db = SimDb::new(dbms, workload.catalog.clone(), Hardware::p3_2xlarge(), 7);
 
         // Stage 1: extract valued join snippets via EXPLAIN (§3.2).
         let snippets = extract_snippets(&db, &workload);
@@ -34,7 +33,9 @@ fn main() {
         }
 
         // Stage 2: ILP-compress into a token budget (§3.3).
-        let compressed = compressor.compress(&snippets, 300).expect("compression succeeds");
+        let compressed = compressor
+            .compress(&snippets, 300)
+            .expect("compression succeeds");
         println!(
             "\ncompressed workload: {} lines, {} tokens, {:.0}% of join value:",
             compressed.lines.len(),
@@ -48,7 +49,10 @@ fn main() {
         // Stage 3: build the prompt (§3.1, Listing 1) and sample k = 3
         // configurations.
         let prompt = PromptBuilder::new(dbms, db.hardware()).build(&compressed);
-        println!("\nprompt is {} tokens; sampling 3 configurations…", lt_llm::count_tokens(&prompt));
+        println!(
+            "\nprompt is {} tokens; sampling 3 configurations…",
+            lt_llm::count_tokens(&prompt)
+        );
         let llm = LlmClient::new(SimulatedLlm::new());
         let configs: Vec<Configuration> = (0..3)
             .map(|i| {

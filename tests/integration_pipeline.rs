@@ -19,9 +19,12 @@ fn default_workload_time(workload: &Workload, dbms: Dbms, seed: u64) -> Secs {
 fn tune(workload: &Workload, dbms: Dbms, seed: u64) -> lambda_tune::TuneResult {
     let mut db = SimDb::new(dbms, workload.catalog.clone(), Hardware::p3_2xlarge(), seed);
     let llm = LlmClient::new(SimulatedLlm::new());
-    LambdaTune::new(LambdaTuneOptions { seed, ..Default::default() })
-        .tune(&mut db, workload, &llm)
-        .expect("pipeline never errors on benchmark workloads")
+    LambdaTune::new(LambdaTuneOptions {
+        seed,
+        ..Default::default()
+    })
+    .tune(&mut db, workload, &llm)
+    .expect("pipeline never errors on benchmark workloads")
 }
 
 #[test]
@@ -92,8 +95,12 @@ fn different_seeds_change_sampled_configurations() {
 fn monetary_fees_scale_with_token_budget() {
     let workload = Benchmark::Job.load();
     let run_with_budget = |budget: usize| {
-        let mut db =
-            SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 7);
+        let mut db = SimDb::new(
+            Dbms::Postgres,
+            workload.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            7,
+        );
         let llm = LlmClient::new(SimulatedLlm::new());
         LambdaTune::new(LambdaTuneOptions {
             token_budget: Some(budget),
@@ -115,8 +122,12 @@ fn winning_config_applies_cleanly_to_a_fresh_instance() {
     let workload = Benchmark::TpchSf1.load();
     let result = tune(&workload, Dbms::Postgres, 13);
     let best = result.best_config.unwrap();
-    let mut fresh =
-        SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 13);
+    let mut fresh = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        13,
+    );
     fresh.apply_knobs(&best);
     for spec in best.index_specs() {
         fresh.create_index(spec);

@@ -16,7 +16,12 @@ use lt_workloads::Benchmark;
 
 fn db_for(benchmark: Benchmark, seed: u64) -> (SimDb, lt_workloads::Workload) {
     let w = benchmark.load();
-    let db = SimDb::new(Dbms::Postgres, w.catalog.clone(), Hardware::p3_2xlarge(), seed);
+    let db = SimDb::new(
+        Dbms::Postgres,
+        w.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        seed,
+    );
     (db, w)
 }
 
@@ -44,10 +49,13 @@ fn selector_time_is_bounded_by_k_alpha_c_best() {
             db.catalog(),
         );
         let configs = vec![bad.clone(), bad.clone(), good, bad];
-        let options = SelectorOptions { alpha, ..Default::default() };
+        let options = SelectorOptions {
+            alpha,
+            ..Default::default()
+        };
         let start = db.now();
-        let result = ConfigSelector::new(options, Evaluator::default())
-            .select(&mut db, &workload, &configs);
+        let result =
+            ConfigSelector::new(options, Evaluator::default()).select(&mut db, &workload, &configs);
         let total = db.now() - start;
         let c_best = result.best_time;
         assert!(c_best.is_finite(), "{benchmark}: a configuration must win");
@@ -78,8 +86,7 @@ fn selector_returns_the_measured_optimum() {
         .iter()
         .map(|s| Configuration::parse(s, Dbms::Postgres, db.catalog()))
         .collect();
-    let result =
-        ConfigSelector::default().select(&mut db, &workload, &configs);
+    let result = ConfigSelector::default().select(&mut db, &workload, &configs);
     let best = result.best.expect("some config completes");
     for (i, meta) in result.metas.iter().enumerate() {
         if meta.is_complete && meta.completed.len() == workload.len() {

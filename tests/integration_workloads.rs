@@ -13,8 +13,7 @@ fn every_benchmark_query_plans_and_executes_on_both_dbms() {
     for benchmark in Benchmark::all() {
         let workload = benchmark.load();
         for dbms in Dbms::all() {
-            let mut db =
-                SimDb::new(dbms, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+            let mut db = SimDb::new(dbms, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
             for wq in &workload.queries {
                 let plan = db.explain(&wq.parsed);
                 assert!(
@@ -39,7 +38,12 @@ fn every_benchmark_query_plans_and_executes_on_both_dbms() {
 fn join_heavy_queries_expose_join_costs_for_compression() {
     for benchmark in Benchmark::all() {
         let workload = benchmark.load();
-        let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 1);
+        let db = SimDb::new(
+            Dbms::Postgres,
+            workload.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            1,
+        );
         let with_joins = workload
             .queries
             .iter()
@@ -57,8 +61,18 @@ fn join_heavy_queries_expose_join_costs_for_compression() {
 fn scale_factor_increases_execution_time() {
     let sf1 = Benchmark::TpchSf1.load();
     let sf10 = Benchmark::TpchSf10.load();
-    let mut db1 = SimDb::new(Dbms::Postgres, sf1.catalog.clone(), Hardware::p3_2xlarge(), 2);
-    let mut db10 = SimDb::new(Dbms::Postgres, sf10.catalog.clone(), Hardware::p3_2xlarge(), 2);
+    let mut db1 = SimDb::new(
+        Dbms::Postgres,
+        sf1.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        2,
+    );
+    let mut db10 = SimDb::new(
+        Dbms::Postgres,
+        sf10.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        2,
+    );
     let (t1, done1) = measure_workload(&mut db1, &sf1, Secs::INFINITY);
     let (t10, done10) = measure_workload(&mut db10, &sf10, Secs::INFINITY);
     assert!(done1 && done10);
@@ -75,8 +89,12 @@ fn olap_folklore_knobs_help_on_every_benchmark() {
     // could not reward any tuner for finding them.
     for benchmark in [Benchmark::TpchSf1, Benchmark::TpcdsSf1, Benchmark::Job] {
         let workload = benchmark.load();
-        let mut db =
-            SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 4);
+        let mut db = SimDb::new(
+            Dbms::Postgres,
+            workload.catalog.clone(),
+            Hardware::p3_2xlarge(),
+            4,
+        );
         let (default_time, _) = measure_workload(&mut db, &workload, Secs::INFINITY);
         let tuned = Configuration::parse(
             "ALTER SYSTEM SET shared_buffers = '15GB';\
@@ -98,7 +116,12 @@ fn olap_folklore_knobs_help_on_every_benchmark() {
 #[test]
 fn index_advisors_agree_that_indexes_help_job() {
     let workload = Benchmark::Job.load();
-    let db = SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 6);
+    let db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        6,
+    );
     for (name, specs) in [
         ("dexter", Dexter::default().recommend(&db, &workload)),
         ("db2", Db2Advisor::default().recommend(&db, &workload)),
@@ -131,7 +154,12 @@ fn index_advisors_agree_that_indexes_help_job() {
 #[test]
 fn baseline_tuners_run_on_mysql_workloads() {
     let workload = Benchmark::TpcdsSf1.load();
-    let mut db = SimDb::new(Dbms::Mysql, workload.catalog.clone(), Hardware::p3_2xlarge(), 8);
+    let mut db = SimDb::new(
+        Dbms::Mysql,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        8,
+    );
     let run = lt_baselines::DbBert::default().tune(&mut db, &workload, secs(600.0));
     assert!(run.configs_evaluated > 0);
 }
@@ -166,7 +194,12 @@ fn no_benchmark_plan_contains_a_cross_join() {
                         cross = true;
                     }
                 });
-                assert!(!cross, "{benchmark} {}: cross join\n{}", wq.label, plan.explain());
+                assert!(
+                    !cross,
+                    "{benchmark} {}: cross join\n{}",
+                    wq.label,
+                    plan.explain()
+                );
             }
         }
     }
@@ -178,8 +211,12 @@ fn default_statistics_target_improves_plan_stability() {
     // estimated cardinalities at the scan level must be closer to the
     // executor's actual rows than with default statistics.
     let workload = Benchmark::Job.load();
-    let mut db =
-        SimDb::new(Dbms::Postgres, workload.catalog.clone(), Hardware::p3_2xlarge(), 3);
+    let mut db = SimDb::new(
+        Dbms::Postgres,
+        workload.catalog.clone(),
+        Hardware::p3_2xlarge(),
+        3,
+    );
     let q = &workload.queries[2].parsed;
     let plan_default = db.explain(q);
     let cfg = Configuration::parse(
