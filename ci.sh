@@ -10,6 +10,8 @@
 #      eval matrix), results/*.json must match byte-for-byte
 #   6. trace gate: LT_TRACE=1 fig6 must emit a trace whose per-phase
 #      self-times sum to the run wall time (checked by trace_check)
+#   7. serve smoke gate: lt-serve-load --smoke runs real sessions
+#      through the HTTP service over loopback and checks /metrics
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,6 +50,9 @@ rm -rf results/.ci-seq
 step "trace gate (LT_TRACE=1 fig6 + trace_check)"
 LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
 ./target/release/trace_check results/fig6.trace.json
+
+step "serve smoke gate (lt-serve-load --smoke)"
+./target/release/lt-serve-load --smoke
 
 echo
 echo "ci.sh: all gates passed"

@@ -22,6 +22,7 @@
 pub mod compressor;
 pub mod evaluator;
 pub mod pipeline;
+pub mod progress;
 pub mod prompt;
 pub mod rag;
 pub mod scheduler;
@@ -31,6 +32,7 @@ pub mod snippets;
 pub use compressor::{CompressedWorkload, Compressor};
 pub use evaluator::{ConfigMeta, Evaluator};
 pub use pipeline::{LambdaTune, LambdaTuneOptions, TuneResult};
+pub use progress::{CancelToken, ProgressEvent, TuneObserver};
 pub use prompt::PromptBuilder;
 pub use rag::{DocumentStore, Passage};
 pub use scheduler::{cluster_queries, expected_index_cost, find_optimal_order};

@@ -2,13 +2,15 @@
 
 use crate::compressor::Compressor;
 use crate::evaluator::Evaluator;
+use crate::progress::{ProgressEvent, TuneObserver};
 use crate::prompt::PromptBuilder;
 use crate::selector::{ConfigSelector, SelectorOptions, TrajectoryPoint};
 use crate::snippets::extract_snippets;
-use lt_common::{derive_seed, obs, secs, Result, Secs};
+use lt_common::{derive_seed, obs, secs, LtError, Result, Secs};
 use lt_dbms::{ConfigCommand, Configuration, SimDb};
 use lt_llm::{LanguageModel, LlmClient, LlmUsage};
 use lt_workloads::{Obfuscator, Workload};
+use std::sync::Arc;
 
 /// λ-Tune options. The defaults match the paper's experimental setup
 /// (§6.1): 5 LLM samples, 10 s initial timeout, α = 10.
@@ -39,6 +41,44 @@ pub struct LambdaTuneOptions {
     pub llm_latency: Secs,
     /// Base seed for LLM sampling and scheduling.
     pub seed: u64,
+}
+
+impl LambdaTuneOptions {
+    /// Rejects option combinations that cannot produce a meaningful tuning
+    /// run. [`LambdaTune::tune`] calls this first, so a malformed request
+    /// reaching a long-lived server (zero samples, zero token budget, NaN
+    /// temperature) fails its own run with an [`LtError`] instead of
+    /// panicking somewhere inside the pipeline.
+    pub fn validate(&self) -> Result<()> {
+        let reject = |what: &str| Err(LtError::Tuning(format!("invalid options: {what}")));
+        if self.num_configs == 0 {
+            return reject("num_configs must be at least 1");
+        }
+        if self.token_budget == Some(0) {
+            return reject("token_budget must be positive (omit it for the default)");
+        }
+        if !self.temperature.is_finite() || self.temperature < 0.0 {
+            return reject("temperature must be finite and non-negative");
+        }
+        if !self.llm_latency.as_f64().is_finite() || self.llm_latency < Secs::ZERO {
+            return reject("llm_latency must be finite and non-negative");
+        }
+        if self.params_only && self.indexes_only {
+            return reject("params_only and indexes_only are mutually exclusive");
+        }
+        if !(self.selector.initial_timeout > Secs::ZERO
+            && self.selector.initial_timeout.is_finite())
+        {
+            return reject("selector.initial_timeout must be positive and finite");
+        }
+        if !self.selector.alpha.is_finite() || self.selector.alpha <= 1.0 {
+            return reject("selector.alpha must be finite and greater than 1");
+        }
+        if self.selector.max_rounds == 0 {
+            return reject("selector.max_rounds must be at least 1");
+        }
+        Ok(())
+    }
 }
 
 impl Default for LambdaTuneOptions {
@@ -80,16 +120,35 @@ pub struct TuneResult {
     pub rounds: usize,
     /// Total virtual tuning time.
     pub tuning_time: Secs,
+    /// True when an observer cancelled the run; the result then reflects
+    /// the best configuration found before the cancellation point.
+    pub cancelled: bool,
 }
 
 /// The λ-Tune tuner.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct LambdaTune {
     /// Options.
     pub options: LambdaTuneOptions,
     /// Optional documentation store for retrieval-augmented prompts (the
     /// paper's §2 extension).
     pub documents: Option<crate::rag::DocumentStore>,
+    /// Optional progress/cancellation hook (the serving layer's per-session
+    /// sink); see [`crate::progress`].
+    pub observer: Option<Arc<dyn TuneObserver>>,
+}
+
+impl std::fmt::Debug for LambdaTune {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LambdaTune")
+            .field("options", &self.options)
+            .field("documents", &self.documents)
+            .field(
+                "observer",
+                &self.observer.as_ref().map(|_| "<dyn TuneObserver>"),
+            )
+            .finish()
+    }
 }
 
 impl LambdaTune {
@@ -98,6 +157,7 @@ impl LambdaTune {
         LambdaTune {
             options,
             documents: None,
+            observer: None,
         }
     }
 
@@ -106,6 +166,14 @@ impl LambdaTune {
     /// the prompt.
     pub fn with_documents(mut self, store: crate::rag::DocumentStore) -> Self {
         self.documents = Some(store);
+        self
+    }
+
+    /// Attaches a progress/cancellation observer: it receives a
+    /// [`ProgressEvent`] per pipeline milestone and is polled for
+    /// cancellation between units of work.
+    pub fn with_observer(mut self, observer: Arc<dyn TuneObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -119,6 +187,9 @@ impl LambdaTune {
     ) -> Result<TuneResult> {
         let start = db.now();
         let opts = &self.options;
+        opts.validate()?;
+        let observer = self.observer.as_deref();
+        let cancelled = || observer.is_some_and(|o| o.cancelled());
         let mut tune_span = obs::span_vt("tune", start);
 
         // ---- prompt generation (§3) ----
@@ -162,10 +233,20 @@ impl LambdaTune {
         };
         prompt_span.vt_end(db.now());
         drop(prompt_span);
+        if let Some(o) = observer {
+            o.on_event(ProgressEvent::PromptBuilt {
+                tokens: workload_tokens,
+            });
+        }
 
         // ---- k LLM samples ----
+        let mut sampling_cancelled = false;
         let mut configs = Vec::with_capacity(opts.num_configs);
         for i in 0..opts.num_configs {
+            if cancelled() {
+                sampling_cancelled = true;
+                break;
+            }
             let mut sample_span = obs::span_vt("tune.llm_sample", db.now());
             let response =
                 llm.complete(&prompt, opts.temperature, derive_seed(opts.seed, i as u64))?;
@@ -188,6 +269,12 @@ impl LambdaTune {
                     .retain(|c| matches!(c, ConfigCommand::CreateIndex(_)));
             }
             configs.push(config);
+            if let Some(o) = observer {
+                o.on_event(ProgressEvent::ConfigSampled {
+                    index: i,
+                    total: opts.num_configs,
+                });
+            }
         }
 
         // ---- configuration selection (§4) ----
@@ -197,7 +284,7 @@ impl LambdaTune {
             seed: opts.seed,
         };
         let selector = ConfigSelector::new(opts.selector, evaluator);
-        let selection = selector.select(db, workload, &configs);
+        let selection = selector.select_observed(db, workload, &configs, observer);
         select_span.vt_end(db.now());
         drop(select_span);
         tune_span.vt_end(db.now());
@@ -212,6 +299,7 @@ impl LambdaTune {
             workload_tokens,
             rounds: selection.rounds,
             tuning_time: db.now() - start,
+            cancelled: sampling_cancelled || selection.cancelled,
         })
     }
 }
@@ -381,6 +469,160 @@ mod tests {
             followed,
             "the retrieved documentation should shape the configs"
         );
+    }
+
+    #[test]
+    fn zero_num_configs_is_rejected_not_panicking() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions {
+            num_configs: 0,
+            ..Default::default()
+        };
+        let err = LambdaTune::new(options)
+            .tune(&mut db, &w, &llm)
+            .unwrap_err();
+        assert_eq!(err.category(), "tuning");
+        assert!(err.message().contains("num_configs"), "{err}");
+    }
+
+    #[test]
+    fn zero_token_budget_is_rejected_not_panicking() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions {
+            token_budget: Some(0),
+            ..Default::default()
+        };
+        let err = LambdaTune::new(options)
+            .tune(&mut db, &w, &llm)
+            .unwrap_err();
+        assert_eq!(err.category(), "tuning");
+        assert!(err.message().contains("token_budget"), "{err}");
+    }
+
+    #[test]
+    fn malformed_numeric_options_are_rejected() {
+        for options in [
+            LambdaTuneOptions {
+                temperature: f64::NAN,
+                ..Default::default()
+            },
+            LambdaTuneOptions {
+                llm_latency: Secs::INFINITY,
+                ..Default::default()
+            },
+            LambdaTuneOptions {
+                params_only: true,
+                indexes_only: true,
+                ..Default::default()
+            },
+            LambdaTuneOptions {
+                selector: crate::SelectorOptions {
+                    alpha: 1.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            LambdaTuneOptions {
+                selector: crate::SelectorOptions {
+                    initial_timeout: Secs::ZERO,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ] {
+            let err = options.validate().unwrap_err();
+            assert_eq!(err.category(), "tuning", "{options:?}");
+        }
+        assert!(LambdaTuneOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_without_llm_calls() {
+        let (mut db, w, llm) = setup();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let result = LambdaTune::default()
+            .with_observer(std::sync::Arc::new(token))
+            .tune(&mut db, &w, &llm)
+            .unwrap();
+        assert!(result.cancelled);
+        assert!(result.best_config.is_none());
+        assert_eq!(result.llm_usage.calls, 0);
+    }
+
+    #[test]
+    fn cancellation_mid_run_keeps_best_so_far() {
+        use crate::progress::{ProgressEvent, TuneObserver};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Cancels as soon as the first improvement is reported.
+        #[derive(Default)]
+        struct StopAtFirstWin {
+            hit: AtomicBool,
+            events: std::sync::Mutex<Vec<ProgressEvent>>,
+        }
+        impl TuneObserver for StopAtFirstWin {
+            fn on_event(&self, event: ProgressEvent) {
+                if matches!(event, ProgressEvent::Improvement { .. }) {
+                    self.hit.store(true, Ordering::Relaxed);
+                }
+                self.events.lock().unwrap().push(event);
+            }
+            fn cancelled(&self) -> bool {
+                self.hit.load(Ordering::Relaxed)
+            }
+        }
+
+        let (mut db, w, llm) = setup();
+        let observer = std::sync::Arc::new(StopAtFirstWin::default());
+        let result = LambdaTune::default()
+            .with_observer(observer.clone())
+            .tune(&mut db, &w, &llm)
+            .unwrap();
+        assert!(result.cancelled);
+        assert!(result.best_config.is_some(), "incumbent survives cancel");
+        let events = observer.events.lock().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::PromptBuilt { .. })));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ProgressEvent::ConfigSampled { .. }))
+                .count(),
+            5
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::RoundStarted { .. })));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ProgressEvent::Improvement { .. }))
+                .count(),
+            1,
+            "run must stop after the first improvement"
+        );
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        // A pure observer (no cancellation) must not perturb the result:
+        // the serving layer relies on this for its determinism contract.
+        struct Null;
+        impl crate::progress::TuneObserver for Null {}
+        let (mut db1, w, llm1) = setup();
+        let plain = LambdaTune::default().tune(&mut db1, &w, &llm1).unwrap();
+        let (mut db2, _, llm2) = setup();
+        let observed = LambdaTune::default()
+            .with_observer(std::sync::Arc::new(Null))
+            .tune(&mut db2, &w, &llm2)
+            .unwrap();
+        assert_eq!(plain.best_index, observed.best_index);
+        assert_eq!(plain.best_time, observed.best_time);
+        assert_eq!(plain.rounds, observed.rounds);
+        assert!(!observed.cancelled);
+        assert_eq!(plain.trajectory, observed.trajectory);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Live progress reporting and cooperative cancellation for the pipeline.
+//!
+//! The batch pipeline returns its trajectory only at the end of the run,
+//! which is fine for the benchmark binaries but useless for a serving
+//! layer that wants to stream "best configuration so far" to a client
+//! while tuning is still in flight — and that must be able to abort a
+//! session a client no longer wants. A [`TuneObserver`] hooks both needs
+//! into [`crate::LambdaTune::tune`]: the selector and pipeline report
+//! [`ProgressEvent`]s as they happen, and poll [`TuneObserver::cancelled`]
+//! at every natural interruption point (between LLM samples, between
+//! selector evaluations), reusing the same "stop between units of work"
+//! discipline as the timeout-interrupt path.
+//!
+//! Observers run on the tuning thread, so implementations must be cheap
+//! and non-blocking (push into a mutex-guarded sink, flip an atomic).
+
+use crate::selector::TrajectoryPoint;
+use lt_common::Secs;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One milestone of a tuning run, reported as it happens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgressEvent {
+    /// The workload prompt is built (`tokens` spent on the description).
+    PromptBuilt {
+        /// Tokens spent on the workload description.
+        tokens: usize,
+    },
+    /// One LLM sample came back (`index` in `0..num_configs`).
+    ConfigSampled {
+        /// Sample index.
+        index: usize,
+        /// Samples requested in total.
+        total: usize,
+    },
+    /// The selector started an evaluation round with this per-config
+    /// timeout.
+    RoundStarted {
+        /// 1-based round number.
+        round: usize,
+        /// Per-configuration timeout of the round.
+        timeout: Secs,
+    },
+    /// A configuration completed the workload faster than any before it.
+    Improvement {
+        /// Index of the improving configuration.
+        config_index: usize,
+        /// The new trajectory point (optimization time, workload time).
+        point: TrajectoryPoint,
+    },
+}
+
+/// Receives [`ProgressEvent`]s and answers cancellation polls during a
+/// tuning run. All methods have no-op defaults, so an observer can
+/// implement only the side it cares about.
+pub trait TuneObserver: Send + Sync {
+    /// Called on every milestone, on the tuning thread.
+    fn on_event(&self, _event: ProgressEvent) {}
+
+    /// Polled between units of work; returning `true` makes the pipeline
+    /// stop at the next interruption point and return the best
+    /// configuration found so far (with [`crate::TuneResult::cancelled`]
+    /// set).
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// A shareable cancellation flag: the simplest useful [`TuneObserver`].
+///
+/// Clone it (cheap, `Arc` inside), hand one copy to the tuner and keep the
+/// other; [`CancelToken::cancel`] from any thread stops the run at its next
+/// interruption point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl TuneObserver for CancelToken {
+    fn cancelled(&self) -> bool {
+        self.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_flips_once_and_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.cancelled());
+        clone.cancel();
+        assert!(token.cancelled());
+        token.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn observer_defaults_are_inert() {
+        struct Silent;
+        impl TuneObserver for Silent {}
+        let s = Silent;
+        s.on_event(ProgressEvent::PromptBuilt { tokens: 1 });
+        assert!(!s.cancelled());
+    }
+}

@@ -16,6 +16,7 @@
 //! time observed so far (the "Adaptive Timeout" ablation toggles this).
 
 use crate::evaluator::{ConfigMeta, Evaluator};
+use crate::progress::{ProgressEvent, TuneObserver};
 use lt_common::{obs, secs, QueryId, Secs};
 use lt_dbms::{Configuration, SimDb};
 use lt_workloads::Workload;
@@ -71,6 +72,9 @@ pub struct SelectionResult {
     pub trajectory: Vec<TrajectoryPoint>,
     /// Number of evaluation rounds run.
     pub rounds: usize,
+    /// True when an observer cancelled the run before selection finished;
+    /// `best` then reflects the incumbent at the moment of cancellation.
+    pub cancelled: bool,
 }
 
 /// The configuration selector.
@@ -95,6 +99,21 @@ impl ConfigSelector {
         workload: &Workload,
         configs: &[Configuration],
     ) -> SelectionResult {
+        self.select_observed(db, workload, configs, None)
+    }
+
+    /// [`ConfigSelector::select`] with live progress reporting and
+    /// cooperative cancellation: `observer` (if any) receives a
+    /// [`ProgressEvent`] per round and per improvement, and is polled for
+    /// cancellation before every configuration evaluation — the same
+    /// granularity at which the timeout-interrupt path stops work.
+    pub fn select_observed(
+        &self,
+        db: &mut SimDb,
+        workload: &Workload,
+        configs: &[Configuration],
+        observer: Option<&dyn TuneObserver>,
+    ) -> SelectionResult {
         let all_queries: Vec<QueryId> = workload.queries.iter().map(|q| q.id).collect();
         let mut metas: Vec<ConfigMeta> = configs.iter().map(|_| ConfigMeta::default()).collect();
         let mut best: Option<usize> = None;
@@ -103,11 +122,28 @@ impl ConfigSelector {
         let mut t = self.options.initial_timeout;
         let mut rounds = 0usize;
         let mut candidates: Vec<usize> = Vec::new();
+        let mut cancelled = false;
+        let is_cancelled = |flag: &mut bool| {
+            *flag = *flag || observer.is_some_and(|o| o.cancelled());
+            *flag
+        };
 
         'rounds: while best.is_none() && rounds < self.options.max_rounds {
+            if is_cancelled(&mut cancelled) {
+                break;
+            }
             rounds += 1;
             obs::counter("selector.rounds", 1);
+            if let Some(o) = observer {
+                o.on_event(ProgressEvent::RoundStarted {
+                    round: rounds,
+                    timeout: t,
+                });
+            }
             for c in self.throughput_order(&metas) {
+                if is_cancelled(&mut cancelled) {
+                    break 'rounds;
+                }
                 self.update(
                     db,
                     workload,
@@ -119,6 +155,7 @@ impl ConfigSelector {
                     &mut best,
                     &mut best_time,
                     &mut trajectory,
+                    observer,
                 );
                 if metas[c].is_complete && best.is_some() {
                     candidates = (0..configs.len()).filter(|&i| i != c).collect();
@@ -141,6 +178,9 @@ impl ConfigSelector {
         // best-derived timeout.
         let remaining = self.throughput_order_of(&metas, &candidates);
         for c in remaining {
+            if is_cancelled(&mut cancelled) {
+                break;
+            }
             self.update(
                 db,
                 workload,
@@ -152,6 +192,7 @@ impl ConfigSelector {
                 &mut best,
                 &mut best_time,
                 &mut trajectory,
+                observer,
             );
         }
 
@@ -161,6 +202,7 @@ impl ConfigSelector {
             metas,
             trajectory,
             rounds,
+            cancelled,
         }
     }
 
@@ -178,6 +220,7 @@ impl ConfigSelector {
         best: &mut Option<usize>,
         best_time: &mut Secs,
         trajectory: &mut Vec<TrajectoryPoint>,
+        observer: Option<&dyn TuneObserver>,
     ) {
         if metas[c].is_complete && metas[c].completed.len() == all_queries.len() {
             return; // fully evaluated already
@@ -206,10 +249,17 @@ impl ConfigSelector {
             *best_time = metas[c].time;
             *best = Some(c);
             obs::counter("selector.improvements", 1);
-            trajectory.push(TrajectoryPoint {
+            let point = TrajectoryPoint {
                 opt_time: db.now(),
                 best_workload_time: *best_time,
-            });
+            };
+            trajectory.push(point);
+            if let Some(o) = observer {
+                o.on_event(ProgressEvent::Improvement {
+                    config_index: c,
+                    point,
+                });
+            }
         }
     }
 

@@ -149,7 +149,15 @@ fn write_f64(out: &mut String, f: f64) {
         // Keep whole floats recognizably floating-point.
         out.push_str(&format!("{f:.1}"));
     } else {
-        out.push_str(&format!("{f}"));
+        let s = format!("{f}");
+        // Rust's Display never uses exponent notation, so whole floats at
+        // or above 1e15 print without a decimal point and would parse back
+        // as integers; restore the marker to keep round trips type-exact.
+        let needs_marker = !s.contains('.');
+        out.push_str(&s);
+        if needs_marker {
+            out.push_str(".0");
+        }
     }
 }
 

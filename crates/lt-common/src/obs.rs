@@ -411,6 +411,50 @@ impl Snapshot {
         out
     }
 
+    /// Serializes the *aggregate* view only — counters, gauges and
+    /// per-phase span totals, without the raw event log. This is the
+    /// `GET /metrics` payload of the serving layer: it stays small no
+    /// matter how many sessions have accumulated events, while the full
+    /// [`Snapshot::to_json`] sidecar grows with every span.
+    pub fn to_metrics_json(&self) -> Value {
+        let phases: Vec<Value> = self
+            .phases()
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("name".into(), Value::from(p.name)),
+                    ("count".into(), Value::from(p.count)),
+                    ("wall_s".into(), Value::from(p.wall)),
+                    ("wall_self_s".into(), Value::from(p.wall_self)),
+                    ("vt_s".into(), Value::from(p.vt)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("version".into(), Value::Int(1)),
+            (
+                "counters".into(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| ((*n).to_string(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Value::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| ((*n).to_string(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            ("phases".into(), Value::Array(phases)),
+            ("spans_recorded".into(), Value::from(self.events.len())),
+        ])
+    }
+
     /// Serializes the snapshot as the trace sidecar document (see the
     /// README's event-log schema).
     pub fn to_json(&self) -> Value {
@@ -643,6 +687,48 @@ mod tests {
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].get("name").and_then(Value::as_str), Some("fase"));
         assert_eq!(phases[0].get("vt_s").and_then(Value::as_f64), Some(2.0));
+        reset();
+    }
+
+    #[test]
+    fn metrics_json_has_aggregates_but_no_event_log() {
+        let _guard = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let mut s = span_vt("serve.tune", secs(0.0));
+            s.vt_end(secs(3.0));
+            counter("sessions", 2);
+            gauge("queue_depth", 4.0);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let doc = snap.to_metrics_json();
+        let parsed = crate::json::parse(&doc.to_string_pretty()).expect("round trip");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("sessions"))
+                .and_then(Value::as_i64),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("queue_depth"))
+                .and_then(Value::as_f64),
+            Some(4.0)
+        );
+        let phases = parsed.get("phases").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            phases[0].get("name").and_then(Value::as_str),
+            Some("serve.tune")
+        );
+        assert_eq!(
+            parsed.get("spans_recorded").and_then(Value::as_i64),
+            Some(1)
+        );
+        assert!(parsed.get("events").is_none(), "no raw event log");
         reset();
     }
 

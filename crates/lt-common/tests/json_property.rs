@@ -1,0 +1,185 @@
+//! Seeded property test: `parse(write(v)) == v` for the JSON module.
+//!
+//! `lt_common::json` is the request-parsing substrate of the `lt-serve`
+//! HTTP layer, so round-trip fidelity is load-bearing beyond the benchmark
+//! artifacts. The generator covers deep nesting, every escape class the
+//! writer emits, astral-plane characters (surrogate pairs in `\uXXXX`
+//! escapes), and numbers at precision edges. Seeded RNG keeps failures
+//! reproducible: a failing case prints its seed.
+
+use lt_common::json::{parse, Value};
+use lt_common::{seeded_rng, Rng};
+
+/// Characters that stress the writer's escaping and the parser's string
+/// scanner: quotes, backslashes, control characters, multi-byte UTF-8 and
+/// astral-plane code points (the latter also appear as `\uXXXX` surrogate
+/// pairs in hand-written documents, covered separately below).
+const STRING_ALPHABET: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '\n',
+    '\r',
+    '\t',
+    '\u{8}',
+    '\u{c}',
+    '\u{0}',
+    '\u{1f}',
+    '/',
+    'é',
+    'ß',
+    '中',
+    '\u{ffff}',
+    '😀',
+    '𝄞',
+    '\u{10FFFF}',
+];
+
+/// Numbers whose shortest round-trip formatting exercises precision edges.
+const EDGE_FLOATS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.5,
+    0.1,
+    2.0 / 3.0,
+    1e-308,
+    f64::MIN_POSITIVE,
+    5e-324, // smallest subnormal
+    f64::MAX,
+    f64::MIN,
+    1e15, // writer's whole-float formatting threshold
+    1e15 - 1.0,
+    1e15 + 2.0,
+    (1u64 << 53) as f64, // last exactly-representable integer + 1
+    std::f64::consts::PI,
+];
+
+const EDGE_INTS: &[i64] = &[0, 1, -1, i64::MAX, i64::MIN, 1 << 53, -(1 << 53) - 1];
+
+fn gen_string(rng: &mut Rng) -> String {
+    let len = rng.gen_range(0..12usize);
+    (0..len)
+        .map(|_| *rng.choose(STRING_ALPHABET).unwrap())
+        .collect()
+}
+
+fn gen_value(rng: &mut Rng, depth: usize) -> Value {
+    // Leaves only at the bottom; containers get rarer with depth.
+    let max_kind: usize = if depth == 0 { 5 } else { 7 };
+    match rng.gen_range(0..max_kind) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(if rng.gen_bool(0.5) {
+            *rng.choose(EDGE_INTS).unwrap()
+        } else {
+            rng.next_u64() as i64
+        }),
+        3 => {
+            let f = if rng.gen_bool(0.5) {
+                *rng.choose(EDGE_FLOATS).unwrap()
+            } else {
+                // Uniform bits, rerolled until finite (writer maps
+                // non-finite to null, which would break the property).
+                loop {
+                    let candidate = f64::from_bits(rng.next_u64());
+                    if candidate.is_finite() {
+                        break candidate;
+                    }
+                }
+            };
+            // The writer formats every whole float as `x.0`, which parses
+            // back as Float — representable. But distinguish: Int values
+            // write without a decimal point and parse back as Int, so the
+            // two variants never collide.
+            Value::Float(f)
+        }
+        4 => Value::String(gen_string(rng)),
+        5 => {
+            let len = rng.gen_range(0..5usize);
+            Value::Array((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..5usize);
+            Value::Object(
+                (0..len)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", gen_string(rng)),
+                            gen_value(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn random_values_round_trip_through_writer_and_parser() {
+    let base = 0xC0FFEE;
+    for case in 0..500u64 {
+        let seed = lt_common::derive_seed(base, case);
+        let mut rng = seeded_rng(seed);
+        let value = gen_value(&mut rng, 4);
+        let text = value.to_string_pretty();
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: writer output failed to parse: {e}\n{text}"));
+        assert_eq!(back, value, "seed {seed}: round trip diverged\n{text}");
+    }
+}
+
+#[test]
+fn reparse_is_idempotent_on_written_output() {
+    // write(parse(write(v))) == write(v): the printed form is a fixpoint.
+    let mut rng = seeded_rng(7);
+    for _ in 0..100 {
+        let value = gen_value(&mut rng, 3);
+        let once = value.to_string_pretty();
+        let twice = parse(&once).unwrap().to_string_pretty();
+        assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn surrogate_pair_escapes_parse_to_astral_code_points() {
+    // Hand-written documents may spell astral characters as \uXXXX pairs;
+    // the writer never does, so cover the decode direction explicitly.
+    let cases = [
+        ("\"\\ud83d\\ude00\"", "😀"),
+        ("\"\\ud834\\udd1e\"", "𝄞"),
+        ("\"\\udbff\\udfff\"", "\u{10FFFF}"),
+        ("\"a\\u0000b\"", "a\u{0}b"),
+    ];
+    for (doc, want) in cases {
+        let parsed = parse(doc).unwrap();
+        assert_eq!(parsed.as_str(), Some(want), "{doc}");
+        // And the round trip from the parsed value holds too.
+        assert_eq!(parse(&parsed.to_string_pretty()).unwrap(), parsed);
+    }
+    // Lone or malformed surrogates must be rejected, not mangled.
+    for bad in ["\"\\ud83d\"", "\"\\ud83d\\u0041\"", "\"\\udc00\""] {
+        assert!(parse(bad).is_err(), "{bad}");
+    }
+}
+
+#[test]
+fn precision_edge_numbers_round_trip_exactly() {
+    for &f in EDGE_FLOATS {
+        let v = Value::Float(f);
+        let back = parse(&v.to_string_pretty()).unwrap();
+        match back {
+            Value::Float(g) => {
+                assert!(g == f || (g == 0.0 && f == 0.0), "{f:?} came back as {g:?}")
+            }
+            other => panic!("{f:?} came back as {other:?}"),
+        }
+    }
+    for &i in EDGE_INTS {
+        let v = Value::Int(i);
+        assert_eq!(parse(&v.to_string_pretty()).unwrap(), v, "{i}");
+    }
+}

@@ -1,0 +1,74 @@
+//! `lt-serve`: the tuning service daemon.
+//!
+//! ```text
+//! lt-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! Flags override the `LT_SERVE_ADDR` / `LT_SERVE_WORKERS` /
+//! `LT_SERVE_QUEUE` environment variables, which override the defaults
+//! (127.0.0.1:7878, 2 workers, queue depth 64). Stop with `POST /shutdown`
+//! or Ctrl-C.
+
+use lt_serve::ServerConfig;
+
+fn main() {
+    let mut config = ServerConfig::from_env();
+    if config.addr == "127.0.0.1:0" {
+        // The daemon wants a knowable default port; tests and the load
+        // generator (which construct ServerConfig directly) keep port 0.
+        config.addr = "127.0.0.1:7878".to_string();
+    }
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => {
+                config.workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --workers must be a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--queue" => {
+                config.queue_depth = value("--queue").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --queue must be a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: lt-serve [--addr HOST:PORT] [--workers N] [--queue N]");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut server = match lt_serve::start(config.clone()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("error: cannot bind {}: {err}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "lt-serve listening on http://{} ({} workers, queue {})",
+        server.addr(),
+        config.workers,
+        config.queue_depth
+    );
+    println!(
+        "submit:   curl -X POST http://{}/sessions -d '{{\"benchmark\": \"tpch-sf1\"}}'",
+        server.addr()
+    );
+    println!("shutdown: curl -X POST http://{}/shutdown", server.addr());
+    server.wait();
+}

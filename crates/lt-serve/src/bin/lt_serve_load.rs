@@ -1,0 +1,194 @@
+//! `lt-serve-load`: the load generator and serving benchmark.
+//!
+//! ```text
+//! lt-serve-load                  # full matrix: 16 clients at 1 and 4 workers,
+//!                                # verifies determinism, writes results/serve_load.json
+//! lt-serve-load --smoke          # one quick session against an in-process
+//!                                # server; the CI smoke gate
+//! lt-serve-load --addr HOST:PORT # single pass against an external server
+//! lt-serve-load --clients N      # override the client count
+//! ```
+//!
+//! Exit status is nonzero on any client failure or on a determinism
+//! mismatch between the 1-worker and 4-worker runs.
+
+use lt_common::json;
+use lt_common::json::{parse, Value};
+use lt_serve::load::{run_against, run_matrix, LoadOptions};
+
+fn write_results(file: &str, value: &Value) {
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("error: cannot create results/: {e}");
+        std::process::exit(1);
+    }
+    let path = format!("results/{file}");
+    if let Err(e) = std::fs::write(&path, value.to_string_pretty()) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
+
+/// One fast end-to-end pass: in-process server, one session, metrics check.
+fn smoke() {
+    let opts = LoadOptions {
+        clients: 2,
+        num_configs: 2,
+        ..LoadOptions::default()
+    };
+    let mut server = lt_serve::start(lt_serve::ServerConfig::default()).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let run = run_against(server.addr(), 2, &opts);
+
+    // /metrics must be live JSON with serving counters in it.
+    let (status, body) = lt_serve::http::request(server.addr(), "GET", "/metrics", None)
+        .unwrap_or_else(|e| {
+            eprintln!("error: /metrics request failed: {e}");
+            std::process::exit(1);
+        });
+    let metrics_ok = status == 200
+        && parse(&body)
+            .ok()
+            .and_then(|doc| doc.get("counters")?.get("serve.sessions_done")?.as_i64())
+            .is_some_and(|done| done >= opts.clients as i64);
+    server.shutdown();
+
+    if run.failures() > 0 || !metrics_ok {
+        eprintln!(
+            "smoke FAILED: {} client failures, metrics_ok={metrics_ok}",
+            run.failures()
+        );
+        for o in &run.outcomes {
+            eprintln!("  client {} seed {}: {}", o.client, o.seed, o.state);
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "smoke ok: {} sessions done in {:.1}s, /metrics live",
+        opts.clients,
+        run.wall.as_secs_f64()
+    );
+}
+
+fn main() {
+    let mut smoke_mode = false;
+    let mut external_addr: Option<String> = None;
+    let mut clients = 16usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--addr" => external_addr = args.next(),
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --clients must be a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--help" | "-h" => {
+                println!("usage: lt-serve-load [--smoke | --addr HOST:PORT] [--clients N]");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if smoke_mode {
+        smoke();
+        return;
+    }
+
+    let opts = LoadOptions {
+        clients,
+        ..LoadOptions::default()
+    };
+
+    if let Some(addr_text) = external_addr {
+        let addr = addr_text.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad address {addr_text:?}");
+            std::process::exit(2);
+        });
+        let run = run_against(addr, 0, &opts);
+        println!(
+            "{} clients against {addr}: {} failures, p50 {:.0}ms p95 {:.0}ms p99 {:.0}ms, {:.2} sessions/s",
+            opts.clients,
+            run.failures(),
+            run.latency_percentile_ms(50.0),
+            run.latency_percentile_ms(95.0),
+            run.latency_percentile_ms(99.0),
+            run.sessions_per_sec()
+        );
+        write_results(
+            "serve_load.json",
+            &json!({
+                "mode": "external",
+                "base_seed": opts.base_seed,
+                "run": run.to_json(),
+            }),
+        );
+        if run.failures() > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!(
+        "serving matrix: {} clients (base seed {}), benchmark {}, 1 worker then 4 workers",
+        opts.clients, opts.base_seed, opts.benchmark
+    );
+    let (serial, pooled, mismatched) = run_matrix(&opts).unwrap_or_else(|e| {
+        eprintln!("error: load run failed: {e}");
+        std::process::exit(1);
+    });
+    for run in [&serial, &pooled] {
+        println!(
+            "  {} workers: {} failures, wall {:.1}s, p50 {:.0}ms p95 {:.0}ms p99 {:.0}ms, {:.2} sessions/s",
+            run.workers,
+            run.failures(),
+            run.wall.as_secs_f64(),
+            run.latency_percentile_ms(50.0),
+            run.latency_percentile_ms(95.0),
+            run.latency_percentile_ms(99.0),
+            run.sessions_per_sec()
+        );
+    }
+    let deterministic = mismatched.is_empty();
+    println!(
+        "  determinism: per-seed configs {} across pool sizes{}",
+        if deterministic {
+            "byte-identical"
+        } else {
+            "MISMATCHED"
+        },
+        if deterministic {
+            String::new()
+        } else {
+            format!(" (seeds {mismatched:?})")
+        }
+    );
+
+    write_results(
+        "serve_load.json",
+        &json!({
+            "mode": "matrix",
+            "base_seed": opts.base_seed,
+            "benchmark": opts.benchmark.as_str(),
+            "deterministic_across_pool_sizes": deterministic,
+            "mismatched_seeds": mismatched.clone(),
+            "runs": vec![serial.to_json(), pooled.to_json()],
+        }),
+    );
+
+    if serial.failures() > 0 || pooled.failures() > 0 || !deterministic {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,291 @@
+//! A minimal HTTP/1.1 layer over `std::net`, sized for the tuning service.
+//!
+//! One request per connection (`Connection: close` on every response), no
+//! chunked encoding, no keep-alive — the serving protocol is small JSON
+//! documents, and the load generator opens a fresh connection per call, so
+//! the simplest correct subset of HTTP/1.1 is the whole implementation.
+//! Bodies are read by `Content-Length`; head and body sizes are bounded so
+//! a misbehaving client cannot balloon server memory.
+
+use lt_common::json::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on the request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, upper-case as sent (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request target, e.g. `/sessions/3/config` (query strings are kept
+    /// verbatim; the service routes on the path only).
+    pub path: String,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or `None` when it is not valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Reads one request from `stream`. `Err` means the peer sent something
+/// that is not HTTP (or exceeded the size bounds); the connection should
+/// be answered with 400 and closed.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+
+    // Accumulate until the blank line that ends the head.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    let head_end = loop {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(malformed("request head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(malformed("connection closed mid-head")),
+            _ => head.push(byte[0]),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break head.len() - 4;
+        }
+        if head.ends_with(b"\n\n") {
+            break head.len() - 2; // tolerate bare-LF clients (curl never, netcat maybe)
+        }
+    };
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| malformed("request head is not UTF-8"))?;
+    let mut lines = head_text.lines();
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| malformed("missing request target"))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1") => {}
+        _ => return Err(malformed("missing or unsupported HTTP version")),
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| malformed("bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(malformed("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body text (always JSON in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, value: &Value) -> Response {
+        Response {
+            status,
+            body: value.to_string_pretty(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": {"status", "message"}}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &lt_common::json!({
+                "error": lt_common::json!({
+                    "status": status,
+                    "message": message,
+                }),
+            }),
+        )
+    }
+
+    /// Serializes status line, headers and body to `stream`.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            self.body
+        )?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Blocking HTTP client for the load generator, tests and examples: opens
+/// a fresh connection, sends one request, returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP response into status code and body.
+fn parse_response(raw: &str) -> io::Result<(u16, String)> {
+    let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| malformed("no header/body separator in response"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw =
+            b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"seed\": 7}\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body_str(), Some("{\"seed\": 7}\r\n"));
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_truncation_and_oversize() {
+        assert!(read_request(&mut &b"not http at all"[..]).is_err());
+        assert!(
+            read_request(&mut &b"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..]).is_err()
+        );
+        assert!(
+            read_request(&mut &b"GET /x HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n"[..])
+                .is_err()
+        );
+        assert!(
+            read_request(&mut &b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..]).is_err()
+        );
+        assert!(
+            read_request(&mut &b"GET /x\r\n\r\n"[..]).is_err(),
+            "missing version"
+        );
+        let huge = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(read_request(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let resp = Response::json(200, &lt_common::json!({ "ok": true }));
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}", body.len())));
+        let (status, parsed_body) = parse_response(&text).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(parsed_body, body);
+    }
+
+    #[test]
+    fn error_envelope_carries_status_and_message() {
+        let resp = Response::error(429, "queue full");
+        assert_eq!(resp.status, 429);
+        let doc = lt_common::json::parse(&resp.body).unwrap();
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("status").and_then(Value::as_i64), Some(429));
+        assert_eq!(
+            err.get("message").and_then(Value::as_str),
+            Some("queue full")
+        );
+    }
+}

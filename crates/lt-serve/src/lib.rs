@@ -1,0 +1,31 @@
+//! λ-Tune as a service: a multi-tenant tuning server over `std::net`.
+//!
+//! The research pipeline in [`lambda_tune`] tunes one database per process
+//! invocation. This crate wraps it in a long-lived HTTP service:
+//!
+//! - [`http`] — a minimal, bounded HTTP/1.1 subset (one request per
+//!   connection, `Content-Length` bodies, JSON in and out);
+//! - [`session`] — request parsing/validation, the per-session state
+//!   machine (`Queued → Tuning → Done/Failed/Cancelled`) and the registry;
+//! - [`pool`] — a fixed-size worker pool behind a bounded MPSC queue;
+//!   admission control (429), graceful drain on shutdown, and a
+//!   `catch_unwind` backstop so one poisoned request cannot take down a
+//!   worker thread;
+//! - [`server`] — the accept loop and routing;
+//! - [`load`] — the load generator behind the `lt-serve-load` binary.
+//!
+//! Determinism contract: each session owns its own simulated database,
+//! seeded from the request. With the session seed fixed, the resulting best
+//! configuration is byte-identical regardless of worker-pool size or
+//! request interleaving — progress observers stream state out of the
+//! pipeline but never feed anything back in except cancellation.
+
+pub mod http;
+pub mod load;
+pub mod pool;
+pub mod server;
+pub mod session;
+
+pub use pool::{SubmitError, WorkerPool};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use session::{Session, SessionRegistry, SessionState, TuneRequest};

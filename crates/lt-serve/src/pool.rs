@@ -1,0 +1,322 @@
+//! The worker pool: a bounded MPSC job queue feeding a fixed set of tuning
+//! threads.
+//!
+//! Accept threads never run the pipeline — they parse the request, register
+//! a session and hand it to the pool. `try_send` on the bounded channel is
+//! the admission control: a full queue surfaces as HTTP 429 at the server
+//! layer rather than unbounded memory growth here. Dropping the sender is
+//! the shutdown signal; workers drain whatever was already queued and exit,
+//! so a graceful shutdown never abandons an accepted session.
+
+use crate::session::{SessionHandle, SessionState};
+use lambda_tune::LambdaTune;
+use lt_common::{obs, LtError, Secs};
+use lt_dbms::{Configuration, SimDb};
+use lt_llm::{LlmClient, SimulatedLlm};
+use lt_workloads::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// A fixed-size pool of tuning workers behind a bounded queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Mutex<Option<SyncSender<SessionHandle>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — the client should retry later (429).
+    QueueFull,
+    /// The pool is shutting down — no new work is accepted (503).
+    ShuttingDown,
+}
+
+impl WorkerPool {
+    /// Starts `workers` tuning threads behind a queue of depth `queue_depth`.
+    pub fn start(workers: usize, queue_depth: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let queue_depth = queue_depth.max(1);
+        let (sender, receiver) = sync_channel::<SessionHandle>(queue_depth);
+        // std's Receiver is single-consumer; share it behind a mutex so the
+        // pool pulls jobs work-stealing style.
+        let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("lt-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = match receiver.lock() {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(session) => run_session(&session),
+                            Err(_) => break, // all senders dropped: shutdown
+                        }
+                    })
+                    .expect("spawn lt-serve worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues a session without blocking.
+    pub fn submit(&self, session: SessionHandle) -> Result<(), SubmitError> {
+        let guard = match self.sender.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let sender = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        match sender.try_send(session) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Graceful shutdown: stops accepting work, lets the workers drain the
+    /// queue and joins them. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut guard = match self.sender.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.take(); // closes the channel once the last clone drops
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = match self.workers.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Total workload time under the database's *current* configuration with no
+/// cap (the denominator of the scaled cost reported by `/config`).
+fn measure_default(db: &mut SimDb, workload: &Workload) -> Secs {
+    let mut total = Secs::ZERO;
+    for wq in &workload.queries {
+        total += db.execute(&wq.parsed, Secs::INFINITY).time;
+    }
+    total
+}
+
+/// Runs one session end to end on the calling worker thread. Never panics:
+/// the pipeline is wrapped in `catch_unwind`, so the worst a poisoned
+/// request can do is fail its own session.
+pub fn run_session(session: &SessionHandle) {
+    // A cancel that raced the queue wins without spending any work.
+    {
+        let mut s = session.lock();
+        if session.cancel_requested() && s.state == SessionState::Queued {
+            s.state = SessionState::Cancelled;
+            obs::counter("serve.sessions_cancelled", 1);
+            return;
+        }
+        if s.state != SessionState::Queued {
+            return;
+        }
+        s.state = SessionState::Tuning;
+    }
+    obs::counter("serve.sessions_started", 1);
+
+    let request = session.lock().request.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| tune_session(session)));
+
+    let mut s = session.lock();
+    match outcome {
+        Ok(Ok(cancelled)) => {
+            if cancelled {
+                s.state = SessionState::Cancelled;
+                obs::counter("serve.sessions_cancelled", 1);
+            } else {
+                s.state = SessionState::Done;
+                obs::counter("serve.sessions_done", 1);
+            }
+        }
+        Ok(Err(err)) => {
+            s.state = SessionState::Failed;
+            s.error = Some(err.to_string());
+            obs::counter("serve.sessions_failed", 1);
+        }
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            s.state = SessionState::Failed;
+            s.error = Some(format!(
+                "worker panicked while tuning seed {}: {what}",
+                request.seed
+            ));
+            obs::counter("serve.sessions_failed", 1);
+            obs::counter("serve.worker_panics", 1);
+        }
+    }
+}
+
+/// The fallible part of a session: builds the per-session database, applies
+/// any initial configuration, measures the default workload time and runs
+/// the pipeline. Returns `Ok(true)` when the run was cancelled mid-flight.
+fn tune_session(session: &SessionHandle) -> lt_common::Result<bool> {
+    let request = session.lock().request.clone();
+    let workload = request.benchmark.load();
+
+    // Denominator of the scaled cost: the workload under the *default*
+    // configuration, on a fresh database with the same seed (the tuning
+    // database must not see these executions in its plan cache timeline).
+    let mut default_db = SimDb::new(
+        request.dbms,
+        workload.catalog.clone(),
+        request.hardware,
+        request.seed,
+    );
+    let default_time = measure_default(&mut default_db, &workload);
+    session.lock().default_time = Some(default_time.as_f64());
+
+    let mut db = SimDb::new(
+        request.dbms,
+        workload.catalog.clone(),
+        request.hardware,
+        request.seed,
+    );
+    if let Some(script) = &request.initial_config {
+        let config = Configuration::parse(script, request.dbms, db.catalog());
+        if config.is_empty() && !config.warnings.is_empty() {
+            return Err(LtError::Config(format!(
+                "initial_config has no valid statements: {}",
+                config.warnings.join("; ")
+            )));
+        }
+        db.apply_knobs(&config);
+        for spec in config.index_specs() {
+            db.create_index(spec);
+        }
+    }
+
+    let sink = std::sync::Arc::new(session.observer());
+    let tuner = LambdaTune::new(request.options).with_observer(sink);
+    let llm = LlmClient::new(SimulatedLlm::new());
+    let result = tuner.tune(&mut db, &workload, &llm)?;
+
+    let mut s = session.lock();
+    s.best_script = result
+        .best_config
+        .as_ref()
+        .map(|c| c.to_script(request.dbms, db.catalog()));
+    s.best_time = Some(result.best_time.as_f64());
+    s.tuning_time = Some(result.tuning_time.as_f64());
+    s.trajectory = result.trajectory.clone();
+    Ok(result.cancelled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionRegistry, TuneRequest};
+    use lt_common::json::parse;
+
+    fn quick_request(extra: &str) -> TuneRequest {
+        let body = format!(r#"{{"benchmark": "tpch", "num_configs": 2{extra}}}"#);
+        TuneRequest::from_json(&parse(&body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn runs_a_session_to_done_with_a_config() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(""));
+        run_session(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
+        assert!(s.best_script.is_some());
+        assert!(s.default_time.unwrap() > 0.0);
+        assert!(s.best_time.unwrap() > 0.0);
+        assert!(s.samples_done >= 2);
+        let config = s.config_json().unwrap();
+        assert!(config.get("scaled_cost").is_some());
+    }
+
+    #[test]
+    fn pool_processes_jobs_and_drains_on_shutdown() {
+        let registry = SessionRegistry::new();
+        let pool = WorkerPool::start(2, 8);
+        let handles: Vec<_> = (0..4)
+            .map(|i| registry.create(quick_request(&format!(r#", "seed": {i}"#))))
+            .collect();
+        for h in &handles {
+            pool.submit(h.clone()).unwrap();
+        }
+        pool.shutdown(); // joins only after the queue is drained
+        for h in &handles {
+            let s = h.lock();
+            assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let registry = SessionRegistry::new();
+        let pool = WorkerPool::start(1, 1);
+        pool.shutdown();
+        let err = pool.submit(registry.create(quick_request(""))).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn cancelled_before_start_never_tunes() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(""));
+        handle.cancel();
+        run_session(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Cancelled);
+        assert_eq!(s.samples_done, 0);
+    }
+
+    #[test]
+    fn invalid_initial_config_fails_the_session_not_the_worker() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(
+            r#", "initial_config": "FROBNICATE THE DATABASE;""#,
+        ));
+        run_session(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Failed);
+        assert!(s.error.as_deref().unwrap().contains("initial_config"));
+    }
+
+    #[test]
+    fn partially_valid_initial_config_is_applied() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(
+            r#", "initial_config": "SET work_mem = '64MB'; FROBNICATE;""#,
+        ));
+        run_session(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
+    }
+}

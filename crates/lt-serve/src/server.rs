@@ -1,0 +1,298 @@
+//! The HTTP server: accept loop, routing, admission control, shutdown.
+//!
+//! Endpoints:
+//!
+//! | Method | Path                    | Purpose                              |
+//! |--------|-------------------------|--------------------------------------|
+//! | POST   | `/sessions`             | Submit a tuning request (202/400/429)|
+//! | GET    | `/sessions`             | List sessions and states             |
+//! | GET    | `/sessions/<id>`        | Status + trajectory-so-far           |
+//! | GET    | `/sessions/<id>/config` | Best configuration + scaled cost     |
+//! | DELETE | `/sessions/<id>`        | Cancel (queued or running)           |
+//! | GET    | `/metrics`              | Observability registry dump          |
+//! | GET    | `/healthz`              | Liveness probe                       |
+//! | POST   | `/shutdown`             | Graceful shutdown (drains workers)   |
+//!
+//! Each connection carries one request (`Connection: close`); connection
+//! threads only parse, route and serialize — all tuning happens on the
+//! worker pool.
+
+use crate::http::{read_request, Request, Response};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::session::{SessionRegistry, SessionState, TuneRequest};
+use lt_common::json::Value;
+use lt_common::{json, obs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration. Every field has an environment override so the
+/// `lt-serve` binary and the CI smoke gate share one code path.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (tests, load generator).
+    pub addr: String,
+    /// Tuning worker threads (`LT_SERVE_WORKERS`, default 2).
+    pub workers: usize,
+    /// Job queue bound; a full queue answers 429 (`LT_SERVE_QUEUE`,
+    /// default 64).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads `LT_SERVE_ADDR`, `LT_SERVE_WORKERS` and `LT_SERVE_QUEUE` on
+    /// top of the defaults. Unparseable values fall back to the default
+    /// rather than failing startup.
+    pub fn from_env() -> ServerConfig {
+        let mut config = ServerConfig::default();
+        if let Ok(addr) = std::env::var("LT_SERVE_ADDR") {
+            if !addr.trim().is_empty() {
+                config.addr = addr.trim().to_string();
+            }
+        }
+        let usize_env = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+        };
+        if let Some(workers) = usize_env("LT_SERVE_WORKERS") {
+            config.workers = workers;
+        }
+        if let Some(depth) = usize_env("LT_SERVE_QUEUE") {
+            config.queue_depth = depth;
+        }
+        config
+    }
+}
+
+struct ServerState {
+    registry: SessionRegistry,
+    pool: WorkerPool,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop and drains the pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down (via `POST /shutdown` or
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued sessions, join all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it with a throwaway
+        // connection so it observes the flag without waiting for a client.
+        let _ = TcpStream::connect(self.addr);
+        self.wait();
+        self.state.pool.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds, spawns the accept loop and worker pool, and returns immediately.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    // The service is observability-on by default: /metrics is part of the
+    // API contract, not an opt-in debug facility.
+    obs::set_enabled(true);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        registry: SessionRegistry::new(),
+        pool: WorkerPool::start(config.workers, config.queue_depth),
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_state = state.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("lt-serve-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_state = accept_state.clone();
+                let _ = std::thread::Builder::new()
+                    .name("lt-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &conn_state));
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, state),
+        Err(err) => Response::error(400, &format!("malformed request: {err}")),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Dispatches one request. Total: every `(method, path)` gets an answer.
+fn route(request: &Request, state: &ServerState) -> Response {
+    obs::counter("serve.http_requests", 1);
+    let path = request.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("POST", ["sessions"]) => submit_session(request, state),
+        ("GET", ["sessions"]) => list_sessions(state),
+        ("GET", ["sessions", id]) => {
+            with_session(state, id, |s| Response::json(200, &s.lock().status_json()))
+        }
+        ("GET", ["sessions", id, "config"]) => with_session(state, id, |s| {
+            let session = s.lock();
+            match session.config_json() {
+                Some(doc) => Response::json(200, &doc),
+                None => Response::error(
+                    409,
+                    &format!(
+                        "session is {} and has no configuration yet",
+                        session.state.name()
+                    ),
+                ),
+            }
+        }),
+        ("DELETE", ["sessions", id]) => with_session(state, id, |s| {
+            let already_terminal = {
+                let session = s.lock();
+                session.state.is_terminal()
+            };
+            if !already_terminal {
+                s.cancel();
+                // A queued session may sit behind long jobs; flip it now so
+                // DELETE is immediate for work that never started. Running
+                // sessions flip when the worker observes the token.
+                let mut session = s.lock();
+                if session.state == SessionState::Queued {
+                    session.state = SessionState::Cancelled;
+                    obs::counter("serve.sessions_cancelled", 1);
+                }
+            }
+            let (id, state_name) = {
+                let session = s.lock();
+                (session.id, session.state.name())
+            };
+            Response::json(200, &json!({ "id": id, "state": state_name }))
+        }),
+        ("GET", ["metrics"]) => metrics(state),
+        ("GET", ["healthz"]) => Response::json(200, &json!({ "ok": true })),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, &json!({ "shutting_down": true }))
+        }
+        ("GET" | "POST" | "DELETE", _) => Response::error(404, &format!("no route for {path}")),
+        _ => Response::error(405, &format!("method {method} not supported")),
+    }
+}
+
+fn submit_session(request: &Request, state: &ServerState) -> Response {
+    if state.shutdown.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down");
+    }
+    let Some(body) = request.body_str() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let doc = match lt_common::json::parse(if body.trim().is_empty() { "{}" } else { body }) {
+        Ok(doc) => doc,
+        Err(err) => return Response::error(400, &format!("invalid JSON: {err}")),
+    };
+    let tune_request = match TuneRequest::from_json(&doc) {
+        Ok(req) => req,
+        Err(err) => {
+            obs::counter("serve.sessions_rejected", 1);
+            return Response::error(400, err.message());
+        }
+    };
+    let handle = state.registry.create(tune_request);
+    let id = handle.lock().id;
+    match state.pool.submit(handle) {
+        Ok(()) => {
+            obs::counter("serve.sessions_accepted", 1);
+            Response::json(202, &json!({ "id": id, "state": "queued" }))
+        }
+        Err(reason) => {
+            // Admission failed: the session never existed as far as the
+            // client is concerned.
+            state.registry.remove(id);
+            obs::counter("serve.sessions_rejected", 1);
+            match reason {
+                SubmitError::QueueFull => Response::error(429, "job queue is full, retry later"),
+                SubmitError::ShuttingDown => Response::error(503, "server is shutting down"),
+            }
+        }
+    }
+}
+
+fn list_sessions(state: &ServerState) -> Response {
+    let sessions: Vec<Value> = state
+        .registry
+        .states()
+        .into_iter()
+        .map(|(id, s)| json!({ "id": id, "state": s.name() }))
+        .collect();
+    Response::json(200, &json!({ "sessions": Value::Array(sessions) }))
+}
+
+fn metrics(state: &ServerState) -> Response {
+    let mut doc = obs::snapshot().to_metrics_json();
+    if let Value::Object(entries) = &mut doc {
+        entries.push(("sessions".to_string(), state.registry.state_counts_json()));
+    }
+    Response::json(200, &doc)
+}
+
+fn with_session(
+    state: &ServerState,
+    id: &str,
+    f: impl FnOnce(&crate::session::SessionHandle) -> Response,
+) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "session id must be an integer");
+    };
+    match state.registry.get(id) {
+        Some(handle) => f(&handle),
+        None => Response::error(404, &format!("no session {id}")),
+    }
+}

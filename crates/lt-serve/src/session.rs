@@ -1,0 +1,559 @@
+//! Tuning sessions: request schema, per-session state machine, registry.
+//!
+//! Every accepted `POST /sessions` becomes a [`Session`] that owns the full
+//! description of one tuning run — benchmark, DBMS flavour, hardware, seed,
+//! pipeline options — and moves through the state machine
+//!
+//! ```text
+//! Queued ──▶ Tuning ──▶ Done
+//!    │          ├─────▶ Failed
+//!    └──────────┴─────▶ Cancelled
+//! ```
+//!
+//! State transitions happen under the session's own mutex; the registry
+//! mutex only guards the id → session map, so status polls never contend
+//! with tuning progress writes of other sessions.
+
+use lambda_tune::{LambdaTuneOptions, ProgressEvent, TrajectoryPoint, TuneObserver};
+use lt_common::json::Value;
+use lt_common::{json, LtError, Result};
+use lt_dbms::{Dbms, Hardware};
+use lt_workloads::Benchmark;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A client's tuning request, parsed and validated at submission time.
+#[derive(Debug, Clone)]
+pub struct TuneRequest {
+    /// Workload to tune for.
+    pub benchmark: Benchmark,
+    /// Target system flavour.
+    pub dbms: Dbms,
+    /// Simulated machine.
+    pub hardware: Hardware,
+    /// Session seed: drives misestimation patterns, LLM sampling and
+    /// scheduling. The determinism contract is keyed on this value.
+    pub seed: u64,
+    /// Pipeline options (LLM sample count, token budget, scope, …).
+    pub options: LambdaTuneOptions,
+    /// Optional configuration script applied to the database before tuning
+    /// starts (models tuning from a non-default starting state).
+    pub initial_config: Option<String>,
+}
+
+impl TuneRequest {
+    /// Parses the `POST /sessions` body. Unknown benchmarks, malformed
+    /// numbers and unsatisfiable option combinations are [`LtError`]s, so
+    /// a bad request is answered with 400 instead of reaching a worker.
+    pub fn from_json(doc: &Value) -> Result<TuneRequest> {
+        let bad = |what: &str| LtError::Config(format!("bad request: {what}"));
+        if !matches!(doc, Value::Object(_)) {
+            return Err(bad("body must be a JSON object"));
+        }
+        let benchmark = match doc.get("benchmark") {
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| bad("\"benchmark\" must be a string"))?;
+                Benchmark::parse(name)?
+            }
+            None => Benchmark::TpchSf1,
+        };
+        let dbms = match doc.get("dbms").map(|v| v.as_str()) {
+            None => Dbms::Postgres,
+            Some(Some(s)) => match s.to_ascii_lowercase().as_str() {
+                "postgres" | "postgresql" | "pg" => Dbms::Postgres,
+                "mysql" | "ms" => Dbms::Mysql,
+                other => return Err(bad(&format!("unknown dbms {other:?}"))),
+            },
+            Some(None) => return Err(bad("\"dbms\" must be a string")),
+        };
+        let hardware = match doc.get("hardware").map(|v| v.as_str()) {
+            None => Hardware::p3_2xlarge(),
+            Some(Some(s)) => match s.to_ascii_lowercase().replace(['.', '_'], "-").as_str() {
+                "p3-2xlarge" | "p32xlarge" | "paper" => Hardware::p3_2xlarge(),
+                "small" => Hardware::small(),
+                other => return Err(bad(&format!("unknown hardware {other:?}"))),
+            },
+            Some(None) => return Err(bad("\"hardware\" must be a string")),
+        };
+        let uint = |key: &str| -> Result<Option<u64>> {
+            match doc.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => match v.as_i64() {
+                    Some(i) if i >= 0 => Ok(Some(i as u64)),
+                    _ => Err(bad(&format!("\"{key}\" must be a non-negative integer"))),
+                },
+            }
+        };
+        let flag = |key: &str| -> Result<bool> {
+            match doc.get(key) {
+                None | Some(Value::Null) => Ok(false),
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| bad(&format!("\"{key}\" must be a boolean"))),
+            }
+        };
+        let defaults = LambdaTuneOptions::default();
+        let seed = uint("seed")?.unwrap_or(0);
+        let options = LambdaTuneOptions {
+            num_configs: uint("num_configs")?.unwrap_or(defaults.num_configs as u64) as usize,
+            temperature: match doc.get("temperature") {
+                None | Some(Value::Null) => defaults.temperature,
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| bad("\"temperature\" must be a number"))?,
+            },
+            token_budget: uint("token_budget")?.map(|t| t as usize),
+            params_only: flag("params_only")?,
+            indexes_only: flag("indexes_only")?,
+            seed,
+            ..defaults
+        };
+        // Reject unsatisfiable pipelines at the door (zero samples, zero
+        // token budget, NaN temperature, …) — same validation the pipeline
+        // itself applies, surfaced as a 400 instead of a failed session.
+        options.validate()?;
+        let initial_config = match doc.get("initial_config") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| bad("\"initial_config\" must be a string"))?
+                    .to_string(),
+            ),
+        };
+        Ok(TuneRequest {
+            benchmark,
+            dbms,
+            hardware,
+            seed,
+            options,
+            initial_config,
+        })
+    }
+
+    /// The request as JSON (echoed in status documents).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "benchmark": self.benchmark.name(),
+            "dbms": match self.dbms {
+                Dbms::Postgres => "postgres",
+                Dbms::Mysql => "mysql",
+            },
+            "seed": self.seed,
+            "num_configs": self.options.num_configs,
+            "params_only": self.options.params_only,
+            "token_budget": self.options.token_budget,
+        })
+    }
+}
+
+/// Lifecycle of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running the pipeline.
+    Tuning,
+    /// The pipeline finished with a best configuration.
+    Done,
+    /// The pipeline returned an error (or panicked; see the worker).
+    Failed,
+    /// Cancelled by the client before completion.
+    Cancelled,
+}
+
+impl SessionState {
+    /// Lower-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Queued => "queued",
+            SessionState::Tuning => "tuning",
+            SessionState::Done => "done",
+            SessionState::Failed => "failed",
+            SessionState::Cancelled => "cancelled",
+        }
+    }
+
+    /// True for states no transition leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionState::Done | SessionState::Failed | SessionState::Cancelled
+        )
+    }
+}
+
+/// One tuning session: request, live progress, outcome.
+#[derive(Debug)]
+pub struct Session {
+    /// Registry-assigned id.
+    pub id: u64,
+    /// The request that created the session.
+    pub request: TuneRequest,
+    /// Current lifecycle state.
+    pub state: SessionState,
+    /// Error message for [`SessionState::Failed`].
+    pub error: Option<String>,
+    /// Improvement trajectory streamed from the selector as it happens.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// LLM samples received so far.
+    pub samples_done: usize,
+    /// Selector rounds started so far.
+    pub rounds_started: usize,
+    /// Tokens spent on the workload description (known after prompt build).
+    pub workload_tokens: Option<usize>,
+    /// Winning configuration script (after completion).
+    pub best_script: Option<String>,
+    /// Workload time under the winner, virtual seconds.
+    pub best_time: Option<f64>,
+    /// Workload time under the default configuration, virtual seconds
+    /// (denominator of the scaled cost).
+    pub default_time: Option<f64>,
+    /// Total virtual tuning time.
+    pub tuning_time: Option<f64>,
+}
+
+impl Session {
+    /// The `GET /sessions/<id>` document: state plus trajectory-so-far.
+    pub fn status_json(&self) -> Value {
+        let trajectory: Vec<Value> = self
+            .trajectory
+            .iter()
+            .map(|p| {
+                json!({
+                    "opt_time_s": p.opt_time.as_f64(),
+                    "best_workload_time_s": p.best_workload_time.as_f64(),
+                })
+            })
+            .collect();
+        json!({
+            "id": self.id,
+            "state": self.state.name(),
+            "request": self.request.to_json(),
+            "samples_done": self.samples_done,
+            "rounds_started": self.rounds_started,
+            "workload_tokens": self.workload_tokens,
+            "trajectory": Value::Array(trajectory),
+            "best_time_s": self.best_time,
+            "error": self.error.as_deref(),
+        })
+    }
+
+    /// The `GET /sessions/<id>/config` document: best script + scaled cost.
+    /// `None` until a best configuration exists.
+    pub fn config_json(&self) -> Option<Value> {
+        let script = self.best_script.as_deref()?;
+        let scaled_cost = match (self.best_time, self.default_time) {
+            (Some(best), Some(default)) if default > 0.0 => Some(best / default),
+            _ => None,
+        };
+        Some(json!({
+            "id": self.id,
+            "state": self.state.name(),
+            "script": script,
+            "best_time_s": self.best_time,
+            "default_time_s": self.default_time,
+            "scaled_cost": scaled_cost,
+            "tuning_time_s": self.tuning_time,
+        }))
+    }
+}
+
+/// A session plus its cancellation flag, shared between the HTTP threads
+/// and the worker running it.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    session: Arc<Mutex<Session>>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl SessionHandle {
+    /// Locks the session state.
+    pub fn lock(&self) -> MutexGuard<'_, Session> {
+        // Sessions are plain data: a poisoned mutex only means a panicking
+        // thread held it, and the data stays valid.
+        match self.session.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Requests cancellation (observed by the worker between units of
+    /// work — the same interruption points the timeout path uses).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`SessionHandle::cancel`] was called.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The observer a worker passes into the pipeline for this session.
+    pub fn observer(&self) -> SessionSink {
+        SessionSink {
+            handle: self.clone(),
+        }
+    }
+}
+
+/// Streams pipeline progress into the session and relays cancellation —
+/// the hook between `lambda_tune::progress` and the serving layer.
+#[derive(Debug, Clone)]
+pub struct SessionSink {
+    handle: SessionHandle,
+}
+
+impl TuneObserver for SessionSink {
+    fn on_event(&self, event: ProgressEvent) {
+        let mut session = self.handle.lock();
+        match event {
+            ProgressEvent::PromptBuilt { tokens } => session.workload_tokens = Some(tokens),
+            ProgressEvent::ConfigSampled { index, .. } => session.samples_done = index + 1,
+            ProgressEvent::RoundStarted { round, .. } => session.rounds_started = round,
+            ProgressEvent::Improvement { point, .. } => session.trajectory.push(point),
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.handle.cancel_requested()
+    }
+}
+
+/// The id → session map. One registry per server.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<u64, SessionHandle>>,
+    next_id: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// An empty registry starting at id 1.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn map(&self) -> MutexGuard<'_, HashMap<u64, SessionHandle>> {
+        match self.sessions.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a new queued session and returns its handle.
+    pub fn create(&self, request: TuneRequest) -> SessionHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let handle = SessionHandle {
+            session: Arc::new(Mutex::new(Session {
+                id,
+                request,
+                state: SessionState::Queued,
+                error: None,
+                trajectory: Vec::new(),
+                samples_done: 0,
+                rounds_started: 0,
+                workload_tokens: None,
+                best_script: None,
+                best_time: None,
+                default_time: None,
+                tuning_time: None,
+            })),
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        self.map().insert(id, handle.clone());
+        handle
+    }
+
+    /// Looks a session up by id.
+    pub fn get(&self, id: u64) -> Option<SessionHandle> {
+        self.map().get(&id).cloned()
+    }
+
+    /// Removes a session (used when admission fails after registration).
+    pub fn remove(&self, id: u64) {
+        self.map().remove(&id);
+    }
+
+    /// `(id, state)` of every session, id-ascending.
+    pub fn states(&self) -> Vec<(u64, SessionState)> {
+        let mut out: Vec<(u64, SessionState)> = self
+            .map()
+            .values()
+            .map(|h| {
+                let s = h.lock();
+                (s.id, s.state)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Number of sessions in each state, as a JSON object.
+    pub fn state_counts_json(&self) -> Value {
+        let mut counts = [0u64; 5];
+        for (_, state) in self.states() {
+            let i = match state {
+                SessionState::Queued => 0,
+                SessionState::Tuning => 1,
+                SessionState::Done => 2,
+                SessionState::Failed => 3,
+                SessionState::Cancelled => 4,
+            };
+            counts[i] += 1;
+        }
+        json!({
+            "queued": counts[0],
+            "tuning": counts[1],
+            "done": counts[2],
+            "failed": counts[3],
+            "cancelled": counts[4],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_common::json::parse;
+
+    #[test]
+    fn parses_a_full_request() {
+        let doc = parse(
+            r#"{"benchmark": "job", "dbms": "mysql", "hardware": "small", "seed": 9,
+                "num_configs": 3, "token_budget": 500, "params_only": true,
+                "temperature": 0.2, "initial_config": "SET GLOBAL tmp_table_size = '1GB';"}"#,
+        )
+        .unwrap();
+        let req = TuneRequest::from_json(&doc).unwrap();
+        assert_eq!(req.benchmark, Benchmark::Job);
+        assert_eq!(req.dbms, Dbms::Mysql);
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.options.num_configs, 3);
+        assert_eq!(req.options.token_budget, Some(500));
+        assert!(req.options.params_only);
+        assert_eq!(req.options.temperature, 0.2);
+        assert_eq!(req.options.seed, 9);
+        assert!(req.initial_config.is_some());
+    }
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let req = TuneRequest::from_json(&parse("{}").unwrap()).unwrap();
+        assert_eq!(req.benchmark, Benchmark::TpchSf1);
+        assert_eq!(req.dbms, Dbms::Postgres);
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.options.num_configs, 5);
+        assert!(req.initial_config.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_config_errors() {
+        let cases = [
+            ("[1, 2]", "object"),
+            (r#"{"benchmark": "tpcc"}"#, "unknown benchmark"),
+            (r#"{"benchmark": 5}"#, "string"),
+            (r#"{"dbms": "oracle"}"#, "unknown dbms"),
+            (r#"{"hardware": "mainframe"}"#, "unknown hardware"),
+            (r#"{"seed": -4}"#, "non-negative"),
+            (r#"{"num_configs": 0}"#, "num_configs"),
+            (r#"{"token_budget": 0}"#, "token_budget"),
+            (r#"{"temperature": "hot"}"#, "number"),
+            (r#"{"params_only": 1}"#, "boolean"),
+            (r#"{"initial_config": 7}"#, "string"),
+        ];
+        for (body, needle) in cases {
+            let err = TuneRequest::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(
+                err.message().contains(needle),
+                "{body}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_assigns_ids_and_tracks_states() {
+        let registry = SessionRegistry::new();
+        let req = TuneRequest::from_json(&parse("{}").unwrap()).unwrap();
+        let a = registry.create(req.clone());
+        let b = registry.create(req);
+        let (id_a, id_b) = (a.lock().id, b.lock().id);
+        assert_ne!(id_a, id_b);
+        b.lock().state = SessionState::Tuning;
+        assert_eq!(
+            registry.states(),
+            vec![(id_a, SessionState::Queued), (id_b, SessionState::Tuning)]
+        );
+        assert!(registry.get(id_a).is_some());
+        assert!(registry.get(999).is_none());
+        registry.remove(id_a);
+        assert!(registry.get(id_a).is_none());
+        let counts = registry.state_counts_json();
+        assert_eq!(counts.get("tuning").and_then(Value::as_i64), Some(1));
+        assert_eq!(counts.get("queued").and_then(Value::as_i64), Some(0));
+    }
+
+    #[test]
+    fn sink_streams_progress_and_cancellation() {
+        let registry = SessionRegistry::new();
+        let req = TuneRequest::from_json(&parse("{}").unwrap()).unwrap();
+        let handle = registry.create(req);
+        let sink = handle.observer();
+        sink.on_event(ProgressEvent::PromptBuilt { tokens: 123 });
+        sink.on_event(ProgressEvent::ConfigSampled { index: 0, total: 5 });
+        sink.on_event(ProgressEvent::RoundStarted {
+            round: 1,
+            timeout: lt_common::secs(10.0),
+        });
+        sink.on_event(ProgressEvent::Improvement {
+            config_index: 2,
+            point: TrajectoryPoint {
+                opt_time: lt_common::secs(5.0),
+                best_workload_time: lt_common::secs(50.0),
+            },
+        });
+        {
+            let s = handle.lock();
+            assert_eq!(s.workload_tokens, Some(123));
+            assert_eq!(s.samples_done, 1);
+            assert_eq!(s.rounds_started, 1);
+            assert_eq!(s.trajectory.len(), 1);
+        }
+        assert!(!sink.cancelled());
+        handle.cancel();
+        assert!(sink.cancelled());
+    }
+
+    #[test]
+    fn status_and_config_documents_serialize() {
+        let registry = SessionRegistry::new();
+        let req = TuneRequest::from_json(&parse("{}").unwrap()).unwrap();
+        let handle = registry.create(req);
+        {
+            let mut s = handle.lock();
+            assert!(s.config_json().is_none(), "no config before completion");
+            s.state = SessionState::Done;
+            s.best_script = Some("SET work_mem = '1GB';".into());
+            s.best_time = Some(25.0);
+            s.default_time = Some(100.0);
+            s.tuning_time = Some(300.0);
+        }
+        let s = handle.lock();
+        let status = s.status_json();
+        assert_eq!(status.get("state").and_then(Value::as_str), Some("done"));
+        let config = s.config_json().unwrap();
+        assert_eq!(
+            config.get("scaled_cost").and_then(Value::as_f64),
+            Some(0.25)
+        );
+        assert!(config
+            .get("script")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("work_mem"));
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end tests for the tuning service over real TCP loopback.
+//!
+//! The headline test is the determinism contract: the same 16 requests run
+//! against a 1-worker server and a 4-worker server must yield byte-identical
+//! per-seed best configuration scripts — worker scheduling must never leak
+//! into tuning results.
+
+use lt_common::json::{parse, Value};
+use lt_serve::http::request;
+use lt_serve::load::{run_matrix, LoadOptions};
+use lt_serve::{start, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn start_server(workers: usize, queue_depth: usize) -> lt_serve::ServerHandle {
+    start(ServerConfig {
+        workers,
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn post_session(addr: SocketAddr, body: &str) -> (u16, Value) {
+    let (status, response) = request(addr, "POST", "/sessions", Some(body)).expect("submit");
+    (status, parse(&response).expect("response is JSON"))
+}
+
+fn session_state(addr: SocketAddr, id: i64) -> String {
+    let (status, response) = request(addr, "GET", &format!("/sessions/{id}"), None).expect("poll");
+    assert_eq!(status, 200);
+    parse(&response)
+        .ok()
+        .and_then(|d| Some(d.get("state")?.as_str()?.to_string()))
+        .expect("status document carries a state")
+}
+
+fn wait_terminal(addr: SocketAddr, id: i64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let state = session_state(addr, id);
+        if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+            return state;
+        }
+        assert!(Instant::now() < deadline, "session {id} stuck in {state}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// 16 concurrent requests, 1 worker vs 4 workers: zero failures and
+/// byte-identical per-seed winning scripts.
+#[test]
+fn pool_size_does_not_change_results() {
+    let opts = LoadOptions {
+        clients: 16,
+        num_configs: 2,
+        ..LoadOptions::default()
+    };
+    let (serial, pooled, mismatched) = run_matrix(&opts).expect("matrix runs");
+    assert_eq!(
+        serial.failures(),
+        0,
+        "serial outcomes: {:?}",
+        serial.outcomes
+    );
+    assert_eq!(
+        pooled.failures(),
+        0,
+        "pooled outcomes: {:?}",
+        pooled.outcomes
+    );
+    assert!(
+        mismatched.is_empty(),
+        "per-seed configs differ across pool sizes for seeds {mismatched:?}"
+    );
+    // The scripts are real configurations, not empty strings.
+    for outcome in &serial.outcomes {
+        let script = outcome.script.as_deref().unwrap();
+        assert!(script.contains("SET"), "suspicious script: {script:?}");
+    }
+}
+
+/// A full bounded queue answers 429 and the rejected session is not
+/// registered; accepted sessions still finish.
+#[test]
+fn overload_returns_429_and_recovers() {
+    let mut server = start_server(1, 1);
+    let addr = server.addr();
+    // 1 worker + queue depth 1: the third-plus rapid submit must overflow.
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for seed in 0..8 {
+        let (status, doc) = post_session(addr, &format!(r#"{{"seed": {seed}, "num_configs": 2}}"#));
+        match status {
+            202 => accepted.push(doc.get("id").and_then(Value::as_i64).unwrap()),
+            429 => {
+                rejected += 1;
+                let message = doc
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap();
+                assert!(message.contains("queue"), "unexpected 429 body: {message}");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(rejected > 0, "queue of depth 1 never overflowed");
+    assert!(!accepted.is_empty());
+    for id in &accepted {
+        assert_eq!(wait_terminal(addr, *id), "done");
+    }
+    // Rejected sessions must not appear in the listing.
+    let (status, response) = request(addr, "GET", "/sessions", None).unwrap();
+    assert_eq!(status, 200);
+    let listed = parse(&response)
+        .ok()
+        .and_then(|d| Some(d.get("sessions")?.as_array()?.len()))
+        .unwrap();
+    assert_eq!(listed, accepted.len());
+    server.shutdown();
+}
+
+/// DELETE cancels a queued session immediately and a running session
+/// cooperatively; terminal sessions are left untouched.
+#[test]
+fn delete_cancels_queued_and_running_sessions() {
+    let mut server = start_server(1, 16);
+    let addr = server.addr();
+    // Fill the single worker with a longer session, then queue another.
+    let (status, doc) = post_session(addr, r#"{"seed": 1, "num_configs": 5}"#);
+    assert_eq!(status, 202);
+    let running = doc.get("id").and_then(Value::as_i64).unwrap();
+    let (status, doc) = post_session(addr, r#"{"seed": 2, "num_configs": 2}"#);
+    assert_eq!(status, 202);
+    let queued = doc.get("id").and_then(Value::as_i64).unwrap();
+
+    // The queued session dies instantly.
+    let (status, _) = request(addr, "DELETE", &format!("/sessions/{queued}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(session_state(addr, queued), "cancelled");
+
+    // The running session stops at its next interruption point.
+    let (status, _) = request(addr, "DELETE", &format!("/sessions/{running}"), None).unwrap();
+    assert_eq!(status, 200);
+    let state = wait_terminal(addr, running);
+    assert!(
+        state == "cancelled" || state == "done",
+        "cancel raced completion into {state}"
+    );
+
+    // Cancelling a terminal session is a no-op 200.
+    let (status, doc_text) = request(addr, "DELETE", &format!("/sessions/{queued}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(doc_text.contains("cancelled"));
+    server.shutdown();
+}
+
+/// Malformed inputs come back as 4xx errors — none of them crash a worker,
+/// and the server keeps tuning afterwards.
+#[test]
+fn malformed_requests_are_rejected_not_fatal() {
+    let mut server = start_server(1, 16);
+    let addr = server.addr();
+    let bad_bodies = [
+        ("{not json", "invalid JSON"),
+        (r#"{"benchmark": "tpcc"}"#, "unknown benchmark"),
+        (r#"{"num_configs": 0}"#, "num_configs"),
+        (r#"{"token_budget": 0}"#, "token_budget"),
+        (r#"{"temperature": -1}"#, "temperature"),
+        (r#"{"dbms": "oracle"}"#, "unknown dbms"),
+        (
+            r#"{"params_only": true, "indexes_only": true}"#,
+            "exclusive",
+        ),
+    ];
+    for (body, needle) in bad_bodies {
+        let (status, doc) = post_session(addr, body);
+        assert_eq!(status, 400, "{body} should be rejected");
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(
+            message.contains(needle),
+            "{body}: expected {needle:?} in {message:?}"
+        );
+    }
+
+    // Unknown routes and methods.
+    let (status, _) = request(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/sessions/999", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/sessions/abc", None).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "PATCH", "/sessions", None).unwrap();
+    assert_eq!(status, 405);
+
+    // An initial_config with no valid statement fails its own session only…
+    let (status, doc) = post_session(
+        addr,
+        r#"{"initial_config": "DROP EVERYTHING;", "num_configs": 2}"#,
+    );
+    assert_eq!(status, 202);
+    let poisoned = doc.get("id").and_then(Value::as_i64).unwrap();
+    assert_eq!(wait_terminal(addr, poisoned), "failed");
+    let (status, response) =
+        request(addr, "GET", &format!("/sessions/{poisoned}/config"), None).unwrap();
+    assert_eq!(status, 409, "failed session has no config: {response}");
+
+    // …and the worker that ran it still serves the next session.
+    let (status, doc) = post_session(addr, r#"{"seed": 3, "num_configs": 2}"#);
+    assert_eq!(status, 202);
+    let healthy = doc.get("id").and_then(Value::as_i64).unwrap();
+    assert_eq!(wait_terminal(addr, healthy), "done");
+    server.shutdown();
+}
+
+/// `/metrics` exposes live pipeline counters accumulated across sessions.
+#[test]
+fn metrics_expose_live_counters() {
+    let mut server = start_server(2, 16);
+    let addr = server.addr();
+    let (status, doc) = post_session(addr, r#"{"seed": 7, "num_configs": 2}"#);
+    assert_eq!(status, 202);
+    let id = doc.get("id").and_then(Value::as_i64).unwrap();
+    assert_eq!(wait_terminal(addr, id), "done");
+
+    let (status, response) = request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let doc = parse(&response).expect("metrics are JSON");
+    let counters = doc.get("counters").expect("counters object");
+    let counter = |name: &str| counters.get(name).and_then(Value::as_i64).unwrap_or(0);
+    // Serving-layer counters…
+    assert!(counter("serve.sessions_accepted") >= 1);
+    assert!(counter("serve.sessions_done") >= 1);
+    assert!(counter("serve.http_requests") >= 2);
+    // …and pipeline counters flowing through the shared obs registry.
+    assert!(counter("llm.prompt_tokens") > 0, "metrics: {response}");
+    assert!(
+        counter("dbms.plan_cache.hit") + counter("dbms.plan_cache.miss") > 0,
+        "metrics: {response}"
+    );
+    // Session-state breakdown rides along.
+    let done = doc
+        .get("sessions")
+        .and_then(|s| s.get("done"))
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert!(done >= 1);
+    // The event log must NOT be in the document (it grows without bound).
+    assert!(doc.get("events").is_none());
+    server.shutdown();
+}
+
+/// Graceful shutdown drains accepted work: sessions queued before
+/// `POST /shutdown` still reach a terminal state.
+#[test]
+fn shutdown_drains_inflight_sessions() {
+    let mut server = start_server(1, 16);
+    let addr = server.addr();
+    let mut ids = Vec::new();
+    for seed in 0..3 {
+        let (status, doc) = post_session(addr, &format!(r#"{{"seed": {seed}, "num_configs": 2}}"#));
+        assert_eq!(status, 202);
+        ids.push(doc.get("id").and_then(Value::as_i64).unwrap());
+    }
+    // shutdown() joins the pool only after the queue drains, so returning
+    // at all proves the accepted sessions ran; afterwards the port is dead.
+    server.shutdown();
+    assert!(request(addr, "GET", "/healthz", None).is_err());
+    let _ = ids;
+}

@@ -113,6 +113,36 @@ impl Benchmark {
             Benchmark::Job => crate::job::workload(),
         }
     }
+
+    /// Resolves a benchmark from an external name — display names
+    /// (`"TPC-H 1GB"`), kebab slugs (`"tpch-sf1"`) and common shorthands
+    /// (`"tpch"`, `"job"`) all work, case-insensitively. Unknown names are
+    /// an [`LtError::Config`], so a client-supplied benchmark string can
+    /// never panic a server.
+    pub fn parse(name: &str) -> Result<Benchmark> {
+        let normalized: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match normalized.as_str() {
+            "tpch" | "tpchsf1" | "tpch1" | "tpch1gb" | "tpch1g" => Ok(Benchmark::TpchSf1),
+            "tpchsf10" | "tpch10" | "tpch10gb" | "tpch10g" => Ok(Benchmark::TpchSf10),
+            "tpcds" | "tpcdssf1" | "tpcds1" => Ok(Benchmark::TpcdsSf1),
+            "job" | "joinorder" | "joinorderbenchmark" => Ok(Benchmark::Job),
+            _ => Err(LtError::Config(format!(
+                "unknown benchmark {name:?} (expected one of: tpch-sf1, tpch-sf10, tpcds, job)"
+            ))),
+        }
+    }
+}
+
+impl std::str::FromStr for Benchmark {
+    type Err = LtError;
+
+    fn from_str(s: &str) -> Result<Benchmark> {
+        Benchmark::parse(s)
+    }
 }
 
 impl fmt::Display for Benchmark {
@@ -139,6 +169,31 @@ mod tests {
         let w = Benchmark::TpchSf1.load();
         assert!(w.by_label("q1").is_some());
         assert!(w.by_label("nope").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_display_names_slugs_and_shorthands() {
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::parse(b.name()).unwrap(), b, "{b}");
+        }
+        assert_eq!(Benchmark::parse("tpch").unwrap(), Benchmark::TpchSf1);
+        assert_eq!(Benchmark::parse("tpch-sf1").unwrap(), Benchmark::TpchSf1);
+        assert_eq!(Benchmark::parse("TPCH_SF10").unwrap(), Benchmark::TpchSf10);
+        assert_eq!(Benchmark::parse("tpc-ds").unwrap(), Benchmark::TpcdsSf1);
+        assert_eq!(Benchmark::parse("JOB").unwrap(), Benchmark::Job);
+        assert_eq!(
+            "tpch-sf10".parse::<Benchmark>().unwrap(),
+            Benchmark::TpchSf10
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_with_config_error() {
+        for bad in ["", "tpcc", "imdb", "tpch-sf100", "🦀"] {
+            let err = Benchmark::parse(bad).unwrap_err();
+            assert_eq!(err.category(), "config", "{bad:?}");
+            assert!(err.message().contains("unknown benchmark"), "{err}");
+        }
     }
 
     #[test]

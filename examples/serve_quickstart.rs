@@ -1,0 +1,83 @@
+//! Serving quickstart: run λ-Tune as a service and tune over HTTP.
+//!
+//! ```sh
+//! cargo run --release -p lt-serve --example serve_quickstart
+//! ```
+//!
+//! Starts an in-process `lt-serve` server on a loopback port, submits one
+//! tuning session with plain HTTP requests, polls it to completion, and
+//! prints the winning configuration script — the same round trip a curl
+//! client would make against a standalone `lt-serve` daemon.
+
+use lt_common::json::parse;
+use lt_serve::http::request;
+use lt_serve::{start, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    // 1. Start the service: 2 tuning workers behind a bounded job queue,
+    //    bound to a free loopback port.
+    let mut server = start(ServerConfig::default()).expect("bind loopback");
+    let addr = server.addr();
+    println!("lt-serve listening on http://{addr}");
+
+    // 2. Submit a session. The body is the same JSON you would pass with
+    //    `curl -X POST http://…/sessions -d '…'`; the seed pins the run.
+    let body = r#"{"benchmark": "tpch-sf1", "seed": 42, "num_configs": 3}"#;
+    let (status, response) = request(addr, "POST", "/sessions", Some(body)).expect("submit");
+    assert_eq!(status, 202, "unexpected submit response: {response}");
+    let id = parse(&response)
+        .ok()
+        .and_then(|doc| doc.get("id")?.as_i64())
+        .expect("submit response carries the session id");
+    println!("submitted session {id}: {}", body.trim());
+
+    // 3. Poll the status document until the state machine reaches a
+    //    terminal state, watching the trajectory grow as the selector runs.
+    let state = loop {
+        let (status, response) =
+            request(addr, "GET", &format!("/sessions/{id}"), None).expect("poll");
+        assert_eq!(status, 200, "unexpected status response: {response}");
+        let doc = parse(&response).expect("status document is JSON");
+        let state = doc
+            .get("state")
+            .and_then(|v| v.as_str())
+            .expect("status document carries a state")
+            .to_string();
+        let improvements = doc
+            .get("trajectory")
+            .and_then(|v| v.as_array())
+            .map_or(0, |points| points.len());
+        println!("  state: {state} ({improvements} improvements so far)");
+        if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+            break state;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(state, "done", "session did not finish cleanly");
+
+    // 4. Fetch the result: winning script plus its cost scaled to the
+    //    default configuration (lower is better; 1.0 = no improvement).
+    let (status, response) =
+        request(addr, "GET", &format!("/sessions/{id}/config"), None).expect("fetch config");
+    assert_eq!(status, 200, "unexpected config response: {response}");
+    let doc = parse(&response).expect("config document is JSON");
+    let scaled = doc
+        .get("scaled_cost")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(1.0);
+    println!("\nscaled cost vs default configuration: {scaled:.3}");
+    println!("winning configuration script:");
+    for line in doc
+        .get("script")
+        .and_then(|v| v.as_str())
+        .expect("config document carries the script")
+        .lines()
+    {
+        println!("  {line}");
+    }
+
+    // 5. Graceful shutdown: drains the worker pool before returning.
+    server.shutdown();
+    println!("\nserver drained and stopped");
+}
