@@ -1,13 +1,13 @@
 //! `lt-serve`: the tuning service daemon.
 //!
 //! ```text
-//! lt-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! lt-serve [--addr HOST:PORT] [--workers N] [--queue N] [--conns N]
 //! ```
 //!
 //! Flags override the `LT_SERVE_ADDR` / `LT_SERVE_WORKERS` /
-//! `LT_SERVE_QUEUE` environment variables, which override the defaults
-//! (127.0.0.1:7878, 2 workers, queue depth 64). Stop with `POST /shutdown`
-//! or Ctrl-C.
+//! `LT_SERVE_QUEUE` / `LT_SERVE_CONNS` environment variables, which
+//! override the defaults (127.0.0.1:7878, 2 workers, queue depth 64,
+//! 64 connections). Stop with `POST /shutdown` or Ctrl-C.
 
 use lt_serve::ServerConfig;
 
@@ -41,8 +41,16 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--conns" => {
+                config.max_connections = value("--conns").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --conns must be a positive integer");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
-                println!("usage: lt-serve [--addr HOST:PORT] [--workers N] [--queue N]");
+                println!(
+                    "usage: lt-serve [--addr HOST:PORT] [--workers N] [--queue N] [--conns N]"
+                );
                 return;
             }
             other => {

@@ -125,6 +125,8 @@ pub struct Response {
     pub status: u16,
     /// Body text (always JSON in this service).
     pub body: String,
+    /// Extra headers beyond the standard set (e.g. `Allow` on a 405).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -133,7 +135,14 @@ impl Response {
         Response {
             status,
             body: value.to_string_pretty(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Appends an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error envelope: `{"error": {"status", "message"}}`.
@@ -153,12 +162,15 @@ impl Response {
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
             self.body.len(),
-            self.body
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "\r\n{}", self.body)?;
         stream.flush()
     }
 }
@@ -274,6 +286,18 @@ mod tests {
         let (status, parsed_body) = parse_response(&text).unwrap();
         assert_eq!(status, 200);
         assert_eq!(parsed_body, body);
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let resp = Response::error(405, "nope").with_header("Allow", "GET, POST");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("\r\nAllow: GET, POST"), "{text}");
+        let (status, _) = parse_response(&text).unwrap();
+        assert_eq!(status, 405);
     }
 
     #[test]

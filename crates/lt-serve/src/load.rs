@@ -246,6 +246,10 @@ pub fn run_in_process(workers: usize, opts: &LoadOptions) -> io::Result<LoadRun>
     let mut server = start(ServerConfig {
         workers,
         queue_depth: opts.clients.max(64),
+        // Every client may hold a polling connection at once; admission
+        // 503s would show up as load-run failures, so size the cap to the
+        // client count.
+        max_connections: opts.clients.max(64),
         ..ServerConfig::default()
     })?;
     let run = run_against(server.addr(), workers, opts);

@@ -22,9 +22,9 @@ use crate::pool::{SubmitError, WorkerPool};
 use crate::session::{SessionRegistry, SessionState, TuneRequest};
 use lt_common::json::Value;
 use lt_common::{json, obs};
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -40,6 +40,11 @@ pub struct ServerConfig {
     /// Job queue bound; a full queue answers 429 (`LT_SERVE_QUEUE`,
     /// default 64).
     pub queue_depth: usize,
+    /// Concurrent connection-thread bound; connections above it answer 503
+    /// without spawning a thread (`LT_SERVE_CONNS`, default 64). This caps
+    /// HTTP-layer threads the way `queue_depth` caps tuning jobs — a burst
+    /// of idle connections cannot exhaust threads while it holds.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,14 +53,15 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_depth: 64,
+            max_connections: 64,
         }
     }
 }
 
 impl ServerConfig {
-    /// Reads `LT_SERVE_ADDR`, `LT_SERVE_WORKERS` and `LT_SERVE_QUEUE` on
-    /// top of the defaults. Unparseable values fall back to the default
-    /// rather than failing startup.
+    /// Reads `LT_SERVE_ADDR`, `LT_SERVE_WORKERS`, `LT_SERVE_QUEUE` and
+    /// `LT_SERVE_CONNS` on top of the defaults. Unparseable values fall
+    /// back to the default rather than failing startup.
     pub fn from_env() -> ServerConfig {
         let mut config = ServerConfig::default();
         if let Ok(addr) = std::env::var("LT_SERVE_ADDR") {
@@ -75,6 +81,9 @@ impl ServerConfig {
         if let Some(depth) = usize_env("LT_SERVE_QUEUE") {
             config.queue_depth = depth;
         }
+        if let Some(conns) = usize_env("LT_SERVE_CONNS") {
+            config.max_connections = conns;
+        }
         config
     }
 }
@@ -83,6 +92,22 @@ struct ServerState {
     registry: SessionRegistry,
     pool: WorkerPool,
     shutdown: AtomicBool,
+    /// The bound address; `POST /shutdown` pokes it so the accept loop
+    /// observes the shutdown flag without waiting for another client.
+    addr: SocketAddr,
+    /// Live connection threads, bounded by `max_connections`.
+    connections: AtomicUsize,
+    max_connections: usize,
+}
+
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits.
+struct ConnectionGuard(Arc<ServerState>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running server. Dropping the handle (or calling
@@ -136,6 +161,9 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         registry: SessionRegistry::new(),
         pool: WorkerPool::start(config.workers, config.queue_depth),
         shutdown: AtomicBool::new(false),
+        addr,
+        connections: AtomicUsize::new(0),
+        max_connections: config.max_connections.max(1),
     });
     let accept_state = state.clone();
     let accept_thread = std::thread::Builder::new()
@@ -145,11 +173,39 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                 if accept_state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let Ok(mut stream) = stream else { continue };
+                // Connection admission: each connection holds a thread (up
+                // to the 30 s read timeout), so cap them like tuning jobs.
+                // The guard decrements on every exit path, panics included.
+                if accept_state.connections.fetch_add(1, Ordering::SeqCst)
+                    >= accept_state.max_connections
+                {
+                    accept_state.connections.fetch_sub(1, Ordering::SeqCst);
+                    obs::counter("serve.connections_rejected", 1);
+                    // Drain whatever the client already sent (non-blocking,
+                    // best effort): closing a socket with unread bytes
+                    // resets the connection and would eat the 503.
+                    let _ = stream.set_nonblocking(true);
+                    let mut scratch = [0u8; 4096];
+                    while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+                    let _ = stream.set_nonblocking(false);
+                    // Tiny fixed body: fits the socket buffer, so this
+                    // cannot stall the accept loop for long.
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = Response::error(503, "too many connections, retry later")
+                        .write_to(&mut stream);
+                    continue;
+                }
+                // On spawn failure the unstarted closure is dropped and the
+                // moved guard decrements the count right there.
+                let guard = ConnectionGuard(accept_state.clone());
                 let conn_state = accept_state.clone();
                 let _ = std::thread::Builder::new()
                     .name("lt-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, &conn_state));
+                    .spawn(move || {
+                        let _guard = guard;
+                        handle_connection(stream, &conn_state);
+                    });
             }
         })?;
     Ok(ServerHandle {
@@ -170,61 +226,95 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
 }
 
 /// Dispatches one request. Total: every `(method, path)` gets an answer.
+/// Paths are matched first, so a known path with the wrong verb is a 405
+/// carrying an `Allow` header, and only unknown paths are 404.
 fn route(request: &Request, state: &ServerState) -> Response {
     obs::counter("serve.http_requests", 1);
     let path = request.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
-    match (method, segments.as_slice()) {
-        ("POST", ["sessions"]) => submit_session(request, state),
-        ("GET", ["sessions"]) => list_sessions(state),
-        ("GET", ["sessions", id]) => {
-            with_session(state, id, |s| Response::json(200, &s.lock().status_json()))
-        }
-        ("GET", ["sessions", id, "config"]) => with_session(state, id, |s| {
-            let session = s.lock();
-            match session.config_json() {
-                Some(doc) => Response::json(200, &doc),
-                None => Response::error(
-                    409,
-                    &format!(
-                        "session is {} and has no configuration yet",
-                        session.state.name()
+    match segments.as_slice() {
+        ["sessions"] => match method {
+            "POST" => submit_session(request, state),
+            "GET" => list_sessions(state),
+            _ => method_not_allowed(method, path, "GET, POST"),
+        },
+        ["sessions", id] => match method {
+            "GET" => with_session(state, id, |s| Response::json(200, &s.lock().status_json())),
+            "DELETE" => with_session(state, id, cancel_session),
+            _ => method_not_allowed(method, path, "GET, DELETE"),
+        },
+        ["sessions", id, "config"] => match method {
+            "GET" => with_session(state, id, |s| {
+                let session = s.lock();
+                match session.config_json() {
+                    Some(doc) => Response::json(200, &doc),
+                    None => Response::error(
+                        409,
+                        &format!(
+                            "session is {} and has no configuration yet",
+                            session.state.name()
+                        ),
                     ),
-                ),
-            }
-        }),
-        ("DELETE", ["sessions", id]) => with_session(state, id, |s| {
-            let already_terminal = {
-                let session = s.lock();
-                session.state.is_terminal()
-            };
-            if !already_terminal {
-                s.cancel();
-                // A queued session may sit behind long jobs; flip it now so
-                // DELETE is immediate for work that never started. Running
-                // sessions flip when the worker observes the token.
-                let mut session = s.lock();
-                if session.state == SessionState::Queued {
-                    session.state = SessionState::Cancelled;
-                    obs::counter("serve.sessions_cancelled", 1);
                 }
+            }),
+            _ => method_not_allowed(method, path, "GET"),
+        },
+        ["metrics"] => match method {
+            "GET" => metrics(state),
+            _ => method_not_allowed(method, path, "GET"),
+        },
+        ["healthz"] => match method {
+            "GET" => Response::json(200, &json!({ "ok": true })),
+            _ => method_not_allowed(method, path, "GET"),
+        },
+        ["shutdown"] => match method {
+            "POST" => {
+                state.shutdown.store(true, Ordering::SeqCst);
+                // The accept loop re-checks the flag only when accept()
+                // returns; poke it so the daemon exits now instead of on
+                // the next unrelated connection (mirrors
+                // ServerHandle::shutdown).
+                let _ = TcpStream::connect(state.addr);
+                Response::json(200, &json!({ "shutting_down": true }))
             }
-            let (id, state_name) = {
-                let session = s.lock();
-                (session.id, session.state.name())
-            };
-            Response::json(200, &json!({ "id": id, "state": state_name }))
-        }),
-        ("GET", ["metrics"]) => metrics(state),
-        ("GET", ["healthz"]) => Response::json(200, &json!({ "ok": true })),
-        ("POST", ["shutdown"]) => {
-            state.shutdown.store(true, Ordering::SeqCst);
-            Response::json(200, &json!({ "shutting_down": true }))
-        }
-        ("GET" | "POST" | "DELETE", _) => Response::error(404, &format!("no route for {path}")),
-        _ => Response::error(405, &format!("method {method} not supported")),
+            _ => method_not_allowed(method, path, "POST"),
+        },
+        _ => Response::error(404, &format!("no route for {path}")),
     }
+}
+
+/// 405 for a known path whose method set does not include `method`.
+fn method_not_allowed(method: &str, path: &str, allow: &'static str) -> Response {
+    Response::error(
+        405,
+        &format!("method {method} not allowed for {path} (allow: {allow})"),
+    )
+    .with_header("Allow", allow)
+}
+
+/// The `DELETE /sessions/<id>` handler.
+fn cancel_session(s: &crate::session::SessionHandle) -> Response {
+    let already_terminal = {
+        let session = s.lock();
+        session.state.is_terminal()
+    };
+    if !already_terminal {
+        s.cancel();
+        // A queued session may sit behind long jobs; flip it now so
+        // DELETE is immediate for work that never started. Running
+        // sessions flip when the worker observes the token.
+        let mut session = s.lock();
+        if session.state == SessionState::Queued {
+            session.state = SessionState::Cancelled;
+            obs::counter("serve.sessions_cancelled", 1);
+        }
+    }
+    let (id, state_name) = {
+        let session = s.lock();
+        (session.id, session.state.name())
+    };
+    Response::json(200, &json!({ "id": id, "state": state_name }))
 }
 
 fn submit_session(request: &Request, state: &ServerState) -> Response {

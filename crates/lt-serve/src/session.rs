@@ -23,6 +23,16 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+/// Service-side ceiling on LLM samples per session. The pipeline allocates
+/// and iterates `num_configs` times, so an unbounded value lets one request
+/// pin a worker for hours or abort the process on a failed huge allocation
+/// (`Vec::with_capacity`); anything above this is a 400, never a job.
+pub const MAX_NUM_CONFIGS: u64 = 64;
+/// Service-side ceiling on the workload-description token budget. Far above
+/// any real model context, low enough that a typo'd exponent cannot balloon
+/// compressor work.
+pub const MAX_TOKEN_BUDGET: u64 = 10_000_000;
+
 /// A client's tuning request, parsed and validated at submission time.
 #[derive(Debug, Clone)]
 pub struct TuneRequest {
@@ -95,17 +105,26 @@ impl TuneRequest {
                     .ok_or_else(|| bad(&format!("\"{key}\" must be a boolean"))),
             }
         };
+        // Multi-tenant admission limits: values the pipeline would happily
+        // loop (or allocate) over for hours must never reach a worker.
+        let bounded = |key: &str, max: u64| -> Result<Option<u64>> {
+            match uint(key)? {
+                Some(v) if v > max => Err(bad(&format!("\"{key}\" must be at most {max}"))),
+                other => Ok(other),
+            }
+        };
         let defaults = LambdaTuneOptions::default();
         let seed = uint("seed")?.unwrap_or(0);
         let options = LambdaTuneOptions {
-            num_configs: uint("num_configs")?.unwrap_or(defaults.num_configs as u64) as usize,
+            num_configs: bounded("num_configs", MAX_NUM_CONFIGS)?
+                .unwrap_or(defaults.num_configs as u64) as usize,
             temperature: match doc.get("temperature") {
                 None | Some(Value::Null) => defaults.temperature,
                 Some(v) => v
                     .as_f64()
                     .ok_or_else(|| bad("\"temperature\" must be a number"))?,
             },
-            token_budget: uint("token_budget")?.map(|t| t as usize),
+            token_budget: bounded("token_budget", MAX_TOKEN_BUDGET)?.map(|t| t as usize),
             params_only: flag("params_only")?,
             indexes_only: flag("indexes_only")?,
             seed,
@@ -461,7 +480,10 @@ mod tests {
             (r#"{"hardware": "mainframe"}"#, "unknown hardware"),
             (r#"{"seed": -4}"#, "non-negative"),
             (r#"{"num_configs": 0}"#, "num_configs"),
+            (r#"{"num_configs": 65}"#, "at most 64"),
+            (r#"{"num_configs": 1000000000000000}"#, "at most 64"),
             (r#"{"token_budget": 0}"#, "token_budget"),
+            (r#"{"token_budget": 99999999999}"#, "at most 10000000"),
             (r#"{"temperature": "hot"}"#, "number"),
             (r#"{"params_only": 1}"#, "boolean"),
             (r#"{"initial_config": 7}"#, "string"),
@@ -473,6 +495,17 @@ mod tests {
                 "{body}: expected {needle:?} in {err}"
             );
         }
+    }
+
+    #[test]
+    fn admission_limits_are_inclusive() {
+        let doc = parse(&format!(
+            r#"{{"num_configs": {MAX_NUM_CONFIGS}, "token_budget": {MAX_TOKEN_BUDGET}}}"#
+        ))
+        .unwrap();
+        let req = TuneRequest::from_json(&doc).unwrap();
+        assert_eq!(req.options.num_configs, MAX_NUM_CONFIGS as usize);
+        assert_eq!(req.options.token_budget, Some(MAX_TOKEN_BUDGET as usize));
     }
 
     #[test]

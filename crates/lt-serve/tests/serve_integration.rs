@@ -166,7 +166,11 @@ fn malformed_requests_are_rejected_not_fatal() {
         ("{not json", "invalid JSON"),
         (r#"{"benchmark": "tpcc"}"#, "unknown benchmark"),
         (r#"{"num_configs": 0}"#, "num_configs"),
+        // An absurd sample count must be a 400, not a worker pinned for
+        // hours (or an aborting multi-petabyte allocation).
+        (r#"{"num_configs": 1000000000000000}"#, "at most"),
         (r#"{"token_budget": 0}"#, "token_budget"),
+        (r#"{"token_budget": 99999999999}"#, "at most"),
         (r#"{"temperature": -1}"#, "temperature"),
         (r#"{"dbms": "oracle"}"#, "unknown dbms"),
         (
@@ -197,6 +201,20 @@ fn malformed_requests_are_rejected_not_fatal() {
     assert_eq!(status, 400);
     let (status, _) = request(addr, "PATCH", "/sessions", None).unwrap();
     assert_eq!(status, 405);
+    // A wrong method on an existing path is 405 naming the allowed set,
+    // not a misleading 404 — and the method check precedes the id lookup.
+    for (method, path) in [
+        ("POST", "/metrics"),
+        ("DELETE", "/healthz"),
+        ("GET", "/shutdown"),
+        ("POST", "/sessions/999"),
+        ("DELETE", "/sessions/999/config"),
+        ("PUT", "/sessions"),
+    ] {
+        let (status, body) = request(addr, method, path, None).unwrap();
+        assert_eq!(status, 405, "{method} {path}: {body}");
+        assert!(body.contains("allow:"), "{method} {path}: {body}");
+    }
 
     // An initial_config with no valid statement fails its own session only…
     let (status, doc) = post_session(
@@ -252,6 +270,71 @@ fn metrics_expose_live_counters() {
     assert!(done >= 1);
     // The event log must NOT be in the document (it grows without bound).
     assert!(doc.get("events").is_none());
+    server.shutdown();
+}
+
+/// `POST /shutdown` alone stops the accept loop: the route pokes the
+/// listener, so `wait()` returns without any further connection arriving
+/// (the daemon's documented stop procedure).
+#[test]
+fn http_shutdown_stops_the_accept_loop() {
+    let mut server = start_server(1, 4);
+    let addr = server.addr();
+    let (status, body) = request(addr, "POST", "/shutdown", None).expect("shutdown request");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"), "{body}");
+    // Hangs here (and the test times out) if /shutdown only set the flag.
+    server.wait();
+    assert!(
+        request(addr, "GET", "/healthz", None).is_err(),
+        "listener still accepting after shutdown"
+    );
+    server.shutdown();
+}
+
+/// Connections above `max_connections` are refused with 503 before any
+/// thread is spawned, and the slot frees once a connection closes.
+#[test]
+fn connection_cap_answers_503_and_recovers() {
+    let mut server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        max_connections: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // An idle client holds the single connection slot (its thread sits in
+    // the read timeout)…
+    let held = std::net::TcpStream::connect(addr).expect("hold a connection");
+    // …so further connections are turned away at the accept loop. The 503
+    // write can race the rejected client's own request write (reset), so
+    // poll until a clean 503 is observed.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match request(addr, "GET", "/healthz", None) {
+            Ok((503, body)) => {
+                assert!(body.contains("too many connections"), "{body}");
+                break;
+            }
+            Ok((200, _)) | Err(_) => {} // holder not counted yet, or write race
+            Ok((status, body)) => panic!("unexpected {status}: {body}"),
+        }
+        assert!(Instant::now() < deadline, "cap never produced a 503");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Releasing the held connection frees the slot and service resumes.
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok((200, _)) = request(addr, "GET", "/healthz", None) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "connection slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
     server.shutdown();
 }
 
