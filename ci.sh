@@ -6,12 +6,15 @@
 #   2. cargo fmt --check
 #   3. cargo clippy --all-targets -- -D warnings
 #   4. cargo test -q
-#   5. determinism gate: fig6 + table4 twice (sequential vs parallel
-#      eval matrix), results/*.json must match byte-for-byte
+#   5. determinism gate: fig6 + table4 + fig4 twice (sequential vs
+#      parallel eval matrix), results/*.json must match byte-for-byte
 #   6. trace gate: LT_TRACE=1 fig6 must emit a trace whose per-phase
 #      self-times sum to the run wall time (checked by trace_check)
 #   7. serve smoke gate: lt-serve-load --smoke runs real sessions
 #      through the HTTP service over loopback and checks /metrics
+#   8. planner smoke: planner_bench --smoke must run to completion
+#      (timing numbers are informational; the enumerator property
+#      suite gating correctness already ran under step 4)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,10 +37,12 @@ export LT_TRIALS=1 LT_SEED=42
 rm -rf results/.ci-seq && mkdir -p results/.ci-seq
 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
 LT_BENCH_THREADS=1 ./target/release/table4 > /dev/null
-cp results/fig6.json results/table4.json results/.ci-seq/
+LT_BENCH_THREADS=1 ./target/release/fig4 > /dev/null
+cp results/fig6.json results/table4.json results/fig4.json results/.ci-seq/
 LT_BENCH_THREADS=4 ./target/release/fig6 > /dev/null
 LT_BENCH_THREADS=4 ./target/release/table4 > /dev/null
-for f in fig6.json table4.json; do
+LT_BENCH_THREADS=4 ./target/release/fig4 > /dev/null
+for f in fig6.json table4.json fig4.json; do
     if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
         echo "DETERMINISM FAILURE: results/$f differs between sequential and parallel runs" >&2
         diff "results/.ci-seq/$f" "results/$f" >&2 || true
@@ -53,6 +58,9 @@ LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
 
 step "serve smoke gate (lt-serve-load --smoke)"
 ./target/release/lt-serve-load --smoke
+
+step "planner smoke (planner_bench --smoke, timing informational)"
+./target/release/planner_bench --smoke
 
 echo
 echo "ci.sh: all gates passed"

@@ -1,0 +1,208 @@
+//! Property suite for the DPccp join enumerator.
+//!
+//! Three guarantees, per the optimizer rewrite:
+//! (a) DPccp produces exactly the plan naive all-subsets DP produces, on
+//!     random connected *and* disconnected join graphs,
+//! (b) beyond the legacy relation limit the default enumerator never
+//!     returns a plan costlier than greedy's,
+//! (c) with the relation limit pinned to the legacy 13, every benchmark
+//!     query plans identically to the legacy enumerator — the
+//!     byte-identity contract the re-baselined results rely on.
+
+use lt_common::rng::{seeded_rng, Rng};
+use lt_dbms::{
+    stats::{extract, FilterKind, FilterTerm, JoinEdge, QueryPredicates},
+    Catalog, Dbms, IndexCatalog, JoinEnumerator, KnobSet, Optimizer, LEGACY_DP_RELATION_LIMIT,
+};
+use lt_workloads::Benchmark;
+
+/// n-table catalog where every table has a primary key and a foreign key
+/// toward every other table, so arbitrary join graphs resolve.
+fn test_catalog(n: usize) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..n {
+        let rows = 1_000 + 37_000 * ((i * 7 + 3) % n) as u64;
+        let name = format!("t{i}");
+        let mut b = c.add_table(&name, rows).primary_key("id", 8);
+        for j in 0..n {
+            if j != i {
+                let fk_name = format!("fk{j}");
+                b = b.foreign_key(&fk_name, 8, (rows as f64 / 8.0).max(1.0));
+            }
+        }
+        b.finish();
+    }
+    c
+}
+
+fn pk(c: &Catalog, i: usize) -> lt_common::ColumnId {
+    c.resolve_column(Some(&format!("t{i}")), "id").unwrap()
+}
+
+fn fk(c: &Catalog, i: usize, j: usize) -> lt_common::ColumnId {
+    c.resolve_column(Some(&format!("t{i}")), &format!("fk{j}"))
+        .unwrap()
+}
+
+/// Random join graph over tables `lo..hi`: a random spanning tree plus
+/// random extra edges, guaranteeing connectivity within the slice.
+fn random_component(c: &Catalog, rng: &mut Rng, lo: usize, hi: usize, joins: &mut Vec<JoinEdge>) {
+    for i in lo + 1..hi {
+        let j = rng.gen_range(lo..i);
+        joins.push(JoinEdge {
+            left: fk(c, i, j),
+            right: pk(c, j),
+        });
+    }
+    for i in lo..hi {
+        for j in lo..i {
+            if rng.gen_bool(0.15) {
+                joins.push(JoinEdge {
+                    left: fk(c, j, i),
+                    right: pk(c, i),
+                });
+            }
+        }
+    }
+}
+
+/// Random predicates: the join graph plus a sprinkle of filters so the
+/// memoized selectivity paths get exercised with varied inputs.
+fn random_preds(c: &Catalog, rng: &mut Rng, n: usize, components: usize) -> QueryPredicates {
+    let mut joins = Vec::new();
+    if components <= 1 || n < 2 {
+        random_component(c, rng, 0, n, &mut joins);
+    } else {
+        let cut = rng.gen_range(1..n);
+        random_component(c, rng, 0, cut, &mut joins);
+        random_component(c, rng, cut, n, &mut joins);
+    }
+    let mut preds = QueryPredicates {
+        tables: (0..n)
+            .map(|i| c.table_by_name(&format!("t{i}")).unwrap())
+            .collect(),
+        joins,
+        ..Default::default()
+    };
+    for i in 0..n {
+        if rng.gen_bool(0.4) {
+            let kind = *rng
+                .choose(&[
+                    FilterKind::Equality,
+                    FilterKind::Range,
+                    FilterKind::InList(4),
+                ])
+                .unwrap();
+            let table = preds.tables[i];
+            preds.filters.entry(table).or_default().push(FilterTerm {
+                column: pk(c, i),
+                kind,
+            });
+        }
+    }
+    preds
+}
+
+fn optimizer<'a>(c: &'a Catalog, knobs: &'a KnobSet, idx: &'a IndexCatalog) -> Optimizer<'a> {
+    Optimizer::new(c, knobs, idx, 42)
+}
+
+#[test]
+fn dpccp_equals_naive_dp_on_random_graphs() {
+    let knobs = KnobSet::defaults(Dbms::Postgres);
+    for n in 2..=10usize {
+        let c = test_catalog(n);
+        let mut idx = IndexCatalog::new();
+        for i in 0..n {
+            idx.add(
+                c.table_by_name(&format!("t{i}")).unwrap(),
+                vec![pk(&c, i)],
+                None,
+            );
+        }
+        for seed in 0..10u64 {
+            for components in [1usize, 2] {
+                if components == 2 && n < 2 {
+                    continue;
+                }
+                let mut rng = seeded_rng(seed * 1000 + n as u64);
+                let preds = random_preds(&c, &mut rng, n, components);
+                let opt = optimizer(&c, &knobs, &idx);
+                let a = opt.plan_extracted_with(&preds, JoinEnumerator::Dpccp);
+                let b = opt.plan_extracted_with(&preds, JoinEnumerator::NaiveDp);
+                assert_eq!(
+                    a, b,
+                    "DPccp diverged from naive DP (n={n} seed={seed} components={components})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dp_beyond_legacy_limit_never_beats_greedy_on_cost() {
+    let knobs = KnobSet::defaults(Dbms::Postgres);
+    for n in (LEGACY_DP_RELATION_LIMIT + 1)..=17usize {
+        let c = test_catalog(n);
+        let idx = IndexCatalog::new();
+        for seed in 0..3u64 {
+            let mut rng = seeded_rng(seed * 77 + n as u64);
+            let preds = random_preds(&c, &mut rng, n, 1);
+            let opt = optimizer(&c, &knobs, &idx);
+            let dp = opt.plan_extracted_with(&preds, JoinEnumerator::Auto);
+            let greedy = opt.plan_extracted_with(&preds, JoinEnumerator::Greedy);
+            assert!(
+                dp.root.est_cost <= greedy.root.est_cost,
+                "DP plan costlier than greedy (n={n} seed={seed}): {} > {}",
+                dp.root.est_cost,
+                greedy.root.est_cost
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_limit_plans_match_legacy_enumerator_on_every_bench_query() {
+    for bench in Benchmark::all() {
+        let w = bench.load();
+        let knob_sets = {
+            let mut v = vec![KnobSet::defaults(Dbms::Postgres)];
+            let mut k = KnobSet::defaults(Dbms::Postgres);
+            k.set_text("random_page_cost", "1.1").unwrap();
+            k.set_text("effective_cache_size", "45GB").unwrap();
+            v.push(k);
+            let mut k = KnobSet::defaults(Dbms::Postgres);
+            k.set_text("work_mem", "64kB").unwrap();
+            v.push(k);
+            v
+        };
+        let mut idx_keys = IndexCatalog::new();
+        for col in w.catalog.columns() {
+            if col.primary_key || col.foreign_key {
+                idx_keys.add(col.table, vec![col.id], None);
+            }
+        }
+        let idx_sets = [IndexCatalog::new(), idx_keys];
+        for knobs in &knob_sets {
+            for idx in &idx_sets {
+                for q in &w.queries {
+                    let preds = extract(&q.parsed, &w.catalog);
+                    if preds.tables.is_empty() {
+                        continue;
+                    }
+                    let opt = Optimizer::new(&w.catalog, knobs, idx, 42)
+                        .with_dp_limit(LEGACY_DP_RELATION_LIMIT);
+                    let new = opt.plan_extracted_with(&preds, JoinEnumerator::Auto);
+                    let old = opt.plan_extracted_with(&preds, JoinEnumerator::Legacy);
+                    assert_eq!(
+                        new,
+                        old,
+                        "{} {}: limit-13 plan differs from legacy planner",
+                        bench.name(),
+                        q.label
+                    );
+                }
+            }
+        }
+    }
+}

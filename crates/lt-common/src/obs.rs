@@ -254,6 +254,20 @@ impl Drop for SpanGuard {
 
 // ---- counters and gauges --------------------------------------------------
 
+/// Well-known counter names shared between emitters and consumers (traces,
+/// `/metrics`), so the string constants live in one place.
+pub mod names {
+    /// csg–cmp pairs enumerated by the DPccp join planner.
+    pub const PLANNER_CCP_PAIRS: &str = "planner.ccp_pairs";
+    /// DP subsets discarded by the pilot-bound branch-and-bound prune.
+    pub const PLANNER_CCP_PRUNED: &str = "planner.ccp_pruned";
+    /// Queries planned by full DP (DPccp).
+    pub const PLANNER_DP_PLANS: &str = "planner.dp_plans";
+    /// Queries whose final join order came from the greedy heuristic
+    /// (width above the DP limit, or greedy beat DP in the safety net).
+    pub const PLANNER_GREEDY_PLANS: &str = "planner.greedy_plans";
+}
+
 /// Adds `delta` to the counter named `name`. No-op when tracing is off.
 #[inline]
 pub fn counter(name: &'static str, delta: u64) {

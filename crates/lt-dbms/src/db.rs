@@ -275,7 +275,7 @@ impl SimDb {
         let key = PlanKey {
             query: tag,
             knobs: self.planner_fp,
-            indexes: hypothetical.fingerprint(),
+            indexes: hypothetical.fingerprint_for_tables(&preds.tables),
         };
         let plan = self.plan_cache.plan_or_insert(key, || {
             Optimizer::new(
@@ -296,7 +296,7 @@ impl SimDb {
         let key = PlanKey {
             query: tag,
             knobs: knobs.planner_fingerprint(),
-            indexes: self.indexes.fingerprint(),
+            indexes: self.indexes.fingerprint_for_tables(&preds.tables),
         };
         let plan = self.plan_cache.plan_or_insert(key, || {
             Optimizer::new(&self.catalog, knobs, &self.indexes, self.model.stats_seed)
@@ -323,11 +323,16 @@ impl SimDb {
     }
 
     /// Plans under the *current* knobs and indexes through the cache.
+    ///
+    /// The index component of the key is the canonical fingerprint of the
+    /// indexes on *this query's tables* only: creating an index on an
+    /// unrelated table (the evaluator builds indexes lazily between tuning
+    /// rounds) leaves every other query's cached plan valid.
     fn plan_cached(&self, tag: u64, preds: &QueryPredicates) -> Arc<Plan> {
         let key = PlanKey {
             query: tag,
             knobs: self.planner_fp,
-            indexes: self.indexes.fingerprint(),
+            indexes: self.indexes.fingerprint_for_tables(&preds.tables),
         };
         self.plan_cache.plan_or_insert(key, || {
             Optimizer::new(
@@ -489,6 +494,36 @@ mod tests {
         let plan = db.explain(&q);
         assert!(plan.total_cost() > 0.0);
         assert_eq!(db.now(), before);
+    }
+
+    #[test]
+    fn unrelated_index_creation_keeps_cached_plans_valid() {
+        let mut db = db();
+        let q = parse_query("select count(*) from orders").unwrap();
+        db.execute(&q, Secs::INFINITY);
+        let misses_before = db.cache_stats().plan_misses;
+        // Lazy index creation on a table the query never touches (the
+        // evaluator does this between tuning rounds) must not invalidate
+        // the cached plan.
+        let spec = IndexSpec {
+            table: db.catalog().table_by_name("lineitem").unwrap(),
+            columns: vec![db.catalog().resolve_column(None, "l_shipdate").unwrap()],
+            name: None,
+        };
+        db.create_index(&spec);
+        db.execute(&q, Secs::INFINITY);
+        let stats = db.cache_stats();
+        assert_eq!(stats.plan_misses, misses_before, "plan was re-planned");
+        assert!(stats.plan_hits >= 1);
+        // An index on the query's own table *does* key a fresh plan.
+        let spec = IndexSpec {
+            table: db.catalog().table_by_name("orders").unwrap(),
+            columns: vec![db.catalog().resolve_column(None, "o_orderkey").unwrap()],
+            name: None,
+        };
+        db.create_index(&spec);
+        db.execute(&q, Secs::INFINITY);
+        assert_eq!(db.cache_stats().plan_misses, misses_before + 1);
     }
 
     #[test]

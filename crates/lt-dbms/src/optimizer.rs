@@ -10,19 +10,101 @@
 //! exploit (paper §6.3: lowering `random_page_cost` and raising
 //! `effective_cache_size` "motivate the query optimizer to use indexes more
 //! often").
+//!
+//! # Join enumeration
+//!
+//! The production enumerator ([`JoinEnumerator::Auto`]) is a DPccp-style
+//! dynamic program ([`Optimizer::dpccp_join`]): instead of enumerating all
+//! `2^n` subsets into a `HashMap` of cloned plan trees, it walks only the
+//! *connected* subsets of the join graph (disconnected subsets can never
+//! appear in an edge-linked plan), keeps a dense `Vec`-indexed memo of
+//! `(cost, rows, width, best_split)` cells over bitmasks, prunes subsets
+//! that already cost more than a greedy pilot plan for their component
+//! (admissible: the optimum is never pruned), and reconstructs the single
+//! winning `PlanNode` tree once at the end. That makes full DP affordable
+//! for every Join Order Benchmark query (the original JOB joins up to 17
+//! relations); beyond [`DEFAULT_DP_RELATION_LIMIT`] a greedy heuristic
+//! (PostgreSQL's GEQO analogue) takes over. The pre-DPccp planner is preserved verbatim as
+//! [`JoinEnumerator::Legacy`] so benchmarks and property tests can compare
+//! old vs new plans.
 
 use crate::catalog::{Catalog, PAGE_SIZE};
 use crate::knobs::KnobSet;
 use crate::physical::IndexCatalog;
 use crate::plan::{Plan, PlanNode, PlanOp};
 use crate::stats::{extract, Estimator, FilterKind, QueryPredicates};
-use lt_common::{ColumnId, TableId};
+use lt_common::{obs, ColumnId, IndexId, TableId};
 use lt_sql::ast::Query;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
-/// Maximum number of relations planned with exact DP; beyond this the
-/// planner falls back to a greedy heuristic (PostgreSQL's GEQO analogue).
-const DP_RELATION_LIMIT: usize = 13;
+/// DP ceiling of the pre-DPccp planner. Kept as (a) the `Legacy`
+/// enumerator's naive-DP cutoff and (b) the width above which `Auto` also
+/// runs the greedy heuristic and keeps the cheaper plan: greedy can build
+/// bushy trees the left-deep DP space does not contain, so this guarantees
+/// the DP upgrade never regresses a query that the old planner handled
+/// greedily.
+pub const LEGACY_DP_RELATION_LIMIT: usize = 13;
+
+/// Default maximum number of relations planned with exact DP. The original
+/// Join Order Benchmark's widest queries join 17 relations (our single-alias
+/// repro caps at 12), so every JOB query gets a full DP plan with headroom.
+/// Override with `LT_DP_LIMIT` (clamped to [1, 26]); beyond the limit the
+/// planner falls back to the greedy heuristic.
+pub const DEFAULT_DP_RELATION_LIMIT: usize = 17;
+
+/// Hard ceiling on dense-memo DP: the memo is `Vec`-indexed by bitmask, so
+/// memory is `32 bytes * 2^n`. 26 relations ⇒ 2 GiB would be absurd anyway;
+/// `LT_DP_LIMIT` is clamped here.
+const DENSE_DP_MAX: usize = 26;
+
+fn env_dp_limit() -> usize {
+    static LIMIT: OnceLock<usize> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        std::env::var("LT_DP_LIMIT")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|v| v.clamp(1, DENSE_DP_MAX))
+            .unwrap_or(DEFAULT_DP_RELATION_LIMIT)
+    })
+}
+
+/// Join-enumeration strategy (see module docs). `Auto` is what production
+/// planning uses; the other variants exist for `planner_bench` and the
+/// enumerator property-test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinEnumerator {
+    /// DPccp up to the configured relation limit, greedy beyond; between
+    /// [`LEGACY_DP_RELATION_LIMIT`] and the limit the greedy plan is also
+    /// built and the cheaper of the two wins.
+    Auto,
+    /// Force DPccp regardless of width (falls back to greedy only above
+    /// the dense-memo ceiling). Test/bench use.
+    Dpccp,
+    /// Force the naive all-subsets `HashMap` DP. Test/bench use only —
+    /// exponential in both time and cloned plan trees.
+    NaiveDp,
+    /// Force the greedy heuristic.
+    Greedy,
+    /// The exact pre-DPccp production policy: naive DP up to
+    /// [`LEGACY_DP_RELATION_LIMIT`], greedy beyond.
+    Legacy,
+}
+
+/// Planner cost constants resolved once per planner instance (knob lookups
+/// are string-keyed; the DP inner loop must not pay for them per candidate).
+/// Every value is computed with exactly the expression the cost formulas
+/// used inline, so plans are bit-identical to per-call lookup.
+#[derive(Debug, Clone, Copy)]
+struct PlannerCosts {
+    seq_page: f64,
+    cpu_tuple: f64,
+    cpu_index_tuple: f64,
+    /// `cpu_tuple * 0.25`, the per-comparison operator cost.
+    cpu_op: f64,
+    eff_random_page: f64,
+    work_mem_bytes: f64,
+}
 
 /// The query planner.
 pub struct Optimizer<'a> {
@@ -30,6 +112,8 @@ pub struct Optimizer<'a> {
     knobs: &'a KnobSet,
     indexes: &'a IndexCatalog,
     est: Estimator<'a>,
+    costs: PlannerCosts,
+    dp_limit: usize,
 }
 
 /// One candidate access path / partial join result during planning.
@@ -38,6 +122,223 @@ struct Candidate {
     node: PlanNode,
     /// Tables covered by this candidate.
     tables: u64,
+}
+
+/// Scalar view of one join input: everything the cost formulas need,
+/// without materializing a plan tree.
+#[derive(Debug, Clone, Copy)]
+struct JoinSide {
+    rows: f64,
+    cost: f64,
+    width: f64,
+}
+
+impl JoinSide {
+    fn of(node: &PlanNode) -> JoinSide {
+        JoinSide {
+            rows: node.est_rows,
+            cost: node.est_cost,
+            width: node.width,
+        }
+    }
+}
+
+/// Join method picked by [`Optimizer::choose_join`], with enough detail to
+/// rebuild the corresponding `PlanNode` exactly.
+#[derive(Debug, Clone, Copy)]
+enum JoinMethod {
+    Cross,
+    Hash {
+        /// True when the inner input is the probe side (build on outer).
+        swapped: bool,
+        spills: bool,
+    },
+    Merge,
+    IndexNl {
+        index: IndexId,
+        per_probe: f64,
+        matches_per_probe: f64,
+        lookup_sel: f64,
+    },
+}
+
+/// Outcome of scalar join costing.
+#[derive(Debug, Clone, Copy)]
+struct JoinChoice {
+    method: JoinMethod,
+    rows: f64,
+    cost: f64,
+}
+
+/// Dense DP memo cell: the best left-deep plan for one table subset, as
+/// scalars plus the last-joined table for reconstruction. Empty cells carry
+/// an infinite cost.
+#[derive(Debug, Clone, Copy)]
+struct DpCell {
+    cost: f64,
+    rows: f64,
+    width: f64,
+    split: u8,
+}
+
+impl DpCell {
+    const EMPTY: DpCell = DpCell {
+        cost: f64::INFINITY,
+        rows: 0.0,
+        width: 0.0,
+        split: u8::MAX,
+    };
+
+    fn is_empty(&self) -> bool {
+        self.cost.is_infinite()
+    }
+}
+
+/// One join-graph edge with both endpoints resolved to `preds.tables`
+/// indexes and its estimated selectivity computed once.
+#[derive(Debug, Clone, Copy)]
+struct GraphEdge {
+    li: usize,
+    ri: usize,
+    left: ColumnId,
+    right: ColumnId,
+    sel: f64,
+}
+
+/// The query's join graph, preprocessed for O(degree) connection tests: the
+/// naive enumerator re-resolved every edge's tables and re-estimated its
+/// selectivity on every `connection()` call.
+struct JoinGraph {
+    n: usize,
+    edges: Vec<GraphEdge>,
+    /// Edge indexes incident to each table, ascending — i.e. in global
+    /// `preds.joins` order, which fixes key order and selectivity
+    /// multiplication order exactly as the naive enumerator had them.
+    edges_at: Vec<Vec<usize>>,
+    /// Adjacency bitmasks.
+    adj: Vec<u64>,
+}
+
+impl JoinGraph {
+    fn build(catalog: &Catalog, est: &Estimator<'_>, preds: &QueryPredicates) -> JoinGraph {
+        let n = preds.tables.len();
+        let mut edges = Vec::with_capacity(preds.joins.len());
+        let mut edges_at = vec![Vec::new(); n];
+        let mut adj = vec![0u64; n];
+        for edge in &preds.joins {
+            let lt = catalog.column(edge.left).table;
+            let rt = catalog.column(edge.right).table;
+            let li = preds.tables.iter().position(|t| *t == lt);
+            let ri = preds.tables.iter().position(|t| *t == rt);
+            let (Some(li), Some(ri)) = (li, ri) else {
+                continue;
+            };
+            if li == ri {
+                continue;
+            }
+            let e = edges.len();
+            edges.push(GraphEdge {
+                li,
+                ri,
+                left: edge.left,
+                right: edge.right,
+                sel: est.estimated_join_selectivity(*edge),
+            });
+            edges_at[li].push(e);
+            edges_at[ri].push(e);
+            adj[li] |= 1 << ri;
+            adj[ri] |= 1 << li;
+        }
+        JoinGraph {
+            n,
+            edges,
+            edges_at,
+            adj,
+        }
+    }
+
+    /// First (outer key, inner key) pair and combined selectivity of the
+    /// edges linking `covered` to table `t` — the scalars join costing
+    /// needs, without allocating the full key vector.
+    fn connection_first(&self, covered: u64, t: usize) -> Option<(ColumnId, ColumnId, f64)> {
+        let mut sel = 1.0;
+        let mut first: Option<(ColumnId, ColumnId)> = None;
+        for &e in &self.edges_at[t] {
+            let ed = &self.edges[e];
+            let (ok, ik) = if ed.ri == t && covered & (1 << ed.li) != 0 {
+                (ed.left, ed.right)
+            } else if ed.li == t && covered & (1 << ed.ri) != 0 {
+                (ed.right, ed.left)
+            } else {
+                continue;
+            };
+            sel *= ed.sel;
+            if first.is_none() {
+                first = Some((ok, ik));
+            }
+        }
+        first.map(|(ok, ik)| (ok, ik, sel))
+    }
+
+    /// All connecting key pairs plus combined selectivity (reconstruction
+    /// needs the full vector for the join operator).
+    fn connection_keys(&self, covered: u64, t: usize) -> Option<(Vec<(ColumnId, ColumnId)>, f64)> {
+        let mut keys: Vec<(ColumnId, ColumnId)> = Vec::new();
+        let mut sel = 1.0;
+        for &e in &self.edges_at[t] {
+            let ed = &self.edges[e];
+            let pair = if ed.ri == t && covered & (1 << ed.li) != 0 {
+                (ed.left, ed.right)
+            } else if ed.li == t && covered & (1 << ed.ri) != 0 {
+                (ed.right, ed.left)
+            } else {
+                continue;
+            };
+            keys.push(pair);
+            sel *= ed.sel;
+        }
+        if keys.is_empty() {
+            None
+        } else {
+            Some((keys, sel))
+        }
+    }
+
+    /// Connected components as bitmasks, ordered by lowest table index.
+    fn components(&self) -> Vec<u64> {
+        let mut seen = 0u64;
+        let mut comps = Vec::new();
+        for start in 0..self.n {
+            if seen & (1 << start) != 0 {
+                continue;
+            }
+            let mut comp = 1u64 << start;
+            loop {
+                let mut grown = comp;
+                for (i, a) in self.adj.iter().enumerate() {
+                    if comp & (1 << i) != 0 {
+                        grown |= a;
+                    }
+                }
+                if grown == comp {
+                    break;
+                }
+                comp = grown;
+            }
+            seen |= comp;
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+/// A join's inner side qualifies for index nested loop only when it is a
+/// bare base-table scan.
+fn nl_inner_table(node: &PlanNode) -> Option<TableId> {
+    match node.op {
+        PlanOp::SeqScan { table, .. } | PlanOp::IndexScan { table, .. } => Some(table),
+        _ => None,
+    }
 }
 
 impl<'a> Optimizer<'a> {
@@ -57,12 +358,36 @@ impl<'a> Optimizer<'a> {
             crate::knobs::Dbms::Mysql => 0.0,
         };
         let est = Estimator::new(catalog, stats_seed).with_stats_quality(quality);
+        let cache = knobs.planner_cache_bytes() as f64;
+        let data = catalog.total_bytes() as f64;
+        let miss = (1.0 - cache / (cache + data)).clamp(0.05, 1.0);
+        let spc = knobs.seq_page_cost();
+        let rpc = knobs.random_page_cost();
+        let ctc = knobs.cpu_tuple_cost();
+        let costs = PlannerCosts {
+            seq_page: spc,
+            cpu_tuple: ctc,
+            cpu_index_tuple: knobs.cpu_index_tuple_cost(),
+            cpu_op: ctc * 0.25,
+            eff_random_page: spc + (rpc - spc).max(0.0) * miss,
+            work_mem_bytes: knobs.work_mem_bytes() as f64,
+        };
         Optimizer {
             catalog,
             knobs,
             indexes,
             est,
+            costs,
+            dp_limit: env_dp_limit(),
         }
+    }
+
+    /// Overrides the exact-DP relation limit for this planner instance
+    /// (tests and benchmarks; production planning reads `LT_DP_LIMIT` once
+    /// per process).
+    pub fn with_dp_limit(mut self, limit: usize) -> Self {
+        self.dp_limit = limit.clamp(1, DENSE_DP_MAX);
+        self
     }
 
     /// Plans a query. Queries referencing no known table produce a trivial
@@ -75,6 +400,11 @@ impl<'a> Optimizer<'a> {
     /// Plans from already-extracted predicates (used by the facade to avoid
     /// re-extraction).
     pub fn plan_extracted(&self, preds: &QueryPredicates) -> Plan {
+        self.plan_extracted_with(preds, JoinEnumerator::Auto)
+    }
+
+    /// Plans with an explicit join-enumeration strategy.
+    pub fn plan_extracted_with(&self, preds: &QueryPredicates, enumerator: JoinEnumerator) -> Plan {
         if preds.tables.is_empty() {
             let root = PlanNode::leaf(PlanOp::Limit { rows: 1 }, 1.0, 0.01, 8.0);
             return Plan {
@@ -82,7 +412,6 @@ impl<'a> Optimizer<'a> {
                 join_costs: Vec::new(),
             };
         }
-        let mut join_costs = Vec::new();
         let base: Vec<Candidate> = preds
             .tables
             .iter()
@@ -92,11 +421,50 @@ impl<'a> Optimizer<'a> {
                 tables: 1 << i,
             })
             .collect();
-        let joined = if preds.tables.len() <= DP_RELATION_LIMIT {
-            self.dp_join(&base, preds, &mut join_costs)
-        } else {
-            self.greedy_join(base, preds, &mut join_costs)
+        let n = base.len();
+        let joined = match enumerator {
+            JoinEnumerator::Auto => {
+                if n <= self.dp_limit {
+                    let dp = self.dpccp_join(&base, preds);
+                    if n > LEGACY_DP_RELATION_LIMIT {
+                        // Greedy can produce bushy trees outside the
+                        // left-deep DP space; keeping the cheaper of the two
+                        // guarantees no query costs more than under the old
+                        // greedy-only fallback.
+                        let greedy = self.greedy_join(base, preds);
+                        if greedy.node.est_cost < dp.node.est_cost {
+                            obs::counter(obs::names::PLANNER_GREEDY_PLANS, 1);
+                            greedy
+                        } else {
+                            dp
+                        }
+                    } else {
+                        dp
+                    }
+                } else {
+                    obs::counter(obs::names::PLANNER_GREEDY_PLANS, 1);
+                    self.greedy_join(base, preds)
+                }
+            }
+            JoinEnumerator::Dpccp => {
+                if n <= DENSE_DP_MAX {
+                    self.dpccp_join(&base, preds)
+                } else {
+                    self.greedy_join(base, preds)
+                }
+            }
+            JoinEnumerator::NaiveDp => self.naive_dp_join(&base, preds),
+            JoinEnumerator::Greedy => self.greedy_join(base, preds),
+            JoinEnumerator::Legacy => {
+                if n <= LEGACY_DP_RELATION_LIMIT {
+                    self.naive_dp_join(&base, preds)
+                } else {
+                    self.greedy_join(base, preds)
+                }
+            }
         };
+        let mut join_costs = Vec::new();
+        self.collect_join_costs(&joined.node, preds, &mut join_costs);
         let mut root = joined.node;
         root = self.maybe_gather(root);
         root = self.finalize(root, preds);
@@ -105,20 +473,12 @@ impl<'a> Optimizer<'a> {
 
     // ---- access paths ----
 
-    /// Planner's view of the fraction of random page fetches that miss the
-    /// cache, derived from `effective_cache_size` relative to the database
-    /// size (larger assumed cache → cheaper index scans).
-    fn planner_miss_fraction(&self) -> f64 {
-        let cache = self.knobs.planner_cache_bytes() as f64;
-        let data = self.catalog.total_bytes() as f64;
-        (1.0 - cache / (cache + data)).clamp(0.05, 1.0)
-    }
-
-    /// Effective per-page cost of a random fetch under the cache assumption.
+    /// Effective per-page cost of a random fetch under the cache assumption
+    /// (resolved once at planner construction; the miss fraction derives
+    /// from `effective_cache_size` relative to the database size — a larger
+    /// assumed cache makes index scans cheaper).
     fn effective_random_page_cost(&self) -> f64 {
-        let spc = self.knobs.seq_page_cost();
-        let rpc = self.knobs.random_page_cost();
-        spc + (rpc - spc).max(0.0) * self.planner_miss_fraction()
+        self.costs.eff_random_page
     }
 
     fn seq_scan_cost(&self, table: TableId) -> f64 {
@@ -195,11 +555,409 @@ impl<'a> Optimizer<'a> {
         best
     }
 
-    // ---- join planning ----
+    // ---- join costing (scalar core) ----
+
+    /// Costs every join method for `outer ⋈ inner` and picks the cheapest,
+    /// on scalars only. This is the single source of truth for join
+    /// arithmetic: the DP memo, the greedy pilot and the final tree
+    /// reconstruction all go through it, so memo costs and rebuilt
+    /// `PlanNode`s agree bit-for-bit.
+    ///
+    /// `conn` is the first connecting key pair plus the combined selectivity
+    /// of all connecting edges (`None` ⇒ Cartesian product). `nl_inner`
+    /// names the inner side's base table when the inner is a bare scan —
+    /// the only shape index nested loop applies to.
+    fn choose_join(
+        &self,
+        outer: JoinSide,
+        inner: JoinSide,
+        conn: Option<(ColumnId, ColumnId, f64)>,
+        nl_inner: Option<TableId>,
+    ) -> JoinChoice {
+        let Some((_okey, ikey, sel)) = conn else {
+            // Cartesian product: rows multiply; heavily penalized.
+            let rows = (outer.rows * inner.rows).max(1.0);
+            let cost = outer.cost + inner.cost + rows * self.costs.cpu_tuple * 4.0;
+            return JoinChoice {
+                method: JoinMethod::Cross,
+                rows,
+                cost,
+            };
+        };
+        let out_rows = (outer.rows * inner.rows * sel).max(1.0);
+        let cpu_op = self.costs.cpu_op;
+
+        // Hash join: build on the smaller input (we put the build side
+        // second, matching PlanOp's convention).
+        let (probe, build, swapped) = if outer.rows >= inner.rows {
+            (outer, inner, false)
+        } else {
+            (inner, outer, true)
+        };
+        let build_bytes = build.rows * build.width;
+        let spills = build_bytes > self.costs.work_mem_bytes;
+        let mut hash_cost = probe.cost
+            + build.cost
+            + build.rows * cpu_op * 2.0
+            + probe.rows * cpu_op
+            + out_rows * self.costs.cpu_tuple * 0.5;
+        if spills {
+            let spill_pages = (build_bytes + probe.rows * probe.width) / PAGE_SIZE as f64;
+            hash_cost += 2.0 * spill_pages * self.costs.seq_page;
+        }
+
+        // Merge join: sort both inputs (ignoring interesting orders).
+        let sort_cost = |rows: f64| {
+            let r = rows.max(2.0);
+            r * r.log2() * cpu_op * 2.0
+        };
+        let merge_cost = outer.cost
+            + inner.cost
+            + sort_cost(outer.rows)
+            + sort_cost(inner.rows)
+            + (outer.rows + inner.rows) * cpu_op
+            + out_rows * self.costs.cpu_tuple * 0.5;
+
+        let (mut method, mut cost) = if hash_cost <= merge_cost {
+            (JoinMethod::Hash { swapped, spills }, hash_cost)
+        } else {
+            (JoinMethod::Merge, merge_cost)
+        };
+
+        // Index nested loop: inner side must be a bare scan of a table with
+        // an index on the inner join key.
+        if let Some(inner_table) = nl_inner {
+            if self.catalog.column(ikey).table == inner_table {
+                if let Some(index) = self.indexes.with_leading_column(ikey) {
+                    let t = self.catalog.table(inner_table);
+                    let inner_rows = t.rows as f64;
+                    let matches_per_probe =
+                        (inner_rows / self.catalog.column(ikey).ndv.max(1.0)).max(1.0);
+                    let descent = (inner_rows.max(2.0)).log2() * self.costs.cpu_index_tuple * 10.0;
+                    let per_probe = descent
+                        + matches_per_probe
+                            * (self.costs.cpu_index_tuple
+                                + self.costs.eff_random_page
+                                + self.costs.cpu_tuple);
+                    let nl_cost = outer.cost + outer.rows * per_probe;
+                    if nl_cost < cost {
+                        let lookup_sel = (matches_per_probe / inner_rows).clamp(1e-12, 1.0);
+                        method = JoinMethod::IndexNl {
+                            index: index.id,
+                            per_probe,
+                            matches_per_probe,
+                            lookup_sel,
+                        };
+                        cost = nl_cost;
+                    }
+                }
+            }
+        }
+
+        JoinChoice {
+            method,
+            rows: out_rows,
+            cost,
+        }
+    }
+
+    /// Builds the plan node for `outer ⋈ inner` with the cheapest method
+    /// (the tree-shaped companion of [`Optimizer::choose_join`]).
+    fn join_node(
+        &self,
+        outer: &PlanNode,
+        inner: &PlanNode,
+        keys: Option<(Vec<(ColumnId, ColumnId)>, f64)>,
+    ) -> PlanNode {
+        let out_width = outer.width + inner.width;
+        let conn = keys.as_ref().map(|(k, sel)| (k[0].0, k[0].1, *sel));
+        let choice = self.choose_join(
+            JoinSide::of(outer),
+            JoinSide::of(inner),
+            conn,
+            nl_inner_table(inner),
+        );
+        match choice.method {
+            JoinMethod::Cross => PlanNode {
+                op: PlanOp::CrossJoin,
+                children: vec![outer.clone(), inner.clone()],
+                est_rows: choice.rows,
+                est_cost: choice.cost,
+                width: out_width,
+            },
+            JoinMethod::Hash { swapped, spills } => {
+                let (probe, build) = if swapped {
+                    (inner, outer)
+                } else {
+                    (outer, inner)
+                };
+                PlanNode {
+                    op: PlanOp::HashJoin {
+                        keys: keys.expect("hash join requires keys").0,
+                        spills,
+                    },
+                    children: vec![probe.clone(), build.clone()],
+                    est_rows: choice.rows,
+                    est_cost: choice.cost,
+                    width: out_width,
+                }
+            }
+            JoinMethod::Merge => PlanNode {
+                op: PlanOp::MergeJoin {
+                    keys: keys.expect("merge join requires keys").0,
+                },
+                children: vec![outer.clone(), inner.clone()],
+                est_rows: choice.rows,
+                est_cost: choice.cost,
+                width: out_width,
+            },
+            JoinMethod::IndexNl {
+                index,
+                per_probe,
+                matches_per_probe,
+                lookup_sel,
+            } => {
+                let inner_table =
+                    nl_inner_table(inner).expect("index NL requires a bare inner scan");
+                let inner_leaf = PlanNode::leaf(
+                    PlanOp::IndexScan {
+                        table: inner_table,
+                        index,
+                        selectivity: lookup_sel,
+                    },
+                    matches_per_probe,
+                    per_probe,
+                    inner.width,
+                );
+                PlanNode {
+                    op: PlanOp::NestLoopJoin {
+                        keys: keys.expect("NL join requires keys").0,
+                        inner_index: Some(index),
+                    },
+                    children: vec![outer.clone(), inner_leaf],
+                    est_rows: choice.rows,
+                    est_cost: choice.cost,
+                    width: out_width,
+                }
+            }
+        }
+    }
+
+    // ---- join enumeration: DPccp ----
+
+    /// DPccp-style exact DP over connected subsets (left-deep trees).
+    ///
+    /// Memo layout: `memo[mask]` is the best `(cost, rows, width, split)`
+    /// for the table subset `mask`; only connected subsets ever become
+    /// non-empty, and the winning tree is reconstructed from `split` chains
+    /// at the end — no plan trees are cloned during enumeration.
+    ///
+    /// Pruning: per connected component, a greedy left-deep pilot chain
+    /// (built with the same scalar costing) gives an upper bound `U` on the
+    /// component's optimal cost; any subset whose best cost exceeds `U` can
+    /// never be a prefix of an optimal chain (costs only grow along a
+    /// chain), so its cell stays empty. This is admissible — the plan it
+    /// produces is identical to unpruned DP, including tie-breaks.
+    fn dpccp_join(&self, base: &[Candidate], preds: &QueryPredicates) -> Candidate {
+        let n = base.len();
+        if n == 1 {
+            return base[0].clone();
+        }
+        assert!(n <= DENSE_DP_MAX, "dense DP memo capped at {DENSE_DP_MAX}");
+        let graph = JoinGraph::build(self.catalog, &self.est, preds);
+        let comps = graph.components();
+        let mut memo = vec![DpCell::EMPTY; 1usize << n];
+        for (i, c) in base.iter().enumerate() {
+            memo[1usize << i] = DpCell {
+                cost: c.node.est_cost,
+                rows: c.node.est_rows,
+                width: c.node.width,
+                split: i as u8,
+            };
+        }
+        let mut pairs: u64 = 0;
+        let mut pruned: u64 = 0;
+        for &comp in &comps {
+            if comp.count_ones() < 2 {
+                continue;
+            }
+            let bound = self.pilot_bound(&graph, base, comp);
+            // Enumerate submasks of the component in ascending numeric
+            // order (rest = sub minus one bit is always smaller, so cells
+            // are final before use).
+            let mut sub: u64 = 0;
+            loop {
+                sub = sub.wrapping_sub(comp) & comp;
+                if sub == 0 {
+                    break;
+                }
+                if sub.count_ones() < 2 {
+                    continue;
+                }
+                let mut best: Option<(usize, JoinChoice)> = None;
+                let mut bits = sub;
+                while bits != 0 {
+                    let t = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let rest = sub & !(1u64 << t);
+                    let rest_cell = memo[rest as usize];
+                    if rest_cell.is_empty() {
+                        continue;
+                    }
+                    // Cross joins are never enumerated here: a subset with
+                    // no connecting edge gets no cell, so a connected join
+                    // graph only produces edge-linked plans. Disconnected
+                    // graphs are handled below by cross-joining the
+                    // per-component winners.
+                    let Some((okey, ikey, sel)) = graph.connection_first(rest, t) else {
+                        continue;
+                    };
+                    pairs += 1;
+                    let choice = self.choose_join(
+                        JoinSide {
+                            rows: rest_cell.rows,
+                            cost: rest_cell.cost,
+                            width: rest_cell.width,
+                        },
+                        JoinSide::of(&base[t].node),
+                        Some((okey, ikey, sel)),
+                        nl_inner_table(&base[t].node),
+                    );
+                    if best
+                        .as_ref()
+                        .map(|(_, b)| choice.cost < b.cost)
+                        .unwrap_or(true)
+                    {
+                        best = Some((t, choice));
+                    }
+                }
+                if let Some((t, choice)) = best {
+                    if choice.cost > bound {
+                        pruned += 1;
+                        continue;
+                    }
+                    let rest = sub & !(1u64 << (t as u32));
+                    memo[sub as usize] = DpCell {
+                        cost: choice.cost,
+                        rows: choice.rows,
+                        width: memo[rest as usize].width + base[t].node.width,
+                        split: t as u8,
+                    };
+                }
+            }
+        }
+        obs::counter(obs::names::PLANNER_DP_PLANS, 1);
+        if pairs > 0 {
+            obs::counter(obs::names::PLANNER_CCP_PAIRS, pairs);
+            obs::counter(obs::names::PLANNER_CCP_PRUNED, pruned);
+        }
+        let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let node = if comps.len() == 1 {
+            self.rebuild(full, &memo, &graph, base)
+        } else {
+            // Disconnected join graph: the only way to combine components
+            // is a Cartesian product, in component order.
+            let mut it = comps.iter();
+            let first = *it.next().expect("at least one component");
+            let mut acc = self.rebuild(first, &memo, &graph, base);
+            for &comp in it {
+                let right = self.rebuild(comp, &memo, &graph, base);
+                acc = self.join_node(&acc, &right, None);
+            }
+            acc
+        };
+        Candidate { node, tables: full }
+    }
+
+    /// Greedy left-deep pilot over one component: from every start table,
+    /// repeatedly absorb the cheapest connected table; the best chain cost
+    /// is an upper bound on the component's optimal left-deep cost.
+    fn pilot_bound(&self, graph: &JoinGraph, base: &[Candidate], comp: u64) -> f64 {
+        let mut best = f64::INFINITY;
+        let mut starts = comp;
+        while starts != 0 {
+            let s = starts.trailing_zeros() as usize;
+            starts &= starts - 1;
+            let mut covered = 1u64 << s;
+            let mut side = JoinSide::of(&base[s].node);
+            let mut dead = false;
+            while covered != comp {
+                let mut pick: Option<(usize, JoinChoice)> = None;
+                let mut rem = comp & !covered;
+                while rem != 0 {
+                    let t = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    let Some((okey, ikey, sel)) = graph.connection_first(covered, t) else {
+                        continue;
+                    };
+                    let choice = self.choose_join(
+                        side,
+                        JoinSide::of(&base[t].node),
+                        Some((okey, ikey, sel)),
+                        nl_inner_table(&base[t].node),
+                    );
+                    if pick
+                        .as_ref()
+                        .map(|(_, p)| choice.cost < p.cost)
+                        .unwrap_or(true)
+                    {
+                        pick = Some((t, choice));
+                    }
+                }
+                let Some((t, choice)) = pick else {
+                    dead = true;
+                    break;
+                };
+                side = JoinSide {
+                    rows: choice.rows,
+                    cost: choice.cost,
+                    width: side.width + base[t].node.width,
+                };
+                covered |= 1 << t;
+            }
+            if !dead && side.cost < best {
+                best = side.cost;
+            }
+        }
+        best
+    }
+
+    /// Reconstructs the winning plan tree for `mask` from the memo's split
+    /// chain, re-deriving each join through [`Optimizer::join_node`] so the
+    /// rebuilt nodes carry exactly the costs the DP computed.
+    fn rebuild(
+        &self,
+        mask: u64,
+        memo: &[DpCell],
+        graph: &JoinGraph,
+        base: &[Candidate],
+    ) -> PlanNode {
+        if mask.count_ones() == 1 {
+            return base[mask.trailing_zeros() as usize].node.clone();
+        }
+        let cell = memo[mask as usize];
+        debug_assert!(!cell.is_empty(), "rebuilding an empty DP cell");
+        let t = cell.split as usize;
+        let rest = mask & !(1u64 << t);
+        let left = self.rebuild(rest, memo, graph, base);
+        let keys = graph
+            .connection_keys(rest, t)
+            .expect("a DP cell implies a connection");
+        let node = self.join_node(&left, &base[t].node, Some(keys));
+        debug_assert_eq!(
+            node.est_cost.to_bits(),
+            cell.cost.to_bits(),
+            "rebuilt node cost drifted from DP memo"
+        );
+        node
+    }
+
+    // ---- join enumeration: legacy ----
 
     /// Join edges connecting a covered set to a new base table; returns
     /// every `(outer key, inner key)` pair plus the combined selectivity of
-    /// all connecting edges.
+    /// all connecting edges. (Legacy enumerator path; DPccp uses the
+    /// preprocessed [`JoinGraph`].)
     fn connection(
         &self,
         covered: u64,
@@ -234,160 +992,11 @@ impl<'a> Optimizer<'a> {
         }
     }
 
-    /// Costs the best join method for `outer ⋈ inner` and builds the node.
-    fn join_node(
-        &self,
-        outer: &PlanNode,
-        inner: &PlanNode,
-        keys: Option<(Vec<(ColumnId, ColumnId)>, f64)>,
-        join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
-    ) -> PlanNode {
-        let out_width = outer.width + inner.width;
-        let Some((keys, sel)) = keys else {
-            // Cartesian product: rows multiply; heavily penalized.
-            let rows = (outer.est_rows * inner.est_rows).max(1.0);
-            let cost = outer.est_cost + inner.est_cost + rows * self.knobs.cpu_tuple_cost() * 4.0;
-            return PlanNode {
-                op: PlanOp::CrossJoin,
-                children: vec![outer.clone(), inner.clone()],
-                est_rows: rows,
-                est_cost: cost,
-                width: out_width,
-            };
-        };
-        let (okey, ikey) = keys[0];
-        let out_rows = (outer.est_rows * inner.est_rows * sel).max(1.0);
-        let cpu_op = self.knobs.cpu_tuple_cost() * 0.25;
-
-        // Hash join: build on the smaller input (we put the build side
-        // second, matching PlanOp's convention).
-        let (probe, build) = if outer.est_rows >= inner.est_rows {
-            (outer, inner)
-        } else {
-            (inner, outer)
-        };
-        let build_bytes = build.est_rows * build.width;
-        let spills = build_bytes > self.knobs.work_mem_bytes() as f64;
-        let mut hash_cost = probe.est_cost
-            + build.est_cost
-            + build.est_rows * cpu_op * 2.0
-            + probe.est_rows * cpu_op
-            + out_rows * self.knobs.cpu_tuple_cost() * 0.5;
-        if spills {
-            let spill_pages = (build_bytes + probe.est_rows * probe.width) / PAGE_SIZE as f64;
-            hash_cost += 2.0 * spill_pages * self.knobs.seq_page_cost();
-        }
-
-        // Index nested loop: inner side must be a bare scan of a table with
-        // an index on the inner join key.
-        let nl = self.index_nestloop(outer, inner, &keys, out_rows, out_width);
-
-        // Merge join: sort both inputs (ignoring interesting orders).
-        let sort_cost = |n: &PlanNode| {
-            let r = n.est_rows.max(2.0);
-            r * r.log2() * cpu_op * 2.0
-        };
-        let merge_cost = outer.est_cost
-            + inner.est_cost
-            + sort_cost(outer)
-            + sort_cost(inner)
-            + (outer.est_rows + inner.est_rows) * cpu_op
-            + out_rows * self.knobs.cpu_tuple_cost() * 0.5;
-
-        let hash_node = PlanNode {
-            op: PlanOp::HashJoin {
-                keys: keys.clone(),
-                spills,
-            },
-            children: vec![probe.clone(), build.clone()],
-            est_rows: out_rows,
-            est_cost: hash_cost,
-            width: out_width,
-        };
-        let merge_node = PlanNode {
-            op: PlanOp::MergeJoin { keys: keys.clone() },
-            children: vec![outer.clone(), inner.clone()],
-            est_rows: out_rows,
-            est_cost: merge_cost,
-            width: out_width,
-        };
-
-        let mut best = if hash_cost <= merge_cost {
-            hash_node
-        } else {
-            merge_node
-        };
-        if let Some(nl_node) = nl {
-            if nl_node.est_cost < best.est_cost {
-                best = nl_node;
-            }
-        }
-        let incremental = (best.est_cost - outer.est_cost - inner.est_cost).max(0.0);
-        for (l, r) in &keys {
-            join_costs.push((*l, *r, incremental));
-        }
-        let _ = (okey, ikey);
-        best
-    }
-
-    fn index_nestloop(
-        &self,
-        outer: &PlanNode,
-        inner: &PlanNode,
-        keys: &[(ColumnId, ColumnId)],
-        out_rows: f64,
-        out_width: f64,
-    ) -> Option<PlanNode> {
-        let (_okey, ikey) = keys[0];
-        // Inner must be a base-table scan (not an intermediate join).
-        let inner_table = match inner.op {
-            PlanOp::SeqScan { table, .. } | PlanOp::IndexScan { table, .. } => table,
-            _ => return None,
-        };
-        if self.catalog.column(ikey).table != inner_table {
-            return None;
-        }
-        let index = self.indexes.with_leading_column(ikey)?;
-        let t = self.catalog.table(inner_table);
-        let inner_rows = t.rows as f64;
-        let matches_per_probe = (inner_rows / self.catalog.column(ikey).ndv.max(1.0)).max(1.0);
-        let descent = (inner_rows.max(2.0)).log2() * self.knobs.cpu_index_tuple_cost() * 10.0;
-        let per_probe = descent
-            + matches_per_probe
-                * (self.knobs.cpu_index_tuple_cost()
-                    + self.effective_random_page_cost()
-                    + self.knobs.cpu_tuple_cost());
-        let cost = outer.est_cost + outer.est_rows * per_probe;
-        let lookup_sel = (matches_per_probe / inner_rows).clamp(1e-12, 1.0);
-        let inner_leaf = PlanNode::leaf(
-            PlanOp::IndexScan {
-                table: inner_table,
-                index: index.id,
-                selectivity: lookup_sel,
-            },
-            matches_per_probe,
-            per_probe,
-            inner.width,
-        );
-        Some(PlanNode {
-            op: PlanOp::NestLoopJoin {
-                keys: keys.to_vec(),
-                inner_index: Some(index.id),
-            },
-            children: vec![outer.clone(), inner_leaf],
-            est_rows: out_rows,
-            est_cost: cost,
-            width: out_width,
-        })
-    }
-
-    /// Exact DP over connected subsets (left-deep trees).
-    fn dp_join(
-        &self,
-        base: &[Candidate],
-        preds: &QueryPredicates,
-        join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
-    ) -> Candidate {
+    /// The pre-DPccp exact DP: all-subsets enumeration with a `HashMap` of
+    /// cloned plan trees. Kept verbatim (minus the join-cost side channel)
+    /// as the baseline for `planner_bench` and the equivalence property
+    /// suite.
+    fn naive_dp_join(&self, base: &[Candidate], preds: &QueryPredicates) -> Candidate {
         let n = base.len();
         if n == 1 {
             return base[0].clone();
@@ -410,17 +1019,10 @@ impl<'a> Optimizer<'a> {
                     let Some(left) = best.get(&rest) else {
                         continue;
                     };
-                    // Cross joins are never enumerated here: a subset with no
-                    // connecting edge gets no DP entry, so a connected join
-                    // graph can only produce edge-linked plans. Disconnected
-                    // graphs are handled after the DP by cross-joining the
-                    // per-component winners.
                     let Some(keys) = self.connection(rest, next, preds) else {
                         continue;
                     };
-                    let mut scratch = Vec::new();
-                    let node =
-                        self.join_node(&left.node, &base_entry.node, Some(keys), &mut scratch);
+                    let node = self.join_node(&left.node, &base_entry.node, Some(keys));
                     if best_for_mask
                         .as_ref()
                         .map(|b| node.est_cost < b.node.est_cost)
@@ -435,7 +1037,7 @@ impl<'a> Optimizer<'a> {
             }
         }
         let full = (1u64 << n) - 1;
-        let winner = match best.remove(&full) {
+        match best.remove(&full) {
             Some(w) => w,
             None => {
                 // The join graph is disconnected: every connected component
@@ -446,8 +1048,7 @@ impl<'a> Optimizer<'a> {
                 let mut acc = best.remove(&first).expect("component winner exists");
                 for comp in comps {
                     let right = best.remove(&comp).expect("component winner exists");
-                    let mut scratch = Vec::new();
-                    let node = self.join_node(&acc.node, &right.node, None, &mut scratch);
+                    let node = self.join_node(&acc.node, &right.node, None);
                     acc = Candidate {
                         node,
                         tables: acc.tables | comp,
@@ -455,9 +1056,7 @@ impl<'a> Optimizer<'a> {
                 }
                 acc
             }
-        };
-        self.collect_join_costs(&winner.node, preds, join_costs);
-        winner
+        }
     }
 
     /// Connected components of the join graph, as bitmasks over
@@ -504,12 +1103,7 @@ impl<'a> Optimizer<'a> {
 
     /// Greedy fallback for very wide joins: repeatedly merge the pair with
     /// the smallest result cost.
-    fn greedy_join(
-        &self,
-        mut cands: Vec<Candidate>,
-        preds: &QueryPredicates,
-        join_costs: &mut Vec<(ColumnId, ColumnId, f64)>,
-    ) -> Candidate {
+    fn greedy_join(&self, mut cands: Vec<Candidate>, preds: &QueryPredicates) -> Candidate {
         while cands.len() > 1 {
             // A connected pair always beats a cross join, whatever the
             // costs; cross joins only happen once the remaining candidates
@@ -525,8 +1119,7 @@ impl<'a> Optimizer<'a> {
                     if !connected && best.as_ref().is_some_and(|(_, _, _, c)| *c) {
                         continue;
                     }
-                    let mut scratch = Vec::new();
-                    let node = self.join_node(&cands[i].node, &cands[j].node, keys, &mut scratch);
+                    let node = self.join_node(&cands[i].node, &cands[j].node, keys);
                     let better = match &best {
                         None => true,
                         Some((_, _, b, best_conn)) => {
@@ -546,9 +1139,7 @@ impl<'a> Optimizer<'a> {
             cands.swap_remove(lo);
             cands.push(Candidate { node, tables });
         }
-        let winner = cands.pop().expect("one candidate remains");
-        self.collect_join_costs(&winner.node, preds, join_costs);
-        winner
+        cands.pop().expect("one candidate remains")
     }
 
     fn connection_between(
@@ -933,5 +1524,57 @@ mod tests {
         let p1 = plan_sql(&c, &knobs, &idx, sql);
         let p2 = plan_sql(&c, &knobs, &idx, sql);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn dpccp_matches_naive_dp_on_small_queries() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let sql = "select * from lineitem l, orders o, customer cu \
+                   where l.l_orderkey = o.o_orderkey and o.o_custkey = cu.c_custkey";
+        let q = parse_query(sql).unwrap();
+        let opt = Optimizer::new(&c, &knobs, &idx, 42);
+        let preds = extract(&q, &c);
+        let a = opt.plan_extracted_with(&preds, JoinEnumerator::Dpccp);
+        let b = opt.plan_extracted_with(&preds, JoinEnumerator::NaiveDp);
+        assert_eq!(a, b, "DPccp and naive DP must produce identical plans");
+    }
+
+    #[test]
+    fn dpccp_matches_naive_dp_with_cross_join_components() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        // lineitem–orders connected; customer is an island → cross join.
+        let sql = "select * from lineitem, orders, customer where l_orderkey = o_orderkey";
+        let q = parse_query(sql).unwrap();
+        let opt = Optimizer::new(&c, &knobs, &idx, 42);
+        let preds = extract(&q, &c);
+        let a = opt.plan_extracted_with(&preds, JoinEnumerator::Dpccp);
+        let b = opt.plan_extracted_with(&preds, JoinEnumerator::NaiveDp);
+        assert_eq!(a, b);
+        let mut crosses = 0;
+        a.root.visit(&mut |n| {
+            if matches!(n.op, PlanOp::CrossJoin) {
+                crosses += 1;
+            }
+        });
+        assert_eq!(crosses, 1, "{}", a.explain());
+    }
+
+    #[test]
+    fn dp_limit_override_forces_greedy() {
+        let c = catalog();
+        let knobs = KnobSet::defaults(Dbms::Postgres);
+        let idx = IndexCatalog::new();
+        let sql = "select * from lineitem l, orders o, customer cu \
+                   where l.l_orderkey = o.o_orderkey and o.o_custkey = cu.c_custkey";
+        let q = parse_query(sql).unwrap();
+        let preds = extract(&q, &c);
+        let opt = Optimizer::new(&c, &knobs, &idx, 42).with_dp_limit(2);
+        let auto = opt.plan_extracted_with(&preds, JoinEnumerator::Auto);
+        let greedy = opt.plan_extracted_with(&preds, JoinEnumerator::Greedy);
+        assert_eq!(auto, greedy, "3 relations > limit 2 must plan greedily");
     }
 }

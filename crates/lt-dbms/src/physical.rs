@@ -113,6 +113,26 @@ impl IndexCatalog {
         self.fingerprint
     }
 
+    /// Canonical fingerprint of the indexes on the given tables only.
+    ///
+    /// Plans depend solely on the indexes over the query's own tables, so
+    /// keying the plan cache on this (rather than the whole-catalog
+    /// fingerprint) stops lazy index creation on *unrelated* tables between
+    /// tuning rounds from invalidating every cached plan. Unlike the global
+    /// fingerprint this one hashes the index *ids* too: cached plans embed
+    /// [`IndexId`]s, so a key match must guarantee that every id resolves to
+    /// the same physical index. Ids are stable once assigned, so growing the
+    /// catalog elsewhere still leaves this fingerprint untouched.
+    pub fn fingerprint_for_tables(&self, tables: &[TableId]) -> Fingerprint {
+        let mut h = FxHasher::new();
+        for idx in self.indexes.values().filter(|i| tables.contains(&i.table)) {
+            idx.id.hash(&mut h);
+            idx.table.hash(&mut h);
+            idx.columns.hash(&mut h);
+        }
+        Fingerprint(h.finish())
+    }
+
     fn touch(&mut self) {
         self.epoch += 1;
         let mut h = FxHasher::new();
@@ -193,6 +213,9 @@ mod tests {
         c.add_table("orders", 1_500_000)
             .primary_key("o_orderkey", 8)
             .foreign_key("o_custkey", 8, 100_000.0)
+            .finish();
+        c.add_table("lineitem", 6_000_000)
+            .primary_key("l_orderkey", 8)
             .finish();
         c
     }
@@ -276,6 +299,53 @@ mod tests {
         let mut other = IndexCatalog::new();
         other.add(t, vec![k], Some("different_name".into()));
         assert_eq!(other.fingerprint(), idx.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_for_tables_is_id_sensitive() {
+        // Plans embed IndexIds, so the per-query fingerprint must distinguish
+        // two catalogs whose content matches but whose ids were assigned
+        // differently (e.g. one of them removed and re-created an index).
+        let c = catalog();
+        let t = c.table_by_name("orders").unwrap();
+        let k = c.resolve_column(None, "o_orderkey").unwrap();
+        let mut a = IndexCatalog::new();
+        a.add(t, vec![k], None); // id 0
+        let mut b = IndexCatalog::new();
+        let first = b.add(t, vec![k], None);
+        b.remove(first);
+        b.add(t, vec![k], None); // same content, id 1
+        assert_ne!(
+            a.fingerprint_for_tables(&[t]),
+            b.fingerprint_for_tables(&[t])
+        );
+    }
+
+    #[test]
+    fn fingerprint_for_tables_ignores_unrelated_indexes() {
+        let c = catalog();
+        let orders = c.table_by_name("orders").unwrap();
+        let lineitem = c.table_by_name("lineitem").unwrap();
+        let ok = c.resolve_column(None, "o_orderkey").unwrap();
+        let lk = c.resolve_column(None, "l_orderkey").unwrap();
+        let mut idx = IndexCatalog::new();
+        idx.add(orders, vec![ok], None);
+        let before = idx.fingerprint_for_tables(&[orders]);
+        // An index on a table the query never touches must not move the
+        // per-query fingerprint (the whole point: no spurious plan-cache
+        // invalidation from lazy index creation elsewhere).
+        idx.add(lineitem, vec![lk], None);
+        assert_eq!(idx.fingerprint_for_tables(&[orders]), before);
+        assert_ne!(idx.fingerprint(), before);
+        // But an index on a referenced table does.
+        let fk = c.resolve_column(None, "o_custkey").unwrap();
+        idx.add(orders, vec![fk], None);
+        assert_ne!(idx.fingerprint_for_tables(&[orders]), before);
+        // Empty table list ⇒ stable empty fingerprint.
+        assert_eq!(
+            idx.fingerprint_for_tables(&[]),
+            IndexCatalog::new().fingerprint_for_tables(&[])
+        );
     }
 
     #[test]

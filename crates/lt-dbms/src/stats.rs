@@ -12,9 +12,11 @@
 //! make benchmarks like JOB hard for real optimizers.
 
 use crate::catalog::Catalog;
-use lt_common::{ColumnId, TableId};
+use lt_common::{ColumnId, FxHasher, TableId};
 use lt_sql::ast::{BinOp, Expr, Query, TableRef};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::Hasher;
 
 /// Kind of a single-table filter predicate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -398,11 +400,33 @@ fn kind_tag(kind: FilterKind) -> u32 {
     }
 }
 
+/// Fingerprint of a filter-term conjunction: every field that enters the
+/// selectivity computation (column, predicate shape, IN-list arity), in
+/// term order. Used as the memo key for per-(table, predicate-set)
+/// selectivity lookups.
+fn terms_key(terms: &[FilterTerm]) -> u64 {
+    let mut h = FxHasher::new();
+    for t in terms {
+        h.write_u32(t.column.0);
+        h.write_u32(kind_tag(t.kind));
+        if let FilterKind::InList(n) = t.kind {
+            h.write_u32(n);
+        }
+    }
+    h.finish()
+}
+
 /// Selectivity estimator over a catalog.
 ///
 /// `estimated_*` methods return what the planner believes; `true_*` methods
 /// apply the misestimation factors and return what "really" happens. Both
 /// are deterministic for a given `seed`.
+///
+/// Table-selectivity lookups are memoized per instance: the join planner
+/// re-derives the same conjunction selectivities for every access path and
+/// the executor for every scan node, and the result is a pure function of
+/// (terms, seed, stats quality). The memo is interior-mutable so the
+/// planner's `&self` methods stay immutable.
 #[derive(Debug, Clone)]
 pub struct Estimator<'a> {
     catalog: &'a Catalog,
@@ -411,6 +435,11 @@ pub struct Estimator<'a> {
     /// maximal histograms. Higher quality moves the planner's estimates
     /// toward the true selectivities (see [`Estimator::with_stats_quality`]).
     stats_quality: f64,
+    /// Memo for [`Estimator::estimated_table_selectivity`], keyed by
+    /// [`terms_key`].
+    est_memo: RefCell<HashMap<u64, f64>>,
+    /// Memo for [`Estimator::true_table_selectivity`].
+    true_memo: RefCell<HashMap<u64, f64>>,
 }
 
 impl<'a> Estimator<'a> {
@@ -420,6 +449,8 @@ impl<'a> Estimator<'a> {
             catalog,
             seed,
             stats_quality: 0.0,
+            est_memo: RefCell::new(HashMap::new()),
+            true_memo: RefCell::new(HashMap::new()),
         }
     }
 
@@ -430,6 +461,8 @@ impl<'a> Estimator<'a> {
     /// shrink estimation error without eliminating it.
     pub fn with_stats_quality(mut self, quality: f64) -> Self {
         self.stats_quality = quality.clamp(0.0, 1.0);
+        // Estimates depend on the quality; any memoized values are stale.
+        self.est_memo.get_mut().clear();
         self
     }
 
@@ -443,7 +476,11 @@ impl<'a> Estimator<'a> {
     /// (independence assumption), improved toward the truth by the
     /// statistics quality.
     pub fn estimated_table_selectivity(&self, terms: &[FilterTerm]) -> f64 {
-        terms
+        let key = terms_key(terms);
+        if let Some(v) = self.est_memo.borrow().get(&key) {
+            return *v;
+        }
+        let sel = terms
             .iter()
             .map(|t| {
                 let base = base_selectivity(t, self.catalog);
@@ -451,16 +488,24 @@ impl<'a> Estimator<'a> {
                 base * mis.powf(self.stats_quality)
             })
             .product::<f64>()
-            .clamp(1e-9, 1.0)
+            .clamp(1e-9, 1.0);
+        self.est_memo.borrow_mut().insert(key, sel);
+        sel
     }
 
     /// "True" selectivity: estimate perturbed per predicate.
     pub fn true_table_selectivity(&self, terms: &[FilterTerm]) -> f64 {
-        terms
+        let key = terms_key(terms);
+        if let Some(v) = self.true_memo.borrow().get(&key) {
+            return *v;
+        }
+        let sel = terms
             .iter()
             .map(|t| (base_selectivity(t, self.catalog) * misestimation(t, self.seed)).min(1.0))
             .product::<f64>()
-            .clamp(1e-9, 1.0)
+            .clamp(1e-9, 1.0);
+        self.true_memo.borrow_mut().insert(key, sel);
+        sel
     }
 
     /// Planner-estimated selectivity of an equality join (System-R style:
