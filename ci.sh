@@ -15,6 +15,8 @@
 #   8. planner smoke: planner_bench --smoke must run to completion
 #      (timing numbers are informational; the enumerator property
 #      suite gating correctness already ran under step 4)
+#   9. drift smoke: drift_bench --smoke must pass its own acceptance
+#      bounds (zero false alarms, bounded detection, warm-start budget)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,11 +40,13 @@ rm -rf results/.ci-seq && mkdir -p results/.ci-seq
 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
 LT_BENCH_THREADS=1 ./target/release/table4 > /dev/null
 LT_BENCH_THREADS=1 ./target/release/fig4 > /dev/null
-cp results/fig6.json results/table4.json results/fig4.json results/.ci-seq/
+LT_BENCH_THREADS=1 ./target/release/drift_bench > /dev/null
+cp results/fig6.json results/table4.json results/fig4.json results/BENCH_drift.json results/.ci-seq/
 LT_BENCH_THREADS=4 ./target/release/fig6 > /dev/null
 LT_BENCH_THREADS=4 ./target/release/table4 > /dev/null
 LT_BENCH_THREADS=4 ./target/release/fig4 > /dev/null
-for f in fig6.json table4.json fig4.json; do
+LT_BENCH_THREADS=4 ./target/release/drift_bench > /dev/null
+for f in fig6.json table4.json fig4.json BENCH_drift.json; do
     if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
         echo "DETERMINISM FAILURE: results/$f differs between sequential and parallel runs" >&2
         diff "results/.ci-seq/$f" "results/$f" >&2 || true
@@ -61,6 +65,9 @@ step "serve smoke gate (lt-serve-load --smoke)"
 
 step "planner smoke (planner_bench --smoke, timing informational)"
 ./target/release/planner_bench --smoke
+
+step "drift smoke (drift_bench --smoke, acceptance bounds gate)"
+./target/release/drift_bench --smoke
 
 echo
 echo "ci.sh: all gates passed"

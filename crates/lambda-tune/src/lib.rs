@@ -31,7 +31,7 @@ pub mod snippets;
 
 pub use compressor::{CompressedWorkload, Compressor};
 pub use evaluator::{ConfigMeta, Evaluator};
-pub use pipeline::{LambdaTune, LambdaTuneOptions, TuneResult};
+pub use pipeline::{LambdaTune, LambdaTuneOptions, TuneResult, WarmStart};
 pub use progress::{CancelToken, ProgressEvent, TuneObserver};
 pub use prompt::PromptBuilder;
 pub use rag::{DocumentStore, Passage};

@@ -99,6 +99,22 @@ impl Default for LambdaTuneOptions {
     }
 }
 
+/// Warm-start material carried over from a previous tuning run of the same
+/// session (the drift/re-tuning loop). Reusing the previous prompt skips
+/// snippet extraction, compression, and retrieval; seed scripts are parsed
+/// into candidate configurations *before* any LLM sampling, so the previous
+/// winner competes as candidate 0 under the selector's timeouts.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Prompt to reuse verbatim instead of rebuilding one. `None` rebuilds
+    /// the prompt from the (possibly changed) workload as usual.
+    pub prompt: Option<String>,
+    /// Configuration scripts injected as the first candidates. Counted
+    /// against [`LambdaTuneOptions::num_configs`]: only the remainder is
+    /// sampled from the LLM.
+    pub seed_scripts: Vec<String>,
+}
+
 /// Outcome of one tuning run.
 #[derive(Debug)]
 pub struct TuneResult {
@@ -120,6 +136,9 @@ pub struct TuneResult {
     pub rounds: usize,
     /// Total virtual tuning time.
     pub tuning_time: Secs,
+    /// The exact prompt sent to the LLM — re-tuning feeds it back through
+    /// [`WarmStart::prompt`] to skip prompt construction entirely.
+    pub prompt: String,
     /// True when an observer cancelled the run; the result then reflects
     /// the best configuration found before the cancellation point.
     pub cancelled: bool,
@@ -136,6 +155,8 @@ pub struct LambdaTune {
     /// Optional progress/cancellation hook (the serving layer's per-session
     /// sink); see [`crate::progress`].
     pub observer: Option<Arc<dyn TuneObserver>>,
+    /// Optional warm-start material from a previous run; see [`WarmStart`].
+    pub warm_start: Option<WarmStart>,
 }
 
 impl std::fmt::Debug for LambdaTune {
@@ -147,6 +168,7 @@ impl std::fmt::Debug for LambdaTune {
                 "observer",
                 &self.observer.as_ref().map(|_| "<dyn TuneObserver>"),
             )
+            .field("warm_start", &self.warm_start)
             .finish()
     }
 }
@@ -158,6 +180,7 @@ impl LambdaTune {
             options,
             documents: None,
             observer: None,
+            warm_start: None,
         }
     }
 
@@ -174,6 +197,12 @@ impl LambdaTune {
     /// cancellation between units of work.
     pub fn with_observer(mut self, observer: Arc<dyn TuneObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Seeds this run with material from a previous one; see [`WarmStart`].
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = Some(warm);
         self
     }
 
@@ -196,7 +225,15 @@ impl LambdaTune {
         let mut prompt_span = obs::span_vt("tune.prompt_build", db.now());
         let builder = PromptBuilder::new(db.dbms(), db.hardware()).params_only(opts.params_only);
         let obfuscator = opts.obfuscate.then(|| Obfuscator::new(db.catalog()));
-        let (prompt, workload_tokens) = if opts.use_compressor {
+        let reused_prompt = self.warm_start.as_ref().and_then(|w| w.prompt.clone());
+        let (prompt, workload_tokens) = if let Some(prompt) = reused_prompt {
+            // Warm start: the previous run's prompt verbatim — no snippet
+            // extraction, compression, or retrieval is repeated, and no
+            // RAG block is re-appended (the reused prompt already carries
+            // whatever augmentation its original run had).
+            let tokens = lt_llm::count_tokens(&prompt);
+            (prompt, tokens)
+        } else if opts.use_compressor {
             let snippets = extract_snippets(db, workload);
             let budget = opts
                 .token_budget
@@ -218,9 +255,11 @@ impl LambdaTune {
         };
 
         // Retrieval augmentation: append the most relevant documentation
-        // passages to the prompt (bounded to 200 tokens).
+        // passages to the prompt (bounded to 200 tokens). A reused prompt
+        // already contains its run's augmentation, so skip it then.
+        let warm_started = self.warm_start.as_ref().is_some_and(|w| w.prompt.is_some());
         let prompt = match &self.documents {
-            Some(store) => {
+            Some(store) if !warm_started => {
                 let query = format!("{} OLAP tuning {prompt}", db.dbms().name());
                 let block = store.render_block(&query, 4, 200);
                 if block.is_empty() {
@@ -229,7 +268,7 @@ impl LambdaTune {
                     format!("{prompt}\n{block}")
                 }
             }
-            None => prompt,
+            _ => prompt,
         };
         prompt_span.vt_end(db.now());
         drop(prompt_span);
@@ -239,10 +278,39 @@ impl LambdaTune {
             });
         }
 
-        // ---- k LLM samples ----
+        // ---- warm-start seed candidates + k LLM samples ----
+        // Seed scripts occupy the leading candidate slots and cost no LLM
+        // calls; the remaining slots are sampled as usual. The sample seeds
+        // stay indexed by candidate position, so a run without warm start
+        // is bit-identical to the pre-warm-start pipeline.
+        let restrict_scope = |config: &mut Configuration| {
+            if opts.params_only {
+                config
+                    .commands
+                    .retain(|c| !matches!(c, ConfigCommand::CreateIndex(_)));
+            }
+            if opts.indexes_only {
+                config
+                    .commands
+                    .retain(|c| matches!(c, ConfigCommand::CreateIndex(_)));
+            }
+        };
         let mut sampling_cancelled = false;
         let mut configs = Vec::with_capacity(opts.num_configs);
-        for i in 0..opts.num_configs {
+        if let Some(warm) = &self.warm_start {
+            for script in warm.seed_scripts.iter().take(opts.num_configs) {
+                let mut config = Configuration::parse(script, db.dbms(), db.catalog());
+                restrict_scope(&mut config);
+                configs.push(config);
+                if let Some(o) = observer {
+                    o.on_event(ProgressEvent::ConfigSampled {
+                        index: configs.len() - 1,
+                        total: opts.num_configs,
+                    });
+                }
+            }
+        }
+        for i in configs.len()..opts.num_configs {
             if cancelled() {
                 sampling_cancelled = true;
                 break;
@@ -258,16 +326,7 @@ impl LambdaTune {
                 None => response,
             };
             let mut config = Configuration::parse(&script, db.dbms(), db.catalog());
-            if opts.params_only {
-                config
-                    .commands
-                    .retain(|c| !matches!(c, ConfigCommand::CreateIndex(_)));
-            }
-            if opts.indexes_only {
-                config
-                    .commands
-                    .retain(|c| matches!(c, ConfigCommand::CreateIndex(_)));
-            }
+            restrict_scope(&mut config);
             configs.push(config);
             if let Some(o) = observer {
                 o.on_event(ProgressEvent::ConfigSampled {
@@ -299,6 +358,7 @@ impl LambdaTune {
             workload_tokens,
             rounds: selection.rounds,
             tuning_time: db.now() - start,
+            prompt,
             cancelled: sampling_cancelled || selection.cancelled,
         })
     }
@@ -623,6 +683,78 @@ mod tests {
         assert_eq!(plain.rounds, observed.rounds);
         assert!(!observed.cancelled);
         assert_eq!(plain.trajectory, observed.trajectory);
+    }
+
+    #[test]
+    fn warm_start_seeds_candidate_zero_and_saves_llm_calls() {
+        let (mut db, w, llm) = setup();
+        let first = LambdaTune::default().tune(&mut db, &w, &llm).unwrap();
+        let best_script = first
+            .best_config
+            .as_ref()
+            .unwrap()
+            .to_script(Dbms::Postgres, &w.catalog);
+
+        let (mut db2, _, llm2) = setup();
+        let options = LambdaTuneOptions {
+            num_configs: 3,
+            ..Default::default()
+        };
+        let warm = WarmStart {
+            prompt: Some(first.prompt.clone()),
+            seed_scripts: vec![best_script.clone()],
+        };
+        let second = LambdaTune::new(options)
+            .with_warm_start(warm)
+            .tune(&mut db2, &w, &llm2)
+            .unwrap();
+        // One slot seeded, two sampled; the reused prompt is verbatim.
+        assert_eq!(second.configs.len(), 3);
+        assert_eq!(second.llm_usage.calls, 2);
+        assert_eq!(second.prompt, first.prompt);
+        assert_eq!(
+            second.configs[0].to_script(Dbms::Postgres, &w.catalog),
+            best_script
+        );
+        assert!(second.best_index.is_some());
+    }
+
+    #[test]
+    fn absent_warm_start_changes_nothing() {
+        let (mut db1, w, llm1) = setup();
+        let plain = LambdaTune::default().tune(&mut db1, &w, &llm1).unwrap();
+        let (mut db2, _, llm2) = setup();
+        let warm = LambdaTune::default()
+            .with_warm_start(WarmStart::default())
+            .tune(&mut db2, &w, &llm2)
+            .unwrap();
+        assert_eq!(plain.best_index, warm.best_index);
+        assert_eq!(plain.best_time, warm.best_time);
+        assert_eq!(plain.trajectory, warm.trajectory);
+        assert_eq!(plain.llm_usage.calls, warm.llm_usage.calls);
+    }
+
+    #[test]
+    fn warm_start_seed_scripts_respect_scope_filters() {
+        let (mut db, w, llm) = setup();
+        let options = LambdaTuneOptions {
+            params_only: true,
+            num_configs: 1,
+            ..Default::default()
+        };
+        let warm = WarmStart {
+            prompt: None,
+            seed_scripts: vec![
+                "SET work_mem = '64MB';\nCREATE INDEX ON lineitem (l_orderkey);".into(),
+            ],
+        };
+        let result = LambdaTune::new(options)
+            .with_warm_start(warm)
+            .tune(&mut db, &w, &llm)
+            .unwrap();
+        assert_eq!(result.llm_usage.calls, 0, "fully seeded: no sampling");
+        assert!(result.configs[0].index_specs().is_empty());
+        assert!(result.configs[0].knob_changes().next().is_some());
     }
 
     #[test]

@@ -317,6 +317,19 @@ impl SimDb {
         self.plan_cache.stats()
     }
 
+    /// Plan/extract-cache counters accumulated since the last
+    /// [`SimDb::take_cache_window`] call (cumulative counters untouched).
+    pub fn cache_window_stats(&self) -> CacheStats {
+        self.plan_cache.window_stats()
+    }
+
+    /// Returns the windowed cache counters and starts a fresh window. The
+    /// drift monitor calls this per observation interval: a *recent* hit
+    /// rate can collapse even while the cumulative rate stays high.
+    pub fn take_cache_window(&self) -> CacheStats {
+        self.plan_cache.take_window()
+    }
+
     fn predicates_cached(&self, tag: u64, query: &Query) -> Arc<QueryPredicates> {
         self.plan_cache
             .predicates_or_insert(tag, || extract(query, &self.catalog))

@@ -352,10 +352,15 @@ impl Walker<'_, '_> {
                 let speedup = 1.0 + 0.7 * usable;
                 (rows, t / speedup + usable * T_WORKER_STARTUP)
             }
-            PlanOp::Limit { rows } => {
-                let (in_rows, t) = self.node_time(&node.children[0], depth + 1);
-                ((in_rows).min(*rows as f64), t)
-            }
+            PlanOp::Limit { rows } => match node.children.first() {
+                Some(child) => {
+                    let (in_rows, t) = self.node_time(child, depth + 1);
+                    ((in_rows).min(*rows as f64), t)
+                }
+                // Table-less queries plan as a bare Limit leaf (constant
+                // result); charge one tuple's worth of work.
+                None => (node.est_rows.min(*rows as f64), T_TUPLE_SCAN),
+            },
         }
     }
 

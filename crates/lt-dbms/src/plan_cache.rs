@@ -76,6 +76,11 @@ pub struct PlanCache {
     plan_misses: AtomicU64,
     extract_hits: AtomicU64,
     extract_misses: AtomicU64,
+    /// Windowed counters: incremented alongside the cumulative ones,
+    /// zeroed by [`PlanCache::take_window`]. Drift detection needs a
+    /// *recent* hit rate — a collapse is invisible in cumulative counters
+    /// once they are large.
+    window: [AtomicU64; 4],
 }
 
 impl Default for PlanCache {
@@ -92,9 +97,16 @@ impl Default for PlanCache {
             plan_misses: AtomicU64::new(0),
             extract_hits: AtomicU64::new(0),
             extract_misses: AtomicU64::new(0),
+            window: Default::default(),
         }
     }
 }
+
+/// Indices into [`PlanCache::window`].
+const W_PLAN_HIT: usize = 0;
+const W_PLAN_MISS: usize = 1;
+const W_EXTRACT_HIT: usize = 2;
+const W_EXTRACT_MISS: usize = 3;
 
 impl PlanCache {
     /// Empty cache with zeroed counters.
@@ -106,11 +118,13 @@ impl PlanCache {
     pub fn plan_or_insert(&self, key: PlanKey, plan_fn: impl FnOnce() -> Plan) -> Arc<Plan> {
         if !self.enabled {
             self.plan_misses.fetch_add(1, Ordering::Relaxed);
+            self.window[W_PLAN_MISS].fetch_add(1, Ordering::Relaxed);
             obs::counter("dbms.plan_cache.miss", 1);
             return Arc::new(plan_fn());
         }
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.window[W_PLAN_HIT].fetch_add(1, Ordering::Relaxed);
             obs::counter("dbms.plan_cache.hit", 1);
             return Arc::clone(plan);
         }
@@ -118,6 +132,7 @@ impl PlanCache {
         // expensive than a map probe, and a poisoned lock on a planner panic
         // would otherwise wedge every later query.
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.window[W_PLAN_MISS].fetch_add(1, Ordering::Relaxed);
         obs::counter("dbms.plan_cache.miss", 1);
         let plan = Arc::new(plan_fn());
         self.plans
@@ -139,15 +154,18 @@ impl PlanCache {
     ) -> Arc<QueryPredicates> {
         if !self.enabled {
             self.extract_misses.fetch_add(1, Ordering::Relaxed);
+            self.window[W_EXTRACT_MISS].fetch_add(1, Ordering::Relaxed);
             obs::counter("dbms.extract_cache.miss", 1);
             return Arc::new(extract_fn());
         }
         if let Some(preds) = self.predicates.lock().unwrap().get(&query) {
             self.extract_hits.fetch_add(1, Ordering::Relaxed);
+            self.window[W_EXTRACT_HIT].fetch_add(1, Ordering::Relaxed);
             obs::counter("dbms.extract_cache.hit", 1);
             return Arc::clone(preds);
         }
         self.extract_misses.fetch_add(1, Ordering::Relaxed);
+        self.window[W_EXTRACT_MISS].fetch_add(1, Ordering::Relaxed);
         obs::counter("dbms.extract_cache.miss", 1);
         let preds = Arc::new(extract_fn());
         self.predicates
@@ -165,6 +183,28 @@ impl PlanCache {
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             extract_hits: self.extract_hits.load(Ordering::Relaxed),
             extract_misses: self.extract_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the windowed counters accumulated since the last
+    /// [`PlanCache::take_window`] (or since construction).
+    pub fn window_stats(&self) -> CacheStats {
+        CacheStats {
+            plan_hits: self.window[W_PLAN_HIT].load(Ordering::Relaxed),
+            plan_misses: self.window[W_PLAN_MISS].load(Ordering::Relaxed),
+            extract_hits: self.window[W_EXTRACT_HIT].load(Ordering::Relaxed),
+            extract_misses: self.window[W_EXTRACT_MISS].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the windowed counters and resets them to zero, starting the
+    /// next window. The cumulative counters are unaffected.
+    pub fn take_window(&self) -> CacheStats {
+        CacheStats {
+            plan_hits: self.window[W_PLAN_HIT].swap(0, Ordering::Relaxed),
+            plan_misses: self.window[W_PLAN_MISS].swap(0, Ordering::Relaxed),
+            extract_hits: self.window[W_EXTRACT_HIT].swap(0, Ordering::Relaxed),
+            extract_misses: self.window[W_EXTRACT_MISS].swap(0, Ordering::Relaxed),
         }
     }
 
@@ -238,6 +278,25 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.extract_hits, s.extract_misses), (1, 1));
+    }
+
+    #[test]
+    fn take_window_resets_window_but_not_cumulative() {
+        let cache = PlanCache::new();
+        cache.plan_or_insert(key(1, 2, 3), || leaf(1.0));
+        cache.plan_or_insert(key(1, 2, 3), || leaf(1.0));
+        cache.predicates_or_insert(7, QueryPredicates::default);
+        let w = cache.take_window();
+        assert_eq!((w.plan_hits, w.plan_misses), (1, 1));
+        assert_eq!((w.extract_hits, w.extract_misses), (0, 1));
+        // The window restarts empty; cumulative counters keep the history.
+        assert_eq!(cache.window_stats(), CacheStats::default());
+        assert_eq!(cache.stats().plan_hits, 1);
+        assert_eq!(cache.stats().plan_misses, 1);
+        // A hit in the next window shows up in both views again.
+        cache.plan_or_insert(key(1, 2, 3), || panic!("must not replan"));
+        assert_eq!(cache.window_stats().plan_hits, 1);
+        assert_eq!(cache.stats().plan_hits, 2);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Shared experiment harness: plays a [`PhasedStream`] through per-source
+//! simulated databases and a [`DriftMonitor`], and runs the stale vs
+//! warm-start vs full-re-tune quality comparison. Used by both
+//! `drift_bench` and the seeded property suite, so the committed numbers
+//! and the CI assertions exercise the identical code path.
+
+use crate::detect::{DriftConfig, DriftEvent, DriftMonitor};
+use crate::profile::QueryObservation;
+use crate::retune::{retune, RetuneOptions, TuneMemory};
+use lambda_tune::{LambdaTune, LambdaTuneOptions};
+use lt_common::{derive_seed, Result, Secs};
+use lt_dbms::db::query_tag;
+use lt_dbms::{Configuration, Dbms, Hardware, SimDb};
+use lt_llm::{LlmClient, SimulatedLlm};
+use lt_workloads::stream::{predicate_templates, Phase, PhasedStream, PhasedStreamSpec};
+use lt_workloads::{Benchmark, ShiftClass, Workload};
+
+/// Outcome of playing one phased stream through the monitor.
+#[derive(Debug, Clone)]
+pub struct StreamRunReport {
+    /// The spec that was played.
+    pub spec: PhasedStreamSpec,
+    /// Every alarm, in stream order.
+    pub events: Vec<DriftEvent>,
+    /// Alarms at or before the shift point (for a stationary stream:
+    /// every alarm). These are false positives by construction.
+    pub false_alarms: usize,
+    /// Queries from the shift point to the first post-shift alarm, when
+    /// one fired (`at_query - shift_at`).
+    pub detection_latency: Option<u64>,
+}
+
+/// Plays `spec` through fresh per-source databases and a self-calibrating
+/// [`DriftMonitor`] with `config`; see [`StreamRunReport`].
+pub fn run_stream(spec: PhasedStreamSpec, config: &DriftConfig) -> StreamRunReport {
+    let mut monitor = DriftMonitor::new(config.clone());
+    // One simulated database per source benchmark, created lazily. The
+    // seed is derived per source so a scale jump lands on a database with
+    // its own noise stream, deterministically.
+    let mut dbs: Vec<(Benchmark, SimDb)> = Vec::new();
+    let mut events = Vec::new();
+    for sq in PhasedStream::new(spec) {
+        let db = match dbs.iter().position(|(b, _)| *b == sq.source) {
+            Some(i) => &mut dbs[i].1,
+            None => {
+                let w = sq.source.load();
+                let seed = derive_seed(spec.seed, dbs.len() as u64);
+                dbs.push((
+                    sq.source,
+                    SimDb::new(Dbms::Postgres, w.catalog, Hardware::p3_2xlarge(), seed),
+                ));
+                &mut dbs.last_mut().expect("just pushed").1
+            }
+        };
+        let outcome = db.execute(&sq.parsed, Secs::INFINITY);
+        let preds = db.predicates(&sq.parsed);
+        // The windowed cache counters, drained per query, say whether
+        // *this* plan came from the cache.
+        let window = db.take_cache_window();
+        let hit = window.plan_hits + window.plan_misses > 0 && window.plan_misses == 0;
+        let observation = QueryObservation::new(
+            db.catalog(),
+            &preds,
+            query_tag(&sq.parsed),
+            outcome.time,
+            Some(hit),
+        );
+        if let Some(event) = monitor.observe(&observation) {
+            events.push(event);
+        }
+    }
+    let shift_at = match spec.shift {
+        ShiftClass::Stationary => spec.len as u64,
+        _ => spec.shift_at as u64,
+    };
+    let false_alarms = events.iter().filter(|e| e.at_query <= shift_at).count();
+    let detection_latency = events
+        .iter()
+        .find(|e| e.at_query > shift_at)
+        .map(|e| e.at_query - shift_at);
+    StreamRunReport {
+        spec,
+        events,
+        false_alarms,
+        detection_latency,
+    }
+}
+
+/// Quality/budget comparison of the three post-drift strategies.
+#[derive(Debug, Clone)]
+pub struct RetuneComparison {
+    /// Post-shift workload time under the configuration tuned pre-shift.
+    pub stale_time: f64,
+    /// … under a from-scratch full-budget re-tune.
+    pub full_time: f64,
+    /// … under the warm-start half-budget re-tune.
+    pub warm_time: f64,
+    /// `warm_time / full_time` — ≤ 1.05 meets the ≤ 5 % acceptance bound.
+    pub quality_ratio: f64,
+    /// LLM tokens (prompt + completion) of the full re-tune.
+    pub full_tokens: u64,
+    /// … and of the warm-start re-tune.
+    pub warm_tokens: u64,
+    /// Virtual tuning time of the full re-tune.
+    pub full_tuning_time: f64,
+    /// … and of the warm-start re-tune.
+    pub warm_tuning_time: f64,
+}
+
+fn fresh_db(catalog: &lt_dbms::Catalog, seed: u64) -> SimDb {
+    SimDb::new(
+        Dbms::Postgres,
+        catalog.clone(),
+        Hardware::p3_2xlarge(),
+        seed,
+    )
+}
+
+fn apply(db: &mut SimDb, config: &Configuration) {
+    db.apply_knobs(config);
+    for spec in config.index_specs() {
+        db.create_index(spec);
+    }
+}
+
+fn measure(db: &mut SimDb, workload: &Workload) -> f64 {
+    let mut total = Secs::ZERO;
+    for q in &workload.queries {
+        total += db.execute(&q.parsed, Secs::INFINITY).time;
+    }
+    total.as_f64()
+}
+
+/// The drifted workload of the comparison: the post-shift predicate
+/// templates plus the back half of TPC-H — overlapping enough that the
+/// stale configuration is not hopeless, shifted enough that re-tuning
+/// has something to gain.
+pub fn drifted_workload() -> Result<Workload> {
+    let tpch = Benchmark::TpchSf1.load();
+    let mut queries: Vec<(String, String)> = predicate_templates(Phase::After);
+    for q in tpch.queries.iter().skip(tpch.queries.len() / 2) {
+        queries.push((q.label.clone(), q.sql.clone()));
+    }
+    let pairs: Vec<(&str, String)> = queries
+        .iter()
+        .map(|(l, s)| (l.as_str(), s.clone()))
+        .collect();
+    Workload::from_sql("tpch-drifted", tpch.catalog, &pairs)
+}
+
+/// Runs the three-arm comparison for one seed; see [`RetuneComparison`].
+pub fn compare_retune(seed: u64) -> Result<RetuneComparison> {
+    let original = Benchmark::TpchSf1.load();
+    let drifted = drifted_workload()?;
+    let options = LambdaTuneOptions {
+        seed: derive_seed(seed, 1),
+        ..Default::default()
+    };
+
+    // Pre-shift tune on the original workload → the session's memory.
+    let mut tune_db = fresh_db(&original.catalog, derive_seed(seed, 2));
+    let llm = LlmClient::new(SimulatedLlm::new());
+    let first = LambdaTune::new(options).tune(&mut tune_db, &original, &llm)?;
+    let stale_config = first
+        .best_config
+        .clone()
+        .ok_or_else(|| lt_common::LtError::Tuning("pre-shift tune found no config".into()))?;
+    let memory = TuneMemory {
+        prompt: first.prompt.clone(),
+        best_script: stale_config.to_script(Dbms::Postgres, &original.catalog),
+        options,
+    };
+
+    // Arm 1 — stale: keep running the old configuration.
+    let measure_seed = derive_seed(seed, 3);
+    let mut stale_db = fresh_db(&original.catalog, measure_seed);
+    apply(&mut stale_db, &stale_config);
+    let stale_time = measure(&mut stale_db, &drifted);
+
+    // Arm 2 — full re-tune: from scratch at the full budget.
+    let full_options = LambdaTuneOptions {
+        seed: derive_seed(seed, 4),
+        ..Default::default()
+    };
+    let mut full_db = fresh_db(&original.catalog, derive_seed(seed, 5));
+    let full_llm = LlmClient::new(SimulatedLlm::new());
+    let full = LambdaTune::new(full_options).tune(&mut full_db, &drifted, &full_llm)?;
+    let full_config = full
+        .best_config
+        .clone()
+        .ok_or_else(|| lt_common::LtError::Tuning("full re-tune found no config".into()))?;
+    let mut full_measure_db = fresh_db(&original.catalog, measure_seed);
+    apply(&mut full_measure_db, &full_config);
+    let full_time = measure(&mut full_measure_db, &drifted);
+
+    // Arm 3 — warm start: previous prompt + winner at half the budget.
+    let mut warm_db = fresh_db(&original.catalog, derive_seed(seed, 6));
+    let warm_llm = LlmClient::new(SimulatedLlm::new());
+    let warm = retune(
+        &mut warm_db,
+        &drifted,
+        &warm_llm,
+        &memory,
+        &RetuneOptions {
+            seed: Some(derive_seed(seed, 7)),
+            ..Default::default()
+        },
+        None,
+    )?;
+    let warm_config = warm
+        .best_config
+        .clone()
+        .ok_or_else(|| lt_common::LtError::Tuning("warm re-tune found no config".into()))?;
+    let mut warm_measure_db = fresh_db(&original.catalog, measure_seed);
+    apply(&mut warm_measure_db, &warm_config);
+    let warm_time = measure(&mut warm_measure_db, &drifted);
+
+    Ok(RetuneComparison {
+        stale_time,
+        full_time,
+        warm_time,
+        quality_ratio: warm_time / full_time,
+        full_tokens: full.llm_usage.prompt_tokens + full.llm_usage.completion_tokens,
+        warm_tokens: warm.llm_usage.prompt_tokens + warm.llm_usage.completion_tokens,
+        full_tuning_time: full.tuning_time.as_f64(),
+        warm_tuning_time: warm.tuning_time.as_f64(),
+    })
+}

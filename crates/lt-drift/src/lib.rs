@@ -1,0 +1,27 @@
+//! Online workload-drift detection and warm-start re-tuning.
+//!
+//! λ-Tune (the paper) tunes a system once, for a fixed workload. This
+//! crate closes the loop for a long-running service: each session keeps a
+//! streaming [`Profile`] of what it actually executes, a [`DriftMonitor`]
+//! watches that stream with three deterministic detectors (frequency JSD,
+//! plan-cache hit-rate collapse, Page–Hinkley latency change-point), and
+//! on an alarm the session re-enters the tuning pipeline *warm*: the
+//! previous prompt is reused verbatim and the previous winner competes as
+//! candidate 0 under a reduced budget ([`retune`]).
+//!
+//! The detectors are pure arithmetic over sorted maps — no wall-clock, no
+//! randomized hashing — so identical observation sequences yield
+//! byte-identical [`DriftEvent`]s on any machine or thread count, which
+//! is what lets `drift_bench` results go through the CI determinism gate.
+
+pub mod detect;
+pub mod harness;
+pub mod profile;
+pub mod retune;
+
+pub use detect::{Detector, DriftConfig, DriftEvent, DriftMonitor, DriftScores};
+pub use harness::{
+    compare_retune, drifted_workload, run_stream, RetuneComparison, StreamRunReport,
+};
+pub use profile::{features, Profile, QueryObservation};
+pub use retune::{retune, warm_options, RetuneOptions, TuneMemory};

@@ -1,0 +1,76 @@
+//! Seeded property suite for the drift detectors (ISSUE 5 acceptance
+//! bounds): zero false alarms on long stationary streams at default
+//! thresholds, bounded detection latency for every injected shift class,
+//! and byte-identical replay.
+
+use lt_drift::{run_stream, DriftConfig};
+use lt_workloads::{PhasedStreamSpec, ShiftClass};
+
+const SEEDS: [u64; 3] = [42, 7, 1234];
+
+/// The acceptance bound: every shift class must alarm within this many
+/// queries of the shift point.
+const DETECTION_BOUND: u64 = 500;
+
+#[test]
+fn stationary_10k_stream_has_zero_false_alarms() {
+    for seed in SEEDS {
+        let report = run_stream(
+            PhasedStreamSpec {
+                shift: ShiftClass::Stationary,
+                shift_at: usize::MAX,
+                len: 10_000,
+                seed,
+            },
+            &DriftConfig::default(),
+        );
+        assert!(
+            report.events.is_empty(),
+            "seed {seed}: false alarms {:?}",
+            report.events
+        );
+    }
+}
+
+#[test]
+fn every_shift_class_is_detected_within_the_bound() {
+    for shift in ShiftClass::shifted() {
+        for seed in SEEDS {
+            let report = run_stream(
+                PhasedStreamSpec {
+                    shift,
+                    shift_at: 600,
+                    len: 1_400,
+                    seed,
+                },
+                &DriftConfig::default(),
+            );
+            assert_eq!(
+                report.false_alarms, 0,
+                "{shift:?} seed {seed}: pre-shift alarms {:?}",
+                report.events
+            );
+            let latency = report
+                .detection_latency
+                .unwrap_or_else(|| panic!("{shift:?} seed {seed}: never detected"));
+            assert!(
+                latency <= DETECTION_BOUND,
+                "{shift:?} seed {seed}: detected after {latency} > {DETECTION_BOUND} queries"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_byte_identical_events() {
+    let spec = PhasedStreamSpec {
+        shift: ShiftClass::MixShift,
+        shift_at: 400,
+        len: 900,
+        seed: 42,
+    };
+    let a = run_stream(spec, &DriftConfig::default());
+    let b = run_stream(spec, &DriftConfig::default());
+    assert_eq!(a.events, b.events);
+    assert!(!a.events.is_empty());
+}

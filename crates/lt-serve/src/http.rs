@@ -199,33 +199,62 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
+    let (status, _, body) = request_with(addr, method, path, &[], body)?;
+    Ok((status, body))
+}
+
+/// Status code, response headers (names lower-cased) and body of one
+/// client-side response.
+pub type RawResponse = (u16, Vec<(String, String)>, String);
+
+/// Like [`request`], but sends extra request headers (e.g. `X-Tenant`) and
+/// returns the response headers (names lower-cased) alongside status and
+/// body.
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> io::Result<RawResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     stream.set_write_timeout(Some(Duration::from_secs(60)))?;
     let body = body.unwrap_or("");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
     stream.flush()?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     parse_response(&raw)
 }
 
-/// Splits a raw HTTP response into status code and body.
-fn parse_response(raw: &str) -> io::Result<(u16, String)> {
+/// Splits a raw HTTP response into status code, headers and body.
+fn parse_response(raw: &str) -> io::Result<RawResponse> {
     let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| malformed("no header/body separator in response"))?;
-    let status = head
-        .split_whitespace()
-        .nth(1)
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| malformed("bad status line"))?;
-    Ok((status, body.to_string()))
+    let headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok((status, headers, body.to_string()))
 }
 
 #[cfg(test)]
@@ -283,9 +312,12 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         let body = text.split("\r\n\r\n").nth(1).unwrap();
         assert!(text.contains(&format!("Content-Length: {}", body.len())));
-        let (status, parsed_body) = parse_response(&text).unwrap();
+        let (status, headers, parsed_body) = parse_response(&text).unwrap();
         assert_eq!(status, 200);
         assert_eq!(parsed_body, body);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v == "close"));
     }
 
     #[test]
@@ -296,8 +328,11 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         let head = text.split("\r\n\r\n").next().unwrap();
         assert!(head.contains("\r\nAllow: GET, POST"), "{text}");
-        let (status, _) = parse_response(&text).unwrap();
+        let (status, headers, _) = parse_response(&text).unwrap();
         assert_eq!(status, 405);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "allow" && v == "GET, POST"));
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod session;
 
 pub use pool::{SubmitError, WorkerPool};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use session::{Session, SessionRegistry, SessionState, TuneRequest};
+pub use session::{DriftStatus, ServingState, Session, SessionRegistry, SessionState, TuneRequest};

@@ -250,6 +250,9 @@ pub fn run_in_process(workers: usize, opts: &LoadOptions) -> io::Result<LoadRun>
         // 503s would show up as load-run failures, so size the cap to the
         // client count.
         max_connections: opts.clients.max(64),
+        // All load clients share the default tenant; the per-tenant quota
+        // must not reject what the load run intends to submit.
+        tenant_cap: opts.clients.max(64),
         ..ServerConfig::default()
     })?;
     let run = run_against(server.addr(), workers, opts);

@@ -8,10 +8,11 @@
 //! the shutdown signal; workers drain whatever was already queued and exit,
 //! so a graceful shutdown never abandons an accepted session.
 
-use crate::session::{SessionHandle, SessionState};
+use crate::session::{ServingState, SessionHandle, SessionState, TuneRequest};
 use lambda_tune::LambdaTune;
-use lt_common::{obs, LtError, Secs};
+use lt_common::{derive_seed, obs, LtError, Secs};
 use lt_dbms::{Configuration, SimDb};
+use lt_drift::{retune, DriftMonitor, Profile, RetuneOptions, TuneMemory};
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Workload;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -19,10 +20,20 @@ use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
+/// One unit of worker-pool work.
+#[derive(Debug)]
+enum Job {
+    /// Run a freshly queued session end to end.
+    Tune(SessionHandle),
+    /// Warm-start re-tune a session that a drift alarm moved to
+    /// [`SessionState::Retuning`].
+    Retune(SessionHandle),
+}
+
 /// A fixed-size pool of tuning workers behind a bounded queue.
 #[derive(Debug)]
 pub struct WorkerPool {
-    sender: Mutex<Option<SyncSender<SessionHandle>>>,
+    sender: Mutex<Option<SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -40,7 +51,7 @@ impl WorkerPool {
     pub fn start(workers: usize, queue_depth: usize) -> WorkerPool {
         let workers = workers.max(1);
         let queue_depth = queue_depth.max(1);
-        let (sender, receiver) = sync_channel::<SessionHandle>(queue_depth);
+        let (sender, receiver) = sync_channel::<Job>(queue_depth);
         // std's Receiver is single-consumer; share it behind a mutex so the
         // pool pulls jobs work-stealing style.
         let receiver = std::sync::Arc::new(Mutex::new(receiver));
@@ -58,7 +69,8 @@ impl WorkerPool {
                             guard.recv()
                         };
                         match job {
-                            Ok(session) => run_session(&session),
+                            Ok(Job::Tune(session)) => run_session(&session),
+                            Ok(Job::Retune(session)) => run_retune(&session),
                             Err(_) => break, // all senders dropped: shutdown
                         }
                     })
@@ -73,12 +85,22 @@ impl WorkerPool {
 
     /// Enqueues a session without blocking.
     pub fn submit(&self, session: SessionHandle) -> Result<(), SubmitError> {
+        self.enqueue(Job::Tune(session))
+    }
+
+    /// Enqueues a warm-start re-tune for a session already in
+    /// [`SessionState::Retuning`], without blocking.
+    pub fn submit_retune(&self, session: SessionHandle) -> Result<(), SubmitError> {
+        self.enqueue(Job::Retune(session))
+    }
+
+    fn enqueue(&self, job: Job) -> Result<(), SubmitError> {
         let guard = match self.sender.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
         let sender = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
-        match sender.try_send(session) {
+        match sender.try_send(job) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
@@ -223,15 +245,173 @@ fn tune_session(session: &SessionHandle) -> lt_common::Result<bool> {
     let llm = LlmClient::new(SimulatedLlm::new());
     let result = tuner.tune(&mut db, &workload, &llm)?;
 
-    let mut s = session.lock();
-    s.best_script = result
+    let best_script = result
         .best_config
         .as_ref()
         .map(|c| c.to_script(request.dbms, db.catalog()));
+
+    // A completed session keeps serving: a fresh database with the winner
+    // applied (a config change is a restart — cold plan cache), a drift
+    // monitor referenced on the tuned workload, and the prompt + winning
+    // script as warm-start memory for re-tunes. The serving seed is
+    // derived, not reused, so feed executions get their own noise stream.
+    let serving = match (&result.best_config, result.cancelled) {
+        (Some(best), false) => {
+            let mut serving_db = SimDb::new(
+                request.dbms,
+                workload.catalog.clone(),
+                request.hardware,
+                derive_seed(request.seed, 500),
+            );
+            serving_db.apply_knobs(best);
+            for spec in best.index_specs() {
+                serving_db.create_index(spec);
+            }
+            let reference = Profile::from_workload(serving_db.catalog(), &workload);
+            Some(ServingState {
+                monitor: DriftMonitor::with_reference(request.drift.clone(), reference),
+                memory: TuneMemory {
+                    prompt: result.prompt.clone(),
+                    best_script: best_script.clone().unwrap_or_default(),
+                    options: request.options,
+                },
+                db: serving_db,
+                recent: Vec::new(),
+            })
+        }
+        _ => None,
+    };
+
+    let mut s = session.lock();
+    s.best_script = best_script;
     s.best_time = Some(result.best_time.as_f64());
     s.tuning_time = Some(result.tuning_time.as_f64());
     s.trajectory = result.trajectory.clone();
+    s.serving = serving;
     Ok(result.cancelled)
+}
+
+/// Runs one warm-start re-tune on the calling worker thread. The session
+/// was already moved to [`SessionState::Retuning`] by the feed handler;
+/// whatever happens here — success, pipeline error, panic — the session
+/// ends back in `Done` (errors are advisory, recorded in the drift
+/// status), except a client cancellation, which wins as usual.
+pub fn run_retune(session: &SessionHandle) {
+    {
+        let s = session.lock();
+        if s.state != SessionState::Retuning {
+            return;
+        }
+    }
+    obs::counter("serve.retunes_started", 1);
+    let outcome = catch_unwind(AssertUnwindSafe(|| retune_session(session)));
+    let mut s = session.lock();
+    match outcome {
+        Ok(Ok(true)) => {
+            s.state = SessionState::Cancelled;
+            obs::counter("serve.sessions_cancelled", 1);
+        }
+        Ok(Ok(false)) => {
+            s.state = SessionState::Done;
+            obs::counter("serve.retunes_done", 1);
+        }
+        Ok(Err(err)) => {
+            s.state = SessionState::Done;
+            s.drift.last_error = Some(err.to_string());
+            obs::counter("serve.retunes_failed", 1);
+        }
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            s.state = SessionState::Done;
+            s.drift.last_error = Some(format!("re-tune worker panicked: {what}"));
+            obs::counter("serve.retunes_failed", 1);
+            obs::counter("serve.worker_panics", 1);
+        }
+    }
+}
+
+/// The fallible part of a re-tune. Takes the serving state out of the
+/// session for the duration (feeds observe 409 meanwhile) and always puts
+/// it back — on failure the session keeps serving under the old
+/// configuration. Returns `Ok(true)` when the run was cancelled.
+fn retune_session(session: &SessionHandle) -> lt_common::Result<bool> {
+    let (request, mut serving, retunes) = {
+        let mut s = session.lock();
+        let serving = s.serving.take().ok_or_else(|| {
+            LtError::Tuning("session has no serving state to re-tune".to_string())
+        })?;
+        (s.request.clone(), serving, s.drift.retunes)
+    };
+    let outcome = warm_retune(session, &request, &mut serving, retunes);
+    session.lock().serving = Some(serving);
+    outcome
+}
+
+fn warm_retune(
+    session: &SessionHandle,
+    request: &TuneRequest,
+    serving: &mut ServingState,
+    retunes: u64,
+) -> lt_common::Result<bool> {
+    if serving.recent.is_empty() {
+        return Err(LtError::Tuning(
+            "no observed queries to re-tune against".to_string(),
+        ));
+    }
+    let pairs: Vec<(&str, String)> = serving
+        .recent
+        .iter()
+        .map(|(label, sql)| (label.as_str(), sql.clone()))
+        .collect();
+    let workload = Workload::from_sql("observed", serving.db.catalog().clone(), &pairs)?;
+    let llm = LlmClient::new(SimulatedLlm::new());
+    let sink = std::sync::Arc::new(session.observer());
+    // Each re-tune gets its own derived seed; the budget always scales
+    // from the session's *original* options, so repeated re-tunes do not
+    // shrink geometrically toward a single candidate.
+    let result = retune(
+        &mut serving.db,
+        &workload,
+        &llm,
+        &serving.memory,
+        &RetuneOptions {
+            seed: Some(derive_seed(request.seed, 1000 + retunes)),
+            ..Default::default()
+        },
+        Some(sink),
+    )?;
+    if result.cancelled {
+        return Ok(true);
+    }
+    let best = result
+        .best_config
+        .as_ref()
+        .ok_or_else(|| LtError::Tuning("re-tune found no configuration".to_string()))?;
+    // Adopt the new winner on the live database and in the warm-start
+    // memory, then rebase the monitor on the observed workload so the
+    // regime the session just adapted to stops counting as drift.
+    serving.db.apply_knobs(best);
+    for spec in best.index_specs() {
+        serving.db.create_index(spec);
+    }
+    let script = best.to_script(request.dbms, serving.db.catalog());
+    serving.memory.prompt = result.prompt.clone();
+    serving.memory.best_script = script.clone();
+    serving
+        .monitor
+        .rebase(Profile::from_workload(serving.db.catalog(), &workload));
+    let mut s = session.lock();
+    s.best_script = Some(script);
+    s.best_time = Some(result.best_time.as_f64());
+    if let Some(t) = s.tuning_time.as_mut() {
+        *t += result.tuning_time.as_f64();
+    }
+    s.drift.retunes += 1;
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -295,6 +475,82 @@ mod tests {
         let s = handle.lock();
         assert_eq!(s.state, SessionState::Cancelled);
         assert_eq!(s.samples_done, 0);
+    }
+
+    #[test]
+    fn done_session_keeps_serving_state_with_warm_memory() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(""));
+        run_session(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
+        let serving = s
+            .serving
+            .as_ref()
+            .expect("done session keeps serving state");
+        assert_eq!(serving.memory.best_script, *s.best_script.as_ref().unwrap());
+        assert!(!serving.memory.prompt.is_empty());
+        assert_eq!(serving.monitor.observed(), 0);
+    }
+
+    #[test]
+    fn retune_returns_the_session_to_done_with_a_new_winner() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(""));
+        run_session(&handle);
+        {
+            let mut s = handle.lock();
+            assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
+            // Pretend the feed observed the back half of TPC-H.
+            let w = lt_workloads::Benchmark::TpchSf1.load();
+            let serving = s.serving.as_mut().unwrap();
+            for q in w.queries.iter().skip(w.queries.len() / 2) {
+                serving.push_recent(q.label.clone(), q.sql.clone());
+            }
+            s.state = SessionState::Retuning;
+        }
+        run_retune(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Done);
+        assert_eq!(s.drift.retunes, 1, "error: {:?}", s.drift.last_error);
+        assert!(s.drift.last_error.is_none());
+        assert!(s.serving.is_some(), "serving survives a re-tune");
+        // The warm memory now carries the re-tune's winner.
+        let serving = s.serving.as_ref().unwrap();
+        assert_eq!(serving.memory.best_script, *s.best_script.as_ref().unwrap());
+    }
+
+    #[test]
+    fn retune_failure_keeps_the_session_done_and_serving() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(""));
+        run_session(&handle);
+        // No observed queries: the re-tune has nothing to tune against.
+        handle.lock().state = SessionState::Retuning;
+        run_retune(&handle);
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Done);
+        assert_eq!(s.drift.retunes, 0);
+        assert!(s
+            .drift
+            .last_error
+            .as_deref()
+            .unwrap()
+            .contains("no observed queries"));
+        assert!(s.serving.is_some(), "old serving state survives a failure");
+    }
+
+    #[test]
+    fn retune_is_a_noop_unless_the_session_is_retuning() {
+        let registry = SessionRegistry::new();
+        let handle = registry.create(quick_request(""));
+        run_session(&handle);
+        let before = handle.lock().best_script.clone();
+        run_retune(&handle); // state is Done, not Retuning
+        let s = handle.lock();
+        assert_eq!(s.state, SessionState::Done);
+        assert_eq!(s.best_script, before);
+        assert_eq!(s.drift.retunes, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | POST   | `/sessions`             | Submit a tuning request (202/400/429)|
 //! | GET    | `/sessions`             | List sessions and states             |
 //! | GET    | `/sessions/<id>`        | Status + trajectory-so-far           |
+//! | POST   | `/sessions/<id>/queries`| Feed observed queries (drift watch)  |
 //! | GET    | `/sessions/<id>/config` | Best configuration + scaled cost     |
 //! | DELETE | `/sessions/<id>`        | Cancel (queued or running)           |
 //! | GET    | `/metrics`              | Observability registry dump          |
@@ -19,9 +20,12 @@
 
 use crate::http::{read_request, Request, Response};
 use crate::pool::{SubmitError, WorkerPool};
-use crate::session::{SessionRegistry, SessionState, TuneRequest};
+use crate::session::{Session, SessionHandle, SessionRegistry, SessionState, TuneRequest};
 use lt_common::json::Value;
-use lt_common::{json, obs};
+use lt_common::{json, obs, Secs};
+use lt_dbms::db::query_tag;
+use lt_drift::QueryObservation;
+use lt_workloads::Workload;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -45,6 +49,11 @@ pub struct ServerConfig {
     /// HTTP-layer threads the way `queue_depth` caps tuning jobs — a burst
     /// of idle connections cannot exhaust threads while it holds.
     pub max_connections: usize,
+    /// Per-tenant cap on non-terminal sessions (`LT_SERVE_TENANT_CAP`,
+    /// default 64). Tenancy is the `X-Tenant` request header (`"default"`
+    /// when absent); a tenant at its cap gets 429 + `Retry-After` while
+    /// other tenants keep being admitted.
+    pub tenant_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +63,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_depth: 64,
             max_connections: 64,
+            tenant_cap: 64,
         }
     }
 }
@@ -84,6 +94,9 @@ impl ServerConfig {
         if let Some(conns) = usize_env("LT_SERVE_CONNS") {
             config.max_connections = conns;
         }
+        if let Some(cap) = usize_env("LT_SERVE_TENANT_CAP") {
+            config.tenant_cap = cap;
+        }
         config
     }
 }
@@ -98,6 +111,8 @@ struct ServerState {
     /// Live connection threads, bounded by `max_connections`.
     connections: AtomicUsize,
     max_connections: usize,
+    /// Per-tenant non-terminal-session quota.
+    tenant_cap: usize,
 }
 
 /// Decrements the live-connection count when a connection thread exits,
@@ -164,6 +179,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         addr,
         connections: AtomicUsize::new(0),
         max_connections: config.max_connections.max(1),
+        tenant_cap: config.tenant_cap.max(1),
     });
     let accept_state = state.clone();
     let accept_thread = std::thread::Builder::new()
@@ -243,6 +259,10 @@ fn route(request: &Request, state: &ServerState) -> Response {
             "GET" => with_session(state, id, |s| Response::json(200, &s.lock().status_json())),
             "DELETE" => with_session(state, id, cancel_session),
             _ => method_not_allowed(method, path, "GET, DELETE"),
+        },
+        ["sessions", id, "queries"] => match method {
+            "POST" => with_session(state, id, |s| feed_queries(request, state, s)),
+            _ => method_not_allowed(method, path, "POST"),
         },
         ["sessions", id, "config"] => match method {
             "GET" => with_session(state, id, |s| {
@@ -335,7 +355,32 @@ fn submit_session(request: &Request, state: &ServerState) -> Response {
             return Response::error(400, err.message());
         }
     };
-    let handle = state.registry.create(tune_request);
+    // Tenancy is declared, not authenticated — this models quota
+    // accounting, not security. Missing/blank headers share one bucket.
+    let tenant = request
+        .header("x-tenant")
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .unwrap_or("default")
+        .to_string();
+    let handle =
+        match state
+            .registry
+            .create_if_within_quota(tune_request, &tenant, state.tenant_cap)
+        {
+            Ok(handle) => handle,
+            Err(active) => {
+                obs::counter("serve.tenant_rejected", 1);
+                return Response::error(
+                    429,
+                    &format!(
+                        "tenant {tenant:?} has {active} active sessions (cap {}), retry later",
+                        state.tenant_cap
+                    ),
+                )
+                .with_header("Retry-After", "30");
+            }
+        };
     let id = handle.lock().id;
     match state.pool.submit(handle) {
         Ok(()) => {
@@ -353,6 +398,159 @@ fn submit_session(request: &Request, state: &ServerState) -> Response {
             }
         }
     }
+}
+
+/// Upper bound on queries per feed call (`POST /sessions/<id>/queries`):
+/// clients stream batches, they do not dump a history in one request.
+const MAX_FEED_QUERIES: usize = 512;
+
+/// The `POST /sessions/<id>/queries` handler: executes a batch of observed
+/// queries on the session's serving database, feeds the drift monitor and,
+/// when an alarm fires on a session with `auto_retune`, moves it to
+/// `retuning` and hands it back to the worker pool for a warm-start
+/// re-tune.
+fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) -> Response {
+    let Some(body) = request.body_str() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let doc = match lt_common::json::parse(if body.trim().is_empty() { "{}" } else { body }) {
+        Ok(doc) => doc,
+        Err(err) => return Response::error(400, &format!("invalid JSON: {err}")),
+    };
+    let Some(Value::Array(items)) = doc.get("queries") else {
+        return Response::error(400, "\"queries\" must be an array of SQL strings");
+    };
+    if items.is_empty() {
+        return Response::error(400, "\"queries\" must not be empty");
+    }
+    if items.len() > MAX_FEED_QUERIES {
+        return Response::error(400, &format!("at most {MAX_FEED_QUERIES} queries per call"));
+    }
+    let mut sqls = Vec::with_capacity(items.len());
+    for item in items {
+        match item.as_str() {
+            Some(sql) => sqls.push(sql.to_string()),
+            None => return Response::error(400, "\"queries\" must be an array of SQL strings"),
+        }
+    }
+
+    let mut session = handle.lock();
+    if session.state != SessionState::Done {
+        return Response::error(
+            409,
+            &format!(
+                "session is {}; queries can only be fed to a done session",
+                session.state.name()
+            ),
+        );
+    }
+    let auto_retune = session.request.auto_retune;
+    let Session {
+        serving,
+        drift,
+        state: session_state,
+        ..
+    } = &mut *session;
+    let Some(serving) = serving.as_mut() else {
+        return Response::error(
+            409,
+            "session kept no serving state (tuning found no configuration)",
+        );
+    };
+
+    // Validate the whole batch against the session's catalog before
+    // executing any of it: a feed is all-or-nothing, so a typo in query
+    // 40 cannot leave the monitor half-updated.
+    let labels: Vec<String> = (0..sqls.len())
+        .map(|i| format!("f{}", drift.queries_observed + 1 + i as u64))
+        .collect();
+    let pairs: Vec<(&str, String)> = labels
+        .iter()
+        .zip(&sqls)
+        .map(|(label, sql)| (label.as_str(), sql.clone()))
+        .collect();
+    let workload = match Workload::from_sql("feed", serving.db.catalog().clone(), &pairs) {
+        Ok(w) => w,
+        Err(err) => return Response::error(400, &format!("bad query batch: {err}")),
+    };
+    // Parsing is catalog-free; resolve table names here so a query against
+    // a table this session never tuned is rejected instead of silently
+    // profiled as an empty plan.
+    for q in &workload.queries {
+        let analysis = lt_sql::analysis::analyze(&q.parsed);
+        for table in &analysis.tables {
+            if workload.catalog.table_by_name(table).is_none() {
+                return Response::error(
+                    400,
+                    &format!(
+                        "bad query batch: query {}: unknown table {table:?}",
+                        q.label
+                    ),
+                );
+            }
+        }
+    }
+
+    let mut events = Vec::new();
+    for q in &workload.queries {
+        let outcome = serving.db.execute(&q.parsed, Secs::INFINITY);
+        let preds = serving.db.predicates(&q.parsed);
+        // The windowed cache counters, drained per query, say whether
+        // *this* plan came from the cache.
+        let window = serving.db.take_cache_window();
+        let hit = window.plan_hits + window.plan_misses > 0 && window.plan_misses == 0;
+        let observation = QueryObservation::new(
+            serving.db.catalog(),
+            &preds,
+            query_tag(&q.parsed),
+            outcome.time,
+            Some(hit),
+        );
+        if let Some(event) = serving.monitor.observe(&observation) {
+            events.push(event);
+        }
+        serving.push_recent(q.label.clone(), q.sql.clone());
+    }
+    obs::counter("serve.queries_fed", workload.queries.len() as u64);
+    obs::counter("serve.drift_events", events.len() as u64);
+    drift.queries_observed = serving.monitor.observed();
+    drift.events.extend(events.iter().cloned());
+    let observed = drift.queries_observed;
+    let should_retune = auto_retune && !events.is_empty();
+    if should_retune {
+        *session_state = SessionState::Retuning;
+    }
+    drop(session);
+
+    // The pool submit happens outside the session lock; a worker that
+    // picks the job up immediately must be able to lock the session.
+    let mut retune_submitted = false;
+    if should_retune {
+        match state.pool.submit_retune(handle.clone()) {
+            Ok(()) => retune_submitted = true,
+            Err(reason) => {
+                let mut s = handle.lock();
+                s.state = SessionState::Done;
+                s.drift.last_error = Some(match reason {
+                    SubmitError::QueueFull => "re-tune not queued: job queue full".to_string(),
+                    SubmitError::ShuttingDown => {
+                        "re-tune not queued: server shutting down".to_string()
+                    }
+                });
+                obs::counter("serve.retunes_rejected", 1);
+            }
+        }
+    }
+    let events_json: Vec<Value> = events.iter().map(|e| e.to_json()).collect();
+    Response::json(
+        200,
+        &json!({
+            "executed": sqls.len(),
+            "queries_observed": observed,
+            "events": Value::Array(events_json),
+            "retune": retune_submitted,
+        }),
+    )
 }
 
 fn list_sessions(state: &ServerState) -> Response {

@@ -5,10 +5,14 @@
 //! pipeline options — and moves through the state machine
 //!
 //! ```text
-//! Queued ──▶ Tuning ──▶ Done
-//!    │          ├─────▶ Failed
-//!    └──────────┴─────▶ Cancelled
+//! Queued ──▶ Tuning ──▶ Done ◀──▶ Retuning
+//!    │          ├─────▶ Failed        │
+//!    └──────────┴─────▶ Cancelled ◀───┘
 //! ```
+//!
+//! A `Done` session that keeps a [`ServingState`] can receive live queries
+//! (`POST /sessions/<id>/queries`); a drift alarm with `auto_retune` set
+//! moves it to `Retuning`, and the warm-start re-tune returns it to `Done`.
 //!
 //! State transitions happen under the session's own mutex; the registry
 //! mutex only guards the id → session map, so status polls never contend
@@ -17,9 +21,11 @@
 use lambda_tune::{LambdaTuneOptions, ProgressEvent, TrajectoryPoint, TuneObserver};
 use lt_common::json::Value;
 use lt_common::{json, LtError, Result};
-use lt_dbms::{Dbms, Hardware};
+use lt_dbms::{Dbms, Hardware, SimDb};
+use lt_drift::{DriftConfig, DriftEvent, DriftMonitor, TuneMemory};
 use lt_workloads::Benchmark;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -32,6 +38,10 @@ pub const MAX_NUM_CONFIGS: u64 = 64;
 /// any real model context, low enough that a typo'd exponent cannot balloon
 /// compressor work.
 pub const MAX_TOKEN_BUDGET: u64 = 10_000_000;
+/// Observed queries a serving session retains as the re-tune workload;
+/// older queries age out so memory stays bounded however long a session
+/// serves.
+pub const RECENT_QUERY_CAP: usize = 256;
 
 /// A client's tuning request, parsed and validated at submission time.
 #[derive(Debug, Clone)]
@@ -50,6 +60,13 @@ pub struct TuneRequest {
     /// Optional configuration script applied to the database before tuning
     /// starts (models tuning from a non-default starting state).
     pub initial_config: Option<String>,
+    /// Re-enter tuning automatically when the drift monitor alarms on the
+    /// query feed (`"auto_retune": true` in the request body).
+    pub auto_retune: bool,
+    /// Drift-detector configuration for this session: `LT_DRIFT_*`
+    /// environment defaults, overridden per-field by the request's
+    /// optional `"drift"` object.
+    pub drift: DriftConfig,
 }
 
 impl TuneRequest {
@@ -149,6 +166,8 @@ impl TuneRequest {
             seed,
             options,
             initial_config,
+            auto_retune: flag("auto_retune")?,
+            drift: drift_config_from_json(doc)?,
         })
     }
 
@@ -164,8 +183,75 @@ impl TuneRequest {
             "num_configs": self.options.num_configs,
             "params_only": self.options.params_only,
             "token_budget": self.options.token_budget,
+            "auto_retune": self.auto_retune,
         })
     }
+}
+
+/// Parses the optional `"drift"` object of a tuning request: per-field
+/// overrides on top of the `LT_DRIFT_*` environment defaults, so a client
+/// can request a tighter (or looser) monitor for one session without
+/// touching process state.
+fn drift_config_from_json(doc: &Value) -> Result<DriftConfig> {
+    let bad = |what: &str| LtError::Config(format!("bad request: {what}"));
+    let mut config = DriftConfig::from_env();
+    let overrides = match doc.get("drift") {
+        None | Some(Value::Null) => return Ok(config),
+        Some(v @ Value::Object(_)) => v,
+        Some(_) => return Err(bad("\"drift\" must be an object")),
+    };
+    let count = |key: &str, min: i64| -> Result<Option<usize>> {
+        match overrides.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => match v.as_i64() {
+                Some(i) if i >= min => Ok(Some(i as usize)),
+                _ => Err(bad(&format!("\"drift.{key}\" must be an integer >= {min}"))),
+            },
+        }
+    };
+    let number = |key: &str| -> Result<Option<f64>> {
+        match overrides.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => match v.as_f64() {
+                Some(f) if f.is_finite() => Ok(Some(f)),
+                _ => Err(bad(&format!("\"drift.{key}\" must be a finite number"))),
+            },
+        }
+    };
+    if let Some(v) = count("window", 1)? {
+        config.window = v;
+    }
+    if let Some(v) = count("stride", 1)? {
+        config.stride = v;
+    }
+    if let Some(v) = count("warmup", 0)? {
+        config.warmup = v;
+    }
+    if let Some(v) = count("confirm", 1)? {
+        config.confirm = v;
+    }
+    if let Some(v) = count("cooldown", 0)? {
+        config.cooldown = v;
+    }
+    if let Some(v) = number("jsd_threshold")? {
+        config.jsd_threshold = v;
+    }
+    if let Some(v) = number("ewma_alpha")? {
+        config.ewma_alpha = v;
+    }
+    if let Some(v) = number("hit_arm")? {
+        config.hit_arm = v;
+    }
+    if let Some(v) = number("hit_collapse")? {
+        config.hit_collapse = v;
+    }
+    if let Some(v) = number("ph_delta")? {
+        config.ph_delta = v;
+    }
+    if let Some(v) = number("ph_lambda")? {
+        config.ph_lambda = v;
+    }
+    Ok(config)
 }
 
 /// Lifecycle of a session.
@@ -175,6 +261,9 @@ pub enum SessionState {
     Queued,
     /// A worker is running the pipeline.
     Tuning,
+    /// A drift alarm sent the session back to a worker for a warm-start
+    /// re-tune; it returns to [`SessionState::Done`] when that finishes.
+    Retuning,
     /// The pipeline finished with a best configuration.
     Done,
     /// The pipeline returned an error (or panicked; see the worker).
@@ -189,6 +278,7 @@ impl SessionState {
         match self {
             SessionState::Queued => "queued",
             SessionState::Tuning => "tuning",
+            SessionState::Retuning => "retuning",
             SessionState::Done => "done",
             SessionState::Failed => "failed",
             SessionState::Cancelled => "cancelled",
@@ -204,11 +294,64 @@ impl SessionState {
     }
 }
 
+/// Drift bookkeeping surfaced in session status documents.
+#[derive(Debug, Clone, Default)]
+pub struct DriftStatus {
+    /// Queries consumed by the drift monitor over the session's lifetime.
+    pub queries_observed: u64,
+    /// Every drift alarm raised on the feed, in order.
+    pub events: Vec<DriftEvent>,
+    /// Completed warm-start re-tunes.
+    pub retunes: u64,
+    /// Last re-tune failure, if any (the session stays `done`; the error
+    /// is advisory).
+    pub last_error: Option<String>,
+}
+
+/// Everything a `Done` session keeps to serve a live query feed: the tuned
+/// database, the drift monitor watching the feed, the previous run's
+/// [`TuneMemory`] for warm starts, and the recent observed queries that
+/// become the re-tune workload.
+pub struct ServingState {
+    /// The session's database with the winning configuration applied.
+    pub db: SimDb,
+    /// Streaming drift monitor referenced on the tuned workload.
+    pub monitor: DriftMonitor,
+    /// Prompt + winning script of the latest (re-)tune.
+    pub memory: TuneMemory,
+    /// Most recent `(label, sql)` observed queries, oldest first, capped
+    /// at [`RECENT_QUERY_CAP`].
+    pub recent: Vec<(String, String)>,
+}
+
+impl ServingState {
+    /// Appends an observed query, aging out the oldest past the cap.
+    pub fn push_recent(&mut self, label: String, sql: String) {
+        self.recent.push((label, sql));
+        if self.recent.len() > RECENT_QUERY_CAP {
+            self.recent.remove(0);
+        }
+    }
+}
+
+impl fmt::Debug for ServingState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // SimDb carries no Debug impl; summarize instead of deriving.
+        f.debug_struct("ServingState")
+            .field("observed", &self.monitor.observed())
+            .field("recent", &self.recent.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// One tuning session: request, live progress, outcome.
 #[derive(Debug)]
 pub struct Session {
     /// Registry-assigned id.
     pub id: u64,
+    /// Tenant that submitted the session (`X-Tenant` header, `"default"`
+    /// when absent); per-tenant admission quotas count by this.
+    pub tenant: String,
     /// The request that created the session.
     pub request: TuneRequest,
     /// Current lifecycle state.
@@ -232,6 +375,11 @@ pub struct Session {
     pub default_time: Option<f64>,
     /// Total virtual tuning time.
     pub tuning_time: Option<f64>,
+    /// Drift bookkeeping for the query feed.
+    pub drift: DriftStatus,
+    /// Live serving state; present only while the session is `Done` (or
+    /// briefly `Retuning`) with a best configuration.
+    pub serving: Option<ServingState>,
 }
 
 impl Session {
@@ -247,9 +395,22 @@ impl Session {
                 })
             })
             .collect();
+        let events: Vec<Value> = self.drift.events.iter().map(DriftEvent::to_json).collect();
+        let scores = match &self.serving {
+            Some(serving) => {
+                let s = serving.monitor.scores();
+                json!({
+                    "jsd": s.jsd,
+                    "ewma_hit_rate": s.ewma_hit_rate,
+                    "page_hinkley": s.page_hinkley,
+                })
+            }
+            None => Value::Null,
+        };
         json!({
             "id": self.id,
             "state": self.state.name(),
+            "tenant": self.tenant.as_str(),
             "request": self.request.to_json(),
             "samples_done": self.samples_done,
             "rounds_started": self.rounds_started,
@@ -257,6 +418,14 @@ impl Session {
             "trajectory": Value::Array(trajectory),
             "best_time_s": self.best_time,
             "error": self.error.as_deref(),
+            "drift": json!({
+                "auto_retune": self.request.auto_retune,
+                "queries_observed": self.drift.queries_observed,
+                "events": Value::Array(events),
+                "retunes": self.drift.retunes,
+                "last_error": self.drift.last_error.as_deref(),
+                "scores": scores,
+            }),
         })
     }
 
@@ -364,12 +533,12 @@ impl SessionRegistry {
         }
     }
 
-    /// Registers a new queued session and returns its handle.
-    pub fn create(&self, request: TuneRequest) -> SessionHandle {
+    fn new_handle(&self, request: TuneRequest, tenant: &str) -> SessionHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let handle = SessionHandle {
+        SessionHandle {
             session: Arc::new(Mutex::new(Session {
                 id,
+                tenant: tenant.to_string(),
                 request,
                 state: SessionState::Queued,
                 error: None,
@@ -381,11 +550,48 @@ impl SessionRegistry {
                 best_time: None,
                 default_time: None,
                 tuning_time: None,
+                drift: DriftStatus::default(),
+                serving: None,
             })),
             cancel: Arc::new(AtomicBool::new(false)),
-        };
+        }
+    }
+
+    /// Registers a new queued session for the default tenant and returns
+    /// its handle (no quota check; tests and embedded use).
+    pub fn create(&self, request: TuneRequest) -> SessionHandle {
+        let handle = self.new_handle(request, "default");
+        let id = handle.lock().id;
         self.map().insert(id, handle.clone());
         handle
+    }
+
+    /// Registers a new queued session for `tenant` unless the tenant
+    /// already has `cap` non-terminal sessions. The count and the insert
+    /// happen under one registry lock, so two racing submissions cannot
+    /// both slip under the quota. Returns the tenant's active-session
+    /// count on rejection.
+    pub fn create_if_within_quota(
+        &self,
+        request: TuneRequest,
+        tenant: &str,
+        cap: usize,
+    ) -> std::result::Result<SessionHandle, usize> {
+        let mut map = self.map();
+        let active = map
+            .values()
+            .filter(|h| {
+                let s = h.lock();
+                s.tenant == tenant && !s.state.is_terminal()
+            })
+            .count();
+        if active >= cap {
+            return Err(active);
+        }
+        let handle = self.new_handle(request, tenant);
+        let id = handle.lock().id;
+        map.insert(id, handle.clone());
+        Ok(handle)
     }
 
     /// Looks a session up by id.
@@ -414,23 +620,25 @@ impl SessionRegistry {
 
     /// Number of sessions in each state, as a JSON object.
     pub fn state_counts_json(&self) -> Value {
-        let mut counts = [0u64; 5];
+        let mut counts = [0u64; 6];
         for (_, state) in self.states() {
             let i = match state {
                 SessionState::Queued => 0,
                 SessionState::Tuning => 1,
-                SessionState::Done => 2,
-                SessionState::Failed => 3,
-                SessionState::Cancelled => 4,
+                SessionState::Retuning => 2,
+                SessionState::Done => 3,
+                SessionState::Failed => 4,
+                SessionState::Cancelled => 5,
             };
             counts[i] += 1;
         }
         json!({
             "queued": counts[0],
             "tuning": counts[1],
-            "done": counts[2],
-            "failed": counts[3],
-            "cancelled": counts[4],
+            "retuning": counts[2],
+            "done": counts[3],
+            "failed": counts[4],
+            "cancelled": counts[5],
         })
     }
 }
@@ -506,6 +714,68 @@ mod tests {
         let req = TuneRequest::from_json(&doc).unwrap();
         assert_eq!(req.options.num_configs, MAX_NUM_CONFIGS as usize);
         assert_eq!(req.options.token_budget, Some(MAX_TOKEN_BUDGET as usize));
+    }
+
+    #[test]
+    fn parses_drift_overrides_and_auto_retune() {
+        let doc = parse(
+            r#"{"auto_retune": true,
+                "drift": {"window": 16, "stride": 4, "warmup": 8, "jsd_threshold": 0.2}}"#,
+        )
+        .unwrap();
+        let req = TuneRequest::from_json(&doc).unwrap();
+        assert!(req.auto_retune);
+        assert_eq!(req.drift.window, 16);
+        assert_eq!(req.drift.stride, 4);
+        assert_eq!(req.drift.warmup, 8);
+        assert_eq!(req.drift.jsd_threshold, 0.2);
+        // Unspecified fields keep their defaults.
+        assert_eq!(req.drift.cooldown, DriftConfig::default().cooldown);
+        // Absent entirely: defaults, auto_retune off.
+        let req = TuneRequest::from_json(&parse("{}").unwrap()).unwrap();
+        assert!(!req.auto_retune);
+        assert_eq!(req.drift, DriftConfig::default());
+
+        for (body, needle) in [
+            (r#"{"drift": 5}"#, "object"),
+            (r#"{"drift": {"window": 0}}"#, ">= 1"),
+            (r#"{"drift": {"jsd_threshold": "high"}}"#, "finite number"),
+            (r#"{"auto_retune": "yes"}"#, "boolean"),
+        ] {
+            let err = TuneRequest::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.message().contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn tenant_quota_is_enforced_and_frees_on_terminal_states() {
+        let registry = SessionRegistry::new();
+        let req = TuneRequest::from_json(&parse("{}").unwrap()).unwrap();
+        let a = registry
+            .create_if_within_quota(req.clone(), "acme", 2)
+            .unwrap();
+        let _b = registry
+            .create_if_within_quota(req.clone(), "acme", 2)
+            .unwrap();
+        assert_eq!(
+            registry
+                .create_if_within_quota(req.clone(), "acme", 2)
+                .unwrap_err(),
+            2
+        );
+        // Another tenant is unaffected by acme's quota.
+        assert!(registry
+            .create_if_within_quota(req.clone(), "other", 2)
+            .is_ok());
+        // A terminal session frees its slot; a retuning one does not.
+        a.lock().state = SessionState::Done;
+        let c = registry
+            .create_if_within_quota(req.clone(), "acme", 2)
+            .unwrap();
+        c.lock().state = SessionState::Retuning;
+        assert!(registry.create_if_within_quota(req, "acme", 2).is_err());
+        let counts = registry.state_counts_json();
+        assert_eq!(counts.get("retuning").and_then(Value::as_i64), Some(1));
     }
 
     #[test]

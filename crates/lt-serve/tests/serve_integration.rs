@@ -6,9 +6,11 @@
 //! into tuning results.
 
 use lt_common::json::{parse, Value};
-use lt_serve::http::request;
+use lt_serve::http::{request, request_with};
 use lt_serve::load::{run_matrix, LoadOptions};
 use lt_serve::{start, ServerConfig};
+use lt_workloads::stream::{predicate_templates, Phase};
+use lt_workloads::Benchmark;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -335,6 +337,256 @@ fn connection_cap_answers_503_and_recovers() {
         assert!(Instant::now() < deadline, "connection slot never freed");
         std::thread::sleep(Duration::from_millis(10));
     }
+    server.shutdown();
+}
+
+/// Builds a `POST /sessions/<id>/queries` body from SQL strings.
+fn feed_body(sqls: &[String]) -> String {
+    let queries: Vec<Value> = sqls.iter().map(|s| Value::String(s.clone())).collect();
+    Value::Object(vec![("queries".to_string(), Value::Array(queries))]).to_string_pretty()
+}
+
+/// Per-tenant quotas: a tenant at its cap gets 429 + `Retry-After` while
+/// other tenants (and the same tenant after its sessions finish) are still
+/// admitted.
+#[test]
+fn tenant_quota_answers_429_with_retry_after() {
+    let mut server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 16,
+        tenant_cap: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // A default-tenant session occupies the single worker, so the acme
+    // session below stays queued (non-terminal) while we probe the quota.
+    let (status, doc) = post_session(addr, r#"{"seed": 1, "num_configs": 64}"#);
+    assert_eq!(status, 202);
+    let blocker = doc.get("id").and_then(Value::as_i64).unwrap();
+
+    let acme = [("X-Tenant", "acme")];
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/sessions",
+        &acme,
+        Some(r#"{"seed": 2, "num_configs": 2}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let queued = parse(&body)
+        .ok()
+        .and_then(|d| d.get("id")?.as_i64())
+        .unwrap();
+
+    // acme is at its cap of 1 → 429 with a Retry-After hint…
+    let (status, headers, body) = request_with(
+        addr,
+        "POST",
+        "/sessions",
+        &acme,
+        Some(r#"{"seed": 3, "num_configs": 2}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(
+        headers.iter().any(|(n, _)| n == "retry-after"),
+        "429 without Retry-After: {headers:?}"
+    );
+    assert!(body.contains("acme"), "{body}");
+
+    // …while a different tenant is admitted past acme's quota.
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/sessions",
+        &[("X-Tenant", "other")],
+        Some(r#"{"seed": 4, "num_configs": 2}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 202, "{body}");
+
+    // Once acme's session reaches a terminal state, the slot frees.
+    assert_eq!(wait_terminal(addr, queued), "done");
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/sessions",
+        &acme,
+        Some(r#"{"seed": 5, "num_configs": 2}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 202, "{body}");
+
+    // The session status names its tenant.
+    let (status, response) = request(addr, "GET", &format!("/sessions/{queued}"), None).unwrap();
+    assert_eq!(status, 200);
+    let tenant = parse(&response)
+        .ok()
+        .and_then(|d| Some(d.get("tenant")?.as_str()?.to_string()))
+        .unwrap();
+    assert_eq!(tenant, "acme");
+    let _ = blocker;
+    server.shutdown();
+}
+
+/// The full drift loop over HTTP: tune, feed in-distribution queries (no
+/// alarm), feed a shifted batch (alarm), auto-re-tune back to `done` with
+/// the drift status reflecting the event and the re-tune.
+#[test]
+fn query_feed_detects_drift_and_auto_retunes() {
+    let mut server = start_server(2, 16);
+    let addr = server.addr();
+    let (status, doc) = post_session(
+        addr,
+        r#"{"seed": 5, "num_configs": 2, "auto_retune": true,
+            "drift": {"window": 16, "stride": 4, "confirm": 2, "cooldown": 32}}"#,
+    );
+    assert_eq!(status, 202);
+    let id = doc.get("id").and_then(Value::as_i64).unwrap();
+    assert_eq!(wait_terminal(addr, id), "done");
+
+    // Feeding the workload the session was tuned for must not alarm.
+    let tpch: Vec<String> = Benchmark::TpchSf1
+        .load()
+        .queries
+        .iter()
+        .map(|q| q.sql.clone())
+        .collect();
+    let (status, response) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/queries"),
+        Some(&feed_body(&tpch)),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{response}");
+    let doc = parse(&response).unwrap();
+    assert_eq!(
+        doc.get("events").and_then(Value::as_array).unwrap().len(),
+        0,
+        "in-distribution feed raised a false alarm: {response}"
+    );
+    assert_eq!(doc.get("retune").and_then(Value::as_bool), Some(false));
+
+    // A shifted batch (the post-shift predicate templates, repeated) must
+    // alarm and kick the auto-re-tune.
+    let templates: Vec<String> = predicate_templates(Phase::After)
+        .into_iter()
+        .map(|(_, sql)| sql)
+        .collect();
+    let shifted: Vec<String> = std::iter::repeat_with(|| templates.clone())
+        .take(16)
+        .flatten()
+        .collect();
+    let (status, response) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/queries"),
+        Some(&feed_body(&shifted)),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{response}");
+    let doc = parse(&response).unwrap();
+    assert!(
+        !doc.get("events")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty(),
+        "shifted feed never alarmed: {response}"
+    );
+    assert_eq!(
+        doc.get("retune").and_then(Value::as_bool),
+        Some(true),
+        "{response}"
+    );
+
+    // The re-tune completes and the session returns to `done` with the
+    // drift status reflecting what happened.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status_doc = loop {
+        let (status, response) = request(addr, "GET", &format!("/sessions/{id}"), None).unwrap();
+        assert_eq!(status, 200);
+        let doc = parse(&response).unwrap();
+        let state = doc
+            .get("state")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        let retunes = doc
+            .get("drift")
+            .and_then(|d| d.get("retunes"))
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
+        let last_error = doc
+            .get("drift")
+            .and_then(|d| d.get("last_error"))
+            .and_then(Value::as_str)
+            .map(str::to_string);
+        if state == "done" && retunes >= 1 {
+            break doc;
+        }
+        assert!(
+            last_error.is_none(),
+            "re-tune failed instead of completing: {last_error:?}"
+        );
+        assert!(Instant::now() < deadline, "re-tune never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let drift = status_doc.get("drift").unwrap();
+    assert!(
+        drift
+            .get("queries_observed")
+            .and_then(Value::as_i64)
+            .unwrap()
+            > 0
+    );
+    assert!(!drift
+        .get("events")
+        .and_then(Value::as_array)
+        .unwrap()
+        .is_empty());
+
+    // The config endpoint serves the (re-tuned) winner.
+    let (status, response) = request(addr, "GET", &format!("/sessions/{id}/config"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(response.contains("SET"), "{response}");
+
+    // Feed guards: unparseable SQL is 400 and changes nothing; a session
+    // without serving state (failed) is 409.
+    let (status, response) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/queries"),
+        Some(&feed_body(&["SELECT * FROM no_such_table".to_string()])),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{response}");
+    let (status, _) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/queries"),
+        Some(r#"{"queries": []}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    let (status, doc) = post_session(
+        addr,
+        r#"{"initial_config": "DROP EVERYTHING;", "num_configs": 2}"#,
+    );
+    assert_eq!(status, 202);
+    let failed = doc.get("id").and_then(Value::as_i64).unwrap();
+    assert_eq!(wait_terminal(addr, failed), "failed");
+    let (status, response) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{failed}/queries"),
+        Some(&feed_body(&tpch[..1])),
+    )
+    .unwrap();
+    assert_eq!(status, 409, "{response}");
     server.shutdown();
 }
 

@@ -1,0 +1,372 @@
+//! Seeded phased query streams for workload-drift experiments.
+//!
+//! λ-Tune tunes for a fixed workload; the drift subsystem (`lt-drift`)
+//! needs *streams* whose statistics change at a known point so detection
+//! latency and false-positive rates can be measured deterministically.
+//! A [`PhasedStream`] plays a pre-shift phase drawn from one query
+//! distribution, then switches at [`PhasedStreamSpec::shift_at`] to a
+//! second distribution chosen by the [`ShiftClass`]:
+//!
+//! - [`ShiftClass::Stationary`] — never shifts; the false-positive control.
+//! - [`ShiftClass::MixShift`] — uniform TPC-H queries, then a 70/30
+//!   TPC-DS/TPC-H mix (the table/join frequency vector moves).
+//! - [`ShiftClass::ScaleJump`] — the same TPC-H queries, but executed
+//!   against the SF-10 database after the shift (latencies jump ~10×
+//!   while the query *text* distribution stays identical).
+//! - [`ShiftClass::PredicateShift`] — a fixed pool of lineitem/orders
+//!   templates whose filter *shapes* flip from range/BETWEEN scans to
+//!   equality/IN probes: same tables, same joins, different selectivity
+//!   histogram.
+//!
+//! Every draw comes from a seeded [`lt_common::Rng`], so the same spec
+//! replays the same stream byte-for-byte on any thread count.
+
+use crate::workload::{Benchmark, Workload};
+use lt_common::{seeded_rng, Rng};
+use lt_sql::ast::Query;
+
+/// The drift scenarios injected by a [`PhasedStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftClass {
+    /// No shift ever happens (false-positive control).
+    Stationary,
+    /// TPC-H uniform → 70/30 TPC-DS/TPC-H mix.
+    MixShift,
+    /// Same TPC-H queries, executed on the SF-10 database post-shift.
+    ScaleJump,
+    /// Range/BETWEEN predicate templates → equality/IN templates on the
+    /// same tables and join edges.
+    PredicateShift,
+}
+
+impl ShiftClass {
+    /// All classes, the stationary control first.
+    pub fn all() -> [ShiftClass; 4] {
+        [
+            ShiftClass::Stationary,
+            ShiftClass::MixShift,
+            ShiftClass::ScaleJump,
+            ShiftClass::PredicateShift,
+        ]
+    }
+
+    /// The classes that actually shift (everything but the control).
+    pub fn shifted() -> [ShiftClass; 3] {
+        [
+            ShiftClass::MixShift,
+            ShiftClass::ScaleJump,
+            ShiftClass::PredicateShift,
+        ]
+    }
+
+    /// Stable lower-case name for JSON and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShiftClass::Stationary => "stationary",
+            ShiftClass::MixShift => "mix_shift",
+            ShiftClass::ScaleJump => "scale_jump",
+            ShiftClass::PredicateShift => "predicate_shift",
+        }
+    }
+}
+
+/// Parameters of one phased stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasedStreamSpec {
+    /// Which drift scenario to inject.
+    pub shift: ShiftClass,
+    /// Query index at which the distribution changes. Ignored for
+    /// [`ShiftClass::Stationary`].
+    pub shift_at: usize,
+    /// Total queries in the stream.
+    pub len: usize,
+    /// Seed for the draw sequence.
+    pub seed: u64,
+}
+
+/// One query drawn from a [`PhasedStream`].
+#[derive(Debug, Clone)]
+pub struct StreamQuery {
+    /// Position in the stream (0-based).
+    pub index: usize,
+    /// The database this query should execute against. For everything but
+    /// [`ShiftClass::ScaleJump`] post-shift this is the phase-A benchmark.
+    pub source: Benchmark,
+    /// Template label, e.g. `"q6"` or `"narrow-2"`.
+    pub label: String,
+    /// SQL text.
+    pub sql: String,
+    /// Parsed query (templates are pre-parsed once at stream construction).
+    pub parsed: Query,
+}
+
+/// Which phase of a [`PhasedStream`] a template pool belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Before the shift point.
+    Before,
+    /// At and after the shift point.
+    After,
+}
+
+/// Predicate-template pool for [`ShiftClass::PredicateShift`]: `(label,
+/// sql)` pairs over the TPC-H `lineitem`/`orders` tables. Phase A uses
+/// range/BETWEEN filter shapes, phase B equality/IN shapes — same tables,
+/// same join edges, so only the selectivity histogram moves. Exposed so
+/// the re-tune quality experiment can build a post-shift [`Workload`]
+/// from the exact pool the stream draws from.
+pub fn predicate_templates(phase: Phase) -> Vec<(String, String)> {
+    let raw: &[(&str, &str)] = match phase {
+        Phase::Before => &[
+            (
+                "narrow-0",
+                "select count(*) from lineitem where l_quantity < 24",
+            ),
+            (
+                "narrow-1",
+                "select sum(l_extendedprice) from lineitem \
+                 where l_shipdate <= date '1995-01-01'",
+            ),
+            (
+                "narrow-2",
+                "select sum(l_extendedprice * l_discount) from lineitem \
+                 where l_discount between 0.05 and 0.07 and l_quantity < 25",
+            ),
+            (
+                "narrow-3",
+                "select count(*) from lineitem, orders \
+                 where l_orderkey = o_orderkey and o_orderdate < date '1995-03-15'",
+            ),
+        ],
+        Phase::After => &[
+            (
+                "wide-0",
+                "select count(*) from lineitem where l_quantity in (1, 2, 3, 4, 5)",
+            ),
+            (
+                "wide-1",
+                "select sum(l_extendedprice) from lineitem \
+                 where l_shipdate = date '1995-06-17'",
+            ),
+            (
+                "wide-2",
+                "select sum(l_extendedprice * l_discount) from lineitem \
+                 where l_discount = 0.05 and l_quantity = 24",
+            ),
+            (
+                "wide-3",
+                "select count(*) from lineitem, orders \
+                 where l_orderkey = o_orderkey and o_orderstatus = 'F'",
+            ),
+        ],
+    };
+    raw.iter()
+        .map(|(l, s)| ((*l).to_string(), (*s).to_string()))
+        .collect()
+}
+
+/// A pre-parsed template the stream can draw.
+#[derive(Debug, Clone)]
+struct Template {
+    source: Benchmark,
+    label: String,
+    sql: String,
+    parsed: Query,
+}
+
+fn workload_templates(bench: Benchmark, w: &Workload) -> Vec<Template> {
+    w.queries
+        .iter()
+        .map(|q| Template {
+            source: bench,
+            label: q.label.clone(),
+            sql: q.sql.clone(),
+            parsed: q.parsed.clone(),
+        })
+        .collect()
+}
+
+fn parsed_templates(bench: Benchmark, pairs: &[(String, String)]) -> Vec<Template> {
+    pairs
+        .iter()
+        .map(|(label, sql)| Template {
+            source: bench,
+            label: label.clone(),
+            sql: sql.clone(),
+            parsed: lt_sql::parse_query(sql).expect("stream template must parse"),
+        })
+        .collect()
+}
+
+/// Deterministic phased query stream; see the module docs.
+#[derive(Debug)]
+pub struct PhasedStream {
+    spec: PhasedStreamSpec,
+    rng: Rng,
+    next: usize,
+    /// Phase-A pool.
+    before: Vec<Template>,
+    /// Phase-B pool (shares phase A's for [`ShiftClass::Stationary`]).
+    after: Vec<Template>,
+    /// Phase-B pool drawn 30% of the time post-shift (mix shifts only).
+    after_minor: Vec<Template>,
+}
+
+impl PhasedStream {
+    /// Builds the stream, loading the benchmark workloads the spec needs
+    /// and pre-parsing every template.
+    pub fn new(spec: PhasedStreamSpec) -> PhasedStream {
+        let tpch = Benchmark::TpchSf1.load();
+        let tpch_pool = workload_templates(Benchmark::TpchSf1, &tpch);
+        let (before, after, after_minor) = match spec.shift {
+            ShiftClass::Stationary => (tpch_pool.clone(), tpch_pool, Vec::new()),
+            ShiftClass::MixShift => {
+                let tpcds = Benchmark::TpcdsSf1.load();
+                let tpcds_pool = workload_templates(Benchmark::TpcdsSf1, &tpcds);
+                (tpch_pool.clone(), tpcds_pool, tpch_pool)
+            }
+            ShiftClass::ScaleJump => {
+                // Identical query text, executed against the SF-10 catalog
+                // (same table/column names) after the shift.
+                let jumped: Vec<Template> = tpch_pool
+                    .iter()
+                    .cloned()
+                    .map(|mut t| {
+                        t.source = Benchmark::TpchSf10;
+                        t
+                    })
+                    .collect();
+                (tpch_pool, jumped, Vec::new())
+            }
+            ShiftClass::PredicateShift => (
+                parsed_templates(Benchmark::TpchSf1, &predicate_templates(Phase::Before)),
+                parsed_templates(Benchmark::TpchSf1, &predicate_templates(Phase::After)),
+                Vec::new(),
+            ),
+        };
+        PhasedStream {
+            rng: seeded_rng(spec.seed),
+            next: 0,
+            spec,
+            before,
+            after,
+            after_minor,
+        }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> PhasedStreamSpec {
+        self.spec
+    }
+}
+
+impl Iterator for PhasedStream {
+    type Item = StreamQuery;
+
+    fn next(&mut self) -> Option<StreamQuery> {
+        if self.next >= self.spec.len {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        let shifted =
+            !matches!(self.spec.shift, ShiftClass::Stationary) && index >= self.spec.shift_at;
+        let pool = if !shifted {
+            &self.before
+        } else if !self.after_minor.is_empty() && self.rng.gen_f64() >= 0.7 {
+            &self.after_minor
+        } else {
+            &self.after
+        };
+        let t = &pool[self.rng.gen_range(0..pool.len())];
+        Some(StreamQuery {
+            index,
+            source: t.source,
+            label: t.label.clone(),
+            sql: t.sql.clone(),
+            parsed: t.parsed.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(shift: ShiftClass) -> PhasedStreamSpec {
+        PhasedStreamSpec {
+            shift,
+            shift_at: 50,
+            len: 120,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn same_spec_replays_identically() {
+        for shift in ShiftClass::all() {
+            let a: Vec<(usize, String)> = PhasedStream::new(spec(shift))
+                .map(|q| (q.index, q.label))
+                .collect();
+            let b: Vec<(usize, String)> = PhasedStream::new(spec(shift))
+                .map(|q| (q.index, q.label))
+                .collect();
+            assert_eq!(a, b, "{shift:?}");
+            assert_eq!(a.len(), 120);
+        }
+    }
+
+    #[test]
+    fn stationary_never_leaves_tpch() {
+        for q in PhasedStream::new(spec(ShiftClass::Stationary)) {
+            assert_eq!(q.source, Benchmark::TpchSf1);
+        }
+    }
+
+    #[test]
+    fn mix_shift_introduces_tpcds_only_after_the_shift_point() {
+        let queries: Vec<StreamQuery> = PhasedStream::new(spec(ShiftClass::MixShift)).collect();
+        assert!(queries[..50].iter().all(|q| q.source == Benchmark::TpchSf1));
+        let post_ds = queries[50..]
+            .iter()
+            .filter(|q| q.source == Benchmark::TpcdsSf1)
+            .count();
+        // 70% of 70 draws; loose bounds, but it must clearly dominate.
+        assert!(post_ds > 30, "only {post_ds} TPC-DS draws post-shift");
+        assert!(post_ds < 70, "phase B must remain a mix");
+    }
+
+    #[test]
+    fn scale_jump_keeps_query_text_but_moves_source() {
+        let queries: Vec<StreamQuery> = PhasedStream::new(spec(ShiftClass::ScaleJump)).collect();
+        assert!(queries[..50].iter().all(|q| q.source == Benchmark::TpchSf1));
+        assert!(queries[50..]
+            .iter()
+            .all(|q| q.source == Benchmark::TpchSf10));
+        let tpch = Benchmark::TpchSf1.load();
+        assert!(queries.iter().all(|q| tpch.by_label(&q.label).is_some()));
+    }
+
+    #[test]
+    fn predicate_shift_swaps_template_pools_at_the_boundary() {
+        let queries: Vec<StreamQuery> =
+            PhasedStream::new(spec(ShiftClass::PredicateShift)).collect();
+        assert!(queries[..50].iter().all(|q| q.label.starts_with("narrow-")));
+        assert!(queries[50..].iter().all(|q| q.label.starts_with("wide-")));
+    }
+
+    #[test]
+    fn predicate_templates_parse_against_the_tpch_catalog() {
+        use lt_dbms::stats::extract;
+        let tpch = Benchmark::TpchSf1.load();
+        for phase in [Phase::Before, Phase::After] {
+            for (label, sql) in predicate_templates(phase) {
+                let parsed = lt_sql::parse_query(&sql).unwrap_or_else(|e| {
+                    panic!("{label}: {e}");
+                });
+                let preds = extract(&parsed, &tpch.catalog);
+                assert!(!preds.tables.is_empty(), "{label} resolves no tables");
+            }
+        }
+    }
+}
