@@ -17,6 +17,10 @@
 #      suite gating correctness already ran under step 4)
 #   9. drift smoke: drift_bench --smoke must pass its own acceptance
 #      bounds (zero false alarms, bounded detection, warm-start budget)
+#  10. fleet smoke: fleet_bench --smoke must pass its acceptance bounds
+#      (cache replay byte-identity, batched-sampling identity, transfer
+#      quality) and emit a trace_check-clean sidecar; its smoke JSON is
+#      also part of the determinism gate in step 5
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,12 +45,14 @@ LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
 LT_BENCH_THREADS=1 ./target/release/table4 > /dev/null
 LT_BENCH_THREADS=1 ./target/release/fig4 > /dev/null
 LT_BENCH_THREADS=1 ./target/release/drift_bench > /dev/null
-cp results/fig6.json results/table4.json results/fig4.json results/BENCH_drift.json results/.ci-seq/
+LT_BENCH_THREADS=1 ./target/release/fleet_bench --smoke > /dev/null
+cp results/fig6.json results/table4.json results/fig4.json results/BENCH_drift.json results/BENCH_fleet.smoke.json results/.ci-seq/
 LT_BENCH_THREADS=4 ./target/release/fig6 > /dev/null
 LT_BENCH_THREADS=4 ./target/release/table4 > /dev/null
 LT_BENCH_THREADS=4 ./target/release/fig4 > /dev/null
 LT_BENCH_THREADS=4 ./target/release/drift_bench > /dev/null
-for f in fig6.json table4.json fig4.json BENCH_drift.json; do
+LT_BENCH_THREADS=4 ./target/release/fleet_bench --smoke > /dev/null
+for f in fig6.json table4.json fig4.json BENCH_drift.json BENCH_fleet.smoke.json; do
     if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
         echo "DETERMINISM FAILURE: results/$f differs between sequential and parallel runs" >&2
         diff "results/.ci-seq/$f" "results/$f" >&2 || true
@@ -68,6 +74,10 @@ step "planner smoke (planner_bench --smoke, timing informational)"
 
 step "drift smoke (drift_bench --smoke, acceptance bounds gate)"
 ./target/release/drift_bench --smoke
+
+step "fleet smoke (fleet_bench --smoke + trace_check on its sidecar)"
+LT_BENCH_THREADS=1 ./target/release/fleet_bench --smoke
+./target/release/trace_check results/BENCH_fleet.trace.json
 
 echo
 echo "ci.sh: all gates passed"

@@ -12,6 +12,7 @@
 //! * maximize `Σ V(p)·R_p`.
 
 use crate::snippets::Snippet;
+use lt_common::lru::{cap_from_env, LruMap};
 use lt_common::{obs, ColumnId, FxHasher, Result};
 use lt_dbms::Catalog;
 use lt_ilp::{solve, Ilp, SolveOptions};
@@ -21,6 +22,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
 use std::sync::{Mutex, OnceLock};
 
+/// Default bound on the ILP memo; override with `LT_COMPRESS_MEMO_CAP`.
+const DEFAULT_MEMO_CAP: usize = 256;
+
 /// Process-wide memo for ILP compression results. The solve is by far the
 /// most expensive step of the tuning pipeline (seconds at realistic token
 /// budgets, vs microseconds for planning), and the benchmark matrix re-runs
@@ -28,16 +32,23 @@ use std::sync::{Mutex, OnceLock};
 /// (estimated costs are seed-independent under default statistics), as do
 /// ablation variants that only change selector behaviour. Keyed by a
 /// fingerprint of everything `compress` reads — budget, snippet ids and
-/// values, and the rendered column names. Disabled alongside the plan cache
-/// by `LT_PLAN_CACHE=0` so the cache-less baseline is measurable.
-fn compression_memo() -> Option<&'static Mutex<HashMap<u64, CompressedWorkload>>> {
-    static MEMO: OnceLock<Option<Mutex<HashMap<u64, CompressedWorkload>>>> = OnceLock::new();
+/// values, and the rendered column names. Bounded LRU (`LT_COMPRESS_MEMO_CAP`
+/// entries, evictions counted as `compress.memo_evict`) so fleet-scale runs
+/// cannot grow it without limit. Disabled alongside the plan cache by
+/// `LT_PLAN_CACHE=0` so the cache-less baseline is measurable.
+fn compression_memo() -> Option<&'static Mutex<LruMap<u64, CompressedWorkload>>> {
+    static MEMO: OnceLock<Option<Mutex<LruMap<u64, CompressedWorkload>>>> = OnceLock::new();
     MEMO.get_or_init(|| {
         let enabled = !matches!(
             std::env::var("LT_PLAN_CACHE").as_deref(),
             Ok("0") | Ok("off") | Ok("false")
         );
-        enabled.then(|| Mutex::new(HashMap::new()))
+        enabled.then(|| {
+            Mutex::new(LruMap::new(cap_from_env(
+                "LT_COMPRESS_MEMO_CAP",
+                DEFAULT_MEMO_CAP,
+            )))
+        })
     })
     .as_ref()
 }
@@ -150,7 +161,9 @@ impl<'a> Compressor<'a> {
         obs::counter("compress.memo_miss", 1);
         let result = self.compress_uncached(snippets, budget, total_value)?;
         if let Some(memo) = compression_memo() {
-            memo.lock().unwrap().insert(key, result.clone());
+            if memo.lock().unwrap().insert(key, result.clone()).is_some() {
+                obs::counter("compress.memo_evict", 1);
+            }
         }
         Ok(result)
     }

@@ -157,6 +157,16 @@ pub struct LambdaTune {
     pub observer: Option<Arc<dyn TuneObserver>>,
     /// Optional warm-start material from a previous run; see [`WarmStart`].
     pub warm_start: Option<WarmStart>,
+    /// Optional shared sample cache (fleet batching): the sampling loop
+    /// consults it before calling the model and publishes fresh samples
+    /// back. See [`crate::samples::SampleCache`].
+    pub samples: Option<Arc<crate::samples::SampleCache>>,
+    /// LLM sampling batch size: seeds are fetched in chunks of this size
+    /// through [`LlmClient::complete_batch`], which charges the prompt once
+    /// per chunk instead of once per sample. `0`/`1` (the default) keeps
+    /// the historical one-call-per-sample behaviour. Any value yields
+    /// byte-identical configurations — only token accounting changes.
+    pub sample_batch: usize,
 }
 
 impl std::fmt::Debug for LambdaTune {
@@ -169,6 +179,8 @@ impl std::fmt::Debug for LambdaTune {
                 &self.observer.as_ref().map(|_| "<dyn TuneObserver>"),
             )
             .field("warm_start", &self.warm_start)
+            .field("samples", &self.samples.as_ref().map(|c| c.len()))
+            .field("sample_batch", &self.sample_batch)
             .finish()
     }
 }
@@ -178,9 +190,7 @@ impl LambdaTune {
     pub fn new(options: LambdaTuneOptions) -> Self {
         LambdaTune {
             options,
-            documents: None,
-            observer: None,
-            warm_start: None,
+            ..Self::default()
         }
     }
 
@@ -206,23 +216,30 @@ impl LambdaTune {
         self
     }
 
-    /// Runs the full pipeline: prompt generation → k LLM samples →
-    /// configuration selection. Returns the best configuration found.
-    pub fn tune<M: LanguageModel>(
+    /// Attaches a shared sample cache; see [`crate::samples::SampleCache`].
+    pub fn with_samples(mut self, samples: Arc<crate::samples::SampleCache>) -> Self {
+        self.samples = Some(samples);
+        self
+    }
+
+    /// Sets the LLM sampling batch size (see the field docs).
+    pub fn with_sample_batch(mut self, batch: usize) -> Self {
+        self.sample_batch = batch;
+        self
+    }
+
+    /// Builds the exact prompt [`tune`](Self::tune) sends for this session,
+    /// plus the workload-token count it reports. Pure in (db state,
+    /// workload, options, warm start) and makes no LLM calls — exposed so a
+    /// serving layer can coalesce sessions sharing a prompt and prefetch
+    /// their samples in one batched call.
+    pub fn build_prompt<M: LanguageModel>(
         &self,
-        db: &mut SimDb,
+        db: &SimDb,
         workload: &Workload,
         llm: &LlmClient<M>,
-    ) -> Result<TuneResult> {
-        let start = db.now();
+    ) -> Result<(String, usize)> {
         let opts = &self.options;
-        opts.validate()?;
-        let observer = self.observer.as_deref();
-        let cancelled = || observer.is_some_and(|o| o.cancelled());
-        let mut tune_span = obs::span_vt("tune", start);
-
-        // ---- prompt generation (§3) ----
-        let mut prompt_span = obs::span_vt("tune.prompt_build", db.now());
         let builder = PromptBuilder::new(db.dbms(), db.hardware()).params_only(opts.params_only);
         let obfuscator = opts.obfuscate.then(|| Obfuscator::new(db.catalog()));
         let reused_prompt = self.warm_start.as_ref().and_then(|w| w.prompt.clone());
@@ -270,6 +287,28 @@ impl LambdaTune {
             }
             _ => prompt,
         };
+        Ok((prompt, workload_tokens))
+    }
+
+    /// Runs the full pipeline: prompt generation → k LLM samples →
+    /// configuration selection. Returns the best configuration found.
+    pub fn tune<M: LanguageModel>(
+        &self,
+        db: &mut SimDb,
+        workload: &Workload,
+        llm: &LlmClient<M>,
+    ) -> Result<TuneResult> {
+        let start = db.now();
+        let opts = &self.options;
+        opts.validate()?;
+        let observer = self.observer.as_deref();
+        let cancelled = || observer.is_some_and(|o| o.cancelled());
+        let mut tune_span = obs::span_vt("tune", start);
+
+        // ---- prompt generation (§3) ----
+        let mut prompt_span = obs::span_vt("tune.prompt_build", db.now());
+        let obfuscator = opts.obfuscate.then(|| Obfuscator::new(db.catalog()));
+        let (prompt, workload_tokens) = self.build_prompt(db, workload, llm)?;
         prompt_span.vt_end(db.now());
         drop(prompt_span);
         if let Some(o) = observer {
@@ -277,7 +316,6 @@ impl LambdaTune {
                 tokens: workload_tokens,
             });
         }
-
         // ---- warm-start seed candidates + k LLM samples ----
         // Seed scripts occupy the leading candidate slots and cost no LLM
         // calls; the remaining slots are sampled as usual. The sample seeds
@@ -310,14 +348,60 @@ impl LambdaTune {
                 }
             }
         }
+        // Sampling is pure in (prompt, temperature, per-candidate seed), so
+        // neither the batch size nor a sample-cache hit can change which
+        // configurations come back — and the clock is charged `llm_latency`
+        // per candidate regardless of how the sample was obtained, so the
+        // selector's virtual timeline (and with it every trajectory point)
+        // is byte-identical across batch sizes and cache states too.
+        let batch = self.sample_batch.max(1);
+        let sample_cache = self.samples.as_deref();
+        let mut prefetched: std::collections::HashMap<u64, String> =
+            std::collections::HashMap::new();
         for i in configs.len()..opts.num_configs {
             if cancelled() {
                 sampling_cancelled = true;
                 break;
             }
+            let seed = derive_seed(opts.seed, i as u64);
+            // At batch sizes > 1 the chunk covering this candidate is
+            // fetched up front with one metered call (prompt charged once).
+            if batch > 1 && !prefetched.contains_key(&seed) {
+                let chunk: Vec<u64> = (i..(i + batch).min(opts.num_configs))
+                    .map(|j| derive_seed(opts.seed, j as u64))
+                    .collect();
+                let missing: Vec<u64> = chunk
+                    .iter()
+                    .copied()
+                    .filter(|&s| {
+                        sample_cache
+                            .and_then(|c| c.get(&prompt, opts.temperature, s))
+                            .map(|r| prefetched.insert(s, r))
+                            .is_none()
+                    })
+                    .collect();
+                let fresh = llm.complete_batch(&prompt, opts.temperature, &missing)?;
+                for (s, response) in missing.into_iter().zip(fresh) {
+                    if let Some(c) = sample_cache {
+                        c.insert(&prompt, opts.temperature, s, response.clone());
+                    }
+                    prefetched.insert(s, response);
+                }
+            }
             let mut sample_span = obs::span_vt("tune.llm_sample", db.now());
-            let response =
-                llm.complete(&prompt, opts.temperature, derive_seed(opts.seed, i as u64))?;
+            let response = match prefetched.remove(&seed) {
+                Some(response) => response,
+                None => match sample_cache.and_then(|c| c.get(&prompt, opts.temperature, seed)) {
+                    Some(response) => response,
+                    None => {
+                        let response = llm.complete(&prompt, opts.temperature, seed)?;
+                        if let Some(c) = sample_cache {
+                            c.insert(&prompt, opts.temperature, seed, response.clone());
+                        }
+                        response
+                    }
+                },
+            };
             db.clock_advance(opts.llm_latency);
             sample_span.vt_end(db.now());
             drop(sample_span);
@@ -755,6 +839,58 @@ mod tests {
         assert_eq!(result.llm_usage.calls, 0, "fully seeded: no sampling");
         assert!(result.configs[0].index_specs().is_empty());
         assert!(result.configs[0].knob_changes().next().is_some());
+    }
+
+    #[test]
+    fn batched_sampling_matches_unbatched_at_every_batch_size() {
+        let (mut db, w, llm) = setup();
+        let plain = LambdaTune::default().tune(&mut db, &w, &llm).unwrap();
+        for batch in [2, 3, 5, 8] {
+            let (mut db2, _, llm2) = setup();
+            let batched = LambdaTune::default()
+                .with_sample_batch(batch)
+                .tune(&mut db2, &w, &llm2)
+                .unwrap();
+            let scripts = |r: &TuneResult| -> Vec<String> {
+                r.configs
+                    .iter()
+                    .map(|c| c.to_script(Dbms::Postgres, &w.catalog))
+                    .collect()
+            };
+            assert_eq!(scripts(&plain), scripts(&batched), "batch {batch}");
+            assert_eq!(plain.best_index, batched.best_index, "batch {batch}");
+            assert_eq!(plain.best_time, batched.best_time, "batch {batch}");
+            assert_eq!(plain.trajectory, batched.trajectory, "batch {batch}");
+            // The saving: one metered call (and one prompt charge) per
+            // chunk instead of per sample.
+            let chunks = 5usize.div_ceil(batch) as u64;
+            assert_eq!(batched.llm_usage.calls, chunks, "batch {batch}");
+            assert!(batched.llm_usage.prompt_tokens < plain.llm_usage.prompt_tokens);
+            assert_eq!(
+                batched.llm_usage.completion_tokens,
+                plain.llm_usage.completion_tokens
+            );
+        }
+    }
+
+    #[test]
+    fn shared_sample_cache_eliminates_repeat_llm_calls() {
+        let cache = Arc::new(crate::samples::SampleCache::with_cap(64));
+        let (mut db, w, llm) = setup();
+        let first = LambdaTune::default()
+            .with_samples(Arc::clone(&cache))
+            .tune(&mut db, &w, &llm)
+            .unwrap();
+        assert_eq!(first.llm_usage.calls, 5);
+        let (mut db2, _, llm2) = setup();
+        let second = LambdaTune::default()
+            .with_samples(Arc::clone(&cache))
+            .tune(&mut db2, &w, &llm2)
+            .unwrap();
+        assert_eq!(second.llm_usage.calls, 0, "all samples served from cache");
+        assert_eq!(first.best_index, second.best_index);
+        assert_eq!(first.best_time, second.best_time);
+        assert_eq!(first.trajectory, second.trajectory);
     }
 
     #[test]

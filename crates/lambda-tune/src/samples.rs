@@ -1,0 +1,115 @@
+//! Shared LLM sample cache for fleet batching.
+//!
+//! The serving layer coalesces queued sessions that would send the *same
+//! prompt* into one batched LLM call (see `lt-serve`'s worker pool), then
+//! hands each session this cache so the pipeline's sampling loop finds its
+//! per-seed completions already fetched. Completions are pure functions of
+//! `(prompt, temperature, seed)` — the [`lt_llm::LanguageModel`] contract —
+//! so serving a sample from the cache is indistinguishable from calling the
+//! model, except that no tokens are spent.
+//!
+//! Bounded LRU (`LT_SAMPLE_CACHE_CAP`, evictions counted as
+//! `fleet.sample_evict`).
+
+use lt_common::lru::{cap_from_env, LruMap};
+use lt_common::{hash_one, obs};
+use std::sync::Mutex;
+
+/// Default bound on cached samples; override with `LT_SAMPLE_CACHE_CAP`.
+const DEFAULT_SAMPLE_CAP: usize = 4096;
+
+/// Key: (prompt hash, temperature bits, sampling seed).
+type SampleKey = (u64, u64, u64);
+
+/// A process- or pool-shared map from `(prompt, temperature, seed)` to the
+/// model's completion. See the module docs.
+#[derive(Debug)]
+pub struct SampleCache {
+    entries: Mutex<LruMap<SampleKey, String>>,
+}
+
+impl Default for SampleCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleCache {
+    /// Cache bounded by the `LT_SAMPLE_CACHE_CAP` environment knob.
+    pub fn new() -> Self {
+        Self::with_cap(cap_from_env("LT_SAMPLE_CACHE_CAP", DEFAULT_SAMPLE_CAP))
+    }
+
+    /// Cache bounded to exactly `cap` samples (tests, sized pools).
+    pub fn with_cap(cap: usize) -> Self {
+        SampleCache {
+            entries: Mutex::new(LruMap::new(cap)),
+        }
+    }
+
+    fn key(prompt: &str, temperature: f64, seed: u64) -> SampleKey {
+        (hash_one(prompt), temperature.to_bits(), seed)
+    }
+
+    /// Returns the cached completion for this sampling context, if any.
+    /// Counts `fleet.sample_hit` / `fleet.sample_miss`.
+    pub fn get(&self, prompt: &str, temperature: f64, seed: u64) -> Option<String> {
+        let key = Self::key(prompt, temperature, seed);
+        match self.entries.lock().unwrap().get(&key) {
+            Some(response) => {
+                obs::counter("fleet.sample_hit", 1);
+                Some(response.clone())
+            }
+            None => {
+                obs::counter("fleet.sample_miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a completion fetched from the model.
+    pub fn insert(&self, prompt: &str, temperature: f64, seed: u64, response: String) {
+        let key = Self::key(prompt, temperature, seed);
+        let mut entries = self.entries.lock().unwrap();
+        if !entries.contains(&key) && entries.insert(key, response).is_some() {
+            obs::counter("fleet.sample_evict", 1);
+        }
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_discriminates_every_key_component() {
+        let cache = SampleCache::with_cap(8);
+        cache.insert("p", 0.7, 1, "r".into());
+        assert_eq!(cache.get("p", 0.7, 1).as_deref(), Some("r"));
+        assert!(cache.get("q", 0.7, 1).is_none());
+        assert!(cache.get("p", 0.8, 1).is_none());
+        assert!(cache.get("p", 0.7, 2).is_none());
+    }
+
+    #[test]
+    fn cap_evicts_coldest_sample() {
+        let cache = SampleCache::with_cap(2);
+        cache.insert("p", 0.0, 1, "a".into());
+        cache.insert("p", 0.0, 2, "b".into());
+        cache.get("p", 0.0, 1); // refresh seed 1
+        cache.insert("p", 0.0, 3, "c".into()); // evicts seed 2
+        assert!(cache.get("p", 0.0, 2).is_none());
+        assert_eq!(cache.get("p", 0.0, 1).as_deref(), Some("a"));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -10,6 +10,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod json;
+pub mod lru;
 pub mod obs;
 pub mod rng;
 pub mod time;
@@ -17,5 +18,6 @@ pub mod time;
 pub use error::{LtError, Result};
 pub use hash::{hash_one, Fingerprint, FxHasher};
 pub use ids::{ColumnId, IndexId, QueryId, TableId};
+pub use lru::LruMap;
 pub use rng::{derive_seed, seeded_rng, Rng};
 pub use time::{secs, Secs, VirtualClock};

@@ -6,8 +6,9 @@
 //! TPC-DS subset, JOB), which lets the analyzer resolve unqualified column
 //! references without scoping rules.
 
-use lt_common::{ColumnId, LtError, Result, TableId};
+use lt_common::{ColumnId, Fingerprint, FxHasher, LtError, Result, TableId};
 use std::collections::HashMap;
+use std::hash::Hasher;
 
 /// Default page size used by the cost model (PostgreSQL's 8 KiB).
 pub const PAGE_SIZE: u64 = 8192;
@@ -91,6 +92,27 @@ impl Catalog {
             catalog: self,
             table: id,
         }
+    }
+
+    /// Content fingerprint of the schema and statistics: table names, row
+    /// counts and every per-column statistic the optimizer reads. Two
+    /// catalogs with equal fingerprints plan identically (at equal seeds),
+    /// which is what lets cross-session caches key on it.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FxHasher::new();
+        for t in &self.tables {
+            h.write(t.name.as_bytes());
+            h.write_u64(t.rows);
+            h.write_u64(t.columns.len() as u64);
+        }
+        for c in &self.columns {
+            h.write(c.name.as_bytes());
+            h.write_u32(c.width);
+            h.write_u64(c.ndv.to_bits());
+            h.write_u8(c.primary_key as u8);
+            h.write_u8(c.foreign_key as u8);
+        }
+        Fingerprint(h.finish())
     }
 
     /// All tables.

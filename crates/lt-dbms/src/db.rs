@@ -49,6 +49,10 @@ pub struct SimDb {
     /// `knobs.planner_fingerprint()`, refreshed on knob mutation so the hot
     /// execute path doesn't rehash the knob set per query.
     planner_fp: lt_common::Fingerprint,
+    /// `catalog.fingerprint()`, computed once at construction (the catalog
+    /// is immutable thereafter). Keys the shared cross-session plan tier
+    /// and the fleet tuning cache.
+    catalog_fp: lt_common::Fingerprint,
 }
 
 impl SimDb {
@@ -57,6 +61,7 @@ impl SimDb {
     pub fn new(dbms: Dbms, catalog: Catalog, hardware: Hardware, seed: u64) -> Self {
         let knobs = KnobSet::defaults(dbms);
         let planner_fp = knobs.planner_fingerprint();
+        let catalog_fp = catalog.fingerprint();
         SimDb {
             dbms,
             catalog,
@@ -71,7 +76,13 @@ impl SimDb {
             queries_completed: 0,
             plan_cache: PlanCache::new(),
             planner_fp,
+            catalog_fp,
         }
+    }
+
+    /// Content fingerprint of this instance's catalog.
+    pub fn catalog_fingerprint(&self) -> lt_common::Fingerprint {
+        self.catalog_fp
     }
 
     /// The target system flavour.
@@ -341,20 +352,34 @@ impl SimDb {
     /// indexes on *this query's tables* only: creating an index on an
     /// unrelated table (the evaluator builds indexes lazily between tuning
     /// rounds) leaves every other query's cached plan valid.
+    /// A local miss falls through to the process-wide shared tier (see
+    /// [`crate::global_cache`]) before planning from scratch; fresh plans
+    /// are published back so concurrent sessions on the same catalog and
+    /// seed skip the optimizer entirely.
     fn plan_cached(&self, tag: u64, preds: &QueryPredicates) -> Arc<Plan> {
         let key = PlanKey {
             query: tag,
             knobs: self.planner_fp,
             indexes: self.indexes.fingerprint_for_tables(&preds.tables),
         };
+        let global_key = crate::global_cache::GlobalPlanKey {
+            catalog: self.catalog_fp,
+            stats_seed: self.model.stats_seed,
+            key,
+        };
         self.plan_cache.plan_or_insert(key, || {
-            Optimizer::new(
+            if let Some(shared) = crate::global_cache::lookup(&global_key) {
+                return (*shared).clone();
+            }
+            let plan = Optimizer::new(
                 &self.catalog,
                 &self.knobs,
                 &self.indexes,
                 self.model.stats_seed,
             )
-            .plan_extracted(preds)
+            .plan_extracted(preds);
+            crate::global_cache::publish(global_key, Arc::new(plan.clone()));
+            plan
         })
     }
 

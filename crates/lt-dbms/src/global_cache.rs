@@ -1,0 +1,145 @@
+//! Process-wide plan-cache tier shared across per-session [`SimDb`]s.
+//!
+//! Under fleet load many tenants tune against the same catalog with the
+//! same knob/index configurations, but each session owns a private
+//! [`PlanCache`](crate::PlanCache) that starts cold. This tier sits behind
+//! the per-session cache as a read-through: a local miss consults the
+//! shared map before planning, and freshly planned entries are published
+//! back. Sharing is safe because planning is pure — a plan depends only on
+//! (catalog, statistics seed, query, planner knobs, index set), all of
+//! which are folded into [`GlobalPlanKey`]. The statistics seed matters:
+//! two sessions with different `stats_seed`s see different misestimation
+//! patterns and therefore different plans for the same query.
+//!
+//! Bounded LRU (`LT_GLOBAL_PLAN_CAP`, evictions counted as
+//! `fleet.plan_shared_evict`). Disabled by `LT_GLOBAL_PLAN_CACHE=0` or,
+//! together with every other cache, by `LT_PLAN_CACHE=0`.
+//!
+//! [`SimDb`]: crate::SimDb
+
+use crate::plan::Plan;
+use crate::plan_cache::PlanKey;
+use lt_common::lru::{cap_from_env, LruMap};
+use lt_common::{obs, Fingerprint};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default bound on the shared tier; override with `LT_GLOBAL_PLAN_CAP`.
+const DEFAULT_GLOBAL_CAP: usize = 16_384;
+
+/// Key of one shared plan: the session-local [`PlanKey`] widened by the
+/// facts that vary *between* sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalPlanKey {
+    /// `Catalog::fingerprint()` of the schema + statistics planned against.
+    pub catalog: Fingerprint,
+    /// Statistics seed of the session's execution model: it perturbs the
+    /// optimizer's estimates, so plans are only shareable at equal seeds.
+    pub stats_seed: u64,
+    /// The session-local planning context (query, knobs, indexes).
+    pub key: PlanKey,
+}
+
+type SharedTier = Option<Mutex<LruMap<GlobalPlanKey, Arc<Plan>>>>;
+
+fn shared_plans() -> Option<&'static Mutex<LruMap<GlobalPlanKey, Arc<Plan>>>> {
+    static TIER: OnceLock<SharedTier> = OnceLock::new();
+    TIER.get_or_init(|| {
+        let off = |var: &str| {
+            matches!(
+                std::env::var(var).as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            )
+        };
+        let enabled = !off("LT_PLAN_CACHE") && !off("LT_GLOBAL_PLAN_CACHE");
+        enabled.then(|| {
+            Mutex::new(LruMap::new(cap_from_env(
+                "LT_GLOBAL_PLAN_CAP",
+                DEFAULT_GLOBAL_CAP,
+            )))
+        })
+    })
+    .as_ref()
+}
+
+/// Looks a plan up in the shared tier. Counts `fleet.plan_shared_hit` /
+/// `fleet.plan_shared_miss`; returns `None` when the tier is disabled
+/// (without counting — a disabled tier is not a miss, it is absent).
+pub fn lookup(key: &GlobalPlanKey) -> Option<Arc<Plan>> {
+    let tier = shared_plans()?;
+    match tier.lock().unwrap().get(key) {
+        Some(plan) => {
+            obs::counter("fleet.plan_shared_hit", 1);
+            Some(Arc::clone(plan))
+        }
+        None => {
+            obs::counter("fleet.plan_shared_miss", 1);
+            None
+        }
+    }
+}
+
+/// Publishes a freshly planned entry to the shared tier (no-op when
+/// disabled). Counts `fleet.plan_shared_evict` when the insert displaced
+/// the coldest entry.
+pub fn publish(key: GlobalPlanKey, plan: Arc<Plan>) {
+    if let Some(tier) = shared_plans() {
+        let mut guard = tier.lock().unwrap();
+        if !guard.contains(&key) && guard.insert(key, plan).is_some() {
+            obs::counter("fleet.plan_shared_evict", 1);
+        }
+    }
+}
+
+/// Live entry count of the shared tier (0 when disabled). For tests and
+/// diagnostics.
+pub fn len() -> usize {
+    shared_plans().map_or(0, |t| t.lock().unwrap().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanNode, PlanOp};
+    use lt_common::TableId;
+
+    fn gkey(catalog: u64, seed: u64, query: u64) -> GlobalPlanKey {
+        GlobalPlanKey {
+            catalog: Fingerprint(catalog),
+            stats_seed: seed,
+            key: PlanKey {
+                query,
+                knobs: Fingerprint(1),
+                indexes: Fingerprint(2),
+            },
+        }
+    }
+
+    fn plan(cost: f64) -> Arc<Plan> {
+        Arc::new(Plan {
+            root: PlanNode::leaf(
+                PlanOp::SeqScan {
+                    table: TableId(0),
+                    selectivity: 1.0,
+                },
+                1.0,
+                cost,
+                8.0,
+            ),
+            join_costs: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn publish_then_lookup_round_trips() {
+        let key = gkey(0xFEE7, 1, 99);
+        assert!(lookup(&key).is_none());
+        let p = plan(5.0);
+        publish(key, Arc::clone(&p));
+        let hit = lookup(&key).expect("published plan");
+        assert!(Arc::ptr_eq(&hit, &p));
+        // A different stats seed is a different plan identity.
+        assert!(lookup(&gkey(0xFEE7, 2, 99)).is_none());
+        // As is a different catalog.
+        assert!(lookup(&gkey(0xBEEF, 1, 99)).is_none());
+    }
+}

@@ -22,10 +22,15 @@
 
 use crate::plan::Plan;
 use crate::stats::QueryPredicates;
+use lt_common::lru::{cap_from_env, LruMap};
 use lt_common::{obs, Fingerprint};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default bound on cached plans per `SimDb`; override with
+/// `LT_PLAN_CACHE_CAP`. Sized to hold every (query, configuration) pair a
+/// full benchmark-matrix selector run touches with room to spare.
+const DEFAULT_PLAN_CAP: usize = 65_536;
 
 /// Cache key: the complete planning context of one query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,8 +75,10 @@ pub struct PlanCache {
     /// call plans from scratch and counts as a miss. Used to measure the
     /// cache-less baseline with an otherwise identical binary.
     enabled: bool,
-    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
-    predicates: Mutex<HashMap<u64, Arc<QueryPredicates>>>,
+    /// Bounded LRU (`LT_PLAN_CACHE_CAP`): under fleet load many `SimDb`s
+    /// live in one process, so each per-session cache must have a ceiling.
+    plans: Mutex<LruMap<PlanKey, Arc<Plan>>>,
+    predicates: Mutex<LruMap<u64, Arc<QueryPredicates>>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     extract_hits: AtomicU64,
@@ -89,10 +96,11 @@ impl Default for PlanCache {
             std::env::var("LT_PLAN_CACHE").as_deref(),
             Ok("0") | Ok("off") | Ok("false")
         );
+        let cap = cap_from_env("LT_PLAN_CACHE_CAP", DEFAULT_PLAN_CAP);
         PlanCache {
             enabled,
-            plans: Mutex::default(),
-            predicates: Mutex::default(),
+            plans: Mutex::new(LruMap::new(cap)),
+            predicates: Mutex::new(LruMap::new(cap)),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             extract_hits: AtomicU64::new(0),
@@ -112,6 +120,16 @@ impl PlanCache {
     /// Empty cache with zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache bounded to `cap` plans/predicate sets, ignoring the
+    /// environment knob. Used by tests that exercise eviction.
+    pub fn with_cap(cap: usize) -> Self {
+        PlanCache {
+            plans: Mutex::new(LruMap::new(cap)),
+            predicates: Mutex::new(LruMap::new(cap)),
+            ..Self::default()
+        }
     }
 
     /// Returns the plan for `key`, planning via `plan_fn` on a miss.
@@ -135,11 +153,10 @@ impl PlanCache {
         self.window[W_PLAN_MISS].fetch_add(1, Ordering::Relaxed);
         obs::counter("dbms.plan_cache.miss", 1);
         let plan = Arc::new(plan_fn());
-        self.plans
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&plan));
+        let mut plans = self.plans.lock().unwrap();
+        if !plans.contains(&key) && plans.insert(key, Arc::clone(&plan)).is_some() {
+            obs::counter("dbms.plan_cache.evict", 1);
+        }
         plan
     }
 
@@ -168,11 +185,10 @@ impl PlanCache {
         self.window[W_EXTRACT_MISS].fetch_add(1, Ordering::Relaxed);
         obs::counter("dbms.extract_cache.miss", 1);
         let preds = Arc::new(extract_fn());
-        self.predicates
-            .lock()
-            .unwrap()
-            .entry(query)
-            .or_insert_with(|| Arc::clone(&preds));
+        let mut predicates = self.predicates.lock().unwrap();
+        if !predicates.contains(&query) && predicates.insert(query, Arc::clone(&preds)).is_some() {
+            obs::counter("dbms.extract_cache.evict", 1);
+        }
         preds
     }
 
@@ -297,6 +313,18 @@ mod tests {
         cache.plan_or_insert(key(1, 2, 3), || panic!("must not replan"));
         assert_eq!(cache.window_stats().plan_hits, 1);
         assert_eq!(cache.stats().plan_hits, 2);
+    }
+
+    #[test]
+    fn cap_bounds_cached_plans_and_evicts_coldest() {
+        let cache = PlanCache::with_cap(2);
+        cache.plan_or_insert(key(1, 0, 0), || leaf(1.0));
+        cache.plan_or_insert(key(2, 0, 0), || leaf(2.0));
+        cache.plan_or_insert(key(1, 0, 0), || panic!("must not replan")); // refresh 1
+        cache.plan_or_insert(key(3, 0, 0), || leaf(3.0)); // evicts 2
+        assert_eq!(cache.len(), 2);
+        cache.plan_or_insert(key(2, 0, 0), || leaf(2.0)); // re-planned: was evicted
+        assert_eq!(cache.stats().plan_misses, 4);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Fleet-scale amortization for λ-Tune (ROADMAP "Fleet-scale
+//! amortization").
+//!
+//! At fleet scale most tuning sessions are redundant: millions of tenants
+//! present near-identical (schema, workload profile, hardware, budget)
+//! tuples, yet a naive service pays the full prompt-build → LLM-sample →
+//! compress → evaluate pipeline for each. This crate amortizes that cost
+//! across sessions:
+//!
+//! * [`FleetCache`] — a content-addressed **tuning cache**. The key
+//!   ([`FleetKey`]) fingerprints everything the pipeline's output depends
+//!   on: catalog, workload [`Profile`] digest, hardware, DBMS flavour, the
+//!   complete option set (including the sampling seed) and the initial
+//!   configuration. An exact hit replays the cached winner — byte-identical
+//!   to a cold run *by construction*, because the pipeline itself is a pure
+//!   function of exactly those inputs.
+//! * **Warm-start transfer** — on a near miss (same everything except the
+//!   workload profile), the nearest cached neighbour under
+//!   [`Profile::jensen_shannon`] distance seeds the new session through the
+//!   existing [`WarmStart`](lambda_tune::WarmStart) path: the neighbour's
+//!   prompt is reused verbatim and its winner competes as candidate 0 at a
+//!   fraction of the sampling budget. Transfer results are *never* inserted
+//!   back into the exact cache (they are schedule-dependent bargains, not
+//!   canonical cold-run results).
+//!
+//! Knobs: `LT_FLEET=0` disables the global cache, `LT_FLEET_CAP` bounds it,
+//! `LT_FLEET_JSD` sets the transfer distance threshold, and
+//! `LT_FLEET_TRANSFER=0` disables transfer in the serving layer. Everything
+//! is observable through `fleet.*` counters.
+
+pub mod cache;
+pub mod tune;
+
+pub use cache::{options_digest, FleetCache, FleetEntry, FleetKey};
+pub use tune::{fleet_tune, FleetResult, Served, TransferOptions};

@@ -1,11 +1,12 @@
 //! A minimal HTTP/1.1 layer over `std::net`, sized for the tuning service.
 //!
-//! One request per connection (`Connection: close` on every response), no
-//! chunked encoding, no keep-alive — the serving protocol is small JSON
-//! documents, and the load generator opens a fresh connection per call, so
-//! the simplest correct subset of HTTP/1.1 is the whole implementation.
-//! Bodies are read by `Content-Length`; head and body sizes are bounded so
-//! a misbehaving client cannot balloon server memory.
+//! The default is one request per connection (`Connection: close` on every
+//! response); clients that send `Connection: keep-alive` explicitly get the
+//! connection back for more requests, up to the server's per-connection cap
+//! and idle timeout ([`Connection`] is the persistent client). No chunked
+//! encoding — the serving protocol is small JSON documents delimited by
+//! `Content-Length` in both directions. Head and body sizes are bounded so
+//! a misbehaving peer cannot balloon memory.
 
 use lt_common::json::Value;
 use std::io::{self, Read, Write};
@@ -44,6 +45,15 @@ impl Request {
     /// The body as UTF-8, or `None` when it is not valid UTF-8.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// True when the client explicitly asked to reuse the connection.
+    /// HTTP/1.1 defaults to persistent connections, but this service keeps
+    /// the historical close-by-default contract — existing clients send no
+    /// `Connection` header and expect EOF-delimited responses.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
 }
 
@@ -158,14 +168,22 @@ impl Response {
         )
     }
 
-    /// Serializes status line, headers and body to `stream`.
+    /// Serializes status line, headers and body to `stream`, closing the
+    /// connection afterwards (the historical one-request contract).
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        self.write_connection(stream, false)
+    }
+
+    /// [`Response::write_to`] with an explicit connection disposition:
+    /// `keep_alive` announces the connection stays open for more requests.
+    pub fn write_connection(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         )?;
         for (name, value) in &self.headers {
             write!(stream, "{name}: {value}\r\n")?;
@@ -234,6 +252,152 @@ pub fn request_with(
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     parse_response(&raw)
+}
+
+/// Upper bound on a response body the persistent client will accept.
+const MAX_RESPONSE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Reads one `Content-Length`-delimited response — the framing that makes
+/// connection reuse possible (an EOF-delimited read would wait out the
+/// server's idle timeout on every call).
+fn read_response(stream: &mut impl Read) -> io::Result<RawResponse> {
+    let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(malformed("response head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(malformed("connection closed mid-response")),
+            _ => head.push(byte[0]),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head_text = std::str::from_utf8(&head[..head.len() - 4])
+        .map_err(|_| malformed("response head is not UTF-8"))?;
+    let mut lines = head_text.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| malformed("bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_RESPONSE_BYTES {
+        return Err(malformed("response body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| malformed("response body is not UTF-8"))?;
+    Ok((status, headers, body))
+}
+
+/// A persistent client connection: sends `Connection: keep-alive` on every
+/// request and reads responses by `Content-Length`, so one TCP connection
+/// carries many calls. When the server closes it anyway — per-connection
+/// request cap, idle timeout, restart — the next call transparently
+/// reconnects once before giving up.
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Connection {
+    /// A lazily-connected client for `addr` (the socket opens on first use).
+    pub fn new(addr: SocketAddr) -> Connection {
+        Connection { addr, stream: None }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream just connected"))
+    }
+
+    /// Sends one request over the persistent connection and reads the
+    /// response. Reconnects and retries once when the connection turned out
+    /// to be dead (server-side cap or idle close between calls).
+    pub fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<RawResponse> {
+        let fresh = self.stream.is_none();
+        match self.try_call(method, path, headers, body) {
+            Ok(response) => Ok(response),
+            Err(_) if !fresh => {
+                self.stream = None;
+                self.try_call(method, path, headers, body)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn try_call(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<RawResponse> {
+        let addr = self.addr;
+        let result = (|| {
+            let stream = self.stream()?;
+            let body = body.unwrap_or("");
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n",
+                body.len()
+            )?;
+            for (name, value) in headers {
+                write!(stream, "{name}: {value}\r\n")?;
+            }
+            write!(stream, "\r\n{body}")?;
+            stream.flush()?;
+            read_response(stream)
+        })();
+        match result {
+            Ok((status, headers, body)) => {
+                // The server says whether the connection survives this
+                // response; believe it rather than discovering a dead
+                // socket on the next call.
+                let closing = headers
+                    .iter()
+                    .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+                if closing {
+                    self.stream = None;
+                }
+                Ok((status, headers, body))
+            }
+            Err(err) => {
+                self.stream = None;
+                Err(err)
+            }
+        }
+    }
 }
 
 /// Splits a raw HTTP response into status code, headers and body.
@@ -333,6 +497,51 @@ mod tests {
         assert!(headers
             .iter()
             .any(|(n, v)| n == "allow" && v == "GET, POST"));
+    }
+
+    #[test]
+    fn keep_alive_is_explicit_opt_in() {
+        let raw = b"GET /metrics HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        assert!(read_request(&mut &raw[..]).unwrap().wants_keep_alive());
+        let raw = b"GET /metrics HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(read_request(&mut &raw[..]).unwrap().wants_keep_alive());
+        let raw = b"GET /metrics HTTP/1.1\r\n\r\n";
+        assert!(!read_request(&mut &raw[..]).unwrap().wants_keep_alive());
+        let raw = b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!read_request(&mut &raw[..]).unwrap().wants_keep_alive());
+    }
+
+    #[test]
+    fn write_connection_announces_the_disposition() {
+        let resp = Response::json(200, &lt_common::json!({ "ok": true }));
+        let mut out = Vec::new();
+        resp.write_connection(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let (_, headers, _) = parse_response(&text).unwrap();
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v == "keep-alive"));
+    }
+
+    #[test]
+    fn read_response_stops_at_content_length() {
+        // Two pipelined responses on one stream: the reader must consume
+        // exactly one, leaving the second for the next call.
+        let mut out = Vec::new();
+        Response::json(200, &lt_common::json!({ "first": 1 }))
+            .write_connection(&mut out, true)
+            .unwrap();
+        Response::json(404, &lt_common::json!({ "second": 2 }))
+            .write_connection(&mut out, false)
+            .unwrap();
+        let mut stream = &out[..];
+        let (status, _, body) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("first"));
+        let (status, _, body) = read_response(&mut stream).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("second"));
+        assert!(read_response(&mut stream).is_err(), "stream exhausted");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! byte-identical per-seed configuration scripts; [`run_matrix`] verifies
 //! exactly that, and the determinism integration test pins it.
 
-use crate::http::request;
+use crate::http::Connection;
 use crate::server::{start, ServerConfig};
 use lt_common::json::{parse, Value};
 use lt_common::{derive_seed, json};
@@ -145,7 +145,9 @@ impl LoadRun {
     }
 }
 
-/// Runs one client: submit, poll to a terminal state, fetch the config.
+/// Runs one client: submit, poll to a terminal state, fetch the config —
+/// all over a single keep-alive connection (polling every 10 ms through
+/// fresh connections is exactly the workload connection reuse exists for).
 /// Transport errors become a synthetic `error: …` state instead of a panic
 /// so one refused connection does not sink the whole run.
 fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutcome {
@@ -153,6 +155,7 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
     // integer model is i64.
     let seed = derive_seed(opts.base_seed, client as u64) & (i64::MAX as u64);
     let started = Instant::now();
+    let mut conn = Connection::new(addr);
     let fail = |state: String| ClientOutcome {
         client,
         seed,
@@ -167,7 +170,7 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
         "num_configs": opts.num_configs,
     })
     .to_string_pretty();
-    let (status, response) = match request(addr, "POST", "/sessions", Some(&body)) {
+    let (status, _, response) = match conn.call("POST", "/sessions", &[], Some(&body)) {
         Ok(r) => r,
         Err(e) => return fail(format!("error: submit: {e}")),
     };
@@ -183,7 +186,7 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
         if started.elapsed() > opts.poll_timeout {
             break "error: poll timeout".to_string();
         }
-        let (status, response) = match request(addr, "GET", &format!("/sessions/{id}"), None) {
+        let (status, _, response) = match conn.call("GET", &format!("/sessions/{id}"), &[], None) {
             Ok(r) => r,
             Err(e) => break format!("error: poll: {e}"),
         };
@@ -203,8 +206,9 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
 
     let script = (state == "done")
         .then(|| {
-            let (status, response) =
-                request(addr, "GET", &format!("/sessions/{id}/config"), None).ok()?;
+            let (status, _, response) = conn
+                .call("GET", &format!("/sessions/{id}/config"), &[], None)
+                .ok()?;
             (status == 200)
                 .then(|| parse(&response).ok())
                 .flatten()

@@ -9,15 +9,16 @@
 //! so a graceful shutdown never abandons an accepted session.
 
 use crate::session::{ServingState, SessionHandle, SessionState, TuneRequest};
-use lambda_tune::LambdaTune;
+use lambda_tune::{LambdaTune, SampleCache, WarmStart};
 use lt_common::{derive_seed, obs, LtError, Secs};
 use lt_dbms::{Configuration, SimDb};
-use lt_drift::{retune, DriftMonitor, Profile, RetuneOptions, TuneMemory};
+use lt_drift::{retune, warm_options, DriftMonitor, Profile, RetuneOptions, TuneMemory};
+use lt_fleet::{FleetCache, FleetEntry, FleetKey, TransferOptions};
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Workload;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// One unit of worker-pool work.
@@ -46,11 +47,29 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// Coalescing batch size: how many queued sessions one worker may drain and
+/// process together, sharing a single batched LLM call when they differ only
+/// by seed. `LT_SERVE_BATCH`, default 1 (no coalescing) — results are
+/// identical at any batch size, only the token bill changes.
+fn serve_batch_from_env() -> usize {
+    std::env::var("LT_SERVE_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 impl WorkerPool {
-    /// Starts `workers` tuning threads behind a queue of depth `queue_depth`.
+    /// Starts `workers` tuning threads behind a queue of depth `queue_depth`,
+    /// coalescing up to `LT_SERVE_BATCH` queued sessions per dequeue.
     pub fn start(workers: usize, queue_depth: usize) -> WorkerPool {
+        WorkerPool::start_with_batch(workers, queue_depth, serve_batch_from_env())
+    }
+
+    /// [`WorkerPool::start`] with an explicit coalescing batch size.
+    pub fn start_with_batch(workers: usize, queue_depth: usize, batch: usize) -> WorkerPool {
         let workers = workers.max(1);
         let queue_depth = queue_depth.max(1);
+        let batch = batch.max(1);
         let (sender, receiver) = sync_channel::<Job>(queue_depth);
         // std's Receiver is single-consumer; share it behind a mutex so the
         // pool pulls jobs work-stealing style.
@@ -61,18 +80,36 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("lt-serve-worker-{i}"))
                     .spawn(move || loop {
-                        let job = {
+                        // Take one job (blocking), then — when coalescing —
+                        // opportunistically drain whatever else is already
+                        // queued, up to the batch bound.
+                        let jobs = {
                             let guard = match receiver.lock() {
                                 Ok(g) => g,
                                 Err(poisoned) => poisoned.into_inner(),
                             };
-                            guard.recv()
+                            match guard.recv() {
+                                Ok(first) => {
+                                    let mut jobs = vec![first];
+                                    while jobs.len() < batch {
+                                        match guard.try_recv() {
+                                            Ok(job) => jobs.push(job),
+                                            Err(_) => break,
+                                        }
+                                    }
+                                    jobs
+                                }
+                                Err(_) => break, // all senders dropped: shutdown
+                            }
                         };
-                        match job {
-                            Ok(Job::Tune(session)) => run_session(&session),
-                            Ok(Job::Retune(session)) => run_retune(&session),
-                            Err(_) => break, // all senders dropped: shutdown
+                        let mut tunes = Vec::new();
+                        for job in jobs {
+                            match job {
+                                Job::Tune(session) => tunes.push(session),
+                                Job::Retune(session) => run_retune(&session),
+                            }
                         }
+                        run_sessions(&tunes);
                     })
                     .expect("spawn lt-serve worker")
             })
@@ -146,10 +183,125 @@ fn measure_default(db: &mut SimDb, workload: &Workload) -> Secs {
     total
 }
 
+/// Digest of everything *except* the seed that decides whether two queued
+/// sessions would send the same prompt: workload, system flavour, hardware,
+/// option group and starting configuration. Sessions sharing this key are
+/// coalesced into one batched LLM call.
+fn coalesce_key(request: &TuneRequest) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = lt_common::FxHasher::new();
+    request.benchmark.hash(&mut h);
+    request.dbms.hash(&mut h);
+    h.write_u64(request.hardware.memory_bytes);
+    h.write_u64(request.hardware.cores as u64);
+    h.write_u64(lt_fleet::options_digest(&request.options, false));
+    request.initial_config.as_deref().unwrap_or("").hash(&mut h);
+    h.finish()
+}
+
+/// Runs a drained batch of sessions, sharing one batched LLM call across
+/// those that differ only by seed. Grouping preserves dequeue order, and a
+/// failed prefetch only costs the sharing — every session still runs.
+fn run_sessions(sessions: &[SessionHandle]) {
+    if sessions.len() <= 1 {
+        for session in sessions {
+            run_session(session);
+        }
+        return;
+    }
+    let mut groups: Vec<(u64, Vec<&SessionHandle>)> = Vec::new();
+    for session in sessions {
+        let key = coalesce_key(&session.lock().request);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(session),
+            None => groups.push((key, vec![session])),
+        }
+    }
+    for (_, members) in groups {
+        let samples = if members.len() > 1 {
+            prefetch_samples(&members)
+        } else {
+            None
+        };
+        for session in members {
+            run_session_with(session, samples.clone());
+        }
+    }
+}
+
+/// One batched LLM call covering every still-uncached session in a
+/// coalesced group: the shared prompt is built (and billed) once, the
+/// per-candidate seeds of all group members fan out through
+/// `complete_batch`, and the responses land in a [`SampleCache`] the
+/// sessions then drain. Purely an amortization — a `None` return (nothing
+/// to share, or the prefetch failed) leaves every session to sample for
+/// itself with identical results.
+fn prefetch_samples(group: &[&SessionHandle]) -> Option<Arc<SampleCache>> {
+    let request = group[0].lock().request.clone();
+    let workload = request.benchmark.load();
+    let mut db = SimDb::new(
+        request.dbms,
+        workload.catalog.clone(),
+        request.hardware,
+        request.seed,
+    );
+    if let Some(script) = &request.initial_config {
+        let config = Configuration::parse(script, request.dbms, db.catalog());
+        db.apply_knobs(&config);
+        for spec in config.index_specs() {
+            db.create_index(spec);
+        }
+    }
+    let profile = Profile::from_workload(db.catalog(), &workload);
+    let fleet = FleetCache::global();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut uncached = 0usize;
+    for session in group {
+        let options = session.lock().request.options;
+        let key = FleetKey::for_session(
+            &db,
+            &profile,
+            &options,
+            request.initial_config.as_deref().unwrap_or(""),
+        );
+        if fleet.contains(&key) {
+            continue; // served from the tuning cache: needs no samples
+        }
+        uncached += 1;
+        for i in 0..options.num_configs {
+            let seed = derive_seed(options.seed, i as u64);
+            if !seeds.contains(&seed) {
+                seeds.push(seed);
+            }
+        }
+    }
+    if uncached < 2 {
+        return None; // nothing to amortize across
+    }
+    let tuner = LambdaTune::new(request.options);
+    let llm = LlmClient::new(SimulatedLlm::new());
+    let (prompt, _) = tuner.build_prompt(&db, &workload, &llm).ok()?;
+    let responses = llm
+        .complete_batch(&prompt, request.options.temperature, &seeds)
+        .ok()?;
+    let cache = Arc::new(SampleCache::new());
+    for (seed, response) in seeds.iter().zip(responses) {
+        cache.insert(&prompt, request.options.temperature, *seed, response);
+    }
+    obs::counter("fleet.coalesced_sessions", uncached as u64);
+    Some(cache)
+}
+
 /// Runs one session end to end on the calling worker thread. Never panics:
 /// the pipeline is wrapped in `catch_unwind`, so the worst a poisoned
 /// request can do is fail its own session.
 pub fn run_session(session: &SessionHandle) {
+    run_session_with(session, None)
+}
+
+/// [`run_session`] with an optional prefetched sample cache from a
+/// coalesced batch.
+fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) {
     // A cancel that raced the queue wins without spending any work.
     {
         let mut s = session.lock();
@@ -166,7 +318,7 @@ pub fn run_session(session: &SessionHandle) {
     obs::counter("serve.sessions_started", 1);
 
     let request = session.lock().request.clone();
-    let outcome = catch_unwind(AssertUnwindSafe(|| tune_session(session)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| tune_session(session, samples)));
 
     let mut s = session.lock();
     match outcome {
@@ -201,24 +353,28 @@ pub fn run_session(session: &SessionHandle) {
     }
 }
 
+/// True when near-miss warm-start transfer is live in the serving layer
+/// (`LT_FLEET_TRANSFER=1`). Off by default: a transferred result depends on
+/// what the cache happens to hold, i.e. on scheduling — enabling it trades
+/// the byte-for-byte replay guarantee for cheaper near-miss sessions.
+fn transfer_enabled() -> bool {
+    matches!(
+        std::env::var("LT_FLEET_TRANSFER").as_deref(),
+        Ok("1") | Ok("on") | Ok("true")
+    )
+}
+
 /// The fallible part of a session: builds the per-session database, applies
-/// any initial configuration, measures the default workload time and runs
-/// the pipeline. Returns `Ok(true)` when the run was cancelled mid-flight.
-fn tune_session(session: &SessionHandle) -> lt_common::Result<bool> {
+/// any initial configuration, consults the fleet tuning cache, and — on a
+/// miss — measures the default workload time and runs the pipeline (an
+/// exact hit replays the cached run, including its default measurement).
+/// Returns `Ok(true)` when the run was cancelled mid-flight.
+fn tune_session(
+    session: &SessionHandle,
+    samples: Option<Arc<SampleCache>>,
+) -> lt_common::Result<bool> {
     let request = session.lock().request.clone();
     let workload = request.benchmark.load();
-
-    // Denominator of the scaled cost: the workload under the *default*
-    // configuration, on a fresh database with the same seed (the tuning
-    // database must not see these executions in its plan cache timeline).
-    let mut default_db = SimDb::new(
-        request.dbms,
-        workload.catalog.clone(),
-        request.hardware,
-        request.seed,
-    );
-    let default_time = measure_default(&mut default_db, &workload);
-    session.lock().default_time = Some(default_time.as_f64());
 
     let mut db = SimDb::new(
         request.dbms,
@@ -240,10 +396,85 @@ fn tune_session(session: &SessionHandle) -> lt_common::Result<bool> {
         }
     }
 
-    let sink = std::sync::Arc::new(session.observer());
-    let tuner = LambdaTune::new(request.options).with_observer(sink);
-    let llm = LlmClient::new(SimulatedLlm::new());
-    let result = tuner.tune(&mut db, &workload, &llm)?;
+    let fleet = FleetCache::global();
+    let profile = Profile::from_workload(db.catalog(), &workload);
+    let key = FleetKey::for_session(
+        &db,
+        &profile,
+        &request.options,
+        request.initial_config.as_deref().unwrap_or(""),
+    );
+    let cached = fleet.lookup(&key);
+
+    // Denominator of the scaled cost: the workload under the *default*
+    // configuration, on a fresh database with the same seed (the tuning
+    // database must not see these executions in its plan cache timeline).
+    // A hit replays the cached measurement instead of re-running it.
+    let default_time = match cached.as_ref().and_then(|entry| entry.default_time) {
+        Some(time) => time,
+        None => {
+            let mut default_db = SimDb::new(
+                request.dbms,
+                workload.catalog.clone(),
+                request.hardware,
+                request.seed,
+            );
+            measure_default(&mut default_db, &workload)
+        }
+    };
+    session.lock().default_time = Some(default_time.as_f64());
+
+    let result = match cached {
+        Some(entry) => entry.to_result(&db),
+        None => {
+            // Near-miss transfer (opt-in): warm-start from the nearest
+            // cached neighbour's prompt and winner at half the budget.
+            // Transferred runs are never published — they are not what a
+            // cold run with this key would have produced.
+            let transferred = if transfer_enabled() {
+                let t = TransferOptions::default();
+                fleet
+                    .nearest(&key, &profile, t.max_distance)
+                    .map(|(_, neighbour)| {
+                        obs::counter("fleet.transfer", 1);
+                        let warm = WarmStart {
+                            prompt: Some(neighbour.prompt.clone()),
+                            seed_scripts: neighbour
+                                .best_script()
+                                .map(str::to_string)
+                                .into_iter()
+                                .collect(),
+                        };
+                        LambdaTune::new(warm_options(&request.options, t.budget_fraction, None))
+                            .with_warm_start(warm)
+                    })
+            } else {
+                None
+            };
+            let publish = transferred.is_none();
+            let mut tuner = transferred
+                .unwrap_or_else(|| LambdaTune::new(request.options))
+                .with_observer(std::sync::Arc::new(session.observer()));
+            if let Some(cache) = samples {
+                tuner = tuner.with_samples(cache);
+            }
+            let llm = LlmClient::new(SimulatedLlm::new());
+            let result = tuner.tune(&mut db, &workload, &llm)?;
+            if publish && !result.cancelled {
+                fleet.insert(
+                    key,
+                    FleetEntry::from_result(
+                        &result,
+                        request.dbms,
+                        db.catalog(),
+                        profile,
+                        Some(default_time),
+                    ),
+                );
+            }
+            result
+        }
+    };
 
     let best_script = result
         .best_config
@@ -428,7 +659,9 @@ mod tests {
     #[test]
     fn runs_a_session_to_done_with_a_config() {
         let registry = SessionRegistry::new();
-        let handle = registry.create(quick_request(""));
+        // A seed no other test uses: the fleet cache is process-global, and
+        // this test asserts on sampling progress a replayed hit skips.
+        let handle = registry.create(quick_request(r#", "seed": 9001"#));
         run_session(&handle);
         let s = handle.lock();
         assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
@@ -551,6 +784,61 @@ mod tests {
         assert_eq!(s.state, SessionState::Done);
         assert_eq!(s.best_script, before);
         assert_eq!(s.drift.retunes, 0);
+    }
+
+    fn counter_value(name: &str) -> u64 {
+        obs::snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn fleet_cache_replays_a_session_byte_for_byte() {
+        let registry = SessionRegistry::new();
+        let cold = registry.create(quick_request(r#", "seed": 9100"#));
+        run_session(&cold);
+        let hit = registry.create(quick_request(r#", "seed": 9100"#));
+        let hits_before = counter_value("fleet.tune_hit");
+        run_session(&hit);
+        assert_eq!(counter_value("fleet.tune_hit"), hits_before + 1);
+        let (c, h) = (cold.lock(), hit.lock());
+        assert_eq!(h.state, SessionState::Done, "error: {:?}", h.error);
+        assert_eq!(c.best_script, h.best_script);
+        assert_eq!(c.best_time, h.best_time);
+        assert_eq!(c.default_time, h.default_time);
+        assert_eq!(c.tuning_time, h.tuning_time);
+        assert_eq!(c.trajectory, h.trajectory);
+        // The replay keeps serving too — same warm memory as the cold run.
+        let (cs, hs) = (c.serving.as_ref().unwrap(), h.serving.as_ref().unwrap());
+        assert_eq!(cs.memory.prompt, hs.memory.prompt);
+        assert_eq!(cs.memory.best_script, hs.memory.best_script);
+    }
+
+    #[test]
+    fn coalesced_sessions_share_one_batched_call_and_match_solo_runs() {
+        let registry = SessionRegistry::new();
+        let batch: Vec<_> = (0..3)
+            .map(|i| registry.create(quick_request(&format!(r#", "seed": {}"#, 9200 + i))))
+            .collect();
+        let coalesced_before = counter_value("fleet.coalesced_sessions");
+        run_sessions(&batch);
+        assert_eq!(
+            counter_value("fleet.coalesced_sessions"),
+            coalesced_before + 3,
+            "all three uncached siblings should share the batched call"
+        );
+        for (i, h) in batch.iter().enumerate() {
+            let solo = registry.create(quick_request(&format!(r#", "seed": {}"#, 9200 + i)));
+            run_session(&solo);
+            let (b, s) = (h.lock(), solo.lock());
+            assert_eq!(b.state, SessionState::Done, "error: {:?}", b.error);
+            assert_eq!(b.best_script, s.best_script, "seed {}", 9200 + i);
+            assert_eq!(b.best_time, s.best_time);
+            assert_eq!(b.trajectory, s.trajectory);
+        }
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub struct ServerConfig {
     /// when absent); a tenant at its cap gets 429 + `Retry-After` while
     /// other tenants keep being admitted.
     pub tenant_cap: usize,
+    /// Requests served per connection before it is closed even for clients
+    /// asking `Connection: keep-alive` (`LT_SERVE_KEEPALIVE_MAX`, default
+    /// 32). Bounds how long one client can monopolize a connection thread.
+    pub keepalive_max: usize,
+    /// Idle timeout in milliseconds: how long a connection may sit between
+    /// requests (and how long one request may take to arrive) before the
+    /// thread gives up (`LT_SERVE_IDLE_MS`, default 30000).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +72,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_connections: 64,
             tenant_cap: 64,
+            keepalive_max: 32,
+            idle_timeout_ms: 30_000,
         }
     }
 }
@@ -97,6 +107,12 @@ impl ServerConfig {
         if let Some(cap) = usize_env("LT_SERVE_TENANT_CAP") {
             config.tenant_cap = cap;
         }
+        if let Some(max) = usize_env("LT_SERVE_KEEPALIVE_MAX") {
+            config.keepalive_max = max;
+        }
+        if let Some(ms) = usize_env("LT_SERVE_IDLE_MS") {
+            config.idle_timeout_ms = ms as u64;
+        }
         config
     }
 }
@@ -113,6 +129,10 @@ struct ServerState {
     max_connections: usize,
     /// Per-tenant non-terminal-session quota.
     tenant_cap: usize,
+    /// Keep-alive per-connection request cap.
+    keepalive_max: usize,
+    /// Keep-alive idle timeout (also the per-request read timeout).
+    idle_timeout: Duration,
 }
 
 /// Decrements the live-connection count when a connection thread exits,
@@ -180,6 +200,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         connections: AtomicUsize::new(0),
         max_connections: config.max_connections.max(1),
         tenant_cap: config.tenant_cap.max(1),
+        keepalive_max: config.keepalive_max.max(1),
+        idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
     });
     let accept_state = state.clone();
     let accept_thread = std::thread::Builder::new()
@@ -232,13 +254,35 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(state.idle_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(&request, state),
-        Err(err) => Response::error(400, &format!("malformed request: {err}")),
-    };
-    let _ = response.write_to(&mut stream);
+    // Close-by-default with opt-in reuse: a client sending
+    // `Connection: keep-alive` gets the connection back for more requests,
+    // up to the per-connection cap; the read timeout doubles as the idle
+    // timeout between them.
+    for served in 0..state.keepalive_max {
+        let request = match read_request(&mut stream) {
+            Ok(request) => request,
+            Err(err) => {
+                // After at least one request, an error here is just the
+                // client being done (clean close or idle timeout) — end the
+                // connection silently rather than answering 400.
+                if served == 0 {
+                    let _ = Response::error(400, &format!("malformed request: {err}"))
+                        .write_to(&mut stream);
+                }
+                return;
+            }
+        };
+        if served > 0 {
+            obs::counter("serve.keepalive_reuse", 1);
+        }
+        let keep = request.wants_keep_alive() && served + 1 < state.keepalive_max;
+        let response = route(&request, state);
+        if response.write_connection(&mut stream, keep).is_err() || !keep {
+            return;
+        }
+    }
 }
 
 /// Dispatches one request. Total: every `(method, path)` gets an answer.

@@ -6,7 +6,7 @@
 //! into tuning results.
 
 use lt_common::json::{parse, Value};
-use lt_serve::http::{request, request_with};
+use lt_serve::http::{request, request_with, Connection};
 use lt_serve::load::{run_matrix, LoadOptions};
 use lt_serve::{start, ServerConfig};
 use lt_workloads::stream::{predicate_templates, Phase};
@@ -239,6 +239,91 @@ fn malformed_requests_are_rejected_not_fatal() {
 }
 
 /// `/metrics` exposes live pipeline counters accumulated across sessions.
+#[test]
+fn keep_alive_carries_a_whole_session_on_one_connection() {
+    let mut server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        keepalive_max: 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+    let mut conn = Connection::new(addr);
+
+    // Submit, poll to done, fetch the config — every exchange over the
+    // same TCP connection.
+    let (status, headers, response) = conn
+        .call(
+            "POST",
+            "/sessions",
+            &[],
+            Some(r#"{"seed": 9300, "num_configs": 2}"#),
+        )
+        .expect("submit over keep-alive");
+    assert_eq!(status, 202, "{response}");
+    assert!(
+        headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v == "keep-alive"),
+        "server honors the keep-alive request: {headers:?}"
+    );
+    let id = parse(&response)
+        .ok()
+        .and_then(|d| d.get("id")?.as_i64())
+        .expect("session id");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, _, response) = conn
+            .call("GET", &format!("/sessions/{id}"), &[], None)
+            .expect("poll over keep-alive");
+        assert_eq!(status, 200);
+        let state = parse(&response)
+            .ok()
+            .and_then(|d| Some(d.get("state")?.as_str()?.to_string()))
+            .expect("state");
+        if state == "done" {
+            break;
+        }
+        assert_ne!(state.as_str(), "failed", "{response}");
+        assert!(Instant::now() < deadline, "session stuck");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, _, response) = conn
+        .call("GET", &format!("/sessions/{id}/config"), &[], None)
+        .expect("config over keep-alive");
+    assert_eq!(status, 200, "{response}");
+
+    // The server counted the reused exchanges.
+    let (status, metrics) = request(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    let reused = parse(&metrics)
+        .ok()
+        .and_then(|d| d.get("counters")?.get("serve.keepalive_reuse")?.as_i64())
+        .unwrap_or(0);
+    assert!(reused > 0, "keep-alive reuse not counted: {metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_survives_the_request_cap() {
+    let mut server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        keepalive_max: 3, // force a server-side close every 3 requests
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut conn = Connection::new(server.addr());
+    for i in 0..10 {
+        let (status, _, response) = conn
+            .call("GET", "/metrics", &[], None)
+            .unwrap_or_else(|e| panic!("call {i} failed: {e}"));
+        assert_eq!(status, 200, "{response}");
+    }
+    server.shutdown();
+}
+
 #[test]
 fn metrics_expose_live_counters() {
     let mut server = start_server(2, 16);
