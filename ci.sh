@@ -1,83 +1,163 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml — run before pushing.
 #
-# Steps, in the same order the workflow runs them:
-#   1. cargo build --release
-#   2. cargo fmt --check
-#   3. cargo clippy --all-targets -- -D warnings
-#   4. cargo test -q
-#   5. determinism gate: fig6 + table4 + fig4 twice (sequential vs
-#      parallel eval matrix), results/*.json must match byte-for-byte
-#   6. trace gate: LT_TRACE=1 fig6 must emit a trace whose per-phase
-#      self-times sum to the run wall time (checked by trace_check)
-#   7. serve smoke gate: lt-serve-load --smoke runs real sessions
-#      through the HTTP service over loopback and checks /metrics
-#   8. planner smoke: planner_bench --smoke must run to completion
-#      (timing numbers are informational; the enumerator property
-#      suite gating correctness already ran under step 4)
-#   9. drift smoke: drift_bench --smoke must pass its own acceptance
-#      bounds (zero false alarms, bounded detection, warm-start budget)
-#  10. fleet smoke: fleet_bench --smoke must pass its acceptance bounds
-#      (cache replay byte-identity, batched-sampling identity, transfer
-#      quality) and emit a trace_check-clean sidecar; its smoke JSON is
-#      also part of the determinism gate in step 5
+# The workflow runs these gates as parallel jobs; this script runs the
+# same gate functions sequentially, or a single one via `--gate NAME`
+# (which is exactly what each workflow job invokes):
+#
+#   build        cargo build --release
+#   fmt          cargo fmt --check
+#   clippy       cargo clippy --all-targets -- -D warnings
+#   test         cargo test -q
+#   determinism  every deterministic results file produced twice
+#                (LT_BENCH_THREADS=1 vs =4, smoke runs repeated) must
+#                match byte-for-byte: fig6/table4/fig4, drift full +
+#                smoke, fleet smoke, serve-load smoke, crash smoke
+#   trace        LT_TRACE=1 fig6 must emit a trace whose per-phase
+#                self-times sum to the run wall time (trace_check)
+#   serve        lt-serve-load --smoke: real sessions through the HTTP
+#                service over loopback, /metrics checked
+#   planner      planner_bench --smoke runs to completion (timing is
+#                informational; enumerator properties gate under test)
+#   drift        drift_bench --smoke acceptance bounds (zero false
+#                alarms, bounded detection, warm-start budget)
+#   fleet        fleet_bench --smoke acceptance bounds + trace_check
+#                on its sidecar
+#   crash        crash-bench --smoke: crash-injection recovery gate —
+#                every enumerated WAL kill point, torn/corrupt logs,
+#                and live LT_WAL_CRASH_AT child kills must recover
+#                with no lost acknowledged sessions, byte-identical
+#                winners, and no duplicated re-tunes
+#
+# Per-gate wall seconds are printed at the end and written to
+# results/ci_timing.txt (the workflow uploads it as an artifact).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-step() { echo; echo "=== $* ==="; }
+export LT_TRIALS="${LT_TRIALS:-1}" LT_SEED="${LT_SEED:-42}"
 
-step "build (release)"
-cargo build --release
+gate_build() {
+    cargo build --release
+}
 
-step "rustfmt"
-cargo fmt --check
+gate_fmt() {
+    cargo fmt --check
+}
 
-step "clippy"
-cargo clippy --all-targets -- -D warnings
+gate_clippy() {
+    cargo clippy --all-targets -- -D warnings
+}
 
-step "tests"
-cargo test -q
+gate_test() {
+    cargo test -q
+}
 
-step "determinism gate (sequential vs parallel bench matrix)"
-export LT_TRIALS=1 LT_SEED=42
-rm -rf results/.ci-seq && mkdir -p results/.ci-seq
-LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
-LT_BENCH_THREADS=1 ./target/release/table4 > /dev/null
-LT_BENCH_THREADS=1 ./target/release/fig4 > /dev/null
-LT_BENCH_THREADS=1 ./target/release/drift_bench > /dev/null
-LT_BENCH_THREADS=1 ./target/release/fleet_bench --smoke > /dev/null
-cp results/fig6.json results/table4.json results/fig4.json results/BENCH_drift.json results/BENCH_fleet.smoke.json results/.ci-seq/
-LT_BENCH_THREADS=4 ./target/release/fig6 > /dev/null
-LT_BENCH_THREADS=4 ./target/release/table4 > /dev/null
-LT_BENCH_THREADS=4 ./target/release/fig4 > /dev/null
-LT_BENCH_THREADS=4 ./target/release/drift_bench > /dev/null
-LT_BENCH_THREADS=4 ./target/release/fleet_bench --smoke > /dev/null
-for f in fig6.json table4.json fig4.json BENCH_drift.json BENCH_fleet.smoke.json; do
-    if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
-        echo "DETERMINISM FAILURE: results/$f differs between sequential and parallel runs" >&2
-        diff "results/.ci-seq/$f" "results/$f" >&2 || true
-        exit 1
+# Files every determinism run must reproduce byte-for-byte. The first
+# three honour LT_BENCH_THREADS; the smoke files assert that repeated
+# runs (whatever the ambient parallelism) are byte-identical.
+DETERMINISM_FILES="fig6.json table4.json fig4.json BENCH_drift.json \
+BENCH_drift.smoke.json BENCH_fleet.smoke.json serve_load.smoke.json \
+BENCH_crash.smoke.json"
+
+determinism_pass() {
+    LT_BENCH_THREADS="$1" ./target/release/fig6 > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/table4 > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/fig4 > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/drift_bench > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/drift_bench --smoke > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/fleet_bench --smoke > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/lt-serve-load --smoke > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/crash-bench --smoke > /dev/null
+}
+
+gate_determinism() {
+    rm -rf results/.ci-seq && mkdir -p results/.ci-seq
+    determinism_pass 1
+    for f in $DETERMINISM_FILES; do cp "results/$f" results/.ci-seq/; done
+    determinism_pass 4
+    for f in $DETERMINISM_FILES; do
+        if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
+            echo "DETERMINISM FAILURE: results/$f differs between runs" >&2
+            diff "results/.ci-seq/$f" "results/$f" >&2 || true
+            exit 1
+        fi
+        echo "results/$f identical across runs"
+    done
+    rm -rf results/.ci-seq
+}
+
+gate_trace() {
+    LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
+    ./target/release/trace_check results/fig6.trace.json
+}
+
+gate_serve() {
+    ./target/release/lt-serve-load --smoke
+}
+
+gate_planner() {
+    ./target/release/planner_bench --smoke
+}
+
+gate_drift() {
+    ./target/release/drift_bench --smoke
+}
+
+gate_fleet() {
+    LT_BENCH_THREADS=1 ./target/release/fleet_bench --smoke
+    ./target/release/trace_check results/BENCH_fleet.trace.json
+}
+
+gate_crash() {
+    ./target/release/crash-bench --smoke
+}
+
+ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash"
+TIMING=()
+
+run_gate() {
+    local name="$1"
+    echo
+    echo "=== $name ==="
+    local start elapsed
+    start=$SECONDS
+    "gate_$name"
+    elapsed=$((SECONDS - start))
+    TIMING+=("$(printf '%-12s %5ss' "$name" "$elapsed")")
+}
+
+# Writes the per-gate wall-seconds table. Single-gate runs append so a
+# workflow job invoking several gates accumulates one table.
+report_timing() {
+    echo
+    echo "=== gate timing ==="
+    mkdir -p results
+    if [[ "${1:-}" == "append" ]]; then
+        printf '%s\n' "${TIMING[@]}" | tee -a results/ci_timing.txt
+    else
+        printf '%s\n' "${TIMING[@]}" | tee results/ci_timing.txt
     fi
-    echo "results/$f identical across thread counts"
+}
+
+if [[ "${1:-}" == "--gate" ]]; then
+    gate="${2:-}"
+    if [[ " $ALL_GATES " != *" $gate "* ]]; then
+        echo "usage: ci.sh [--gate NAME]; gates: $ALL_GATES" >&2
+        exit 2
+    fi
+    run_gate "$gate"
+    report_timing append
+    echo
+    echo "ci.sh: gate '$gate' passed"
+    exit 0
+elif [[ $# -gt 0 ]]; then
+    echo "usage: ci.sh [--gate NAME]; gates: $ALL_GATES" >&2
+    exit 2
+fi
+
+for gate in $ALL_GATES; do
+    run_gate "$gate"
 done
-rm -rf results/.ci-seq
-
-step "trace gate (LT_TRACE=1 fig6 + trace_check)"
-LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/fig6 > /dev/null
-./target/release/trace_check results/fig6.trace.json
-
-step "serve smoke gate (lt-serve-load --smoke)"
-./target/release/lt-serve-load --smoke
-
-step "planner smoke (planner_bench --smoke, timing informational)"
-./target/release/planner_bench --smoke
-
-step "drift smoke (drift_bench --smoke, acceptance bounds gate)"
-./target/release/drift_bench --smoke
-
-step "fleet smoke (fleet_bench --smoke + trace_check on its sidecar)"
-LT_BENCH_THREADS=1 ./target/release/fleet_bench --smoke
-./target/release/trace_check results/BENCH_fleet.trace.json
-
+report_timing
 echo
 echo "ci.sh: all gates passed"

@@ -82,6 +82,41 @@ impl Hasher for FxHasher {
     }
 }
 
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) checksum.
+///
+/// Unlike [`FxHasher`], this detects torn and bit-flipped bytes reliably,
+/// which is what the write-ahead log needs; it is not a general-purpose
+/// hash. Matches the polynomial used by zlib/Ethernet, so log files can be
+/// checked with standard external tools.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 /// Hashes one `Hash` value through [`FxHasher`].
 pub fn hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
     let mut h = FxHasher::new();
@@ -154,5 +189,13 @@ mod tests {
     #[test]
     fn display_is_hex() {
         assert_eq!(format!("{}", Fingerprint(0xABC)), "0000000000000abc");
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
     }
 }

@@ -46,6 +46,14 @@ impl Value {
         }
     }
 
+    /// The fields of an object in insertion order, or `None`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// The string content, or `None`.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -14,9 +14,10 @@ pub mod lru;
 pub mod obs;
 pub mod rng;
 pub mod time;
+pub mod wal;
 
 pub use error::{LtError, Result};
-pub use hash::{hash_one, Fingerprint, FxHasher};
+pub use hash::{crc32, hash_one, Fingerprint, FxHasher};
 pub use ids::{ColumnId, IndexId, QueryId, TableId};
 pub use lru::LruMap;
 pub use rng::{derive_seed, seeded_rng, Rng};

@@ -199,6 +199,128 @@ impl FleetEntry {
     }
 }
 
+/// [`FleetKey`] as JSON for the write-ahead session log. Digests are
+/// full-range `u64`s, so they serialize as 16-hex-digit strings (the JSON
+/// layer stores integers as `i64`).
+pub fn fleet_key_to_json(key: &FleetKey) -> lt_common::json::Value {
+    lt_common::json!({
+        "catalog": format!("{}", key.catalog),
+        "dbms": match key.dbms {
+            Dbms::Postgres => "postgres",
+            Dbms::Mysql => "mysql",
+        },
+        "memory_bytes": format!("{:016x}", key.memory_bytes),
+        "cores": key.cores as i64,
+        "profile": format!("{:016x}", key.profile),
+        "options": format!("{:016x}", key.options),
+        "group": format!("{:016x}", key.group),
+        "initial_config": format!("{:016x}", key.initial_config),
+    })
+}
+
+fn hex_u64(doc: &lt_common::json::Value, field: &str) -> Option<u64> {
+    u64::from_str_radix(doc.get(field)?.as_str()?, 16).ok()
+}
+
+/// Rebuilds a [`FleetKey`] written by [`fleet_key_to_json`].
+pub fn fleet_key_from_json(doc: &lt_common::json::Value) -> Option<FleetKey> {
+    Some(FleetKey {
+        catalog: Fingerprint(hex_u64(doc, "catalog")?),
+        dbms: match doc.get("dbms")?.as_str()? {
+            "postgres" => Dbms::Postgres,
+            "mysql" => Dbms::Mysql,
+            _ => return None,
+        },
+        memory_bytes: hex_u64(doc, "memory_bytes")?,
+        cores: u32::try_from(doc.get("cores")?.as_i64()?).ok()?,
+        profile: hex_u64(doc, "profile")?,
+        options: hex_u64(doc, "options")?,
+        group: hex_u64(doc, "group")?,
+        initial_config: hex_u64(doc, "initial_config")?,
+    })
+}
+
+/// [`FleetEntry`] as JSON for the write-ahead session log. Times serialize
+/// as plain floats: the JSON writer uses shortest-round-trip formatting, so
+/// re-parsing recovers the exact bits and replayed entries stay
+/// byte-identical.
+pub fn fleet_entry_to_json(entry: &FleetEntry) -> lt_common::json::Value {
+    use lt_common::json::Value;
+    let trajectory: Vec<Value> = entry
+        .trajectory
+        .iter()
+        .map(|p| {
+            lt_common::json!({
+                "opt_time_s": p.opt_time.as_f64(),
+                "best_workload_time_s": p.best_workload_time.as_f64(),
+            })
+        })
+        .collect();
+    lt_common::json!({
+        "config_scripts": entry.config_scripts.clone(),
+        "best_index": entry.best_index.map(|i| i as i64),
+        "best_time_s": entry.best_time.as_f64(),
+        "trajectory": Value::Array(trajectory),
+        "llm_calls": entry.llm_usage.calls as i64,
+        "llm_prompt_tokens": entry.llm_usage.prompt_tokens as i64,
+        "llm_completion_tokens": entry.llm_usage.completion_tokens as i64,
+        "workload_tokens": entry.workload_tokens as i64,
+        "rounds": entry.rounds as i64,
+        "tuning_time_s": entry.tuning_time.as_f64(),
+        "prompt": entry.prompt.clone(),
+        "default_time_s": entry.default_time.map(Secs::as_f64),
+        "profile": entry.profile.to_json(),
+    })
+}
+
+/// Rebuilds a [`FleetEntry`] written by [`fleet_entry_to_json`].
+pub fn fleet_entry_from_json(doc: &lt_common::json::Value) -> Option<FleetEntry> {
+    use lt_common::json::Value;
+    let config_scripts: Vec<String> = doc
+        .get("config_scripts")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<_>>()?;
+    let best_index = match doc.get("best_index")? {
+        Value::Null => None,
+        v => {
+            let i = usize::try_from(v.as_i64()?).ok()?;
+            if i >= config_scripts.len() {
+                return None;
+            }
+            Some(i)
+        }
+    };
+    let mut trajectory = Vec::new();
+    for p in doc.get("trajectory")?.as_array()? {
+        trajectory.push(TrajectoryPoint {
+            opt_time: lt_common::secs(p.get("opt_time_s")?.as_f64()?),
+            best_workload_time: lt_common::secs(p.get("best_workload_time_s")?.as_f64()?),
+        });
+    }
+    Some(FleetEntry {
+        config_scripts,
+        best_index,
+        best_time: lt_common::secs(doc.get("best_time_s")?.as_f64()?),
+        trajectory,
+        llm_usage: LlmUsage {
+            calls: doc.get("llm_calls")?.as_i64()? as u64,
+            prompt_tokens: doc.get("llm_prompt_tokens")?.as_i64()? as u64,
+            completion_tokens: doc.get("llm_completion_tokens")?.as_i64()? as u64,
+        },
+        workload_tokens: usize::try_from(doc.get("workload_tokens")?.as_i64()?).ok()?,
+        rounds: usize::try_from(doc.get("rounds")?.as_i64()?).ok()?,
+        tuning_time: lt_common::secs(doc.get("tuning_time_s")?.as_f64()?),
+        prompt: doc.get("prompt")?.as_str()?.to_string(),
+        default_time: match doc.get("default_time_s")? {
+            Value::Null => None,
+            v => Some(lt_common::secs(v.as_f64()?)),
+        },
+        profile: Profile::from_json(doc.get("profile")?)?,
+    })
+}
+
 /// The cross-session tuning cache (bounded LRU; see the crate docs).
 #[derive(Debug)]
 pub struct FleetCache {
@@ -454,6 +576,47 @@ mod tests {
         cache.insert(foreign, entry(profile_of(&[1, 2])));
         let probe = key(target.digest(), 5);
         assert!(cache.nearest(&probe, &target, 1.0).is_none());
+    }
+
+    #[test]
+    fn key_and_entry_round_trip_through_json() {
+        let k = key(0xdead_beef_dead_beef, 42);
+        assert_eq!(fleet_key_from_json(&fleet_key_to_json(&k)), Some(k));
+
+        let mut e = entry(profile_of(&[1, u64::MAX, 7]));
+        e.trajectory = vec![TrajectoryPoint {
+            opt_time: lt_common::secs(1.5),
+            best_workload_time: lt_common::secs(0.1 + 0.2), // non-representable sum
+        }];
+        e.best_time = lt_common::secs(123.456789);
+        e.default_time = Some(lt_common::secs(9.75));
+        e.llm_usage = LlmUsage {
+            calls: 3,
+            prompt_tokens: 1000,
+            completion_tokens: 200,
+        };
+        let back = fleet_entry_from_json(&fleet_entry_to_json(&e)).expect("round trip");
+        assert_eq!(back.config_scripts, e.config_scripts);
+        assert_eq!(back.best_index, e.best_index);
+        assert_eq!(
+            back.best_time.as_f64().to_bits(),
+            e.best_time.as_f64().to_bits()
+        );
+        assert_eq!(back.trajectory, e.trajectory);
+        assert_eq!(back.llm_usage, e.llm_usage);
+        assert_eq!(back.prompt, e.prompt);
+        assert_eq!(back.profile, e.profile);
+        // Survives an actual serialize-to-text cycle too (the WAL path).
+        let text = fleet_entry_to_json(&e).to_string_pretty();
+        let reparsed = lt_common::json::parse(&text).unwrap();
+        assert_eq!(
+            fleet_entry_from_json(&reparsed)
+                .unwrap()
+                .best_time
+                .as_f64()
+                .to_bits(),
+            e.best_time.as_f64().to_bits()
+        );
     }
 
     #[test]

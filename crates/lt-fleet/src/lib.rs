@@ -31,5 +31,8 @@
 pub mod cache;
 pub mod tune;
 
-pub use cache::{options_digest, FleetCache, FleetEntry, FleetKey};
+pub use cache::{
+    fleet_entry_from_json, fleet_entry_to_json, fleet_key_from_json, fleet_key_to_json,
+    options_digest, FleetCache, FleetEntry, FleetKey,
+};
 pub use tune::{fleet_tune, FleetResult, Served, TransferOptions};

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! lt-serve [--addr HOST:PORT] [--workers N] [--queue N] [--conns N]
+//!          [--wal-dir DIR]
 //! ```
 //!
 //! Flags override the `LT_SERVE_ADDR` / `LT_SERVE_WORKERS` /
-//! `LT_SERVE_QUEUE` / `LT_SERVE_CONNS` environment variables, which
-//! override the defaults (127.0.0.1:7878, 2 workers, queue depth 64,
-//! 64 connections). Stop with `POST /shutdown` or Ctrl-C.
+//! `LT_SERVE_QUEUE` / `LT_SERVE_CONNS` / `LT_WAL_DIR` environment
+//! variables, which override the defaults (127.0.0.1:7878, 2 workers,
+//! queue depth 64, 64 connections, no durability). With `--wal-dir` the
+//! daemon keeps a write-ahead session log in `DIR/sessions.wal` and
+//! recovers acknowledged sessions from it on startup. Stop with
+//! `POST /shutdown` or Ctrl-C.
 
 use lt_serve::ServerConfig;
 
@@ -47,9 +51,11 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--wal-dir" => config.wal_dir = Some(value("--wal-dir")),
             "--help" | "-h" => {
                 println!(
-                    "usage: lt-serve [--addr HOST:PORT] [--workers N] [--queue N] [--conns N]"
+                    "usage: lt-serve [--addr HOST:PORT] [--workers N] [--queue N] [--conns N] \
+                     [--wal-dir DIR]"
                 );
                 return;
             }

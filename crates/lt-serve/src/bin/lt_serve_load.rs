@@ -30,6 +30,9 @@ fn write_results(file: &str, value: &Value) {
 }
 
 /// One fast end-to-end pass: in-process server, one session, metrics check.
+/// Writes `results/serve_load.smoke.json` with only deterministic fields
+/// (seeds, states, script fingerprints — no wall times or ports), so the
+/// CI determinism gate can diff it across thread counts.
 fn smoke() {
     let opts = LoadOptions {
         clients: 2,
@@ -54,6 +57,31 @@ fn smoke() {
             .and_then(|doc| doc.get("counters")?.get("serve.sessions_done")?.as_i64())
             .is_some_and(|done| done >= opts.clients as i64);
     server.shutdown();
+
+    let clients: Vec<Value> = run
+        .outcomes
+        .iter()
+        .map(|o| {
+            json!({
+                "client": o.client,
+                "seed": o.seed as i64,
+                "state": o.state.as_str(),
+                "script_fingerprint": o
+                    .script
+                    .as_deref()
+                    .map(|s| format!("{:016x}", lt_common::hash_one(s))),
+            })
+        })
+        .collect();
+    write_results(
+        "serve_load.smoke.json",
+        &json!({
+            "mode": "smoke",
+            "base_seed": opts.base_seed as i64,
+            "num_configs": opts.num_configs,
+            "clients": Value::Array(clients),
+        }),
+    );
 
     if run.failures() > 0 || !metrics_ok {
         eprintln!(

@@ -25,6 +25,7 @@ pub mod load;
 pub mod pool;
 pub mod server;
 pub mod session;
+pub mod wal;
 
 pub use pool::{SubmitError, WorkerPool};
 pub use server::{start, ServerConfig, ServerHandle};

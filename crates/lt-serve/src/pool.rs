@@ -9,6 +9,7 @@
 //! so a graceful shutdown never abandons an accepted session.
 
 use crate::session::{ServingState, SessionHandle, SessionState, TuneRequest};
+use crate::wal::SessionRecord;
 use lambda_tune::{LambdaTune, SampleCache, WarmStart};
 use lt_common::{derive_seed, obs, LtError, Secs};
 use lt_dbms::{Configuration, SimDb};
@@ -303,17 +304,31 @@ pub fn run_session(session: &SessionHandle) {
 /// coalesced batch.
 fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) {
     // A cancel that raced the queue wins without spending any work.
+    let id;
     {
         let mut s = session.lock();
+        id = s.id;
         if session.cancel_requested() && s.state == SessionState::Queued {
             s.state = SessionState::Cancelled;
             obs::counter("serve.sessions_cancelled", 1);
+            session.log_sync(&SessionRecord::Transition {
+                id,
+                state: SessionState::Cancelled,
+                error: None,
+            });
             return;
         }
         if s.state != SessionState::Queued {
             return;
         }
         s.state = SessionState::Tuning;
+        // Batched, not fsynced: losing this record only means recovery
+        // re-queues from `created`, which is the same outcome.
+        session.log(&SessionRecord::Transition {
+            id,
+            state: SessionState::Tuning,
+            error: None,
+        });
     }
     obs::counter("serve.sessions_started", 1);
 
@@ -326,15 +341,30 @@ fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) 
             if cancelled {
                 s.state = SessionState::Cancelled;
                 obs::counter("serve.sessions_cancelled", 1);
+                session.log_sync(&SessionRecord::Transition {
+                    id,
+                    state: SessionState::Cancelled,
+                    error: None,
+                });
             } else {
                 s.state = SessionState::Done;
                 obs::counter("serve.sessions_done", 1);
+                session.log_sync(&SessionRecord::Done {
+                    id,
+                    retunes: s.drift.retunes,
+                    outcome: crate::wal::Outcome::of(&s),
+                });
             }
         }
         Ok(Err(err)) => {
             s.state = SessionState::Failed;
             s.error = Some(err.to_string());
             obs::counter("serve.sessions_failed", 1);
+            session.log_sync(&SessionRecord::Transition {
+                id,
+                state: SessionState::Failed,
+                error: s.error.clone(),
+            });
         }
         Err(panic) => {
             let what = panic
@@ -349,6 +379,11 @@ fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) 
             ));
             obs::counter("serve.sessions_failed", 1);
             obs::counter("serve.worker_panics", 1);
+            session.log_sync(&SessionRecord::Transition {
+                id,
+                state: SessionState::Failed,
+                error: s.error.clone(),
+            });
         }
     }
 }
@@ -461,16 +496,20 @@ fn tune_session(
             let llm = LlmClient::new(SimulatedLlm::new());
             let result = tuner.tune(&mut db, &workload, &llm)?;
             if publish && !result.cancelled {
-                fleet.insert(
-                    key,
-                    FleetEntry::from_result(
-                        &result,
-                        request.dbms,
-                        db.catalog(),
-                        profile,
-                        Some(default_time),
-                    ),
+                let entry = FleetEntry::from_result(
+                    &result,
+                    request.dbms,
+                    db.catalog(),
+                    profile,
+                    Some(default_time),
                 );
+                // Serialized before the insert consumes it; batched — a
+                // lost publication only costs a future cache hit.
+                session.log(&SessionRecord::Fleet {
+                    key: lt_fleet::fleet_key_to_json(&key),
+                    entry: lt_fleet::fleet_entry_to_json(&entry),
+                });
+                fleet.insert(key, entry);
             }
             result
         }
@@ -481,36 +520,13 @@ fn tune_session(
         .as_ref()
         .map(|c| c.to_script(request.dbms, db.catalog()));
 
-    // A completed session keeps serving: a fresh database with the winner
-    // applied (a config change is a restart — cold plan cache), a drift
-    // monitor referenced on the tuned workload, and the prompt + winning
-    // script as warm-start memory for re-tunes. The serving seed is
-    // derived, not reused, so feed executions get their own noise stream.
-    let serving = match (&result.best_config, result.cancelled) {
-        (Some(best), false) => {
-            let mut serving_db = SimDb::new(
-                request.dbms,
-                workload.catalog.clone(),
-                request.hardware,
-                derive_seed(request.seed, 500),
-            );
-            serving_db.apply_knobs(best);
-            for spec in best.index_specs() {
-                serving_db.create_index(spec);
-            }
-            let reference = Profile::from_workload(serving_db.catalog(), &workload);
-            Some(ServingState {
-                monitor: DriftMonitor::with_reference(request.drift.clone(), reference),
-                memory: TuneMemory {
-                    prompt: result.prompt.clone(),
-                    best_script: best_script.clone().unwrap_or_default(),
-                    options: request.options,
-                },
-                db: serving_db,
-                recent: Vec::new(),
-            })
-        }
-        _ => None,
+    // A completed session keeps serving; see [`build_serving`].
+    let serving = if result.cancelled {
+        None
+    } else {
+        best_script
+            .as_deref()
+            .map(|script| build_serving(&request, script, &result.prompt))
     };
 
     let mut s = session.lock();
@@ -522,18 +538,81 @@ fn tune_session(
     Ok(result.cancelled)
 }
 
+/// Builds the serving state of a completed tune: a fresh database with the
+/// winning script applied (derived serving seed — a configuration change is
+/// a restart, so the plan cache starts cold), a drift monitor referenced on
+/// the tuned workload, and the prompt + script as warm-start memory. This
+/// is the *single* construction path — the worker and write-ahead-log
+/// recovery both call it, which is what makes a recovered session's serving
+/// database byte-identical to an uninterrupted one's.
+pub(crate) fn build_serving(
+    request: &TuneRequest,
+    best_script: &str,
+    prompt: &str,
+) -> ServingState {
+    let workload = request.benchmark.load();
+    let mut db = SimDb::new(
+        request.dbms,
+        workload.catalog.clone(),
+        request.hardware,
+        derive_seed(request.seed, 500),
+    );
+    let config = Configuration::parse(best_script, request.dbms, db.catalog());
+    db.apply_knobs(&config);
+    for spec in config.index_specs() {
+        db.create_index(spec);
+    }
+    let reference = Profile::from_workload(db.catalog(), &workload);
+    ServingState {
+        monitor: DriftMonitor::with_reference(request.drift.clone(), reference),
+        memory: TuneMemory {
+            prompt: prompt.to_string(),
+            best_script: best_script.to_string(),
+            options: request.options,
+        },
+        db,
+        recent: Vec::new(),
+    }
+}
+
+/// Adopts a re-tune's winner on a live serving state: applies the script to
+/// the serving database, updates the warm-start memory, and rebases the
+/// drift monitor on the observed workload so the regime the session just
+/// adapted to stops counting as drift. Shared by [`warm_retune`] and
+/// write-ahead-log recovery (same determinism argument as
+/// [`build_serving`]).
+pub(crate) fn adopt_retune(
+    serving: &mut ServingState,
+    request: &TuneRequest,
+    script: &str,
+    prompt: &str,
+    workload: &Workload,
+) {
+    let config = Configuration::parse(script, request.dbms, serving.db.catalog());
+    serving.db.apply_knobs(&config);
+    for spec in config.index_specs() {
+        serving.db.create_index(spec);
+    }
+    serving.memory.prompt = prompt.to_string();
+    serving.memory.best_script = script.to_string();
+    serving
+        .monitor
+        .rebase(Profile::from_workload(serving.db.catalog(), workload));
+}
+
 /// Runs one warm-start re-tune on the calling worker thread. The session
 /// was already moved to [`SessionState::Retuning`] by the feed handler;
 /// whatever happens here — success, pipeline error, panic — the session
 /// ends back in `Done` (errors are advisory, recorded in the drift
 /// status), except a client cancellation, which wins as usual.
 pub fn run_retune(session: &SessionHandle) {
-    {
+    let id = {
         let s = session.lock();
         if s.state != SessionState::Retuning {
             return;
         }
-    }
+        s.id
+    };
     obs::counter("serve.retunes_started", 1);
     let outcome = catch_unwind(AssertUnwindSafe(|| retune_session(session)));
     let mut s = session.lock();
@@ -541,15 +620,32 @@ pub fn run_retune(session: &SessionHandle) {
         Ok(Ok(true)) => {
             s.state = SessionState::Cancelled;
             obs::counter("serve.sessions_cancelled", 1);
+            session.log_sync(&SessionRecord::Transition {
+                id,
+                state: SessionState::Cancelled,
+                error: None,
+            });
         }
         Ok(Ok(false)) => {
             s.state = SessionState::Done;
             obs::counter("serve.retunes_done", 1);
+            // `retunes` was already incremented by the adopt; the record's
+            // counter is what makes replay idempotent.
+            session.log_sync(&SessionRecord::Done {
+                id,
+                retunes: s.drift.retunes,
+                outcome: crate::wal::Outcome::of(&s),
+            });
         }
         Ok(Err(err)) => {
             s.state = SessionState::Done;
             s.drift.last_error = Some(err.to_string());
             obs::counter("serve.retunes_failed", 1);
+            session.log_sync(&SessionRecord::Transition {
+                id,
+                state: SessionState::Done,
+                error: s.drift.last_error.clone(),
+            });
         }
         Err(panic) => {
             let what = panic
@@ -561,6 +657,11 @@ pub fn run_retune(session: &SessionHandle) {
             s.drift.last_error = Some(format!("re-tune worker panicked: {what}"));
             obs::counter("serve.retunes_failed", 1);
             obs::counter("serve.worker_panics", 1);
+            session.log_sync(&SessionRecord::Transition {
+                id,
+                state: SessionState::Done,
+                error: s.drift.last_error.clone(),
+            });
         }
     }
 }
@@ -622,19 +723,8 @@ fn warm_retune(
         .best_config
         .as_ref()
         .ok_or_else(|| LtError::Tuning("re-tune found no configuration".to_string()))?;
-    // Adopt the new winner on the live database and in the warm-start
-    // memory, then rebase the monitor on the observed workload so the
-    // regime the session just adapted to stops counting as drift.
-    serving.db.apply_knobs(best);
-    for spec in best.index_specs() {
-        serving.db.create_index(spec);
-    }
     let script = best.to_script(request.dbms, serving.db.catalog());
-    serving.memory.prompt = result.prompt.clone();
-    serving.memory.best_script = script.clone();
-    serving
-        .monitor
-        .rebase(Profile::from_workload(serving.db.catalog(), &workload));
+    adopt_retune(serving, request, &script, &result.prompt, &workload);
     let mut s = session.lock();
     s.best_script = Some(script);
     s.best_time = Some(result.best_time.as_f64());

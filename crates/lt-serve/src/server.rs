@@ -21,10 +21,9 @@
 use crate::http::{read_request, Request, Response};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::session::{Session, SessionHandle, SessionRegistry, SessionState, TuneRequest};
+use crate::wal::SessionRecord;
 use lt_common::json::Value;
-use lt_common::{json, obs, Secs};
-use lt_dbms::db::query_tag;
-use lt_drift::QueryObservation;
+use lt_common::{json, obs};
 use lt_workloads::Workload;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +61,12 @@ pub struct ServerConfig {
     /// requests (and how long one request may take to arrive) before the
     /// thread gives up (`LT_SERVE_IDLE_MS`, default 30000).
     pub idle_timeout_ms: u64,
+    /// Durability directory (`LT_WAL_DIR`). When set, the server keeps a
+    /// write-ahead session log in `<dir>/sessions.wal`, replays it on
+    /// startup (re-queuing interrupted sessions) and records every
+    /// acknowledged lifecycle event. `None` (the default) serves from
+    /// memory only.
+    pub wal_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             tenant_cap: 64,
             keepalive_max: 32,
             idle_timeout_ms: 30_000,
+            wal_dir: None,
         }
     }
 }
@@ -112,6 +118,11 @@ impl ServerConfig {
         }
         if let Some(ms) = usize_env("LT_SERVE_IDLE_MS") {
             config.idle_timeout_ms = ms as u64;
+        }
+        if let Ok(dir) = std::env::var("LT_WAL_DIR") {
+            if !dir.trim().is_empty() {
+                config.wal_dir = Some(dir.trim().to_string());
+            }
         }
         config
     }
@@ -192,9 +203,27 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     obs::set_enabled(true);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let registry = SessionRegistry::new();
+    let pool = WorkerPool::start(config.workers, config.queue_depth);
+    // Durability: open (and compact) the session log, replay it, re-queue
+    // interrupted work — all before the accept loop exists, so no request
+    // can observe a half-recovered registry. The log is attached first so
+    // restored handles carry it and post-recovery transitions get recorded.
+    if let Some(dir) = &config.wal_dir {
+        let (log, records) = crate::wal::SessionLog::open(std::path::Path::new(dir))?;
+        registry.attach_wal(Arc::new(log));
+        let stats = crate::wal::restore(&registry, Some(&pool), crate::wal::replay(&records));
+        // Summary on stderr: stdout is the machine interface (the
+        // "listening on" line the crash harness parses).
+        eprintln!(
+            "lt-serve: recovered {} sessions from {dir} \
+             ({} re-queued, {} re-tunes re-queued, {} fleet entries, {} skipped)",
+            stats.sessions, stats.requeued, stats.retunes_requeued, stats.fleet, stats.skipped
+        );
+    }
     let state = Arc::new(ServerState {
-        registry: SessionRegistry::new(),
-        pool: WorkerPool::start(config.workers, config.queue_depth),
+        registry,
+        pool,
         shutdown: AtomicBool::new(false),
         addr,
         connections: AtomicUsize::new(0),
@@ -372,6 +401,11 @@ fn cancel_session(s: &crate::session::SessionHandle) -> Response {
         if session.state == SessionState::Queued {
             session.state = SessionState::Cancelled;
             obs::counter("serve.sessions_cancelled", 1);
+            s.log_sync(&SessionRecord::Transition {
+                id: session.id,
+                state: SessionState::Cancelled,
+                error: None,
+            });
         }
     }
     let (id, state_name) = {
@@ -425,15 +459,30 @@ fn submit_session(request: &Request, state: &ServerState) -> Response {
                 .with_header("Retry-After", "30");
             }
         };
-    let id = handle.lock().id;
-    match state.pool.submit(handle) {
+    // The admission record is fsynced before the 202: once the client has
+    // an acknowledgement, a crash cannot lose the session.
+    let (id, created) = {
+        let s = handle.lock();
+        (
+            s.id,
+            SessionRecord::Created {
+                id: s.id,
+                tenant: tenant.clone(),
+                request: s.request.to_wal_json(),
+            },
+        )
+    };
+    handle.log_sync(&created);
+    match state.pool.submit(handle.clone()) {
         Ok(()) => {
             obs::counter("serve.sessions_accepted", 1);
             Response::json(202, &json!({ "id": id, "state": "queued" }))
         }
         Err(reason) => {
             // Admission failed: the session never existed as far as the
-            // client is concerned.
+            // client is concerned — the `removed` record withdraws the
+            // `created` so recovery does not resurrect it.
+            handle.log_sync(&SessionRecord::Removed { id });
             state.registry.remove(id);
             obs::counter("serve.sessions_rejected", 1);
             match reason {
@@ -490,11 +539,13 @@ fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) 
     }
     let auto_retune = session.request.auto_retune;
     let Session {
+        id,
         serving,
         drift,
         state: session_state,
         ..
     } = &mut *session;
+    let id = *id;
     let Some(serving) = serving.as_mut() else {
         return Response::error(
             409,
@@ -535,34 +586,28 @@ fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) 
         }
     }
 
-    let mut events = Vec::new();
-    for q in &workload.queries {
-        let outcome = serving.db.execute(&q.parsed, Secs::INFINITY);
-        let preds = serving.db.predicates(&q.parsed);
-        // The windowed cache counters, drained per query, say whether
-        // *this* plan came from the cache.
-        let window = serving.db.take_cache_window();
-        let hit = window.plan_hits + window.plan_misses > 0 && window.plan_misses == 0;
-        let observation = QueryObservation::new(
-            serving.db.catalog(),
-            &preds,
-            query_tag(&q.parsed),
-            outcome.time,
-            Some(hit),
-        );
-        if let Some(event) = serving.monitor.observe(&observation) {
-            events.push(event);
-        }
-        serving.push_recent(q.label.clone(), q.sql.clone());
-    }
+    // Single execution path shared with write-ahead-log replay — see
+    // [`crate::session::ServingState::observe_queries`].
+    let events = serving.observe_queries(&workload);
     obs::counter("serve.queries_fed", workload.queries.len() as u64);
     obs::counter("serve.drift_events", events.len() as u64);
     drift.queries_observed = serving.monitor.observed();
     drift.events.extend(events.iter().cloned());
     let observed = drift.queries_observed;
     let should_retune = auto_retune && !events.is_empty();
+    // Both records are written (fsynced) inside the session lock so the
+    // log's feed/transition order matches execution order exactly.
+    handle.log_sync(&SessionRecord::Feed {
+        id,
+        sqls: sqls.clone(),
+    });
     if should_retune {
         *session_state = SessionState::Retuning;
+        handle.log_sync(&SessionRecord::Transition {
+            id,
+            state: SessionState::Retuning,
+            error: None,
+        });
     }
     drop(session);
 
@@ -582,6 +627,14 @@ fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) 
                     }
                 });
                 obs::counter("serve.retunes_rejected", 1);
+                // Advisory rollback: withdraws the `retuning` transition so
+                // recovery does not re-queue a re-tune the client was told
+                // is not happening.
+                handle.log_sync(&SessionRecord::Transition {
+                    id,
+                    state: SessionState::Done,
+                    error: s.drift.last_error.clone(),
+                });
             }
         }
     }

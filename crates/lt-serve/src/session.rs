@@ -186,6 +186,50 @@ impl TuneRequest {
             "auto_retune": self.auto_retune,
         })
     }
+
+    /// The request as a *round-trippable* JSON document for the write-ahead
+    /// session log: every field [`TuneRequest::from_json`] reads is written
+    /// back in the schema it reads, so `from_json(to_wal_json(r))`
+    /// reproduces `r` exactly. (The fields `from_json` cannot set —
+    /// compressor/scheduler/selector options — always hold their defaults
+    /// in a served session, so they need no representation here.)
+    pub fn to_wal_json(&self) -> Value {
+        json!({
+            "benchmark": self.benchmark.name(),
+            "dbms": match self.dbms {
+                Dbms::Postgres => "postgres",
+                Dbms::Mysql => "mysql",
+            },
+            "hardware": if self.hardware.memory_bytes == Hardware::small().memory_bytes
+                && self.hardware.cores == Hardware::small().cores
+            {
+                "small"
+            } else {
+                "p3-2xlarge"
+            },
+            "seed": self.seed as i64,
+            "num_configs": self.options.num_configs,
+            "temperature": self.options.temperature,
+            "token_budget": self.options.token_budget,
+            "params_only": self.options.params_only,
+            "indexes_only": self.options.indexes_only,
+            "initial_config": self.initial_config.as_deref(),
+            "auto_retune": self.auto_retune,
+            "drift": json!({
+                "window": self.drift.window,
+                "stride": self.drift.stride,
+                "warmup": self.drift.warmup,
+                "confirm": self.drift.confirm,
+                "cooldown": self.drift.cooldown,
+                "jsd_threshold": self.drift.jsd_threshold,
+                "ewma_alpha": self.drift.ewma_alpha,
+                "hit_arm": self.drift.hit_arm,
+                "hit_collapse": self.drift.hit_collapse,
+                "ph_delta": self.drift.ph_delta,
+                "ph_lambda": self.drift.ph_lambda,
+            }),
+        })
+    }
 }
 
 /// Parses the optional `"drift"` object of a tuning request: per-field
@@ -292,6 +336,19 @@ impl SessionState {
             SessionState::Done | SessionState::Failed | SessionState::Cancelled
         )
     }
+
+    /// Inverse of [`SessionState::name`], for write-ahead-log replay.
+    pub fn parse(name: &str) -> Option<SessionState> {
+        Some(match name {
+            "queued" => SessionState::Queued,
+            "tuning" => SessionState::Tuning,
+            "retuning" => SessionState::Retuning,
+            "done" => SessionState::Done,
+            "failed" => SessionState::Failed,
+            "cancelled" => SessionState::Cancelled,
+            _ => return None,
+        })
+    }
 }
 
 /// Drift bookkeeping surfaced in session status documents.
@@ -331,6 +388,36 @@ impl ServingState {
         if self.recent.len() > RECENT_QUERY_CAP {
             self.recent.remove(0);
         }
+    }
+
+    /// Executes one validated feed batch on the serving database and runs
+    /// every query through the drift monitor, returning the alarms raised.
+    /// This is the *single* code path for feeding queries — the HTTP
+    /// handler and write-ahead-log replay both call it, which is what makes
+    /// a recovered session's serving database byte-identical to an
+    /// uninterrupted one's.
+    pub fn observe_queries(&mut self, workload: &lt_workloads::Workload) -> Vec<DriftEvent> {
+        let mut events = Vec::new();
+        for q in &workload.queries {
+            let outcome = self.db.execute(&q.parsed, lt_common::Secs::INFINITY);
+            let preds = self.db.predicates(&q.parsed);
+            // The windowed cache counters, drained per query, say whether
+            // *this* plan came from the cache.
+            let window = self.db.take_cache_window();
+            let hit = window.plan_hits + window.plan_misses > 0 && window.plan_misses == 0;
+            let observation = lt_drift::QueryObservation::new(
+                self.db.catalog(),
+                &preds,
+                lt_dbms::db::query_tag(&q.parsed),
+                outcome.time,
+                Some(hit),
+            );
+            if let Some(event) = self.monitor.observe(&observation) {
+                events.push(event);
+            }
+            self.push_recent(q.label.clone(), q.sql.clone());
+        }
+        events
     }
 }
 
@@ -450,14 +537,34 @@ impl Session {
 }
 
 /// A session plus its cancellation flag, shared between the HTTP threads
-/// and the worker running it.
+/// and the worker running it. When the registry has a write-ahead log
+/// attached, the handle carries it so workers and feed handlers can log
+/// transitions without going back through the registry.
 #[derive(Debug, Clone)]
 pub struct SessionHandle {
     session: Arc<Mutex<Session>>,
     cancel: Arc<AtomicBool>,
+    wal: Option<Arc<crate::wal::SessionLog>>,
 }
 
 impl SessionHandle {
+    /// Appends `record` to the session log, batched-fsync. No-op without
+    /// an attached log; append errors are counted, not propagated — a
+    /// full disk degrades durability, it does not take serving down.
+    pub(crate) fn log(&self, record: &crate::wal::SessionRecord) {
+        if let Some(wal) = &self.wal {
+            wal.append(record);
+        }
+    }
+
+    /// Appends `record` and fsyncs before returning — for acknowledgement
+    /// points (session created, feed executed, terminal transition).
+    pub(crate) fn log_sync(&self, record: &crate::wal::SessionRecord) {
+        if let Some(wal) = &self.wal {
+            wal.append_sync(record);
+        }
+    }
+
     /// Locks the session state.
     pub fn lock(&self) -> MutexGuard<'_, Session> {
         // Sessions are plain data: a poisoned mutex only means a panicking
@@ -515,6 +622,7 @@ impl TuneObserver for SessionSink {
 pub struct SessionRegistry {
     sessions: Mutex<HashMap<u64, SessionHandle>>,
     next_id: AtomicU64,
+    wal: Mutex<Option<Arc<crate::wal::SessionLog>>>,
 }
 
 impl SessionRegistry {
@@ -523,7 +631,18 @@ impl SessionRegistry {
         SessionRegistry {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            wal: Mutex::new(None),
         }
+    }
+
+    /// Attaches a write-ahead session log: every handle created from now
+    /// on carries it, so lifecycle transitions get recorded.
+    pub fn attach_wal(&self, log: Arc<crate::wal::SessionLog>) {
+        *self.wal.lock().unwrap_or_else(|p| p.into_inner()) = Some(log);
+    }
+
+    fn current_wal(&self) -> Option<Arc<crate::wal::SessionLog>> {
+        self.wal.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     fn map(&self) -> MutexGuard<'_, HashMap<u64, SessionHandle>> {
@@ -533,8 +652,7 @@ impl SessionRegistry {
         }
     }
 
-    fn new_handle(&self, request: TuneRequest, tenant: &str) -> SessionHandle {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+    fn build_handle(&self, id: u64, request: TuneRequest, tenant: &str) -> SessionHandle {
         SessionHandle {
             session: Arc::new(Mutex::new(Session {
                 id,
@@ -554,7 +672,23 @@ impl SessionRegistry {
                 serving: None,
             })),
             cancel: Arc::new(AtomicBool::new(false)),
+            wal: self.current_wal(),
         }
+    }
+
+    fn new_handle(&self, request: TuneRequest, tenant: &str) -> SessionHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.build_handle(id, request, tenant)
+    }
+
+    /// Re-registers a session under its original id during log replay.
+    /// Fresh ids keep allocating above every recovered one, so recovered
+    /// and new sessions never collide.
+    pub fn restore_handle(&self, id: u64, tenant: &str, request: TuneRequest) -> SessionHandle {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        let handle = self.build_handle(id, request, tenant);
+        self.map().insert(id, handle.clone());
+        handle
     }
 
     /// Registers a new queued session for the default tenant and returns
