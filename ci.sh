@@ -28,6 +28,12 @@
 #                and live LT_WAL_CRASH_AT child kills must recover
 #                with no lost acknowledged sessions, byte-identical
 #                winners, and no duplicated re-tunes
+#   store        store_bench --smoke: the real lt-store engine must
+#                respond to the knobs (hit rate rises with
+#                shared_buffers, spills fall with work_mem), the
+#                calibrated cost fit must beat the uncalibrated one,
+#                and λ-Tune's winner must beat the default; its trace
+#                sidecar must pass trace_check
 #
 # Per-gate wall seconds are printed at the end and written to
 # results/ci_timing.txt (the workflow uploads it as an artifact).
@@ -68,12 +74,14 @@ determinism_pass() {
     LT_BENCH_THREADS="$1" ./target/release/fleet_bench --smoke > /dev/null
     LT_BENCH_THREADS="$1" ./target/release/lt-serve-load --smoke > /dev/null
     LT_BENCH_THREADS="$1" ./target/release/crash-bench --smoke > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/store_bench --smoke > /dev/null
 }
 
 gate_determinism() {
     rm -rf results/.ci-seq && mkdir -p results/.ci-seq
     determinism_pass 1
     for f in $DETERMINISM_FILES; do cp "results/$f" results/.ci-seq/; done
+    cp results/BENCH_store.smoke.json results/.ci-seq/
     determinism_pass 4
     for f in $DETERMINISM_FILES; do
         if ! cmp -s "results/.ci-seq/$f" "results/$f"; then
@@ -83,6 +91,17 @@ gate_determinism() {
         fi
         echo "results/$f identical across runs"
     done
+    # The store engine's result carries wall-clock diagnostic fields
+    # (names start with "wall"); everything else — counters, proxy
+    # times, calibration — must be thread-count invariant.
+    if ! cmp -s <(grep -v '"wall' results/.ci-seq/BENCH_store.smoke.json) \
+                <(grep -v '"wall' results/BENCH_store.smoke.json); then
+        echo "DETERMINISM FAILURE: results/BENCH_store.smoke.json differs between runs" >&2
+        diff <(grep -v '"wall' results/.ci-seq/BENCH_store.smoke.json) \
+             <(grep -v '"wall' results/BENCH_store.smoke.json) >&2 || true
+        exit 1
+    fi
+    echo "results/BENCH_store.smoke.json identical across runs (wall fields excluded)"
     rm -rf results/.ci-seq
 }
 
@@ -112,7 +131,12 @@ gate_crash() {
     ./target/release/crash-bench --smoke
 }
 
-ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash"
+gate_store() {
+    LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/store_bench --smoke
+    ./target/release/trace_check results/BENCH_store.trace.json
+}
+
+ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash store"
 TIMING=()
 
 run_gate() {

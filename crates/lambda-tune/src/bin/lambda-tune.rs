@@ -12,6 +12,8 @@
 //!
 //! * `--benchmark tpch|tpch10|tpcds|job` (default `tpch`)
 //! * `--dbms postgres|mysql` (default `postgres`)
+//! * `--backend sim|store` tuning target: the virtual-time simulator or the
+//!   lt-store physical engine (default `sim`, or `LT_BACKEND` if set)
 //! * `--samples <k>` LLM samples (default 5)
 //! * `--temperature <t>` (default 0.7)
 //! * `--token-budget <n>` workload-description budget (default: fit)
@@ -20,14 +22,60 @@
 //! * `--seed <n>` (default 42)
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
-use lt_dbms::{Dbms, Hardware, SimDb};
+use lt_dbms::{Catalog, Dbms, Hardware, SimDb, TuningTarget};
 use lt_llm::{LlmClient, SimulatedLlm};
+use lt_store::StoreDb;
 use lt_workloads::Benchmark;
 use std::process::ExitCode;
+
+/// Which engine executes the workload during tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// Virtual-time simulator (`SimDb`).
+    Sim,
+    /// lt-store physical storage engine (`StoreDb`).
+    Store,
+}
+
+impl Backend {
+    fn parse(s: &str) -> Result<Backend, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" | "simulator" => Ok(Backend::Sim),
+            "store" | "lt-store" => Ok(Backend::Store),
+            other => Err(format!("unknown backend {other} (sim|store)")),
+        }
+    }
+
+    fn from_env() -> Result<Backend, String> {
+        match std::env::var("LT_BACKEND") {
+            Ok(v) if !v.is_empty() => Backend::parse(&v),
+            _ => Ok(Backend::Sim),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Store => "store",
+        }
+    }
+
+    /// Builds the tuning target. Both backends plan with the same optimizer
+    /// and statistics seed, so prompts and plan trees are identical; they
+    /// differ in how plan *execution* is costed (modelled vs measured).
+    fn open(self, dbms: Dbms, catalog: Catalog, seed: u64) -> Box<dyn TuningTarget> {
+        let hw = Hardware::p3_2xlarge();
+        match self {
+            Backend::Sim => Box::new(SimDb::new(dbms, catalog, hw, seed)),
+            Backend::Store => Box::new(StoreDb::new(dbms, catalog, hw, seed)),
+        }
+    }
+}
 
 struct Args {
     benchmark: Benchmark,
     dbms: Dbms,
+    backend: Backend,
     options: LambdaTuneOptions,
 }
 
@@ -57,6 +105,7 @@ impl Drop for TraceSession {
 fn parse_args() -> Result<Args, String> {
     let mut benchmark = Benchmark::TpchSf1;
     let mut dbms = Dbms::Postgres;
+    let mut backend = Backend::from_env()?;
     let mut options = LambdaTuneOptions {
         seed: 42,
         ..Default::default()
@@ -80,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
                     "mysql" | "ms" => Dbms::Mysql,
                     other => return Err(format!("unknown dbms {other}")),
                 };
+            }
+            "--backend" => {
+                backend = Backend::parse(&value("--backend")?)?;
             }
             "--samples" => {
                 options.num_configs = value("--samples")?
@@ -111,7 +163,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: lambda-tune [--benchmark tpch|tpch10|tpcds|job] \
-                     [--dbms postgres|mysql] [--samples K] [--temperature T] \
+                     [--dbms postgres|mysql] [--backend sim|store] \
+                     [--samples K] [--temperature T] \
                      [--token-budget N] [--seed N] [--params-only] \
                      [--indexes-only] [--obfuscate] [--no-compressor] \
                      [--no-scheduler]"
@@ -124,6 +177,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         benchmark,
         dbms,
+        backend,
         options,
     })
 }
@@ -140,21 +194,19 @@ fn main() -> ExitCode {
     let _trace = TraceSession::start();
     let workload = args.benchmark.load();
     println!(
-        "λ-Tune: tuning {} for {} ({} queries, seed {})",
+        "λ-Tune: tuning {} for {} ({} queries, seed {}, backend {})",
         args.dbms.name(),
         workload.name,
         workload.len(),
-        args.options.seed
+        args.options.seed,
+        args.backend.name()
     );
 
-    let mut db = SimDb::new(
-        args.dbms,
-        workload.catalog.clone(),
-        Hardware::p3_2xlarge(),
-        args.options.seed,
-    );
+    let mut db = args
+        .backend
+        .open(args.dbms, workload.catalog.clone(), args.options.seed);
     let llm = LlmClient::new(SimulatedLlm::new());
-    let result = match LambdaTune::new(args.options).tune(&mut db, &workload, &llm) {
+    let result = match LambdaTune::new(args.options).tune(db.as_mut(), &workload, &llm) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("tuning failed: {e}");

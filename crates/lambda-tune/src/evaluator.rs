@@ -9,7 +9,7 @@
 
 use crate::scheduler;
 use lt_common::{obs, QueryId, Secs};
-use lt_dbms::{Configuration, IndexSpec, SimDb};
+use lt_dbms::{Configuration, IndexSpec, TuningTarget};
 use lt_workloads::Workload;
 use std::collections::{HashMap, HashSet};
 
@@ -64,8 +64,8 @@ impl Evaluator {
     /// Maps each query to the configuration indexes that could serve it:
     /// indexes whose leading column appears among the query's predicate
     /// columns.
-    pub fn query_index_map(
-        db: &SimDb,
+    pub fn query_index_map<D: TuningTarget + ?Sized>(
+        db: &D,
         workload: &Workload,
         config: &Configuration,
     ) -> HashMap<QueryId, Vec<IndexSpec>> {
@@ -100,9 +100,9 @@ impl Evaluator {
     /// Applies the configuration's knobs, creates indexes lazily in the
     /// scheduler's order, executes until a query is interrupted, and drops
     /// all indexes before returning.
-    pub fn evaluate(
+    pub fn evaluate<D: TuningTarget + ?Sized>(
         &self,
-        db: &mut SimDb,
+        db: &mut D,
         workload: &Workload,
         config: &Configuration,
         remaining: &[QueryId],
@@ -193,7 +193,7 @@ impl Evaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

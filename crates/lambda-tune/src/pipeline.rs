@@ -7,7 +7,7 @@ use crate::prompt::PromptBuilder;
 use crate::selector::{ConfigSelector, SelectorOptions, TrajectoryPoint};
 use crate::snippets::extract_snippets;
 use lt_common::{derive_seed, obs, secs, LtError, Result, Secs};
-use lt_dbms::{ConfigCommand, Configuration, SimDb};
+use lt_dbms::{ConfigCommand, Configuration, TuningTarget};
 use lt_llm::{LanguageModel, LlmClient, LlmUsage};
 use lt_workloads::{Obfuscator, Workload};
 use std::sync::Arc;
@@ -233,9 +233,9 @@ impl LambdaTune {
     /// workload, options, warm start) and makes no LLM calls — exposed so a
     /// serving layer can coalesce sessions sharing a prompt and prefetch
     /// their samples in one batched call.
-    pub fn build_prompt<M: LanguageModel>(
+    pub fn build_prompt<D: TuningTarget + ?Sized, M: LanguageModel>(
         &self,
-        db: &SimDb,
+        db: &D,
         workload: &Workload,
         llm: &LlmClient<M>,
     ) -> Result<(String, usize)> {
@@ -292,9 +292,9 @@ impl LambdaTune {
 
     /// Runs the full pipeline: prompt generation → k LLM samples →
     /// configuration selection. Returns the best configuration found.
-    pub fn tune<M: LanguageModel>(
+    pub fn tune<D: TuningTarget + ?Sized, M: LanguageModel>(
         &self,
-        db: &mut SimDb,
+        db: &mut D,
         workload: &Workload,
         llm: &LlmClient<M>,
     ) -> Result<TuneResult> {
@@ -481,7 +481,7 @@ pub fn deobfuscate_script(script: &str, obfuscator: &Obfuscator) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_llm::SimulatedLlm;
     use lt_workloads::Benchmark;
 

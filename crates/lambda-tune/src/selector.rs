@@ -18,7 +18,7 @@
 use crate::evaluator::{ConfigMeta, Evaluator};
 use crate::progress::{ProgressEvent, TuneObserver};
 use lt_common::{obs, secs, QueryId, Secs};
-use lt_dbms::{Configuration, SimDb};
+use lt_dbms::{Configuration, TuningTarget};
 use lt_workloads::Workload;
 
 /// Selector parameters.
@@ -93,9 +93,9 @@ impl ConfigSelector {
     }
 
     /// Runs Algorithm 2 over `configs`, executing against `db`.
-    pub fn select(
+    pub fn select<D: TuningTarget + ?Sized>(
         &self,
-        db: &mut SimDb,
+        db: &mut D,
         workload: &Workload,
         configs: &[Configuration],
     ) -> SelectionResult {
@@ -107,9 +107,9 @@ impl ConfigSelector {
     /// [`ProgressEvent`] per round and per improvement, and is polled for
     /// cancellation before every configuration evaluation — the same
     /// granularity at which the timeout-interrupt path stops work.
-    pub fn select_observed(
+    pub fn select_observed<D: TuningTarget + ?Sized>(
         &self,
-        db: &mut SimDb,
+        db: &mut D,
         workload: &Workload,
         configs: &[Configuration],
         observer: Option<&dyn TuneObserver>,
@@ -208,9 +208,9 @@ impl ConfigSelector {
 
     /// Algorithm 2's `Update` procedure.
     #[allow(clippy::too_many_arguments)]
-    fn update(
+    fn update<D: TuningTarget + ?Sized>(
         &self,
-        db: &mut SimDb,
+        db: &mut D,
         workload: &Workload,
         configs: &[Configuration],
         c: usize,
@@ -283,7 +283,7 @@ impl ConfigSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn db_and_workload() -> (SimDb, Workload) {

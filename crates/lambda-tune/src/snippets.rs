@@ -7,7 +7,7 @@
 //! higher value convey more potential for cost reduction to the LLM.
 
 use lt_common::ColumnId;
-use lt_dbms::SimDb;
+use lt_dbms::TuningTarget;
 use lt_workloads::Workload;
 use std::collections::HashMap;
 
@@ -25,7 +25,7 @@ pub struct Snippet {
 
 /// Extracts the valued join snippets of a workload by explaining every
 /// query under the database's current configuration.
-pub fn extract_snippets(db: &SimDb, workload: &Workload) -> Vec<Snippet> {
+pub fn extract_snippets<D: TuningTarget + ?Sized>(db: &D, workload: &Workload) -> Vec<Snippet> {
     let mut values: HashMap<(ColumnId, ColumnId), f64> = HashMap::new();
     for wq in &workload.queries {
         let plan = db.explain(&wq.parsed);
@@ -55,7 +55,7 @@ pub fn extract_snippets(db: &SimDb, workload: &Workload) -> Vec<Snippet> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     #[test]

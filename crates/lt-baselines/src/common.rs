@@ -2,7 +2,7 @@
 
 use lambda_tune::TrajectoryPoint;
 use lt_common::{ColumnId, Secs};
-use lt_dbms::{Configuration, IndexSpec, SimDb};
+use lt_dbms::{Configuration, IndexSpec, TuningTarget};
 use lt_workloads::Workload;
 use std::collections::HashMap;
 
@@ -38,12 +38,12 @@ pub trait Tuner {
 
     /// Tunes `db` for `workload` within `budget` virtual seconds of
     /// optimization time.
-    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun;
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, budget: Secs) -> TunerRun;
 }
 
 /// Executes the full workload under the *current* configuration with a
 /// total-time cap. Returns the total time and whether all queries finished.
-pub fn measure_workload(db: &mut SimDb, workload: &Workload, cap: Secs) -> (Secs, bool) {
+pub fn measure_workload(db: &mut dyn TuningTarget, workload: &Workload, cap: Secs) -> (Secs, bool) {
     let mut total = Secs::ZERO;
     for wq in &workload.queries {
         let remaining = (cap - total).clamp_non_negative();
@@ -61,7 +61,7 @@ pub fn measure_workload(db: &mut SimDb, workload: &Workload, cap: Secs) -> (Secs
 /// `time` covers query execution only (reconfiguration is still charged to
 /// the tuning clock, as on a real system).
 pub fn measure_config(
-    db: &mut SimDb,
+    db: &mut dyn TuningTarget,
     workload: &Workload,
     config: &Configuration,
     cap: Secs,
@@ -86,7 +86,7 @@ pub fn measure_config(
 /// Enumerates candidate single-column indexes for a workload: every join
 /// or filter column, ranked by the total estimated cost of the operators
 /// touching it (most promising first).
-pub fn index_candidates(db: &SimDb, workload: &Workload) -> Vec<IndexSpec> {
+pub fn index_candidates(db: &dyn TuningTarget, workload: &Workload) -> Vec<IndexSpec> {
     let mut value: HashMap<ColumnId, f64> = HashMap::new();
     for wq in &workload.queries {
         let plan = db.explain(&wq.parsed);
@@ -235,7 +235,7 @@ pub fn config_from_values(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

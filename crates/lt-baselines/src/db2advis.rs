@@ -11,7 +11,7 @@ use crate::common::{
     config_from_values, index_candidates, measure_config, record_improvement, Tuner, TunerRun,
 };
 use lt_common::{secs, Secs};
-use lt_dbms::{IndexCatalog, IndexSpec, SimDb};
+use lt_dbms::{IndexCatalog, IndexSpec, TuningTarget};
 use lt_workloads::Workload;
 
 /// DB2 advisor options.
@@ -46,7 +46,7 @@ impl Db2Advisor {
     }
 
     /// Recommends an index set under the disk budget (what-if only).
-    pub fn recommend(&self, db: &SimDb, workload: &Workload) -> Vec<IndexSpec> {
+    pub fn recommend(&self, db: &dyn TuningTarget, workload: &Workload) -> Vec<IndexSpec> {
         let candidates = index_candidates(db, workload);
         let budget = (db.catalog().total_bytes() as f64 * self.options.disk_budget_fraction) as u64;
         let total_cost = |idx: &IndexCatalog| -> f64 {
@@ -109,7 +109,7 @@ impl Tuner for Db2Advisor {
         "DB2 Advisor"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, _budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, _budget: Secs) -> TunerRun {
         let specs = self.recommend(db, workload);
         let config = config_from_values(&[], &specs);
         let mut run = TunerRun::empty();
@@ -125,7 +125,7 @@ impl Tuner for Db2Advisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

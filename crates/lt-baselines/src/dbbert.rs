@@ -12,7 +12,7 @@
 use crate::common::{config_from_values, measure_config, record_improvement, Tuner, TunerRun};
 use crate::manual::{manual_text, mine_hints, Hint};
 use lt_common::{secs, seeded_rng, Secs};
-use lt_dbms::{KnobValue, SimDb};
+use lt_dbms::{KnobValue, TuningTarget};
 use lt_workloads::Workload;
 
 const SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
@@ -51,7 +51,7 @@ impl DbBert {
         DbBert { options }
     }
 
-    fn scaled(hint: &Hint, scale: f64, db: &SimDb) -> Option<(String, KnobValue)> {
+    fn scaled(hint: &Hint, scale: f64, db: &dyn TuningTarget) -> Option<(String, KnobValue)> {
         let grounded = hint.ground(db.dbms(), db.hardware())?;
         let def = lt_dbms::knobs::knob_def(db.dbms(), &hint.knob)?;
         let scaled = def.clamp(match grounded {
@@ -69,7 +69,7 @@ impl Tuner for DbBert {
         "DB-Bert"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, budget: Secs) -> TunerRun {
         let opts = &self.options;
         let start = db.now();
         let mut rng = seeded_rng(opts.seed);
@@ -143,7 +143,7 @@ fn mean(sum: f64, cnt: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup(dbms: Dbms) -> (SimDb, Workload) {

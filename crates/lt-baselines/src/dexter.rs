@@ -11,7 +11,7 @@ use crate::common::{
     config_from_values, index_candidates, measure_config, record_improvement, Tuner, TunerRun,
 };
 use lt_common::{secs, Secs};
-use lt_dbms::{IndexCatalog, IndexSpec, SimDb};
+use lt_dbms::{IndexCatalog, IndexSpec, TuningTarget};
 use lt_workloads::Workload;
 
 /// Dexter options.
@@ -53,7 +53,7 @@ impl Dexter {
     /// EXPLAIN only), so callers can combine it with other tuners — the
     /// paper pre-builds Dexter indexes for the parameter-only baselines in
     /// Scenario 2.
-    pub fn recommend(&self, db: &SimDb, workload: &Workload) -> Vec<IndexSpec> {
+    pub fn recommend(&self, db: &dyn TuningTarget, workload: &Workload) -> Vec<IndexSpec> {
         let candidates = index_candidates(db, workload);
         let total_cost = |idx: &IndexCatalog| -> f64 {
             workload
@@ -96,7 +96,7 @@ impl Tuner for Dexter {
         "Dexter"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, _budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, _budget: Secs) -> TunerRun {
         let specs = self.recommend(db, workload);
         let config = config_from_values(&[], &specs);
         let mut run = TunerRun::empty();
@@ -112,7 +112,7 @@ impl Tuner for Dexter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

@@ -13,7 +13,7 @@ use crate::common::{config_from_values, measure_config, record_improvement, Tune
 use crate::manual::{manual_text, mine_hints};
 use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::knobs::knob_def;
-use lt_dbms::{KnobValue, SimDb};
+use lt_dbms::{KnobValue, TuningTarget};
 use lt_workloads::Workload;
 
 /// GPTuner options.
@@ -59,7 +59,7 @@ impl Tuner for GpTuner {
         "GPTuner"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, budget: Secs) -> TunerRun {
         let opts = &self.options;
         let start = db.now();
         let mut rng = seeded_rng(opts.seed);
@@ -125,7 +125,7 @@ impl Tuner for GpTuner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

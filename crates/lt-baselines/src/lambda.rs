@@ -4,7 +4,7 @@
 use crate::common::{Tuner, TunerRun};
 use lambda_tune::{LambdaTune, LambdaTuneOptions};
 use lt_common::Secs;
-use lt_dbms::SimDb;
+use lt_dbms::TuningTarget;
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Workload;
 
@@ -27,7 +27,7 @@ impl Tuner for LambdaTuneBaseline {
         "λ-Tune"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, _budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, _budget: Secs) -> TunerRun {
         // λ-Tune terminates on its own (its selector bounds tuning time as
         // a function of the optimum), so the external budget is unused.
         let llm = LlmClient::new(SimulatedLlm::new());
@@ -47,7 +47,7 @@ impl Tuner for LambdaTuneBaseline {
 mod tests {
     use super::*;
     use lt_common::secs;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     #[test]

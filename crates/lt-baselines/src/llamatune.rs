@@ -15,7 +15,7 @@ use crate::common::{
 };
 use lt_common::{secs, seeded_rng, Secs};
 use lt_dbms::knobs::knob_def;
-use lt_dbms::{KnobValue, SimDb};
+use lt_dbms::{KnobValue, TuningTarget};
 use lt_workloads::Workload;
 
 /// LlamaTune options.
@@ -58,7 +58,7 @@ impl Tuner for LlamaTune {
         "LlamaTune"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, budget: Secs) -> TunerRun {
         let opts = &self.options;
         let start = db.now();
         let mut rng = seeded_rng(opts.seed);
@@ -121,7 +121,7 @@ impl Tuner for LlamaTune {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

@@ -16,7 +16,7 @@
 
 use crate::common::{config_from_values, measure_config, record_improvement, Tuner, TunerRun};
 use lt_common::{secs, Secs};
-use lt_dbms::{Dbms, KnobValue, SimDb};
+use lt_dbms::{Dbms, KnobValue, TuningTarget};
 use lt_workloads::Workload;
 
 /// ParamTree options.
@@ -56,7 +56,7 @@ impl Tuner for ParamTree {
         "ParamTree"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, _budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, _budget: Secs) -> TunerRun {
         let mut run = TunerRun::empty();
         if workload.is_empty() {
             return run;
@@ -84,7 +84,11 @@ impl ParamTree {
     /// defaults, then grid-search the page-cost ratio whose plan costs
     /// correlate best (in relative terms) with measured times, scaling the
     /// CPU constants to match the observed cost-to-time ratio.
-    fn calibrate(&self, db: &mut SimDb, workload: &Workload) -> Vec<(&'static str, KnobValue)> {
+    fn calibrate(
+        &self,
+        db: &mut dyn TuningTarget,
+        workload: &Workload,
+    ) -> Vec<(&'static str, KnobValue)> {
         let stride = (workload.len() / self.options.probes.max(1)).max(1);
         let probes: Vec<usize> = (0..workload.len())
             .step_by(stride)
@@ -144,7 +148,7 @@ impl ParamTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::Hardware;
+    use lt_dbms::{Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

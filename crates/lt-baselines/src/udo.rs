@@ -15,7 +15,7 @@ use crate::common::{
     TunerRun,
 };
 use lt_common::{secs, seeded_rng, Secs};
-use lt_dbms::{Configuration, IndexSpec, KnobValue, SimDb};
+use lt_dbms::{Configuration, IndexSpec, KnobValue, TuningTarget};
 use lt_workloads::Workload;
 
 /// UDO options.
@@ -94,7 +94,7 @@ impl Udo {
     /// round samples different queries.
     fn sample_eval(
         &self,
-        db: &mut SimDb,
+        db: &mut dyn TuningTarget,
         workload: &Workload,
         config: &Configuration,
         round: usize,
@@ -140,7 +140,7 @@ impl Tuner for Udo {
         "UDO"
     }
 
-    fn tune(&self, db: &mut SimDb, workload: &Workload, budget: Secs) -> TunerRun {
+    fn tune(&self, db: &mut dyn TuningTarget, workload: &Workload, budget: Secs) -> TunerRun {
         let opts = &self.options;
         let start = db.now();
         let mut rng = seeded_rng(opts.seed);
@@ -245,7 +245,7 @@ impl Tuner for Udo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_workloads::Benchmark;
 
     fn setup() -> (SimDb, Workload) {

@@ -37,7 +37,7 @@
 
 use crate::hash::crc32;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Leading magic bytes of every log file.
@@ -212,74 +212,132 @@ pub struct ReadLog {
     pub tail: Tail,
 }
 
-/// Reads every intact record from `path`. A missing file is an empty log.
-pub fn read_log(path: &Path) -> io::Result<ReadLog> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
+/// Streaming frame reader: yields one intact payload at a time without
+/// buffering the rest of the file, so a recovery pass over a large redo
+/// log (lt-store's page-image log) holds one record in memory, not the
+/// log. Iteration stops at the first incomplete or checksum-failing
+/// frame; [`FrameIter::tail`] then reports how the file ended, exactly as
+/// [`read_log`] would have (which is now a thin collector over this).
+#[derive(Debug)]
+pub struct FrameIter {
+    reader: Option<BufReader<File>>,
+    /// Bytes of the file not yet consumed (past the magic header).
+    remaining: u64,
+    tail: Option<Tail>,
+}
+
+impl FrameIter {
+    fn finished(tail: Tail) -> FrameIter {
+        FrameIter {
+            reader: None,
+            remaining: 0,
+            tail: Some(tail),
         }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            return Ok(ReadLog {
-                records: Vec::new(),
-                tail: Tail::Clean,
+    }
+
+    /// How the file's tail looked: `None` while records remain, `Some`
+    /// once the iterator is exhausted (or was exhausted at open).
+    pub fn tail(&self) -> Option<Tail> {
+        self.tail
+    }
+}
+
+impl Iterator for FrameIter {
+    type Item = io::Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<io::Result<Vec<u8>>> {
+        if self.tail.is_some() {
+            return None;
+        }
+        let reader = self.reader.as_mut()?;
+        if self.remaining == 0 {
+            self.tail = Some(Tail::Clean);
+            return None;
+        }
+        if self.remaining < 8 {
+            self.tail = Some(Tail::Torn {
+                dropped: self.remaining,
             });
+            return None;
+        }
+        let mut header = [0u8; 8];
+        if let Err(e) = reader.read_exact(&mut header) {
+            return Some(Err(e));
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            self.tail = Some(Tail::Corrupt {
+                dropped: self.remaining,
+            });
+            return None;
+        }
+        if self.remaining - 8 < len as u64 {
+            self.tail = Some(Tail::Torn {
+                dropped: self.remaining,
+            });
+            return None;
+        }
+        let mut payload = vec![0u8; len];
+        if let Err(e) = reader.read_exact(&mut payload) {
+            return Some(Err(e));
+        }
+        if crc32(&payload) != crc {
+            self.tail = Some(Tail::Corrupt {
+                dropped: self.remaining,
+            });
+            return None;
+        }
+        self.remaining -= 8 + len as u64;
+        Some(Ok(payload))
+    }
+}
+
+/// Opens `path` for streaming frame iteration. A missing or empty file is
+/// an exhausted iterator with a [`Tail::Clean`]; a present file with the
+/// wrong magic is an error (it is not a log at all).
+pub fn read_frames(path: &Path) -> io::Result<FrameIter> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(FrameIter::finished(Tail::Clean));
         }
         Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(FrameIter::finished(Tail::Clean));
     }
-    if bytes.is_empty() {
-        return Ok(ReadLog {
-            records: Vec::new(),
-            tail: Tail::Clean,
-        });
+    if len < MAGIC.len() as u64 {
+        return Ok(FrameIter::finished(Tail::Torn { dropped: len }));
     }
-    if bytes.len() < MAGIC.len() {
-        return Ok(ReadLog {
-            records: Vec::new(),
-            tail: Tail::Torn {
-                dropped: bytes.len() as u64,
-            },
-        });
-    }
-    if &bytes[..MAGIC.len()] != MAGIC {
+    let mut reader = BufReader::new(file);
+    let mut magic = [0u8; MAGIC.len()];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{}: not an LTWAL1 log file", path.display()),
         ));
     }
+    Ok(FrameIter {
+        reader: Some(reader),
+        remaining: len - MAGIC.len() as u64,
+        tail: None,
+    })
+}
+
+/// Reads every intact record from `path`. A missing file is an empty log.
+pub fn read_log(path: &Path) -> io::Result<ReadLog> {
+    let mut frames = read_frames(path)?;
     let mut records = Vec::new();
-    let mut off = MAGIC.len();
-    let tail = loop {
-        if off == bytes.len() {
-            break Tail::Clean;
-        }
-        if off + 8 > bytes.len() {
-            break Tail::Torn {
-                dropped: (bytes.len() - off) as u64,
-            };
-        }
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
-        if len > MAX_RECORD_BYTES {
-            break Tail::Corrupt {
-                dropped: (bytes.len() - off) as u64,
-            };
-        }
-        if off + 8 + len > bytes.len() {
-            break Tail::Torn {
-                dropped: (bytes.len() - off) as u64,
-            };
-        }
-        let payload = &bytes[off + 8..off + 8 + len];
-        if crc32(payload) != crc {
-            break Tail::Corrupt {
-                dropped: (bytes.len() - off) as u64,
-            };
-        }
-        records.push(payload.to_vec());
-        off += 8 + len;
-    };
-    Ok(ReadLog { records, tail })
+    for record in &mut frames {
+        records.push(record?);
+    }
+    Ok(ReadLog {
+        records,
+        tail: frames.tail().unwrap_or(Tail::Clean),
+    })
 }
 
 /// Atomically replaces the log at `path` with exactly `records`: writes a
@@ -447,6 +505,68 @@ mod tests {
         }
         let read = read_log(&path).unwrap();
         assert_eq!(read.records, vec![b"new".to_vec(), b"after".to_vec()]);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_iterator_streams_and_reports_a_torn_tail() {
+        let path = tmp_path("iter_torn");
+        {
+            let mut w = LogWriter::open(&path, no_sync()).unwrap();
+            w.append_sync(b"first").unwrap();
+            w.append_sync(b"second").unwrap();
+        }
+        // A torn frame: header promising 32 bytes, 5 delivered.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&32u32.to_le_bytes()).unwrap();
+        f.write_all(&7u32.to_le_bytes()).unwrap();
+        f.write_all(b"tornn").unwrap();
+        drop(f);
+
+        let mut frames = read_frames(&path).unwrap();
+        // Tail is unknown while intact records remain.
+        assert_eq!(frames.tail(), None);
+        assert_eq!(frames.next().unwrap().unwrap(), b"first".to_vec());
+        assert_eq!(frames.tail(), None);
+        assert_eq!(frames.next().unwrap().unwrap(), b"second".to_vec());
+        // The torn frame ends iteration and is reported, not yielded.
+        assert!(frames.next().is_none());
+        assert_eq!(frames.tail(), Some(Tail::Torn { dropped: 13 }));
+        // Exhausted iterators stay exhausted.
+        assert!(frames.next().is_none());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_iterator_edge_cases_match_read_log() {
+        // Missing file: exhausted, clean.
+        let mut frames = read_frames(Path::new("/nonexistent/lt_wal_iter.wal")).unwrap();
+        assert!(frames.next().is_none());
+        assert_eq!(frames.tail(), Some(Tail::Clean));
+
+        // Header-only truncation (shorter than a frame header).
+        let path = tmp_path("iter_short");
+        {
+            let mut w = LogWriter::open(&path, no_sync()).unwrap();
+            w.append_sync(b"kept").unwrap();
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[1, 2, 3]).unwrap();
+        drop(f);
+        let mut frames = read_frames(&path).unwrap();
+        assert_eq!(frames.next().unwrap().unwrap(), b"kept".to_vec());
+        assert!(frames.next().is_none());
+        assert_eq!(frames.tail(), Some(Tail::Torn { dropped: 3 }));
+
+        // A checksum failure is Corrupt from the bad frame on.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3); // drop the torn tail
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let mut frames = read_frames(&path).unwrap();
+        assert!(frames.next().is_none());
+        assert_eq!(frames.tail(), Some(Tail::Corrupt { dropped: 12 }));
         fs::remove_file(&path).ok();
     }
 

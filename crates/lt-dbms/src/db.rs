@@ -110,6 +110,14 @@ impl SimDb {
         &self.indexes
     }
 
+    /// Replaces the execution-time cost constants (calibration:
+    /// `store_bench` fits these against lt-store measurements). Plans and
+    /// cached predicates are unaffected — the optimizer prices plans with
+    /// its own cost model, so only *executed* times change.
+    pub fn set_cost_constants(&mut self, costs: crate::executor::CostConstants) {
+        self.model.set_costs(costs);
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Secs {
         self.clock.now()

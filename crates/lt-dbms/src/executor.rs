@@ -54,6 +54,83 @@ const T_WORKER_STARTUP: f64 = 0.01;
 /// builds on IMDB-sized tables).
 const TIME_SCALE: f64 = 5.0;
 
+/// The cost model's unit constants, gathered into a value so they can be
+/// *calibrated*: `lt-store`'s `store_bench` measures real executions of the
+/// same plans and fits multipliers over these defaults (see
+/// [`CostConstants::scaled`]). [`Default`] reproduces the historical
+/// constants exactly, so every existing simulation is bit-for-bit
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConstants {
+    /// Seconds to read one 8 KiB page from the DBMS buffer pool.
+    pub t_page_buffer: f64,
+    /// Seconds to read one page from the OS page cache.
+    pub t_page_os: f64,
+    /// Seconds to read one page sequentially from disk.
+    pub t_page_disk_seq: f64,
+    /// Seconds to read one page randomly from disk (before I/O concurrency).
+    pub t_page_disk_rand: f64,
+    /// Seconds to write+read one page of spill temp data.
+    pub t_page_spill: f64,
+    /// Seconds of CPU to process one tuple in a scan.
+    pub t_tuple_scan: f64,
+    /// Seconds of CPU to hash/probe one tuple.
+    pub t_tuple_hash: f64,
+    /// Seconds of CPU per tuple-comparison in a sort (per log₂ level).
+    pub t_tuple_sort: f64,
+    /// Seconds of CPU to aggregate one tuple.
+    pub t_tuple_agg: f64,
+    /// Seconds per index B-tree descent.
+    pub t_index_descent: f64,
+    /// Parallel startup cost per worker.
+    pub t_worker_startup: f64,
+    /// Global calibration factor.
+    pub time_scale: f64,
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        CostConstants {
+            t_page_buffer: T_PAGE_BUFFER,
+            t_page_os: T_PAGE_OS,
+            t_page_disk_seq: T_PAGE_DISK_SEQ,
+            t_page_disk_rand: T_PAGE_DISK_RAND,
+            t_page_spill: T_PAGE_SPILL,
+            t_tuple_scan: T_TUPLE_SCAN,
+            t_tuple_hash: T_TUPLE_HASH,
+            t_tuple_sort: T_TUPLE_SORT,
+            t_tuple_agg: T_TUPLE_AGG,
+            t_index_descent: T_INDEX_DESCENT,
+            t_worker_startup: T_WORKER_STARTUP,
+            time_scale: TIME_SCALE,
+        }
+    }
+}
+
+impl CostConstants {
+    /// Defaults with three calibration multipliers applied: `io_mult`
+    /// scales every page-read constant, `cpu_mult` every per-tuple
+    /// constant (and the index descent), `spill_mult` the temp-file page
+    /// cost. This is the three-parameter family `store_bench` fits.
+    pub fn scaled(io_mult: f64, cpu_mult: f64, spill_mult: f64) -> Self {
+        let d = CostConstants::default();
+        CostConstants {
+            t_page_buffer: d.t_page_buffer * io_mult,
+            t_page_os: d.t_page_os * io_mult,
+            t_page_disk_seq: d.t_page_disk_seq * io_mult,
+            t_page_disk_rand: d.t_page_disk_rand * io_mult,
+            t_page_spill: d.t_page_spill * spill_mult,
+            t_tuple_scan: d.t_tuple_scan * cpu_mult,
+            t_tuple_hash: d.t_tuple_hash * cpu_mult,
+            t_tuple_sort: d.t_tuple_sort * cpu_mult,
+            t_tuple_agg: d.t_tuple_agg * cpu_mult,
+            t_index_descent: d.t_index_descent * cpu_mult,
+            t_worker_startup: d.t_worker_startup,
+            time_scale: d.time_scale,
+        }
+    }
+}
+
 /// Per-operator profile entry produced by
 /// [`ExecutionModel::profile`] (the simulator's `EXPLAIN ANALYZE`).
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +147,8 @@ pub struct NodeProfile {
     pub seconds: f64,
 }
 
-/// The execution-time model. Cheap to construct; holds only seeds.
+/// The execution-time model. Cheap to construct; holds only seeds and the
+/// (possibly calibrated) cost constants.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutionModel {
     /// Seed controlling misestimation factors (shared with the optimizer's
@@ -78,6 +156,8 @@ pub struct ExecutionModel {
     pub stats_seed: u64,
     /// Seed controlling run-to-run noise.
     pub noise_seed: u64,
+    /// Unit cost constants (defaults unless calibrated).
+    pub costs: CostConstants,
 }
 
 /// Everything the model needs to price a query execution.
@@ -93,12 +173,25 @@ pub struct ExecutionContext<'a> {
 }
 
 impl ExecutionModel {
-    /// New model with the given seeds.
+    /// New model with the given seeds and default cost constants.
     pub fn new(stats_seed: u64, noise_seed: u64) -> Self {
         ExecutionModel {
             stats_seed,
             noise_seed,
+            costs: CostConstants::default(),
         }
+    }
+
+    /// Replaces the cost constants (calibration).
+    pub fn with_costs(mut self, costs: CostConstants) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// In-place variant of [`ExecutionModel::with_costs`], for calibration
+    /// passes that adjust a live model between measurements.
+    pub fn set_costs(&mut self, costs: CostConstants) {
+        self.costs = costs;
     }
 
     /// Simulated wall-clock time of running `plan`.
@@ -131,7 +224,7 @@ impl ExecutionModel {
             .wrapping_add(config_fingerprint.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
             .wrapping_add(exec_counter.wrapping_mul(0x1656_67B1_9E37_79F9)));
         let unit = ((h % 10_000) as f64) / 5_000.0 - 1.0;
-        time *= (1.0 + 0.06 * unit) * TIME_SCALE;
+        time *= (1.0 + 0.06 * unit) * self.costs.time_scale;
         secs(time.max(1e-4))
     }
 
@@ -169,9 +262,9 @@ impl ExecutionModel {
             .sqrt();
         // External sort dominates builds on large tables (a default-config
         // B-tree build over tens of millions of rows takes minutes).
-        let sort = rows * rows.max(2.0).log2() * (2.0 * T_TUPLE_SORT) / boost;
-        let write = index.pages(ctx.catalog) as f64 * T_PAGE_OS;
-        secs(((read + sort + write) * TIME_SCALE).max(1e-3))
+        let sort = rows * rows.max(2.0).log2() * (2.0 * self.costs.t_tuple_sort) / boost;
+        let write = index.pages(ctx.catalog) as f64 * self.costs.t_page_os;
+        secs(((read + sort + write) * self.costs.time_scale).max(1e-3))
     }
 
     /// Simulated time to drop an index (catalog-only, near-instant).
@@ -201,15 +294,17 @@ impl ExecutionModel {
     fn page_time_seq(&self, ctx: &ExecutionContext<'_>) -> f64 {
         let (bp, os) = self.cache_fractions(ctx);
         let disk = (1.0 - bp - os).max(0.0);
-        bp * T_PAGE_BUFFER + os * T_PAGE_OS + disk * T_PAGE_DISK_SEQ
+        bp * self.costs.t_page_buffer
+            + os * self.costs.t_page_os
+            + disk * self.costs.t_page_disk_seq
     }
 
     fn page_time_rand(&self, ctx: &ExecutionContext<'_>) -> f64 {
         let (bp, os) = self.cache_fractions(ctx);
         let disk = (1.0 - bp - os).max(0.0);
         let ioc = ctx.knobs.io_concurrency().max(1) as f64;
-        let rand_disk = T_PAGE_DISK_RAND / (1.0 + 0.5 * ioc.ln_1p());
-        bp * T_PAGE_BUFFER + os * T_PAGE_OS + disk * rand_disk
+        let rand_disk = self.costs.t_page_disk_rand / (1.0 + 0.5 * ioc.ln_1p());
+        bp * self.costs.t_page_buffer + os * self.costs.t_page_os + disk * rand_disk
     }
 }
 
@@ -244,6 +339,7 @@ impl Walker<'_, '_> {
     }
 
     fn node_time_inner(&mut self, node: &PlanNode, depth: usize) -> (f64, f64) {
+        let c = self.model.costs;
         match &node.op {
             PlanOp::SeqScan { table, .. } => {
                 let t = self.ctx.catalog.table(*table);
@@ -251,7 +347,7 @@ impl Walker<'_, '_> {
                 let pages = t.pages(self.ctx.catalog) as f64;
                 let sel = self.true_selectivity(*table);
                 let io = pages * self.model.page_time_seq(self.ctx);
-                let cpu = rows * T_TUPLE_SCAN;
+                let cpu = rows * c.t_tuple_scan;
                 ((rows * sel).max(1.0), io + cpu)
             }
             PlanOp::IndexScan {
@@ -266,7 +362,7 @@ impl Walker<'_, '_> {
                 let true_sel = (est_sel * self.true_misfactor(*table)).clamp(1e-12, 1.0);
                 let fetched = (true_sel * rows).max(1.0);
                 let heap_pages = fetched.min(pages);
-                let io = T_INDEX_DESCENT
+                let io = c.t_index_descent
                     + heap_pages * self.model.page_time_rand(self.ctx)
                     + fetched * 2.0e-8;
                 ((rows * true_sel).max(1.0), io)
@@ -278,13 +374,13 @@ impl Walker<'_, '_> {
                 let out = (probe_rows * build_rows * sel).max(1.0);
                 let mut time = probe_t
                     + build_t
-                    + build_rows * T_TUPLE_HASH * 2.0
-                    + probe_rows * T_TUPLE_HASH
-                    + out * T_TUPLE_SCAN;
+                    + build_rows * c.t_tuple_hash * 2.0
+                    + probe_rows * c.t_tuple_hash
+                    + out * c.t_tuple_scan;
                 let build_bytes = build_rows * node.children[1].width;
                 if build_bytes > self.ctx.knobs.work_mem_bytes() as f64 {
                     let spill_bytes = build_bytes + probe_rows * node.children[0].width;
-                    time += 2.0 * (spill_bytes / PAGE_SIZE as f64) * T_PAGE_SPILL;
+                    time += 2.0 * (spill_bytes / PAGE_SIZE as f64) * c.t_page_spill;
                 }
                 (out, time)
             }
@@ -293,13 +389,13 @@ impl Walker<'_, '_> {
                 let (r_rows, r_t) = self.node_time(&node.children[1], depth + 1);
                 let sel = self.true_join_sel_all(keys);
                 let out = (l_rows * r_rows * sel).max(1.0);
-                let sort = |n: f64| n * n.max(2.0).log2() * T_TUPLE_SORT;
+                let sort = |n: f64| n * n.max(2.0).log2() * c.t_tuple_sort;
                 let time = l_t
                     + r_t
                     + sort(l_rows)
                     + sort(r_rows)
-                    + (l_rows + r_rows) * T_TUPLE_SCAN
-                    + out * T_TUPLE_SCAN;
+                    + (l_rows + r_rows) * c.t_tuple_scan
+                    + out * c.t_tuple_scan;
                 (out, time)
             }
             PlanOp::NestLoopJoin { keys, inner_index } => {
@@ -318,7 +414,7 @@ impl Walker<'_, '_> {
                     let matches = (out / outer_rows.max(1.0)).max(1.0);
                     outer_t
                         + outer_rows
-                            * (T_INDEX_DESCENT + matches * self.model.page_time_rand(self.ctx))
+                            * (c.t_index_descent + matches * self.model.page_time_rand(self.ctx))
                 } else {
                     // Naive repeated scan of the inner side.
                     let (_, inner_t) = self.node_time(inner, depth + 1);
@@ -330,27 +426,27 @@ impl Walker<'_, '_> {
                 let (l_rows, l_t) = self.node_time(&node.children[0], depth + 1);
                 let (r_rows, r_t) = self.node_time(&node.children[1], depth + 1);
                 let out = (l_rows * r_rows).max(1.0);
-                (out, l_t + r_t + out * T_TUPLE_SCAN)
+                (out, l_t + r_t + out * c.t_tuple_scan)
             }
             PlanOp::Sort { .. } => {
                 let (rows, t) = self.node_time(&node.children[0], depth + 1);
-                let mut time = t + rows * rows.max(2.0).log2() * T_TUPLE_SORT;
+                let mut time = t + rows * rows.max(2.0).log2() * c.t_tuple_sort;
                 let bytes = rows * node.children[0].width;
                 if bytes > self.ctx.knobs.work_mem_bytes() as f64 {
-                    time += 2.0 * (bytes / PAGE_SIZE as f64) * T_PAGE_SPILL;
+                    time += 2.0 * (bytes / PAGE_SIZE as f64) * c.t_page_spill;
                 }
                 (rows, time)
             }
             PlanOp::Aggregate { grouped } => {
                 let (rows, t) = self.node_time(&node.children[0], depth + 1);
                 let out = if *grouped { (rows * 0.1).max(1.0) } else { 1.0 };
-                (out, t + rows * T_TUPLE_AGG)
+                (out, t + rows * c.t_tuple_agg)
             }
             PlanOp::Gather { workers } => {
                 let (rows, t) = self.node_time(&node.children[0], depth + 1);
                 let usable = (*workers).min(self.ctx.hardware.cores.saturating_sub(1)) as f64;
                 let speedup = 1.0 + 0.7 * usable;
-                (rows, t / speedup + usable * T_WORKER_STARTUP)
+                (rows, t / speedup + usable * c.t_worker_startup)
             }
             PlanOp::Limit { rows } => match node.children.first() {
                 Some(child) => {
@@ -359,7 +455,7 @@ impl Walker<'_, '_> {
                 }
                 // Table-less queries plan as a bare Limit leaf (constant
                 // result); charge one tuple's worth of work.
-                None => (node.est_rows.min(*rows as f64), T_TUPLE_SCAN),
+                None => (node.est_rows.min(*rows as f64), c.t_tuple_scan),
             },
         }
     }

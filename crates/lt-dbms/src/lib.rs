@@ -34,11 +34,12 @@ pub mod physical;
 pub mod plan;
 pub mod plan_cache;
 pub mod stats;
+pub mod target;
 
 pub use catalog::{Catalog, ColumnMeta, TableBuilder, TableMeta};
 pub use config::{ConfigCommand, Configuration, IndexSpec};
 pub use db::{QueryOutcome, SimDb};
-pub use executor::ExecutionModel;
+pub use executor::{CostConstants, ExecutionModel};
 pub use hardware::Hardware;
 pub use knobs::{Dbms, KnobCategory, KnobDef, KnobSet, KnobValue};
 pub use optimizer::{
@@ -47,3 +48,4 @@ pub use optimizer::{
 pub use physical::{Index, IndexCatalog};
 pub use plan::{PlanNode, PlanOp};
 pub use plan_cache::{CacheStats, PlanCache, PlanKey};
+pub use target::TuningTarget;

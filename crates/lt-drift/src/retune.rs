@@ -14,7 +14,7 @@
 
 use lambda_tune::{LambdaTune, LambdaTuneOptions, TuneObserver, TuneResult, WarmStart};
 use lt_common::{obs, Result};
-use lt_dbms::SimDb;
+use lt_dbms::TuningTarget;
 use lt_llm::{LanguageModel, LlmClient};
 use lt_workloads::Workload;
 use std::sync::Arc;
@@ -78,8 +78,8 @@ pub fn warm_options(
 
 /// Runs one warm-start re-tune of `workload` on `db`. The caller applies
 /// the resulting best configuration; the pipeline itself only evaluates.
-pub fn retune<M: LanguageModel>(
-    db: &mut SimDb,
+pub fn retune<D: TuningTarget + ?Sized, M: LanguageModel>(
+    db: &mut D,
     workload: &Workload,
     llm: &LlmClient<M>,
     memory: &TuneMemory,
@@ -105,7 +105,7 @@ pub fn retune<M: LanguageModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_llm::SimulatedLlm;
     use lt_workloads::Benchmark;
 

@@ -4,7 +4,7 @@ use lambda_tune::selector::TrajectoryPoint;
 use lambda_tune::{LambdaTuneOptions, TuneResult};
 use lt_common::lru::{cap_from_env, LruMap};
 use lt_common::{hash_one, obs, Fingerprint, FxHasher, Secs};
-use lt_dbms::{Catalog, Configuration, Dbms, SimDb};
+use lt_dbms::{Catalog, Configuration, Dbms, TuningTarget};
 use lt_drift::Profile;
 use lt_llm::LlmUsage;
 use std::hash::Hasher;
@@ -75,8 +75,8 @@ impl FleetKey {
     /// Key for tuning `profile`'s workload on `db` under `options`, with
     /// `initial_config` being the pre-applied configuration script (empty
     /// string for none).
-    pub fn for_session(
-        db: &SimDb,
+    pub fn for_session<D: TuningTarget + ?Sized>(
+        db: &D,
         profile: &Profile,
         options: &LambdaTuneOptions,
         initial_config: &str,
@@ -177,7 +177,7 @@ impl FleetEntry {
     /// Scripts round-trip through `Configuration::parse`, so the replayed
     /// result carries the same configurations, stats, and trajectory the
     /// cold run produced — without any LLM or evaluation work.
-    pub fn to_result(&self, db: &SimDb) -> TuneResult {
+    pub fn to_result<D: TuningTarget + ?Sized>(&self, db: &D) -> TuneResult {
         let configs: Vec<Configuration> = self
             .config_scripts
             .iter()

@@ -3,7 +3,7 @@
 use crate::cache::{FleetCache, FleetEntry, FleetKey};
 use lambda_tune::{LambdaTune, TuneResult, WarmStart};
 use lt_common::{obs, Result};
-use lt_dbms::SimDb;
+use lt_dbms::TuningTarget;
 use lt_drift::{warm_options, Profile};
 use lt_llm::{LanguageModel, LlmClient};
 use lt_workloads::Workload;
@@ -69,9 +69,9 @@ pub struct FleetResult {
 /// produced by a run with the identical key, so hit and cold run return the
 /// same bytes. Transfer results depend on what the cache happens to hold,
 /// so they are opt-in and never published.
-pub fn fleet_tune<M: LanguageModel>(
+pub fn fleet_tune<D: TuningTarget + ?Sized, M: LanguageModel>(
     cache: &FleetCache,
-    db: &mut SimDb,
+    db: &mut D,
     workload: &Workload,
     llm: &LlmClient<M>,
     tuner: LambdaTune,
@@ -131,7 +131,7 @@ pub fn fleet_tune<M: LanguageModel>(
 mod tests {
     use super::*;
     use lambda_tune::LambdaTuneOptions;
-    use lt_dbms::{Dbms, Hardware};
+    use lt_dbms::{Dbms, Hardware, SimDb};
     use lt_llm::SimulatedLlm;
     use lt_workloads::Benchmark;
 

@@ -12,7 +12,7 @@ use crate::session::{ServingState, SessionHandle, SessionState, TuneRequest};
 use crate::wal::SessionRecord;
 use lambda_tune::{LambdaTune, SampleCache, WarmStart};
 use lt_common::{derive_seed, obs, LtError, Secs};
-use lt_dbms::{Configuration, SimDb};
+use lt_dbms::{Configuration, TuningTarget};
 use lt_drift::{retune, warm_options, DriftMonitor, Profile, RetuneOptions, TuneMemory};
 use lt_fleet::{FleetCache, FleetEntry, FleetKey, TransferOptions};
 use lt_llm::{LlmClient, SimulatedLlm};
@@ -176,7 +176,7 @@ impl Drop for WorkerPool {
 
 /// Total workload time under the database's *current* configuration with no
 /// cap (the denominator of the scaled cost reported by `/config`).
-fn measure_default(db: &mut SimDb, workload: &Workload) -> Secs {
+fn measure_default(db: &mut dyn TuningTarget, workload: &Workload) -> Secs {
     let mut total = Secs::ZERO;
     for wq in &workload.queries {
         total += db.execute(&wq.parsed, Secs::INFINITY).time;
@@ -193,6 +193,7 @@ fn coalesce_key(request: &TuneRequest) -> u64 {
     let mut h = lt_common::FxHasher::new();
     request.benchmark.hash(&mut h);
     request.dbms.hash(&mut h);
+    request.backend.hash(&mut h);
     h.write_u64(request.hardware.memory_bytes);
     h.write_u64(request.hardware.cores as u64);
     h.write_u64(lt_fleet::options_digest(&request.options, false));
@@ -240,7 +241,7 @@ fn run_sessions(sessions: &[SessionHandle]) {
 fn prefetch_samples(group: &[&SessionHandle]) -> Option<Arc<SampleCache>> {
     let request = group[0].lock().request.clone();
     let workload = request.benchmark.load();
-    let mut db = SimDb::new(
+    let mut db = request.backend.open(
         request.dbms,
         workload.catalog.clone(),
         request.hardware,
@@ -260,7 +261,7 @@ fn prefetch_samples(group: &[&SessionHandle]) -> Option<Arc<SampleCache>> {
     for session in group {
         let options = session.lock().request.options;
         let key = FleetKey::for_session(
-            &db,
+            db.as_ref(),
             &profile,
             &options,
             request.initial_config.as_deref().unwrap_or(""),
@@ -281,7 +282,7 @@ fn prefetch_samples(group: &[&SessionHandle]) -> Option<Arc<SampleCache>> {
     }
     let tuner = LambdaTune::new(request.options);
     let llm = LlmClient::new(SimulatedLlm::new());
-    let (prompt, _) = tuner.build_prompt(&db, &workload, &llm).ok()?;
+    let (prompt, _) = tuner.build_prompt(db.as_ref(), &workload, &llm).ok()?;
     let responses = llm
         .complete_batch(&prompt, request.options.temperature, &seeds)
         .ok()?;
@@ -411,7 +412,7 @@ fn tune_session(
     let request = session.lock().request.clone();
     let workload = request.benchmark.load();
 
-    let mut db = SimDb::new(
+    let mut db = request.backend.open(
         request.dbms,
         workload.catalog.clone(),
         request.hardware,
@@ -434,7 +435,7 @@ fn tune_session(
     let fleet = FleetCache::global();
     let profile = Profile::from_workload(db.catalog(), &workload);
     let key = FleetKey::for_session(
-        &db,
+        db.as_ref(),
         &profile,
         &request.options,
         request.initial_config.as_deref().unwrap_or(""),
@@ -448,19 +449,19 @@ fn tune_session(
     let default_time = match cached.as_ref().and_then(|entry| entry.default_time) {
         Some(time) => time,
         None => {
-            let mut default_db = SimDb::new(
+            let mut default_db = request.backend.open(
                 request.dbms,
                 workload.catalog.clone(),
                 request.hardware,
                 request.seed,
             );
-            measure_default(&mut default_db, &workload)
+            measure_default(default_db.as_mut(), &workload)
         }
     };
     session.lock().default_time = Some(default_time.as_f64());
 
     let result = match cached {
-        Some(entry) => entry.to_result(&db),
+        Some(entry) => entry.to_result(db.as_ref()),
         None => {
             // Near-miss transfer (opt-in): warm-start from the nearest
             // cached neighbour's prompt and winner at half the budget.
@@ -494,7 +495,7 @@ fn tune_session(
                 tuner = tuner.with_samples(cache);
             }
             let llm = LlmClient::new(SimulatedLlm::new());
-            let result = tuner.tune(&mut db, &workload, &llm)?;
+            let result = tuner.tune(db.as_mut(), &workload, &llm)?;
             if publish && !result.cancelled {
                 let entry = FleetEntry::from_result(
                     &result,
@@ -551,7 +552,7 @@ pub(crate) fn build_serving(
     prompt: &str,
 ) -> ServingState {
     let workload = request.benchmark.load();
-    let mut db = SimDb::new(
+    let mut db = request.backend.open(
         request.dbms,
         workload.catalog.clone(),
         request.hardware,
@@ -706,7 +707,7 @@ fn warm_retune(
     // from the session's *original* options, so repeated re-tunes do not
     // shrink geometrically toward a single candidate.
     let result = retune(
-        &mut serving.db,
+        serving.db.as_mut(),
         &workload,
         &llm,
         &serving.memory,

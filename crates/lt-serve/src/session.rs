@@ -21,7 +21,7 @@
 use lambda_tune::{LambdaTuneOptions, ProgressEvent, TrajectoryPoint, TuneObserver};
 use lt_common::json::Value;
 use lt_common::{json, LtError, Result};
-use lt_dbms::{Dbms, Hardware, SimDb};
+use lt_dbms::{Dbms, Hardware, SimDb, TuningTarget};
 use lt_drift::{DriftConfig, DriftEvent, DriftMonitor, TuneMemory};
 use lt_workloads::Benchmark;
 use std::collections::HashMap;
@@ -43,6 +43,53 @@ pub const MAX_TOKEN_BUDGET: u64 = 10_000_000;
 /// serves.
 pub const RECENT_QUERY_CAP: usize = 256;
 
+/// Which engine a session's databases run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Virtual-time simulator ([`SimDb`]); the determinism-gated default.
+    #[default]
+    Sim,
+    /// lt-store physical storage engine ([`lt_store::StoreDb`]): plans
+    /// identically to the simulator, but query times are measured on a
+    /// scaled-down on-disk replica.
+    Store,
+}
+
+impl Backend {
+    /// Lower-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Store => "store",
+        }
+    }
+
+    /// Inverse of [`Backend::name`].
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" | "simulator" => Some(Backend::Sim),
+            "store" | "lt-store" => Some(Backend::Store),
+            _ => None,
+        }
+    }
+
+    /// Builds a database of this flavour. Both backends share the optimizer
+    /// and statistics seed, so plans and prompts are identical; only plan
+    /// *execution* differs (modelled vs measured).
+    pub fn open(
+        self,
+        dbms: Dbms,
+        catalog: lt_dbms::Catalog,
+        hardware: Hardware,
+        seed: u64,
+    ) -> Box<dyn TuningTarget + Send> {
+        match self {
+            Backend::Sim => Box::new(SimDb::new(dbms, catalog, hardware, seed)),
+            Backend::Store => Box::new(lt_store::StoreDb::new(dbms, catalog, hardware, seed)),
+        }
+    }
+}
+
 /// A client's tuning request, parsed and validated at submission time.
 #[derive(Debug, Clone)]
 pub struct TuneRequest {
@@ -50,6 +97,8 @@ pub struct TuneRequest {
     pub benchmark: Benchmark,
     /// Target system flavour.
     pub dbms: Dbms,
+    /// Engine the session's databases run on (`"backend"`, default `sim`).
+    pub backend: Backend,
     /// Simulated machine.
     pub hardware: Hardware,
     /// Session seed: drives misestimation patterns, LLM sampling and
@@ -95,6 +144,13 @@ impl TuneRequest {
                 other => return Err(bad(&format!("unknown dbms {other:?}"))),
             },
             Some(None) => return Err(bad("\"dbms\" must be a string")),
+        };
+        let backend = match doc.get("backend").map(|v| v.as_str()) {
+            None => Backend::Sim,
+            Some(Some(s)) => {
+                Backend::parse(s).ok_or_else(|| bad(&format!("unknown backend {s:?}")))?
+            }
+            Some(None) => return Err(bad("\"backend\" must be a string")),
         };
         let hardware = match doc.get("hardware").map(|v| v.as_str()) {
             None => Hardware::p3_2xlarge(),
@@ -162,6 +218,7 @@ impl TuneRequest {
         Ok(TuneRequest {
             benchmark,
             dbms,
+            backend,
             hardware,
             seed,
             options,
@@ -179,6 +236,7 @@ impl TuneRequest {
                 Dbms::Postgres => "postgres",
                 Dbms::Mysql => "mysql",
             },
+            "backend": self.backend.name(),
             "seed": self.seed,
             "num_configs": self.options.num_configs,
             "params_only": self.options.params_only,
@@ -194,7 +252,7 @@ impl TuneRequest {
     /// compressor/scheduler/selector options — always hold their defaults
     /// in a served session, so they need no representation here.)
     pub fn to_wal_json(&self) -> Value {
-        json!({
+        let mut doc = json!({
             "benchmark": self.benchmark.name(),
             "dbms": match self.dbms {
                 Dbms::Postgres => "postgres",
@@ -228,7 +286,16 @@ impl TuneRequest {
                 "ph_delta": self.drift.ph_delta,
                 "ph_lambda": self.drift.ph_lambda,
             }),
-        })
+        });
+        // Emitted only when non-default, so session logs written before the
+        // backend field existed — and all sim sessions — keep their exact
+        // bytes (the crash-recovery gate diffs replayed logs).
+        if self.backend != Backend::Sim {
+            if let Value::Object(fields) = &mut doc {
+                fields.push(("backend".to_string(), json!(self.backend.name())));
+            }
+        }
+        doc
     }
 }
 
@@ -371,7 +438,7 @@ pub struct DriftStatus {
 /// become the re-tune workload.
 pub struct ServingState {
     /// The session's database with the winning configuration applied.
-    pub db: SimDb,
+    pub db: Box<dyn TuningTarget + Send>,
     /// Streaming drift monitor referenced on the tuned workload.
     pub monitor: DriftMonitor,
     /// Prompt + winning script of the latest (re-)tune.
@@ -423,7 +490,7 @@ impl ServingState {
 
 impl fmt::Debug for ServingState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // SimDb carries no Debug impl; summarize instead of deriving.
+        // The boxed target carries no Debug bound; summarize instead.
         f.debug_struct("ServingState")
             .field("observed", &self.monitor.observed())
             .field("recent", &self.recent.len())

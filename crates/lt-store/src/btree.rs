@@ -1,0 +1,471 @@
+//! Paged B+tree mapping `(key, rid)` to heap rows.
+//!
+//! Entries are composite `(key, rid)` pairs, so duplicate keys — the normal
+//! case for secondary indexes on foreign keys — stay totally ordered and
+//! deletable individually. Leaves hold 16-byte entries and chain through
+//! the page-header link field; internal nodes hold 24-byte
+//! `(key, rid, child)` routing entries plus a leftmost child in the link
+//! field. Splits propagate upward; deletes do not rebalance (separators may
+//! go stale, which keeps routing correct while wasting some space — an
+//! acceptable trade for a bulk-load + read-mostly engine).
+//!
+//! All node access goes through the buffer pool, so index descents and leaf
+//! walks produce the same hit/miss/eviction signals heap scans do.
+
+use crate::buffer::BufferPool;
+use crate::page::{self, PageKind, HEADER, LINK_NONE, PAGE_SIZE};
+use std::io;
+
+/// Bytes per leaf entry: key + rid.
+const LEAF_ENTRY: usize = 16;
+/// Bytes per internal entry: key + rid + child page.
+const INT_ENTRY: usize = 24;
+/// Max entries in a leaf node.
+pub const LEAF_CAP: usize = (PAGE_SIZE - HEADER) / LEAF_ENTRY;
+/// Max entries in an internal node.
+pub const INT_CAP: usize = (PAGE_SIZE - HEADER) / INT_ENTRY;
+
+/// A B+tree rooted in a buffer-pool page.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    /// Root page (leaf until the first split).
+    pub root: u64,
+    /// Levels below the root (0 = root is a leaf).
+    pub height: u32,
+    /// Live entries.
+    pub entries: u64,
+}
+
+fn leaf_entry(buf: &[u8], i: usize) -> (u64, u64) {
+    let off = HEADER + LEAF_ENTRY * i;
+    (
+        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+        u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),
+    )
+}
+
+fn write_leaf_entry(buf: &mut [u8], i: usize, key: u64, rid: u64) {
+    let off = HEADER + LEAF_ENTRY * i;
+    buf[off..off + 8].copy_from_slice(&key.to_le_bytes());
+    buf[off + 8..off + 16].copy_from_slice(&rid.to_le_bytes());
+}
+
+fn int_entry(buf: &[u8], i: usize) -> (u64, u64, u64) {
+    let off = HEADER + INT_ENTRY * i;
+    (
+        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+        u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),
+        u64::from_le_bytes(buf[off + 16..off + 24].try_into().unwrap()),
+    )
+}
+
+fn write_int_entry(buf: &mut [u8], i: usize, key: u64, rid: u64, child: u64) {
+    let off = HEADER + INT_ENTRY * i;
+    buf[off..off + 8].copy_from_slice(&key.to_le_bytes());
+    buf[off + 8..off + 16].copy_from_slice(&rid.to_le_bytes());
+    buf[off + 16..off + 24].copy_from_slice(&child.to_le_bytes());
+}
+
+/// First leaf slot whose entry is `>= (key, rid)`.
+fn leaf_lower_bound(buf: &[u8], key: u64, rid: u64) -> usize {
+    let n = page::count(buf) as usize;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if leaf_entry(buf, mid) < (key, rid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Child page covering `(key, rid)` in an internal node.
+fn route(buf: &[u8], key: u64, rid: u64) -> u64 {
+    let n = page::count(buf) as usize;
+    // Last entry with separator <= (key, rid); none → leftmost child.
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (k, r, _) = int_entry(buf, mid);
+        if (k, r) <= (key, rid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        page::link(buf) as u64
+    } else {
+        int_entry(buf, lo - 1).2
+    }
+}
+
+impl BTree {
+    /// Creates an empty tree (one leaf page).
+    pub fn create(pool: &mut BufferPool) -> io::Result<BTree> {
+        let root = pool.alloc_page();
+        pool.with_page_mut(root, |buf| {
+            page::init(buf, PageKind::Leaf, 0);
+        })?;
+        Ok(BTree {
+            root,
+            height: 0,
+            entries: 0,
+        })
+    }
+
+    /// Inserts `(key, rid)`. Duplicate `(key, rid)` pairs are stored once
+    /// (idempotent, like a unique composite index over key+rid).
+    pub fn insert(&mut self, pool: &mut BufferPool, key: u64, rid: u64) -> io::Result<()> {
+        if let Some((sk, sr, right)) = self.insert_rec(pool, self.root, self.height, key, rid)? {
+            // Root split: new internal root over (old root, right).
+            let new_root = pool.alloc_page();
+            let old_root = self.root;
+            pool.with_page_mut(new_root, |buf| {
+                page::init(buf, PageKind::Internal, 0);
+                page::set_level(buf, 0);
+                page::set_link(buf, old_root as u32);
+                write_int_entry(buf, 0, sk, sr, right);
+                page::set_count(buf, 1);
+            })?;
+            self.root = new_root;
+            self.height += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        node: u64,
+        level: u32,
+        key: u64,
+        rid: u64,
+    ) -> io::Result<Option<(u64, u64, u64)>> {
+        if level == 0 {
+            return self.leaf_insert(pool, node, key, rid);
+        }
+        let child = pool.with_page(node, |buf| route(buf, key, rid))?;
+        let Some((sk, sr, new_child)) = self.insert_rec(pool, child, level - 1, key, rid)? else {
+            return Ok(None);
+        };
+        // Insert the separator into this node, splitting if full.
+        let count = pool.with_page(node, |buf| page::count(buf) as usize)?;
+        if count < INT_CAP {
+            pool.with_page_mut(node, |buf| {
+                int_insert_sorted(buf, sk, sr, new_child);
+            })?;
+            return Ok(None);
+        }
+        // Split this internal node around its middle separator.
+        let right = pool.alloc_page();
+        let (mid_k, mid_r, promoted) = pool.with_page(node, |buf| {
+            let mid = count / 2;
+            int_entry(buf, mid)
+        })?;
+        let moved: Vec<(u64, u64, u64)> = pool.with_page(node, |buf| {
+            ((count / 2 + 1)..count)
+                .map(|i| int_entry(buf, i))
+                .collect()
+        })?;
+        pool.with_page_mut(right, |buf| {
+            page::init(buf, PageKind::Internal, 0);
+            page::set_link(buf, promoted as u32);
+            for (i, &(k, r, c)) in moved.iter().enumerate() {
+                write_int_entry(buf, i, k, r, c);
+            }
+            page::set_count(buf, moved.len() as u16);
+        })?;
+        pool.with_page_mut(node, |buf| {
+            page::set_count(buf, (count / 2) as u16);
+        })?;
+        let target = if (sk, sr) < (mid_k, mid_r) {
+            node
+        } else {
+            right
+        };
+        pool.with_page_mut(target, |buf| {
+            int_insert_sorted(buf, sk, sr, new_child);
+        })?;
+        Ok(Some((mid_k, mid_r, right)))
+    }
+
+    fn leaf_insert(
+        &mut self,
+        pool: &mut BufferPool,
+        leaf: u64,
+        key: u64,
+        rid: u64,
+    ) -> io::Result<Option<(u64, u64, u64)>> {
+        let (count, pos, exists) = pool.with_page(leaf, |buf| {
+            let n = page::count(buf) as usize;
+            let pos = leaf_lower_bound(buf, key, rid);
+            (n, pos, pos < n && leaf_entry(buf, pos) == (key, rid))
+        })?;
+        if exists {
+            return Ok(None);
+        }
+        if count < LEAF_CAP {
+            pool.with_page_mut(leaf, |buf| {
+                leaf_insert_at(buf, pos, key, rid);
+            })?;
+            self.entries += 1;
+            return Ok(None);
+        }
+        // Split: move the upper half to a fresh right sibling.
+        let right = pool.alloc_page();
+        let mid = count / 2;
+        let (moved, old_link): (Vec<(u64, u64)>, u32) = pool.with_page(leaf, |buf| {
+            (
+                (mid..count).map(|i| leaf_entry(buf, i)).collect(),
+                page::link(buf),
+            )
+        })?;
+        pool.with_page_mut(right, |buf| {
+            page::init(buf, PageKind::Leaf, 0);
+            page::set_link(buf, old_link);
+            for (i, &(k, r)) in moved.iter().enumerate() {
+                write_leaf_entry(buf, i, k, r);
+            }
+            page::set_count(buf, moved.len() as u16);
+        })?;
+        pool.with_page_mut(leaf, |buf| {
+            page::set_count(buf, mid as u16);
+            page::set_link(buf, right as u32);
+        })?;
+        let sep = moved[0];
+        let target = if (key, rid) < sep { leaf } else { right };
+        pool.with_page_mut(target, |buf| {
+            let pos = leaf_lower_bound(buf, key, rid);
+            leaf_insert_at(buf, pos, key, rid);
+        })?;
+        self.entries += 1;
+        Ok(Some((sep.0, sep.1, right)))
+    }
+
+    /// Deletes `(key, rid)`. Returns whether the entry existed.
+    pub fn delete(&mut self, pool: &mut BufferPool, key: u64, rid: u64) -> io::Result<bool> {
+        let leaf = self.descend(pool, key, rid)?;
+        let removed = pool.with_page_mut(leaf, |buf| {
+            let n = page::count(buf) as usize;
+            let pos = leaf_lower_bound(buf, key, rid);
+            if pos >= n || leaf_entry(buf, pos) != (key, rid) {
+                return false;
+            }
+            for i in pos..n - 1 {
+                let (k, r) = leaf_entry(buf, i + 1);
+                write_leaf_entry(buf, i, k, r);
+            }
+            page::set_count(buf, (n - 1) as u16);
+            true
+        })?;
+        if removed {
+            self.entries -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// Walks the tree to the leaf that would hold `(key, rid)`.
+    fn descend(&self, pool: &mut BufferPool, key: u64, rid: u64) -> io::Result<u64> {
+        let mut node = self.root;
+        for _ in 0..self.height {
+            node = pool.with_page(node, |buf| route(buf, key, rid))?;
+        }
+        Ok(node)
+    }
+
+    /// Visits every `(key, rid)` with `lo <= key <= hi` in order. Returns
+    /// the number of leaf pages touched (the executor's I/O evidence).
+    pub fn range_scan(
+        &self,
+        pool: &mut BufferPool,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(u64, u64),
+    ) -> io::Result<u64> {
+        let mut leaf = self.descend(pool, lo, 0)?;
+        let mut leaves = 0u64;
+        loop {
+            leaves += 1;
+            let (next, done) = pool.with_page(leaf, |buf| {
+                let n = page::count(buf) as usize;
+                let mut i = leaf_lower_bound(buf, lo, 0);
+                while i < n {
+                    let (k, r) = leaf_entry(buf, i);
+                    if k > hi {
+                        return (LINK_NONE, true);
+                    }
+                    f(k, r);
+                    i += 1;
+                }
+                (page::link(buf), false)
+            })?;
+            if done || next == LINK_NONE {
+                return Ok(leaves);
+            }
+            leaf = next as u64;
+        }
+    }
+
+    /// All rids stored under exactly `key`.
+    pub fn probe(&self, pool: &mut BufferPool, key: u64) -> io::Result<Vec<u64>> {
+        let mut rids = Vec::new();
+        self.range_scan(pool, key, key, |_, rid| rids.push(rid))?;
+        Ok(rids)
+    }
+
+    /// Visits the first `limit` entries in key order (a prefix range scan —
+    /// how the executor realizes an index scan of a given selectivity).
+    pub fn scan_prefix(
+        &self,
+        pool: &mut BufferPool,
+        limit: u64,
+        mut f: impl FnMut(u64, u64),
+    ) -> io::Result<u64> {
+        let mut remaining = limit;
+        if remaining == 0 {
+            return Ok(0);
+        }
+        let mut leaf = self.descend(pool, 0, 0)?;
+        let mut leaves = 0u64;
+        loop {
+            leaves += 1;
+            let next = pool.with_page(leaf, |buf| {
+                let n = page::count(buf) as usize;
+                for i in 0..n {
+                    if remaining == 0 {
+                        return LINK_NONE;
+                    }
+                    let (k, r) = leaf_entry(buf, i);
+                    f(k, r);
+                    remaining -= 1;
+                }
+                page::link(buf)
+            })?;
+            if remaining == 0 || next == LINK_NONE {
+                return Ok(leaves);
+            }
+            leaf = next as u64;
+        }
+    }
+}
+
+fn leaf_insert_at(buf: &mut [u8], pos: usize, key: u64, rid: u64) {
+    let n = page::count(buf) as usize;
+    debug_assert!(n < LEAF_CAP);
+    let start = HEADER + LEAF_ENTRY * pos;
+    let end = HEADER + LEAF_ENTRY * n;
+    buf.copy_within(start..end, start + LEAF_ENTRY);
+    write_leaf_entry(buf, pos, key, rid);
+    page::set_count(buf, (n + 1) as u16);
+}
+
+fn int_insert_sorted(buf: &mut [u8], key: u64, rid: u64, child: u64) {
+    let n = page::count(buf) as usize;
+    debug_assert!(n < INT_CAP);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (k, r, _) = int_entry(buf, mid);
+        if (k, r) < (key, rid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let start = HEADER + INT_ENTRY * lo;
+    let end = HEADER + INT_ENTRY * n;
+    buf.copy_within(start..end, start + INT_ENTRY);
+    write_int_entry(buf, lo, key, rid, child);
+    page::set_count(buf, (n + 1) as u16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lt_store_bt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn sorted_after_many_random_inserts() {
+        let dir = tmpdir("sorted");
+        let mut pool =
+            BufferPool::open(&dir.join("data.pages"), &dir.join("redo.wal"), 64).unwrap();
+        let mut bt = BTree::create(&mut pool).unwrap();
+        let mut rng = lt_common::seeded_rng(7);
+        let n = 5000u64;
+        for i in 0..n {
+            bt.insert(&mut pool, rng.next_u64() % 1000, i).unwrap();
+        }
+        assert_eq!(bt.entries, n);
+        assert!(bt.height >= 1, "5000 entries must split the root");
+        let mut prev = None;
+        let mut count = 0u64;
+        bt.range_scan(&mut pool, 0, u64::MAX, |k, r| {
+            if let Some(p) = prev {
+                assert!(p <= (k, r), "out of order: {p:?} then {:?}", (k, r));
+            }
+            prev = Some((k, r));
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, n);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_returns_all_duplicates() {
+        let dir = tmpdir("dups");
+        let mut pool =
+            BufferPool::open(&dir.join("data.pages"), &dir.join("redo.wal"), 64).unwrap();
+        let mut bt = BTree::create(&mut pool).unwrap();
+        for rid in 0..2000u64 {
+            bt.insert(&mut pool, rid % 10, rid).unwrap();
+        }
+        let rids = bt.probe(&mut pool, 3).unwrap();
+        assert_eq!(rids.len(), 200);
+        assert!(rids.windows(2).all(|w| w[0] < w[1]));
+        assert!(rids.iter().all(|r| r % 10 == 3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_removes_exactly_one_entry() {
+        let dir = tmpdir("del");
+        let mut pool =
+            BufferPool::open(&dir.join("data.pages"), &dir.join("redo.wal"), 64).unwrap();
+        let mut bt = BTree::create(&mut pool).unwrap();
+        for rid in 0..1000u64 {
+            bt.insert(&mut pool, rid / 4, rid).unwrap();
+        }
+        assert!(bt.delete(&mut pool, 50, 201).unwrap());
+        assert!(!bt.delete(&mut pool, 50, 201).unwrap(), "already gone");
+        assert_eq!(bt.entries, 999);
+        let rids = bt.probe(&mut pool, 50).unwrap();
+        assert_eq!(rids, vec![200, 202, 203]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_prefix_caps_the_walk() {
+        let dir = tmpdir("prefix");
+        let mut pool =
+            BufferPool::open(&dir.join("data.pages"), &dir.join("redo.wal"), 64).unwrap();
+        let mut bt = BTree::create(&mut pool).unwrap();
+        for i in 0..3000u64 {
+            bt.insert(&mut pool, i, i).unwrap();
+        }
+        let mut got = Vec::new();
+        bt.scan_prefix(&mut pool, 100, |k, _| got.push(k)).unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<u64>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,381 @@
+//! Clock-eviction buffer pool over a single page file.
+//!
+//! All page access goes through [`BufferPool::with_page`] /
+//! [`BufferPool::with_page_mut`]: the pool serves the frame on a hit,
+//! otherwise it reads the page from the data file (verifying its checksum),
+//! evicting a victim chosen by the clock (second-chance) sweep when full.
+//! Evicting a *dirty* frame first appends the page's after-image to the
+//! redo log — the write-ahead rule — then seals and writes it back.
+//!
+//! The capacity is derived from the active `shared_buffers`-style knob (see
+//! [`crate::db::StoreDb::apply_knobs`]); shrinking evicts immediately, so a
+//! re-configuration has the same cold-cache effect a restart would.
+//! Hit/miss/eviction counters are the store's observable response to pool
+//! sizing — the signal the cost-model calibration fits against.
+
+use crate::page::{self, PAGE_SIZE};
+use crate::redo::RedoLog;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Floor on the pool size: fewer frames than this and the clock degenerates
+/// into thrashing on a single hot page chain.
+pub const MIN_FRAMES: usize = 8;
+
+/// Buffer-pool counters (cumulative for the pool's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BpStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the data file.
+    pub misses: u64,
+    /// Frames evicted to make room (or by a pool shrink).
+    pub evictions: u64,
+    /// Dirty-page write-backs to the data file.
+    pub writes: u64,
+}
+
+impl BpStats {
+    /// Hit fraction over all page requests (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page_no: u64,
+    buf: Vec<u8>,
+    dirty: bool,
+    refbit: bool,
+}
+
+/// The buffer pool. Owns the data file and the redo log so the
+/// write-ahead ordering cannot be bypassed.
+pub struct BufferPool {
+    file: File,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    capacity: usize,
+    npages: u64,
+    redo: RedoLog,
+    /// Cumulative counters; see [`BpStats`].
+    pub stats: BpStats,
+}
+
+impl BufferPool {
+    /// Opens the pool over `data` with `capacity` frames, logging dirty
+    /// write-backs to `redo`.
+    pub fn open(data: &Path, redo: &Path, capacity: usize) -> io::Result<BufferPool> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(data)?;
+        let len = file.metadata()?.len();
+        Ok(BufferPool {
+            file,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            capacity: capacity.max(MIN_FRAMES),
+            npages: len / PAGE_SIZE as u64,
+            redo: RedoLog::open(redo)?,
+            stats: BpStats::default(),
+        })
+    }
+
+    /// Number of allocated pages.
+    pub fn npages(&self) -> u64 {
+        self.npages
+    }
+
+    /// Current frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Page images appended to the redo log so far.
+    pub fn wal_appends(&self) -> u64 {
+        self.redo.appends()
+    }
+
+    /// Allocates a fresh zeroed page and returns its number. The page is
+    /// materialized lazily — it joins the pool dirty on first write.
+    pub fn alloc_page(&mut self) -> u64 {
+        let page_no = self.npages;
+        self.npages += 1;
+        page_no
+    }
+
+    /// Resizes the pool to `capacity` frames, evicting immediately when
+    /// shrinking (a smaller `shared_buffers` after restart keeps nothing).
+    pub fn resize(&mut self, capacity: usize) -> io::Result<()> {
+        self.capacity = capacity.max(MIN_FRAMES);
+        while self.frames.len() > self.capacity {
+            self.evict_one()?;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` over the page's bytes (read-only intent: the frame is not
+    /// marked dirty).
+    pub fn with_page<R>(&mut self, page_no: u64, f: impl FnOnce(&[u8]) -> R) -> io::Result<R> {
+        let idx = self.fetch(page_no)?;
+        let frame = &mut self.frames[idx];
+        frame.refbit = true;
+        Ok(f(&frame.buf))
+    }
+
+    /// Runs `f` over the page's bytes and marks the frame dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        page_no: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> io::Result<R> {
+        let idx = self.fetch(page_no)?;
+        let frame = &mut self.frames[idx];
+        frame.refbit = true;
+        frame.dirty = true;
+        Ok(f(&mut frame.buf))
+    }
+
+    /// Writes every dirty frame back (after logging) and truncates the redo
+    /// log: the data file becomes the checkpoint.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                self.write_back(i)?;
+            }
+        }
+        self.file.flush()?;
+        self.redo.checkpoint()
+    }
+
+    /// Flushes dirty frames without truncating the log (crash-consistent
+    /// point without declaring a checkpoint).
+    pub fn flush(&mut self) -> io::Result<()> {
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                self.write_back(i)?;
+            }
+        }
+        self.redo.sync()?;
+        self.file.flush()
+    }
+
+    // ---- internals ----
+
+    fn fetch(&mut self, page_no: u64) -> io::Result<usize> {
+        assert!(page_no < self.npages, "page {page_no} not allocated");
+        if let Some(&idx) = self.map.get(&page_no) {
+            self.stats.hits += 1;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let buf = self.read_from_file(page_no)?;
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page_no,
+                buf,
+                dirty: false,
+                refbit: true,
+            });
+            self.frames.len() - 1
+        } else {
+            let victim = self.evict_one()?;
+            self.frames[victim] = Frame {
+                page_no,
+                buf,
+                dirty: false,
+                refbit: true,
+            };
+            victim
+        };
+        self.map.insert(page_no, idx);
+        Ok(idx)
+    }
+
+    fn read_from_file(&mut self, page_no: u64) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let offset = page_no * PAGE_SIZE as u64;
+        let len = self.file.metadata()?.len();
+        if offset + PAGE_SIZE as u64 <= len {
+            self.file.seek(SeekFrom::Start(offset))?;
+            self.file.read_exact(&mut buf)?;
+            // A freshly allocated page region is all zeroes until first
+            // sealed; only verify pages that have been written.
+            if buf.iter().any(|&b| b != 0) && !page::verify(&buf) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checksum mismatch on page {page_no}"),
+                ));
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Picks a clock victim, writes it back if dirty, removes it from the
+    /// map, and returns its (now reusable) frame index.
+    fn evict_one(&mut self) -> io::Result<usize> {
+        assert!(!self.frames.is_empty(), "evict from empty pool");
+        loop {
+            if self.hand >= self.frames.len() {
+                self.hand = 0;
+            }
+            let i = self.hand;
+            self.hand += 1;
+            if self.frames[i].refbit {
+                self.frames[i].refbit = false;
+                continue;
+            }
+            if self.frames[i].dirty {
+                self.write_back(i)?;
+            }
+            self.map.remove(&self.frames[i].page_no);
+            self.stats.evictions += 1;
+            // When shrinking, physically drop the frame; the caller that
+            // needs a slot re-checks `frames.len()`.
+            if self.frames.len() > self.capacity {
+                let last = self.frames.len() - 1;
+                if i != last {
+                    self.frames.swap(i, last);
+                    let moved = self.frames[i].page_no;
+                    self.map.insert(moved, i);
+                }
+                self.frames.pop();
+                return Ok(self.frames.len()); // slot no longer exists
+            }
+            return Ok(i);
+        }
+    }
+
+    /// Logs the page image (write-ahead), seals the checksum, writes the
+    /// page to the data file, and clears the dirty bit.
+    fn write_back(&mut self, idx: usize) -> io::Result<()> {
+        let page_no = self.frames[idx].page_no;
+        page::seal(&mut self.frames[idx].buf);
+        self.redo.log_page(page_no, &self.frames[idx].buf)?;
+        self.file
+            .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        self.file.write_all(&self.frames[idx].buf)?;
+        self.stats.writes += 1;
+        self.frames[idx].dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lt_store_bp_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn pool_in(dir: &Path, cap: usize) -> BufferPool {
+        BufferPool::open(&dir.join("data.pages"), &dir.join("redo.wal"), cap).unwrap()
+    }
+
+    fn fill_pages(pool: &mut BufferPool, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                let p = pool.alloc_page();
+                pool.with_page_mut(p, |buf| {
+                    page::init(buf, page::PageKind::Heap, i as u16);
+                    page::insert(buf, format!("page {i}").as_bytes()).unwrap();
+                })
+                .unwrap();
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pages_survive_eviction_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut pool = pool_in(&dir, MIN_FRAMES);
+        let pages = fill_pages(&mut pool, 40);
+        // 40 pages through 8 frames: everything cycles through disk.
+        for (i, &p) in pages.iter().enumerate() {
+            let owner = pool.with_page(p, page::owner).unwrap();
+            assert_eq!(owner, i as u16);
+            let rec = pool.with_page(p, |buf| page::get(buf, 0).to_vec()).unwrap();
+            assert_eq!(rec, format!("page {i}").as_bytes());
+        }
+        assert!(pool.stats.evictions > 0);
+        assert!(pool.wal_appends() > 0, "dirty evictions must log images");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bigger_pool_hits_more() {
+        let run = |cap: usize| {
+            let dir = tmpdir(&format!("hitrate{cap}"));
+            let mut pool = pool_in(&dir, cap);
+            let pages = fill_pages(&mut pool, 64);
+            pool.checkpoint().unwrap();
+            let before = pool.stats;
+            for _ in 0..3 {
+                for &p in &pages {
+                    pool.with_page(p, |_| ()).unwrap();
+                }
+            }
+            let hits = pool.stats.hits - before.hits;
+            let misses = pool.stats.misses - before.misses;
+            let _ = std::fs::remove_dir_all(&dir);
+            hits as f64 / (hits + misses) as f64
+        };
+        let small = run(MIN_FRAMES);
+        let large = run(128);
+        assert!(
+            large > small,
+            "hit rate must grow with capacity: small={small} large={large}"
+        );
+        assert_eq!(large, 1.0, "64 pages fit fully in 128 frames");
+    }
+
+    #[test]
+    fn shrink_evicts_down_to_capacity() {
+        let dir = tmpdir("shrink");
+        let mut pool = pool_in(&dir, 64);
+        fill_pages(&mut pool, 50);
+        assert!(pool.frames.len() > MIN_FRAMES);
+        pool.resize(MIN_FRAMES).unwrap();
+        assert!(pool.frames.len() <= MIN_FRAMES);
+        // Contents still correct after forced write-backs.
+        let rec = pool.with_page(0, |buf| page::get(buf, 0).to_vec()).unwrap();
+        assert_eq!(rec, b"page 0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_reads_clean_pages() {
+        let dir = tmpdir("ckpt");
+        {
+            let mut pool = pool_in(&dir, 16);
+            fill_pages(&mut pool, 20);
+            pool.checkpoint().unwrap();
+        }
+        let mut pool = pool_in(&dir, 16);
+        // npages derives from the file length on reopen.
+        assert_eq!(pool.npages(), 20);
+        for i in 0..20u64 {
+            let ok = pool.with_page(i, page::verify).unwrap();
+            assert!(ok, "page {i} fails checksum after reopen");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,1105 @@
+//! Chunked physical executor: runs the optimizer's plan trees against the
+//! store.
+//!
+//! The planner is shared with [`lt_dbms::SimDb`] — it plans on the
+//! *full-scale* catalog — while execution happens on the scaled replica.
+//! Filter selectivities therefore come from the same [`Estimator`] the
+//! simulator uses ("true" selectivities, with the same deterministic
+//! misestimation pattern), applied as per-row Bernoulli decisions keyed on
+//! `(filter set, rid)`.
+//!
+//! Operators materialize one [`Chunk`] per node (column values are
+//! fixed-width `u64`s, see [`crate::heap`]). Hash joins Grace-partition to
+//! real temp files and sorts run external merge passes when their input
+//! exceeds the effective work memory — the spill behaviour `work_mem`
+//! tuning is supposed to remove, now physically observable.
+//!
+//! Determinism: every output is a pure function of the store contents and
+//! the plan. Hash maps are never iterated directly (probe order / first-seen
+//! order rules every emission), and timeouts cut on *deterministic proxy
+//! time* derived from I/O and tuple counters rather than the wall clock, so
+//! two runs at different thread counts take identical decisions.
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::datagen::mix;
+use crate::heap::{Heap, Schema};
+use crate::page::PAGE_SIZE;
+use lt_common::{obs, ColumnId, IndexId, TableId};
+use lt_dbms::stats::{Estimator, FilterKind, FilterTerm, QueryPredicates};
+use lt_dbms::{PlanNode, PlanOp};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Proxy seconds per buffer-pool hit.
+const T_HIT: f64 = 1.0e-6;
+/// Proxy seconds per buffer-pool miss (read from the data file).
+const T_MISS: f64 = 1.0e-4;
+/// Proxy seconds per spill temp page written or read.
+const T_SPILL_PAGE: f64 = 2.5e-5;
+/// Proxy seconds per tuple processed.
+const T_TUPLE: f64 = 1.5e-7;
+/// Proxy seconds per B+tree descent.
+const T_DESCENT: f64 = 2.0e-6;
+/// Hard cap on one operator's output rows (a cross-join backstop; the
+/// scaled replica keeps ordinary plans far below it).
+const ROW_CAP: u64 = 4_000_000;
+/// Budget-check cadence in rows.
+const CHECK_EVERY: u64 = 8192;
+
+/// Execution failure: deterministic timeout or real I/O error.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The proxy-time budget was exhausted (statement timeout).
+    Timeout,
+    /// Underlying storage failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ExecError {
+    fn from(e: io::Error) -> Self {
+        ExecError::Io(e)
+    }
+}
+
+/// Deterministic work counters accumulated over one plan execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples processed across all operators.
+    pub rows: u64,
+    /// B+tree descents (index scans and index nested loops).
+    pub descents: u64,
+    /// Operators that spilled to temp files.
+    pub spills: u64,
+    /// Temp-file pages written + read back.
+    pub spill_pages: u64,
+}
+
+/// Proxy seconds for a set of counters: the deterministic stand-in for
+/// wall time that drives the virtual clock and timeout decisions.
+pub fn proxy_seconds(hits: u64, misses: u64, stats: &ExecStats) -> f64 {
+    hits as f64 * T_HIT
+        + misses as f64 * T_MISS
+        + stats.spill_pages as f64 * T_SPILL_PAGE
+        + stats.rows as f64 * T_TUPLE
+        + stats.descents as f64 * T_DESCENT
+}
+
+/// A physically built secondary index: its key column and B+tree.
+#[derive(Debug, Clone)]
+pub struct StoredIndex {
+    /// Indexed table.
+    pub table: TableId,
+    /// Leading (and only stored) key column.
+    pub column: ColumnId,
+    /// The tree, rooted in the shared buffer pool.
+    pub tree: BTree,
+}
+
+/// Materialized operator output: `rows` fixed-width rows.
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    /// Row layout.
+    pub schema: Schema,
+    /// `rows * schema.width` bytes.
+    pub data: Vec<u8>,
+    /// Row count (explicit so zero-width chunks still count rows).
+    pub rows: u64,
+}
+
+impl Chunk {
+    fn row(&self, i: u64) -> &[u8] {
+        let w = self.schema.width;
+        &self.data[(i as usize) * w..(i as usize + 1) * w]
+    }
+
+    fn push_row(&mut self, row: &[u8]) {
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Bytes held by this chunk.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+/// Everything one plan execution needs. Borrows the store's structures;
+/// owns only its counters and temp-file sequence.
+pub struct Executor<'a> {
+    /// Shared buffer pool (heaps and indexes live in it).
+    pub pool: &'a mut BufferPool,
+    /// Heaps of the scaled replica by table.
+    pub heaps: &'a BTreeMap<TableId, Heap>,
+    /// Physically built indexes by planner index id.
+    pub indexes: &'a BTreeMap<IndexId, StoredIndex>,
+    /// Selectivity oracle over the *full-scale* catalog (shared with the
+    /// optimizer, same stats seed as the simulator).
+    pub est: &'a Estimator<'a>,
+    /// The query's extracted predicates.
+    pub preds: &'a QueryPredicates,
+    /// Effective work memory in bytes (already scaled).
+    pub work_mem_eff: u64,
+    /// Directory for spill temp files.
+    pub temp_dir: &'a Path,
+    /// Proxy-second budget (`None` = no statement timeout).
+    pub budget: Option<f64>,
+    /// Accumulated counters.
+    pub stats: ExecStats,
+    /// Pool hits/misses at executor construction (budget baseline).
+    pub base_hits: u64,
+    /// Pool misses at executor construction.
+    pub base_misses: u64,
+    temp_seq: u64,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor over the store's structures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pool: &'a mut BufferPool,
+        heaps: &'a BTreeMap<TableId, Heap>,
+        indexes: &'a BTreeMap<IndexId, StoredIndex>,
+        est: &'a Estimator<'a>,
+        preds: &'a QueryPredicates,
+        work_mem_eff: u64,
+        temp_dir: &'a Path,
+        budget: Option<f64>,
+    ) -> Self {
+        let base_hits = pool.stats.hits;
+        let base_misses = pool.stats.misses;
+        Executor {
+            pool,
+            heaps,
+            indexes,
+            est,
+            preds,
+            work_mem_eff,
+            temp_dir,
+            budget,
+            stats: ExecStats::default(),
+            base_hits,
+            base_misses,
+            temp_seq: 0,
+        }
+    }
+
+    /// Executes the plan tree, returning the root's output.
+    pub fn run(&mut self, root: &PlanNode) -> Result<Chunk, ExecError> {
+        let out = self.exec(root)?;
+        if self.stats.spills > 0 {
+            obs::counter("store.spills", self.stats.spills);
+        }
+        Ok(out)
+    }
+
+    /// Physical counters accumulated by this execution.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Proxy seconds consumed so far by this execution.
+    pub fn elapsed_proxy(&self) -> f64 {
+        proxy_seconds(
+            self.pool.stats.hits - self.base_hits,
+            self.pool.stats.misses - self.base_misses,
+            &self.stats,
+        )
+    }
+
+    fn check_budget(&self) -> Result<(), ExecError> {
+        match self.budget {
+            Some(b) if self.elapsed_proxy() > b => Err(ExecError::Timeout),
+            _ => Ok(()),
+        }
+    }
+
+    fn exec(&mut self, node: &PlanNode) -> Result<Chunk, ExecError> {
+        self.check_budget()?;
+        match &node.op {
+            PlanOp::SeqScan { table, .. } => self.seq_scan(*table),
+            PlanOp::IndexScan {
+                table,
+                index,
+                selectivity,
+            } => self.index_scan(*table, *index, *selectivity),
+            PlanOp::HashJoin { keys, .. } => {
+                let probe = self.exec(&node.children[0])?;
+                let build = self.exec(&node.children[1])?;
+                self.hash_join(probe, build, keys)
+            }
+            PlanOp::MergeJoin { keys } => {
+                let left = self.exec(&node.children[0])?;
+                let right = self.exec(&node.children[1])?;
+                self.merge_join(left, right, keys)
+            }
+            PlanOp::NestLoopJoin { keys, inner_index } => {
+                let outer = self.exec(&node.children[0])?;
+                match inner_index.and_then(|i| self.indexes.get(&i).cloned()) {
+                    Some(idx) => self.index_nest_loop(outer, &node.children[1], &idx, keys),
+                    // No physical index: hashing computes the identical
+                    // output (outer-major, inner insertion order per match).
+                    None => {
+                        let inner = self.exec(&node.children[1])?;
+                        self.hash_join(outer, inner, keys)
+                    }
+                }
+            }
+            PlanOp::CrossJoin => {
+                let left = self.exec(&node.children[0])?;
+                let right = self.exec(&node.children[1])?;
+                self.cross_join(left, right)
+            }
+            PlanOp::Sort { .. } => {
+                let input = self.exec(&node.children[0])?;
+                self.sort(input)
+            }
+            PlanOp::Aggregate { grouped } => {
+                let input = self.exec(&node.children[0])?;
+                self.aggregate(input, *grouped)
+            }
+            // The replica executes single-threaded; parallelism is priced by
+            // the simulator's model, not measured here.
+            PlanOp::Gather { .. } => self.exec(&node.children[0]),
+            PlanOp::Limit { rows } => match node.children.first() {
+                Some(child) => {
+                    let mut input = self.exec(child)?;
+                    let keep = (*rows).min(input.rows);
+                    input.data.truncate(keep as usize * input.schema.width);
+                    input.rows = keep;
+                    Ok(input)
+                }
+                // Table-less constant query.
+                None => Ok(Chunk {
+                    schema: Schema::default(),
+                    data: Vec::new(),
+                    rows: 1,
+                }),
+            },
+        }
+    }
+
+    // ---- scans ----
+
+    fn seq_scan(&mut self, table: TableId) -> Result<Chunk, ExecError> {
+        let heap = self.heap(table)?;
+        let sel = self.true_selectivity(table);
+        let fseed = filter_seed(table, self.preds.filters.get(&table).map_or(&[], |v| v));
+        let mut out = Chunk {
+            schema: heap.schema.clone(),
+            data: Vec::new(),
+            rows: 0,
+        };
+        let mut scanned = 0u64;
+        let heap = heap.clone();
+        heap.for_each_row(self.pool, |rid, row| {
+            scanned += 1;
+            if keep_row(fseed, rid, sel) {
+                out.data.extend_from_slice(row);
+                out.rows += 1;
+            }
+        })?;
+        self.stats.rows += scanned;
+        // `for_each_row` cannot early-return through the closure; price the
+        // full scan, then honour the budget.
+        self.check_budget()?;
+        Ok(out)
+    }
+
+    fn index_scan(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        est_sel: f64,
+    ) -> Result<Chunk, ExecError> {
+        let Some(idx) = self.indexes.get(&index).cloned() else {
+            // Planner referenced an index the store has not built (possible
+            // only through what-if paths); degrade to a filtered seq scan.
+            return self.seq_scan(table);
+        };
+        let heap = self.heap(table)?.clone();
+        // Same reality-vs-estimate gap the simulator applies.
+        let true_sel = (est_sel * self.true_misfactor(table)).clamp(1e-12, 1.0);
+        let fetch = ((true_sel * heap.rows as f64).ceil() as u64).clamp(1, heap.rows.max(1));
+        let mut rids = Vec::with_capacity(fetch as usize);
+        idx.tree
+            .scan_prefix(self.pool, fetch, |_, rid| rids.push(rid))?;
+        self.stats.descents += 1;
+        let mut out = Chunk {
+            schema: heap.schema.clone(),
+            data: Vec::new(),
+            rows: 0,
+        };
+        for (i, rid) in rids.iter().enumerate() {
+            // Scattered heap fetches: this is where small pools bleed misses.
+            let row = heap.fetch(self.pool, *rid)?;
+            out.push_row(&row);
+            self.stats.rows += 1;
+            if (i as u64) % CHECK_EVERY == CHECK_EVERY - 1 {
+                self.check_budget()?;
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- joins ----
+
+    fn hash_join(
+        &mut self,
+        probe: Chunk,
+        build: Chunk,
+        keys: &[(ColumnId, ColumnId)],
+    ) -> Result<Chunk, ExecError> {
+        if keys.is_empty() {
+            return self.cross_join(probe, build);
+        }
+        let schema = probe.schema.concat(&build.schema);
+        if build.bytes() > self.work_mem_eff && build.rows > 0 {
+            return self.grace_hash_join(probe, build, keys, schema);
+        }
+        let mut out = Chunk {
+            schema,
+            data: Vec::new(),
+            rows: 0,
+        };
+        self.hash_join_into(&probe, &build, keys, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-memory hash join of one (partition of a) probe/build pair.
+    /// Output order: probe-major, build insertion order within a key.
+    fn hash_join_into(
+        &mut self,
+        probe: &Chunk,
+        build: &Chunk,
+        keys: &[(ColumnId, ColumnId)],
+        out: &mut Chunk,
+    ) -> Result<(), ExecError> {
+        let (pcol, bcol) = join_columns(&probe.schema, &build.schema, keys[0])
+            .ok_or_else(|| ExecError::Io(missing_key_err(keys[0])))?;
+        let residual = residual_columns(&probe.schema, &build.schema, &keys[1..]);
+        let mut table: HashMap<u64, Vec<u64>> = HashMap::new();
+        for i in 0..build.rows {
+            let k = build.schema.value(build.row(i), bcol);
+            table.entry(k).or_default().push(i);
+            self.stats.rows += 1;
+        }
+        for i in 0..probe.rows {
+            let prow = probe.row(i);
+            let k = probe.schema.value(prow, pcol);
+            self.stats.rows += 1;
+            if let Some(matches) = table.get(&k) {
+                for &j in matches {
+                    let brow = build.row(j);
+                    if residual.iter().all(|&(pc, bc)| {
+                        probe.schema.value(prow, pc) == build.schema.value(brow, bc)
+                    }) {
+                        if out.rows >= ROW_CAP {
+                            return Ok(());
+                        }
+                        out.data.extend_from_slice(prow);
+                        out.data.extend_from_slice(brow);
+                        out.rows += 1;
+                    }
+                }
+            }
+            if i % CHECK_EVERY == CHECK_EVERY - 1 {
+                self.check_budget()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Grace hash join: both sides partitioned to temp files so each build
+    /// partition fits in work memory, then joined partition by partition.
+    fn grace_hash_join(
+        &mut self,
+        probe: Chunk,
+        build: Chunk,
+        keys: &[(ColumnId, ColumnId)],
+        schema: Schema,
+    ) -> Result<Chunk, ExecError> {
+        self.stats.spills += 1;
+        let parts = (build.bytes().div_ceil(self.work_mem_eff.max(1)))
+            .next_power_of_two()
+            .clamp(2, 256);
+        let (pcol, bcol) = join_columns(&probe.schema, &build.schema, keys[0])
+            .ok_or_else(|| ExecError::Io(missing_key_err(keys[0])))?;
+        let probe_parts = self.partition(&probe, pcol, parts)?;
+        let build_parts = self.partition(&build, bcol, parts)?;
+        drop(probe);
+        drop(build);
+        let mut out = Chunk {
+            schema,
+            data: Vec::new(),
+            rows: 0,
+        };
+        for p in 0..parts as usize {
+            let pp = self.read_partition(&probe_parts, p)?;
+            let bp = self.read_partition(&build_parts, p)?;
+            if pp.rows == 0 || bp.rows == 0 {
+                continue;
+            }
+            self.hash_join_into(&pp, &bp, keys, &mut out)?;
+        }
+        remove_temp(&probe_parts.path);
+        remove_temp(&build_parts.path);
+        Ok(out)
+    }
+
+    /// Hash-partitions a chunk into `parts` buckets inside one temp file,
+    /// charging spill I/O for the write and later read-back.
+    fn partition(
+        &mut self,
+        chunk: &Chunk,
+        col: crate::heap::Column,
+        parts: u64,
+    ) -> io::Result<Spill> {
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); parts as usize];
+        for i in 0..chunk.rows {
+            let row = chunk.row(i);
+            let k = chunk.schema.value(row, col);
+            let p = (mix(k) % parts) as usize;
+            buckets[p].extend_from_slice(row);
+        }
+        let path = self.temp_path();
+        let mut w = BufWriter::new(File::create(&path)?);
+        let mut offsets = Vec::with_capacity(parts as usize + 1);
+        let mut off = 0u64;
+        for b in &buckets {
+            offsets.push(off);
+            w.write_all(b)?;
+            off += b.len() as u64;
+        }
+        offsets.push(off);
+        w.flush()?;
+        // Written now, read back per partition: 2 passes of spill I/O.
+        self.stats.spill_pages += 2 * off.div_ceil(PAGE_SIZE as u64);
+        Ok(Spill {
+            path,
+            offsets,
+            schema: chunk.schema.clone(),
+        })
+    }
+
+    fn read_partition(&mut self, spill: &Spill, p: usize) -> io::Result<Chunk> {
+        let (start, end) = (spill.offsets[p], spill.offsets[p + 1]);
+        let mut data = vec![0u8; (end - start) as usize];
+        let mut f = File::open(&spill.path)?;
+        use std::io::Seek;
+        f.seek(io::SeekFrom::Start(start))?;
+        f.read_exact(&mut data)?;
+        let rows = data.len().checked_div(spill.schema.width).unwrap_or(0) as u64;
+        Ok(Chunk {
+            schema: spill.schema.clone(),
+            data,
+            rows,
+        })
+    }
+
+    fn merge_join(
+        &mut self,
+        left: Chunk,
+        right: Chunk,
+        keys: &[(ColumnId, ColumnId)],
+    ) -> Result<Chunk, ExecError> {
+        if keys.is_empty() {
+            return self.cross_join(left, right);
+        }
+        let (lcol, rcol) = join_columns(&left.schema, &right.schema, keys[0])
+            .ok_or_else(|| ExecError::Io(missing_key_err(keys[0])))?;
+        let residual = residual_columns(&left.schema, &right.schema, &keys[1..]);
+        let lsorted = self.sort_by_key(&left, lcol)?;
+        let rsorted = self.sort_by_key(&right, rcol)?;
+        let mut out = Chunk {
+            schema: left.schema.concat(&right.schema),
+            data: Vec::new(),
+            rows: 0,
+        };
+        let (mut li, mut ri) = (0usize, 0usize);
+        while li < lsorted.len() && ri < rsorted.len() {
+            let (lk, lrow) = &lsorted[li];
+            let (rk, _) = &rsorted[ri];
+            match lk.cmp(rk) {
+                std::cmp::Ordering::Less => li += 1,
+                std::cmp::Ordering::Greater => ri += 1,
+                std::cmp::Ordering::Equal => {
+                    // Emit the cross product of the equal-key groups.
+                    let mut rj = ri;
+                    while rj < rsorted.len() && rsorted[rj].0 == *lk {
+                        let rrow = &rsorted[rj].1;
+                        self.stats.rows += 1;
+                        if residual.iter().all(|&(lc, rc)| {
+                            left.schema.value(lrow, lc) == right.schema.value(rrow, rc)
+                        }) && out.rows < ROW_CAP
+                        {
+                            out.data.extend_from_slice(lrow);
+                            out.data.extend_from_slice(rrow);
+                            out.rows += 1;
+                        }
+                        rj += 1;
+                    }
+                    li += 1;
+                    if li % CHECK_EVERY as usize == 0 {
+                        self.check_budget()?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts `(key, row)` pairs sorted by `(key, input order)`.
+    fn sort_by_key(
+        &mut self,
+        chunk: &Chunk,
+        col: crate::heap::Column,
+    ) -> Result<Vec<(u64, Vec<u8>)>, ExecError> {
+        let mut rows: Vec<(u64, Vec<u8>)> = (0..chunk.rows)
+            .map(|i| {
+                let row = chunk.row(i);
+                (chunk.schema.value(row, col), row.to_vec())
+            })
+            .collect();
+        self.stats.rows += chunk.rows;
+        rows.sort_by_key(|r| r.0); // stable: input order breaks ties
+        self.charge_sort_spill(chunk.bytes())?;
+        Ok(rows)
+    }
+
+    fn index_nest_loop(
+        &mut self,
+        outer: Chunk,
+        inner_node: &PlanNode,
+        idx: &StoredIndex,
+        keys: &[(ColumnId, ColumnId)],
+    ) -> Result<Chunk, ExecError> {
+        let inner_table = match inner_node.op {
+            PlanOp::IndexScan { table, .. } | PlanOp::SeqScan { table, .. } => table,
+            _ => idx.table,
+        };
+        let inner_heap = self.heap(inner_table)?.clone();
+        // keys are (outer, inner); the first drives the index.
+        let (ocol, _) = keys[0];
+        let Some(ocol) = outer.schema.find(ocol) else {
+            return Err(ExecError::Io(missing_key_err(keys[0])));
+        };
+        let residual = residual_columns(&outer.schema, &inner_heap.schema, &keys[1..]);
+        let mut out = Chunk {
+            schema: outer.schema.concat(&inner_heap.schema),
+            data: Vec::new(),
+            rows: 0,
+        };
+        for i in 0..outer.rows {
+            let orow = outer.row(i).to_vec();
+            let k = outer.schema.value(&orow, ocol);
+            let rids = idx.tree.probe(self.pool, k)?;
+            self.stats.descents += 1;
+            for rid in rids {
+                let irow = inner_heap.fetch(self.pool, rid)?;
+                self.stats.rows += 1;
+                if residual.iter().all(|&(oc, ic)| {
+                    outer.schema.value(&orow, oc) == inner_heap.schema.value(&irow, ic)
+                }) && out.rows < ROW_CAP
+                {
+                    out.data.extend_from_slice(&orow);
+                    out.data.extend_from_slice(&irow);
+                    out.rows += 1;
+                }
+            }
+            if i % CHECK_EVERY == CHECK_EVERY - 1 {
+                self.check_budget()?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn cross_join(&mut self, left: Chunk, right: Chunk) -> Result<Chunk, ExecError> {
+        let mut out = Chunk {
+            schema: left.schema.concat(&right.schema),
+            data: Vec::new(),
+            rows: 0,
+        };
+        'outer: for i in 0..left.rows {
+            let lrow = left.row(i);
+            for j in 0..right.rows {
+                if out.rows >= ROW_CAP {
+                    break 'outer;
+                }
+                out.data.extend_from_slice(lrow);
+                out.data.extend_from_slice(right.row(j));
+                out.rows += 1;
+                self.stats.rows += 1;
+                if out.rows.is_multiple_of(CHECK_EVERY) {
+                    self.check_budget()?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- sort / aggregate ----
+
+    /// ORDER BY: the analyzer records only *how many* sort columns exist,
+    /// so the store sorts by whole-row bytes — deterministic, with the
+    /// same memory/spill profile as any other total order.
+    fn sort(&mut self, input: Chunk) -> Result<Chunk, ExecError> {
+        let width = input.schema.width;
+        if width == 0 || input.rows <= 1 {
+            return Ok(input);
+        }
+        self.stats.rows += input.rows;
+        let bytes = input.bytes();
+        if bytes <= self.work_mem_eff {
+            let mut rows: Vec<&[u8]> = (0..input.rows).map(|i| input.row(i)).collect();
+            rows.sort();
+            let mut data = Vec::with_capacity(input.data.len());
+            for r in rows {
+                data.extend_from_slice(r);
+            }
+            return Ok(Chunk {
+                schema: input.schema,
+                data,
+                rows: input.rows,
+            });
+        }
+        // External merge sort: sorted runs of work_mem_eff bytes spilled to
+        // a temp file, then a k-way merge.
+        self.stats.spills += 1;
+        let rows_per_run = (self.work_mem_eff.max(width as u64) / width as u64).max(1);
+        let path = self.temp_path();
+        let mut w = BufWriter::new(File::create(&path)?);
+        let mut run_bounds = vec![0u64];
+        let mut i = 0u64;
+        while i < input.rows {
+            let end = (i + rows_per_run).min(input.rows);
+            let mut run: Vec<&[u8]> = (i..end).map(|r| input.row(r)).collect();
+            run.sort();
+            for r in &run {
+                w.write_all(r)?;
+            }
+            run_bounds.push(end * width as u64);
+            i = end;
+        }
+        w.flush()?;
+        self.stats.spill_pages += 2 * bytes.div_ceil(PAGE_SIZE as u64);
+        drop(w);
+        // Merge: read every run back and heap-merge.
+        let mut file = File::open(&path)?;
+        let mut all = Vec::with_capacity(input.data.len());
+        file.read_to_end(&mut all)?;
+        remove_temp(&path);
+        let mut cursors: Vec<(usize, usize)> = run_bounds
+            .windows(2)
+            .map(|wd| (wd[0] as usize, wd[1] as usize))
+            .collect();
+        let mut data = Vec::with_capacity(input.data.len());
+        let mut emitted = 0u64;
+        while emitted < input.rows {
+            // Smallest head among runs (first run wins ties: stable).
+            let mut best: Option<usize> = None;
+            for (ci, &(start, end)) in cursors.iter().enumerate() {
+                if start >= end {
+                    continue;
+                }
+                let cand = &all[start..start + width];
+                match best {
+                    None => best = Some(ci),
+                    Some(b) => {
+                        let bhead = &all[cursors[b].0..cursors[b].0 + width];
+                        if cand < bhead {
+                            best = Some(ci);
+                        }
+                    }
+                }
+            }
+            let b = best.expect("rows remain but no run has data");
+            data.extend_from_slice(&all[cursors[b].0..cursors[b].0 + width]);
+            cursors[b].0 += width;
+            emitted += 1;
+            if emitted.is_multiple_of(CHECK_EVERY) {
+                self.check_budget()?;
+            }
+        }
+        Ok(Chunk {
+            schema: input.schema,
+            data,
+            rows: input.rows,
+        })
+    }
+
+    /// Charges spill I/O for a sort-like operator that had to materialize
+    /// `bytes` beyond work memory (merge-join inputs).
+    fn charge_sort_spill(&mut self, bytes: u64) -> Result<(), ExecError> {
+        if bytes > self.work_mem_eff {
+            self.stats.spills += 1;
+            self.stats.spill_pages += 2 * bytes.div_ceil(PAGE_SIZE as u64);
+        }
+        self.check_budget()
+    }
+
+    /// GROUP BY groups on the first schema column (the analyzer keeps only
+    /// the group-key *count*); scalar aggregates reduce to one row.
+    fn aggregate(&mut self, input: Chunk, grouped: bool) -> Result<Chunk, ExecError> {
+        self.stats.rows += input.rows;
+        if !grouped || input.schema.width == 0 {
+            let row = if input.rows > 0 {
+                input.row(0).to_vec()
+            } else {
+                vec![0u8; input.schema.width]
+            };
+            return Ok(Chunk {
+                schema: input.schema,
+                data: row,
+                rows: 1,
+            });
+        }
+        let key_col = input.schema.cols[0];
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut reps: Vec<u64> = Vec::new(); // first row index per group
+        for i in 0..input.rows {
+            let k = input.schema.value(input.row(i), key_col);
+            if seen.insert(k) {
+                reps.push(i);
+            }
+        }
+        self.check_budget()?;
+        let mut out = Chunk {
+            schema: input.schema.clone(),
+            data: Vec::with_capacity(reps.len() * input.schema.width),
+            rows: 0,
+        };
+        for i in reps {
+            out.push_row(input.row(i)); // first-seen order: deterministic
+        }
+        Ok(out)
+    }
+
+    // ---- helpers ----
+
+    fn heap(&self, table: TableId) -> Result<&'a Heap, ExecError> {
+        self.heaps.get(&table).ok_or_else(|| {
+            ExecError::Io(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no heap loaded for {table}"),
+            ))
+        })
+    }
+
+    fn true_selectivity(&self, table: TableId) -> f64 {
+        match self.preds.filters.get(&table) {
+            Some(terms) => self.est.true_table_selectivity(terms),
+            None => 1.0,
+        }
+    }
+
+    /// True/estimated selectivity ratio, clamped like the simulator's.
+    fn true_misfactor(&self, table: TableId) -> f64 {
+        match self.preds.filters.get(&table) {
+            Some(terms) => {
+                let est = self.est.estimated_table_selectivity(terms);
+                let tru = self.est.true_table_selectivity(terms);
+                (tru / est).clamp(1.0 / 27.0, 27.0)
+            }
+            None => 1.0,
+        }
+    }
+
+    fn temp_path(&mut self) -> PathBuf {
+        self.temp_seq += 1;
+        self.temp_dir.join(format!("spill_{}.tmp", self.temp_seq))
+    }
+}
+
+/// One partitioned spill file: bucket byte ranges within it.
+struct Spill {
+    path: PathBuf,
+    offsets: Vec<u64>,
+    schema: Schema,
+}
+
+fn remove_temp(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}
+
+fn missing_key_err(key: (ColumnId, ColumnId)) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("join key {key:?} not present in child schemas"),
+    )
+}
+
+/// Resolves a join key pair against two child schemas, trying both
+/// orientations (the optimizer's pair order follows the join's logical
+/// sides, which may be swapped relative to this operator's children).
+fn join_columns(
+    left: &Schema,
+    right: &Schema,
+    key: (ColumnId, ColumnId),
+) -> Option<(crate::heap::Column, crate::heap::Column)> {
+    if let (Some(l), Some(r)) = (left.find(key.0), right.find(key.1)) {
+        return Some((l, r));
+    }
+    if let (Some(l), Some(r)) = (left.find(key.1), right.find(key.0)) {
+        return Some((l, r));
+    }
+    None
+}
+
+/// Resolves the residual (non-driving) key pairs; unresolvable pairs are
+/// dropped (they would have been skipped by the planner's cost model too).
+fn residual_columns(
+    left: &Schema,
+    right: &Schema,
+    keys: &[(ColumnId, ColumnId)],
+) -> Vec<(crate::heap::Column, crate::heap::Column)> {
+    keys.iter()
+        .filter_map(|&k| join_columns(left, right, k))
+        .collect()
+}
+
+/// Deterministic Bernoulli filter: keep `rid` iff its hash fraction falls
+/// under the true selectivity.
+fn keep_row(fseed: u64, rid: u64, sel: f64) -> bool {
+    if sel >= 1.0 {
+        return true;
+    }
+    let h = mix(fseed ^ rid.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < sel
+}
+
+/// Hashes a filter-term set into the Bernoulli seed ([`FilterKind`] carries
+/// no `Hash` impl, so terms are folded by hand).
+fn filter_seed(table: TableId, terms: &[FilterTerm]) -> u64 {
+    let mut h =
+        0x9E37_79B9_7F4A_7C15u64 ^ (table.index() as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    for t in terms {
+        let tag: u64 = match t.kind {
+            FilterKind::Equality => 1,
+            FilterKind::Inequality => 2,
+            FilterKind::Range => 3,
+            FilterKind::Between => 4,
+            FilterKind::LikePrefix => 5,
+            FilterKind::LikeContains => 6,
+            FilterKind::InList(n) => (7u64 << 32) | n as u64,
+            FilterKind::IsNull => 8,
+            FilterKind::IsNotNull => 9,
+            FilterKind::SemiJoin => 10,
+            FilterKind::AntiJoin => 11,
+        };
+        h = mix(h ^ (t.column.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ tag);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::write_value;
+    use lt_dbms::Catalog;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lt_store_exec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("orders", 2000)
+            .primary_key("o_orderkey", 8)
+            .column("o_totalprice", 8, 1000.0)
+            .finish();
+        c.add_table("lineitem", 8000)
+            .foreign_key("l_orderkey", 8, 2000.0)
+            .column("l_quantity", 8, 50.0)
+            .finish();
+        c
+    }
+
+    struct Fixture {
+        dir: PathBuf,
+        pool: BufferPool,
+        heaps: BTreeMap<TableId, Heap>,
+        catalog: Catalog,
+    }
+
+    fn fixture(tag: &str, pool_frames: usize) -> Fixture {
+        let dir = tmpdir(tag);
+        let mut pool =
+            BufferPool::open(&dir.join("data.pages"), &dir.join("redo.wal"), pool_frames).unwrap();
+        let catalog = catalog();
+        let mut heaps = BTreeMap::new();
+        for t in catalog.tables() {
+            let schema = Schema::of_table(&catalog, t.id);
+            let cols: Vec<_> = t
+                .columns
+                .iter()
+                .map(|&c| catalog.column(c).clone())
+                .collect();
+            let heap = Heap::build(&mut pool, t.id, schema.clone(), t.rows, |i, row| {
+                for (ci, col) in cols.iter().enumerate() {
+                    let off = schema.cols[ci].offset;
+                    let w = schema.cols[ci].width;
+                    let v = crate::datagen::column_value(42, col, 1.0, i);
+                    write_value(&mut row[off..off + w], v);
+                }
+            })
+            .unwrap();
+            heaps.insert(t.id, heap);
+        }
+        Fixture {
+            dir,
+            pool,
+            heaps,
+            catalog,
+        }
+    }
+
+    fn scan_node(c: &Catalog, name: &str) -> PlanNode {
+        let t = c.table_by_name(name).unwrap();
+        PlanNode::leaf(
+            PlanOp::SeqScan {
+                table: t,
+                selectivity: 1.0,
+            },
+            c.table(t).rows as f64,
+            1.0,
+            16.0,
+        )
+    }
+
+    fn run(f: &mut Fixture, node: &PlanNode, work_mem: u64) -> (Chunk, ExecStats) {
+        let est = Estimator::new(&f.catalog, 7);
+        let preds = QueryPredicates::default();
+        let indexes = BTreeMap::new();
+        let mut ex = Executor::new(
+            &mut f.pool,
+            &f.heaps,
+            &indexes,
+            &est,
+            &preds,
+            work_mem,
+            &f.dir,
+            None,
+        );
+        let out = ex.run(node).unwrap();
+        (out, ex.stats)
+    }
+
+    #[test]
+    fn seq_scan_returns_all_rows_without_filters() {
+        let mut f = fixture("scan", 64);
+        let node = scan_node(&f.catalog, "orders");
+        let (out, stats) = run(&mut f, &node, 1 << 20);
+        assert_eq!(out.rows, 2000);
+        assert_eq!(stats.rows, 2000);
+        let _ = std::fs::remove_dir_all(&f.dir);
+    }
+
+    #[test]
+    fn hash_join_matches_fk_rate_and_spills_under_small_work_mem() {
+        let mut f = fixture("join", 64);
+        let ok = f.catalog.resolve_column(None, "o_orderkey").unwrap();
+        let lk = f.catalog.resolve_column(None, "l_orderkey").unwrap();
+        let join = PlanNode {
+            op: PlanOp::HashJoin {
+                keys: vec![(lk, ok)],
+                spills: false,
+            },
+            children: vec![
+                scan_node(&f.catalog, "lineitem"),
+                scan_node(&f.catalog, "orders"),
+            ],
+            est_rows: 8000.0,
+            est_cost: 1.0,
+            width: 32.0,
+        };
+        // Plenty of memory: no spill; every lineitem matches exactly one pk.
+        let (out, stats) = run(&mut f, &join, 16 << 20);
+        assert_eq!(out.rows, 8000);
+        assert_eq!(stats.spills, 0);
+        // Tiny work memory: identical result, via Grace partitioning...
+        let (out2, stats2) = run(&mut f, &join, 4096);
+        assert_eq!(out2.rows, 8000);
+        assert_eq!(stats2.spills, 1);
+        assert!(stats2.spill_pages > 0);
+        // ...with the same multiset of rows (partition order differs).
+        let w = out.schema.width;
+        let mut a: Vec<&[u8]> = out.data.chunks(w).collect();
+        let mut b: Vec<&[u8]> = out2.data.chunks(w).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&f.dir);
+    }
+
+    #[test]
+    fn sort_spills_and_stays_sorted() {
+        let mut f = fixture("sort", 64);
+        let sort = PlanNode {
+            op: PlanOp::Sort { spills: false },
+            children: vec![scan_node(&f.catalog, "lineitem")],
+            est_rows: 8000.0,
+            est_cost: 1.0,
+            width: 16.0,
+        };
+        let (big, s_big) = run(&mut f, &sort, 16 << 20);
+        assert_eq!(s_big.spills, 0);
+        let (small, s_small) = run(&mut f, &sort, 8192);
+        assert_eq!(s_small.spills, 1);
+        assert_eq!(small.rows, 8000);
+        // External and in-memory sorts agree byte for byte.
+        assert_eq!(big.data, small.data);
+        let w = small.schema.width;
+        assert!(small
+            .data
+            .chunks(w)
+            .zip(small.data.chunks(w).skip(1))
+            .all(|(a, b)| a <= b));
+        let _ = std::fs::remove_dir_all(&f.dir);
+    }
+
+    #[test]
+    fn aggregate_groups_deterministically() {
+        let mut f = fixture("agg", 64);
+        let agg = PlanNode {
+            op: PlanOp::Aggregate { grouped: true },
+            children: vec![scan_node(&f.catalog, "lineitem")],
+            est_rows: 800.0,
+            est_cost: 1.0,
+            width: 16.0,
+        };
+        let (a, _) = run(&mut f, &agg, 1 << 20);
+        let (b, _) = run(&mut f, &agg, 1 << 20);
+        assert_eq!(a.data, b.data);
+        // l_orderkey has ~2000 distinct values over 8000 rows.
+        assert!(a.rows > 1000 && a.rows <= 2000, "groups={}", a.rows);
+        let _ = std::fs::remove_dir_all(&f.dir);
+    }
+
+    #[test]
+    fn timeout_cuts_on_proxy_budget() {
+        let mut f = fixture("timeout", 64);
+        let node = scan_node(&f.catalog, "lineitem");
+        let est = Estimator::new(&f.catalog, 7);
+        let preds = QueryPredicates::default();
+        let indexes = BTreeMap::new();
+        let mut ex = Executor::new(
+            &mut f.pool,
+            &f.heaps,
+            &indexes,
+            &est,
+            &preds,
+            1 << 20,
+            &f.dir,
+            Some(0.0),
+        );
+        assert!(matches!(ex.run(&node), Err(ExecError::Timeout)));
+        let _ = std::fs::remove_dir_all(&f.dir);
+    }
+}

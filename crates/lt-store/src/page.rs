@@ -1,0 +1,218 @@
+//! Fixed-size checksummed pages with a slotted-record layout.
+//!
+//! Every page is [`PAGE_SIZE`] bytes. The first [`HEADER`] bytes hold:
+//!
+//! ```text
+//! [0..4]   crc32 of bytes[4..PAGE_SIZE] (computed by `seal`)
+//! [4]      page kind (free / heap / btree leaf / btree internal)
+//! [5]      btree level (0 = leaf)
+//! [6..8]   slot or entry count, u16 LE
+//! [8..10]  free-space offset (end of the used payload area), u16 LE
+//! [10..14] link, u32 LE: next-leaf page for B+tree leaves, leftmost
+//!          child for internal nodes (LINK_NONE = none)
+//! [14..16] owner, u16 LE: owning table id for heap pages
+//! ```
+//!
+//! Heap pages use the slotted layout: record payloads grow up from
+//! `HEADER`, the slot directory (4 bytes per slot: offset u16, length u16)
+//! grows down from the page end. B+tree pages manage the payload area as a
+//! sorted array of fixed-size entries and use only the header accessors.
+
+/// Page size in bytes (PostgreSQL's 8 KiB, matching the planner's
+/// [`lt_dbms::PAGE_SIZE`] so page counts line up with catalog estimates).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Header bytes reserved at the start of every page.
+pub const HEADER: usize = 16;
+
+/// Sentinel for "no link" in the header link field.
+pub const LINK_NONE: u32 = u32::MAX;
+
+/// Page kind tags (header byte 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageKind {
+    /// Unallocated / zeroed.
+    Free = 0,
+    /// Slotted heap page holding table rows.
+    Heap = 1,
+    /// B+tree leaf node.
+    Leaf = 2,
+    /// B+tree internal node.
+    Internal = 3,
+}
+
+impl PageKind {
+    /// Decodes the header tag (unknown values read as `Free`).
+    pub fn from_u8(v: u8) -> PageKind {
+        match v {
+            1 => PageKind::Heap,
+            2 => PageKind::Leaf,
+            3 => PageKind::Internal,
+            _ => PageKind::Free,
+        }
+    }
+}
+
+/// Initializes `buf` as an empty page of `kind` owned by `owner`.
+pub fn init(buf: &mut [u8], kind: PageKind, owner: u16) {
+    buf[..PAGE_SIZE].fill(0);
+    buf[4] = kind as u8;
+    set_count(buf, 0);
+    set_free_off(buf, HEADER as u16);
+    set_link(buf, LINK_NONE);
+    buf[14..16].copy_from_slice(&owner.to_le_bytes());
+}
+
+/// The page's kind tag.
+pub fn kind(buf: &[u8]) -> PageKind {
+    PageKind::from_u8(buf[4])
+}
+
+/// B+tree level (0 for leaves); unused by heap pages.
+pub fn level(buf: &[u8]) -> u8 {
+    buf[5]
+}
+
+/// Sets the B+tree level.
+pub fn set_level(buf: &mut [u8], l: u8) {
+    buf[5] = l;
+}
+
+/// Slot count (heap) or entry count (B+tree).
+pub fn count(buf: &[u8]) -> u16 {
+    u16::from_le_bytes([buf[6], buf[7]])
+}
+
+/// Sets the slot / entry count.
+pub fn set_count(buf: &mut [u8], n: u16) {
+    buf[6..8].copy_from_slice(&n.to_le_bytes());
+}
+
+/// End of the used payload area.
+pub fn free_off(buf: &[u8]) -> u16 {
+    u16::from_le_bytes([buf[8], buf[9]])
+}
+
+/// Sets the end of the used payload area.
+pub fn set_free_off(buf: &mut [u8], off: u16) {
+    buf[8..10].copy_from_slice(&off.to_le_bytes());
+}
+
+/// Header link field (next leaf / leftmost child).
+pub fn link(buf: &[u8]) -> u32 {
+    u32::from_le_bytes([buf[10], buf[11], buf[12], buf[13]])
+}
+
+/// Sets the header link field.
+pub fn set_link(buf: &mut [u8], l: u32) {
+    buf[10..14].copy_from_slice(&l.to_le_bytes());
+}
+
+/// Owning table id of a heap page.
+pub fn owner(buf: &[u8]) -> u16 {
+    u16::from_le_bytes([buf[14], buf[15]])
+}
+
+/// Computes and stores the page checksum. Call before writing to disk.
+pub fn seal(buf: &mut [u8]) {
+    let crc = lt_common::crc32(&buf[4..PAGE_SIZE]);
+    buf[0..4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies the stored checksum against the page contents.
+pub fn verify(buf: &[u8]) -> bool {
+    let stored = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    stored == lt_common::crc32(&buf[4..PAGE_SIZE])
+}
+
+// ---- slotted layout (heap pages) ----
+
+/// Free bytes available for one more record (payload + slot entry).
+pub fn free_space(buf: &[u8]) -> usize {
+    let slots_end = PAGE_SIZE - 4 * count(buf) as usize;
+    slots_end.saturating_sub(free_off(buf) as usize)
+}
+
+/// Appends a record, returning its slot number, or `None` when the page
+/// cannot hold it.
+pub fn insert(buf: &mut [u8], payload: &[u8]) -> Option<u16> {
+    if free_space(buf) < payload.len() + 4 {
+        return None;
+    }
+    let slot = count(buf);
+    let off = free_off(buf) as usize;
+    buf[off..off + payload.len()].copy_from_slice(payload);
+    let dir = PAGE_SIZE - 4 * (slot as usize + 1);
+    buf[dir..dir + 2].copy_from_slice(&(off as u16).to_le_bytes());
+    buf[dir + 2..dir + 4].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+    set_count(buf, slot + 1);
+    set_free_off(buf, (off + payload.len()) as u16);
+    Some(slot)
+}
+
+/// Borrow of the record in `slot`. Panics on an out-of-range slot
+/// (program error — rids are never guessed).
+pub fn get(buf: &[u8], slot: u16) -> &[u8] {
+    assert!(slot < count(buf), "slot {slot} out of range");
+    let dir = PAGE_SIZE - 4 * (slot as usize + 1);
+    let off = u16::from_le_bytes([buf[dir], buf[dir + 1]]) as usize;
+    let len = u16::from_le_bytes([buf[dir + 2], buf[dir + 3]]) as usize;
+    &buf[off..off + len]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf, PageKind::Heap, 3);
+        assert_eq!(kind(&buf), PageKind::Heap);
+        assert_eq!(owner(&buf), 3);
+        let a = insert(&mut buf, b"hello").unwrap();
+        let b = insert(&mut buf, b"world!").unwrap();
+        assert_eq!(get(&buf, a), b"hello");
+        assert_eq!(get(&buf, b), b"world!");
+        assert_eq!(count(&buf), 2);
+    }
+
+    #[test]
+    fn page_fills_up_and_rejects() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf, PageKind::Heap, 0);
+        let payload = [7u8; 100];
+        let mut n = 0;
+        while insert(&mut buf, &payload).is_some() {
+            n += 1;
+        }
+        // 104 bytes per record (100 payload + 4 slot) into 8176 usable.
+        assert_eq!(n, (PAGE_SIZE - HEADER) / 104);
+        assert!(free_space(&buf) < 104);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf, PageKind::Leaf, 0);
+        insert(&mut buf, b"payload");
+        seal(&mut buf);
+        assert!(verify(&buf));
+        buf[HEADER] ^= 0xFF;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn header_fields_roundtrip() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf, PageKind::Internal, 0);
+        set_level(&mut buf, 2);
+        set_link(&mut buf, 77);
+        set_count(&mut buf, 13);
+        assert_eq!(level(&buf), 2);
+        assert_eq!(link(&buf), 77);
+        assert_eq!(count(&buf), 13);
+        assert_eq!(kind(&buf), PageKind::Internal);
+    }
+}
