@@ -34,6 +34,12 @@
 #                calibrated cost fit must beat the uncalibrated one,
 #                and λ-Tune's winner must beat the default; its trace
 #                sidecar must pass trace_check
+#   shard        lt-serve-load --smoke --shards 2: a real coordinator +
+#                two shard daemons over loopback, sessions routed via
+#                the consistent-hash ring, fleet /metrics aggregated;
+#                the determinism gate additionally diffs the smoke
+#                result between --shards 1 and --shards 2 (wall-clock
+#                fields excluded) — placement must never change winners
 #
 # Per-gate wall seconds are printed at the end and written to
 # results/ci_timing.txt (the workflow uploads it as an artifact).
@@ -102,6 +108,20 @@ gate_determinism() {
         exit 1
     fi
     echo "results/BENCH_store.smoke.json identical across runs (wall fields excluded)"
+    # Sharded serving: the same client set through a 1-shard and a 2-shard
+    # fabric must produce identical per-seed winners — placement (which
+    # shard a session lands on) must never leak into results.
+    ./target/release/lt-serve-load --smoke --shards 1 > /dev/null
+    cp results/serve_shard.smoke.json results/.ci-seq/
+    ./target/release/lt-serve-load --smoke --shards 2 > /dev/null
+    if ! cmp -s <(grep -v '"wall' results/.ci-seq/serve_shard.smoke.json) \
+                <(grep -v '"wall' results/serve_shard.smoke.json); then
+        echo "DETERMINISM FAILURE: results/serve_shard.smoke.json differs between 1 and 2 shards" >&2
+        diff <(grep -v '"wall' results/.ci-seq/serve_shard.smoke.json) \
+             <(grep -v '"wall' results/serve_shard.smoke.json) >&2 || true
+        exit 1
+    fi
+    echo "results/serve_shard.smoke.json identical across shard counts (wall fields excluded)"
     rm -rf results/.ci-seq
 }
 
@@ -136,7 +156,11 @@ gate_store() {
     ./target/release/trace_check results/BENCH_store.trace.json
 }
 
-ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash store"
+gate_shard() {
+    ./target/release/lt-serve-load --smoke --shards 2
+}
+
+ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash store shard"
 TIMING=()
 
 run_gate() {

@@ -469,6 +469,50 @@ impl Snapshot {
         ])
     }
 
+    /// Merges parsed `/metrics` documents from several *processes* into
+    /// fleet totals.
+    ///
+    /// The in-process [`Snapshot`] cannot do this — its counter names are
+    /// `&'static str` interned per process — so cross-shard aggregation
+    /// happens at the parsed-JSON level: objects merge recursively in
+    /// first-seen key order, `Int`/`Float` leaves sum, and everything
+    /// non-numeric (strings, arrays such as `phases`, booleans) keeps the
+    /// first document's value. The schema `version` field takes the max
+    /// rather than the sum, so a merged document still declares a valid
+    /// version.
+    pub fn merge_metrics_json(docs: &[Value]) -> Value {
+        fn merge_into(acc: &mut Value, next: &Value, key: &str) {
+            match (acc, next) {
+                (Value::Object(a), Value::Object(b)) => {
+                    for (k, v) in b {
+                        match a.iter_mut().find(|(ak, _)| ak == k) {
+                            Some((_, slot)) => merge_into(slot, v, k),
+                            None => a.push((k.clone(), v.clone())),
+                        }
+                    }
+                }
+                (Value::Int(a), Value::Int(b)) => {
+                    *a = if key == "version" {
+                        (*a).max(*b)
+                    } else {
+                        a.saturating_add(*b)
+                    };
+                }
+                (acc @ (Value::Int(_) | Value::Float(_)), next) => {
+                    if let (Some(a), Some(b)) = (acc.as_f64(), next.as_f64()) {
+                        *acc = Value::Float(a + b);
+                    }
+                }
+                _ => {} // non-numeric leaves keep the first value
+            }
+        }
+        let mut merged = Value::Object(Vec::new());
+        for doc in docs {
+            merge_into(&mut merged, doc, "");
+        }
+        merged
+    }
+
     /// Serializes the snapshot as the trace sidecar document (see the
     /// README's event-log schema).
     pub fn to_json(&self) -> Value {
@@ -760,5 +804,40 @@ mod tests {
         assert!(table.contains("alpha"), "{table}");
         assert!(table.contains("hits"), "{table}");
         reset();
+    }
+
+    #[test]
+    fn merge_metrics_json_sums_numeric_leaves_across_processes() {
+        let a = crate::json::parse(
+            r#"{"version": 1, "counters": {"serve.http_requests": 10, "only_a": 2},
+                "gauges": {"queue": 3}, "phases": [{"name": "x"}], "label": "shard-0"}"#,
+        )
+        .unwrap();
+        let b = crate::json::parse(
+            r#"{"version": 1, "counters": {"serve.http_requests": 5, "only_b": 7},
+                "gauges": {"queue": 1.5}, "phases": [], "label": "shard-1"}"#,
+        )
+        .unwrap();
+        let merged = Snapshot::merge_metrics_json(&[a, b]);
+        let counters = merged.get("counters").unwrap();
+        assert_eq!(
+            counters.get("serve.http_requests").and_then(Value::as_i64),
+            Some(15)
+        );
+        assert_eq!(counters.get("only_a").and_then(Value::as_i64), Some(2));
+        assert_eq!(counters.get("only_b").and_then(Value::as_i64), Some(7));
+        // Int + Float widens to Float.
+        assert_eq!(
+            merged
+                .get("gauges")
+                .and_then(|g| g.get("queue"))
+                .and_then(Value::as_f64),
+            Some(4.5)
+        );
+        // `version` is a schema tag, not a tally; non-numeric leaves keep
+        // the first document's value.
+        assert_eq!(merged.get("version").and_then(Value::as_i64), Some(1));
+        assert_eq!(merged.get("label").and_then(Value::as_str), Some("shard-0"));
+        assert_eq!(merged.get("phases").unwrap().as_array().unwrap().len(), 1);
     }
 }

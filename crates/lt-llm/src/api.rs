@@ -54,6 +54,36 @@ impl LlmUsage {
     }
 }
 
+/// Simulated per-call API latency in milliseconds (`LT_LLM_LATENCY_MS`,
+/// default 0 = off). Read once per process.
+///
+/// The simulated model answers instantly, which is the one way it is
+/// *unrealistically fast*: a real LLM API call costs tens of milliseconds
+/// to seconds of network round trip, and that latency — not local compute
+/// — is what a tuning service spends most of its wall clock on (the
+/// paper's eval-vs-API-cost tradeoff). Serving benchmarks set this knob
+/// to measure the system in that regime; it only ever adds wall time, so
+/// results stay byte-identical at any setting.
+fn simulated_latency() -> std::time::Duration {
+    use std::sync::OnceLock;
+    static LATENCY: OnceLock<std::time::Duration> = OnceLock::new();
+    *LATENCY.get_or_init(|| {
+        let ms = std::env::var("LT_LLM_LATENCY_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        std::time::Duration::from_millis(ms)
+    })
+}
+
+/// Sleeps for the configured simulated API latency (no-op by default).
+fn simulate_api_latency() {
+    let latency = simulated_latency();
+    if !latency.is_zero() {
+        std::thread::sleep(latency);
+    }
+}
+
 /// Wraps a [`LanguageModel`] and meters token usage per call.
 pub struct LlmClient<M> {
     model: M,
@@ -72,6 +102,7 @@ impl<M: LanguageModel> LlmClient<M> {
     /// Completes a prompt, recording usage.
     pub fn complete(&self, prompt: &str, temperature: f64, seed: u64) -> Result<String> {
         let _span = obs::span("llm.call");
+        simulate_api_latency();
         let response = self.model.complete(prompt, temperature, seed)?;
         let prompt_tokens = count_tokens(prompt) as u64;
         let completion_tokens = count_tokens(&response) as u64;
@@ -103,6 +134,9 @@ impl<M: LanguageModel> LlmClient<M> {
             return Ok(Vec::new());
         }
         let _span = obs::span("llm.call");
+        // One API round trip for the whole batch: the latency, like the
+        // prompt tokens, is paid once — that is the batching win.
+        simulate_api_latency();
         let responses = self.model.complete_batch(prompt, temperature, seeds)?;
         debug_assert_eq!(responses.len(), seeds.len());
         let prompt_tokens = count_tokens(prompt) as u64;

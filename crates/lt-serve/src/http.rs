@@ -269,7 +269,16 @@ fn read_response(stream: &mut impl Read) -> io::Result<RawResponse> {
             return Err(malformed("response head too large"));
         }
         match stream.read(&mut byte)? {
-            0 => return Err(malformed("connection closed mid-response")),
+            0 => {
+                // EOF here means the peer closed between our request and
+                // its response — a stale keep-alive or a dying server.
+                // `UnexpectedEof` (not `InvalidData`) so the reconnect
+                // logic can tell a dead socket from a protocol violation.
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
             _ => head.push(byte[0]),
         }
         if head.ends_with(b"\r\n\r\n") {
@@ -306,6 +315,59 @@ fn read_response(stream: &mut impl Read) -> io::Result<RawResponse> {
     stream.read_exact(&mut body)?;
     let body = String::from_utf8(body).map_err(|_| malformed("response body is not UTF-8"))?;
     Ok((status, headers, body))
+}
+
+/// Why a [`Connection::call_classified`] failed — the distinction the
+/// shard-failover path needs.
+#[derive(Debug)]
+pub enum CallError {
+    /// The TCP connect itself was refused or unreachable: the server
+    /// process is down and **no request bytes were sent**. Safe to retry
+    /// elsewhere (or later, through the coordinator) even for POSTs.
+    Refused(io::Error),
+    /// The transport or HTTP exchange failed after a connection existed —
+    /// the request may have been partially processed; retrying is the
+    /// caller's judgement call.
+    Transport(io::Error),
+}
+
+impl CallError {
+    /// The underlying I/O error.
+    pub fn into_inner(self) -> io::Error {
+        match self {
+            CallError::Refused(err) | CallError::Transport(err) => err,
+        }
+    }
+
+    /// True when the failure was a connect-level refusal (server down).
+    pub fn is_refused(&self) -> bool {
+        matches!(self, CallError::Refused(_))
+    }
+}
+
+/// True for error kinds that mean a previously-good keep-alive socket is
+/// simply dead (server restarted, idle-closed, or capped the connection) —
+/// the cases where a one-shot reconnect-and-retry is sound.
+fn is_stale_connection(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WriteZero
+    )
+}
+
+/// True when a connect attempt failed because nothing is listening.
+fn is_refused_connect(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::HostUnreachable
+            | io::ErrorKind::NetworkUnreachable
+            | io::ErrorKind::AddrNotAvailable
+    )
 }
 
 /// A persistent client connection: sends `Connection: keep-alive` on every
@@ -345,14 +407,45 @@ impl Connection {
         headers: &[(&str, &str)],
         body: Option<&str>,
     ) -> io::Result<RawResponse> {
-        let fresh = self.stream.is_none();
+        self.call_classified(method, path, headers, body)
+            .map_err(CallError::into_inner)
+    }
+
+    /// [`Connection::call`] that reports *why* it failed: a connect-level
+    /// refusal ([`CallError::Refused`] — the server is down, nothing was
+    /// sent, failover is safe) versus a transport/HTTP failure
+    /// ([`CallError::Transport`]).
+    ///
+    /// A reused keep-alive socket that turns out to be dead (reset, broken
+    /// pipe, EOF before the status line) is retried once on a fresh
+    /// connection before either classification is reported — but a
+    /// protocol-level error (malformed response) is **not** retried: the
+    /// request may have been processed, and blind resends would duplicate
+    /// non-idempotent calls.
+    pub fn call_classified(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<RawResponse, CallError> {
+        let reused = self.stream.is_some();
         match self.try_call(method, path, headers, body) {
             Ok(response) => Ok(response),
-            Err(_) if !fresh => {
+            Err(err) if reused && is_stale_connection(&err) => {
                 self.stream = None;
                 self.try_call(method, path, headers, body)
+                    .map_err(|err| self.classify(err))
             }
-            Err(err) => Err(err),
+            Err(err) => Err(self.classify(err)),
+        }
+    }
+
+    fn classify(&self, err: io::Error) -> CallError {
+        if is_refused_connect(&err) {
+            CallError::Refused(err)
+        } else {
+            CallError::Transport(err)
         }
     }
 

@@ -7,12 +7,17 @@
 //!   connection, `Content-Length` bodies, JSON in and out);
 //! - [`session`] — request parsing/validation, the per-session state
 //!   machine (`Queued → Tuning → Done/Failed/Cancelled`) and the registry;
-//! - [`pool`] — a fixed-size worker pool behind a bounded MPSC queue;
-//!   admission control (429), graceful drain on shutdown, and a
-//!   `catch_unwind` backstop so one poisoned request cannot take down a
-//!   worker thread;
+//! - [`pool`] — a fixed-size worker pool behind a bounded, tenant-fair
+//!   (deficit-round-robin) queue; admission control (429), graceful drain
+//!   on shutdown, and a `catch_unwind` backstop so one poisoned request
+//!   cannot take down a worker thread;
 //! - [`server`] — the accept loop and routing;
-//! - [`load`] — the load generator behind the `lt-serve-load` binary.
+//! - [`load`] — the load generator behind the `lt-serve-load` binary;
+//! - [`ring`] — the consistent-hash ring placing sessions on shards;
+//! - [`coord`] — the coordinator: global admission, session routing over
+//!   the ring, health probing, and fleet-wide `/metrics` aggregation;
+//! - [`fleet`] — multi-process fabric spawning (N shard daemons + one
+//!   coordinator) for the sharded benchmark and the CI shard gate.
 //!
 //! Determinism contract: each session owns its own simulated database,
 //! seeded from the request. With the session seed fixed, the resulting best
@@ -20,13 +25,19 @@
 //! request interleaving — progress observers stream state out of the
 //! pipeline but never feed anything back in except cancellation.
 
+pub mod coord;
+pub mod fleet;
 pub mod http;
 pub mod load;
 pub mod pool;
+pub mod ring;
 pub mod server;
 pub mod session;
 pub mod wal;
 
+pub use coord::{start_coordinator, CoordinatorConfig, CoordinatorHandle, ShardSpec};
+pub use fleet::Fleet;
 pub use pool::{SubmitError, WorkerPool};
+pub use ring::HashRing;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use session::{DriftStatus, ServingState, Session, SessionRegistry, SessionState, TuneRequest};

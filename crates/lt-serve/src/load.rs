@@ -25,10 +25,15 @@ pub struct LoadOptions {
     pub benchmark: String,
     /// LLM samples per session (small keeps the smoke gate fast).
     pub num_configs: usize,
-    /// Base seed; client `i` uses `derive_seed(base_seed, i)`.
+    /// Base seed; session slot `i` uses `derive_seed(base_seed, i)`.
     pub base_seed: u64,
     /// Give-up bound per session.
     pub poll_timeout: Duration,
+    /// Sessions each client runs back to back (closed loop). More
+    /// sessions per run tightens the placement spread a sharded fabric
+    /// sees — with few keys, consistent hashing's multinomial variance
+    /// dominates the drain time.
+    pub sessions_per_client: usize,
 }
 
 impl Default for LoadOptions {
@@ -39,6 +44,7 @@ impl Default for LoadOptions {
             num_configs: 2,
             base_seed: base_seed(),
             poll_timeout: Duration::from_secs(120),
+            sessions_per_client: 1,
         }
     }
 }
@@ -170,9 +176,23 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
         "num_configs": opts.num_configs,
     })
     .to_string_pretty();
-    let (status, _, response) = match conn.call("POST", "/sessions", &[], Some(&body)) {
+    // A refused connect means the endpoint process is down — distinct from
+    // an HTTP-level rejection. During shard failover the coordinator (or a
+    // restarting single server) comes back within a probe interval, so the
+    // client retries the submit once through the coordinator before giving
+    // up. Refusal is safe to retry even for this POST: nothing was sent.
+    let submit =
+        |conn: &mut Connection| conn.call_classified("POST", "/sessions", &[], Some(&body));
+    let (status, _, response) = match submit(&mut conn) {
         Ok(r) => r,
-        Err(e) => return fail(format!("error: submit: {e}")),
+        Err(e) if e.is_refused() => {
+            std::thread::sleep(Duration::from_millis(100));
+            match submit(&mut conn) {
+                Ok(r) => r,
+                Err(e) => return fail(format!("error: submit: {}", e.into_inner())),
+            }
+        }
+        Err(e) => return fail(format!("error: submit: {}", e.into_inner())),
     };
     if status != 202 {
         return fail(format!("error: submit rejected with {status}: {response}"));
@@ -182,23 +202,42 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
         None => return fail(format!("error: bad submit response: {response}")),
     };
 
+    let mut refused_retries = 0;
     let state = loop {
         if started.elapsed() > opts.poll_timeout {
             break "error: poll timeout".to_string();
         }
-        let (status, _, response) = match conn.call("GET", &format!("/sessions/{id}"), &[], None) {
+        let path = format!("/sessions/{id}?wait_ms=1000");
+        let (status, _, response) = match conn.call_classified("GET", &path, &[], None) {
             Ok(r) => r,
-            Err(e) => break format!("error: poll: {e}"),
+            // Connection refused mid-poll: the endpoint died under us
+            // (kill-one-shard). Retry once through the coordinator after a
+            // beat; a second refusal means it is genuinely gone.
+            Err(e) if e.is_refused() && refused_retries == 0 => {
+                refused_retries += 1;
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            }
+            Err(e) => break format!("error: poll: {}", e.into_inner()),
         };
-        if status != 200 {
-            break format!("error: poll status {status}");
+        match status {
+            200 => {}
+            // The owning shard is down and recovering; the coordinator
+            // says retry later. Transient as long as the timeout allows.
+            502 | 503 => {
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            }
+            _ => break format!("error: poll status {status}"),
         }
         let state = parse(&response)
             .ok()
             .and_then(|d| Some(d.get("state")?.as_str()?.to_string()));
         match state.as_deref() {
             Some("done" | "failed" | "cancelled") => break state.unwrap(),
-            Some(_) => std::thread::sleep(Duration::from_millis(10)),
+            // Long-poll returned on timeout without a transition; go
+            // straight back to waiting — no client-side sleep needed.
+            Some(_) => {}
             None => break format!("error: bad status document: {response}"),
         }
     };
@@ -224,19 +263,31 @@ fn run_client(addr: SocketAddr, client: usize, opts: &LoadOptions) -> ClientOutc
     }
 }
 
-/// Fires `opts.clients` concurrent clients at `addr` and collects their
-/// outcomes. `workers` is only recorded in the result.
+/// Fires `opts.clients` concurrent clients at `addr`, each running
+/// `opts.sessions_per_client` sessions back to back, and collects their
+/// outcomes (sorted by session slot, so two runs with the same options
+/// align element-wise). `workers` is only recorded in the result.
 pub fn run_against(addr: SocketAddr, workers: usize, opts: &LoadOptions) -> LoadRun {
     let started = Instant::now();
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+    let rounds = opts.sessions_per_client.max(1);
+    let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.clients)
-            .map(|client| scope.spawn(move || run_client(addr, client, opts)))
+            .map(|client| {
+                scope.spawn(move || {
+                    (0..rounds)
+                        // Session slot: unique across the run, stable
+                        // across topologies — it derives the seed.
+                        .map(|round| run_client(addr, round * opts.clients + client, opts))
+                        .collect::<Vec<ClientOutcome>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("load client thread"))
+            .flat_map(|h| h.join().expect("load client thread"))
             .collect()
     });
+    outcomes.sort_by_key(|o| o.client);
     LoadRun {
         workers,
         outcomes,
@@ -304,6 +355,59 @@ mod tests {
         assert_eq!(run.latency_percentile_ms(99.0), 100.0);
         assert_eq!(run.failures(), 0);
         assert_eq!(run.sessions_per_sec(), 10.0);
+    }
+
+    /// Satellite of the sharded fabric: a client polling through the
+    /// coordinator survives SIGKILL of the shard owning its session —
+    /// refused/503 answers are transient, the shard restarts on its WAL,
+    /// and every acked session still completes.
+    #[test]
+    fn clients_survive_kill_one_shard_failover() {
+        if crate::fleet::server_binary().is_err() {
+            eprintln!("skipped: lt-serve binary not built next to the test executable");
+            return;
+        }
+        let envs = vec![
+            ("LT_LLM_LATENCY_MS".to_string(), "300".to_string()),
+            ("LT_SHARD_PROBE_MS".to_string(), "100".to_string()),
+        ];
+        let mut fleet = crate::fleet::Fleet::spawn(2, 1, &envs).expect("spawn 2-shard fleet");
+        let addr = fleet.coordinator_addr();
+        let opts = LoadOptions {
+            clients: 4,
+            num_configs: 2,
+            base_seed: 9500,
+            poll_timeout: Duration::from_secs(120),
+            ..LoadOptions::default()
+        };
+        let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..opts.clients)
+                .map(|client| {
+                    let opts = &opts;
+                    scope.spawn(move || run_client(addr, client, opts))
+                })
+                .collect();
+            // Let the submits land and the slow sessions get in flight,
+            // then crash one shard and bring it back.
+            std::thread::sleep(Duration::from_millis(200));
+            fleet.kill_shard(1);
+            std::thread::sleep(Duration::from_millis(400));
+            fleet.restart_shard(1).expect("restart killed shard");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("load client thread"))
+                .collect()
+        });
+        fleet.shutdown();
+        for o in &outcomes {
+            assert!(
+                o.ok(),
+                "client {} (seed {}) did not survive the shard kill: {}",
+                o.client,
+                o.seed,
+                o.state
+            );
+        }
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! The worker pool: a bounded MPSC job queue feeding a fixed set of tuning
-//! threads.
+//! The worker pool: a bounded, tenant-fair job queue feeding a fixed set of
+//! tuning threads.
 //!
 //! Accept threads never run the pipeline — they parse the request, register
-//! a session and hand it to the pool. `try_send` on the bounded channel is
-//! the admission control: a full queue surfaces as HTTP 429 at the server
-//! layer rather than unbounded memory growth here. Dropping the sender is
-//! the shutdown signal; workers drain whatever was already queued and exit,
-//! so a graceful shutdown never abandons an accepted session.
+//! a session and hand it to the pool. The bounded queue is the admission
+//! control: a full queue surfaces as HTTP 429 at the server layer rather
+//! than unbounded memory growth here. Closing the queue is the shutdown
+//! signal; workers drain whatever was already queued and exit, so a graceful
+//! shutdown never abandons an accepted session.
+//!
+//! Pickup is **deficit-round-robin across tenants**, not global FIFO: each
+//! tenant gets its own FIFO, and workers take one job per tenant per round.
+//! Every job costs one quantum (a session tune), so the classic DRR deficit
+//! counter degenerates to plain rotation — but the fairness property is the
+//! full one: a tenant submitting 10× faster than another cannot delay the
+//! slow tenant's next job by more than one round. Tie-breaks are
+//! deterministic: tenants join the rotation in first-arrival order and keep
+//! their slot until their queue drains.
 
 use crate::session::{ServingState, SessionHandle, SessionState, TuneRequest};
 use crate::wal::SessionRecord;
@@ -17,9 +26,9 @@ use lt_drift::{retune, warm_options, DriftMonitor, Profile, RetuneOptions, TuneM
 use lt_fleet::{FleetCache, FleetEntry, FleetKey, TransferOptions};
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Workload;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// One unit of worker-pool work.
@@ -32,10 +41,123 @@ enum Job {
     Retune(SessionHandle),
 }
 
-/// A fixed-size pool of tuning workers behind a bounded queue.
+impl Job {
+    fn tenant(&self) -> String {
+        let handle = match self {
+            Job::Tune(s) | Job::Retune(s) => s,
+        };
+        handle.lock().tenant.clone()
+    }
+}
+
+/// Bounded multi-tenant job queue with deficit-round-robin pickup.
+///
+/// Per-tenant FIFOs keyed in a `BTreeMap` (deterministic iteration), plus a
+/// rotation list of tenants that currently have work. `pop` serves the front
+/// tenant one job and moves it to the back of the rotation; a tenant whose
+/// FIFO drains leaves the rotation and re-enters at the back on its next
+/// submission. Total occupancy is bounded by `depth` across all tenants.
+#[derive(Debug)]
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    depth: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    queues: BTreeMap<String, VecDeque<Job>>,
+    rotation: VecDeque<String>,
+    len: usize,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                queues: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            depth,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking bounded push; the admission-control edge.
+    fn push(&self, job: Job) -> Result<(), SubmitError> {
+        let tenant = job.tenant();
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if inner.len >= self.depth {
+            return Err(SubmitError::QueueFull);
+        }
+        let fifo = inner.queues.entry(tenant.clone()).or_default();
+        let was_empty = fifo.is_empty();
+        fifo.push_back(job);
+        inner.len += 1;
+        if was_empty {
+            inner.rotation.push_back(tenant);
+        }
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max` jobs in DRR order, blocking for the first one.
+    /// Returns an empty vec only when the queue is closed and drained.
+    fn pop_batch(&self, max: usize) -> Vec<Job> {
+        let mut inner = self.lock();
+        loop {
+            if inner.len > 0 {
+                break;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = match self.available.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        let mut jobs = Vec::new();
+        while jobs.len() < max && inner.len > 0 {
+            let tenant = inner.rotation.pop_front().expect("rotation tracks len");
+            let fifo = inner.queues.get_mut(&tenant).expect("rotation has queue");
+            jobs.push(fifo.pop_front().expect("rotation queues are non-empty"));
+            let drained = fifo.is_empty();
+            inner.len -= 1;
+            if drained {
+                inner.queues.remove(&tenant);
+            } else {
+                inner.rotation.push_back(tenant);
+            }
+        }
+        jobs
+    }
+
+    /// Stops accepting work; waiters wake and drain what remains.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A fixed-size pool of tuning workers behind a bounded tenant-fair queue.
 #[derive(Debug)]
 pub struct WorkerPool {
-    sender: Mutex<Option<SyncSender<Job>>>,
+    queue: Arc<JobQueue>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -71,38 +193,21 @@ impl WorkerPool {
         let workers = workers.max(1);
         let queue_depth = queue_depth.max(1);
         let batch = batch.max(1);
-        let (sender, receiver) = sync_channel::<Job>(queue_depth);
-        // std's Receiver is single-consumer; share it behind a mutex so the
-        // pool pulls jobs work-stealing style.
-        let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        let queue = Arc::new(JobQueue::new(queue_depth));
         let handles = (0..workers)
             .map(|i| {
-                let receiver = receiver.clone();
+                let queue = queue.clone();
                 std::thread::Builder::new()
                     .name(format!("lt-serve-worker-{i}"))
                     .spawn(move || loop {
-                        // Take one job (blocking), then — when coalescing —
-                        // opportunistically drain whatever else is already
-                        // queued, up to the batch bound.
-                        let jobs = {
-                            let guard = match receiver.lock() {
-                                Ok(g) => g,
-                                Err(poisoned) => poisoned.into_inner(),
-                            };
-                            match guard.recv() {
-                                Ok(first) => {
-                                    let mut jobs = vec![first];
-                                    while jobs.len() < batch {
-                                        match guard.try_recv() {
-                                            Ok(job) => jobs.push(job),
-                                            Err(_) => break,
-                                        }
-                                    }
-                                    jobs
-                                }
-                                Err(_) => break, // all senders dropped: shutdown
-                            }
-                        };
+                        // Take one job (blocking); when coalescing, the DRR
+                        // pop opportunistically drains more already-queued
+                        // jobs (still one per tenant per round) up to the
+                        // batch bound.
+                        let jobs = queue.pop_batch(batch);
+                        if jobs.is_empty() {
+                            break; // closed and drained: shutdown
+                        }
                         let mut tunes = Vec::new();
                         for job in jobs {
                             match job {
@@ -116,7 +221,7 @@ impl WorkerPool {
             })
             .collect();
         WorkerPool {
-            sender: Mutex::new(Some(sender)),
+            queue,
             workers: Mutex::new(handles),
         }
     }
@@ -133,28 +238,13 @@ impl WorkerPool {
     }
 
     fn enqueue(&self, job: Job) -> Result<(), SubmitError> {
-        let guard = match self.sender.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let sender = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
-        match sender.try_send(job) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
-        }
+        self.queue.push(job)
     }
 
     /// Graceful shutdown: stops accepting work, lets the workers drain the
     /// queue and joins them. Idempotent.
     pub fn shutdown(&self) {
-        {
-            let mut guard = match self.sender.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.take(); // closes the channel once the last clone drops
-        }
+        self.queue.close();
         let handles: Vec<JoinHandle<()>> = {
             let mut guard = match self.workers.lock() {
                 Ok(g) => g,
@@ -317,6 +407,8 @@ fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) 
                 state: SessionState::Cancelled,
                 error: None,
             });
+            drop(s);
+            session.notify_change();
             return;
         }
         if s.state != SessionState::Queued {
@@ -331,6 +423,7 @@ fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) 
             error: None,
         });
     }
+    session.notify_change();
     obs::counter("serve.sessions_started", 1);
 
     let request = session.lock().request.clone();
@@ -387,6 +480,8 @@ fn run_session_with(session: &SessionHandle, samples: Option<Arc<SampleCache>>) 
             });
         }
     }
+    drop(s);
+    session.notify_change();
 }
 
 /// True when near-miss warm-start transfer is live in the serving layer
@@ -665,6 +760,8 @@ pub fn run_retune(session: &SessionHandle) {
             });
         }
     }
+    drop(s);
+    session.notify_change();
 }
 
 /// The fallible part of a re-tune. Takes the serving state out of the
@@ -953,5 +1050,92 @@ mod tests {
         run_session(&handle);
         let s = handle.lock();
         assert_eq!(s.state, SessionState::Done, "error: {:?}", s.error);
+    }
+
+    fn tenant_job(registry: &SessionRegistry, tenant: &str, seed: i64) -> Job {
+        let req = quick_request(&format!(r#", "seed": {seed}"#));
+        let handle = registry
+            .create_if_within_quota(req, tenant, usize::MAX)
+            .unwrap();
+        Job::Tune(handle)
+    }
+
+    fn pop_tenants(queue: &JobQueue, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| {
+                let jobs = queue.pop_batch(1);
+                assert_eq!(jobs.len(), 1);
+                jobs[0].tenant()
+            })
+            .collect()
+    }
+
+    /// Deficit-round-robin regression: tenant A floods the queue at 10×
+    /// tenant B's rate; B's job must be served in the second slot, not
+    /// the eleventh, and the interleave must be deterministic.
+    #[test]
+    fn drr_queue_is_tenant_fair_at_ten_to_one() {
+        let registry = SessionRegistry::new();
+        let queue = JobQueue::new(64);
+        // A submits 10 jobs before B gets its single one in.
+        for i in 0..10 {
+            queue.push(tenant_job(&registry, "a", 9300 + i)).unwrap();
+        }
+        queue.push(tenant_job(&registry, "b", 9310)).unwrap();
+        let order = pop_tenants(&queue, 11);
+        assert_eq!(
+            order,
+            ["a", "b", "a", "a", "a", "a", "a", "a", "a", "a", "a"],
+            "B waits exactly one round, never behind A's backlog"
+        );
+    }
+
+    /// Tie-break determinism: tenants enter the rotation in first-arrival
+    /// order and keep their slot until drained.
+    #[test]
+    fn drr_rotation_order_is_deterministic() {
+        let registry = SessionRegistry::new();
+        let queue = JobQueue::new(64);
+        for (tenant, seed) in [
+            ("c", 9320),
+            ("c", 9321),
+            ("a", 9322),
+            ("b", 9323),
+            ("a", 9324),
+        ] {
+            queue.push(tenant_job(&registry, tenant, seed)).unwrap();
+        }
+        assert_eq!(pop_tenants(&queue, 5), ["c", "a", "b", "c", "a"]);
+    }
+
+    /// Batched pops still rotate across tenants (one job per tenant per
+    /// round) so coalescing cannot reintroduce starvation.
+    #[test]
+    fn drr_batch_pop_rotates_tenants() {
+        let registry = SessionRegistry::new();
+        let queue = JobQueue::new(64);
+        for i in 0..4 {
+            queue.push(tenant_job(&registry, "a", 9330 + i)).unwrap();
+        }
+        queue.push(tenant_job(&registry, "b", 9340)).unwrap();
+        let tenants: Vec<String> = queue.pop_batch(3).iter().map(|j| j.tenant()).collect();
+        assert_eq!(tenants, ["a", "b", "a"]);
+    }
+
+    /// The depth bound applies across tenants, and a closed queue still
+    /// drains before reporting empty.
+    #[test]
+    fn drr_queue_bounds_and_drains() {
+        let registry = SessionRegistry::new();
+        let queue = JobQueue::new(2);
+        queue.push(tenant_job(&registry, "a", 9350)).unwrap();
+        queue.push(tenant_job(&registry, "b", 9351)).unwrap();
+        let err = queue.push(tenant_job(&registry, "c", 9352)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        queue.close();
+        let err = queue.push(tenant_job(&registry, "a", 9353)).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        assert_eq!(pop_tenants(&queue, 2), ["a", "b"]);
+        assert!(queue.pop_batch(1).is_empty());
     }
 }

@@ -13,6 +13,20 @@
 //! | GET    | `/metrics`              | Observability registry dump          |
 //! | GET    | `/healthz`              | Liveness probe                       |
 //! | POST   | `/shutdown`             | Graceful shutdown (drains workers)   |
+//! | GET    | `/shard/healthz`        | Shard control: id, drain state, load |
+//! | POST   | `/shard/drain`          | Stop admitting; keep serving reads   |
+//! | POST   | `/shard/adopt`          | Coordinator-placed session (fixed id)|
+//!
+//! `GET /sessions/<id>?wait_ms=N` long-polls: the response is deferred
+//! (bounded by `N`, capped at [`MAX_WAIT_MS`]) until the session leaves
+//! the state it was in when the request arrived. `wait_ms=0` — and any
+//! request without the parameter — answers immediately.
+//!
+//! The `/shard/*` surface is what the coordinator ([`crate::coord`])
+//! drives: `adopt` is `POST /sessions` with the session id chosen by the
+//! caller (the consistent-hash ring keys on it), `drain` flips admission
+//! off for planned removal from the ring, and `/shard/healthz` is the
+//! health-probe target that also reports queue pressure.
 //!
 //! Each connection carries one request (`Connection: close`); connection
 //! threads only parse, route and serialize — all tuning happens on the
@@ -67,6 +81,10 @@ pub struct ServerConfig {
     /// acknowledged lifecycle event. `None` (the default) serves from
     /// memory only.
     pub wal_dir: Option<String>,
+    /// Shard identity when this server runs as one shard of a fabric
+    /// (`LT_SHARD_ID`). Surfaces in `/shard/healthz` and `/metrics`;
+    /// `None` (the default) means standalone.
+    pub shard_id: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +98,7 @@ impl Default for ServerConfig {
             keepalive_max: 32,
             idle_timeout_ms: 30_000,
             wal_dir: None,
+            shard_id: None,
         }
     }
 }
@@ -124,6 +143,11 @@ impl ServerConfig {
                 config.wal_dir = Some(dir.trim().to_string());
             }
         }
+        if let Ok(id) = std::env::var("LT_SHARD_ID") {
+            if let Ok(id) = id.trim().parse::<u32>() {
+                config.shard_id = Some(id);
+            }
+        }
         config
     }
 }
@@ -144,6 +168,11 @@ struct ServerState {
     keepalive_max: usize,
     /// Keep-alive idle timeout (also the per-request read timeout).
     idle_timeout: Duration,
+    /// Shard identity (fabric mode), `None` standalone.
+    shard_id: Option<u32>,
+    /// Draining: admission off (new sessions answer 503), reads keep
+    /// working. Set by `POST /shard/drain` ahead of planned removal.
+    draining: AtomicBool,
 }
 
 /// Decrements the live-connection count when a connection thread exits,
@@ -231,6 +260,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         tenant_cap: config.tenant_cap.max(1),
         keepalive_max: config.keepalive_max.max(1),
         idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+        shard_id: config.shard_id,
+        draining: AtomicBool::new(false),
     });
     let accept_state = state.clone();
     let accept_thread = std::thread::Builder::new()
@@ -329,7 +360,7 @@ fn route(request: &Request, state: &ServerState) -> Response {
             _ => method_not_allowed(method, path, "GET, POST"),
         },
         ["sessions", id] => match method {
-            "GET" => with_session(state, id, |s| Response::json(200, &s.lock().status_json())),
+            "GET" => with_session(state, id, |s| session_status(request, s)),
             "DELETE" => with_session(state, id, cancel_session),
             _ => method_not_allowed(method, path, "GET, DELETE"),
         },
@@ -361,6 +392,22 @@ fn route(request: &Request, state: &ServerState) -> Response {
             "GET" => Response::json(200, &json!({ "ok": true })),
             _ => method_not_allowed(method, path, "GET"),
         },
+        ["shard", "healthz"] => match method {
+            "GET" => shard_healthz(state),
+            _ => method_not_allowed(method, path, "GET"),
+        },
+        ["shard", "drain"] => match method {
+            "POST" => {
+                state.draining.store(true, Ordering::SeqCst);
+                obs::counter("serve.shard_drains", 1);
+                Response::json(200, &json!({ "draining": true }))
+            }
+            _ => method_not_allowed(method, path, "POST"),
+        },
+        ["shard", "adopt"] => match method {
+            "POST" => adopt_session(request, state),
+            _ => method_not_allowed(method, path, "POST"),
+        },
         ["shutdown"] => match method {
             "POST" => {
                 state.shutdown.store(true, Ordering::SeqCst);
@@ -374,6 +421,131 @@ fn route(request: &Request, state: &ServerState) -> Response {
             _ => method_not_allowed(method, path, "POST"),
         },
         _ => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+/// Upper bound on one long-poll wait; larger requests are clamped, so a
+/// client cannot pin a connection thread longer than this per request.
+pub const MAX_WAIT_MS: u64 = 30_000;
+
+/// Extracts an integer query parameter from a raw request path.
+fn query_param_u64(path: &str, name: &str) -> Option<u64> {
+    let query = path.split_once('?')?.1;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        if k == name {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// The `GET /sessions/<id>` handler. With `?wait_ms=N` the response is
+/// long-polled: held until the session leaves its current state or the
+/// (clamped) wait elapses. Terminal sessions answer immediately — there
+/// is no further transition to wait for.
+fn session_status(request: &Request, handle: &SessionHandle) -> Response {
+    let wait_ms = query_param_u64(&request.path, "wait_ms")
+        .unwrap_or(0)
+        .min(MAX_WAIT_MS);
+    let current = handle.lock().state;
+    if wait_ms == 0 || current.is_terminal() {
+        return Response::json(200, &handle.lock().status_json());
+    }
+    obs::counter("serve.long_polls", 1);
+    let session = handle.wait_changed(current, wait_ms);
+    Response::json(200, &session.status_json())
+}
+
+/// The `GET /shard/healthz` handler: shard identity plus enough load
+/// signal for the coordinator's probe loop (state counts double as a
+/// queue-pressure readout).
+fn shard_healthz(state: &ServerState) -> Response {
+    let shard_id = match state.shard_id {
+        Some(id) => Value::Int(id as i64),
+        None => Value::Null,
+    };
+    Response::json(
+        200,
+        &json!({
+            "ok": true,
+            "shard_id": shard_id,
+            "draining": state.draining.load(Ordering::SeqCst),
+            "sessions": state.registry.state_counts_json(),
+        }),
+    )
+}
+
+/// The `POST /shard/adopt` handler: coordinator-placed session admission.
+///
+/// Identical to `POST /sessions` except the session id and tenant come
+/// from the body — the coordinator allocates ids fleet-wide and the ring
+/// keys on them, so the shard must register the session under exactly
+/// that id. Global (fleet) quota was already enforced by the coordinator;
+/// the shard still refuses duplicates, drain mode and a full queue.
+fn adopt_session(request: &Request, state: &ServerState) -> Response {
+    if state.shutdown.load(Ordering::SeqCst) {
+        return Response::error(503, "server is shutting down");
+    }
+    if state.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "shard is draining");
+    }
+    let Some(body) = request.body_str() else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let doc = match lt_common::json::parse(if body.trim().is_empty() { "{}" } else { body }) {
+        Ok(doc) => doc,
+        Err(err) => return Response::error(400, &format!("invalid JSON: {err}")),
+    };
+    let Some(id) = doc.get("id").and_then(|v| v.as_i64()).filter(|&v| v > 0) else {
+        return Response::error(400, "\"id\" must be a positive integer");
+    };
+    let id = id as u64;
+    let tenant = doc
+        .get("tenant")
+        .and_then(|v| v.as_str())
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .unwrap_or("default")
+        .to_string();
+    let Some(req_doc) = doc.get("request") else {
+        return Response::error(400, "\"request\" object is required");
+    };
+    let tune_request = match TuneRequest::from_json(req_doc) {
+        Ok(req) => req,
+        Err(err) => {
+            obs::counter("serve.sessions_rejected", 1);
+            return Response::error(400, err.message());
+        }
+    };
+    if state.registry.get(id).is_some() {
+        return Response::error(409, &format!("session {id} already exists on this shard"));
+    }
+    let handle = state.registry.restore_handle(id, &tenant, tune_request);
+    let created = SessionRecord::Created {
+        id,
+        tenant: tenant.clone(),
+        request: handle.lock().request.to_wal_json(),
+    };
+    // Same acknowledgement contract as `POST /sessions`: the fsync happens
+    // before the 202, so an acked adoption survives a shard crash.
+    handle.log_sync(&created);
+    match state.pool.submit(handle.clone()) {
+        Ok(()) => {
+            obs::counter("serve.sessions_accepted", 1);
+            obs::counter("serve.sessions_adopted", 1);
+            Response::json(202, &json!({ "id": id, "state": "queued" }))
+        }
+        Err(reason) => {
+            handle.log_sync(&SessionRecord::Removed { id });
+            state.registry.remove(id);
+            obs::counter("serve.sessions_rejected", 1);
+            match reason {
+                SubmitError::QueueFull => Response::error(429, "job queue is full, retry later"),
+                SubmitError::ShuttingDown => Response::error(503, "server is shutting down"),
+            }
+        }
     }
 }
 
@@ -406,6 +578,8 @@ fn cancel_session(s: &crate::session::SessionHandle) -> Response {
                 state: SessionState::Cancelled,
                 error: None,
             });
+            drop(session);
+            s.notify_change();
         }
     }
     let (id, state_name) = {
@@ -418,6 +592,9 @@ fn cancel_session(s: &crate::session::SessionHandle) -> Response {
 fn submit_session(request: &Request, state: &ServerState) -> Response {
     if state.shutdown.load(Ordering::SeqCst) {
         return Response::error(503, "server is shutting down");
+    }
+    if state.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "shard is draining");
     }
     let Some(body) = request.body_str() else {
         return Response::error(400, "body is not UTF-8");
@@ -610,6 +787,7 @@ fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) 
         });
     }
     drop(session);
+    handle.notify_change();
 
     // The pool submit happens outside the session lock; a worker that
     // picks the job up immediately must be able to lock the session.
@@ -635,6 +813,8 @@ fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) 
                     state: SessionState::Done,
                     error: s.drift.last_error.clone(),
                 });
+                drop(s);
+                handle.notify_change();
             }
         }
     }
@@ -664,6 +844,9 @@ fn metrics(state: &ServerState) -> Response {
     let mut doc = obs::snapshot().to_metrics_json();
     if let Value::Object(entries) = &mut doc {
         entries.push(("sessions".to_string(), state.registry.state_counts_json()));
+        if let Some(id) = state.shard_id {
+            entries.push(("shard_id".to_string(), Value::Int(id as i64)));
+        }
     }
     Response::json(200, &doc)
 }

@@ -27,7 +27,7 @@ use lt_workloads::Benchmark;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Service-side ceiling on LLM samples per session. The pipeline allocates
 /// and iterates `num_configs` times, so an unbounded value lets one request
@@ -612,6 +612,9 @@ pub struct SessionHandle {
     session: Arc<Mutex<Session>>,
     cancel: Arc<AtomicBool>,
     wal: Option<Arc<crate::wal::SessionLog>>,
+    /// Signalled on state transitions; paired with `session` for the
+    /// long-poll (`GET /sessions/<id>?wait_ms=...`) wait.
+    changed: Arc<Condvar>,
 }
 
 impl SessionHandle {
@@ -640,6 +643,39 @@ impl SessionHandle {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// Wakes long-poll waiters after a state transition. Callers invoke
+    /// this after releasing the session lock; waiters also re-check on a
+    /// bounded interval, so a missed call degrades latency, never
+    /// correctness.
+    pub fn notify_change(&self) {
+        self.changed.notify_all();
+    }
+
+    /// Blocks until the session leaves state `from` or `wait_ms` elapses,
+    /// then returns the (locked) session. `wait_ms == 0` degenerates to a
+    /// plain `lock()` — the pre-long-poll behaviour. The wait re-checks at
+    /// least every 50 ms so an unnotified transition is still observed
+    /// promptly.
+    pub fn wait_changed(&self, from: SessionState, wait_ms: u64) -> MutexGuard<'_, Session> {
+        let mut guard = self.lock();
+        if wait_ms == 0 {
+            return guard;
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+        while guard.state == from {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let step = (deadline - now).min(std::time::Duration::from_millis(50));
+            guard = match self.changed.wait_timeout(guard, step) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        guard
     }
 
     /// Requests cancellation (observed by the worker between units of
@@ -740,6 +776,7 @@ impl SessionRegistry {
             })),
             cancel: Arc::new(AtomicBool::new(false)),
             wal: self.current_wal(),
+            changed: Arc::new(Condvar::new()),
         }
     }
 
