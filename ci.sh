@@ -34,6 +34,12 @@
 #                calibrated cost fit must beat the uncalibrated one,
 #                and λ-Tune's winner must beat the default; its trace
 #                sidecar must pass trace_check
+#   synth        synth_bench --smoke: the seeded workload-synthesis
+#                engine — every generated query catalog-valid, mixes
+#                within tolerance, synthesized streams through the
+#                drift monitor, spec feeds over HTTP, and delta-prompt
+#                re-tuning bounded against the blind warm restart;
+#                trace sidecar checked with trace_check
 #   shard        lt-serve-load --smoke --shards 2: a real coordinator +
 #                two shard daemons over loopback, sessions routed via
 #                the consistent-hash ring, fleet /metrics aggregated;
@@ -69,7 +75,7 @@ gate_test() {
 # runs (whatever the ambient parallelism) are byte-identical.
 DETERMINISM_FILES="fig6.json table4.json fig4.json BENCH_drift.json \
 BENCH_drift.smoke.json BENCH_fleet.smoke.json serve_load.smoke.json \
-BENCH_crash.smoke.json"
+BENCH_crash.smoke.json BENCH_synth.smoke.json"
 
 determinism_pass() {
     LT_BENCH_THREADS="$1" ./target/release/fig6 > /dev/null
@@ -81,6 +87,7 @@ determinism_pass() {
     LT_BENCH_THREADS="$1" ./target/release/lt-serve-load --smoke > /dev/null
     LT_BENCH_THREADS="$1" ./target/release/crash-bench --smoke > /dev/null
     LT_BENCH_THREADS="$1" ./target/release/store_bench --smoke > /dev/null
+    LT_BENCH_THREADS="$1" ./target/release/synth_bench --smoke > /dev/null
 }
 
 gate_determinism() {
@@ -160,7 +167,12 @@ gate_shard() {
     ./target/release/lt-serve-load --smoke --shards 2
 }
 
-ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash store shard"
+gate_synth() {
+    LT_TRACE=1 LT_BENCH_THREADS=1 ./target/release/synth_bench --smoke
+    ./target/release/trace_check results/BENCH_synth.trace.json
+}
+
+ALL_GATES="build fmt clippy test determinism trace serve planner drift fleet crash store shard synth"
 TIMING=()
 
 run_gate() {

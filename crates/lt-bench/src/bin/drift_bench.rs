@@ -22,8 +22,7 @@
 use lt_bench::{base_seed, parallel_map, trials, write_results, ObsRun};
 use lt_common::{derive_seed, json};
 use lt_drift::{compare_retune, run_stream, DriftConfig, StreamRunReport};
-use lt_workloads::stream::PhasedStreamSpec;
-use lt_workloads::ShiftClass;
+use lt_synth::{PhasedStreamSpec, ShiftClass};
 
 /// Detection-latency acceptance bound (queries after the shift point).
 const DETECT_BOUND: u64 = 500;

@@ -1,0 +1,541 @@
+//! Workload-synthesis benchmark: drives generated scenarios end-to-end
+//! through the whole stack.
+//!
+//! Four sections, each an acceptance bound of the lt-synth subsystem:
+//!
+//! 1. **Generation** — every scenario spec compiles to a workload that is
+//!    100 % catalog-valid (re-checked here, independently of the engine's
+//!    own validation) and conforms to its declared join-shape mix, Zipf
+//!    skew and selectivity band within the spec tolerance.
+//! 2. **Tune + drift** — synthesized workloads tune to a real winning
+//!    configuration, and declarative streams built from synthesized pools
+//!    drive the drift monitor: stationary controls raise zero alarms,
+//!    profile shifts between two synthesized phases are detected.
+//! 3. **Serve** — an in-process server accepts `"spec"` feed bodies over
+//!    HTTP, expands them server-side, and surfaces the per-detector
+//!    `drift.*` gauges in `/metrics`.
+//! 4. **Delta re-tune** — the drift-aware delta-prompt re-tune matches
+//!    the blind warm restart's quality at no more than its token bill.
+//!
+//! Writes `results/BENCH_synth.json` — the committed evidence for the
+//! bounds above. `--smoke` shrinks scenario counts and writes to
+//! `results/BENCH_synth.smoke.json` so a CI pass never clobbers the
+//! committed numbers. Scenario count: `LT_SYNTH_SCENARIOS` (default
+//! 1000; smoke runs 24).
+//!
+//! Determinism: every scenario derives its spec and seed from the base
+//! seed and its index, scenarios run on [`parallel_map`] and are reduced
+//! in input order, and no wall-clock value enters stdout or the JSON —
+//! the CI gate diffs the smoke artifact across `LT_BENCH_THREADS=1`
+//! and `=4`.
+
+use lt_bench::{base_seed, parallel_map, write_results, ObsRun};
+use lt_common::json::Value;
+use lt_common::{derive_seed, json};
+use lt_drift::{compare_retune, run_stream_spec, DriftConfig};
+use lt_llm::{LlmClient, SimulatedLlm};
+use lt_serve::http::request;
+use lt_serve::{start, ServerConfig};
+use lt_synth::{JoinMix, PhaseSpec, PoolSpec, StreamSpec, Synthesizer, WorkloadSpec};
+use lt_workloads::Benchmark;
+
+/// Detection bound for synth-to-synth profile shifts (queries after the
+/// shift point; the streams here are short, so this is also < len/2).
+const DETECT_BOUND: u64 = 128;
+/// Delta re-tune quality bound: `delta_time / warm_time` must stay below.
+const QUALITY_BOUND: f64 = 1.05;
+/// Retune trial seeds — the same pinned set the detector property suite
+/// bounds per-seed (see lt-drift/tests/detector_prop.rs).
+const RETUNE_SEEDS: [u64; 3] = [42, 7, 1234];
+
+/// Scenario count: `LT_SYNTH_SCENARIOS`, default 1000 (24 under --smoke).
+fn scenario_count(smoke: bool) -> usize {
+    std::env::var("LT_SYNTH_SCENARIOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(if smoke { 24 } else { 1000 })
+}
+
+/// The scenario grid: spec parameters sweep deterministically with the
+/// index, so scenario `i` is identical on every run and thread count.
+fn scenario_spec(seed: u64, i: usize) -> WorkloadSpec {
+    let mixes = [
+        JoinMix {
+            chain: 0.5,
+            star: 0.3,
+            clique: 0.2,
+        },
+        JoinMix {
+            chain: 0.7,
+            star: 0.2,
+            clique: 0.1,
+        },
+        JoinMix {
+            chain: 0.3,
+            star: 0.5,
+            clique: 0.2,
+        },
+        JoinMix {
+            chain: 0.4,
+            star: 0.4,
+            clique: 0.2,
+        },
+    ];
+    WorkloadSpec {
+        name: format!("scenario-{i}"),
+        queries: 12 + (i % 3) * 6,
+        seed: derive_seed(seed, 10_000 + i as u64),
+        join_mix: mixes[i % mixes.len()],
+        depth_min: 2,
+        depth_max: 3 + (i % 2),
+        skew: 0.4 + 0.2 * (i % 4) as f64,
+        filter_rate: 0.6 + 0.1 * (i % 4) as f64,
+        tolerance: 0.25,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Short drift-monitor configuration matched to the 320-query streams of
+/// the drift leg (the default warmup alone would swallow them). The JSD
+/// threshold is lowered from the benchmark-swap default: two synthesized
+/// workloads over the *same* schema share most of their feature mass, so
+/// the shift lands at ~0.20–0.32 bits (probed over every drift-leg seed)
+/// while stationary synth traffic stays well under 0.12.
+fn stream_config() -> DriftConfig {
+    DriftConfig {
+        window: 64,
+        stride: 16,
+        warmup: 64,
+        cooldown: 64,
+        jsd_threshold: 0.12,
+        ..DriftConfig::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = base_seed();
+    let scenarios = scenario_count(smoke);
+    let tune_legs = if smoke { 2 } else { 8 };
+    let drift_legs = if smoke { 4 } else { 16 };
+    let serve_feeds = if smoke { 3 } else { 6 };
+    let retune_trials = if smoke { 1 } else { 3 };
+    let _obs = ObsRun::start("BENCH_synth");
+    println!("Workload-synthesis benchmark: generation → tune → drift → delta re-tune → serve");
+    println!("(seed {seed}, {scenarios} scenarios, {tune_legs} tune legs, {drift_legs} drift legs, {serve_feeds} serve feeds)\n");
+
+    let mut all_pass = true;
+    let engine = Synthesizer::shared(Benchmark::TpchSf1);
+
+    // 1. Generation + conformance over the full scenario grid.
+    let specs: Vec<WorkloadSpec> = (0..scenarios).map(|i| scenario_spec(seed, i)).collect();
+    let outcomes = parallel_map(specs.clone(), |spec| {
+        let synthesis = engine.synthesize(&spec)?;
+        // Independent validity re-check: every generated query's tables
+        // must resolve against the catalog the engine claims it used.
+        let mut valid = 0usize;
+        for q in &synthesis.workload.queries {
+            let analysis = lt_sql::analysis::analyze(&q.parsed);
+            let ok = !analysis.tables.is_empty()
+                && analysis
+                    .tables
+                    .iter()
+                    .all(|t| synthesis.workload.catalog.table_by_name(t).is_some());
+            valid += ok as usize;
+        }
+        Ok::<_, lt_common::LtError>((synthesis.report, valid))
+    });
+    let mut generated = 0usize;
+    let mut valid = 0usize;
+    let mut rejects = 0usize;
+    let mut llm_calls = 0u64;
+    let mut conforming = 0usize;
+    let mut max_mix_error = 0.0f64;
+    let mut max_skew_error = 0.0f64;
+    let mut bucket_violations = 0usize;
+    let mut errors = 0usize;
+    for (spec, outcome) in specs.iter().zip(&outcomes) {
+        match outcome {
+            Ok((report, ok)) => {
+                generated += report.queries;
+                valid += ok;
+                rejects += report.rejects;
+                llm_calls += report.llm_calls;
+                let conforms = report.conformance.mix_error <= spec.tolerance
+                    && report.conformance.skew_error <= spec.tolerance
+                    && report.conformance.bucket_violations == 0;
+                conforming += conforms as usize;
+                max_mix_error = max_mix_error.max(report.conformance.mix_error);
+                max_skew_error = max_skew_error.max(report.conformance.skew_error);
+                bucket_violations += report.conformance.bucket_violations;
+            }
+            Err(e) => {
+                errors += 1;
+                println!("  scenario {}: FAIL ({e})", spec.name);
+            }
+        }
+    }
+    let gen_pass =
+        errors == 0 && valid == generated && conforming == scenarios && bucket_violations == 0;
+    all_pass &= gen_pass;
+    println!("== generation ({scenarios} scenarios) ==");
+    println!(
+        "  {generated} queries generated, {valid} catalog-valid ({}%), {rejects} rejects repaired over {llm_calls} LLM calls",
+        (100 * valid).checked_div(generated).unwrap_or(0)
+    );
+    println!(
+        "  conforming {conforming}/{scenarios}, max mix error {max_mix_error:.4}, max skew error {max_skew_error:.4}, bucket violations {bucket_violations} — {}\n",
+        if gen_pass { "PASS" } else { "FAIL" }
+    );
+
+    // 2a. Tune leg: synthesized workloads through the full pipeline.
+    let tune_results = parallel_map((0..tune_legs).collect::<Vec<_>>(), |i| {
+        let spec = WorkloadSpec {
+            queries: 8,
+            ..scenario_spec(seed, i)
+        };
+        let synthesis = engine.synthesize(&spec)?;
+        let mut db = lt_dbms::SimDb::new(
+            lt_dbms::Dbms::Postgres,
+            synthesis.workload.catalog.clone(),
+            lt_dbms::Hardware::p3_2xlarge(),
+            derive_seed(seed, 20_000 + i as u64),
+        );
+        let llm = LlmClient::new(SimulatedLlm::new());
+        let options = lambda_tune::LambdaTuneOptions {
+            num_configs: 2,
+            seed: derive_seed(seed, 21_000 + i as u64),
+            ..Default::default()
+        };
+        let result =
+            lambda_tune::LambdaTune::new(options).tune(&mut db, &synthesis.workload, &llm)?;
+        Ok::<_, lt_common::LtError>((result.best_config.is_some(), result.best_time.as_f64()))
+    });
+    let tuned = tune_results
+        .iter()
+        .filter(|r| matches!(r, Ok((true, _))))
+        .count();
+    let tune_pass = tuned == tune_legs;
+    all_pass &= tune_pass;
+    println!("== tune leg ({tune_legs} synthesized workloads) ==");
+    for (i, r) in tune_results.iter().enumerate() {
+        match r {
+            Ok((found, time)) => println!(
+                "  leg {i}: config {} best {time:.2}s",
+                if *found { "found" } else { "MISSING" }
+            ),
+            Err(e) => println!("  leg {i}: FAIL ({e})"),
+        }
+    }
+    println!(
+        "  {tuned}/{tune_legs} tuned to a winner — {}\n",
+        if tune_pass { "PASS" } else { "FAIL" }
+    );
+
+    // 2b. Drift leg: declarative streams over synthesized pools. Every
+    // 4th stream is a stationary control (one pool, no shift); the rest
+    // shift between two deliberately different profiles at mid-stream.
+    let drift_cells: Vec<usize> = (0..drift_legs).collect();
+    let drift_results = parallel_map(drift_cells, |i| {
+        let stationary = i % 4 == 0;
+        let pool_a = WorkloadSpec {
+            queries: 24,
+            skew: 0.3,
+            filter_rate: 0.5,
+            ..scenario_spec(seed, 30_000 + i)
+        };
+        let (len, shift_at) = (320usize, 160usize);
+        let phases = if stationary {
+            vec![PhaseSpec {
+                at: 0,
+                major: PoolSpec::Synth(pool_a),
+                minor: None,
+            }]
+        } else {
+            // The post-shift profile moves on every spec axis at once —
+            // deep stars over the heaviest tables, every query filtered
+            // into the tightest selectivity band — so the feature
+            // distribution shifts even though the schema is unchanged.
+            let pool_b = WorkloadSpec {
+                queries: 24,
+                skew: 2.0,
+                filter_rate: 1.0,
+                depth_min: 4,
+                depth_max: 6,
+                bucket_min: 0,
+                bucket_max: 2,
+                join_mix: JoinMix {
+                    chain: 0.0,
+                    star: 1.0,
+                    clique: 0.0,
+                },
+                seed: derive_seed(seed, 40_000 + i as u64),
+                ..scenario_spec(seed, 30_000 + i)
+            };
+            vec![
+                PhaseSpec {
+                    at: 0,
+                    major: PoolSpec::Synth(pool_a),
+                    minor: None,
+                },
+                PhaseSpec {
+                    at: shift_at,
+                    major: PoolSpec::Synth(pool_b),
+                    minor: None,
+                },
+            ]
+        };
+        let spec = StreamSpec {
+            len,
+            seed: derive_seed(seed, 50_000 + i as u64),
+            phases,
+        };
+        let boundary = if stationary { None } else { Some(shift_at) };
+        run_stream_spec(&spec, boundary, &stream_config()).map(|r| (stationary, r))
+    });
+    let mut drift_pass = true;
+    let mut drift_rows = Vec::new();
+    println!("== drift leg ({drift_legs} synthesized streams, bound {DETECT_BOUND}) ==");
+    for (i, outcome) in drift_results.iter().enumerate() {
+        match outcome {
+            Ok((stationary, r)) => {
+                let ok = if *stationary {
+                    r.events.is_empty()
+                } else {
+                    r.false_alarms == 0 && r.detection_latency.is_some_and(|l| l <= DETECT_BOUND)
+                };
+                drift_pass &= ok;
+                println!(
+                    "  stream {i}: {} false alarms {}, latency {} — {}",
+                    if *stationary {
+                        "stationary"
+                    } else {
+                        "shifted  "
+                    },
+                    r.false_alarms,
+                    r.detection_latency
+                        .map_or("n/a".to_string(), |l| l.to_string()),
+                    if ok { "PASS" } else { "FAIL" }
+                );
+                drift_rows.push(json!({
+                    "stream": i as f64,
+                    "stationary": *stationary,
+                    "false_alarms": r.false_alarms as f64,
+                    "detection_latency": r.detection_latency
+                        .map_or(Value::Null, |l| Value::Int(l as i64)),
+                    "pass": ok,
+                }));
+            }
+            Err(e) => {
+                drift_pass = false;
+                println!("  stream {i}: FAIL ({e})");
+                drift_rows.push(json!({ "stream": i as f64, "error": format!("{e}") }));
+            }
+        }
+    }
+    all_pass &= drift_pass;
+    println!("  {}\n", if drift_pass { "PASS" } else { "FAIL" });
+
+    // 3. Delta-prompt re-tune vs blind warm restart, at the same pinned
+    // seeds the detector property suite bounds (detector_prop::SEEDS) —
+    // the gate re-asserts those per-seed bounds end-to-end, it does not
+    // sample new ones.
+    let retune_seeds: Vec<u64> = RETUNE_SEEDS[..retune_trials].to_vec();
+    let comparisons = parallel_map(retune_seeds, |s| (s, compare_retune(s)));
+    println!("== delta re-tune (quality ≤ {QUALITY_BOUND}, tokens ≤ blind warm restart) ==");
+    let mut delta_rows = Vec::new();
+    let mut delta_pass = true;
+    for (s, outcome) in &comparisons {
+        match outcome {
+            Ok(c) => {
+                let quality = c.delta_time / c.warm_time.max(1e-9);
+                let seed_pass = quality <= QUALITY_BOUND
+                    && c.delta_tokens <= c.warm_tokens
+                    && c.delta_tuning_time <= c.warm_tuning_time;
+                delta_pass &= seed_pass;
+                println!(
+                    "  seed {s}: warm {:.1}s delta {:.1}s quality {quality:.4} tokens {} vs {} tuning {:.0}s vs {:.0}s — {}",
+                    c.warm_time,
+                    c.delta_time,
+                    c.delta_tokens,
+                    c.warm_tokens,
+                    c.delta_tuning_time,
+                    c.warm_tuning_time,
+                    if seed_pass { "PASS" } else { "FAIL" }
+                );
+                delta_rows.push(json!({
+                    "seed": *s as f64,
+                    "warm_time_s": c.warm_time,
+                    "delta_time_s": c.delta_time,
+                    "quality_ratio": quality,
+                    "warm_tokens": c.warm_tokens as f64,
+                    "delta_tokens": c.delta_tokens as f64,
+                    "warm_tuning_time_s": c.warm_tuning_time,
+                    "delta_tuning_time_s": c.delta_tuning_time,
+                    "pass": seed_pass,
+                }));
+            }
+            Err(e) => {
+                delta_pass = false;
+                println!("  seed {s}: FAIL ({e})");
+                delta_rows.push(json!({ "seed": *s as f64, "error": format!("{e}") }));
+            }
+        }
+    }
+    all_pass &= delta_pass;
+    println!("  {}\n", if delta_pass { "PASS" } else { "FAIL" });
+
+    // 4. Serve leg: spec feeds over real HTTP, one in-process server. The
+    // server's worker threads record spans off the main thread, which
+    // would break the trace invariant (per-phase self-times on the main
+    // thread summing to the run wall), so the traced run ends here —
+    // serving stays outside the sidecar, exactly like the serve gate.
+    drop(_obs);
+    println!("== serve leg ({serve_feeds} spec feeds over HTTP) ==");
+    let mut serve_rows = Vec::new();
+    let serve_pass = (|| -> Result<bool, String> {
+        let mut server = start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("bind: {e}"))?;
+        let addr = server.addr();
+        let body = format!(
+            r#"{{"benchmark": "tpch", "num_configs": 2, "seed": {},
+                "drift": {{"window": 16, "stride": 4, "confirm": 2, "cooldown": 32}}}}"#,
+            derive_seed(seed, 60_000)
+        );
+        let (status, response) =
+            request(addr, "POST", "/sessions", Some(&body)).map_err(|e| e.to_string())?;
+        if status != 202 {
+            return Err(format!("session not accepted: {status} {response}"));
+        }
+        let id = json::parse(&response)
+            .ok()
+            .and_then(|d| d.get("id")?.as_i64())
+            .ok_or("no session id")?;
+        loop {
+            let (status, response) =
+                request(addr, "GET", &format!("/sessions/{id}?wait_ms=100"), None)
+                    .map_err(|e| e.to_string())?;
+            if status != 200 {
+                return Err(format!("poll failed: {status} {response}"));
+            }
+            let state = json::parse(&response)
+                .ok()
+                .and_then(|d| Some(d.get("state")?.as_str()?.to_string()))
+                .ok_or("no state")?;
+            match state.as_str() {
+                "done" => break,
+                "failed" | "cancelled" => return Err(format!("session {state}")),
+                _ => {}
+            }
+        }
+        let mut ok = true;
+        for f in 0..serve_feeds {
+            let spec = WorkloadSpec {
+                queries: 24,
+                ..scenario_spec(seed, 70_000 + f)
+            };
+            let body = Value::Object(vec![("spec".to_string(), spec.to_json())]).to_string_pretty();
+            let (status, response) = request(
+                addr,
+                "POST",
+                &format!("/sessions/{id}/queries"),
+                Some(&body),
+            )
+            .map_err(|e| e.to_string())?;
+            let executed = json::parse(&response)
+                .ok()
+                .and_then(|d| d.get("executed")?.as_i64());
+            let feed_ok = status == 200 && executed == Some(spec.queries as i64);
+            ok &= feed_ok;
+            println!(
+                "  feed {f}: status {status} executed {executed:?} — {}",
+                if feed_ok { "PASS" } else { "FAIL" }
+            );
+            serve_rows.push(json!({
+                "feed": f as f64,
+                "status": status as f64,
+                "executed": executed.map_or(Value::Null, Value::Int),
+                "pass": feed_ok,
+            }));
+        }
+        let (status, metrics) =
+            request(addr, "GET", "/metrics", None).map_err(|e| e.to_string())?;
+        let gauges: Vec<&str> = ["drift.jsd", "drift.ewma_hit_rate", "drift.page_hinkley"]
+            .into_iter()
+            .filter(|g| metrics.contains(*g))
+            .collect();
+        let gauges_ok = status == 200 && gauges.len() == 3;
+        ok &= gauges_ok;
+        println!(
+            "  /metrics drift gauges: {}/3 — {}",
+            gauges.len(),
+            if gauges_ok { "PASS" } else { "FAIL" }
+        );
+        server.shutdown();
+        Ok(ok)
+    })();
+    let serve_ok = match serve_pass {
+        Ok(ok) => ok,
+        Err(e) => {
+            println!("  FAIL ({e})");
+            false
+        }
+    };
+    all_pass &= serve_ok;
+    println!("  {}\n", if serve_ok { "PASS" } else { "FAIL" });
+
+    let file = if smoke {
+        "BENCH_synth.smoke.json"
+    } else {
+        "BENCH_synth.json"
+    };
+    write_results(
+        file,
+        &json!({
+            "bench": "synth",
+            "seed": seed as f64,
+            "scenarios": scenarios as f64,
+            "generation": json!({
+                "queries": generated as f64,
+                "catalog_valid": valid as f64,
+                "rejects_repaired": rejects as f64,
+                "llm_calls": llm_calls as f64,
+                "conforming_scenarios": conforming as f64,
+                "max_mix_error": max_mix_error,
+                "max_skew_error": max_skew_error,
+                "bucket_violations": bucket_violations as f64,
+                "errors": errors as f64,
+                "pass": gen_pass,
+            }),
+            "tune": json!({
+                "legs": tune_legs as f64,
+                "tuned": tuned as f64,
+                "pass": tune_pass,
+            }),
+            "drift": json!({
+                "streams": Value::Array(drift_rows),
+                "detect_bound": DETECT_BOUND as f64,
+                "pass": drift_pass,
+            }),
+            "serve": json!({
+                "feeds": Value::Array(serve_rows),
+                "pass": serve_ok,
+            }),
+            "delta_retune": json!({
+                "per_seed": Value::Array(delta_rows),
+                "quality_bound": QUALITY_BOUND,
+                "pass": delta_pass,
+            }),
+            "pass": all_pass,
+        }),
+    );
+    println!("written to results/{file}");
+    println!("{}", if all_pass { "PASS" } else { "FAIL" });
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -319,6 +319,7 @@ impl DriftMonitor {
             self.ph_cum += r - self.config.ph_delta;
             self.ph_min = self.ph_min.min(self.ph_cum);
             self.scores.page_hinkley = self.ph_cum - self.ph_min;
+            obs::gauge("drift.page_hinkley", self.scores.page_hinkley);
             if armed && self.scores.page_hinkley > self.config.ph_lambda {
                 fired = Some(self.fire(
                     Detector::LatencyChangePoint,
@@ -339,6 +340,7 @@ impl DriftMonitor {
     fn evaluate_windowed(&mut self, armed: bool) -> Option<DriftEvent> {
         // Frequency JSD with consecutive-confirmation.
         self.scores.jsd = self.reference.jensen_shannon(&self.current);
+        obs::gauge("drift.jsd", self.scores.jsd);
         if self.scores.jsd > self.config.jsd_threshold {
             self.jsd_streak += 1;
         } else {
@@ -369,6 +371,7 @@ impl DriftMonitor {
             };
             self.ewma_hit = Some(ewma);
             self.scores.ewma_hit_rate = ewma;
+            obs::gauge("drift.ewma_hit_rate", ewma);
             if ewma >= self.config.hit_arm {
                 self.hit_armed = true;
             }

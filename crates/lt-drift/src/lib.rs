@@ -14,14 +14,17 @@
 //! byte-identical [`DriftEvent`]s on any machine or thread count, which
 //! is what lets `drift_bench` results go through the CI determinism gate.
 
+pub mod delta;
 pub mod detect;
 pub mod harness;
 pub mod profile;
 pub mod retune;
 
+pub use delta::{delta_prompt, LabeledProfile, WorkloadDelta};
 pub use detect::{Detector, DriftConfig, DriftEvent, DriftMonitor, DriftScores};
 pub use harness::{
-    compare_retune, drifted_workload, run_stream, RetuneComparison, StreamRunReport,
+    compare_retune, drifted_workload, run_stream, run_stream_spec, RetuneComparison,
+    SpecStreamReport, StreamRunReport,
 };
-pub use profile::{features, Profile, QueryObservation};
+pub use profile::{feature_labels, features, Profile, QueryObservation};
 pub use retune::{retune, warm_options, RetuneOptions, TuneMemory};

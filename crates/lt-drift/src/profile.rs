@@ -63,9 +63,20 @@ impl QueryObservation {
 
 /// Hashes one query's predicate analysis into profile features.
 pub fn features(catalog: &Catalog, preds: &QueryPredicates) -> Vec<u64> {
+    feature_labels(catalog, preds)
+        .iter()
+        .map(hash_one)
+        .collect()
+}
+
+/// The human-readable label strings behind [`features`] (each feature is
+/// exactly `hash_one` of its label, in the same order). The delta-prompt
+/// builder works on labels — it must name tables and joins to the LLM,
+/// which a hash cannot — while the monitor's profiles stay hashed.
+pub fn feature_labels(catalog: &Catalog, preds: &QueryPredicates) -> Vec<String> {
     let mut out = Vec::with_capacity(preds.tables.len() + preds.joins.len() + 1);
     for &table in &preds.tables {
-        out.push(hash_one(&format!("t:{}", catalog.table(table).name)));
+        out.push(format!("t:{}", catalog.table(table).name));
     }
     for join in &preds.joins {
         let name = |col| {
@@ -76,22 +87,16 @@ pub fn features(catalog: &Catalog, preds: &QueryPredicates) -> Vec<u64> {
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }
-        out.push(hash_one(&format!("j:{a}={b}")));
+        out.push(format!("j:{a}={b}"));
     }
     for (table, terms) in &preds.filters {
         let table = &catalog.table(*table).name;
         for term in terms {
             let column = &catalog.column(term.column).name;
-            out.push(hash_one(&format!(
-                "f:{table}.{column}:{}",
-                filter_shape(term.kind)
-            )));
+            out.push(format!("f:{table}.{column}:{}", filter_shape(term.kind)));
         }
     }
-    out.push(hash_one(&format!(
-        "s:{}",
-        selectivity_bucket(catalog, preds)
-    )));
+    out.push(format!("s:{}", selectivity_bucket(catalog, preds)));
     out
 }
 

@@ -31,7 +31,7 @@ pub struct TuneMemory {
 }
 
 /// Re-tune policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetuneOptions {
     /// Fraction of the previous candidate/token budget to spend (0, 1].
     pub budget_fraction: f64,
@@ -41,6 +41,11 @@ pub struct RetuneOptions {
     /// Seed override for the re-tune run; `None` keeps the previous seed
     /// (which would resample the previous run's candidates).
     pub seed: Option<u64>,
+    /// Drift-aware delta prompt ([`crate::delta::delta_prompt`]). When
+    /// set, it replaces the reused memory prompt — the sampling stays
+    /// warm-started on the old winner, but the LLM is told what changed
+    /// instead of being shown the stale reference prompt.
+    pub delta: Option<String>,
 }
 
 impl Default for RetuneOptions {
@@ -49,6 +54,7 @@ impl Default for RetuneOptions {
             budget_fraction: 0.5,
             reuse_prompt: true,
             seed: None,
+            delta: None,
         }
     }
 }
@@ -88,7 +94,10 @@ pub fn retune<D: TuningTarget + ?Sized, M: LanguageModel>(
 ) -> Result<TuneResult> {
     let options = warm_options(&memory.options, opts.budget_fraction, opts.seed);
     let warm = WarmStart {
-        prompt: opts.reuse_prompt.then(|| memory.prompt.clone()),
+        prompt: opts
+            .delta
+            .clone()
+            .or_else(|| opts.reuse_prompt.then(|| memory.prompt.clone())),
         seed_scripts: vec![memory.best_script.clone()],
     };
     let mut tuner = LambdaTune::new(options).with_warm_start(warm);

@@ -3,8 +3,8 @@
 //! thresholds, bounded detection latency for every injected shift class,
 //! and byte-identical replay.
 
-use lt_drift::{run_stream, DriftConfig};
-use lt_workloads::{PhasedStreamSpec, ShiftClass};
+use lt_drift::{compare_retune, run_stream, run_stream_spec, DriftConfig};
+use lt_synth::{PhaseSpec, PhasedStreamSpec, PoolSpec, ShiftClass, StreamSpec, WorkloadSpec};
 
 const SEEDS: [u64; 3] = [42, 7, 1234];
 
@@ -59,6 +59,65 @@ fn every_shift_class_is_detected_within_the_bound() {
             );
         }
     }
+}
+
+/// The delta-prompt re-tune is property-bounded against the blind warm
+/// restart: never worse on the drifted workload, never more tokens, never
+/// more virtual tuning time. The delta prompt is bounded to the memory
+/// prompt's token count by construction, so the token half is structural;
+/// this pins the quality half per seed.
+#[test]
+fn delta_prompt_retune_matches_blind_warm_restart_at_lower_cost() {
+    for seed in SEEDS {
+        let c = compare_retune(seed).unwrap();
+        assert!(
+            c.delta_time <= c.warm_time,
+            "seed {seed}: delta re-tune regressed quality ({} > {})",
+            c.delta_time,
+            c.warm_time
+        );
+        assert!(
+            c.delta_tokens <= c.warm_tokens,
+            "seed {seed}: delta re-tune spent more tokens ({} > {})",
+            c.delta_tokens,
+            c.warm_tokens
+        );
+        assert!(
+            c.delta_tuning_time <= c.warm_tuning_time,
+            "seed {seed}: delta re-tune took longer ({} > {})",
+            c.delta_tuning_time,
+            c.warm_tuning_time
+        );
+    }
+}
+
+/// A declarative stream whose only pool is a synthesized workload plays
+/// through the monitor like any benchmark stream: stationary synthesized
+/// traffic raises no alarms, and replay is byte-identical.
+#[test]
+fn synthesized_stationary_stream_has_zero_false_alarms() {
+    let spec = StreamSpec {
+        len: 1_000,
+        seed: 42,
+        phases: vec![PhaseSpec {
+            at: 0,
+            major: PoolSpec::Synth(WorkloadSpec {
+                queries: 32,
+                seed: 7,
+                ..WorkloadSpec::default()
+            }),
+            minor: None,
+        }],
+    };
+    let a = run_stream_spec(&spec, None, &DriftConfig::default()).unwrap();
+    assert!(
+        a.events.is_empty(),
+        "stationary synthesized stream alarmed: {:?}",
+        a.events
+    );
+    assert_eq!(a.false_alarms, 0);
+    let b = run_stream_spec(&spec, None, &DriftConfig::default()).unwrap();
+    assert_eq!(a.events, b.events);
 }
 
 #[test]

@@ -1,0 +1,270 @@
+//! The simulated workload-synthesis LLM.
+//!
+//! SQLBarber-style workload synthesis asks a language model to *write*
+//! SQL from a declarative task description. [`SynthesisLlm`] is the
+//! GPT-4 stand-in for that role and, like [`crate::SimulatedLlm`], it is
+//! **prompt-blind in the same way a real API call is**: everything it
+//! knows about the schema — which tables exist, which join predicates
+//! connect them, which filter predicates hit which selectivity bucket —
+//! it parses back out of the prompt text. It holds no catalog reference,
+//! so a table the prompt never lists can only appear in its output as a
+//! hallucination.
+//!
+//! The prompt contract (written by `lt-synth`'s engine, parsed here):
+//!
+//! * `filter <table> bucket=<b>: <predicate sql>` — one menu line per
+//!   achievable selectivity bucket per table,
+//! * one `task:` line of `key=value` tokens (`shape=`, `agg=`,
+//!   `tables=a,b,c`, `joins=a.x=b.y;c.u=d.v`, `filter_table=`,
+//!   `filter_bucket=`) describing the single query to write, and
+//! * zero or more `invalid: …` feedback lines appended by the caller's
+//!   validation loop after a rejected attempt.
+//!
+//! Like its real counterpart the model is imperfect: a seeded fraction
+//! of first attempts corrupt an identifier (a table or join column that
+//! was never in the prompt). The corruption rate decays with each
+//! `invalid:` feedback line — the model follows corrections — reaching
+//! zero from the second retry on, so the caller's retry loop always
+//! converges within its cap.
+
+use crate::api::LanguageModel;
+use lt_common::{derive_seed, Result, Rng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Tuning parameters of the synthesis model.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisLlmOptions {
+    /// Probability that a *first* attempt corrupts an identifier. Each
+    /// `invalid:` feedback line quarters the rate; two or more lines
+    /// silence it entirely.
+    pub hallucination_rate: f64,
+}
+
+impl Default for SynthesisLlmOptions {
+    fn default() -> Self {
+        SynthesisLlmOptions {
+            hallucination_rate: 0.12,
+        }
+    }
+}
+
+/// Prompt-blind SQL-writing model. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisLlm {
+    options: SynthesisLlmOptions,
+}
+
+impl SynthesisLlm {
+    /// Model with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model with explicit options (property tests force the
+    /// hallucination rate up to exercise the retry loop).
+    pub fn with_options(options: SynthesisLlmOptions) -> Self {
+        SynthesisLlm { options }
+    }
+}
+
+impl LanguageModel for SynthesisLlm {
+    fn complete(&self, prompt: &str, temperature: f64, seed: u64) -> Result<String> {
+        let task = SynthTask::parse(prompt);
+        // Seeded by the prompt's semantic content, not its surface text:
+        // the same task renders the same SQL for the same seed.
+        let mut hasher = DefaultHasher::new();
+        task.tables.hash(&mut hasher);
+        task.joins.hash(&mut hasher);
+        task.agg.hash(&mut hasher);
+        task.filter.hash(&mut hasher);
+        task.feedback_lines.hash(&mut hasher);
+        let mut rng = lt_common::seeded_rng(derive_seed(hasher.finish(), seed));
+        Ok(render(&task, temperature, &mut rng, self.options))
+    }
+
+    fn name(&self) -> &str {
+        "simulated-synthesis-gpt4"
+    }
+}
+
+/// What the model recovers from the prompt text.
+#[derive(Debug, Clone, Default)]
+struct SynthTask {
+    tables: Vec<String>,
+    /// Join conditions as `(left, right)` qualified column pairs.
+    joins: Vec<(String, String)>,
+    /// `count` or `min:<qualified column>`.
+    agg: String,
+    /// Filter predicate looked up from the menu lines.
+    filter: Option<String>,
+    /// Number of `invalid:` feedback lines (prior rejected attempts).
+    feedback_lines: usize,
+}
+
+impl SynthTask {
+    fn parse(prompt: &str) -> SynthTask {
+        let mut task = SynthTask::default();
+        let mut filter_table = String::new();
+        let mut filter_bucket = String::new();
+        // `(table, bucket) -> predicate` menu mined from the prompt.
+        let mut menu: Vec<(String, String, String)> = Vec::new();
+        for line in prompt.lines() {
+            let trimmed = line.trim();
+            if let Some(rest) = trimmed.strip_prefix("filter ") {
+                if let Some((head, pred)) = rest.split_once(':') {
+                    let mut parts = head.split_whitespace();
+                    if let (Some(table), Some(bucket)) = (parts.next(), parts.next()) {
+                        if let Some(b) = bucket.strip_prefix("bucket=") {
+                            menu.push((table.to_string(), b.to_string(), pred.trim().to_string()));
+                        }
+                    }
+                }
+                continue;
+            }
+            if trimmed.starts_with("invalid:") {
+                task.feedback_lines += 1;
+                continue;
+            }
+            let Some(rest) = trimmed.strip_prefix("task:") else {
+                continue;
+            };
+            for token in rest.split_whitespace() {
+                let Some((key, value)) = token.split_once('=') else {
+                    continue;
+                };
+                match key {
+                    "tables" => {
+                        task.tables = value.split(',').map(str::to_string).collect();
+                    }
+                    "joins" => {
+                        for j in value.split(';').filter(|j| !j.is_empty()) {
+                            if let Some((l, r)) = j.split_once('=') {
+                                task.joins.push((l.to_string(), r.to_string()));
+                            }
+                        }
+                    }
+                    "agg" => task.agg = value.to_string(),
+                    "filter_table" => filter_table = value.to_string(),
+                    "filter_bucket" => filter_bucket = value.to_string(),
+                    _ => {}
+                }
+            }
+        }
+        if !filter_table.is_empty() {
+            task.filter = menu
+                .iter()
+                .find(|(t, b, _)| *t == filter_table && *b == filter_bucket)
+                .map(|(_, _, pred)| pred.clone());
+        }
+        task
+    }
+}
+
+fn render(
+    task: &SynthTask,
+    temperature: f64,
+    rng: &mut Rng,
+    options: SynthesisLlmOptions,
+) -> String {
+    let mut tables = task.tables.clone();
+    let mut joins = task.joins.clone();
+    if tables.is_empty() {
+        // Nothing to write a query against; emit something parseable and
+        // let the caller's validation reject it.
+        return "select 1".to_string();
+    }
+
+    // Imperfection: corrupt one identifier on a seeded fraction of early
+    // attempts. Feedback lines quarter the rate; ≥ 2 silence it.
+    let heat = temperature.clamp(0.0, 2.0);
+    let rate = match task.feedback_lines {
+        0 => options.hallucination_rate,
+        1 => options.hallucination_rate * 0.25,
+        _ => 0.0,
+    };
+    if rng.gen_bool((rate * (heat / 0.7).min(1.0)).clamp(0.0, 1.0)) {
+        if !joins.is_empty() && rng.gen_bool(0.5) {
+            let i = rng.gen_range(0..joins.len());
+            joins[i].0.push_str("_x");
+        } else {
+            let i = rng.gen_range(0..tables.len());
+            tables[i].push_str("_x");
+        }
+    }
+
+    let select = match task.agg.split_once(':') {
+        Some(("min", col)) => format!("min({col})"),
+        _ => "count(*)".to_string(),
+    };
+    let mut sql = format!("select {select} from {}", tables.join(", "));
+    let mut conjuncts: Vec<String> = joins.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+    if let Some(pred) = &task.filter {
+        conjuncts.push(pred.clone());
+    }
+    if !conjuncts.is_empty() {
+        sql.push_str(" where ");
+        sql.push_str(&conjuncts.join(" and "));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROMPT: &str = "Write one SQL query for the task below.\n\
+         filter lineitem bucket=4: lineitem.l_quantity in (1, 2, 3)\n\
+         filter orders bucket=2: orders.o_orderstatus = 'F'\n\
+         task: shape=chain agg=count tables=lineitem,orders \
+         joins=lineitem.l_orderkey=orders.o_orderkey \
+         filter_table=lineitem filter_bucket=4\n";
+
+    fn reliable() -> SynthesisLlm {
+        SynthesisLlm::with_options(SynthesisLlmOptions {
+            hallucination_rate: 0.0,
+        })
+    }
+
+    #[test]
+    fn renders_the_assigned_structure() {
+        let sql = reliable().complete(PROMPT, 0.0, 1).unwrap();
+        assert_eq!(
+            sql,
+            "select count(*) from lineitem, orders \
+             where lineitem.l_orderkey = orders.o_orderkey \
+             and lineitem.l_quantity in (1, 2, 3)"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_output() {
+        let llm = SynthesisLlm::new();
+        assert_eq!(
+            llm.complete(PROMPT, 1.0, 7).unwrap(),
+            llm.complete(PROMPT, 1.0, 7).unwrap()
+        );
+    }
+
+    #[test]
+    fn hallucinations_vanish_after_two_feedback_lines() {
+        let llm = SynthesisLlm::with_options(SynthesisLlmOptions {
+            hallucination_rate: 1.0,
+        });
+        let corrupted = llm.complete(PROMPT, 1.0, 3).unwrap();
+        assert!(corrupted.contains("_x"), "{corrupted}");
+        let retried = format!("{PROMPT}invalid: unknown table\ninvalid: unknown table\n");
+        let clean = llm.complete(&retried, 1.0, 3).unwrap();
+        assert!(!clean.contains("_x"), "{clean}");
+    }
+
+    #[test]
+    fn min_aggregate_and_missing_filter_menu() {
+        let p = "task: shape=scan agg=min:part.p_retailprice tables=part \
+                 filter_table=part filter_bucket=9\n";
+        let sql = reliable().complete(p, 0.0, 0).unwrap();
+        // No menu line for (part, 9): the model omits the filter rather
+        // than inventing a predicate.
+        assert_eq!(sql, "select min(part.p_retailprice) from part");
+    }
+}

@@ -38,7 +38,7 @@ use lt_common::{hash_one, json};
 use lt_fleet::FleetCache;
 use lt_serve::http::request;
 use lt_serve::{start, ServerConfig, ServerHandle};
-use lt_workloads::stream::{predicate_templates, Phase};
+use lt_synth::{predicate_templates, Phase};
 use lt_workloads::Benchmark;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};

@@ -22,7 +22,10 @@ use crate::wal::SessionRecord;
 use lambda_tune::{LambdaTune, SampleCache, WarmStart};
 use lt_common::{derive_seed, obs, LtError, Secs};
 use lt_dbms::{Configuration, TuningTarget};
-use lt_drift::{retune, warm_options, DriftMonitor, Profile, RetuneOptions, TuneMemory};
+use lt_drift::{
+    delta_prompt, retune, warm_options, DriftMonitor, LabeledProfile, Profile, RetuneOptions,
+    TuneMemory, WorkloadDelta,
+};
 use lt_fleet::{FleetCache, FleetEntry, FleetKey, TransferOptions};
 use lt_llm::{LlmClient, SimulatedLlm};
 use lt_workloads::Workload;
@@ -800,6 +803,20 @@ fn warm_retune(
     let workload = Workload::from_sql("observed", serving.db.catalog().clone(), &pairs)?;
     let llm = LlmClient::new(SimulatedLlm::new());
     let sink = std::sync::Arc::new(session.observer());
+    // Drift-aware prompt: compare the benchmark the session was tuned for
+    // against what it actually served and, when something structural
+    // moved, re-tune from a delta prompt (token-bounded by the memory
+    // prompt) instead of replaying the stale reference prompt blind.
+    let reference_workload = request.benchmark.load();
+    let reference = LabeledProfile::from_workload(serving.db.catalog(), &reference_workload);
+    let current = LabeledProfile::from_workload(serving.db.catalog(), &workload);
+    let delta = WorkloadDelta::between(&reference, &current);
+    let delta_text = if delta.is_empty() {
+        None
+    } else {
+        obs::counter("serve.delta_retunes", 1);
+        Some(delta_prompt(&serving.memory.prompt, &delta))
+    };
     // Each re-tune gets its own derived seed; the budget always scales
     // from the session's *original* options, so repeated re-tunes do not
     // shrink geometrically toward a single candidate.
@@ -810,6 +827,7 @@ fn warm_retune(
         &serving.memory,
         &RetuneOptions {
             seed: Some(derive_seed(request.seed, 1000 + retunes)),
+            delta: delta_text,
             ..Default::default()
         },
         Some(sink),

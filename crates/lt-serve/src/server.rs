@@ -38,6 +38,7 @@ use crate::session::{Session, SessionHandle, SessionRegistry, SessionState, Tune
 use crate::wal::SessionRecord;
 use lt_common::json::Value;
 use lt_common::{json, obs};
+use lt_synth::{Synthesizer, WorkloadSpec};
 use lt_workloads::Workload;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -678,7 +679,9 @@ const MAX_FEED_QUERIES: usize = 512;
 /// queries on the session's serving database, feeds the drift monitor and,
 /// when an alarm fires on a session with `auto_retune`, moves it to
 /// `retuning` and hands it back to the worker pool for a warm-start
-/// re-tune.
+/// re-tune. The batch is either a `"queries"` array of literal SQL
+/// strings or an inline `"spec"` workload spec expanded by `lt-synth`;
+/// both run through the same validation and logging.
 fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) -> Response {
     let Some(body) = request.body_str() else {
         return Response::error(400, "body is not UTF-8");
@@ -687,22 +690,54 @@ fn feed_queries(request: &Request, state: &ServerState, handle: &SessionHandle) 
         Ok(doc) => doc,
         Err(err) => return Response::error(400, &format!("invalid JSON: {err}")),
     };
-    let Some(Value::Array(items)) = doc.get("queries") else {
-        return Response::error(400, "\"queries\" must be an array of SQL strings");
-    };
-    if items.is_empty() {
-        return Response::error(400, "\"queries\" must not be empty");
+    if doc.get("queries").is_some() && doc.get("spec").is_some() {
+        return Response::error(400, "provide either \"queries\" or \"spec\", not both");
     }
-    if items.len() > MAX_FEED_QUERIES {
-        return Response::error(400, &format!("at most {MAX_FEED_QUERIES} queries per call"));
-    }
-    let mut sqls = Vec::with_capacity(items.len());
-    for item in items {
-        match item.as_str() {
-            Some(sql) => sqls.push(sql.to_string()),
-            None => return Response::error(400, "\"queries\" must be an array of SQL strings"),
+    let sqls = if let Some(spec_doc) = doc.get("spec") {
+        // Declarative feed: synthesize the batch from an inline workload
+        // spec, then fall through to the literal-query path — the same
+        // all-or-nothing catalog validation, execution, and write-ahead
+        // logging (the WAL records the expanded SQL, so recovery replays
+        // the feed byte-for-byte without re-running the synthesizer).
+        let spec = match WorkloadSpec::from_json(spec_doc) {
+            Ok(spec) => spec,
+            Err(err) => return Response::error(400, err.message()),
+        };
+        if spec.queries > MAX_FEED_QUERIES {
+            return Response::error(400, &format!("at most {MAX_FEED_QUERIES} queries per call"));
         }
-    }
+        let synthesis = match Synthesizer::shared(spec.benchmark).synthesize(&spec) {
+            Ok(s) => s,
+            Err(err) => {
+                return Response::error(400, &format!("spec synthesis failed: {}", err.message()))
+            }
+        };
+        obs::counter("serve.spec_feeds", 1);
+        synthesis
+            .workload
+            .queries
+            .iter()
+            .map(|q| q.sql.clone())
+            .collect()
+    } else {
+        let Some(Value::Array(items)) = doc.get("queries") else {
+            return Response::error(400, "\"queries\" must be an array of SQL strings");
+        };
+        if items.is_empty() {
+            return Response::error(400, "\"queries\" must not be empty");
+        }
+        if items.len() > MAX_FEED_QUERIES {
+            return Response::error(400, &format!("at most {MAX_FEED_QUERIES} queries per call"));
+        }
+        let mut sqls = Vec::with_capacity(items.len());
+        for item in items {
+            match item.as_str() {
+                Some(sql) => sqls.push(sql.to_string()),
+                None => return Response::error(400, "\"queries\" must be an array of SQL strings"),
+            }
+        }
+        sqls
+    };
 
     let mut session = handle.lock();
     if session.state != SessionState::Done {

@@ -8,8 +8,8 @@
 use lt_common::json::{parse, Value};
 use lt_serve::http::{request, request_with, Connection};
 use lt_serve::load::{run_matrix, LoadOptions};
-use lt_serve::{start, ServerConfig};
-use lt_workloads::stream::{predicate_templates, Phase};
+use lt_serve::{start, start_coordinator, CoordinatorConfig, ServerConfig, ShardSpec};
+use lt_synth::{predicate_templates, Phase};
 use lt_workloads::Benchmark;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -673,6 +673,90 @@ fn query_feed_detects_drift_and_auto_retunes() {
     .unwrap();
     assert_eq!(status, 409, "{response}");
     server.shutdown();
+}
+
+/// A `"spec"` feed body synthesizes the batch server-side via `lt-synth`
+/// and runs it through the same validation/execution path as literal
+/// queries — both directly against a shard and proxied through the
+/// coordinator. Malformed and ambiguous bodies are 400 without executing
+/// anything, and after a feed the per-detector drift scores surface as
+/// `drift.*` gauges in `/metrics`.
+#[test]
+fn spec_feed_synthesizes_server_side_and_proxies_through_the_coordinator() {
+    let shard = start(ServerConfig {
+        workers: 2,
+        shard_id: Some(0),
+        ..ServerConfig::default()
+    })
+    .expect("bind shard");
+    let mut config = CoordinatorConfig::new(vec![ShardSpec {
+        id: 0,
+        addr: shard.addr(),
+    }]);
+    config.probe_ms = 50;
+    let mut coord = start_coordinator(config).expect("bind coordinator");
+    let addr = coord.addr();
+
+    let (status, doc) = post_session(
+        addr,
+        r#"{"seed": 8700, "num_configs": 2,
+            "drift": {"window": 16, "stride": 4, "confirm": 2, "cooldown": 32}}"#,
+    );
+    assert_eq!(status, 202);
+    let id = doc.get("id").and_then(Value::as_i64).unwrap();
+    assert_eq!(wait_terminal(addr, id), "done");
+
+    // Declarative feed through the coordinator proxy: the shard expands
+    // the spec into 24 catalog-valid queries and executes them all.
+    let spec_body = r#"{"spec": {"benchmark": "tpch", "queries": 24, "seed": 7}}"#;
+    let (status, response) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/queries"),
+        Some(spec_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{response}");
+    let doc = parse(&response).unwrap();
+    assert_eq!(
+        doc.get("executed").and_then(Value::as_i64),
+        Some(24),
+        "{response}"
+    );
+
+    // The same spec replayed directly against the shard is deterministic:
+    // it executes the same 24 queries again.
+    let (status, response) = request(
+        shard.addr(),
+        "POST",
+        &format!("/sessions/{id}/queries"),
+        Some(spec_body),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{response}");
+
+    // Guards: ambiguous body, unknown spec field, out-of-range count —
+    // all 400, nothing executed.
+    for bad in [
+        r#"{"queries": ["select count(*) from nation"], "spec": {"queries": 2}}"#,
+        r#"{"spec": {"no_such_field": 1}}"#,
+        r#"{"spec": {"queries": 100000}}"#,
+        r#"{"spec": {"benchmark": "no-such-benchmark"}}"#,
+    ] {
+        let (status, response) =
+            request(addr, "POST", &format!("/sessions/{id}/queries"), Some(bad)).unwrap();
+        assert_eq!(status, 400, "body {bad} -> {response}");
+    }
+
+    // The drift monitor ran windowed evaluations during the feeds, so the
+    // per-detector scores are live gauges in /metrics.
+    let (status, response) = request(shard.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    for gauge in ["drift.jsd", "drift.ewma_hit_rate", "drift.page_hinkley"] {
+        assert!(response.contains(gauge), "missing {gauge} in {response}");
+    }
+
+    coord.shutdown();
 }
 
 /// Graceful shutdown drains accepted work: sessions queued before

@@ -11,11 +11,9 @@
 
 pub mod job;
 pub mod obfuscate;
-pub mod stream;
 pub mod tpcds;
 pub mod tpch;
 pub mod workload;
 
 pub use obfuscate::Obfuscator;
-pub use stream::{Phase, PhasedStream, PhasedStreamSpec, ShiftClass, StreamQuery};
 pub use workload::{Benchmark, Workload, WorkloadQuery};
